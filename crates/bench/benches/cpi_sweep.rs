@@ -1,0 +1,23 @@
+//! One point of the E4 CPI sweep as a benchmark: co-simulated
+//! execution (checker on) of a hazard-dense workload.
+
+use autopipe_bench::experiments::{dlx_pipeline, run_until_retired};
+use autopipe_dlx::workload::{random_program, HazardProfile};
+use autopipe_dlx::{dlx_synth_options, DlxConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_cpi(c: &mut Criterion) {
+    let cfg = DlxConfig::default();
+    let pm = dlx_pipeline(dlx_synth_options());
+    let prog = random_program(cfg, 60, HazardProfile::serial(), 2);
+    c.bench_function("cosim_60_serial_instructions", |b| {
+        b.iter(|| run_until_retired(&pm, cfg, &prog, 60))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_cpi
+}
+criterion_main!(benches);

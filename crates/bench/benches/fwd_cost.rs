@@ -1,0 +1,36 @@
+//! Synthesis time and structural cost of the two forwarding
+//! topologies (experiment E7's engine).
+
+use autopipe_bench::deep::{deep_options, deep_plan};
+use autopipe_hdl::NetlistStats;
+use autopipe_synth::{MuxTopology, PipelineSynthesizer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesize");
+    for depth in [5usize, 8, 12] {
+        let plan = deep_plan(depth);
+        for topo in [MuxTopology::Chain, MuxTopology::Tree] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{topo:?}"), depth),
+                &depth,
+                |b, _| {
+                    b.iter(|| {
+                        let pm = PipelineSynthesizer::new(deep_options().with_topology(topo))
+                            .run(&plan)
+                            .expect("synthesizes");
+                        NetlistStats::of(&pm.netlist).gates
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_synthesis
+}
+criterion_main!(benches);

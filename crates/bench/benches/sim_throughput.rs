@@ -1,0 +1,33 @@
+//! Cycle-throughput of the netlist simulator on the pipelined DLX —
+//! the substrate cost behind every experiment.
+
+use autopipe_bench::experiments::dlx_pipeline;
+use autopipe_dlx::machine::load_program;
+use autopipe_dlx::workload::{random_program, HazardProfile};
+use autopipe_dlx::{dlx_synth_options, DlxConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_sim(c: &mut Criterion) {
+    let cfg = DlxConfig::default();
+    let pm = dlx_pipeline(dlx_synth_options());
+    let prog = random_program(cfg, 100, HazardProfile::default(), 1);
+    let words: Vec<u32> = prog.iter().map(|i| i.encode()).collect();
+    let mut group = c.benchmark_group("sim");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("dlx_pipeline_1k_cycles", |b| {
+        b.iter(|| {
+            let mut sim = pm.simulator().expect("simulates");
+            load_program(&mut sim, cfg, &words);
+            sim.run(1000);
+            sim.cycle()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sim
+}
+criterion_main!(benches);

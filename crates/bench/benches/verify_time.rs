@@ -1,0 +1,33 @@
+//! SAT/BMC verification cost (experiment E8's engine): obligation
+//! discharge and bounded retirement-equivalence checking.
+
+use autopipe_bench::toy::{hazard_program, toy_plan};
+use autopipe_synth::{ForwardingSpec, PipelineSynthesizer, SynthOptions};
+use autopipe_verify::bmc::bmc_invariant;
+use autopipe_verify::check_obligations;
+use autopipe_verify::equiv::retirement_miter;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_verify(c: &mut Criterion) {
+    let pm = PipelineSynthesizer::new(
+        SynthOptions::new().with_forwarding(ForwardingSpec::forward_from_write_stage("RF")),
+    )
+    .run(&toy_plan(&hazard_program()))
+    .expect("synthesizes");
+    c.bench_function("discharge_obligations_toy", |b| {
+        b.iter(|| check_obligations(&pm.netlist, &pm.obligations, 2).expect("lowers"))
+    });
+    let (nl, prop) = retirement_miter(&pm, "RF", 4).expect("miter builds");
+    let low = autopipe_hdl::aig::lower(&nl).expect("lowers");
+    let p = low.net_lits(prop)[0];
+    c.bench_function("bmc_retirement_equiv_depth16", |b| {
+        b.iter(|| bmc_invariant(&low.aig, p, 16))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_verify
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates every table and figure of the paper plus the derived
+//! quantitative studies; see `DESIGN.md` (experiment index) and
+//! `EXPERIMENTS.md` (paper-vs-measured discussion).
+//!
+//! Usage: `cargo run -p autopipe-bench --bin report [--release] [eN ...]`
+//! with no arguments all experiments run.
+
+use autopipe_bench::experiments as ex;
+
+type Renderer = fn() -> String;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+    let run: Vec<(&str, Renderer)> = vec![
+        ("e1", ex::e1_render),
+        ("e2", ex::e2_render),
+        ("e3", ex::e3_render),
+        ("e4", ex::e4_render),
+        ("e5", ex::e5_render),
+        ("e6", ex::e6_render),
+        ("e7", ex::e7_render),
+        ("e8", ex::e8_render),
+        ("e9", ex::e9_render),
+    ];
+    for (name, f) in run {
+        if want(name) {
+            println!("{}", f());
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! A parametric deep pipeline for the mux-chain vs balanced-tree cost
+//! study (experiment E7 — the paper's remark that the Figure 2
+//! cascade "gets slow with larger pipelines").
+//!
+//! Structure for depth `n ≥ 4`:
+//!
+//! ```text
+//! stage 0        fetch (PC self-increment, instruction ROM)
+//! stage 1        decode: two RF read ports (the forwarded reads),
+//!                RF write controls
+//! stage 2        execute: C := a + b
+//! stages 3..n-2  pass-through (C travels; hits multiply)
+//! stage n-1      write back: RF := C
+//! ```
+//!
+//! Every added stage adds one hit comparator + one select level to a
+//! decode operand, exactly the scaling the paper warns about.
+
+use autopipe_hdl::Netlist;
+use autopipe_psm::{FileDecl, Fragment, MachineSpec, Plan, ReadPort, RegisterDecl};
+use autopipe_synth::{ForwardingSpec, SynthOptions};
+
+/// Builds the depth-`n` machine plan.
+///
+/// # Panics
+///
+/// Panics for `n < 4`.
+pub fn deep_plan(n: usize) -> Plan {
+    assert!(n >= 4, "deep machine needs at least 4 stages");
+    let mut spec = MachineSpec::new(format!("deep{n}"), n);
+    spec.register(RegisterDecl::new("PC", 5).written_by(0).visible());
+    spec.register(RegisterDecl::new("IR", 16).written_by(0));
+    spec.register(RegisterDecl::new("A", 16).written_by(1));
+    spec.register(RegisterDecl::new("B", 16).written_by(1));
+    // C written by stage 2 and copied through every later stage up to
+    // n-2; the designer names it as the forwarding register.
+    let mut c = RegisterDecl::new("C", 16);
+    for k in 2..n - 1 {
+        c = c.written_by(k);
+    }
+    spec.register(c);
+    spec.file(FileDecl::read_only("IMEM", 5, 16));
+    spec.file(FileDecl::new("RF", 3, 16, n - 1).ctrl(1).visible());
+
+    // Stage 0: fetch.
+    let mut f0 = Netlist::new("F");
+    let pc = f0.input("PC", 5);
+    let insn = f0.input("insn", 16);
+    let one = f0.constant(1, 5);
+    let npc = f0.add(pc, one);
+    f0.label("PC", npc);
+    f0.label("IR", insn);
+    let mut fa = Netlist::new("F_addr");
+    let pca = fa.input("PC", 5);
+    fa.label("addr", pca);
+    spec.stage(
+        0,
+        "F",
+        Fragment::new(f0).expect("combinational"),
+        vec![ReadPort::new(
+            "IMEM",
+            "insn",
+            Fragment::new(fa).expect("combinational"),
+        )],
+    );
+
+    // Stage 1: decode with two forwarded operand reads.
+    // insn: [15:13] dst, [12:10] srcA, [9:7] srcB, [6:0] imm.
+    let mut f1 = Netlist::new("D");
+    let ir = f1.input("IR", 16);
+    let av = f1.input("opA", 16);
+    let bv = f1.input("opB", 16);
+    let imm = f1.slice(ir, 6, 0);
+    let immx = f1.zext(imm, 16);
+    let b = f1.add(bv, immx);
+    f1.label("A", av);
+    f1.label("B", b);
+    let we = f1.one();
+    f1.label("RF.we", we);
+    let wa = f1.slice(ir, 15, 13);
+    f1.label("RF.wa", wa);
+    let mut ga = Netlist::new("D_a");
+    let ira = ga.input("IR", 16);
+    let aa = ga.slice(ira, 12, 10);
+    ga.label("addr", aa);
+    let mut gb = Netlist::new("D_b");
+    let irb = gb.input("IR", 16);
+    let ab = gb.slice(irb, 9, 7);
+    gb.label("addr", ab);
+    spec.stage(
+        1,
+        "D",
+        Fragment::new(f1).expect("combinational"),
+        vec![
+            ReadPort::new("RF", "opA", Fragment::new(ga).expect("combinational")),
+            ReadPort::new("RF", "opB", Fragment::new(gb).expect("combinational")),
+        ],
+    );
+
+    // Stage 2: execute.
+    let mut f2 = Netlist::new("X");
+    let a = f2.input("A", 16);
+    let b = f2.input("B", 16);
+    let c = f2.add(a, b);
+    f2.label("C", c);
+    spec.stage(2, "X", Fragment::new(f2).expect("combinational"), vec![]);
+
+    // Stages 3..n-2: pure pass-through (C copies automatically).
+    for k in 3..n - 1 {
+        let mut fk = Netlist::new(format!("P{k}"));
+        fk.constant(0, 1); // a fragment needs at least one node
+        spec.stage(
+            k,
+            format!("P{k}"),
+            Fragment::new(fk).expect("combinational"),
+            vec![],
+        );
+    }
+
+    // Stage n-1: write back.
+    let mut fw = Netlist::new("W");
+    let c = fw.input("C", 16);
+    fw.label("RF", c);
+    spec.stage(
+        n - 1,
+        "W",
+        Fragment::new(fw).expect("combinational"),
+        vec![],
+    );
+
+    spec.plan().expect("deep machine plans")
+}
+
+/// The designer options for the deep machine.
+pub fn deep_options() -> SynthOptions {
+    SynthOptions::new()
+        .with_forwarding(ForwardingSpec::forward("RF", "C"))
+        .without_monitors()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopipe_synth::{MuxTopology, PipelineSynthesizer};
+    use autopipe_verify::Cosim;
+
+    #[test]
+    fn deep_machines_plan_and_pipeline() {
+        for n in [4, 6, 9] {
+            let plan = deep_plan(n);
+            let pm = PipelineSynthesizer::new(deep_options()).run(&plan).unwrap();
+            // Hits span stages 2..n-1 for each decode operand.
+            let hits: Vec<usize> = (2..n).collect();
+            for p in pm.report.forwards.iter().filter(|p| p.stage == 1) {
+                assert_eq!(p.hit_stages, hits, "depth {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn deep_machine_is_consistent() {
+        let plan = deep_plan(6);
+        let pm = PipelineSynthesizer::new(deep_options()).run(&plan).unwrap();
+        let mut cosim = Cosim::new(&pm).unwrap();
+        cosim.run(150).unwrap();
+    }
+
+    #[test]
+    fn tree_variant_is_consistent_too() {
+        let plan = deep_plan(7);
+        let pm = PipelineSynthesizer::new(deep_options().with_topology(MuxTopology::Tree))
+            .run(&plan)
+            .unwrap();
+        let mut cosim = Cosim::new(&pm).unwrap();
+        cosim.run(150).unwrap();
+    }
+}

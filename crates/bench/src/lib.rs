@@ -1,0 +1,14 @@
+//! # autopipe-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper (E1–E3) plus the
+//! quantitative studies its prose implies (E4–E9); see `DESIGN.md` for
+//! the experiment index and `EXPERIMENTS.md` for paper-vs-measured
+//! notes. The `report` binary prints everything; the Criterion benches
+//! measure the heavy kernels (simulation, synthesis, SAT).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deep;
+pub mod experiments;
+pub mod table;
+pub mod toy;

@@ -1,0 +1,104 @@
+//! The three-stage accumulator machine used by Table 1 (E1) and the
+//! verification-runtime experiment (E8): `RF[dst] := RF[src] + imm`,
+//! fetch / execute / write-back.
+
+use autopipe_hdl::Netlist;
+use autopipe_psm::{FileDecl, Fragment, MachineSpec, Plan, ReadPort, RegisterDecl};
+
+/// Builds the accumulator machine plan, with `program` in its ROM.
+///
+/// # Panics
+///
+/// Panics if the program exceeds 16 instructions (the machine's ROM).
+pub fn toy_plan(program: &[u64]) -> Plan {
+    assert!(program.len() <= 16);
+    let mut spec = MachineSpec::new("acc", 3);
+    spec.register(RegisterDecl::new("PC", 4).written_by(0).visible());
+    spec.register(RegisterDecl::new("IR", 8).written_by(0));
+    spec.register(RegisterDecl::new("X", 8).written_by(1));
+    spec.file(FileDecl::read_only("IMEM", 4, 8).init(program.to_vec()));
+    spec.file(FileDecl::new("RF", 2, 8, 2).ctrl(0).visible());
+
+    let mut f0 = Netlist::new("fetch");
+    let pc = f0.input("PC", 4);
+    let insn = f0.input("insn", 8);
+    let one = f0.constant(1, 4);
+    let npc = f0.add(pc, one);
+    f0.label("PC", npc);
+    f0.label("IR", insn);
+    let we = f0.one();
+    f0.label("RF.we", we);
+    let wa = f0.slice(insn, 1, 0);
+    f0.label("RF.wa", wa);
+    let mut fa = Netlist::new("fetch_addr");
+    let pca = fa.input("PC", 4);
+    fa.label("addr", pca);
+    spec.stage(
+        0,
+        "F",
+        Fragment::new(f0).expect("combinational"),
+        vec![ReadPort::new(
+            "IMEM",
+            "insn",
+            Fragment::new(fa).expect("combinational"),
+        )],
+    );
+
+    let mut f1 = Netlist::new("ex");
+    let ir = f1.input("IR", 8);
+    let src = f1.input("srcv", 8);
+    let imm4 = f1.slice(ir, 7, 4);
+    let imm = f1.zext(imm4, 8);
+    let x = f1.add(src, imm);
+    f1.label("X", x);
+    let mut ra = Netlist::new("src_addr");
+    let ir2 = ra.input("IR", 8);
+    let a = ra.slice(ir2, 3, 2);
+    ra.label("addr", a);
+    spec.stage(
+        1,
+        "EX",
+        Fragment::new(f1).expect("combinational"),
+        vec![ReadPort::new(
+            "RF",
+            "srcv",
+            Fragment::new(ra).expect("combinational"),
+        )],
+    );
+
+    let mut f2 = Netlist::new("wb");
+    let x = f2.input("X", 8);
+    f2.label("RF", x);
+    spec.stage(2, "WB", Fragment::new(f2).expect("combinational"), vec![]);
+    spec.plan().expect("toy machine plans")
+}
+
+/// `RF[dst] := RF[src] + imm` instruction encoding.
+pub fn insn(imm: u64, src: u64, dst: u64) -> u64 {
+    imm << 4 | src << 2 | dst
+}
+
+/// A dependence-chained demo program.
+pub fn hazard_program() -> Vec<u64> {
+    vec![
+        insn(1, 0, 0),
+        insn(2, 0, 1),
+        insn(3, 1, 2),
+        insn(4, 2, 3),
+        insn(5, 3, 0),
+        insn(1, 0, 1),
+        insn(2, 1, 2),
+        insn(3, 2, 3),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toy_plan_builds() {
+        let plan = toy_plan(&hazard_program());
+        assert_eq!(plan.n_stages(), 3);
+    }
+}

@@ -1,0 +1,282 @@
+//! Forwarding network synthesis (paper §4).
+//!
+//! For a stage-`k` read of a register `R` written by stage `w`, the
+//! generated hardware consists of:
+//!
+//! * **hit signals** `R_k hit[j] = full_j ∧ Rwe.j ∧ (f_k_Rra = Rwa.j)`
+//!   for `j ∈ {k+1, …, w}` (the address comparison is omitted for plain
+//!   registers),
+//! * a **top-hit select network** that takes the value from the
+//!   smallest hitting stage: at `j = w` the write data `f_w_R`, at
+//!   intermediate stages the designated forwarding register `Q` —
+//!   `f_j_Q` if `f_j_Qwe` is active, else the travelled instance `Q.j`,
+//! * **valid bits**: `valid_j = Qv.j ∨ f_j_Qwe`, with the `Qv` chain
+//!   pipelined alongside the instruction,
+//! * the **data hazard** `dhaz`: the top hit is not valid, or the top
+//!   stage itself has a data hazard (§4.1.1).
+//!
+//! Two select topologies are provided ([`crate::MuxTopology`]): the
+//! linear mux cascade of Figure 2 and the find-first-one + balanced
+//! tree the paper recommends for larger pipelines.
+
+use crate::options::MuxTopology;
+use autopipe_hdl::{NetId, Netlist};
+
+/// One potential forwarding source: stage `j` of the paper's hit range.
+#[derive(Debug, Clone, Copy)]
+pub struct HitSource {
+    /// Pipeline stage `j`.
+    pub stage: usize,
+    /// The hit signal (already includes `full_j` and the write-enable
+    /// and address comparisons).
+    pub hit: NetId,
+    /// Value forwarded when this is the top hit.
+    pub value: NetId,
+    /// Whether the forwarded value is final ("valid"); constant 1 at
+    /// the write stage.
+    pub valid: NetId,
+}
+
+/// Parallel-prefix OR (Kogge–Stone style doubling): `out[i] = ⋁ bits[0..=i]`
+/// with logarithmic depth. This is the find-first-one backbone.
+pub fn prefix_or(nl: &mut Netlist, bits: &[NetId]) -> Vec<NetId> {
+    let mut cur: Vec<NetId> = bits.to_vec();
+    let mut d = 1;
+    while d < cur.len() {
+        let mut next = cur.clone();
+        for i in d..cur.len() {
+            next[i] = nl.or(cur[i], cur[i - d]);
+        }
+        cur = next;
+        d *= 2;
+    }
+    cur
+}
+
+/// Priority select: the payload of the first (lowest-index) source whose
+/// `hit` bit is set, or `default` if none hit. All payloads and the
+/// default must share one width.
+///
+/// `Chain` builds the linear mux cascade of Figure 2 (depth linear in
+/// the number of sources); `Tree` builds a find-first-one prefix network
+/// plus a balanced masked-OR tree (logarithmic depth).
+///
+/// ```
+/// use autopipe_hdl::{Netlist, Simulator};
+/// use autopipe_synth::forward::priority_select;
+/// use autopipe_synth::MuxTopology;
+///
+/// # fn main() -> Result<(), autopipe_hdl::HdlError> {
+/// let mut nl = Netlist::new("sel");
+/// let h0 = nl.input("h0", 1);
+/// let h1 = nl.input("h1", 1);
+/// let v0 = nl.constant(10, 8);
+/// let v1 = nl.constant(20, 8);
+/// let def = nl.constant(99, 8);
+/// let out = priority_select(&mut nl, MuxTopology::Chain, &[(h0, v0), (h1, v1)], def);
+/// let mut sim = Simulator::new(&nl)?;
+/// sim.set_input(h0, 0);
+/// sim.set_input(h1, 1);
+/// sim.settle();
+/// assert_eq!(sim.get(out), 20);
+/// sim.set_input(h0, 1); // lower index wins
+/// sim.settle();
+/// assert_eq!(sim.get(out), 10);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Panics
+///
+/// Panics on payload width mismatches (via the netlist builders).
+pub fn priority_select(
+    nl: &mut Netlist,
+    topology: MuxTopology,
+    sources: &[(NetId, NetId)],
+    default: NetId,
+) -> NetId {
+    match topology {
+        MuxTopology::Chain => {
+            let mut g = default;
+            for &(hit, value) in sources.iter().rev() {
+                g = nl.mux(hit, value, g);
+            }
+            g
+        }
+        MuxTopology::Tree => {
+            if sources.is_empty() {
+                return default;
+            }
+            let hits: Vec<NetId> = sources.iter().map(|&(h, _)| h).collect();
+            let prefix = prefix_or(nl, &hits);
+            let width = nl.width(default);
+            let zero = nl.constant(0, width);
+            let mut masked = Vec::with_capacity(sources.len() + 1);
+            for (i, &(hit, value)) in sources.iter().enumerate() {
+                let is_top = if i == 0 {
+                    hit
+                } else {
+                    let earlier = prefix[i - 1];
+                    let ne = nl.not(earlier);
+                    nl.and(hit, ne)
+                };
+                masked.push(nl.mux(is_top, value, zero));
+            }
+            let any = prefix[sources.len() - 1];
+            let none = nl.not(any);
+            masked.push(nl.mux(none, default, zero));
+            nl.or_all(&masked)
+        }
+    }
+}
+
+/// A synthesized forwarded read.
+#[derive(Debug, Clone)]
+pub struct ForwardNet {
+    /// The generated input `g_k_R`.
+    pub g: NetId,
+    /// The read's data-hazard contribution: top hit invalid or top
+    /// stage itself hazardous.
+    pub hazard: NetId,
+    /// The hit sources, ascending by stage.
+    pub sources: Vec<HitSource>,
+}
+
+/// Builds the select network and hazard signal for a read given its hit
+/// sources (ascending stage order), the fall-back value (register-file
+/// read data or the stored instance), and the per-source "bad" bits
+/// (`¬valid_j ∨ dhaz_j`).
+///
+/// # Panics
+///
+/// Panics if `sources` and `bad` lengths differ.
+pub fn build_forward_net(
+    nl: &mut Netlist,
+    topology: MuxTopology,
+    sources: Vec<HitSource>,
+    bad: &[NetId],
+    default: NetId,
+) -> ForwardNet {
+    assert_eq!(sources.len(), bad.len(), "one bad bit per source");
+    let pairs: Vec<(NetId, NetId)> = sources.iter().map(|s| (s.hit, s.value)).collect();
+    let g = priority_select(nl, topology, &pairs, default);
+    let zero = nl.zero();
+    let bad_pairs: Vec<(NetId, NetId)> =
+        sources.iter().zip(bad).map(|(s, &b)| (s.hit, b)).collect();
+    let hazard = priority_select(nl, topology, &bad_pairs, zero);
+    ForwardNet { g, hazard, sources }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopipe_hdl::Simulator;
+
+    fn select_harness(topology: MuxTopology, n: usize) -> (Netlist, Vec<NetId>, Vec<NetId>, NetId) {
+        let mut nl = Netlist::new("sel");
+        let hits: Vec<NetId> = (0..n).map(|i| nl.input(format!("h{i}"), 1)).collect();
+        let vals: Vec<NetId> = (0..n).map(|i| nl.input(format!("v{i}"), 8)).collect();
+        let def = nl.input("def", 8);
+        let pairs: Vec<(NetId, NetId)> = hits.iter().copied().zip(vals.iter().copied()).collect();
+        let out = priority_select(&mut nl, topology, &pairs, def);
+        nl.label("out", out);
+        (nl, hits, vals, out)
+    }
+
+    fn check_priority(topology: MuxTopology) {
+        let n = 5;
+        let (nl, hits, vals, out) = select_harness(topology, n);
+        let mut sim = Simulator::new(&nl).unwrap();
+        for (i, &v) in vals.iter().enumerate() {
+            sim.set_input(v, 10 + i as u64);
+        }
+        sim.set_input_by_name("def", 99).unwrap();
+        // Exhaustive over all 32 hit patterns: lowest set bit wins.
+        for pattern in 0u32..(1 << n) {
+            for (i, &h) in hits.iter().enumerate() {
+                sim.set_input(h, u64::from(pattern >> i & 1));
+            }
+            sim.settle();
+            let expect = (0..n)
+                .find(|i| pattern >> i & 1 == 1)
+                .map(|i| 10 + i as u64)
+                .unwrap_or(99);
+            assert_eq!(sim.get(out), expect, "pattern {pattern:#b} ({topology:?})");
+        }
+    }
+
+    #[test]
+    fn chain_priority_semantics() {
+        check_priority(MuxTopology::Chain);
+    }
+
+    #[test]
+    fn tree_priority_semantics() {
+        check_priority(MuxTopology::Tree);
+    }
+
+    #[test]
+    fn chain_and_tree_agree_on_random_payloads() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for n in 1..=8usize {
+            let mut nl = Netlist::new("agree");
+            let hits: Vec<NetId> = (0..n).map(|i| nl.input(format!("h{i}"), 1)).collect();
+            let vals: Vec<NetId> = (0..n).map(|i| nl.input(format!("v{i}"), 16)).collect();
+            let def = nl.input("def", 16);
+            let pairs: Vec<(NetId, NetId)> =
+                hits.iter().copied().zip(vals.iter().copied()).collect();
+            let a = priority_select(&mut nl, MuxTopology::Chain, &pairs, def);
+            let b = priority_select(&mut nl, MuxTopology::Tree, &pairs, def);
+            let mut sim = Simulator::new(&nl).unwrap();
+            for _ in 0..50 {
+                for &h in &hits {
+                    sim.set_input(h, rng.gen_range(0..=1));
+                }
+                for &v in &vals {
+                    sim.set_input(v, rng.gen_range(0..0x10000));
+                }
+                sim.set_input(def, rng.gen_range(0..0x10000));
+                sim.settle();
+                assert_eq!(sim.get(a), sim.get(b));
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_or_matches_reference() {
+        let mut nl = Netlist::new("p");
+        let bits: Vec<NetId> = (0..7).map(|i| nl.input(format!("b{i}"), 1)).collect();
+        let pre = prefix_or(&mut nl, &bits);
+        let mut sim = Simulator::new(&nl).unwrap();
+        for pattern in 0u32..(1 << 7) {
+            for (i, &b) in bits.iter().enumerate() {
+                sim.set_input(b, u64::from(pattern >> i & 1));
+            }
+            sim.settle();
+            let mut acc = 0u32;
+            for (i, &p) in pre.iter().enumerate() {
+                acc |= pattern >> i & 1;
+                assert_eq!(sim.get(p), u64::from(acc), "bit {i} pattern {pattern:#b}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_is_shallower_than_chain_for_deep_pipelines() {
+        use autopipe_hdl::NetlistStats;
+        fn depth(topology: MuxTopology, n: usize) -> u32 {
+            let mut nl = Netlist::new("d");
+            let hits: Vec<NetId> = (0..n).map(|i| nl.input(format!("h{i}"), 1)).collect();
+            let vals: Vec<NetId> = (0..n).map(|i| nl.input(format!("v{i}"), 32)).collect();
+            let def = nl.input("def", 32);
+            let pairs: Vec<(NetId, NetId)> =
+                hits.iter().copied().zip(vals.iter().copied()).collect();
+            let out = priority_select(&mut nl, topology, &pairs, def);
+            let (r, _) = nl.register("out", 32, 0);
+            nl.connect(r, out);
+            NetlistStats::of(&nl).critical_path
+        }
+        assert!(depth(MuxTopology::Tree, 12) < depth(MuxTopology::Chain, 12));
+    }
+}

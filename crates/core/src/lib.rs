@@ -1,0 +1,44 @@
+//! # autopipe-synth — the automated pipeline transformation
+//!
+//! This crate is the reproduction of the core contribution of
+//! *Automated Pipeline Design* (Kroening & Paul, DAC 2001): a tool that
+//! takes a **prepared sequential machine** (an `autopipe-psm`
+//! [`Plan`](autopipe_psm::Plan)) and produces a **pipelined machine** by
+//! synthesizing, exactly as the paper prescribes:
+//!
+//! * the **stall engine** with full bits, stall/update-enable signals
+//!   and the rollback (squashing) mechanism ([`stall`], paper §3),
+//! * the **forwarding logic** — pipelined valid bits, per-stage hit
+//!   signals using the precomputed `Rwe.j`/`Rwa.j`, and a top-hit
+//!   multiplexer network in either the linear-cascade form of Figure 2
+//!   or the find-first-one + balanced-tree form the paper recommends for
+//!   deep pipelines ([`forward`], §4),
+//! * the **interlock** (`dhaz`) signals covering not-yet-valid forwards
+//!   and transitive hazards (§4.1.1),
+//! * optional **speculation** hardware: guess substitution, guess
+//!   pipelining, compare-at-resolve and rollback, supporting branch
+//!   prediction and precise interrupts ([`speculate`], §5),
+//! * machine-checkable **proof obligations** plus a generated
+//!   human-readable proof document mirroring the paper's Lemma 1–3
+//!   structure ([`proof`], §6) — the paper's "four-tuple" of design,
+//!   spec, human proof and machine proof.
+//!
+//! The entry point is [`PipelineSynthesizer::run`].
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod forward;
+pub mod options;
+pub mod pipeline;
+pub mod proof;
+pub mod report;
+pub mod speculate;
+pub mod stall;
+
+pub use options::{
+    ActualSource, Fixup, FixupValue, ForwardMode, ForwardingSpec, MuxTopology, SpeculationSpec,
+    SynthOptions,
+};
+pub use pipeline::{ControlNets, PipelineSynthesizer, PipelinedMachine, SynthError};
+pub use proof::{Obligation, ObligationClass};
+pub use report::{ForwardPathInfo, SynthReport};

@@ -1,0 +1,261 @@
+//! Transformation options: what the paper's designer specifies.
+//!
+//! The paper keeps the manual effort deliberately small: the designer
+//! names the forwarding registers ("one in the execute stage and one in
+//! the memory stage" for the DLX), states which inputs are speculative,
+//! and everything else is derived. [`SynthOptions`] captures exactly
+//! that input, plus engineering knobs (mux topology, external stall
+//! ports, verification monitors).
+
+use autopipe_psm::Fragment;
+
+/// Topology of the top-hit select network (paper §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MuxTopology {
+    /// The linear multiplexer cascade of Figure 2. Depth grows linearly
+    /// with the number of hit stages.
+    #[default]
+    Chain,
+    /// The paper's suggested optimization for larger pipelines: a
+    /// find-first-one circuit plus a balanced AND-OR select tree.
+    /// Logarithmic depth.
+    Tree,
+}
+
+/// How reads of a forwarded target are protected in the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForwardMode {
+    /// Full forwarding (§4): values are bypassed from the designated
+    /// forwarding register `source` (e.g. `"C"`) in intermediate stages
+    /// and from the write data at the write stage; unresolvable cases
+    /// interlock.
+    ///
+    /// `source: None` forwards only from the write stage (hits in
+    /// intermediate stages always interlock) — useful as a design point
+    /// and for targets like the PC whose only hit stage *is* the write
+    /// stage.
+    Forward {
+        /// Base name of the designated forwarding register.
+        source: Option<String>,
+    },
+    /// No forwarding hardware: any hit stalls the reader until the
+    /// writer has retired past the write stage (scoreboard-style
+    /// interlock). The correctness baseline of experiment E4.
+    InterlockOnly,
+    /// No protection at all. **Produces an incorrect pipeline** when
+    /// hazards occur; exists so tests and the ablation benches can
+    /// demonstrate that the co-simulation checker catches the
+    /// violation.
+    Unprotected,
+}
+
+/// Per-target forwarding designation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForwardingSpec {
+    /// The forwarded register or file base name (e.g. `"GPR"`, `"PC"`).
+    pub target: String,
+    /// Protection mode.
+    pub mode: ForwardMode,
+}
+
+impl ForwardingSpec {
+    /// Full forwarding of `target` via the designated register
+    /// `source`.
+    pub fn forward(target: impl Into<String>, source: impl Into<String>) -> ForwardingSpec {
+        ForwardingSpec {
+            target: target.into(),
+            mode: ForwardMode::Forward {
+                source: Some(source.into()),
+            },
+        }
+    }
+
+    /// Forwarding of `target` from the write stage only.
+    pub fn forward_from_write_stage(target: impl Into<String>) -> ForwardingSpec {
+        ForwardingSpec {
+            target: target.into(),
+            mode: ForwardMode::Forward { source: None },
+        }
+    }
+
+    /// Interlock-only protection of `target`.
+    pub fn interlock(target: impl Into<String>) -> ForwardingSpec {
+        ForwardingSpec {
+            target: target.into(),
+            mode: ForwardMode::InterlockOnly,
+        }
+    }
+
+    /// No protection (ablation only).
+    pub fn unprotected(target: impl Into<String>) -> ForwardingSpec {
+        ForwardingSpec {
+            target: target.into(),
+            mode: ForwardMode::Unprotected,
+        }
+    }
+}
+
+/// Where the true value of a speculated input comes from (§5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActualSource {
+    /// Re-read the speculated operand through the ordinary forwarding
+    /// network at the resolve stage (where it is guaranteed resolvable);
+    /// compare against the piped guess. No state repair needed — the
+    /// correct value flows through the architectural path after the
+    /// squash. Used for branch prediction.
+    Reread,
+    /// An external input sampled at the resolve stage (e.g. the
+    /// interrupt line for the paper's precise-interrupt construction).
+    /// Usually combined with [`Fixup`]s that repair architectural state.
+    External(String),
+}
+
+/// Value written into a register by a rollback fixup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FixupValue {
+    /// A constant (e.g. the interrupt handler address).
+    Const(u64),
+    /// An external input.
+    External(String),
+    /// The value of a register instance as visible at the resolve stage
+    /// (e.g. the victim's own PC, piped along, for an EPC register).
+    Instance(String),
+    /// The speculation's own actual value — the paper's "the correct
+    /// value is used as input for subsequent calculations". Typically
+    /// repairs the register the guess function reads, so the re-fetch
+    /// after the squash proceeds with the truth.
+    Actual,
+}
+
+/// On rollback, overwrite the newest instance of `register` with
+/// `value` — the paper's "the correct value is used as input for
+/// subsequent calculations", in the Smith–Pleszkun precise-interrupt
+/// style.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fixup {
+    /// Base name of the register to repair.
+    pub register: String,
+    /// Replacement value.
+    pub value: FixupValue,
+}
+
+/// A speculated input (§5): the designer states *which input value is
+/// speculative and which value is speculated on*.
+#[derive(Debug, Clone)]
+pub struct SpeculationSpec {
+    /// Name for reports and generated signal names.
+    pub name: String,
+    /// Stage consuming the guessed input.
+    pub stage: usize,
+    /// Input port of that stage being speculated.
+    pub port: String,
+    /// The guess function; inputs resolve like stage inputs (registers
+    /// and external inputs only), result labelled `"guess"`. Its
+    /// quality affects performance only, never correctness.
+    pub guess: Fragment,
+    /// Stage at which the actual value is compared (must be reachable
+    /// with the operand resolvable; the comparison is gated by
+    /// `full ∧ ¬stall` as the paper requires).
+    pub resolve_stage: usize,
+    /// Where the actual value comes from.
+    pub actual: ActualSource,
+    /// State repairs applied on rollback.
+    pub fixups: Vec<Fixup>,
+}
+
+/// All designer-supplied inputs of the transformation.
+#[derive(Debug, Clone, Default)]
+pub struct SynthOptions {
+    /// Per-target forwarding designations.
+    pub forwarding: Vec<ForwardingSpec>,
+    /// Speculated inputs.
+    pub speculation: Vec<SpeculationSpec>,
+    /// Mux network topology.
+    pub topology: MuxTopology,
+    /// Create a 1-bit `ext.k` stall input per stage (the paper's
+    /// external stall condition, e.g. slow memory).
+    pub ext_stall_inputs: bool,
+    /// Add the temporal verification monitor registers emitted by
+    /// [`crate::proof`]. Disable for hardware-cost measurements.
+    pub monitors: bool,
+    /// Include the paper's transitive hazard term (§4.1.1: "we enable
+    /// dhaz_k if the data hazard signal of stage top is active").
+    ///
+    /// Ablation finding, proved both ways by the test suite:
+    ///
+    /// * when every hazardous forwarding source is *adjacent* to its
+    ///   reader (the DLX: all deep-stage `dhaz` are constant 0), the
+    ///   term is subsumed by the §3 stall chain and the lockstep miter
+    ///   proves both variants cycle-exact equivalent
+    ///   (`transitive_dhaz_term_is_equivalent_on_single_read_stage_machines`);
+    /// * when a write stage's `Din` depends on a *hazardous read of its
+    ///   own* and a bubble sits between reader and writer, the stall
+    ///   chain breaks at the empty stage and only this term keeps the
+    ///   reader from latching the unfinished value — dropping it
+    ///   produces a data-consistency violation that the checker
+    ///   catches (`crates/verify/tests/transitive_dhaz.rs`).
+    ///
+    /// Kept on by default; disable only for the ablation experiments.
+    pub transitive_dhaz: bool,
+}
+
+impl SynthOptions {
+    /// Options with full forwarding for one target.
+    pub fn new() -> SynthOptions {
+        SynthOptions {
+            monitors: true,
+            transitive_dhaz: true,
+            ..Default::default()
+        }
+    }
+
+    /// Ablation: drop the §4.1.1 transitive hazard term.
+    #[must_use]
+    pub fn without_transitive_dhaz(mut self) -> Self {
+        self.transitive_dhaz = false;
+        self
+    }
+
+    /// Adds a forwarding designation.
+    #[must_use]
+    pub fn with_forwarding(mut self, spec: ForwardingSpec) -> Self {
+        self.forwarding.push(spec);
+        self
+    }
+
+    /// Adds a speculation designation.
+    #[must_use]
+    pub fn with_speculation(mut self, spec: SpeculationSpec) -> Self {
+        self.speculation.push(spec);
+        self
+    }
+
+    /// Sets the mux topology.
+    #[must_use]
+    pub fn with_topology(mut self, t: MuxTopology) -> Self {
+        self.topology = t;
+        self
+    }
+
+    /// Enables per-stage external stall inputs.
+    #[must_use]
+    pub fn with_ext_stalls(mut self) -> Self {
+        self.ext_stall_inputs = true;
+        self
+    }
+
+    /// Disables verification monitor registers.
+    #[must_use]
+    pub fn without_monitors(mut self) -> Self {
+        self.monitors = false;
+        self
+    }
+
+    /// The forwarding mode declared for `target`, if any.
+    pub fn mode_for(&self, target: &str) -> Option<&ForwardMode> {
+        self.forwarding
+            .iter()
+            .find(|f| f.target == target)
+            .map(|f| &f.mode)
+    }
+}

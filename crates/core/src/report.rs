@@ -1,0 +1,112 @@
+//! Synthesis report: what hardware the transformation added.
+//!
+//! The report is both human-readable (its [`std::fmt::Display`] output
+//! reproduces Figure 2 in text form for the DLX case study) and
+//! machine-readable for the structural tests and experiment harness.
+
+use crate::options::MuxTopology;
+use std::fmt;
+
+/// Kind of a forwarded operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardKind {
+    /// Register-file read (address comparators generated).
+    File,
+    /// Plain register loop-back (no address comparison).
+    Plain,
+}
+
+/// One synthesized forwarding path (one read of one target).
+#[derive(Debug, Clone)]
+pub struct ForwardPathInfo {
+    /// Reading stage `k`.
+    pub stage: usize,
+    /// Port/alias name of the read (e.g. `"GPRa"`).
+    pub port: String,
+    /// Forwarded target (e.g. `"GPR"`).
+    pub target: String,
+    /// Designated forwarding register, if any (e.g. `"C"`).
+    pub source: Option<String>,
+    /// Stages with hit signals, ascending (e.g. `[2, 3, 4]`).
+    pub hit_stages: Vec<usize>,
+    /// The write stage `w`.
+    pub write_stage: usize,
+    /// File or plain.
+    pub kind: ForwardKind,
+    /// `true` when the path only interlocks (no bypass muxes).
+    pub interlock_only: bool,
+}
+
+/// One synthesized speculation.
+#[derive(Debug, Clone)]
+pub struct SpeculationInfo {
+    /// Designation name.
+    pub name: String,
+    /// Guess-consuming stage.
+    pub stage: usize,
+    /// Speculated port.
+    pub port: String,
+    /// Resolve (comparison) stage.
+    pub resolve_stage: usize,
+    /// Number of rollback fixups.
+    pub fixups: usize,
+}
+
+/// Summary of one transformation run.
+#[derive(Debug, Clone)]
+pub struct SynthReport {
+    /// Machine name.
+    pub machine: String,
+    /// Number of stages.
+    pub n_stages: usize,
+    /// Selected mux topology.
+    pub topology: MuxTopology,
+    /// All forwarding paths.
+    pub forwards: Vec<ForwardPathInfo>,
+    /// All speculations.
+    pub speculations: Vec<SpeculationInfo>,
+    /// Number of generated proof obligations.
+    pub obligations: usize,
+    /// Valid-bit registers added.
+    pub valid_bits: usize,
+    /// Guess pipe registers added.
+    pub guess_regs: usize,
+}
+
+impl fmt::Display for SynthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pipeline transformation of `{}` ({} stages, {:?} select network)",
+            self.machine, self.n_stages, self.topology
+        )?;
+        for p in &self.forwards {
+            let kind = match p.kind {
+                ForwardKind::File => "file",
+                ForwardKind::Plain => "register",
+            };
+            let src = match (&p.source, p.interlock_only) {
+                (_, true) => "interlock only".to_string(),
+                (Some(q), _) => format!("via `{q}`"),
+                (None, _) => "write-stage only".to_string(),
+            };
+            writeln!(
+                f,
+                "  stage {} reads {kind} `{}` as `{}` (written by stage {}): hits at {:?}, {src}",
+                p.stage, p.target, p.port, p.write_stage, p.hit_stages
+            )?;
+        }
+        for s in &self.speculations {
+            writeln!(
+                f,
+                "  speculation `{}`: stage {} port `{}`, resolved at stage {} ({} fixups)",
+                s.name, s.stage, s.port, s.resolve_stage, s.fixups
+            )?;
+        }
+        writeln!(
+            f,
+            "  {} proof obligations, {} valid bits, {} guess registers",
+            self.obligations, self.valid_bits, self.guess_regs
+        )
+    }
+}

@@ -1,0 +1,131 @@
+//! Speculation hardware (paper §5).
+//!
+//! For each [`crate::SpeculationSpec`] the transformation adds:
+//!
+//! * a **guess substitution** at the consuming stage — for operands
+//!   that would otherwise interlock, the guess is used whenever the
+//!   forwarded value is not yet available; for speculated external
+//!   inputs (the precise-interrupt construction) the guess replaces the
+//!   input entirely;
+//! * a **guess pipeline**: the used value travels with the instruction
+//!   in registers `spec.<name>.<j>`;
+//! * a **comparison at the resolve stage**, gated by `full ∧ ¬stall`
+//!   ("in order to ensure that the input operands are valid"), raising
+//!   `rollback` on mismatch;
+//! * optional **fixups** repairing architectural registers on rollback
+//!   (Smith–Pleszkun-style precise state).
+//!
+//! The guessed value itself never enters the correctness argument: a
+//! wrong guess only costs cycles.
+
+use crate::options::SpeculationSpec;
+use autopipe_hdl::{NetId, Netlist, RegId};
+
+/// Declared guess-pipeline registers for one speculation.
+#[derive(Debug, Clone)]
+pub struct SpecPipes {
+    /// `(RegId, output)` for stages `stage+1 ..= resolve_stage`.
+    pub regs: Vec<(RegId, NetId)>,
+    /// Width of the speculated value.
+    pub width: u32,
+}
+
+impl SpecPipes {
+    /// Declares the pipe registers (not yet connected).
+    pub fn declare(nl: &mut Netlist, spec: &SpeculationSpec, width: u32) -> SpecPipes {
+        let regs = (spec.stage + 1..=spec.resolve_stage)
+            .map(|j| nl.register(format!("spec.{}.{j}", spec.name), width, 0))
+            .collect();
+        SpecPipes { regs, width }
+    }
+
+    /// The piped value visible at the resolve stage.
+    pub fn at_resolve(&self) -> NetId {
+        self.regs.last().expect("resolve_stage > stage").1
+    }
+
+    /// Connects the pipe: the first register loads the used guess with
+    /// `ue[stage]`, each later one shifts with `ue[j-1]`.
+    pub fn connect(&self, nl: &mut Netlist, spec: &SpeculationSpec, used: NetId, ue: &[NetId]) {
+        let mut prev = used;
+        for (offset, &(reg, out)) in self.regs.iter().enumerate() {
+            let j = spec.stage + 1 + offset;
+            nl.connect_en(reg, prev, ue[j - 1]);
+            prev = out;
+        }
+    }
+}
+
+/// Builds the rollback request of one speculation: active when the
+/// resolve stage holds a valid (full, unstalled) instruction whose
+/// piped guess disagrees with the actual value.
+pub fn rollback_request(
+    nl: &mut Netlist,
+    piped: NetId,
+    actual: NetId,
+    full_rs: NetId,
+    stall_rs: NetId,
+) -> NetId {
+    let mismatch = nl.ne(piped, actual);
+    let not_stalled = nl.not(stall_rs);
+    let valid = nl.and(full_rs, not_stalled);
+    nl.and(valid, mismatch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopipe_psm::Fragment;
+
+    fn dummy_spec(stage: usize, resolve: usize) -> SpeculationSpec {
+        let mut g = autopipe_hdl::Netlist::new("g");
+        let z = g.constant(0, 8);
+        g.label("guess", z);
+        SpeculationSpec {
+            name: "t".into(),
+            stage,
+            port: "X".into(),
+            guess: Fragment::new(g).unwrap(),
+            resolve_stage: resolve,
+            actual: crate::ActualSource::Reread,
+            fixups: vec![],
+        }
+    }
+
+    #[test]
+    fn pipes_span_guess_to_resolve() {
+        let mut nl = autopipe_hdl::Netlist::new("t");
+        let spec = dummy_spec(0, 3);
+        let pipes = SpecPipes::declare(&mut nl, &spec, 8);
+        assert_eq!(pipes.regs.len(), 3);
+        assert_eq!(pipes.at_resolve(), pipes.regs[2].1);
+    }
+
+    #[test]
+    fn rollback_gated_by_full_and_not_stalled() {
+        use autopipe_hdl::Simulator;
+        let mut nl = autopipe_hdl::Netlist::new("t");
+        let piped = nl.input("piped", 8);
+        let actual = nl.input("actual", 8);
+        let full = nl.input("full", 1);
+        let stall = nl.input("stall", 1);
+        let rb = rollback_request(&mut nl, piped, actual, full, stall);
+        nl.label("rb", rb);
+        let mut sim = Simulator::new(&nl).unwrap();
+        let cases = [
+            // (piped, actual, full, stall) -> rollback
+            (1u64, 2u64, 1u64, 0u64, 1u64),
+            (1, 1, 1, 0, 0),
+            (1, 2, 0, 0, 0),
+            (1, 2, 1, 1, 0),
+        ];
+        for (p, a, f, s, want) in cases {
+            sim.set_input(piped, p);
+            sim.set_input(actual, a);
+            sim.set_input(full, f);
+            sim.set_input(stall, s);
+            sim.settle();
+            assert_eq!(sim.get(rb), want, "case {p} {a} {f} {s}");
+        }
+    }
+}

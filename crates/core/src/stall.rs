@@ -1,0 +1,315 @@
+//! The stall engine (paper §3: the stall engine of its reference \[12\] with the
+//! rollback/squashing mechanism).
+//!
+//! Per stage `k`:
+//!
+//! ```text
+//! full_0        = 1
+//! full_k        = fullb.k                                (k ≥ 1)
+//! rollback'_k   = ⋁_{i ≥ k} rollback_i
+//! stall_{n-1}   = (dhaz_{n-1} ∨ ext_{n-1}) ∧ full_{n-1}
+//! stall_k       = (dhaz_k ∨ ext_k ∨ stall_{k+1}) ∧ full_k
+//! ue_k          = full_k ∧ ¬stall_k ∧ ¬rollback'_k
+//! fullb.s      := (ue_{s-1} ∨ stall_s) ∧ ¬rollback'_s    (s ≥ 1)
+//! ```
+//!
+//! The `∧ ¬rollback'_s` term in the full-bit update is our (documented)
+//! strengthening of the paper's `fullb.s := ue_{s-1} ∨ stall_s`: without
+//! it a *stalled* stage would survive a squash, which the co-simulation
+//! checker flags as a data-consistency violation. The paper elides
+//! rollback in its equations ("For sake of simplicity, we omit rollback
+//! in the following arguments"), so this is a completion, not a
+//! deviation.
+//!
+//! Because `dhaz`/`rollback` are only known after the forwarding and
+//! speculation networks exist, construction is two-phase:
+//! [`StallEngine::declare`] creates the full bits (so hit signals can
+//! use them) and [`StallEngine::connect`] builds the stall/ue chain and
+//! the full-bit next-state functions.
+
+use autopipe_hdl::{NetId, Netlist, RegId};
+
+/// The declared (phase-1) stall engine.
+#[derive(Debug, Clone)]
+pub struct StallEngine {
+    n: usize,
+    /// `full_k` nets; `full_0` is the constant 1.
+    pub full: Vec<NetId>,
+    /// Full-bit registers for stages `1..n` (index 0 ↦ stage 1).
+    full_regs: Vec<RegId>,
+    /// External stall condition nets (constant 0 when disabled).
+    pub ext: Vec<NetId>,
+}
+
+/// The connected (phase-2) control signals.
+#[derive(Debug, Clone)]
+pub struct StallSignals {
+    /// `stall_k` per stage.
+    pub stall: Vec<NetId>,
+    /// `ue_k` per stage.
+    pub ue: Vec<NetId>,
+    /// `rollback'_k` (suffix-OR of rollback requests) per stage.
+    pub rollback_prime: Vec<NetId>,
+}
+
+impl StallEngine {
+    /// Phase 1: declares full bits and external stall inputs for an
+    /// `n`-stage pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn declare(nl: &mut Netlist, n: usize, ext_inputs: bool) -> StallEngine {
+        assert!(n >= 1);
+        let mut full = Vec::with_capacity(n);
+        let mut full_regs = Vec::new();
+        let one = nl.one();
+        nl.label("full.0", one);
+        full.push(one);
+        for k in 1..n {
+            let (reg, out) = nl.register(format!("full.{k}"), 1, 0);
+            full_regs.push(reg);
+            full.push(out);
+        }
+        let mut ext = Vec::with_capacity(n);
+        for k in 0..n {
+            let e = if ext_inputs {
+                nl.input(format!("ext.{k}"), 1)
+            } else {
+                nl.zero()
+            };
+            ext.push(e);
+        }
+        StallEngine {
+            n,
+            full,
+            full_regs,
+            ext,
+        }
+    }
+
+    /// Number of stages.
+    pub fn n_stages(&self) -> usize {
+        self.n
+    }
+
+    /// Phase 2a: builds the stall chain from the per-stage hazard and
+    /// external-stall conditions. Exposed separately because the
+    /// speculation comparisons need `stall_k` ("the comparison is done
+    /// if the stage is full and not stalled") *before* the rollback
+    /// nets exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dhaz` has one entry per stage.
+    pub fn build_stalls(&self, nl: &mut Netlist, dhaz: &[NetId]) -> Vec<NetId> {
+        let n = self.n;
+        assert_eq!(dhaz.len(), n, "one dhaz net per stage");
+        let mut stall = Vec::with_capacity(n);
+        let mut downstream: Option<NetId> = None;
+        for k in (0..n).rev() {
+            let mut cond = nl.or(dhaz[k], self.ext[k]);
+            if let Some(d) = downstream {
+                cond = nl.or(cond, d);
+            }
+            let s = nl.and(cond, self.full[k]);
+            stall.push(nl.label(format!("stall.{k}"), s));
+            downstream = Some(s);
+        }
+        stall.reverse();
+        stall
+    }
+
+    /// Phase 2b: builds update enables and full-bit next-state
+    /// functions from the stall chain and rollback requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices do not have one entry per stage.
+    pub fn connect(self, nl: &mut Netlist, stall: Vec<NetId>, rollback: &[NetId]) -> StallSignals {
+        let n = self.n;
+        assert_eq!(stall.len(), n, "one stall net per stage");
+        assert_eq!(rollback.len(), n, "one rollback net per stage");
+
+        // rollback'_k = OR of rollback_i for i >= k (suffix fold).
+        let mut rollback_prime = Vec::with_capacity(n);
+        let mut acc = nl.zero();
+        for k in (0..n).rev() {
+            acc = nl.or(rollback[k], acc);
+            rollback_prime.push(nl.label(format!("rollbackq.{k}"), acc));
+        }
+        rollback_prime.reverse();
+
+        // ue_k = full_k ∧ ¬stall_k ∧ ¬rollback'_k.
+        let mut ue = Vec::with_capacity(n);
+        for k in 0..n {
+            let ns = nl.not(stall[k]);
+            let nr = nl.not(rollback_prime[k]);
+            let a = nl.and(self.full[k], ns);
+            let u = nl.and(a, nr);
+            ue.push(nl.label(format!("ue.{k}"), u));
+        }
+
+        // fullb.s := (ue_{s-1} ∨ stall_s) ∧ ¬rollback'_s.
+        for s in 1..n {
+            let fill = nl.or(ue[s - 1], stall[s]);
+            let nr = nl.not(rollback_prime[s]);
+            let next = nl.and(fill, nr);
+            nl.connect(self.full_regs[s - 1], next);
+        }
+
+        StallSignals {
+            stall,
+            ue,
+            rollback_prime,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopipe_hdl::Simulator;
+
+    /// Builds a 4-stage engine with dhaz/ext/rollback inputs for direct
+    /// stimulation.
+    fn harness(n: usize) -> (Netlist, Vec<NetId>, Vec<NetId>) {
+        let mut nl = Netlist::new("stall");
+        let engine = StallEngine::declare(&mut nl, n, true);
+        let dhaz: Vec<NetId> = (0..n).map(|k| nl.input(format!("dhaz.{k}"), 1)).collect();
+        let rb: Vec<NetId> = (0..n).map(|k| nl.input(format!("rb.{k}"), 1)).collect();
+        let stall = engine.build_stalls(&mut nl, &dhaz);
+        engine.connect(&mut nl, stall, &rb);
+        (nl, dhaz, rb)
+    }
+
+    fn get(sim: &Simulator, name: &str) -> u64 {
+        sim.get_by_name(name).unwrap()
+    }
+
+    #[test]
+    fn pipeline_fills_one_stage_per_cycle() {
+        let (nl, _, _) = harness(4);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.settle();
+        assert_eq!(get(&sim, "full.0"), 1);
+        assert_eq!(get(&sim, "full.1"), 0);
+        sim.step();
+        sim.settle();
+        assert_eq!(get(&sim, "full.1"), 1);
+        assert_eq!(get(&sim, "full.2"), 0);
+        sim.step();
+        sim.step();
+        sim.settle();
+        for k in 0..4 {
+            assert_eq!(get(&sim, &format!("full.{k}")), 1, "full.{k}");
+            assert_eq!(get(&sim, &format!("ue.{k}")), 1, "ue.{k}");
+        }
+    }
+
+    #[test]
+    fn stall_propagates_upstream_only() {
+        let (nl, dhaz, _) = harness(4);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.run(4); // fill
+        sim.set_input(dhaz[2], 1);
+        sim.settle();
+        // Stages 0..2 stall; stage 3 keeps running.
+        assert_eq!(get(&sim, "stall.0"), 1);
+        assert_eq!(get(&sim, "stall.1"), 1);
+        assert_eq!(get(&sim, "stall.2"), 1);
+        assert_eq!(get(&sim, "stall.3"), 0);
+        assert_eq!(get(&sim, "ue.3"), 1);
+        assert_eq!(get(&sim, "ue.2"), 0);
+        // After the edge, stage 3 drains (bubble) while 1..2 stay full.
+        sim.step();
+        sim.settle();
+        assert_eq!(get(&sim, "full.3"), 0, "bubble enters stage 3");
+        assert_eq!(get(&sim, "full.2"), 1);
+        assert_eq!(get(&sim, "full.1"), 1);
+    }
+
+    #[test]
+    fn bubble_removal() {
+        // A bubble between two full stages is absorbed: the paper's
+        // "includes removal of pipeline bubbles if possible".
+        let (nl, dhaz, _) = harness(4);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.run(4);
+        // Create a bubble in stage 2 by stalling stage 1 one cycle.
+        sim.set_input(dhaz[1], 1);
+        sim.step();
+        sim.set_input(dhaz[1], 0);
+        sim.settle();
+        assert_eq!(get(&sim, "full.2"), 0);
+        assert_eq!(get(&sim, "full.1"), 1);
+        // Now stall stage 3 (ext); stage 2 is empty so stages 0..1 can
+        // still advance into it.
+        sim.set_input_by_name("ext.3", 1).unwrap();
+        sim.settle();
+        assert_eq!(get(&sim, "stall.3"), 1);
+        assert_eq!(get(&sim, "stall.2"), 0, "empty stage does not stall");
+        assert_eq!(get(&sim, "ue.1"), 1, "bubble gets filled");
+        sim.step();
+        sim.settle();
+        assert_eq!(get(&sim, "full.2"), 1, "bubble absorbed");
+        assert_eq!(
+            get(&sim, "full.3"),
+            1,
+            "stalled stage keeps its instruction"
+        );
+    }
+
+    #[test]
+    fn empty_stage_never_stalls() {
+        let (nl, dhaz, _) = harness(3);
+        let mut sim = Simulator::new(&nl).unwrap();
+        // Only stage 0 full; assert dhaz on empty stage 1.
+        sim.set_input(dhaz[1], 1);
+        sim.settle();
+        assert_eq!(get(&sim, "stall.1"), 0);
+        assert_eq!(get(&sim, "ue.0"), 1);
+    }
+
+    #[test]
+    fn rollback_squashes_younger_stages() {
+        let (nl, _, rb) = harness(4);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.run(4); // fill
+        sim.set_input(rb[2], 1);
+        sim.settle();
+        // rollback' covers stages 0..2; stage 3 unaffected.
+        assert_eq!(get(&sim, "rollbackq.0"), 1);
+        assert_eq!(get(&sim, "rollbackq.2"), 1);
+        assert_eq!(get(&sim, "rollbackq.3"), 0);
+        assert_eq!(get(&sim, "ue.0"), 0);
+        assert_eq!(get(&sim, "ue.2"), 0);
+        assert_eq!(get(&sim, "ue.3"), 1);
+        sim.step();
+        sim.set_input(rb[2], 0);
+        sim.settle();
+        assert_eq!(get(&sim, "full.1"), 0, "squashed");
+        assert_eq!(get(&sim, "full.2"), 0, "squashed");
+        assert_eq!(
+            get(&sim, "full.3"),
+            0,
+            "stage 3 advanced normally; 2 was squashed"
+        );
+    }
+
+    #[test]
+    fn rollback_clears_stalled_stage() {
+        // The strengthening over the paper's literal equations: a
+        // stalled stage must still be squashed.
+        let (nl, dhaz, rb) = harness(4);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.run(4);
+        sim.set_input(dhaz[1], 1); // stage 1 stalls
+        sim.set_input(rb[3], 1); // squash everything
+        sim.settle();
+        assert_eq!(get(&sim, "stall.1"), 1);
+        sim.step();
+        sim.settle();
+        assert_eq!(get(&sim, "full.1"), 0, "stalled stage squashed");
+    }
+}

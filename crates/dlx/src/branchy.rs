@@ -1,0 +1,317 @@
+//! A companion mini-machine with **speculative instruction fetch** —
+//! the §5 configuration the delay-slot DLX deliberately avoids.
+//!
+//! Three stages; branches resolve in the *last* stage, so the fetch
+//! address of an instruction is only verifiable two instructions
+//! later. The transformation inserts the §5 hardware:
+//!
+//! * fetch consumes a **guessed** PC (the `FPC` register, maintained by
+//!   a static predictor in the fetch stage),
+//! * the guess travels with the instruction and is compared in decode
+//!   against the re-read architectural PC (gated `full ∧ ¬stall`),
+//! * a mismatch squashes the two youngest stages and the rollback
+//!   fixup writes the **actual** value into `FPC` — the paper's "the
+//!   correct value is used as input for subsequent calculations" — so
+//!   the re-fetch proceeds with the truth.
+//!
+//! The predictor only affects performance, never correctness
+//! (experiment E6): a worse predictor yields more rollbacks and a
+//! higher CPI, while the retirement-equivalence miter against the
+//! (speculation-free) sequential machine continues to hold.
+//!
+//! Instruction format (16 bits): `op[15:14] imm[13:10] src[9:8]
+//! dst[7:6] target[5:0]`; `op = 1` is `BEQZ src, target`, anything
+//! else is `RF[dst] := RF[src] + imm`.
+
+use autopipe_hdl::Netlist;
+use autopipe_psm::{FileDecl, Fragment, MachineSpec, PlanError, ReadPort, RegisterDecl};
+use autopipe_synth::{
+    ActualSource, Fixup, FixupValue, ForwardingSpec, SpeculationSpec, SynthOptions,
+};
+
+/// Address width of the mini-machine (64 instructions).
+pub const PCW: u32 = 6;
+
+/// Static fetch predictors for the E6 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Predictor {
+    /// Always predict straight-line fetch (`FPC := addr + 1`): every
+    /// taken branch mispredicts.
+    NextLine,
+    /// Predict every branch taken (`FPC := is_beqz ? target :
+    /// addr + 1`): every *untaken* branch mispredicts.
+    AlwaysTaken,
+}
+
+/// A branchy-machine instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BInstr {
+    /// `RF[dst] := RF[src] + imm` (8-bit wrapping).
+    Alu {
+        /// Destination register (0..4).
+        dst: u8,
+        /// Source register (0..4).
+        src: u8,
+        /// 4-bit immediate.
+        imm: u8,
+    },
+    /// Branch to `target` when `RF[src] == 0`.
+    Beqz {
+        /// Tested register.
+        src: u8,
+        /// Absolute target address.
+        target: u8,
+    },
+}
+
+impl BInstr {
+    /// Encodes to the 16-bit word.
+    pub fn encode(self) -> u16 {
+        match self {
+            BInstr::Alu { dst, src, imm } => {
+                u16::from(imm & 15) << 10 | u16::from(src & 3) << 8 | u16::from(dst & 3) << 6
+            }
+            BInstr::Beqz { src, target } => {
+                1 << 14 | u16::from(src & 3) << 8 | u16::from(target & 63)
+            }
+        }
+    }
+}
+
+/// Pure-Rust reference executor: runs `steps` instructions and returns
+/// the register file.
+pub fn reference_run(prog: &[u16], steps: u64) -> [u8; 4] {
+    let mut rf = [0u8; 4];
+    let mut pc = 0usize;
+    let mask = (1usize << PCW) - 1;
+    for _ in 0..steps {
+        let w = prog.get(pc & mask).copied().unwrap_or(0);
+        let op = w >> 14 & 3;
+        let src = (w >> 8 & 3) as usize;
+        if op == 1 {
+            let target = (w & 63) as usize;
+            pc = if rf[src] == 0 {
+                target
+            } else {
+                (pc + 1) & mask
+            };
+        } else {
+            let dst = (w >> 6 & 3) as usize;
+            let imm = (w >> 10 & 15) as u8;
+            rf[dst] = rf[src].wrapping_add(imm);
+            pc = (pc + 1) & mask;
+        }
+    }
+    rf
+}
+
+/// Builds the branchy machine specification with the given fetch
+/// predictor.
+///
+/// # Errors
+///
+/// Propagates plan errors (none expected).
+pub fn build_branchy_spec(predictor: Predictor) -> Result<MachineSpec, PlanError> {
+    let mut spec = MachineSpec::new("bran3", 3);
+    spec.register(RegisterDecl::new("PC", PCW).written_by(2).visible());
+    spec.register(RegisterDecl::new("FPC", PCW).written_by(0));
+    spec.register(RegisterDecl::new("PCp", PCW).written_by(0).written_by(1));
+    spec.register(RegisterDecl::new("IR", 16).written_by(0));
+    spec.register(RegisterDecl::new("X", 8).written_by(1));
+    spec.register(RegisterDecl::new("TK", 1).written_by(1));
+    spec.register(RegisterDecl::new("TGT", PCW).written_by(1));
+    spec.file(FileDecl::read_only("IMEM", PCW, 16));
+    spec.file(FileDecl::new("RF", 2, 8, 2).ctrl(1).visible());
+
+    // Stage 0: fetch with the predictor maintaining FPC.
+    let mut f0 = Netlist::new("F");
+    let pc = f0.input("PC", PCW); // the speculated port
+    let insn = f0.input("insn", 16);
+    f0.label("IR", insn);
+    let pcp = f0.or(pc, pc); // distinct net: PCp := fetch address
+    f0.label("PCp", pcp);
+    let one = f0.constant(1, PCW);
+    let next_line = f0.add(pc, one);
+    let fpc = match predictor {
+        Predictor::NextLine => next_line,
+        Predictor::AlwaysTaken => {
+            let op = f0.slice(insn, 15, 14);
+            let one2 = f0.constant(1, 2);
+            let is_beqz = f0.eq(op, one2);
+            let target = f0.slice(insn, PCW - 1, 0);
+            f0.mux(is_beqz, target, next_line)
+        }
+    };
+    f0.label("FPC", fpc);
+    let mut fa = Netlist::new("F_addr");
+    let pca = fa.input("PC", PCW);
+    let id = fa.or(pca, pca);
+    fa.label("addr", id);
+    spec.stage(
+        0,
+        "F",
+        Fragment::new(f0).expect("combinational"),
+        vec![ReadPort::new(
+            "IMEM",
+            "insn",
+            Fragment::new(fa).expect("combinational"),
+        )],
+    );
+
+    // Stage 1: execute ALU, resolve branch condition.
+    let mut f1 = Netlist::new("X");
+    let ir = f1.input("IR", 16);
+    let srcv = f1.input("srcv", 8);
+    let op = f1.slice(ir, 15, 14);
+    let one2 = f1.constant(1, 2);
+    let is_beqz = f1.eq(op, one2);
+    let is_alu = f1.not(is_beqz);
+    let imm4 = f1.slice(ir, 13, 10);
+    let imm = f1.zext(imm4, 8);
+    let x = f1.add(srcv, imm);
+    f1.label("X", x);
+    let zero8 = f1.constant(0, 8);
+    let src_zero = f1.eq(srcv, zero8);
+    let tk = f1.and(is_beqz, src_zero);
+    f1.label("TK", tk);
+    let tgt = f1.slice(ir, PCW - 1, 0);
+    f1.label("TGT", tgt);
+    f1.label("RF.we", is_alu);
+    let wa = f1.slice(ir, 7, 6);
+    f1.label("RF.wa", wa);
+    let mut ra = Netlist::new("X_src");
+    let ir_a = ra.input("IR", 16);
+    let a = ra.slice(ir_a, 9, 8);
+    ra.label("addr", a);
+    spec.stage(
+        1,
+        "X",
+        Fragment::new(f1).expect("combinational"),
+        vec![ReadPort::new(
+            "RF",
+            "srcv",
+            Fragment::new(ra).expect("combinational"),
+        )],
+    );
+
+    // Stage 2: retire — architectural PC and the RF write.
+    let mut f2 = Netlist::new("W");
+    let tk = f2.input("TK", 1);
+    let tgt = f2.input("TGT", PCW);
+    let pcp = f2.input("PCp", PCW);
+    let x = f2.input("X", 8);
+    let one = f2.constant(1, PCW);
+    let next = f2.add(pcp, one);
+    let newpc = f2.mux(tk, tgt, next);
+    f2.label("PC", newpc);
+    f2.label("RF", x);
+    spec.stage(2, "W", Fragment::new(f2).expect("combinational"), vec![]);
+
+    spec.plan()?;
+    Ok(spec)
+}
+
+/// The designer options: RF write-stage forwarding, PC speculated at
+/// fetch (guess = `FPC`), verified in decode by re-reading the
+/// operand, with the actual value repairing `FPC` on rollback.
+pub fn branchy_synth_options() -> SynthOptions {
+    let mut guess = Netlist::new("bp_guess");
+    let fpc = guess.input("FPC", PCW);
+    let g = guess.or(fpc, fpc);
+    guess.label("guess", g);
+    SynthOptions::new()
+        .with_forwarding(ForwardingSpec::forward_from_write_stage("RF"))
+        .with_forwarding(ForwardingSpec::forward_from_write_stage("PC"))
+        .with_speculation(SpeculationSpec {
+            name: "bp".into(),
+            stage: 0,
+            port: "PC".into(),
+            guess: Fragment::new(guess).expect("combinational"),
+            resolve_stage: 1,
+            actual: ActualSource::Reread,
+            fixups: vec![Fixup {
+                register: "FPC".into(),
+                value: FixupValue::Actual,
+            }],
+        })
+}
+
+/// A random branchy program: `alu_run` ALU instructions between
+/// branches, branches jumping backward to loop heads or forward, with
+/// roughly the requested taken rate (controlled via which register the
+/// branch tests).
+pub fn branchy_program(branch_frac: f64, seed: u64) -> Vec<u16> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let len = 1usize << PCW;
+    let mut prog = Vec::with_capacity(len);
+    for i in 0..len {
+        let b: f64 = rng.gen();
+        let instr = if b < branch_frac {
+            // Forward target within a few instructions (keeps the
+            // program flowing around the whole memory).
+            let target = ((i + rng.gen_range(2..6)) % len) as u8;
+            BInstr::Beqz {
+                // src 0 reads RF[0]: often zero -> frequently taken;
+                // src 1..3: usually nonzero -> rarely taken.
+                src: rng.gen_range(0..4),
+                target,
+            }
+        } else {
+            BInstr::Alu {
+                dst: rng.gen_range(1..4),
+                src: rng.gen_range(0..4),
+                imm: rng.gen_range(0..16),
+            }
+        };
+        prog.push(instr.encode());
+    }
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodings_roundtrip_fields() {
+        let w = BInstr::Alu {
+            dst: 2,
+            src: 3,
+            imm: 9,
+        }
+        .encode();
+        assert_eq!(w >> 14 & 3, 0);
+        assert_eq!(w >> 10 & 15, 9);
+        assert_eq!(w >> 8 & 3, 3);
+        assert_eq!(w >> 6 & 3, 2);
+        let w = BInstr::Beqz { src: 1, target: 33 }.encode();
+        assert_eq!(w >> 14 & 3, 1);
+        assert_eq!(w >> 8 & 3, 1);
+        assert_eq!(w & 63, 33);
+    }
+
+    #[test]
+    fn reference_executes_branches() {
+        // 0: alu r1 := r1 + 1 ; 1: beqz r0 -> 0 (taken forever)
+        let prog = vec![
+            BInstr::Alu {
+                dst: 1,
+                src: 1,
+                imm: 1,
+            }
+            .encode(),
+            BInstr::Beqz { src: 0, target: 0 }.encode(),
+        ];
+        let rf = reference_run(&prog, 10);
+        assert_eq!(rf[1], 5); // 5 ALU executions in 10 steps
+    }
+
+    #[test]
+    fn specs_plan_for_both_predictors() {
+        for p in [Predictor::NextLine, Predictor::AlwaysTaken] {
+            let plan = build_branchy_spec(p).unwrap().plan().unwrap();
+            assert_eq!(plan.n_stages(), 3);
+        }
+    }
+}

@@ -1,0 +1,809 @@
+//! The DLX instruction set (integer subset, no FPU).
+//!
+//! Layout (32-bit instructions):
+//!
+//! * R-type (`opcode = 0`): `rs1[25:21] rs2[20:16] rd[15:11] func[5:0]`
+//! * I-type: `opcode[31:26] rs1[25:21] rd[20:16] imm[15:0]`
+//!   (for `SW` the `rd` slot names the *source* register, DLX style;
+//!   for `BEQZ`/`BNEZ` it is unused)
+//! * J-type: `opcode[31:26] target[25:0]` (absolute word address)
+//!
+//! Instruction memory is word (instruction) addressed; **data memory is
+//! byte addressed** with naturally aligned accesses: `LW`/`SW` ignore
+//! the two low address bits, `LH`/`LHU`/`SH` ignore the lowest bit, and
+//! the byte/half lane of a sub-word access is selected by the low
+//! address bits (the paper's `shift4load` circuit in the write-back
+//! stage).
+//!
+//! Branches are **delayed** with a single delay slot: the instruction
+//! after a taken or untaken branch/jump always executes. `HALT` loops
+//! on itself (its next PC is its own address) — the harnesses detect
+//! it to stop simulation.
+
+use std::fmt;
+
+/// A general-purpose register `r0..r31` (`r0` is hard-wired to zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The zero register.
+    pub const R0: Reg = Reg(0);
+    /// The link register used by `JAL`.
+    pub const LINK: Reg = Reg(31);
+
+    /// Register number as u64 (for encoding).
+    pub fn num(self) -> u64 {
+        u64::from(self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// R-type ALU operations (the `func` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (amount = low 5 bits of the second operand).
+    Sll,
+    /// Logical shift right.
+    Srl,
+    /// Arithmetic shift right.
+    Sra,
+    /// Set on (signed) less than.
+    Slt,
+    /// Set on unsigned less than.
+    Sltu,
+    /// Set on equal.
+    Seq,
+    /// Set on not equal.
+    Sne,
+    /// Set on (signed) less-or-equal.
+    Sle,
+    /// Set on (signed) greater-or-equal.
+    Sge,
+    /// Set on (signed) greater than.
+    Sgt,
+}
+
+impl AluOp {
+    /// The `func` encoding.
+    pub fn func(self) -> u64 {
+        match self {
+            AluOp::Add => 0x20,
+            AluOp::Sub => 0x22,
+            AluOp::And => 0x24,
+            AluOp::Or => 0x25,
+            AluOp::Xor => 0x26,
+            AluOp::Sll => 0x04,
+            AluOp::Srl => 0x06,
+            AluOp::Sra => 0x07,
+            AluOp::Slt => 0x2a,
+            AluOp::Sltu => 0x2b,
+            AluOp::Seq => 0x28,
+            AluOp::Sne => 0x29,
+            AluOp::Sle => 0x2c,
+            AluOp::Sge => 0x2d,
+            AluOp::Sgt => 0x2e,
+        }
+    }
+
+    /// Decodes a `func` field.
+    pub fn from_func(f: u64) -> Option<AluOp> {
+        Some(match f {
+            0x20 => AluOp::Add,
+            0x22 => AluOp::Sub,
+            0x24 => AluOp::And,
+            0x25 => AluOp::Or,
+            0x26 => AluOp::Xor,
+            0x04 => AluOp::Sll,
+            0x06 => AluOp::Srl,
+            0x07 => AluOp::Sra,
+            0x2a => AluOp::Slt,
+            0x2b => AluOp::Sltu,
+            0x28 => AluOp::Seq,
+            0x29 => AluOp::Sne,
+            0x2c => AluOp::Sle,
+            0x2d => AluOp::Sge,
+            0x2e => AluOp::Sgt,
+            _ => return None,
+        })
+    }
+
+    /// All operations (for generators and exhaustive tests).
+    pub const ALL: [AluOp; 15] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Seq,
+        AluOp::Sne,
+        AluOp::Sle,
+        AluOp::Sge,
+        AluOp::Sgt,
+    ];
+
+    /// Operations that have an immediate (I-type) form.
+    pub const IMMEDIATE: [AluOp; 9] = [
+        AluOp::Add,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
+    ];
+
+    /// Applies the operation to 32-bit values.
+    pub fn apply(self, a: u32, b: u32) -> u32 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => a.wrapping_shl(b & 31),
+            AluOp::Srl => a.wrapping_shr(b & 31),
+            AluOp::Sra => (a as i32).wrapping_shr(b & 31) as u32,
+            AluOp::Slt => u32::from((a as i32) < (b as i32)),
+            AluOp::Sltu => u32::from(a < b),
+            AluOp::Seq => u32::from(a == b),
+            AluOp::Sne => u32::from(a != b),
+            AluOp::Sle => u32::from((a as i32) <= (b as i32)),
+            AluOp::Sge => u32::from((a as i32) >= (b as i32)),
+            AluOp::Sgt => u32::from((a as i32) > (b as i32)),
+        }
+    }
+}
+
+/// Opcodes (the `[31:26]` field).
+pub mod opcode {
+    /// R-type.
+    pub const RTYPE: u64 = 0x00;
+    /// Add immediate (sign extended).
+    pub const ADDI: u64 = 0x08;
+    /// Set-less-than immediate (signed, sign extended).
+    pub const SLTI: u64 = 0x0a;
+    /// Set-less-than-unsigned immediate (zero extended).
+    pub const SLTUI: u64 = 0x0b;
+    /// AND immediate (zero extended).
+    pub const ANDI: u64 = 0x0c;
+    /// OR immediate (zero extended).
+    pub const ORI: u64 = 0x0d;
+    /// XOR immediate (zero extended).
+    pub const XORI: u64 = 0x0e;
+    /// Load high immediate: `rd := imm << 16`.
+    pub const LHI: u64 = 0x0f;
+    /// Shift left logical immediate.
+    pub const SLLI: u64 = 0x14;
+    /// Shift right logical immediate.
+    pub const SRLI: u64 = 0x16;
+    /// Shift right arithmetic immediate.
+    pub const SRAI: u64 = 0x17;
+    /// Load word.
+    pub const LW: u64 = 0x23;
+    /// Load byte (sign extended).
+    pub const LB: u64 = 0x20;
+    /// Load halfword (sign extended).
+    pub const LH: u64 = 0x21;
+    /// Load byte unsigned.
+    pub const LBU: u64 = 0x24;
+    /// Load halfword unsigned.
+    pub const LHU: u64 = 0x25;
+    /// Store word.
+    pub const SW: u64 = 0x2b;
+    /// Store byte.
+    pub const SB: u64 = 0x28;
+    /// Store halfword.
+    pub const SH: u64 = 0x29;
+    /// Branch if equal zero.
+    pub const BEQZ: u64 = 0x04;
+    /// Branch if not equal zero.
+    pub const BNEZ: u64 = 0x05;
+    /// Jump (absolute word address).
+    pub const J: u64 = 0x02;
+    /// Jump and link (`r31 := return address`).
+    pub const JAL: u64 = 0x03;
+    /// Jump register.
+    pub const JR: u64 = 0x12;
+    /// Jump and link register.
+    pub const JALR: u64 = 0x13;
+    /// Halt: next PC is the instruction's own address.
+    pub const HALT: u64 = 0x3f;
+}
+
+/// Width/extension of a sub-word memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubKind {
+    /// Byte, sign extended on load.
+    Byte,
+    /// Byte, zero extended on load.
+    ByteU,
+    /// Halfword, sign extended on load.
+    Half,
+    /// Halfword, zero extended on load.
+    HalfU,
+}
+
+impl SubKind {
+    /// Load opcode of this kind.
+    pub fn load_opcode(self) -> u64 {
+        match self {
+            SubKind::Byte => opcode::LB,
+            SubKind::ByteU => opcode::LBU,
+            SubKind::Half => opcode::LH,
+            SubKind::HalfU => opcode::LHU,
+        }
+    }
+
+    /// Store opcode (unsigned variants alias the signed ones).
+    pub fn store_opcode(self) -> u64 {
+        match self {
+            SubKind::Byte | SubKind::ByteU => opcode::SB,
+            SubKind::Half | SubKind::HalfU => opcode::SH,
+        }
+    }
+
+    /// Whether this is a byte access.
+    pub fn is_byte(self) -> bool {
+        matches!(self, SubKind::Byte | SubKind::ByteU)
+    }
+
+    /// Whether loads sign extend.
+    pub fn is_signed(self) -> bool {
+        matches!(self, SubKind::Byte | SubKind::Half)
+    }
+}
+
+/// A decoded DLX instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// R-type ALU: `rd := rs1 op rs2`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rs2: Reg,
+    },
+    /// I-type ALU: `rd := rs1 op imm` (extension depends on op).
+    AluImm {
+        /// Operation (Add/And/Or/Xor/Slt/Sltu/Sll/Srl/Sra).
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rs1: Reg,
+        /// 16-bit immediate (raw field value).
+        imm: u16,
+    },
+    /// `rd := imm << 16`.
+    Lhi {
+        /// Destination.
+        rd: Reg,
+        /// Immediate.
+        imm: u16,
+    },
+    /// `rd := DMEM[rs1 + sext(imm)]`.
+    Lw {
+        /// Destination.
+        rd: Reg,
+        /// Base register.
+        rs1: Reg,
+        /// Offset.
+        imm: u16,
+    },
+    /// `DMEM[rs1 + sext(imm)] := rs2` (`rs2` sits in the rd slot).
+    Sw {
+        /// Source of the stored value.
+        rs2: Reg,
+        /// Base register.
+        rs1: Reg,
+        /// Offset.
+        imm: u16,
+    },
+    /// Sub-word load: `rd := extend(byte/half at rs1 + sext(imm))`.
+    LoadSub {
+        /// Access width and extension.
+        kind: SubKind,
+        /// Destination.
+        rd: Reg,
+        /// Base register.
+        rs1: Reg,
+        /// Offset.
+        imm: u16,
+    },
+    /// Sub-word store of the low byte/half of `rs2`.
+    StoreSub {
+        /// Access width (extension irrelevant for stores).
+        kind: SubKind,
+        /// Source of the stored value.
+        rs2: Reg,
+        /// Base register.
+        rs1: Reg,
+        /// Offset.
+        imm: u16,
+    },
+    /// Branch if `rs1 == 0` to `pc + 1 + sext(imm)` (one delay slot).
+    Beqz {
+        /// Tested register.
+        rs1: Reg,
+        /// Offset.
+        imm: u16,
+    },
+    /// Branch if `rs1 != 0`.
+    Bnez {
+        /// Tested register.
+        rs1: Reg,
+        /// Offset.
+        imm: u16,
+    },
+    /// Jump to an absolute word address.
+    J {
+        /// Target address.
+        target: u32,
+    },
+    /// Jump and link (`r31 := pc + 2`).
+    Jal {
+        /// Target address.
+        target: u32,
+    },
+    /// Jump to the address in `rs1`.
+    Jr {
+        /// Target register.
+        rs1: Reg,
+    },
+    /// Jump to `rs1`, link in `rd`.
+    Jalr {
+        /// Link destination.
+        rd: Reg,
+        /// Target register.
+        rs1: Reg,
+    },
+    /// Halt (self-loop).
+    Halt,
+}
+
+/// `NOP` is encoded as `ADD r0, r0, r0`.
+pub const NOP: Instr = Instr::Alu {
+    op: AluOp::Add,
+    rd: Reg(0),
+    rs1: Reg(0),
+    rs2: Reg(0),
+};
+
+impl Instr {
+    /// Encodes to the 32-bit machine word.
+    pub fn encode(self) -> u32 {
+        use opcode::*;
+        let r = |op: u64, rs1: Reg, rs2: Reg, rd: Reg, func: u64| -> u32 {
+            (op << 26 | rs1.num() << 21 | rs2.num() << 16 | rd.num() << 11 | func) as u32
+        };
+        let i = |op: u64, rs1: Reg, rd: Reg, imm: u16| -> u32 {
+            (op << 26 | rs1.num() << 21 | rd.num() << 16 | u64::from(imm)) as u32
+        };
+        let j =
+            |op: u64, target: u32| -> u32 { (op << 26 | u64::from(target & 0x03ff_ffff)) as u32 };
+        match self {
+            Instr::Alu { op, rd, rs1, rs2 } => r(RTYPE, rs1, rs2, rd, op.func()),
+            Instr::AluImm { op, rd, rs1, imm } => {
+                let opc = match op {
+                    AluOp::Add => ADDI,
+                    AluOp::And => ANDI,
+                    AluOp::Or => ORI,
+                    AluOp::Xor => XORI,
+                    AluOp::Slt => SLTI,
+                    AluOp::Sltu => SLTUI,
+                    AluOp::Sll => SLLI,
+                    AluOp::Srl => SRLI,
+                    AluOp::Sra => SRAI,
+                    AluOp::Sub => ADDI, // no SUBI in DLX; callers negate
+                    other => panic!("{other:?} has no immediate form"),
+                };
+                i(opc, rs1, rd, imm)
+            }
+            Instr::Lhi { rd, imm } => i(LHI, Reg::R0, rd, imm),
+            Instr::Lw { rd, rs1, imm } => i(LW, rs1, rd, imm),
+            Instr::Sw { rs2, rs1, imm } => i(SW, rs1, rs2, imm),
+            Instr::LoadSub { kind, rd, rs1, imm } => i(kind.load_opcode(), rs1, rd, imm),
+            Instr::StoreSub {
+                kind,
+                rs2,
+                rs1,
+                imm,
+            } => i(kind.store_opcode(), rs1, rs2, imm),
+            Instr::Beqz { rs1, imm } => i(BEQZ, rs1, Reg::R0, imm),
+            Instr::Bnez { rs1, imm } => i(BNEZ, rs1, Reg::R0, imm),
+            Instr::J { target } => j(J, target),
+            Instr::Jal { target } => j(JAL, target),
+            Instr::Jr { rs1 } => i(JR, rs1, Reg::R0, 0),
+            Instr::Jalr { rd, rs1 } => i(JALR, rs1, rd, 0),
+            Instr::Halt => j(HALT, 0),
+        }
+    }
+
+    /// Decodes a machine word; unknown encodings decode to `None`.
+    pub fn decode(word: u32) -> Option<Instr> {
+        use opcode::*;
+        let w = u64::from(word);
+        let op = w >> 26;
+        let rs1 = Reg(((w >> 21) & 31) as u8);
+        let rfield = Reg(((w >> 16) & 31) as u8);
+        let rd_r = Reg(((w >> 11) & 31) as u8);
+        let imm = (w & 0xffff) as u16;
+        Some(match op {
+            RTYPE => Instr::Alu {
+                op: AluOp::from_func(w & 0x3f)?,
+                rd: rd_r,
+                rs1,
+                rs2: rfield,
+            },
+            ADDI => Instr::AluImm {
+                op: AluOp::Add,
+                rd: rfield,
+                rs1,
+                imm,
+            },
+            ANDI => Instr::AluImm {
+                op: AluOp::And,
+                rd: rfield,
+                rs1,
+                imm,
+            },
+            ORI => Instr::AluImm {
+                op: AluOp::Or,
+                rd: rfield,
+                rs1,
+                imm,
+            },
+            XORI => Instr::AluImm {
+                op: AluOp::Xor,
+                rd: rfield,
+                rs1,
+                imm,
+            },
+            SLTI => Instr::AluImm {
+                op: AluOp::Slt,
+                rd: rfield,
+                rs1,
+                imm,
+            },
+            SLTUI => Instr::AluImm {
+                op: AluOp::Sltu,
+                rd: rfield,
+                rs1,
+                imm,
+            },
+            SLLI => Instr::AluImm {
+                op: AluOp::Sll,
+                rd: rfield,
+                rs1,
+                imm,
+            },
+            SRLI => Instr::AluImm {
+                op: AluOp::Srl,
+                rd: rfield,
+                rs1,
+                imm,
+            },
+            SRAI => Instr::AluImm {
+                op: AluOp::Sra,
+                rd: rfield,
+                rs1,
+                imm,
+            },
+            LHI => Instr::Lhi { rd: rfield, imm },
+            LW => Instr::Lw {
+                rd: rfield,
+                rs1,
+                imm,
+            },
+            SW => Instr::Sw {
+                rs2: rfield,
+                rs1,
+                imm,
+            },
+            LB => Instr::LoadSub {
+                kind: SubKind::Byte,
+                rd: rfield,
+                rs1,
+                imm,
+            },
+            LBU => Instr::LoadSub {
+                kind: SubKind::ByteU,
+                rd: rfield,
+                rs1,
+                imm,
+            },
+            LH => Instr::LoadSub {
+                kind: SubKind::Half,
+                rd: rfield,
+                rs1,
+                imm,
+            },
+            LHU => Instr::LoadSub {
+                kind: SubKind::HalfU,
+                rd: rfield,
+                rs1,
+                imm,
+            },
+            SB => Instr::StoreSub {
+                kind: SubKind::Byte,
+                rs2: rfield,
+                rs1,
+                imm,
+            },
+            SH => Instr::StoreSub {
+                kind: SubKind::Half,
+                rs2: rfield,
+                rs1,
+                imm,
+            },
+            BEQZ => Instr::Beqz { rs1, imm },
+            BNEZ => Instr::Bnez { rs1, imm },
+            J => Instr::J {
+                target: (w & 0x03ff_ffff) as u32,
+            },
+            JAL => Instr::Jal {
+                target: (w & 0x03ff_ffff) as u32,
+            },
+            JR => Instr::Jr { rs1 },
+            JALR => Instr::Jalr { rd: rfield, rs1 },
+            HALT => Instr::Halt,
+            _ => return None,
+        })
+    }
+
+    /// The register this instruction writes, if any (`r0` writes are
+    /// architectural no-ops but still reported here).
+    pub fn dest(self) -> Option<Reg> {
+        match self {
+            Instr::Alu { rd, .. }
+            | Instr::AluImm { rd, .. }
+            | Instr::Lhi { rd, .. }
+            | Instr::Lw { rd, .. }
+            | Instr::LoadSub { rd, .. }
+            | Instr::Jalr { rd, .. } => Some(rd),
+            Instr::Jal { .. } => Some(Reg::LINK),
+            _ => None,
+        }
+    }
+
+    /// Registers this instruction reads.
+    pub fn sources(self) -> Vec<Reg> {
+        match self {
+            Instr::Alu { rs1, rs2, .. } => vec![rs1, rs2],
+            Instr::AluImm { rs1, .. } | Instr::Lw { rs1, .. } | Instr::LoadSub { rs1, .. } => {
+                vec![rs1]
+            }
+            Instr::Sw { rs1, rs2, .. } | Instr::StoreSub { rs1, rs2, .. } => vec![rs1, rs2],
+            Instr::Beqz { rs1, .. } | Instr::Bnez { rs1, .. } => vec![rs1],
+            Instr::Jr { rs1 } | Instr::Jalr { rs1, .. } => vec![rs1],
+            _ => vec![],
+        }
+    }
+
+    /// Whether this is a control-transfer instruction (has a delay
+    /// slot).
+    pub fn is_control(self) -> bool {
+        matches!(
+            self,
+            Instr::Beqz { .. }
+                | Instr::Bnez { .. }
+                | Instr::J { .. }
+                | Instr::Jal { .. }
+                | Instr::Jr { .. }
+                | Instr::Jalr { .. }
+        )
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", format!("{op:?}").to_lowercase())
+            }
+            Instr::AluImm { op, rd, rs1, imm } => write!(
+                f,
+                "{}i {rd}, {rs1}, {imm:#x}",
+                format!("{op:?}").to_lowercase()
+            ),
+            Instr::Lhi { rd, imm } => write!(f, "lhi {rd}, {imm:#x}"),
+            Instr::Lw { rd, rs1, imm } => write!(f, "lw {rd}, {imm:#x}({rs1})"),
+            Instr::Sw { rs2, rs1, imm } => write!(f, "sw {rs2}, {imm:#x}({rs1})"),
+            Instr::LoadSub { kind, rd, rs1, imm } => {
+                let m = match kind {
+                    SubKind::Byte => "lb",
+                    SubKind::ByteU => "lbu",
+                    SubKind::Half => "lh",
+                    SubKind::HalfU => "lhu",
+                };
+                write!(f, "{m} {rd}, {imm:#x}({rs1})")
+            }
+            Instr::StoreSub {
+                kind,
+                rs2,
+                rs1,
+                imm,
+            } => {
+                let m = if kind.is_byte() { "sb" } else { "sh" };
+                write!(f, "{m} {rs2}, {imm:#x}({rs1})")
+            }
+            Instr::Beqz { rs1, imm } => write!(f, "beqz {rs1}, {imm:#x}"),
+            Instr::Bnez { rs1, imm } => write!(f, "bnez {rs1}, {imm:#x}"),
+            Instr::J { target } => write!(f, "j {target:#x}"),
+            Instr::Jal { target } => write!(f, "jal {target:#x}"),
+            Instr::Jr { rs1 } => write!(f, "jr {rs1}"),
+            Instr::Jalr { rd, rs1 } => write!(f, "jalr {rd}, {rs1}"),
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+/// Encodes a program to machine words.
+pub fn encode_program(prog: &[Instr]) -> Vec<u64> {
+    prog.iter().map(|i| u64::from(i.encode())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_reg() -> impl Strategy<Value = Reg> {
+        (0u8..32).prop_map(Reg)
+    }
+
+    fn arb_instr() -> impl Strategy<Value = Instr> {
+        let alu = (0usize..15, arb_reg(), arb_reg(), arb_reg()).prop_map(|(o, rd, rs1, rs2)| {
+            Instr::Alu {
+                op: AluOp::ALL[o],
+                rd,
+                rs1,
+                rs2,
+            }
+        });
+        // Sub has no immediate form; skip it in AluImm.
+        let imm_ops = [
+            AluOp::Add,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Slt,
+            AluOp::Sltu,
+            AluOp::Sll,
+            AluOp::Srl,
+            AluOp::Sra,
+        ];
+        let alui =
+            (0usize..9, arb_reg(), arb_reg(), any::<u16>()).prop_map(move |(o, rd, rs1, imm)| {
+                Instr::AluImm {
+                    op: imm_ops[o],
+                    rd,
+                    rs1,
+                    imm,
+                }
+            });
+        prop_oneof![
+            alu,
+            alui,
+            (arb_reg(), any::<u16>()).prop_map(|(rd, imm)| Instr::Lhi { rd, imm }),
+            (arb_reg(), arb_reg(), any::<u16>()).prop_map(|(rd, rs1, imm)| Instr::Lw {
+                rd,
+                rs1,
+                imm
+            }),
+            (arb_reg(), arb_reg(), any::<u16>()).prop_map(|(rs2, rs1, imm)| Instr::Sw {
+                rs2,
+                rs1,
+                imm
+            }),
+            (0usize..4, arb_reg(), arb_reg(), any::<u16>()).prop_map(|(k, rd, rs1, imm)| {
+                let kinds = [SubKind::Byte, SubKind::ByteU, SubKind::Half, SubKind::HalfU];
+                Instr::LoadSub {
+                    kind: kinds[k],
+                    rd,
+                    rs1,
+                    imm,
+                }
+            }),
+            (0usize..2, arb_reg(), arb_reg(), any::<u16>()).prop_map(|(k, rs2, rs1, imm)| {
+                let kinds = [SubKind::Byte, SubKind::Half];
+                Instr::StoreSub {
+                    kind: kinds[k],
+                    rs2,
+                    rs1,
+                    imm,
+                }
+            }),
+            (arb_reg(), any::<u16>()).prop_map(|(rs1, imm)| Instr::Beqz { rs1, imm }),
+            (arb_reg(), any::<u16>()).prop_map(|(rs1, imm)| Instr::Bnez { rs1, imm }),
+            (0u32..1 << 26).prop_map(|target| Instr::J { target }),
+            (0u32..1 << 26).prop_map(|target| Instr::Jal { target }),
+            arb_reg().prop_map(|rs1| Instr::Jr { rs1 }),
+            (arb_reg(), arb_reg()).prop_map(|(rd, rs1)| Instr::Jalr { rd, rs1 }),
+            Just(Instr::Halt),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrip(i in arb_instr()) {
+            let enc = i.encode();
+            let dec = Instr::decode(enc).expect("decodes");
+            prop_assert_eq!(i, dec);
+        }
+    }
+
+    #[test]
+    fn nop_is_all_zero_fields_except_func() {
+        assert_eq!(NOP.encode(), 0x20);
+    }
+
+    #[test]
+    fn known_encodings() {
+        // add r3, r1, r2
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg(3),
+            rs1: Reg(1),
+            rs2: Reg(2),
+        };
+        assert_eq!(i.encode(), 1 << 21 | 2 << 16 | 3 << 11 | 0x20);
+        // lw r5, 8(r4)
+        let i = Instr::Lw {
+            rd: Reg(5),
+            rs1: Reg(4),
+            imm: 8,
+        };
+        assert_eq!(i.encode(), 0x23 << 26 | 4 << 21 | 5 << 16 | 8);
+    }
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(u32::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.apply(0, 1), u32::MAX);
+        assert_eq!(AluOp::Sra.apply(0x8000_0000, 31), u32::MAX);
+        assert_eq!(AluOp::Srl.apply(0x8000_0000, 31), 1);
+        assert_eq!(AluOp::Sll.apply(1, 33), 2, "shift amount is mod 32");
+        assert_eq!(AluOp::Slt.apply(u32::MAX, 0), 1, "-1 < 0 signed");
+        assert_eq!(AluOp::Sltu.apply(u32::MAX, 0), 0);
+    }
+
+    #[test]
+    fn dest_and_sources() {
+        let i = Instr::Sw {
+            rs2: Reg(7),
+            rs1: Reg(3),
+            imm: 0,
+        };
+        assert_eq!(i.dest(), None);
+        assert_eq!(i.sources(), vec![Reg(3), Reg(7)]);
+        assert_eq!(Instr::Jal { target: 5 }.dest(), Some(Reg::LINK));
+    }
+}

@@ -1,0 +1,33 @@
+//! # autopipe-dlx — the paper's five-stage DLX case study
+//!
+//! A DLX RISC processor (no floating point unit, one branch delay slot
+//! — exactly the configuration of §4.2 of *Automated Pipeline Design*)
+//! built on the `autopipe` stack:
+//!
+//! * [`isa`] — the instruction set: encodings, decoding, pretty
+//!   printing;
+//! * [`asm`] — a small two-pass text assembler with labels;
+//! * [`sim`] — the golden instruction-level simulator (the reference
+//!   the *prepared sequential machine* is validated against, since the
+//!   paper assumes the sequential design correct);
+//! * [`machine`] — the prepared sequential 5-stage DLX as a
+//!   [`autopipe_psm::MachineSpec`], plus the designer options of the
+//!   case study (forwarding registers `C` for the GPR, write-stage
+//!   forwarding for the PC — which makes the transformation reproduce
+//!   the delay-slot fetch automatically);
+//! * [`workload`] — program generators: hazard-density-controlled
+//!   random programs and small kernels (Fibonacci, memcpy, bubble
+//!   sort) for the experiments.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod branchy;
+pub mod isa;
+pub mod machine;
+pub mod sim;
+pub mod workload;
+
+pub use isa::{Instr, Reg};
+pub use machine::{build_dlx_spec, dlx_synth_options, DlxConfig};
+pub use sim::{IsaSim, StopReason};

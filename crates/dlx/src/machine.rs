@@ -1,0 +1,703 @@
+//! The prepared sequential five-stage DLX (paper §4.2).
+//!
+//! Stage structure and registers follow Müller & Paul's DLX
+//! presentation, which the paper builds on:
+//!
+//! ```text
+//! stage 0  IF   reads DPC (forwarded from decode), fetches IR
+//! stage 1  ID   reads GPR (ports GPRa/GPRb, forwarded), computes the
+//!               delayed-PC pair (DPC := PC, PC := next), operands
+//!               A/B, store data SMDR, and the precomputed GPR write
+//!               controls (the paper's Rwe/Rwa, ctrl stage 1)
+//! stage 2  EX   ALU -> C (C.we = 0 for loads!), address MAR, DMEM
+//!               write controls (ctrl stage 2)
+//! stage 3  MEM  DMEM read -> MDRr, DMEM write of SMDR; C travels
+//! stage 4  WB   GPR := is_load ? MDRr : C   (the Din mux of Fig. 2)
+//! ```
+//!
+//! The architecture uses the **delayed PC** (one branch delay slot):
+//! the visible state carries `DPC` (address of the next instruction)
+//! and `PC` (the address after that); see [`crate::sim`].
+//!
+//! The designer effort the paper asks for is captured in
+//! [`dlx_synth_options`]: name `C` as the forwarding register for the
+//! GPR (the case study's "two registers, one in the execute stage and
+//! one in the memory stage" are its instances `C.3`/`C.4`) and
+//! write-stage forwarding for `DPC`, from which the transformation
+//! derives the delay-slot fetch automatically.
+
+use crate::isa::opcode;
+use autopipe_hdl::{NetId, Netlist};
+use autopipe_psm::{FileDecl, Fragment, MachineSpec, PlanError, ReadPort, RegisterDecl};
+use autopipe_synth::{
+    ActualSource, Fixup, FixupValue, ForwardingSpec, SpeculationSpec, SynthOptions,
+};
+
+/// Size parameters of the DLX instance (word-addressed memories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DlxConfig {
+    /// Instruction memory address bits.
+    pub imem_aw: u32,
+    /// Data memory address bits.
+    pub dmem_aw: u32,
+    /// Register file address bits (≤ 5; smaller configs use the low
+    /// bits of the 5-bit register fields, mirrored by the golden
+    /// simulator).
+    pub gpr_aw: u32,
+    /// Add the precise-interrupt machinery (paper §5): an `irq`
+    /// external input speculated to be 0 at fetch, verified in WB, a
+    /// piped `DPCp` chain and an `EPC` register for the rollback
+    /// fixups.
+    pub interrupts: bool,
+}
+
+impl Default for DlxConfig {
+    fn default() -> Self {
+        DlxConfig {
+            imem_aw: 8,
+            dmem_aw: 8,
+            gpr_aw: 5,
+            interrupts: false,
+        }
+    }
+}
+
+impl DlxConfig {
+    /// A reduced configuration for SAT-based checking (16 instructions,
+    /// 8 data words, 8 registers).
+    pub fn small() -> DlxConfig {
+        DlxConfig {
+            imem_aw: 4,
+            dmem_aw: 3,
+            gpr_aw: 3,
+            interrupts: false,
+        }
+    }
+
+    /// Enables the precise-interrupt machinery.
+    #[must_use]
+    pub fn with_interrupts(mut self) -> DlxConfig {
+        self.interrupts = true;
+        self
+    }
+}
+
+/// The paper's designer-supplied options for the DLX: forward the GPR
+/// through `C`, forward `DPC` from its write stage (decode) — which
+/// yields the delay-slot fetch.
+pub fn dlx_synth_options() -> SynthOptions {
+    SynthOptions::new()
+        .with_forwarding(ForwardingSpec::forward("GPR", "C"))
+        .with_forwarding(ForwardingSpec::forward_from_write_stage("DPC"))
+}
+
+/// Variant without forwarding hardware: every hazard interlocks
+/// (experiment E4's baseline). `DPC` keeps write-stage forwarding —
+/// without it the machine could not fetch at all.
+pub fn dlx_interlock_options() -> SynthOptions {
+    SynthOptions::new()
+        .with_forwarding(ForwardingSpec::interlock("GPR"))
+        .with_forwarding(ForwardingSpec::forward_from_write_stage("DPC"))
+}
+
+/// The paper's precise-interrupt construction (§5): speculate at fetch
+/// that no interrupt occurs (guess 0 for the `irq` input); the truth is
+/// detected in stage 4. On misspeculation the pipeline is cleared and
+/// the rollback fixups implement the precise state: `EPC` := the
+/// victim's address, `DPC`/`PC` := the handler at `isr`.
+///
+/// Requires a spec built with [`DlxConfig::with_interrupts`].
+pub fn dlx_interrupt_options(isr: u32) -> SynthOptions {
+    let mut guess = Netlist::new("irq_guess");
+    let z = guess.constant(0, 1);
+    guess.label("guess", z);
+    dlx_synth_options().with_speculation(SpeculationSpec {
+        name: "irq".into(),
+        stage: 0,
+        port: "irq".into(),
+        guess: Fragment::new(guess).expect("combinational"),
+        resolve_stage: 4,
+        actual: ActualSource::External("irq".into()),
+        fixups: vec![
+            Fixup {
+                register: "DPC".into(),
+                value: FixupValue::Const(u64::from(isr)),
+            },
+            Fixup {
+                register: "PC".into(),
+                value: FixupValue::Const(u64::from(isr) + 1),
+            },
+            Fixup {
+                register: "EPC".into(),
+                value: FixupValue::Instance("DPCp".into()),
+            },
+        ],
+    })
+}
+
+/// Equality against a 6-bit opcode constant.
+fn is_op(nl: &mut Netlist, opc: NetId, val: u64) -> NetId {
+    let c = nl.constant(val, 6);
+    nl.eq(opc, c)
+}
+
+/// Builds the prepared sequential DLX machine specification.
+///
+/// # Errors
+///
+/// Propagates plan errors (impossible for valid configs; surfaced for
+/// robustness).
+pub fn build_dlx_spec(cfg: DlxConfig) -> Result<MachineSpec, PlanError> {
+    assert!(cfg.gpr_aw >= 1 && cfg.gpr_aw <= 5, "gpr_aw must be 1..=5");
+    let gaw = cfg.gpr_aw;
+    let mut spec = MachineSpec::new("dlx5", 5);
+
+    // Registers (instance R.k written by stage k-1).
+    spec.register(RegisterDecl::new("PC", 32).written_by(1).init(1).visible());
+    spec.register(RegisterDecl::new("DPC", 32).written_by(1).visible());
+    spec.register(
+        RegisterDecl::new("IR", 32)
+            .written_by(0)
+            .written_by(1)
+            .written_by(2)
+            .written_by(3),
+    );
+    spec.register(RegisterDecl::new("A", 32).written_by(1));
+    spec.register(RegisterDecl::new("B", 32).written_by(1));
+    spec.register(RegisterDecl::new("SMDR", 32).written_by(1).written_by(2));
+    spec.register(RegisterDecl::new("C", 32).written_by(2).written_by(3));
+    spec.register(RegisterDecl::new("MAR", 32).written_by(2).written_by(3));
+    spec.register(RegisterDecl::new("MDRr", 32).written_by(3));
+
+    if cfg.interrupts {
+        // The interrupt line, the victim-address pipe and the EPC
+        // register for Smith-Pleszkun-style precise interrupts.
+        spec.external_input("irq", 1);
+        spec.register(
+            RegisterDecl::new("DPCp", 32)
+                .written_by(1)
+                .written_by(2)
+                .written_by(3),
+        );
+        spec.register(RegisterDecl::new("EPC", 32).written_by(4).visible());
+    }
+
+    // Memories.
+    spec.file(FileDecl::read_only("IMEM", cfg.imem_aw, 32));
+    spec.file(FileDecl::new("GPR", gaw, 32, 4).ctrl(1).visible());
+    spec.file(FileDecl::new("DMEM", cfg.dmem_aw, 32, 3).ctrl(2).visible());
+
+    // ------------------------------------------------------------------
+    // Stage 0: IF
+    // ------------------------------------------------------------------
+    let mut f0 = Netlist::new("IF");
+    let insn = f0.input("insn", 32);
+    f0.label("IR", insn);
+    if cfg.interrupts {
+        // The speculated interrupt line: architecturally an input of
+        // the fetch stage ("the instruction is fetched assuming no
+        // interrupt"); the data path does not consume it.
+        f0.input("irq", 1);
+    }
+    let mut fa = Netlist::new("IF_addr");
+    let dpc = fa.input("DPC", 32);
+    let a = fa.slice(dpc, cfg.imem_aw - 1, 0);
+    fa.label("addr", a);
+    spec.stage(
+        0,
+        "IF",
+        Fragment::new(f0).expect("combinational"),
+        vec![ReadPort::new(
+            "IMEM",
+            "insn",
+            Fragment::new(fa).expect("combinational"),
+        )],
+    );
+
+    // ------------------------------------------------------------------
+    // Stage 1: ID — delayed-PC computation, operand fetch, GPR write
+    // controls.
+    // ------------------------------------------------------------------
+    let mut f1 = Netlist::new("ID");
+    let ir = f1.input("IR", 32);
+    let pc = f1.input("PC", 32);
+    let dpc = f1.input("DPC", 32);
+    let gpra = f1.input("GPRa", 32);
+    let gprb = f1.input("GPRb", 32);
+
+    let opc = f1.slice(ir, 31, 26);
+    let imm16 = f1.slice(ir, 15, 0);
+    let target26 = f1.slice(ir, 25, 0);
+    let imm_sext = f1.sext(imm16, 32);
+    let imm_zext = f1.zext(imm16, 32);
+    let zeros16 = f1.constant(0, 16);
+    let imm_lhi = f1.concat(imm16, zeros16);
+    let jtarget = f1.zext(target26, 32);
+
+    let is_rtype = is_op(&mut f1, opc, opcode::RTYPE);
+    let is_addi = is_op(&mut f1, opc, opcode::ADDI);
+    let is_slti = is_op(&mut f1, opc, opcode::SLTI);
+    let is_sltui = is_op(&mut f1, opc, opcode::SLTUI);
+    let is_andi = is_op(&mut f1, opc, opcode::ANDI);
+    let is_ori = is_op(&mut f1, opc, opcode::ORI);
+    let is_xori = is_op(&mut f1, opc, opcode::XORI);
+    let is_lhi = is_op(&mut f1, opc, opcode::LHI);
+    let is_slli = is_op(&mut f1, opc, opcode::SLLI);
+    let is_srli = is_op(&mut f1, opc, opcode::SRLI);
+    let is_srai = is_op(&mut f1, opc, opcode::SRAI);
+    let is_lw = is_op(&mut f1, opc, opcode::LW);
+    let is_lb = is_op(&mut f1, opc, opcode::LB);
+    let is_lbu = is_op(&mut f1, opc, opcode::LBU);
+    let is_lh = is_op(&mut f1, opc, opcode::LH);
+    let is_lhu = is_op(&mut f1, opc, opcode::LHU);
+    let loads = [is_lw, is_lb, is_lbu, is_lh, is_lhu];
+    let is_load = f1.or_all(&loads);
+    let is_beqz = is_op(&mut f1, opc, opcode::BEQZ);
+    let is_bnez = is_op(&mut f1, opc, opcode::BNEZ);
+    let is_j = is_op(&mut f1, opc, opcode::J);
+    let is_jal = is_op(&mut f1, opc, opcode::JAL);
+    let is_jr = is_op(&mut f1, opc, opcode::JR);
+    let is_jalr = is_op(&mut f1, opc, opcode::JALR);
+    let is_halt = is_op(&mut f1, opc, opcode::HALT);
+
+    // Branch resolution.
+    let zero32 = f1.constant(0, 32);
+    let a_is_zero = f1.eq(gpra, zero32);
+    let a_nonzero = f1.not(a_is_zero);
+    let beqz_taken = f1.and(is_beqz, a_is_zero);
+    let bnez_taken = f1.and(is_bnez, a_nonzero);
+    let branch_taken = f1.or(beqz_taken, bnez_taken);
+    let one32 = f1.constant(1, 32);
+    let two32 = f1.constant(2, 32);
+    let slot = f1.add(dpc, one32);
+    let btarget = f1.add(slot, imm_sext);
+    let seq_next = f1.add(pc, one32);
+
+    // PC := halt ? DPC : jump/branch target : PC + 1.
+    let is_jabs = f1.or(is_j, is_jal);
+    let is_jreg = f1.or(is_jr, is_jalr);
+    let mut next_pc = seq_next;
+    next_pc = f1.mux(branch_taken, btarget, next_pc);
+    next_pc = f1.mux(is_jreg, gpra, next_pc);
+    next_pc = f1.mux(is_jabs, jtarget, next_pc);
+    next_pc = f1.mux(is_halt, dpc, next_pc);
+    f1.label("PC", next_pc);
+    f1.label("DPC", pc);
+    if cfg.interrupts {
+        // Pipe the instruction's own address along for the EPC fixup.
+        let dpcp = f1.or(dpc, dpc);
+        f1.label("DPCp", dpcp);
+    }
+
+    // Operands: A gets the link value for JAL/JALR.
+    let link = f1.add(dpc, two32);
+    let is_link = f1.or(is_jal, is_jalr);
+    let a_out = f1.mux(is_link, link, gpra);
+    f1.label("A", a_out);
+
+    // B: R-type -> GPRb; LHI -> imm<<16; link -> 0; zero-extending
+    // ops -> zext; otherwise sign extended.
+    let zext_ops = [
+        is_andi, is_ori, is_xori, is_sltui, is_slli, is_srli, is_srai,
+    ];
+    let is_zext = f1.or_all(&zext_ops);
+    let mut immval = f1.mux(is_zext, imm_zext, imm_sext);
+    immval = f1.mux(is_lhi, imm_lhi, immval);
+    immval = f1.mux(is_link, zero32, immval);
+    let b_out = f1.mux(is_rtype, gprb, immval);
+    f1.label("B", b_out);
+    f1.label("SMDR", gprb);
+
+    // Precomputed GPR write controls (the paper's Rwe/Rwa, ctrl = 1).
+    let rd_r = f1.slice(ir, 11 + gaw - 1, 11);
+    let rd_i = f1.slice(ir, 16 + gaw - 1, 16);
+    let link_reg = f1.constant((1 << gaw) - 1, gaw); // r31 (masked)
+    let mut wa = f1.mux(is_rtype, rd_r, rd_i);
+    wa = f1.mux(is_jal, link_reg, wa);
+    f1.label("GPR.wa", wa);
+    let ialu = [
+        is_addi, is_slti, is_sltui, is_andi, is_ori, is_xori, is_lhi, is_slli, is_srli, is_srai,
+    ];
+    let is_ialu = f1.or_all(&ialu);
+    let writes = [is_rtype, is_ialu, is_load, is_jal, is_jalr];
+    let writes_gpr = f1.or_all(&writes);
+    let zero_g = f1.constant(0, gaw);
+    let wa_is_zero = f1.eq(wa, zero_g);
+    let wa_nonzero = f1.not(wa_is_zero);
+    let gpr_we = f1.and(writes_gpr, wa_nonzero);
+    f1.label("GPR.we", gpr_we);
+
+    // GPR read port addresses.
+    let mut ga = Netlist::new("ID_gpra_addr");
+    let ir_a = ga.input("IR", 32);
+    let rs1 = ga.slice(ir_a, 21 + gaw - 1, 21);
+    ga.label("addr", rs1);
+    let mut gb = Netlist::new("ID_gprb_addr");
+    let ir_b = gb.input("IR", 32);
+    let rs2 = gb.slice(ir_b, 16 + gaw - 1, 16);
+    gb.label("addr", rs2);
+
+    spec.stage(
+        1,
+        "ID",
+        Fragment::new(f1).expect("combinational"),
+        vec![
+            ReadPort::new("GPR", "GPRa", Fragment::new(ga).expect("combinational")),
+            ReadPort::new("GPR", "GPRb", Fragment::new(gb).expect("combinational")),
+        ],
+    );
+
+    // ------------------------------------------------------------------
+    // Stage 2: EX — ALU, address computation, DMEM write controls.
+    // ------------------------------------------------------------------
+    let mut f2 = Netlist::new("EX");
+    let ir = f2.input("IR", 32);
+    let a_in = f2.input("A", 32);
+    let b_in = f2.input("B", 32);
+    let opc = f2.slice(ir, 31, 26);
+    let func = f2.slice(ir, 5, 0);
+    let imm16 = f2.slice(ir, 15, 0);
+    let imm_sext = f2.sext(imm16, 32);
+
+    let is_rtype = is_op(&mut f2, opc, opcode::RTYPE);
+    let is_lw = is_op(&mut f2, opc, opcode::LW);
+    let is_lb = is_op(&mut f2, opc, opcode::LB);
+    let is_lbu = is_op(&mut f2, opc, opcode::LBU);
+    let is_lh = is_op(&mut f2, opc, opcode::LH);
+    let is_lhu = is_op(&mut f2, opc, opcode::LHU);
+    let loads = [is_lw, is_lb, is_lbu, is_lh, is_lhu];
+    let is_load = f2.or_all(&loads);
+    let is_sw = is_op(&mut f2, opc, opcode::SW);
+    let is_sb = is_op(&mut f2, opc, opcode::SB);
+    let is_sh = is_op(&mut f2, opc, opcode::SH);
+    let stores = [is_sw, is_sb, is_sh];
+    let is_store = f2.or_all(&stores);
+
+    let rfun = |f2: &mut Netlist, val: u64| -> NetId {
+        let c = f2.constant(val, 6);
+        f2.eq(func, c)
+    };
+    let f_add = rfun(&mut f2, 0x20);
+    let f_sub = rfun(&mut f2, 0x22);
+    let f_and = rfun(&mut f2, 0x24);
+    let f_or = rfun(&mut f2, 0x25);
+    let f_xor = rfun(&mut f2, 0x26);
+    let f_sll = rfun(&mut f2, 0x04);
+    let f_srl = rfun(&mut f2, 0x06);
+    let f_sra = rfun(&mut f2, 0x07);
+    let f_slt = rfun(&mut f2, 0x2a);
+    let f_sltu = rfun(&mut f2, 0x2b);
+    let f_seq = rfun(&mut f2, 0x28);
+    let f_sne = rfun(&mut f2, 0x29);
+    let f_sle = rfun(&mut f2, 0x2c);
+    let f_sge = rfun(&mut f2, 0x2d);
+    let f_sgt = rfun(&mut f2, 0x2e);
+    let _ = f_add; // ADD is the default arm of the result mux.
+
+    let op_sub_i = f2.zero(); // no SUBI
+    let op_sub = {
+        let r = f2.and(is_rtype, f_sub);
+        f2.or(r, op_sub_i)
+    };
+    let sel = |f2: &mut Netlist, f_net: NetId, i_op: u64| -> NetId {
+        let r = f2.and(is_rtype, f_net);
+        let i = is_op(f2, opc, i_op);
+        f2.or(r, i)
+    };
+    let op_and = sel(&mut f2, f_and, opcode::ANDI);
+    let op_or = sel(&mut f2, f_or, opcode::ORI);
+    let op_xor = sel(&mut f2, f_xor, opcode::XORI);
+    let op_sll = sel(&mut f2, f_sll, opcode::SLLI);
+    let op_srl = sel(&mut f2, f_srl, opcode::SRLI);
+    let op_sra = sel(&mut f2, f_sra, opcode::SRAI);
+    let op_slt = sel(&mut f2, f_slt, opcode::SLTI);
+    let op_sltu = sel(&mut f2, f_sltu, opcode::SLTUI);
+    // The remaining set-comparisons exist only in R-type form.
+    let op_seq = f2.and(is_rtype, f_seq);
+    let op_sne = f2.and(is_rtype, f_sne);
+    let op_sle = f2.and(is_rtype, f_sle);
+    let op_sge = f2.and(is_rtype, f_sge);
+    let op_sgt = f2.and(is_rtype, f_sgt);
+
+    let shamt = f2.slice(b_in, 4, 0);
+    let r_add = f2.add(a_in, b_in);
+    let r_sub = f2.sub(a_in, b_in);
+    let r_and = f2.and(a_in, b_in);
+    let r_or = f2.or(a_in, b_in);
+    let r_xor = f2.xor(a_in, b_in);
+    let r_sll = f2.shl(a_in, shamt);
+    let r_srl = f2.lshr(a_in, shamt);
+    let r_sra = f2.ashr(a_in, shamt);
+    let lt_s = f2.slt(a_in, b_in);
+    let r_slt = f2.zext(lt_s, 32);
+    let lt_u = f2.ult(a_in, b_in);
+    let r_sltu = f2.zext(lt_u, 32);
+    let eq_b = f2.eq(a_in, b_in);
+    let r_seq = f2.zext(eq_b, 32);
+    let ne_b = f2.ne(a_in, b_in);
+    let r_sne = f2.zext(ne_b, 32);
+    let le_b = f2.sle(a_in, b_in);
+    let r_sle = f2.zext(le_b, 32);
+    let ge_b = f2.not(lt_s);
+    let r_sge = f2.zext(ge_b, 32);
+    let gt_b = f2.slt(b_in, a_in);
+    let r_sgt = f2.zext(gt_b, 32);
+
+    let mut c = r_add;
+    c = f2.mux(op_sub, r_sub, c);
+    c = f2.mux(op_and, r_and, c);
+    c = f2.mux(op_or, r_or, c);
+    c = f2.mux(op_xor, r_xor, c);
+    c = f2.mux(op_sll, r_sll, c);
+    c = f2.mux(op_srl, r_srl, c);
+    c = f2.mux(op_sra, r_sra, c);
+    c = f2.mux(op_slt, r_slt, c);
+    c = f2.mux(op_sltu, r_sltu, c);
+    c = f2.mux(op_seq, r_seq, c);
+    c = f2.mux(op_sne, r_sne, c);
+    c = f2.mux(op_sle, r_sle, c);
+    c = f2.mux(op_sge, r_sge, c);
+    c = f2.mux(op_sgt, r_sgt, c);
+    f2.label("C", c);
+    // The essential bit for the load-use interlock: C does not hold a
+    // load's result — its valid bit stays 0 until WB forwarding.
+    let c_we = f2.not(is_load);
+    f2.label("C.we", c_we);
+
+    let mar = f2.add(a_in, imm_sext);
+    f2.label("MAR", mar);
+    f2.label("DMEM.we", is_store);
+    // Byte-addressed data memory: the word index drops the two low
+    // address bits.
+    let dwa = f2.slice(mar, cfg.dmem_aw + 1, 2);
+    f2.label("DMEM.wa", dwa);
+    spec.stage(2, "EX", Fragment::new(f2).expect("combinational"), vec![]);
+
+    // ------------------------------------------------------------------
+    // Stage 3: MEM — load data, store commit (sub-word stores merge
+    // into the old word read combinationally from the same port).
+    // ------------------------------------------------------------------
+    let mut f3 = Netlist::new("MEM");
+    let ir = f3.input("IR", 32);
+    let marv = f3.input("MAR", 32);
+    let dmem_out = f3.input("dmem_out", 32);
+    let smdr = f3.input("SMDR", 32);
+    let opc = f3.slice(ir, 31, 26);
+    let is_sb = is_op(&mut f3, opc, opcode::SB);
+    let is_sh = is_op(&mut f3, opc, opcode::SH);
+    // Byte lane shift amounts from the low address bits.
+    let lane2 = f3.slice(marv, 1, 0);
+    let zero3 = f3.constant(0, 3);
+    let byte_shift = f3.concat(lane2, zero3); // lane * 8
+    let lane1 = f3.bit(marv, 1);
+    let zero4 = f3.constant(0, 4);
+    let half_shift = f3.concat(lane1, zero4); // lane * 16
+                                              // Byte merge.
+    let ff = f3.constant(0xff, 32);
+    let bmask = f3.shl(ff, byte_shift);
+    let nbmask = f3.not(bmask);
+    let bkeep = f3.and(dmem_out, nbmask);
+    let b0 = f3.slice(smdr, 7, 0);
+    let bz = f3.zext(b0, 32);
+    let bval = f3.shl(bz, byte_shift);
+    let merged_b = f3.or(bkeep, bval);
+    // Half merge.
+    let ffff = f3.constant(0xffff, 32);
+    let hmask = f3.shl(ffff, half_shift);
+    let nhmask = f3.not(hmask);
+    let hkeep = f3.and(dmem_out, nhmask);
+    let h0 = f3.slice(smdr, 15, 0);
+    let hz = f3.zext(h0, 32);
+    let hval = f3.shl(hz, half_shift);
+    let merged_h = f3.or(hkeep, hval);
+    let mut din = smdr;
+    din = f3.mux(is_sh, merged_h, din);
+    din = f3.mux(is_sb, merged_b, din);
+    f3.label("MDRr", dmem_out);
+    f3.label("DMEM", din);
+    let mut ma = Netlist::new("MEM_addr");
+    let mar = ma.input("MAR", 32);
+    let a = ma.slice(mar, cfg.dmem_aw + 1, 2);
+    ma.label("addr", a);
+    spec.stage(
+        3,
+        "MEM",
+        Fragment::new(f3).expect("combinational"),
+        vec![ReadPort::new(
+            "DMEM",
+            "dmem_out",
+            Fragment::new(ma).expect("combinational"),
+        )],
+    );
+
+    // ------------------------------------------------------------------
+    // Stage 4: WB — shift4load and the Din multiplexer of Figure 2.
+    // ------------------------------------------------------------------
+    let mut f4 = Netlist::new("WB");
+    let ir = f4.input("IR", 32);
+    let c_in = f4.input("C", 32);
+    let mdrr = f4.input("MDRr", 32);
+    let marv = f4.input("MAR", 32);
+    let opc = f4.slice(ir, 31, 26);
+    let is_lw = is_op(&mut f4, opc, opcode::LW);
+    let is_lb = is_op(&mut f4, opc, opcode::LB);
+    let is_lbu = is_op(&mut f4, opc, opcode::LBU);
+    let is_lh = is_op(&mut f4, opc, opcode::LH);
+    let is_lhu = is_op(&mut f4, opc, opcode::LHU);
+    // shift4load: align the addressed byte/half to bit 0, then extend.
+    let lane2 = f4.slice(marv, 1, 0);
+    let zero3 = f4.constant(0, 3);
+    let byte_shift = f4.concat(lane2, zero3);
+    let lane1 = f4.bit(marv, 1);
+    let zero4 = f4.constant(0, 4);
+    let half_shift = f4.concat(lane1, zero4);
+    let bsh = f4.lshr(mdrr, byte_shift);
+    let byte = f4.slice(bsh, 7, 0);
+    let byte_s = f4.sext(byte, 32);
+    let byte_u = f4.zext(byte, 32);
+    let hsh = f4.lshr(mdrr, half_shift);
+    let half = f4.slice(hsh, 15, 0);
+    let half_s = f4.sext(half, 32);
+    let half_u = f4.zext(half, 32);
+    let mut load_val = mdrr; // LW: the raw word
+    load_val = f4.mux(is_lb, byte_s, load_val);
+    load_val = f4.mux(is_lbu, byte_u, load_val);
+    load_val = f4.mux(is_lh, half_s, load_val);
+    load_val = f4.mux(is_lhu, half_u, load_val);
+    let load_any = [is_lw, is_lb, is_lbu, is_lh, is_lhu];
+    let is_load = f4.or_all(&load_any);
+    let din = f4.mux(is_load, load_val, c_in);
+    f4.label("GPR", din);
+    if cfg.interrupts {
+        // EPC only changes through the rollback fixup; its normal
+        // update is the identity (a distinct net is required to count
+        // as a computed output).
+        let epc = f4.input("EPC", 32);
+        let hold = f4.or(epc, epc);
+        f4.label("EPC", hold);
+    }
+    spec.stage(4, "WB", Fragment::new(f4).expect("combinational"), vec![]);
+
+    // Sanity: the spec must plan cleanly.
+    spec.plan()?;
+    Ok(spec)
+}
+
+/// Builds a wait-state data-memory model: whenever a new memory
+/// instruction (load or store) occupies the MEM stage, the external
+/// stall input of that stage is asserted for `wait` cycles before the
+/// access completes — the paper's "external stall condition in the
+/// stage, e.g., caused by slow memory".
+///
+/// The hook inspects the pipelined machine's `IR.3` and `full.3`
+/// registers; it distinguishes instructions by their arrival (register
+/// value change or refill), so back-to-back *identical* memory words
+/// are conservatively merged — fine for a performance model.
+///
+/// # Panics
+///
+/// Panics if the machine was synthesized without
+/// [`autopipe_synth::SynthOptions::with_ext_stalls`] or is not a DLX.
+pub fn wait_state_memory(
+    pm: &autopipe_synth::PipelinedMachine,
+    wait: u32,
+) -> autopipe_verify::cosim::ExtStallHook {
+    use crate::isa::opcode;
+    let ir3 = pm
+        .netlist
+        .reg_by_name("IR.3")
+        .expect("DLX pipelined netlist has IR.3");
+    let full3 = pm
+        .netlist
+        .reg_by_name("full.3")
+        .expect("stall engine full bit");
+    let mut last_ir: Option<u64> = None;
+    let mut remaining = 0u32;
+    Box::new(move |sim, _cycle, stage| {
+        if stage != 3 {
+            return false;
+        }
+        if sim.reg_value(full3) != 1 {
+            last_ir = None;
+            return false;
+        }
+        let ir = sim.reg_value(ir3);
+        if last_ir != Some(ir) {
+            last_ir = Some(ir);
+            let opc = ir >> 26;
+            let is_mem = matches!(
+                opc,
+                opcode::LW
+                    | opcode::LB
+                    | opcode::LBU
+                    | opcode::LH
+                    | opcode::LHU
+                    | opcode::SW
+                    | opcode::SB
+                    | opcode::SH
+            );
+            remaining = if is_mem { wait } else { 0 };
+        }
+        if remaining > 0 {
+            remaining -= 1;
+            true
+        } else {
+            false
+        }
+    })
+}
+
+/// Loads a program into the instruction memory of a simulator built
+/// from an elaborated DLX netlist (sequential or pipelined).
+///
+/// # Panics
+///
+/// Panics if the program exceeds the instruction memory or the
+/// netlist lacks an `IMEM` memory.
+pub fn load_program(sim: &mut autopipe_hdl::Simulator, cfg: DlxConfig, program: &[u32]) {
+    assert!(
+        program.len() <= 1 << cfg.imem_aw,
+        "program does not fit in IMEM"
+    );
+    let nl = sim.netlist();
+    let mem = nl
+        .mem_ids()
+        .find(|m| nl.memory_info(*m).name.ends_with("IMEM"))
+        .expect("netlist has an IMEM");
+    for (i, w) in program.iter().enumerate() {
+        sim.poke_mem(mem, i, u64::from(*w));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_plans_for_all_configs() {
+        for cfg in [DlxConfig::default(), DlxConfig::small()] {
+            let spec = build_dlx_spec(cfg).unwrap();
+            let plan = spec.plan().unwrap();
+            // PC.2, DPC.2, IR.1-4, A.2, B.2, SMDR.2-3, C.3-4, MAR.3-4,
+            // MDRr.4 = 15 instances.
+            assert_eq!(plan.instances.len(), 15);
+            assert_eq!(plan.files.len(), 3);
+        }
+    }
+
+    #[test]
+    fn instance_chain_matches_paper() {
+        let plan = build_dlx_spec(DlxConfig::default())
+            .unwrap()
+            .plan()
+            .unwrap();
+        // The case study's forwarding registers are the C instances
+        // written by EX and MEM: C.3 and C.4.
+        let c3 = plan.instance_named("C", 3).unwrap();
+        let c4 = plan.instance_named("C", 4).unwrap();
+        assert!(plan.instances[c3].has_data);
+        assert!(plan.instances[c3].has_we);
+        assert!(!plan.instances[c4].has_data, "C.4 is a travelling copy");
+        assert!(plan.instances[c4].has_pred);
+    }
+}

@@ -1,0 +1,693 @@
+//! Golden instruction-level DLX simulator.
+//!
+//! Defines the architectural semantics the hardware is held to,
+//! including the **delayed-PC** mechanism that gives the machine its
+//! single branch delay slot: the architectural state carries two
+//! program counters,
+//!
+//! * `DPC` — the address of the instruction about to execute,
+//! * `PC`  — the address of the one after it,
+//!
+//! and every instruction performs `DPC := PC; PC := f(...)` where `f`
+//! is `PC + 1` for straight-line code and the branch/jump target
+//! otherwise. A taken branch therefore affects the *second* following
+//! instruction — the instruction in the delay slot always executes.
+//!
+//! `HALT` sets `PC := DPC` (a self-loop); the simulator reports it via
+//! [`StopReason::Halted`].
+
+use crate::isa::{AluOp, Instr, Reg, SubKind};
+use crate::machine::DlxConfig;
+
+/// Why [`IsaSim::run`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// A `HALT` retired.
+    Halted,
+    /// The step budget was exhausted.
+    OutOfFuel,
+    /// An undecodable instruction word was fetched.
+    IllegalInstruction {
+        /// Address of the offending word.
+        at: u32,
+        /// The word itself.
+        word: u32,
+    },
+}
+
+/// The golden simulator.
+///
+/// ```
+/// use autopipe_dlx::{DlxConfig, IsaSim};
+/// use autopipe_dlx::asm::assemble;
+///
+/// # fn main() -> Result<(), autopipe_dlx::asm::AsmError> {
+/// let prog = assemble(
+///     "   addi r1, r0, 20
+///         addi r2, r1, 22
+///         sw   r2, 0(r0)
+///         halt
+///         nop",
+/// )?;
+/// let words: Vec<u32> = prog.iter().map(|i| i.encode()).collect();
+/// let mut sim = IsaSim::new(DlxConfig::default(), &words);
+/// sim.run(100);
+/// assert!(sim.halted());
+/// assert_eq!(sim.dmem[0], 42);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct IsaSim {
+    cfg: DlxConfig,
+    /// Register file (entry 0 reads as zero).
+    pub regs: Vec<u32>,
+    /// Data memory (word addressed).
+    pub dmem: Vec<u32>,
+    imem: Vec<u32>,
+    /// Address of the next instruction to execute.
+    pub dpc: u32,
+    /// Address of the instruction after that (delayed-PC architecture).
+    pub pc: u32,
+    halted: bool,
+    /// Retired instruction count.
+    pub retired: u64,
+}
+
+impl IsaSim {
+    /// Creates a simulator with the given configuration and program.
+    pub fn new(cfg: DlxConfig, program: &[u32]) -> IsaSim {
+        let mut imem = program.to_vec();
+        imem.resize(1 << cfg.imem_aw, 0);
+        IsaSim {
+            regs: vec![0; 1 << cfg.gpr_aw],
+            dmem: vec![0; 1 << cfg.dmem_aw],
+            imem,
+            dpc: 0,
+            pc: 1,
+            halted: false,
+            retired: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> DlxConfig {
+        self.cfg
+    }
+
+    /// Whether a `HALT` has retired.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.num() as usize & ((1 << self.cfg.gpr_aw) - 1)]
+    }
+
+    fn set_reg(&mut self, r: Reg, v: u32) {
+        let idx = r.num() as usize & ((1 << self.cfg.gpr_aw) - 1);
+        if idx != 0 {
+            self.regs[idx] = v;
+        }
+    }
+
+    /// Word index of a byte address (naturally aligned; low bits
+    /// ignored), wrapped into the data memory.
+    fn mem_index(&self, addr: u32) -> usize {
+        ((addr >> 2) as usize) & ((1 << self.cfg.dmem_aw) - 1)
+    }
+
+    /// Reads a naturally aligned sub-word value (before extension).
+    fn load_sub(&self, kind: SubKind, addr: u32) -> u32 {
+        let word = self.dmem[self.mem_index(addr)];
+        if kind.is_byte() {
+            let lane = addr & 3;
+            let byte = (word >> (8 * lane)) & 0xff;
+            if kind.is_signed() {
+                byte as u8 as i8 as i32 as u32
+            } else {
+                byte
+            }
+        } else {
+            let lane = addr >> 1 & 1;
+            let half = (word >> (16 * lane)) & 0xffff;
+            if kind.is_signed() {
+                half as u16 as i16 as i32 as u32
+            } else {
+                half
+            }
+        }
+    }
+
+    /// Merges a sub-word store into the target word.
+    fn store_sub(&mut self, kind: SubKind, addr: u32, value: u32) {
+        let idx = self.mem_index(addr);
+        let old = self.dmem[idx];
+        self.dmem[idx] = if kind.is_byte() {
+            let lane = addr & 3;
+            let mask = 0xffu32 << (8 * lane);
+            (old & !mask) | ((value & 0xff) << (8 * lane))
+        } else {
+            let lane = addr >> 1 & 1;
+            let mask = 0xffffu32 << (16 * lane);
+            (old & !mask) | ((value & 0xffff) << (16 * lane))
+        };
+    }
+
+    /// Sign- or zero-extends an I-type immediate per DLX convention.
+    fn imm_ext(op: AluOp, imm: u16) -> u32 {
+        match op {
+            // Logical and shift immediates are zero extended; shifts
+            // additionally only use the low 5 bits in the ALU.
+            AluOp::And
+            | AluOp::Or
+            | AluOp::Xor
+            | AluOp::Sll
+            | AluOp::Srl
+            | AluOp::Sra
+            | AluOp::Sltu => u32::from(imm),
+            _ => imm as i16 as i32 as u32,
+        }
+    }
+
+    /// Executes one instruction. Returns `None` while running, or the
+    /// stop reason.
+    pub fn step(&mut self) -> Option<StopReason> {
+        if self.halted {
+            return Some(StopReason::Halted);
+        }
+        let p = self.dpc;
+        let word = self.imem[(p as usize) & ((1 << self.cfg.imem_aw) - 1)];
+        let Some(instr) = Instr::decode(word) else {
+            return Some(StopReason::IllegalInstruction { at: p, word });
+        };
+        // Delayed PC update: DPC := PC; PC := f.
+        let seq_next = self.pc.wrapping_add(1);
+        let mut f = seq_next;
+        match instr {
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                let v = op.apply(self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, v);
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                let v = op.apply(self.reg(rs1), Self::imm_ext(op, imm));
+                self.set_reg(rd, v);
+            }
+            Instr::Lhi { rd, imm } => {
+                self.set_reg(rd, u32::from(imm) << 16);
+            }
+            Instr::Lw { rd, rs1, imm } => {
+                let addr = self.reg(rs1).wrapping_add(imm as i16 as i32 as u32);
+                let v = self.dmem[self.mem_index(addr)];
+                self.set_reg(rd, v);
+            }
+            Instr::Sw { rs2, rs1, imm } => {
+                let addr = self.reg(rs1).wrapping_add(imm as i16 as i32 as u32);
+                let idx = self.mem_index(addr);
+                self.dmem[idx] = self.reg(rs2);
+            }
+            Instr::LoadSub { kind, rd, rs1, imm } => {
+                let addr = self.reg(rs1).wrapping_add(imm as i16 as i32 as u32);
+                let v = self.load_sub(kind, addr);
+                self.set_reg(rd, v);
+            }
+            Instr::StoreSub {
+                kind,
+                rs2,
+                rs1,
+                imm,
+            } => {
+                let addr = self.reg(rs1).wrapping_add(imm as i16 as i32 as u32);
+                let v = self.reg(rs2);
+                self.store_sub(kind, addr, v);
+            }
+            Instr::Beqz { rs1, imm } => {
+                if self.reg(rs1) == 0 {
+                    f = p.wrapping_add(1).wrapping_add(imm as i16 as i32 as u32);
+                }
+            }
+            Instr::Bnez { rs1, imm } => {
+                if self.reg(rs1) != 0 {
+                    f = p.wrapping_add(1).wrapping_add(imm as i16 as i32 as u32);
+                }
+            }
+            Instr::J { target } => f = target,
+            Instr::Jal { target } => {
+                self.set_reg(Reg::LINK, p.wrapping_add(2));
+                f = target;
+            }
+            Instr::Jr { rs1 } => f = self.reg(rs1),
+            Instr::Jalr { rd, rs1 } => {
+                // Read the target before writing the link (rd may equal
+                // rs1).
+                f = self.reg(rs1);
+                self.set_reg(rd, p.wrapping_add(2));
+            }
+            Instr::Halt => {
+                f = p;
+                self.halted = true;
+            }
+        }
+        self.dpc = self.pc;
+        self.pc = f;
+        self.retired += 1;
+        if self.halted {
+            Some(StopReason::Halted)
+        } else {
+            None
+        }
+    }
+
+    /// Runs until halt, an illegal instruction, or `fuel` instructions.
+    pub fn run(&mut self, fuel: u64) -> StopReason {
+        for _ in 0..fuel {
+            if let Some(r) = self.step() {
+                return r;
+            }
+        }
+        StopReason::OutOfFuel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{encode_program, Instr::*, NOP};
+
+    fn cfg() -> DlxConfig {
+        DlxConfig::default()
+    }
+
+    fn run_prog(prog: &[Instr], fuel: u64) -> IsaSim {
+        let words: Vec<u32> = prog.iter().map(|i| i.encode()).collect();
+        let mut sim = IsaSim::new(cfg(), &words);
+        sim.run(fuel);
+        sim
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let sim = run_prog(
+            &[
+                AluImm {
+                    op: AluOp::Add,
+                    rd: Reg(1),
+                    rs1: Reg(0),
+                    imm: 5,
+                },
+                AluImm {
+                    op: AluOp::Add,
+                    rd: Reg(2),
+                    rs1: Reg(1),
+                    imm: 7,
+                },
+                Alu {
+                    op: AluOp::Sub,
+                    rd: Reg(3),
+                    rs1: Reg(2),
+                    rs2: Reg(1),
+                },
+                Halt,
+            ],
+            100,
+        );
+        assert!(sim.halted());
+        assert_eq!(sim.regs[1], 5);
+        assert_eq!(sim.regs[2], 12);
+        assert_eq!(sim.regs[3], 7);
+        assert_eq!(sim.retired, 4);
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let sim = run_prog(
+            &[
+                AluImm {
+                    op: AluOp::Add,
+                    rd: Reg(0),
+                    rs1: Reg(0),
+                    imm: 99,
+                },
+                Halt,
+            ],
+            10,
+        );
+        assert_eq!(sim.regs[0], 0);
+    }
+
+    #[test]
+    fn delay_slot_executes_on_taken_branch() {
+        // beqz r0, +2 (taken; target = pc+1+2 = 3? offset relative to
+        // delay slot: target = 0+1+2 = 3)
+        let sim = run_prog(
+            &[
+                Beqz {
+                    rs1: Reg(0),
+                    imm: 2,
+                }, // 0: taken, target 3
+                AluImm {
+                    // 1: delay slot — must execute
+                    op: AluOp::Add,
+                    rd: Reg(1),
+                    rs1: Reg(0),
+                    imm: 11,
+                },
+                AluImm {
+                    // 2: skipped
+                    op: AluOp::Add,
+                    rd: Reg(2),
+                    rs1: Reg(0),
+                    imm: 22,
+                },
+                Halt, // 3
+            ],
+            10,
+        );
+        assert_eq!(sim.regs[1], 11, "delay slot executed");
+        assert_eq!(sim.regs[2], 0, "branch shadow skipped");
+    }
+
+    #[test]
+    fn untaken_branch_falls_through() {
+        let sim = run_prog(
+            &[
+                Bnez {
+                    rs1: Reg(0),
+                    imm: 2,
+                },
+                NOP,
+                AluImm {
+                    op: AluOp::Add,
+                    rd: Reg(2),
+                    rs1: Reg(0),
+                    imm: 22,
+                },
+                Halt,
+            ],
+            10,
+        );
+        assert_eq!(sim.regs[2], 22);
+    }
+
+    #[test]
+    fn jal_links_past_delay_slot() {
+        let sim = run_prog(
+            &[
+                Jal { target: 4 }, // 0: r31 := 2
+                NOP,               // 1: delay slot
+                AluImm {
+                    // 2: return lands here
+                    op: AluOp::Add,
+                    rd: Reg(3),
+                    rs1: Reg(0),
+                    imm: 33,
+                },
+                Halt, // 3
+                // 4: subroutine
+                AluImm {
+                    op: AluOp::Add,
+                    rd: Reg(4),
+                    rs1: Reg(0),
+                    imm: 44,
+                },
+                Jr { rs1: Reg(31) }, // 5
+                NOP,                 // 6: delay slot of jr
+            ],
+            50,
+        );
+        assert_eq!(sim.regs[31], 2);
+        assert_eq!(sim.regs[4], 44);
+        assert_eq!(sim.regs[3], 33);
+        assert!(sim.halted());
+    }
+
+    #[test]
+    fn loads_and_stores_roundtrip() {
+        let sim = run_prog(
+            &[
+                AluImm {
+                    op: AluOp::Add,
+                    rd: Reg(1),
+                    rs1: Reg(0),
+                    imm: 10, // address base
+                },
+                AluImm {
+                    op: AluOp::Add,
+                    rd: Reg(2),
+                    rs1: Reg(0),
+                    imm: 0x1234,
+                },
+                Sw {
+                    rs2: Reg(2),
+                    rs1: Reg(1),
+                    imm: 6, // byte address 16 -> word 4
+                },
+                Lw {
+                    rd: Reg(3),
+                    rs1: Reg(1),
+                    imm: 6,
+                },
+                Halt,
+            ],
+            10,
+        );
+        assert_eq!(sim.dmem[4], 0x1234);
+        assert_eq!(sim.regs[3], 0x1234);
+    }
+
+    #[test]
+    fn subword_loads_and_stores() {
+        let sim = run_prog(
+            &[
+                Lhi {
+                    rd: Reg(1),
+                    imm: 0xdead,
+                },
+                AluImm {
+                    op: AluOp::Or,
+                    rd: Reg(1),
+                    rs1: Reg(1),
+                    imm: 0xbeef,
+                },
+                Sw {
+                    rs2: Reg(1),
+                    rs1: Reg(0),
+                    imm: 8, // word 2 := 0xdeadbeef
+                },
+                LoadSub {
+                    kind: SubKind::Byte,
+                    rd: Reg(2),
+                    rs1: Reg(0),
+                    imm: 8, // lane 0: 0xef sign-extended
+                },
+                LoadSub {
+                    kind: SubKind::ByteU,
+                    rd: Reg(3),
+                    rs1: Reg(0),
+                    imm: 11, // lane 3: 0xde
+                },
+                LoadSub {
+                    kind: SubKind::Half,
+                    rd: Reg(4),
+                    rs1: Reg(0),
+                    imm: 10, // upper half: 0xdead sign-extended
+                },
+                LoadSub {
+                    kind: SubKind::HalfU,
+                    rd: Reg(5),
+                    rs1: Reg(0),
+                    imm: 8, // lower half: 0xbeef
+                },
+                StoreSub {
+                    kind: SubKind::Byte,
+                    rs2: Reg(3),
+                    rs1: Reg(0),
+                    imm: 9, // word 2 lane 1 := 0xde
+                },
+                StoreSub {
+                    kind: SubKind::Half,
+                    rs2: Reg(4),
+                    rs1: Reg(0),
+                    imm: 14, // word 3 upper half := 0xdead (low half of r4)
+                },
+                Halt,
+            ],
+            20,
+        );
+        assert_eq!(sim.regs[2], 0xffff_ffef);
+        assert_eq!(sim.regs[3], 0xde);
+        assert_eq!(sim.regs[4], 0xffff_dead);
+        assert_eq!(sim.regs[5], 0xbeef);
+        assert_eq!(sim.dmem[2], 0xdead_deef);
+        assert_eq!(sim.dmem[3], 0xdead_0000);
+    }
+
+    #[test]
+    fn negative_branch_offset_loops() {
+        // r1 counts down from 3; loop body adds 1 to r2.
+        let sim = run_prog(
+            &[
+                AluImm {
+                    op: AluOp::Add,
+                    rd: Reg(1),
+                    rs1: Reg(0),
+                    imm: 3,
+                },
+                // 1: loop: r2++
+                AluImm {
+                    op: AluOp::Add,
+                    rd: Reg(2),
+                    rs1: Reg(2),
+                    imm: 1,
+                },
+                // 2: r1--
+                AluImm {
+                    op: AluOp::Add,
+                    rd: Reg(1),
+                    rs1: Reg(1),
+                    imm: 0xffff, // -1
+                },
+                // 3: bnez r1, loop (target = 3+1-4 = 0? want 1:
+                // target = p+1+imm = 4+imm = 1 -> imm = -3)
+                Bnez {
+                    rs1: Reg(1),
+                    imm: (-3i16) as u16,
+                },
+                NOP, // 4: delay slot
+                Halt,
+            ],
+            100,
+        );
+        assert!(sim.halted());
+        assert_eq!(sim.regs[2], 3);
+        assert_eq!(sim.regs[1], 0);
+    }
+
+    #[test]
+    fn lhi_and_ori_build_constants() {
+        let sim = run_prog(
+            &[
+                Lhi {
+                    rd: Reg(1),
+                    imm: 0xdead,
+                },
+                AluImm {
+                    op: AluOp::Or,
+                    rd: Reg(1),
+                    rs1: Reg(1),
+                    imm: 0xbeef,
+                },
+                Halt,
+            ],
+            10,
+        );
+        assert_eq!(sim.regs[1], 0xdead_beef);
+    }
+
+    #[test]
+    fn halt_stops_before_following_instructions() {
+        let sim = run_prog(
+            &[
+                Halt,
+                AluImm {
+                    op: AluOp::Add,
+                    rd: Reg(1),
+                    rs1: Reg(0),
+                    imm: 1,
+                },
+            ],
+            10,
+        );
+        assert_eq!(sim.regs[1], 0, "nothing after halt executes");
+        assert_eq!(sim.retired, 1);
+    }
+
+    #[test]
+    fn set_comparison_ops() {
+        let sim = run_prog(
+            &[
+                AluImm {
+                    op: AluOp::Add,
+                    rd: Reg(1),
+                    rs1: Reg(0),
+                    imm: 0xffff, // r1 = -1
+                },
+                AluImm {
+                    op: AluOp::Add,
+                    rd: Reg(2),
+                    rs1: Reg(0),
+                    imm: 1,
+                },
+                Alu {
+                    op: AluOp::Sgt,
+                    rd: Reg(3),
+                    rs1: Reg(2),
+                    rs2: Reg(1),
+                }, // 1 > -1 -> 1
+                Alu {
+                    op: AluOp::Sle,
+                    rd: Reg(4),
+                    rs1: Reg(1),
+                    rs2: Reg(2),
+                }, // -1 <= 1 -> 1
+                Alu {
+                    op: AluOp::Seq,
+                    rd: Reg(5),
+                    rs1: Reg(1),
+                    rs2: Reg(1),
+                }, // 1
+                Alu {
+                    op: AluOp::Sne,
+                    rd: Reg(6),
+                    rs1: Reg(1),
+                    rs2: Reg(1),
+                }, // 0
+                Alu {
+                    op: AluOp::Sge,
+                    rd: Reg(7),
+                    rs1: Reg(1),
+                    rs2: Reg(2),
+                }, // -1 >= 1 -> 0
+                Halt,
+            ],
+            20,
+        );
+        assert_eq!(sim.regs[3], 1);
+        assert_eq!(sim.regs[4], 1);
+        assert_eq!(sim.regs[5], 1);
+        assert_eq!(sim.regs[6], 0);
+        assert_eq!(sim.regs[7], 0);
+    }
+
+    #[test]
+    fn jalr_with_rd_equal_rs1_reads_before_link() {
+        let prog = encode_program(&[
+            AluImm {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rs1: Reg(0),
+                imm: 4,
+            },
+            Jalr {
+                rd: Reg(1),
+                rs1: Reg(1),
+            }, // jump to 4, r1 := 3
+            NOP, // 2: delay slot
+            AluImm {
+                // 3: skipped
+                op: AluOp::Add,
+                rd: Reg(5),
+                rs1: Reg(0),
+                imm: 55,
+            },
+            Halt, // 4: target
+        ]);
+        let words: Vec<u32> = prog.iter().map(|w| *w as u32).collect();
+        let mut sim = IsaSim::new(cfg(), &words);
+        sim.run(10);
+        assert_eq!(sim.regs[1], 3, "link value reads target before write");
+        assert_eq!(sim.regs[5], 0, "jump shadow skipped");
+        assert!(sim.halted());
+    }
+}

@@ -1,0 +1,451 @@
+//! Workload generators for the experiments.
+//!
+//! * [`random_program`] — terminating random programs with a
+//!   controllable **hazard profile**: how often an instruction reads
+//!   the result of a recent predecessor (RAW density and distance),
+//!   the load/store fraction, and the (forward-only) branch fraction.
+//!   These drive the CPI sweeps of experiments E4/E5.
+//! * Kernels ([`fib`], [`memcpy`], [`bubble_sort`]) — the "realistic
+//!   scenario" programs used by the examples and integration tests.
+
+use crate::asm::assemble;
+use crate::isa::{AluOp, Instr, Reg, SubKind, NOP};
+use crate::machine::DlxConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hazard characteristics of a generated program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HazardProfile {
+    /// Probability that an instruction reads the destination of a
+    /// recent predecessor.
+    pub raw_density: f64,
+    /// Distance distribution of such reads: probability that the
+    /// producer is the *immediately* preceding instruction (otherwise
+    /// it is 2–3 back).
+    pub short_distance: f64,
+    /// Fraction of memory instructions (half loads, half stores).
+    pub mem_frac: f64,
+    /// Fraction of (forward, short) conditional branches.
+    pub branch_frac: f64,
+}
+
+impl Default for HazardProfile {
+    fn default() -> Self {
+        HazardProfile {
+            raw_density: 0.3,
+            short_distance: 0.5,
+            mem_frac: 0.2,
+            branch_frac: 0.1,
+        }
+    }
+}
+
+impl HazardProfile {
+    /// A profile with no data dependencies at all.
+    pub fn independent() -> Self {
+        HazardProfile {
+            raw_density: 0.0,
+            short_distance: 0.0,
+            mem_frac: 0.0,
+            branch_frac: 0.0,
+        }
+    }
+
+    /// A profile where every instruction depends on its predecessor.
+    pub fn serial() -> Self {
+        HazardProfile {
+            raw_density: 1.0,
+            short_distance: 1.0,
+            mem_frac: 0.0,
+            branch_frac: 0.0,
+        }
+    }
+}
+
+/// Generates a terminating random program of roughly `len`
+/// instructions (plus the trailing `HALT`/`NOP`). Branches are always
+/// forward with short offsets, so the program cannot loop; it fits the
+/// instruction memory of `cfg` or panics.
+///
+/// # Panics
+///
+/// Panics if `len + 2` exceeds the instruction memory.
+pub fn random_program(cfg: DlxConfig, len: usize, profile: HazardProfile, seed: u64) -> Vec<Instr> {
+    assert!(
+        len + 2 <= 1 << cfg.imem_aw,
+        "program of {len} instructions does not fit"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nregs = 1u8 << cfg.gpr_aw.min(5);
+    let reg_max = nregs.max(2);
+    let mut prog: Vec<Instr> = Vec::with_capacity(len + 2);
+    // Track recent destination registers for dependence injection.
+    let mut recent: Vec<Reg> = Vec::new();
+    // Cycles where a branch shadow forbids placing another branch.
+    let mut no_branch_until = 0usize;
+
+    while prog.len() < len {
+        let idx = prog.len();
+        // A register that is *not* a recent destination, so accidental
+        // dependencies do not dilute the profile knob.
+        let rand_reg = |rng: &mut StdRng, recent: &[Reg]| {
+            for _ in 0..4 {
+                let r = Reg(rng.gen_range(1..reg_max));
+                if !recent.iter().rev().take(3).any(|&d| d == r) {
+                    return r;
+                }
+            }
+            Reg(rng.gen_range(1..reg_max))
+        };
+        let pick_src = |rng: &mut StdRng, recent: &[Reg]| -> Option<Reg> {
+            if recent.is_empty() || !rng.gen_bool(profile.raw_density) {
+                return None;
+            }
+            let d = if recent.len() < 2 || rng.gen_bool(profile.short_distance) {
+                1
+            } else {
+                rng.gen_range(2..=3.min(recent.len()))
+            };
+            recent.get(recent.len().saturating_sub(d)).copied()
+        };
+        let r = rng.gen::<f64>();
+        let instr = if r < profile.branch_frac && idx >= no_branch_until && len - idx > 4 {
+            // Forward branch skipping 1..3 instructions; its delay slot
+            // executes.
+            let skip = rng.gen_range(1..=3u16);
+            no_branch_until = idx + 2;
+            let rs1 = pick_src(&mut rng, &recent).unwrap_or_else(|| rand_reg(&mut rng, &recent));
+            recent.push(Reg::R0); // branch writes nothing; keep distances aligned
+            if rng.gen_bool(0.5) {
+                Instr::Beqz { rs1, imm: skip }
+            } else {
+                Instr::Bnez { rs1, imm: skip }
+            }
+        } else if r < profile.branch_frac + profile.mem_frac {
+            let base = pick_src(&mut rng, &recent).unwrap_or_else(|| rand_reg(&mut rng, &recent));
+            let off = rng.gen_range(0..1u16 << cfg.dmem_aw.min(8));
+            if rng.gen_bool(0.5) {
+                let rd = rand_reg(&mut rng, &recent);
+                recent.push(rd);
+                // Mix word and sub-word loads (exercises shift4load).
+                match rng.gen_range(0..5) {
+                    0 => Instr::LoadSub {
+                        kind: SubKind::Byte,
+                        rd,
+                        rs1: base,
+                        imm: off,
+                    },
+                    1 => Instr::LoadSub {
+                        kind: SubKind::HalfU,
+                        rd,
+                        rs1: base,
+                        imm: off,
+                    },
+                    _ => Instr::Lw {
+                        rd,
+                        rs1: base,
+                        imm: off,
+                    },
+                }
+            } else {
+                let rs2 =
+                    pick_src(&mut rng, &recent).unwrap_or_else(|| rand_reg(&mut rng, &recent));
+                recent.push(Reg::R0);
+                match rng.gen_range(0..5) {
+                    0 => Instr::StoreSub {
+                        kind: SubKind::Byte,
+                        rs2,
+                        rs1: base,
+                        imm: off,
+                    },
+                    1 => Instr::StoreSub {
+                        kind: SubKind::Half,
+                        rs2,
+                        rs1: base,
+                        imm: off,
+                    },
+                    _ => Instr::Sw {
+                        rs2,
+                        rs1: base,
+                        imm: off,
+                    },
+                }
+            }
+        } else {
+            let rd = rand_reg(&mut rng, &recent);
+            let rs1 = pick_src(&mut rng, &recent).unwrap_or_else(|| rand_reg(&mut rng, &recent));
+            recent.push(rd);
+            if rng.gen_bool(0.5) {
+                let rs2 =
+                    pick_src(&mut rng, &recent).unwrap_or_else(|| rand_reg(&mut rng, &recent));
+                let ops = [
+                    AluOp::Add,
+                    AluOp::Sub,
+                    AluOp::And,
+                    AluOp::Or,
+                    AluOp::Xor,
+                    AluOp::Slt,
+                    AluOp::Seq,
+                    AluOp::Sne,
+                    AluOp::Sge,
+                ];
+                Instr::Alu {
+                    op: ops[rng.gen_range(0..ops.len())],
+                    rd,
+                    rs1,
+                    rs2,
+                }
+            } else {
+                Instr::AluImm {
+                    op: AluOp::Add,
+                    rd,
+                    rs1,
+                    imm: rng.gen_range(0..256),
+                }
+            }
+        };
+        prog.push(instr);
+        if recent.len() > 8 {
+            recent.remove(0);
+        }
+    }
+    prog.push(Instr::Halt);
+    prog.push(NOP); // benign halt-loop companion
+    prog
+}
+
+/// Iterative Fibonacci: computes `fib(n)` into `DMEM[0]`.
+pub fn fib(n: u16) -> Vec<Instr> {
+    assemble(&format!(
+        "      addi r1, r0, {n}   ; counter
+               addi r2, r0, 0     ; fib(0)
+               addi r3, r0, 1     ; fib(1)
+               beqz r1, done
+               nop
+        loop:  add  r4, r2, r3
+               add  r2, r3, r0
+               add  r3, r4, r0
+               subi r1, r1, 1
+               bnez r1, loop
+               nop
+        done:  sw   r2, 0(r0)
+               halt
+               nop"
+    ))
+    .expect("kernel assembles")
+}
+
+/// Copies `n` words from byte address `src` to byte address `dst`.
+pub fn memcpy(src: u16, dst: u16, n: u16) -> Vec<Instr> {
+    assemble(&format!(
+        "      addi r1, r0, {src}
+               addi r2, r0, {dst}
+               addi r3, r0, {n}
+               beqz r3, done
+               nop
+        loop:  lw   r4, 0(r1)
+               sw   r4, 0(r2)
+               addi r1, r1, 4
+               addi r2, r2, 4
+               subi r3, r3, 1
+               bnez r3, loop
+               nop
+        done:  halt
+               nop"
+    ))
+    .expect("kernel assembles")
+}
+
+/// Bubble-sorts `n` words starting at byte address `base`, ascending
+/// (unsigned).
+pub fn bubble_sort(base: u16, n: u16) -> Vec<Instr> {
+    assemble(&format!(
+        "       addi r1, r0, {n}    ; outer counter
+        outer:  subi r1, r1, 1
+                beqz r1, done
+                nop
+                addi r2, r0, {base} ; byte pointer
+                add  r3, r1, r0     ; inner counter
+        inner:  lw   r4, 0(r2)
+                lw   r5, 4(r2)
+                sltu r6, r5, r4     ; r5 < r4 -> swap
+                beqz r6, noswap
+                nop
+                sw   r5, 0(r2)
+                sw   r4, 4(r2)
+        noswap: addi r2, r2, 4
+                subi r3, r3, 1
+                bnez r3, inner
+                nop
+                j    outer
+                nop
+        done:   halt
+                nop"
+    ))
+    .expect("kernel assembles")
+}
+
+/// Byte-string copy: copies bytes from `src` to `dst` until (and
+/// including) a zero byte — exercises `lb`/`sb` and the shift4load
+/// path.
+pub fn strcpy(src: u16, dst: u16) -> Vec<Instr> {
+    assemble(&format!(
+        "      addi r1, r0, {src}
+               addi r2, r0, {dst}
+        loop:  lbu  r3, 0(r1)
+               sb   r3, 0(r2)
+               addi r1, r1, 1
+               addi r2, r2, 1
+               bnez r3, loop
+               nop
+               halt
+               nop"
+    ))
+    .expect("kernel assembles")
+}
+
+/// Euclid's gcd as a JAL/JR subroutine: computes `gcd(a, b)` into
+/// `DMEM[0]` — exercises call/return through the pipeline.
+pub fn gcd(a: u16, b: u16) -> Vec<Instr> {
+    assemble(&format!(
+        "       addi r1, r0, {a}
+                addi r2, r0, {b}
+                jal  gcd
+                nop
+                sw   r1, 0(r0)
+                halt
+                nop
+        ; gcd(r1, r2) -> r1, clobbers r3
+        gcd:    beqz r2, ret
+                nop
+        step:   sltu r3, r1, r2    ; r1 < r2 ?
+                beqz r3, sub
+                nop
+                add  r3, r1, r0    ; swap
+                add  r1, r2, r0
+                add  r2, r3, r0
+        sub:    sub  r1, r1, r2
+                bnez r2, gcd
+                nop
+        ret:    jr   r31
+                nop"
+    ))
+    .expect("kernel assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{IsaSim, StopReason};
+
+    fn run(cfg: DlxConfig, prog: &[Instr], fuel: u64) -> IsaSim {
+        let words: Vec<u32> = prog.iter().map(|i| i.encode()).collect();
+        let mut sim = IsaSim::new(cfg, &words);
+        let r = sim.run(fuel);
+        assert_eq!(r, StopReason::Halted, "workload must terminate");
+        sim
+    }
+
+    #[test]
+    fn fib_computes_correctly() {
+        for (n, want) in [(0u16, 0u32), (1, 1), (2, 1), (3, 2), (10, 55), (20, 6765)] {
+            let sim = run(DlxConfig::default(), &fib(n), 10_000);
+            assert_eq!(sim.dmem[0], want, "fib({n})");
+        }
+    }
+
+    #[test]
+    fn memcpy_moves_data() {
+        let prog = memcpy(40, 80, 5); // byte addresses of words 10 / 20
+        let words: Vec<u32> = prog.iter().map(|i| i.encode()).collect();
+        let mut sim = IsaSim::new(DlxConfig::default(), &words);
+        for i in 0..5 {
+            sim.dmem[10 + i] = 100 + i as u32;
+        }
+        assert_eq!(sim.run(10_000), StopReason::Halted);
+        for i in 0..5 {
+            assert_eq!(sim.dmem[20 + i], 100 + i as u32);
+        }
+    }
+
+    #[test]
+    fn bubble_sort_sorts() {
+        let prog = bubble_sort(0, 6);
+        let words: Vec<u32> = prog.iter().map(|i| i.encode()).collect();
+        let mut sim = IsaSim::new(DlxConfig::default(), &words);
+        let data = [5u32, 1, 4, 2, 6, 3];
+        for (i, v) in data.iter().enumerate() {
+            sim.dmem[i] = *v;
+        }
+        assert_eq!(sim.run(100_000), StopReason::Halted);
+        assert_eq!(&sim.dmem[..6], &[1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn gcd_computes_correctly() {
+        for (a, b, want) in [
+            (48u16, 18u16, 6u32),
+            (7, 13, 1),
+            (0, 5, 5),
+            (9, 0, 9),
+            (36, 36, 36),
+        ] {
+            let sim = run(DlxConfig::default(), &gcd(a, b), 10_000);
+            assert_eq!(sim.dmem[0], want, "gcd({a},{b})");
+        }
+    }
+
+    #[test]
+    fn strcpy_copies_bytes() {
+        let prog = strcpy(0, 64); // byte 64 = word 16
+        let words: Vec<u32> = prog.iter().map(|i| i.encode()).collect();
+        let mut sim = IsaSim::new(DlxConfig::default(), &words);
+        // "Hi!\0" packed little-endian into word 0.
+        sim.dmem[0] = u32::from_le_bytes(*b"Hi!\0");
+        assert_eq!(sim.run(10_000), StopReason::Halted);
+        assert_eq!(sim.dmem[16].to_le_bytes(), *b"Hi!\0");
+    }
+
+    #[test]
+    fn random_programs_terminate_and_vary() {
+        let cfg = DlxConfig::default();
+        for seed in 0..20 {
+            let prog = random_program(cfg, 100, HazardProfile::default(), seed);
+            assert!(prog.len() <= 102);
+            let sim = run(cfg, &prog, 1_000);
+            assert!(sim.retired <= 110, "forward branches cannot loop");
+        }
+    }
+
+    #[test]
+    fn serial_profile_creates_chains() {
+        let cfg = DlxConfig::default();
+        let prog = random_program(cfg, 50, HazardProfile::serial(), 7);
+        // Count adjacent RAW dependencies.
+        let mut chains = 0;
+        for w in prog.windows(2) {
+            if let Some(d) = w[0].dest() {
+                if d != Reg::R0 && w[1].sources().contains(&d) {
+                    chains += 1;
+                }
+            }
+        }
+        assert!(chains > 30, "serial profile must chain ({chains})");
+    }
+
+    #[test]
+    fn independent_profile_has_no_chains() {
+        let cfg = DlxConfig::default();
+        let prog = random_program(cfg, 50, HazardProfile::independent(), 7);
+        let mut chains = 0;
+        for w in prog.windows(2) {
+            if let Some(d) = w[0].dest() {
+                if d != Reg::R0 && w[1].sources().contains(&d) {
+                    chains += 1;
+                }
+            }
+        }
+        assert_eq!(chains, 0);
+    }
+}

@@ -1,0 +1,504 @@
+//! The case-study pipeline end to end:
+//!
+//! 1. the prepared **sequential** DLX matches the golden ISA simulator
+//!    instruction by instruction (the paper assumes the sequential
+//!    machine correct; we establish it),
+//! 2. the **pipelined** DLX passes the scheduling-function
+//!    co-simulation checker (data consistency `R_I^T = R_S^i`, Lemma 1,
+//!    bounded liveness) on kernels and random workloads,
+//! 3. the generated forwarding hardware has the structure of the
+//!    paper's Figure 2,
+//! 4. performance behaves as the paper implies (forwarding ≈ 1 CPI,
+//!    interlock-only much slower, load-use stalls).
+
+use autopipe_dlx::machine::{dlx_interlock_options, load_program};
+use autopipe_dlx::workload::{bubble_sort, fib, gcd, memcpy, random_program, HazardProfile};
+use autopipe_dlx::{build_dlx_spec, dlx_synth_options, DlxConfig, Instr, IsaSim};
+use autopipe_psm::{SequentialMachine, VisibleValue};
+use autopipe_synth::{PipelineSynthesizer, PipelinedMachine, SynthOptions};
+use autopipe_verify::Cosim;
+
+fn words(prog: &[Instr]) -> Vec<u32> {
+    prog.iter().map(|i| i.encode()).collect()
+}
+
+/// Runs the prepared sequential machine against the ISA simulator,
+/// comparing all visible state before every instruction.
+fn seq_matches_isa(cfg: DlxConfig, prog: &[Instr], max_instr: u64) {
+    let plan = build_dlx_spec(cfg).unwrap().plan().unwrap();
+    let mut seq = SequentialMachine::new(plan).unwrap();
+    load_program(seq.sim_mut(), cfg, &words(prog));
+    let mut isa = IsaSim::new(cfg, &words(prog));
+    for step in 0..max_instr {
+        let vis = seq.visible_state();
+        assert_eq!(
+            vis["PC"],
+            VisibleValue::Word(u64::from(isa.pc)),
+            "PC before instruction {step}"
+        );
+        assert_eq!(
+            vis["DPC"],
+            VisibleValue::Word(u64::from(isa.dpc)),
+            "DPC before instruction {step}"
+        );
+        match &vis["GPR"] {
+            VisibleValue::File(v) => {
+                for (i, got) in v.iter().enumerate() {
+                    assert_eq!(
+                        *got,
+                        u64::from(isa.regs[i]),
+                        "GPR[{i}] before instruction {step}"
+                    );
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &vis["DMEM"] {
+            VisibleValue::File(v) => {
+                for (i, got) in v.iter().enumerate() {
+                    assert_eq!(
+                        *got,
+                        u64::from(isa.dmem[i]),
+                        "DMEM[{i}] before instruction {step}"
+                    );
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        if isa.halted() {
+            return;
+        }
+        isa.step();
+        seq.step_instruction();
+    }
+    panic!("program did not halt within {max_instr} instructions");
+}
+
+fn pipeline(cfg: DlxConfig, options: SynthOptions) -> PipelinedMachine {
+    let plan = build_dlx_spec(cfg).unwrap().plan().unwrap();
+    PipelineSynthesizer::new(options).run(&plan).unwrap()
+}
+
+/// Runs the pipelined machine under the cosim checker for `cycles`.
+fn check_pipeline(pm: &PipelinedMachine, cfg: DlxConfig, prog: &[Instr], cycles: u64) -> f64 {
+    let mut cosim = Cosim::new(pm).unwrap();
+    load_program(cosim.sim_mut(), cfg, &words(prog));
+    load_program(cosim.seq_sim_mut(), cfg, &words(prog));
+    let stats = cosim
+        .run(cycles)
+        .unwrap_or_else(|e| panic!("consistency violation: {e}"))
+        .clone();
+    stats.cpi()
+}
+
+#[test]
+fn sequential_dlx_matches_isa_on_kernels() {
+    let cfg = DlxConfig::default();
+    seq_matches_isa(cfg, &fib(10), 200);
+    seq_matches_isa(cfg, &memcpy(8, 30, 4), 200);
+}
+
+#[test]
+fn sequential_dlx_matches_isa_on_random_programs() {
+    let cfg = DlxConfig::default();
+    for seed in 0..8 {
+        let prog = random_program(cfg, 60, HazardProfile::default(), seed);
+        seq_matches_isa(cfg, &prog, 100);
+    }
+}
+
+#[test]
+fn pipelined_dlx_is_consistent_on_fib() {
+    let cfg = DlxConfig::default();
+    let pm = pipeline(cfg, dlx_synth_options());
+    let cpi = check_pipeline(&pm, cfg, &fib(8), 400);
+    assert!(cpi < 2.0, "forwarded DLX should be fast (cpi = {cpi})");
+}
+
+#[test]
+fn pipelined_dlx_is_consistent_on_random_programs() {
+    let cfg = DlxConfig::default();
+    let pm = pipeline(cfg, dlx_synth_options());
+    for seed in 0..6 {
+        let prog = random_program(cfg, 80, HazardProfile::default(), seed);
+        check_pipeline(&pm, cfg, &prog, 300);
+    }
+}
+
+#[test]
+fn pipelined_dlx_is_consistent_on_serial_chains() {
+    let cfg = DlxConfig::default();
+    let pm = pipeline(cfg, dlx_synth_options());
+    let prog = random_program(cfg, 60, HazardProfile::serial(), 42);
+    check_pipeline(&pm, cfg, &prog, 300);
+}
+
+#[test]
+fn pipelined_dlx_is_consistent_on_memory_kernels() {
+    let cfg = DlxConfig::default();
+    let pm = pipeline(cfg, dlx_synth_options());
+    check_pipeline(&pm, cfg, &memcpy(8, 40, 6), 600);
+    check_pipeline(&pm, cfg, &bubble_sort(0, 4), 2000);
+}
+
+#[test]
+fn gcd_subroutine_is_consistent_in_the_pipeline() {
+    // JAL/JR call-and-return with data-dependent branches, cycle-level
+    // checked; result cross-checked against the ISA simulator.
+    let cfg = DlxConfig::default();
+    let pm = pipeline(cfg, dlx_synth_options());
+    let prog = gcd(48, 36);
+    check_pipeline(&pm, cfg, &prog, 1200);
+    let mut isa = IsaSim::new(cfg, &words(&prog));
+    isa.run(10_000);
+    assert_eq!(isa.dmem[0], 12);
+}
+
+#[test]
+fn interlock_only_dlx_is_consistent_but_slower() {
+    let cfg = DlxConfig::default();
+    let fwd = pipeline(cfg, dlx_synth_options());
+    let ilk = pipeline(cfg, dlx_interlock_options());
+    let prog = random_program(cfg, 80, HazardProfile::serial(), 3);
+    let cpi_fwd = check_pipeline(&fwd, cfg, &prog, 600);
+    let cpi_ilk = check_pipeline(&ilk, cfg, &prog, 600);
+    assert!(
+        cpi_ilk > cpi_fwd + 0.5,
+        "interlock {cpi_ilk} vs forwarding {cpi_fwd}"
+    );
+}
+
+#[test]
+fn figure2_structure_of_generated_forwarding() {
+    let cfg = DlxConfig::default();
+    let pm = pipeline(cfg, dlx_synth_options());
+    // One forwarding path per GPR operand, hits in stages 2, 3, 4 —
+    // three equality testers per operand, exactly Figure 2.
+    let gpra: Vec<_> = pm
+        .report
+        .forwards
+        .iter()
+        .filter(|p| p.target == "GPR")
+        .collect();
+    assert_eq!(gpra.len(), 2, "GPRa and GPRb");
+    for p in gpra {
+        assert_eq!(p.stage, 1);
+        assert_eq!(p.hit_stages, vec![2, 3, 4]);
+        assert_eq!(p.write_stage, 4);
+        assert_eq!(p.source.as_deref(), Some("C"));
+    }
+    // The hit nets exist under the names the paper uses.
+    for j in [2, 3, 4] {
+        assert!(pm.netlist.find(&format!("fw.1.GPRa.hit.{j}")).is_ok());
+        assert!(pm.netlist.find(&format!("fw.1.GPRb.hit.{j}")).is_ok());
+    }
+    // The delay-slot fetch comes from the DPC forwarding path.
+    let dpc: Vec<_> = pm
+        .report
+        .forwards
+        .iter()
+        .filter(|p| p.target == "DPC")
+        .collect();
+    assert_eq!(dpc.len(), 1);
+    assert_eq!(dpc[0].stage, 0);
+    assert_eq!(dpc[0].hit_stages, vec![1]);
+}
+
+#[test]
+fn load_use_causes_stalls_but_stays_consistent() {
+    let cfg = DlxConfig::default();
+    let pm = pipeline(cfg, dlx_synth_options());
+    // sw/lw pair followed immediately by a use of the loaded value.
+    let prog = autopipe_dlx::asm::assemble(
+        "   addi r1, r0, 7
+            sw   r1, 3(r0)
+            lw   r2, 3(r0)
+            add  r3, r2, r2   ; load-use
+            sw   r3, 4(r0)
+            halt
+            nop",
+    )
+    .unwrap();
+    let mut cosim = Cosim::new(&pm).unwrap();
+    load_program(cosim.sim_mut(), cfg, &words(&prog));
+    load_program(cosim.seq_sim_mut(), cfg, &words(&prog));
+    let stats = cosim.run(60).unwrap().clone();
+    assert!(
+        stats.dhaz_counts[1] > 0,
+        "the load-use hazard must raise dhaz in decode"
+    );
+}
+
+#[test]
+fn pipelined_dlx_handles_external_stalls() {
+    let cfg = DlxConfig::default();
+    let plan = build_dlx_spec(cfg).unwrap().plan().unwrap();
+    let pm = PipelineSynthesizer::new(dlx_synth_options().with_ext_stalls())
+        .run(&plan)
+        .unwrap();
+    let prog = random_program(cfg, 60, HazardProfile::default(), 11);
+    let mut state = 42u64;
+    let hook = move |_sim: &autopipe_hdl::Simulator, c: u64, s: usize| {
+        state = state
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(c + s as u64);
+        (state >> 40).is_multiple_of(3)
+    };
+    let mut cosim = Cosim::new(&pm).unwrap().with_ext_stalls(Box::new(hook));
+    load_program(cosim.sim_mut(), cfg, &words(&prog));
+    load_program(cosim.seq_sim_mut(), cfg, &words(&prog));
+    let stats = cosim.run(500).unwrap().clone();
+    assert!(stats.retired > 30);
+}
+
+#[test]
+fn small_config_also_consistent() {
+    let cfg = DlxConfig::small();
+    let pm = pipeline(cfg, dlx_synth_options());
+    let prog = random_program(cfg, 10, HazardProfile::serial(), 5);
+    check_pipeline(&pm, cfg, &prog, 120);
+}
+
+#[test]
+fn subword_memory_kernel_is_consistent_in_the_pipeline() {
+    // The shift4load path (paper Figure 2): byte loads/stores with
+    // read-modify-write word merging, checked cycle by cycle against
+    // the sequential machine; final state against the golden ISA sim.
+    let cfg = DlxConfig::default();
+    let pm = pipeline(cfg, dlx_synth_options());
+    let prog = autopipe_dlx::asm::assemble(
+        "   lhi  r1, 0xdead
+            ori  r1, r1, 0xbeef
+            sw   r1, 8(r0)        ; word 2 = 0xdeadbeef
+            lb   r2, 8(r0)        ; 0xffffffef
+            lbu  r3, 11(r0)       ; 0xde
+            lh   r4, 10(r0)       ; 0xffffdead
+            lhu  r5, 8(r0)        ; 0xbeef
+            sb   r3, 9(r0)        ; word 2 -> 0xdeaddeef
+            sh   r4, 14(r0)       ; word 3 upper half = 0xdead
+            add  r6, r2, r3       ; use the loaded values (hazards)
+            sw   r6, 16(r0)
+            halt
+            nop",
+    )
+    .unwrap();
+    check_pipeline(&pm, cfg, &prog, 120);
+    // Cross-check final memory against the golden ISA simulator.
+    let mut isa = IsaSim::new(cfg, &words(&prog));
+    isa.run(1000);
+    assert!(isa.halted());
+    assert_eq!(isa.dmem[2], 0xdead_deef);
+    assert_eq!(isa.dmem[3], 0xdead_0000);
+    assert_eq!(isa.dmem[4], 0xffff_ffef_u32.wrapping_add(0xde));
+}
+
+#[test]
+fn strcpy_kernel_runs_on_the_pipeline() {
+    let cfg = DlxConfig::default();
+    let pm = pipeline(cfg, dlx_synth_options());
+    let prog = autopipe_dlx::workload::strcpy(0, 64);
+    let w = words(&prog);
+    let mut cosim = Cosim::new(&pm).unwrap();
+    load_program(cosim.sim_mut(), cfg, &w);
+    load_program(cosim.seq_sim_mut(), cfg, &w);
+    // Seed the string in both machines' data memories.
+    let text = u64::from(u32::from_le_bytes(*b"Ok!\0"));
+    {
+        let sim = cosim.sim_mut();
+        let nl = sim.netlist();
+        let dmem = nl
+            .mem_ids()
+            .find(|m| nl.memory_info(*m).name.ends_with("DMEM"))
+            .unwrap();
+        sim.poke_mem(dmem, 0, text);
+    }
+    {
+        let sim = cosim.seq_sim_mut();
+        let nl = sim.netlist();
+        let dmem = nl
+            .mem_ids()
+            .find(|m| nl.memory_info(*m).name.ends_with("DMEM"))
+            .unwrap();
+        sim.poke_mem(dmem, 0, text);
+    }
+    cosim.run(200).unwrap();
+    let sim = cosim.sim_mut();
+    let nl = sim.netlist();
+    let dmem = nl
+        .mem_ids()
+        .find(|m| nl.memory_info(*m).name.ends_with("DMEM"))
+        .unwrap();
+    assert_eq!(sim.mem_value(dmem, 16), text);
+}
+
+#[test]
+fn slow_memory_stalls_but_stays_consistent() {
+    // The paper's "external stall condition ... e.g. caused by slow
+    // memory": a 2-wait-state data memory. Correctness must be
+    // untouched; memory-heavy code slows down accordingly.
+    let cfg = DlxConfig::default();
+    let plan = build_dlx_spec(cfg).unwrap().plan().unwrap();
+    let pm = PipelineSynthesizer::new(dlx_synth_options().with_ext_stalls())
+        .run(&plan)
+        .unwrap();
+    let prog = memcpy(0, 64, 8);
+    let w = words(&prog);
+
+    // Fast memory baseline.
+    let mut fast = Cosim::new(&pm).unwrap();
+    load_program(fast.sim_mut(), cfg, &w);
+    load_program(fast.seq_sim_mut(), cfg, &w);
+    while fast.stats().retired < 50 {
+        fast.step().unwrap();
+    }
+    let fast_cycles = fast.stats().cycles;
+
+    // Two wait states per access.
+    let hook = autopipe_dlx::machine::wait_state_memory(&pm, 2);
+    let mut slow = Cosim::new(&pm).unwrap().with_ext_stalls(hook);
+    load_program(slow.sim_mut(), cfg, &w);
+    load_program(slow.seq_sim_mut(), cfg, &w);
+    while slow.stats().retired < 50 {
+        slow.step().unwrap();
+    }
+    let slow_cycles = slow.stats().cycles;
+    assert!(
+        slow_cycles > fast_cycles + 10,
+        "wait states must cost cycles ({slow_cycles} vs {fast_cycles})"
+    );
+    assert!(slow.stats().stall_counts[3] > 0);
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::OnceLock;
+
+    fn shared_pipeline() -> &'static (DlxConfig, PipelinedMachine) {
+        static PM: OnceLock<(DlxConfig, PipelinedMachine)> = OnceLock::new();
+        PM.get_or_init(|| {
+            let cfg = DlxConfig::default();
+            (cfg, pipeline(cfg, dlx_synth_options()))
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The flagship property: arbitrary hazard profiles never break
+        /// data consistency on the pipelined DLX.
+        #[test]
+        fn cosim_holds_for_arbitrary_hazard_profiles(
+            raw_density in 0.0f64..1.0,
+            short_distance in 0.0f64..1.0,
+            mem_frac in 0.0f64..0.5,
+            branch_frac in 0.0f64..0.3,
+            seed in 0u64..10_000,
+        ) {
+            let (cfg, pm) = shared_pipeline();
+            let profile = HazardProfile {
+                raw_density,
+                short_distance,
+                mem_frac,
+                branch_frac,
+            };
+            let prog = random_program(*cfg, 50, profile, seed);
+            let mut cosim = Cosim::new(pm).map_err(TestCaseError::fail)?;
+            load_program(cosim.sim_mut(), *cfg, &words(&prog));
+            load_program(cosim.seq_sim_mut(), *cfg, &words(&prog));
+            cosim
+                .run(250)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        }
+    }
+}
+
+#[test]
+fn vcd_trace_of_the_pipeline() {
+    use autopipe_hdl::vcd::VcdWriter;
+    let cfg = DlxConfig::default();
+    let pm = pipeline(cfg, dlx_synth_options());
+    let mut sim = pm.simulator().unwrap();
+    load_program(&mut sim, cfg, &words(&fib(5)));
+    let mut buf = Vec::new();
+    {
+        let mut vcd = VcdWriter::new(&mut buf, &pm.netlist);
+        for _ in 0..30 {
+            sim.settle();
+            vcd.sample(&sim).unwrap();
+            sim.clock();
+        }
+    }
+    let text = String::from_utf8(buf).unwrap();
+    assert!(text.contains("$enddefinitions"));
+    // Control and forwarding signals are all traceable by name.
+    for sig in ["ue_0", "full_4", "dhaz_1", "g_1_GPRa", "fw_1_GPRa_hit_2"] {
+        assert!(text.contains(sig), "{sig} missing from the VCD header");
+    }
+    assert!(text.contains("#29"));
+}
+
+#[test]
+fn dlx_retirement_equivalence_bmc() {
+    // Machine-checked (SAT) bounded equivalence of the pipelined DLX
+    // against its sequential specification: the first 3 data-memory
+    // writes are identical, proven by BMC over the product machine.
+    use autopipe_verify::bmc::{bmc_invariant, BmcOutcome};
+    use autopipe_verify::equiv::retirement_miter;
+    let cfg = DlxConfig::small();
+    let mut spec = build_dlx_spec(cfg).unwrap();
+    let prog: Vec<u64> = autopipe_dlx::asm::assemble(
+        "   addi r1, r0, 3
+            sw   r1, 0(r0)
+            addi r2, r1, 4
+            sw   r2, 4(r0)
+            add  r3, r2, r1
+            sw   r3, 8(r0)
+            halt
+            nop",
+    )
+    .unwrap()
+    .iter()
+    .map(|i| u64::from(i.encode()))
+    .collect();
+    for f in &mut spec.files {
+        if f.name == "IMEM" {
+            f.init = prog.clone();
+        }
+    }
+    let plan = spec.plan().unwrap();
+    let pm = PipelineSynthesizer::new(dlx_synth_options())
+        .run(&plan)
+        .unwrap();
+    let (nl, p) = retirement_miter(&pm, "DMEM", 3).unwrap();
+    let low = autopipe_hdl::aig::lower(&nl).unwrap();
+    let prop = low.net_lits(p)[0];
+    // Sequential machine: 5 cycles/instr * 8 instructions + slack.
+    assert_eq!(
+        bmc_invariant(&low.aig, prop, 45),
+        BmcOutcome::BoundedOk { depth: 45 }
+    );
+}
+
+#[test]
+fn optimized_dlx_is_consistent_and_smaller() {
+    use autopipe_hdl::NetlistStats;
+    let cfg = DlxConfig::default();
+    let pm = pipeline(cfg, dlx_synth_options());
+    let opt = pm.optimized();
+    let before = NetlistStats::of(&pm.netlist);
+    let after = NetlistStats::of(&opt.netlist);
+    assert!(
+        after.gates < before.gates,
+        "optimizer should shrink the DLX ({} -> {})",
+        before.gates,
+        after.gates
+    );
+    assert_eq!(after.register_bits, before.register_bits, "state preserved");
+    // The optimized machine passes the full cycle-level checker.
+    let prog = random_program(cfg, 60, HazardProfile::default(), 21);
+    check_pipeline(&opt, cfg, &prog, 250);
+    // And its obligations still discharge.
+    let reports = autopipe_verify::check_obligations(&opt.netlist, &opt.obligations, 2).unwrap();
+    assert!(reports.iter().all(|r| r.ok()));
+}

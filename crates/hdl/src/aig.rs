@@ -1,0 +1,923 @@
+//! And-inverter graph (AIG) representation and netlist bit-blasting.
+//!
+//! The verification crate discharges the paper's proof obligations by
+//! SAT-based bounded model checking and k-induction over the *generated*
+//! hardware. This module provides the bridge: [`lower`] bit-blasts a
+//! word-level [`Netlist`] — including registers, clock enables and
+//! register files — into an [`Aig`] whose latches carry the sequential
+//! state.
+//!
+//! Literal encoding follows the AIGER convention: variable `v` has
+//! positive literal `2v` and negative literal `2v+1`; variable 0 is the
+//! constant *false*.
+//!
+//! The lowering is the second implementation of the IR semantics (the
+//! first is the simulator); `tests` cross-check them on random inputs so
+//! the two cannot drift apart.
+
+use crate::ir::{BinaryOp, MemId, NetId, Netlist, Node, RegId, UnaryOp};
+use std::collections::HashMap;
+
+/// An AIG literal: variable index with a complement bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AigLit(u32);
+
+impl AigLit {
+    /// The constant false literal.
+    pub const FALSE: AigLit = AigLit(0);
+    /// The constant true literal.
+    pub const TRUE: AigLit = AigLit(1);
+
+    /// Builds a literal from a variable index and a complement flag.
+    pub fn new(var: u32, negated: bool) -> AigLit {
+        AigLit(var << 1 | u32::from(negated))
+    }
+
+    /// The underlying variable index.
+    pub fn var(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether the literal is complemented.
+    pub fn negated(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complemented literal.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> AigLit {
+        AigLit(self.0 ^ 1)
+    }
+
+    /// Raw AIGER-style encoding (`2·var + neg`).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// Definition of an AIG variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarDef {
+    /// Constant-false anchor variable (index 0).
+    Const,
+    /// Primary input.
+    Input,
+    /// Latch (sequential state bit).
+    Latch,
+    /// Two-input AND gate.
+    And(AigLit, AigLit),
+}
+
+/// A latch: one bit of sequential state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Latch {
+    /// Variable carrying the latch output.
+    pub var: u32,
+    /// Next-state function.
+    pub next: AigLit,
+    /// Initial value.
+    pub init: bool,
+}
+
+/// An and-inverter graph with latches.
+#[derive(Debug, Clone, Default)]
+pub struct Aig {
+    defs: Vec<VarDef>,
+    inputs: Vec<u32>,
+    latches: Vec<Latch>,
+    strash: HashMap<(AigLit, AigLit), AigLit>,
+}
+
+impl Aig {
+    /// Creates an empty AIG (with the constant variable pre-allocated).
+    pub fn new() -> Aig {
+        Aig {
+            defs: vec![VarDef::Const],
+            inputs: Vec::new(),
+            latches: Vec::new(),
+            strash: HashMap::new(),
+        }
+    }
+
+    /// Number of variables (including the constant).
+    pub fn var_count(&self) -> u32 {
+        self.defs.len() as u32
+    }
+
+    /// Number of AND gates.
+    pub fn and_count(&self) -> usize {
+        self.defs
+            .iter()
+            .filter(|d| matches!(d, VarDef::And(..)))
+            .count()
+    }
+
+    /// Primary input variables in creation order.
+    pub fn inputs(&self) -> &[u32] {
+        &self.inputs
+    }
+
+    /// Latches in creation order.
+    pub fn latches(&self) -> &[Latch] {
+        &self.latches
+    }
+
+    /// Returns the AND-gate operands of `var`, if it is an AND gate.
+    pub fn and_gate(&self, var: u32) -> Option<(AigLit, AigLit)> {
+        match self.defs[var as usize] {
+            VarDef::And(a, b) => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    /// True if `var` is a primary input.
+    pub fn is_input(&self, var: u32) -> bool {
+        matches!(self.defs[var as usize], VarDef::Input)
+    }
+
+    /// True if `var` is a latch output.
+    pub fn is_latch(&self, var: u32) -> bool {
+        matches!(self.defs[var as usize], VarDef::Latch)
+    }
+
+    /// Allocates a fresh primary input and returns its positive literal.
+    pub fn new_input(&mut self) -> AigLit {
+        let var = self.defs.len() as u32;
+        self.defs.push(VarDef::Input);
+        self.inputs.push(var);
+        AigLit::new(var, false)
+    }
+
+    /// Allocates a latch with the given initial value. The next-state
+    /// function starts as constant-false and must be set with
+    /// [`Aig::set_latch_next`].
+    pub fn new_latch(&mut self, init: bool) -> AigLit {
+        let var = self.defs.len() as u32;
+        self.defs.push(VarDef::Latch);
+        self.latches.push(Latch {
+            var,
+            next: AigLit::FALSE,
+            init,
+        });
+        AigLit::new(var, false)
+    }
+
+    /// Sets the next-state function of the latch whose output variable is
+    /// `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is not a latch.
+    pub fn set_latch_next(&mut self, var: u32, next: AigLit) {
+        let latch = self
+            .latches
+            .iter_mut()
+            .find(|l| l.var == var)
+            .expect("set_latch_next: not a latch variable");
+        latch.next = next;
+    }
+
+    /// Builds (or reuses, via structural hashing) an AND gate.
+    pub fn and(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        // Constant and trivial simplifications.
+        if a == AigLit::FALSE || b == AigLit::FALSE || a == b.not() {
+            return AigLit::FALSE;
+        }
+        if a == AigLit::TRUE {
+            return b;
+        }
+        if b == AigLit::TRUE || a == b {
+            return a;
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&lit) = self.strash.get(&key) {
+            return lit;
+        }
+        let var = self.defs.len() as u32;
+        self.defs.push(VarDef::And(key.0, key.1));
+        let lit = AigLit::new(var, false);
+        self.strash.insert(key, lit);
+        lit
+    }
+
+    /// Logical OR via De Morgan.
+    pub fn or(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        self.and(a.not(), b.not()).not()
+    }
+
+    /// Logical XOR.
+    pub fn xor(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        let n = self.and(a, b.not());
+        let m = self.and(a.not(), b);
+        self.or(n, m)
+    }
+
+    /// Logical XNOR (equivalence).
+    pub fn xnor(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        self.xor(a, b).not()
+    }
+
+    /// 2:1 multiplexer `sel ? t : e`.
+    pub fn mux(&mut self, sel: AigLit, t: AigLit, e: AigLit) -> AigLit {
+        let a = self.and(sel, t);
+        let b = self.and(sel.not(), e);
+        self.or(a, b)
+    }
+
+    /// Conjunction over many literals (true when empty).
+    pub fn and_all(&mut self, lits: &[AigLit]) -> AigLit {
+        let mut acc = AigLit::TRUE;
+        for &l in lits {
+            acc = self.and(acc, l);
+        }
+        acc
+    }
+
+    /// Disjunction over many literals (false when empty).
+    pub fn or_all(&mut self, lits: &[AigLit]) -> AigLit {
+        let mut acc = AigLit::FALSE;
+        for &l in lits {
+            acc = self.or(acc, l);
+        }
+        acc
+    }
+
+    /// Writes the graph in ASCII AIGER format (`aag`, AIGER 1.9: the
+    /// three-field latch form carries non-zero reset values), with the
+    /// given output literals — interoperable with standard model
+    /// checkers such as ABC.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_aiger_ascii<W: std::io::Write>(
+        &self,
+        mut w: W,
+        outputs: &[AigLit],
+    ) -> std::io::Result<()> {
+        let max_var = self.var_count() - 1;
+        writeln!(
+            w,
+            "aag {} {} {} {} {}",
+            max_var,
+            self.inputs.len(),
+            self.latches.len(),
+            outputs.len(),
+            self.and_count()
+        )?;
+        for &v in &self.inputs {
+            writeln!(w, "{}", v << 1)?;
+        }
+        for l in &self.latches {
+            if l.init {
+                writeln!(w, "{} {} 1", l.var << 1, l.next.raw())?;
+            } else {
+                writeln!(w, "{} {}", l.var << 1, l.next.raw())?;
+            }
+        }
+        for o in outputs {
+            writeln!(w, "{}", o.raw())?;
+        }
+        for v in 0..self.var_count() {
+            if let VarDef::And(a, b) = self.defs[v as usize] {
+                writeln!(w, "{} {} {}", v << 1, a.raw(), b.raw())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Result of bit-blasting a netlist; see [`lower`].
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    /// The resulting AIG.
+    pub aig: Aig,
+    net_bits: Vec<Vec<AigLit>>,
+    /// Per input net: the AIG input variables (LSB first).
+    pub input_vars: Vec<(NetId, Vec<u32>)>,
+    reg_latch_vars: Vec<Vec<u32>>,
+    mem_latch_vars: Vec<Vec<Vec<u32>>>,
+}
+
+impl Lowered {
+    /// AIG literals (LSB first) computing the value of `net`.
+    pub fn net_lits(&self, net: NetId) -> &[AigLit] {
+        &self.net_bits[net.index()]
+    }
+
+    /// Latch variables (LSB first) of register `reg`.
+    pub fn reg_vars(&self, reg: RegId) -> &[u32] {
+        &self.reg_latch_vars[reg.index()]
+    }
+
+    /// Latch variables (LSB first) of memory `mem`, entry `addr`.
+    pub fn mem_vars(&self, mem: MemId, addr: usize) -> &[u32] {
+        &self.mem_latch_vars[mem.index()][addr]
+    }
+}
+
+/// Bit-blasts a validated netlist into an AIG.
+///
+/// Registers become latches (clock enables folded into the next-state
+/// function); memories are fully expanded into per-entry latch vectors
+/// with write-port priority identical to the simulator (last port wins).
+///
+/// # Errors
+///
+/// Returns any [`crate::HdlError`] reported by [`Netlist::validate`].
+pub fn lower(nl: &Netlist) -> Result<Lowered, crate::HdlError> {
+    nl.validate()?;
+    let mut aig = Aig::new();
+
+    // Allocate sequential state first so latch variables are dense and
+    // stable regardless of combinational structure.
+    let mut reg_lits: Vec<Vec<AigLit>> = Vec::new();
+    let mut reg_latch_vars = Vec::new();
+    for r in nl.registers() {
+        let mut bits = Vec::with_capacity(r.width as usize);
+        let mut vars = Vec::with_capacity(r.width as usize);
+        for i in 0..r.width {
+            let lit = aig.new_latch((r.init >> i) & 1 == 1);
+            vars.push(lit.var());
+            bits.push(lit);
+        }
+        reg_lits.push(bits);
+        reg_latch_vars.push(vars);
+    }
+    let mut mem_lits: Vec<Vec<Vec<AigLit>>> = Vec::new();
+    let mut mem_latch_vars = Vec::new();
+    for m in nl.memories() {
+        let mut entries = Vec::with_capacity(m.entries());
+        let mut entry_vars = Vec::with_capacity(m.entries());
+        for e in 0..m.entries() {
+            let init = m.init.get(e).copied().unwrap_or(0);
+            let mut bits = Vec::with_capacity(m.data_width as usize);
+            let mut vars = Vec::with_capacity(m.data_width as usize);
+            for i in 0..m.data_width {
+                let lit = aig.new_latch((init >> i) & 1 == 1);
+                vars.push(lit.var());
+                bits.push(lit);
+            }
+            entries.push(bits);
+            entry_vars.push(vars);
+        }
+        mem_lits.push(entries);
+        mem_latch_vars.push(entry_vars);
+    }
+
+    // Combinational nets in topological (= creation) order.
+    let mut net_bits: Vec<Vec<AigLit>> = Vec::with_capacity(nl.node_count());
+    let mut input_vars = Vec::new();
+    for net in nl.nets() {
+        let w = nl.width(net) as usize;
+        let bits: Vec<AigLit> = match nl.node(net) {
+            Node::Input { .. } => {
+                let lits: Vec<AigLit> = (0..w).map(|_| aig.new_input()).collect();
+                input_vars.push((net, lits.iter().map(|l| l.var()).collect()));
+                lits
+            }
+            Node::Const { value } => (0..w)
+                .map(|i| {
+                    if (value >> i) & 1 == 1 {
+                        AigLit::TRUE
+                    } else {
+                        AigLit::FALSE
+                    }
+                })
+                .collect(),
+            Node::RegOut(r) => reg_lits[r.index()].clone(),
+            Node::MemRead { mem, addr } => {
+                let addr_bits = net_bits[addr.index()].clone();
+                read_mux_tree(&mut aig, &mem_lits[mem.index()], &addr_bits, 0)
+            }
+            Node::Unary { op, a } => {
+                let av = net_bits[a.index()].clone();
+                match op {
+                    UnaryOp::Not => av.iter().map(|l| l.not()).collect(),
+                    UnaryOp::Neg => {
+                        let inv: Vec<AigLit> = av.iter().map(|l| l.not()).collect();
+                        add_const_one(&mut aig, &inv)
+                    }
+                    UnaryOp::RedOr => vec![aig.or_all(&av)],
+                    UnaryOp::RedAnd => vec![aig.and_all(&av)],
+                    UnaryOp::RedXor => {
+                        let mut acc = AigLit::FALSE;
+                        for &l in &av {
+                            acc = aig.xor(acc, l);
+                        }
+                        vec![acc]
+                    }
+                }
+            }
+            Node::Binary { op, a, b } => {
+                let av = net_bits[a.index()].clone();
+                let bv = net_bits[b.index()].clone();
+                lower_binary(&mut aig, *op, &av, &bv)
+            }
+            Node::Mux {
+                sel,
+                then_net,
+                else_net,
+            } => {
+                let s = net_bits[sel.index()][0];
+                let tv = net_bits[then_net.index()].clone();
+                let ev = net_bits[else_net.index()].clone();
+                tv.iter()
+                    .zip(&ev)
+                    .map(|(&t, &e)| aig.mux(s, t, e))
+                    .collect()
+            }
+            Node::Slice { a, hi: _, lo } => {
+                let av = &net_bits[a.index()];
+                av[*lo as usize..*lo as usize + w].to_vec()
+            }
+            Node::Concat { hi, lo } => {
+                let mut v = net_bits[lo.index()].clone();
+                v.extend_from_slice(&net_bits[hi.index()]);
+                v
+            }
+        };
+        debug_assert_eq!(bits.len(), w);
+        net_bits.push(bits);
+    }
+
+    // Register next-state functions with enables folded in.
+    for (ri, r) in nl.registers().iter().enumerate() {
+        let next = r.next.expect("validated");
+        let en = r.enable.map(|e| net_bits[e.index()][0]);
+        for i in 0..r.width as usize {
+            let cur = reg_lits[ri][i];
+            let nxt = net_bits[next.index()][i];
+            let val = match en {
+                Some(e) => aig.mux(e, nxt, cur),
+                None => nxt,
+            };
+            aig.set_latch_next(cur.var(), val);
+        }
+    }
+
+    // Memory next-state: fold write ports in order (last port wins).
+    for (mi, m) in nl.memories().iter().enumerate() {
+        #[allow(clippy::needless_range_loop)] // e is also the decoded address
+        for e in 0..m.entries() {
+            let mut vals: Vec<AigLit> = mem_lits[mi][e].clone();
+            for p in &m.write_ports {
+                let en = net_bits[p.enable.index()][0];
+                let addr_bits = &net_bits[p.addr.index()];
+                let matches: Vec<AigLit> = addr_bits
+                    .iter()
+                    .enumerate()
+                    .map(|(bi, &ab)| if (e >> bi) & 1 == 1 { ab } else { ab.not() })
+                    .collect();
+                let addr_match = aig.and_all(&matches);
+                let hit = aig.and(en, addr_match);
+                let data = net_bits[p.data.index()].clone();
+                vals = vals
+                    .iter()
+                    .zip(&data)
+                    .map(|(&cur, &d)| aig.mux(hit, d, cur))
+                    .collect();
+            }
+            for (bi, &v) in vals.iter().enumerate() {
+                aig.set_latch_next(mem_lits[mi][e][bi].var(), v);
+            }
+        }
+    }
+
+    Ok(Lowered {
+        aig,
+        net_bits,
+        input_vars,
+        reg_latch_vars,
+        mem_latch_vars,
+    })
+}
+
+/// Recursive mux tree over memory entries, selecting by address bits
+/// starting from the most significant.
+fn read_mux_tree(
+    aig: &mut Aig,
+    entries: &[Vec<AigLit>],
+    addr: &[AigLit],
+    _depth: u32,
+) -> Vec<AigLit> {
+    if entries.len() == 1 {
+        return entries[0].clone();
+    }
+    let top = addr.len() - 1;
+    let half = entries.len() / 2;
+    let lo = read_mux_tree(aig, &entries[..half], &addr[..top], 0);
+    let hi = read_mux_tree(aig, &entries[half..], &addr[..top], 0);
+    let sel = addr[top];
+    lo.iter()
+        .zip(&hi)
+        .map(|(&l, &h)| aig.mux(sel, h, l))
+        .collect()
+}
+
+/// Ripple-carry increment (used by two's-complement negation).
+fn add_const_one(aig: &mut Aig, a: &[AigLit]) -> Vec<AigLit> {
+    let mut out = Vec::with_capacity(a.len());
+    let mut carry = AigLit::TRUE;
+    for &bit in a {
+        out.push(aig.xor(bit, carry));
+        carry = aig.and(bit, carry);
+    }
+    out
+}
+
+/// Ripple-carry adder; returns (sum, carry_out).
+fn adder(aig: &mut Aig, a: &[AigLit], b: &[AigLit], carry_in: AigLit) -> (Vec<AigLit>, AigLit) {
+    let mut out = Vec::with_capacity(a.len());
+    let mut carry = carry_in;
+    for (&x, &y) in a.iter().zip(b) {
+        let xy = aig.xor(x, y);
+        out.push(aig.xor(xy, carry));
+        // carry' = (x & y) | (carry & (x ^ y))
+        let g = aig.and(x, y);
+        let p = aig.and(carry, xy);
+        carry = aig.or(g, p);
+    }
+    (out, carry)
+}
+
+/// Unsigned a < b via the borrow of a - b.
+fn ult(aig: &mut Aig, a: &[AigLit], b: &[AigLit]) -> AigLit {
+    let nb: Vec<AigLit> = b.iter().map(|l| l.not()).collect();
+    let (_, carry) = adder(aig, a, &nb, AigLit::TRUE);
+    carry.not()
+}
+
+fn slt(aig: &mut Aig, a: &[AigLit], b: &[AigLit]) -> AigLit {
+    let sa = *a.last().expect("nonempty");
+    let sb = *b.last().expect("nonempty");
+    let u = ult(aig, a, b);
+    // Different signs: a < b iff a negative. Same signs: unsigned compare.
+    let diff = aig.xor(sa, sb);
+    aig.mux(diff, sa, u)
+}
+
+fn lower_binary(aig: &mut Aig, op: BinaryOp, a: &[AigLit], b: &[AigLit]) -> Vec<AigLit> {
+    match op {
+        BinaryOp::And => a.iter().zip(b).map(|(&x, &y)| aig.and(x, y)).collect(),
+        BinaryOp::Or => a.iter().zip(b).map(|(&x, &y)| aig.or(x, y)).collect(),
+        BinaryOp::Xor => a.iter().zip(b).map(|(&x, &y)| aig.xor(x, y)).collect(),
+        BinaryOp::Add => adder(aig, a, b, AigLit::FALSE).0,
+        BinaryOp::Sub => {
+            let nb: Vec<AigLit> = b.iter().map(|l| l.not()).collect();
+            adder(aig, a, &nb, AigLit::TRUE).0
+        }
+        BinaryOp::Mul => {
+            // Schoolbook shift-add, truncated to the operand width.
+            let w = a.len();
+            let mut acc = vec![AigLit::FALSE; w];
+            for (i, &abit) in a.iter().enumerate() {
+                // Partial product row: (b << i) AND a[i].
+                let mut row = vec![AigLit::FALSE; w];
+                for j in 0..w - i {
+                    row[i + j] = aig.and(b[j], abit);
+                }
+                acc = adder(aig, &acc, &row, AigLit::FALSE).0;
+            }
+            acc
+        }
+        BinaryOp::Eq => {
+            let bits: Vec<AigLit> = a.iter().zip(b).map(|(&x, &y)| aig.xnor(x, y)).collect();
+            vec![aig.and_all(&bits)]
+        }
+        BinaryOp::Ne => {
+            let bits: Vec<AigLit> = a.iter().zip(b).map(|(&x, &y)| aig.xnor(x, y)).collect();
+            vec![aig.and_all(&bits).not()]
+        }
+        BinaryOp::Ult => vec![ult(aig, a, b)],
+        BinaryOp::Ule => {
+            let gt = ult(aig, b, a);
+            vec![gt.not()]
+        }
+        BinaryOp::Slt => vec![slt(aig, a, b)],
+        BinaryOp::Sle => {
+            let gt = slt(aig, b, a);
+            vec![gt.not()]
+        }
+        BinaryOp::Shl | BinaryOp::Lshr | BinaryOp::Ashr => barrel_shift(aig, op, a, b),
+    }
+}
+
+/// Staged barrel shifter; composes shift-by-2^i muxes over the amount
+/// bits, saturating once the amount exceeds the data width.
+fn barrel_shift(aig: &mut Aig, op: BinaryOp, a: &[AigLit], b: &[AigLit]) -> Vec<AigLit> {
+    let w = a.len();
+    let fill = |cur: &[AigLit]| -> AigLit {
+        match op {
+            BinaryOp::Ashr => *cur.last().expect("nonempty"),
+            _ => AigLit::FALSE,
+        }
+    };
+    let sign = *a.last().expect("nonempty");
+    let mut cur: Vec<AigLit> = a.to_vec();
+    for (i, &amount_bit) in b.iter().enumerate() {
+        let shifted: Vec<AigLit> = if i >= 32 || (1usize << i) >= w {
+            // Shift amount saturates: everything shifted out.
+            match op {
+                BinaryOp::Ashr => vec![sign; w],
+                _ => vec![AigLit::FALSE; w],
+            }
+        } else {
+            let s = 1usize << i;
+            match op {
+                BinaryOp::Shl => {
+                    let mut v = vec![AigLit::FALSE; s];
+                    v.extend_from_slice(&cur[..w - s]);
+                    v
+                }
+                BinaryOp::Lshr => {
+                    let mut v = cur[s..].to_vec();
+                    v.extend(std::iter::repeat_n(AigLit::FALSE, s));
+                    v
+                }
+                BinaryOp::Ashr => {
+                    let f = fill(&cur);
+                    let mut v = cur[s..].to_vec();
+                    v.extend(std::iter::repeat_n(f, s));
+                    v
+                }
+                _ => unreachable!(),
+            }
+        };
+        cur = cur
+            .iter()
+            .zip(&shifted)
+            .map(|(&c, &s_)| aig.mux(amount_bit, s_, c))
+            .collect();
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Netlist, Simulator};
+
+    /// Evaluates the AIG combinationally+sequentially in software, to
+    /// cross-check the lowering against the simulator.
+    struct AigSim {
+        state: Vec<bool>, // per var
+        latch_state: Vec<bool>,
+    }
+
+    impl AigSim {
+        fn new(aig: &Aig) -> AigSim {
+            AigSim {
+                state: vec![false; aig.var_count() as usize],
+                latch_state: aig.latches().iter().map(|l| l.init).collect(),
+            }
+        }
+
+        fn lit(&self, l: AigLit) -> bool {
+            self.state[l.var() as usize] ^ l.negated()
+        }
+
+        fn settle(&mut self, aig: &Aig, inputs: &HashMap<u32, bool>) {
+            for v in 0..aig.var_count() {
+                let val = if aig.is_input(v) {
+                    inputs.get(&v).copied().unwrap_or(false)
+                } else if aig.is_latch(v) {
+                    let idx = aig.latches().iter().position(|l| l.var == v).unwrap();
+                    self.latch_state[idx]
+                } else if let Some((a, b)) = aig.and_gate(v) {
+                    self.lit(a) && self.lit(b)
+                } else {
+                    false // const
+                };
+                self.state[v as usize] = val;
+            }
+        }
+
+        fn clock(&mut self, aig: &Aig) {
+            let next: Vec<bool> = aig.latches().iter().map(|l| self.lit(l.next)).collect();
+            self.latch_state = next;
+        }
+    }
+
+    fn read_lits(asim: &AigSim, lits: &[AigLit]) -> u64 {
+        lits.iter()
+            .enumerate()
+            .map(|(i, &l)| (asim.lit(l) as u64) << i)
+            .fold(0, |a, b| a | b)
+    }
+
+    /// Cross-checks simulator and AIG on a netlist exercising every op.
+    #[test]
+    fn aig_matches_simulator_on_alu() {
+        use rand::{Rng, SeedableRng};
+        let mut nl = Netlist::new("alu");
+        let a = nl.input("a", 16);
+        let b = nl.input("b", 16);
+        let outs = vec![
+            nl.and(a, b),
+            nl.or(a, b),
+            nl.xor(a, b),
+            nl.add(a, b),
+            nl.sub(a, b),
+            nl.mul(a, b),
+            nl.eq(a, b),
+            nl.ne(a, b),
+            nl.ult(a, b),
+            nl.ule(a, b),
+            nl.slt(a, b),
+            nl.sle(a, b),
+            nl.not(a),
+            nl.neg(a),
+            nl.red_or(a),
+            nl.red_and(a),
+            nl.red_xor(a),
+        ];
+        let amt = nl.slice(b, 4, 0);
+        let outs2 = vec![nl.shl(a, amt), nl.lshr(a, amt), nl.ashr(a, amt)];
+        let low = lower(&nl).unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let mut asim = AigSim::new(&low.aig);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let av: u64 = rng.gen_range(0..=0xffff);
+            let bv: u64 = rng.gen_range(0..=0xffff);
+            sim.set_input(a, av);
+            sim.set_input(b, bv);
+            sim.settle();
+            let mut inputs = HashMap::new();
+            for (net, vars) in &low.input_vars {
+                let val = if *net == a { av } else { bv };
+                for (i, &v) in vars.iter().enumerate() {
+                    inputs.insert(v, (val >> i) & 1 == 1);
+                }
+            }
+            asim.settle(&low.aig, &inputs);
+            for &o in outs.iter().chain(&outs2) {
+                assert_eq!(
+                    sim.get(o),
+                    read_lits(&asim, low.net_lits(o)),
+                    "mismatch on net {o} with a={av:#x} b={bv:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aig_matches_simulator_sequential_with_memory() {
+        use rand::{Rng, SeedableRng};
+        let mut nl = Netlist::new("seq");
+        let we = nl.input("we", 1);
+        let wa = nl.input("wa", 2);
+        let wd = nl.input("wd", 8);
+        let ra = nl.input("ra", 2);
+        let m = nl.memory("rf", 2, 8, vec![1, 2, 3, 4]);
+        nl.mem_write(m, we, wa, wd);
+        let dout = nl.mem_read(m, ra);
+        let (acc, acc_out) = nl.register("acc", 8, 0);
+        let sum = nl.add(acc_out, dout);
+        nl.connect_en(acc, sum, we);
+        let low = lower(&nl).unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let mut asim = AigSim::new(&low.aig);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let vals: Vec<(NetId, u64)> = vec![
+                (we, rng.gen_range(0..=1)),
+                (wa, rng.gen_range(0..4)),
+                (wd, rng.gen_range(0..256)),
+                (ra, rng.gen_range(0..4)),
+            ];
+            let mut inputs = HashMap::new();
+            for (net, v) in &vals {
+                sim.set_input(*net, *v);
+                let vars = &low.input_vars.iter().find(|(n, _)| n == net).unwrap().1;
+                for (i, &var) in vars.iter().enumerate() {
+                    inputs.insert(var, (*v >> i) & 1 == 1);
+                }
+            }
+            sim.settle();
+            asim.settle(&low.aig, &inputs);
+            assert_eq!(sim.get(dout), read_lits(&asim, low.net_lits(dout)));
+            sim.clock();
+            asim.clock(&low.aig);
+        }
+        // Final architectural state must agree too.
+        let acc_lits: Vec<AigLit> = low
+            .reg_vars(acc)
+            .iter()
+            .map(|&v| AigLit::new(v, false))
+            .collect();
+        let mut inputs = HashMap::new();
+        for (_, vars) in &low.input_vars {
+            for &v in vars {
+                inputs.insert(v, false);
+            }
+        }
+        asim.settle(&low.aig, &inputs);
+        assert_eq!(sim.reg_value(acc), read_lits(&asim, &acc_lits));
+        for e in 0..4 {
+            let lits: Vec<AigLit> = low
+                .mem_vars(m, e)
+                .iter()
+                .map(|&v| AigLit::new(v, false))
+                .collect();
+            assert_eq!(sim.mem_value(m, e), read_lits(&asim, &lits));
+        }
+    }
+
+    #[test]
+    fn full_width_64_bit_ops_lower_correctly() {
+        use rand::{Rng, SeedableRng};
+        let mut nl = Netlist::new("w64");
+        let a = nl.input("a", 64);
+        let b = nl.input("b", 64);
+        let outs = [
+            nl.add(a, b),
+            nl.sub(a, b),
+            nl.slt(a, b),
+            nl.ult(a, b),
+            nl.red_xor(a),
+        ];
+        let amt = nl.slice(b, 5, 0);
+        let outs2 = [nl.shl(a, amt), nl.ashr(a, amt)];
+        let low = lower(&nl).unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let mut asim = AigSim::new(&low.aig);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..60 {
+            let av: u64 = rng.gen();
+            let bv: u64 = rng.gen();
+            sim.set_input(a, av);
+            sim.set_input(b, bv);
+            sim.settle();
+            let mut inputs = HashMap::new();
+            for (net, vars) in &low.input_vars {
+                let val = if *net == a { av } else { bv };
+                for (i, &v) in vars.iter().enumerate() {
+                    inputs.insert(v, (val >> i) & 1 == 1);
+                }
+            }
+            asim.settle(&low.aig, &inputs);
+            for &o in outs.iter().chain(&outs2) {
+                assert_eq!(
+                    sim.get(o),
+                    read_lits(&asim, low.net_lits(o)),
+                    "64-bit mismatch on {o} (a={av:#x} b={bv:#x})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aiger_export_is_wellformed() {
+        let mut nl = Netlist::new("c");
+        let a = nl.input("a", 2);
+        let (r, out) = nl.register("r", 2, 1);
+        let next = nl.xor(a, out);
+        nl.connect(r, next);
+        let low = lower(&nl).unwrap();
+        let mut buf = Vec::new();
+        let outs = low.net_lits(next).to_vec();
+        low.aig.write_aiger_ascii(&mut buf, &outs).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let header: Vec<&str> = text.lines().next().unwrap().split(' ').collect();
+        assert_eq!(header[0], "aag");
+        let (i, l, o, n): (usize, usize, usize, usize) = (
+            header[2].parse().unwrap(),
+            header[3].parse().unwrap(),
+            header[4].parse().unwrap(),
+            header[5].parse().unwrap(),
+        );
+        assert_eq!(i, 2);
+        assert_eq!(l, 2);
+        assert_eq!(o, 2);
+        assert_eq!(text.lines().count(), 1 + i + l + o + n);
+        // One latch resets to 1 (AIGER 1.9 three-field form).
+        assert!(text
+            .lines()
+            .any(|line| line.ends_with(" 1") && line.split(' ').count() == 3));
+    }
+
+    #[test]
+    fn strashing_reuses_gates() {
+        let mut aig = Aig::new();
+        let a = aig.new_input();
+        let b = aig.new_input();
+        let g1 = aig.and(a, b);
+        let g2 = aig.and(b, a);
+        assert_eq!(g1, g2);
+        assert_eq!(aig.and_count(), 1);
+    }
+
+    #[test]
+    fn and_simplifications() {
+        let mut aig = Aig::new();
+        let a = aig.new_input();
+        assert_eq!(aig.and(a, AigLit::TRUE), a);
+        assert_eq!(aig.and(a, AigLit::FALSE), AigLit::FALSE);
+        assert_eq!(aig.and(a, a), a);
+        assert_eq!(aig.and(a, a.not()), AigLit::FALSE);
+        assert_eq!(aig.and_count(), 0);
+    }
+}

@@ -1,0 +1,1479 @@
+//! The word-level netlist intermediate representation.
+//!
+//! A [`Netlist`] is a DAG of combinational [`Node`]s plus synchronous
+//! state: [`Register`]s and [`Memory`]s (register files). Nets are
+//! identified by [`NetId`]; every net has a fixed bit width between 1 and
+//! 64. The builder methods on [`Netlist`] construct nodes and check
+//! widths eagerly; global invariants (all registers driven, no
+//! combinational cycles) are checked by [`Netlist::validate`] and by the
+//! simulator/AIG-lowering constructors.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a combinational net (an output of a [`Node`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+/// Identifier of a [`Register`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegId(pub(crate) u32);
+
+/// Identifier of a [`Memory`] (register file).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MemId(pub(crate) u32);
+
+impl NetId {
+    /// Raw index of this net, usable as a dense array key.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Sentinel for "no net" slots in dense maps (crate internal).
+    pub(crate) fn invalid() -> NetId {
+        NetId(u32::MAX)
+    }
+}
+
+/// Crate-internal constructor for dense memory-id maps.
+pub(crate) fn mem_id(i: usize) -> MemId {
+    MemId(i as u32)
+}
+
+impl RegId {
+    /// Raw index of this register.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl MemId {
+    /// Raw index of this memory.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Unary combinational operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Bitwise complement.
+    Not,
+    /// Two's-complement negation.
+    Neg,
+    /// OR-reduction to a single bit.
+    RedOr,
+    /// AND-reduction to a single bit.
+    RedAnd,
+    /// XOR-reduction to a single bit (parity).
+    RedXor,
+}
+
+/// Binary combinational operators.
+///
+/// Both operands must have equal widths. Comparison and shift operators
+/// are the exceptions: comparisons produce a 1-bit result, and shift
+/// amounts may have any width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (low half).
+    Mul,
+    /// Equality test (1-bit result).
+    Eq,
+    /// Inequality test (1-bit result).
+    Ne,
+    /// Unsigned less-than (1-bit result).
+    Ult,
+    /// Unsigned less-or-equal (1-bit result).
+    Ule,
+    /// Signed less-than (1-bit result).
+    Slt,
+    /// Signed less-or-equal (1-bit result).
+    Sle,
+    /// Left shift by a (possibly differently sized) amount operand.
+    Shl,
+    /// Logical right shift.
+    Lshr,
+    /// Arithmetic right shift.
+    Ashr,
+}
+
+impl BinaryOp {
+    /// True for operators whose result is a single bit.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::Ne
+                | BinaryOp::Ult
+                | BinaryOp::Ule
+                | BinaryOp::Slt
+                | BinaryOp::Sle
+        )
+    }
+
+    /// True for shift operators (amount operand may differ in width).
+    pub fn is_shift(self) -> bool {
+        matches!(self, BinaryOp::Shl | BinaryOp::Lshr | BinaryOp::Ashr)
+    }
+}
+
+/// A combinational node in the netlist DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// External input with a name.
+    Input {
+        /// Port name (unique within the netlist).
+        name: String,
+    },
+    /// Constant value.
+    Const {
+        /// The constant, already truncated to the net width.
+        value: u64,
+    },
+    /// Output of a register (the stored value).
+    RegOut(RegId),
+    /// Combinational (asynchronous) read port of a memory.
+    MemRead {
+        /// Memory being read.
+        mem: MemId,
+        /// Address net; width must equal the memory's address width.
+        addr: NetId,
+    },
+    /// Unary operator application.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        a: NetId,
+    },
+    /// Binary operator application.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        a: NetId,
+        /// Right operand.
+        b: NetId,
+    },
+    /// Two-way multiplexer: `sel ? then_net : else_net`.
+    Mux {
+        /// 1-bit select.
+        sel: NetId,
+        /// Value when `sel` is 1.
+        then_net: NetId,
+        /// Value when `sel` is 0.
+        else_net: NetId,
+    },
+    /// Bit slice `a[hi..=lo]`.
+    Slice {
+        /// Source net.
+        a: NetId,
+        /// Most significant bit index (inclusive).
+        hi: u32,
+        /// Least significant bit index (inclusive).
+        lo: u32,
+    },
+    /// Concatenation: `hi` occupies the upper bits, `lo` the lower bits.
+    Concat {
+        /// Upper part.
+        hi: NetId,
+        /// Lower part.
+        lo: NetId,
+    },
+}
+
+/// A clocked register.
+///
+/// The stored value updates to `next` on the clock edge whenever `enable`
+/// is 1 (an absent enable means "always enabled").
+#[derive(Debug, Clone)]
+pub struct Register {
+    /// Register name (unique within the netlist).
+    pub name: String,
+    /// Bit width.
+    pub width: u32,
+    /// Reset/initial value.
+    pub init: u64,
+    /// Next-value net; must be connected before simulation.
+    pub next: Option<NetId>,
+    /// Clock-enable net (1-bit); `None` means always enabled.
+    pub enable: Option<NetId>,
+}
+
+/// A synchronous write port of a [`Memory`].
+#[derive(Debug, Clone, Copy)]
+pub struct WritePort {
+    /// 1-bit write enable.
+    pub enable: NetId,
+    /// Address net (memory's address width).
+    pub addr: NetId,
+    /// Data net (memory's data width).
+    pub data: NetId,
+}
+
+/// A memory / register file with asynchronous reads and synchronous
+/// writes.
+///
+/// When several write ports target the same address in the same cycle,
+/// ports are applied in the order they were added; the **last** port
+/// wins. The AIG lowering implements identical semantics.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    /// Memory name (unique within the netlist).
+    pub name: String,
+    /// Number of address bits; the memory has `2^addr_width` entries.
+    pub addr_width: u32,
+    /// Width of each entry.
+    pub data_width: u32,
+    /// Initial contents (padded with zeros to the full size).
+    pub init: Vec<u64>,
+    /// Synchronous write ports.
+    pub write_ports: Vec<WritePort>,
+}
+
+impl Memory {
+    /// Number of entries (`2^addr_width`).
+    pub fn entries(&self) -> usize {
+        1usize << self.addr_width
+    }
+}
+
+/// Errors produced when constructing or validating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HdlError {
+    /// A register's `next` input was never connected.
+    UnconnectedRegister {
+        /// Name of the offending register.
+        name: String,
+    },
+    /// The combinational logic contains a cycle through the given net.
+    CombinationalCycle {
+        /// A net on the cycle.
+        net: NetId,
+    },
+    /// Two ports/registers/memories share a name.
+    DuplicateName {
+        /// The clashing name.
+        name: String,
+    },
+    /// A named net was looked up but does not exist.
+    UnknownName {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A width constraint was violated (message describes the violation).
+    WidthMismatch {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for HdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdlError::UnconnectedRegister { name } => {
+                write!(f, "register `{name}` has no next-value connection")
+            }
+            HdlError::CombinationalCycle { net } => {
+                write!(f, "combinational cycle through net {net}")
+            }
+            HdlError::DuplicateName { name } => write!(f, "duplicate name `{name}`"),
+            HdlError::UnknownName { name } => write!(f, "unknown name `{name}`"),
+            HdlError::WidthMismatch { message } => write!(f, "width mismatch: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for HdlError {}
+
+/// Handles of a design copied into another netlist by
+/// [`Netlist::absorb`], indexed like the source design's elements.
+#[derive(Debug, Clone)]
+pub struct AbsorbedDesign {
+    /// Per source net: the corresponding net in the target.
+    pub nets: Vec<NetId>,
+    /// Per source register: the new register.
+    pub regs: Vec<RegId>,
+    /// Per source memory: the new memory.
+    pub mems: Vec<MemId>,
+}
+
+/// A word-level synchronous netlist.
+///
+/// See the [crate docs](crate) for an overview and an example.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    /// Design name (used for traces and reports).
+    pub name: String,
+    nodes: Vec<Node>,
+    widths: Vec<u32>,
+    registers: Vec<Register>,
+    memories: Vec<Memory>,
+    named: HashMap<String, NetId>,
+    const_cache: HashMap<(u64, u32), NetId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with a design name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Number of combinational nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node defining `net`.
+    pub fn node(&self, net: NetId) -> &Node {
+        &self.nodes[net.index()]
+    }
+
+    /// The width of `net` in bits.
+    pub fn width(&self, net: NetId) -> u32 {
+        self.widths[net.index()]
+    }
+
+    /// All registers in creation order.
+    pub fn registers(&self) -> &[Register] {
+        &self.registers
+    }
+
+    /// The register with the given id.
+    pub fn register_info(&self, reg: RegId) -> &Register {
+        &self.registers[reg.index()]
+    }
+
+    /// Finds a register by name.
+    pub fn reg_by_name(&self, name: &str) -> Option<RegId> {
+        self.registers
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| RegId(i as u32))
+    }
+
+    /// All memories in creation order.
+    pub fn memories(&self) -> &[Memory] {
+        &self.memories
+    }
+
+    /// The memory with the given id.
+    pub fn memory_info(&self, mem: MemId) -> &Memory {
+        &self.memories[mem.index()]
+    }
+
+    /// Iterates over all net ids in definition order.
+    pub fn nets(&self) -> impl Iterator<Item = NetId> {
+        (0..self.nodes.len() as u32).map(NetId)
+    }
+
+    /// Iterates over all register ids.
+    pub fn reg_ids(&self) -> impl Iterator<Item = RegId> {
+        (0..self.registers.len() as u32).map(RegId)
+    }
+
+    /// Iterates over all memory ids.
+    pub fn mem_ids(&self) -> impl Iterator<Item = MemId> {
+        (0..self.memories.len() as u32).map(MemId)
+    }
+
+    /// Looks up a named net (inputs, register outputs and explicitly
+    /// labelled nets).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdlError::UnknownName`] if nothing carries that name.
+    pub fn find(&self, name: &str) -> Result<NetId, HdlError> {
+        self.named
+            .get(name)
+            .copied()
+            .ok_or_else(|| HdlError::UnknownName { name: name.into() })
+    }
+
+    /// Attaches a name to an existing net (for probing and traces).
+    ///
+    /// A label may *shadow* an input port of the same name (the port
+    /// remains addressable through its node); this is how combinational
+    /// fragments express functions such as `PC := PC + 1` where the
+    /// input and the result share a register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken by anything other than the
+    /// equally named input port.
+    pub fn label(&mut self, name: impl Into<String>, net: NetId) -> NetId {
+        let name = name.into();
+        if let Some(&existing) = self.named.get(&name) {
+            let shadows_own_input = existing.index() != u32::MAX as usize
+                && matches!(self.node(existing), Node::Input { name: n } if *n == name);
+            assert!(shadows_own_input, "duplicate net label `{name}`");
+        }
+        self.named.insert(name, net);
+        net
+    }
+
+    /// All input ports in creation order, with their nets.
+    ///
+    /// Unlike [`Netlist::named_nets`] this is immune to labels shadowing
+    /// port names.
+    pub fn input_ports(&self) -> Vec<(&str, NetId)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| match n {
+                Node::Input { name } => Some((name.as_str(), NetId(i as u32))),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All named nets, sorted by name (stable for reporting).
+    pub fn named_nets(&self) -> Vec<(&str, NetId)> {
+        let mut v: Vec<_> = self.named.iter().map(|(n, id)| (n.as_str(), *id)).collect();
+        v.sort();
+        v
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    fn push(&mut self, node: Node, width: u32) -> NetId {
+        assert!(
+            (1..=64).contains(&width),
+            "net width {width} out of range 1..=64"
+        );
+        let id = NetId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.widths.push(width);
+        id
+    }
+
+    /// Declares an external input port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken or the width is out of range.
+    pub fn input(&mut self, name: impl Into<String>, width: u32) -> NetId {
+        let name = name.into();
+        assert!(
+            !self.named.contains_key(&name),
+            "duplicate input name `{name}`"
+        );
+        let id = self.push(Node::Input { name: name.clone() }, width);
+        self.named.insert(name, id);
+        id
+    }
+
+    /// Creates (or reuses) a constant net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in `width` bits.
+    pub fn constant(&mut self, value: u64, width: u32) -> NetId {
+        assert!(
+            value <= crate::value::mask(width),
+            "constant {value:#x} does not fit in {width} bits"
+        );
+        if let Some(&id) = self.const_cache.get(&(value, width)) {
+            return id;
+        }
+        let id = self.push(Node::Const { value }, width);
+        self.const_cache.insert((value, width), id);
+        id
+    }
+
+    /// The 1-bit constant 0.
+    pub fn zero(&mut self) -> NetId {
+        self.constant(0, 1)
+    }
+
+    /// The 1-bit constant 1.
+    pub fn one(&mut self) -> NetId {
+        self.constant(1, 1)
+    }
+
+    /// Declares a register and returns `(id, output_net)`.
+    ///
+    /// The register must later be driven with [`Netlist::connect`] (or
+    /// [`Netlist::connect_en`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names, out-of-range width, or an `init` value
+    /// that does not fit.
+    pub fn register(&mut self, name: impl Into<String>, width: u32, init: u64) -> (RegId, NetId) {
+        let name = name.into();
+        assert!(
+            !self.named.contains_key(&name),
+            "duplicate register name `{name}`"
+        );
+        assert!(
+            init <= crate::value::mask(width),
+            "register `{name}` init {init:#x} does not fit in {width} bits"
+        );
+        let reg = RegId(self.registers.len() as u32);
+        self.registers.push(Register {
+            name: name.clone(),
+            width,
+            init,
+            next: None,
+            enable: None,
+        });
+        let out = self.push(Node::RegOut(reg), width);
+        self.named.insert(name, out);
+        (reg, out)
+    }
+
+    /// Drives a register's next value (always enabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths disagree or the register is already driven.
+    pub fn connect(&mut self, reg: RegId, next: NetId) {
+        self.connect_impl(reg, next, None);
+    }
+
+    /// Drives a register's next value gated by a 1-bit clock enable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths disagree, `enable` is not 1 bit wide, or the
+    /// register is already driven.
+    pub fn connect_en(&mut self, reg: RegId, next: NetId, enable: NetId) {
+        assert_eq!(self.width(enable), 1, "register enable must be 1 bit");
+        self.connect_impl(reg, next, Some(enable));
+    }
+
+    fn connect_impl(&mut self, reg: RegId, next: NetId, enable: Option<NetId>) {
+        let w = self.width(next);
+        let r = &mut self.registers[reg.index()];
+        assert_eq!(
+            r.width, w,
+            "register `{}` is {} bits but next-value net is {} bits",
+            r.name, r.width, w
+        );
+        assert!(r.next.is_none(), "register `{}` already driven", r.name);
+        r.next = Some(next);
+        r.enable = enable;
+    }
+
+    /// Declares a memory (register file) with `2^addr_width` entries of
+    /// `data_width` bits, initialised from `init` (zero padded).
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names, zero/oversized widths, or `init` longer
+    /// than the memory.
+    pub fn memory(
+        &mut self,
+        name: impl Into<String>,
+        addr_width: u32,
+        data_width: u32,
+        init: Vec<u64>,
+    ) -> MemId {
+        let name = name.into();
+        assert!(
+            !self.named.contains_key(&name),
+            "duplicate memory name `{name}`"
+        );
+        assert!(
+            (1..=20).contains(&addr_width),
+            "memory `{name}` address width {addr_width} out of range 1..=20"
+        );
+        assert!(
+            (1..=64).contains(&data_width),
+            "memory `{name}` data width {data_width} out of range 1..=64"
+        );
+        assert!(
+            init.len() <= 1usize << addr_width,
+            "memory `{name}` init has {} entries but capacity is {}",
+            init.len(),
+            1usize << addr_width
+        );
+        for (i, v) in init.iter().enumerate() {
+            assert!(
+                *v <= crate::value::mask(data_width),
+                "memory `{name}` init[{i}] = {v:#x} does not fit in {data_width} bits"
+            );
+        }
+        // Memories are not nets, so only reserve the name.
+        self.named.insert(name.clone(), NetId(u32::MAX));
+        let id = MemId(self.memories.len() as u32);
+        self.memories.push(Memory {
+            name,
+            addr_width,
+            data_width,
+            init,
+            write_ports: Vec::new(),
+        });
+        id
+    }
+
+    /// Creates a combinational read port on `mem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address width disagrees with the memory.
+    pub fn mem_read(&mut self, mem: MemId, addr: NetId) -> NetId {
+        let m = &self.memories[mem.index()];
+        assert_eq!(
+            self.width(addr),
+            m.addr_width,
+            "memory `{}` read address must be {} bits",
+            m.name,
+            m.addr_width
+        );
+        let data_width = m.data_width;
+        self.push(Node::MemRead { mem, addr }, data_width)
+    }
+
+    /// Adds a synchronous write port to `mem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatches.
+    pub fn mem_write(&mut self, mem: MemId, enable: NetId, addr: NetId, data: NetId) {
+        assert_eq!(self.width(enable), 1, "memory write enable must be 1 bit");
+        let m = &self.memories[mem.index()];
+        assert_eq!(
+            self.width(addr),
+            m.addr_width,
+            "memory `{}` write address must be {} bits",
+            m.name,
+            m.addr_width
+        );
+        assert_eq!(
+            self.width(data),
+            m.data_width,
+            "memory `{}` write data must be {} bits",
+            m.name,
+            m.data_width
+        );
+        self.memories[mem.index()]
+            .write_ports
+            .push(WritePort { enable, addr, data });
+    }
+
+    fn binary(&mut self, op: BinaryOp, a: NetId, b: NetId) -> NetId {
+        let wa = self.width(a);
+        let wb = self.width(b);
+        if !op.is_shift() {
+            assert_eq!(
+                wa, wb,
+                "operands of {op:?} must have equal widths ({wa} vs {wb})"
+            );
+        }
+        let w = if op.is_comparison() { 1 } else { wa };
+        self.push(Node::Binary { op, a, b }, w)
+    }
+
+    /// Bitwise AND.
+    pub fn and(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(BinaryOp::And, a, b)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(BinaryOp::Or, a, b)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(BinaryOp::Xor, a, b)
+    }
+
+    /// Wrapping addition.
+    pub fn add(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(BinaryOp::Add, a, b)
+    }
+
+    /// Wrapping subtraction.
+    pub fn sub(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(BinaryOp::Sub, a, b)
+    }
+
+    /// Wrapping multiplication (the low `width` bits of the product).
+    pub fn mul(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(BinaryOp::Mul, a, b)
+    }
+
+    /// Equality tester (the paper's `=?` circuit).
+    pub fn eq(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(BinaryOp::Eq, a, b)
+    }
+
+    /// Inequality tester.
+    pub fn ne(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(BinaryOp::Ne, a, b)
+    }
+
+    /// Unsigned less-than.
+    pub fn ult(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(BinaryOp::Ult, a, b)
+    }
+
+    /// Unsigned less-or-equal.
+    pub fn ule(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(BinaryOp::Ule, a, b)
+    }
+
+    /// Signed less-than.
+    pub fn slt(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(BinaryOp::Slt, a, b)
+    }
+
+    /// Signed less-or-equal.
+    pub fn sle(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(BinaryOp::Sle, a, b)
+    }
+
+    /// Left shift (`a << b`); the amount operand may have any width.
+    pub fn shl(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(BinaryOp::Shl, a, b)
+    }
+
+    /// Logical right shift.
+    pub fn lshr(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(BinaryOp::Lshr, a, b)
+    }
+
+    /// Arithmetic right shift.
+    pub fn ashr(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(BinaryOp::Ashr, a, b)
+    }
+
+    /// Bitwise complement.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        let w = self.width(a);
+        self.push(
+            Node::Unary {
+                op: UnaryOp::Not,
+                a,
+            },
+            w,
+        )
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(&mut self, a: NetId) -> NetId {
+        let w = self.width(a);
+        self.push(
+            Node::Unary {
+                op: UnaryOp::Neg,
+                a,
+            },
+            w,
+        )
+    }
+
+    /// OR-reduction to one bit.
+    pub fn red_or(&mut self, a: NetId) -> NetId {
+        self.push(
+            Node::Unary {
+                op: UnaryOp::RedOr,
+                a,
+            },
+            1,
+        )
+    }
+
+    /// AND-reduction to one bit.
+    pub fn red_and(&mut self, a: NetId) -> NetId {
+        self.push(
+            Node::Unary {
+                op: UnaryOp::RedAnd,
+                a,
+            },
+            1,
+        )
+    }
+
+    /// XOR-reduction (parity) to one bit.
+    pub fn red_xor(&mut self, a: NetId) -> NetId {
+        self.push(
+            Node::Unary {
+                op: UnaryOp::RedXor,
+                a,
+            },
+            1,
+        )
+    }
+
+    /// Two-way multiplexer: `sel ? then_net : else_net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sel` is 1 bit and the arms have equal widths.
+    pub fn mux(&mut self, sel: NetId, then_net: NetId, else_net: NetId) -> NetId {
+        assert_eq!(self.width(sel), 1, "mux select must be 1 bit");
+        let wt = self.width(then_net);
+        let we = self.width(else_net);
+        assert_eq!(wt, we, "mux arms must have equal widths ({wt} vs {we})");
+        self.push(
+            Node::Mux {
+                sel,
+                then_net,
+                else_net,
+            },
+            wt,
+        )
+    }
+
+    /// Bit slice `a[hi..=lo]` (inclusive), width `hi - lo + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi` exceeds the operand width.
+    pub fn slice(&mut self, a: NetId, hi: u32, lo: u32) -> NetId {
+        let w = self.width(a);
+        assert!(hi >= lo, "slice hi ({hi}) must be >= lo ({lo})");
+        assert!(hi < w, "slice hi ({hi}) out of range for {w}-bit net");
+        self.push(Node::Slice { a, hi, lo }, hi - lo + 1)
+    }
+
+    /// Extracts a single bit.
+    pub fn bit(&mut self, a: NetId, idx: u32) -> NetId {
+        self.slice(a, idx, idx)
+    }
+
+    /// Concatenates `hi` above `lo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined width exceeds 64 bits.
+    pub fn concat(&mut self, hi: NetId, lo: NetId) -> NetId {
+        let w = self.width(hi) + self.width(lo);
+        assert!(w <= 64, "concatenation width {w} exceeds 64 bits");
+        self.push(Node::Concat { hi, lo }, w)
+    }
+
+    /// Zero-extends `a` to `width` bits (no-op if already that wide).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is smaller than the operand width.
+    pub fn zext(&mut self, a: NetId, width: u32) -> NetId {
+        let w = self.width(a);
+        assert!(width >= w, "cannot zero-extend {w} bits to {width}");
+        if width == w {
+            return a;
+        }
+        let zeros = self.constant(0, width - w);
+        self.concat(zeros, a)
+    }
+
+    /// Sign-extends `a` to `width` bits (no-op if already that wide).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is smaller than the operand width.
+    pub fn sext(&mut self, a: NetId, width: u32) -> NetId {
+        let w = self.width(a);
+        assert!(width >= w, "cannot sign-extend {w} bits to {width}");
+        if width == w {
+            return a;
+        }
+        let sign = self.bit(a, w - 1);
+        let ext = self.sext_bits(sign, width - w);
+        self.concat(ext, a)
+    }
+
+    fn sext_bits(&mut self, sign: NetId, count: u32) -> NetId {
+        let mut out = sign;
+        for _ in 1..count {
+            out = self.concat(out, sign);
+        }
+        out
+    }
+
+    /// N-way OR over a slice of 1-bit (or equal-width) nets.
+    ///
+    /// Returns the 0 constant of the first net's width when `nets` is
+    /// empty and width 1 is assumed.
+    pub fn or_all(&mut self, nets: &[NetId]) -> NetId {
+        match nets {
+            [] => self.zero(),
+            [single] => *single,
+            _ => {
+                // Balanced tree keeps the depth logarithmic.
+                let mid = nets.len() / 2;
+                let l = self.or_all(&nets[..mid]);
+                let r = self.or_all(&nets[mid..]);
+                self.or(l, r)
+            }
+        }
+    }
+
+    /// N-way AND over a slice of nets (1 constant when empty).
+    pub fn and_all(&mut self, nets: &[NetId]) -> NetId {
+        match nets {
+            [] => self.one(),
+            [single] => *single,
+            _ => {
+                let mid = nets.len() / 2;
+                let l = self.and_all(&nets[..mid]);
+                let r = self.and_all(&nets[mid..]);
+                self.and(l, r)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fragment instantiation
+    // ------------------------------------------------------------------
+
+    /// Instantiates a purely combinational `fragment` netlist into
+    /// `self`, binding each of the fragment's input ports to an existing
+    /// net of `self` via `bind` (keyed by port name).
+    ///
+    /// Returns a map from every *named* net of the fragment to the
+    /// corresponding net in `self`. Fragment-internal labels are not
+    /// re-registered as names in `self` (instantiation may happen many
+    /// times); callers label the returned nets as needed.
+    ///
+    /// # Errors
+    ///
+    /// * [`HdlError::UnknownName`] if an input port has no binding.
+    /// * [`HdlError::WidthMismatch`] if a binding's width differs from
+    ///   the port width.
+    /// * [`HdlError::WidthMismatch`] (with message) if the fragment
+    ///   contains registers or memories.
+    pub fn import_fragment(
+        &mut self,
+        fragment: &Netlist,
+        bind: &HashMap<String, NetId>,
+    ) -> Result<HashMap<String, NetId>, HdlError> {
+        if !fragment.registers.is_empty() || !fragment.memories.is_empty() {
+            return Err(HdlError::WidthMismatch {
+                message: format!("fragment `{}` must be purely combinational", fragment.name),
+            });
+        }
+        let mut map: Vec<NetId> = Vec::with_capacity(fragment.nodes.len());
+        for (i, node) in fragment.nodes.iter().enumerate() {
+            let new_id = match node {
+                Node::Input { name } => {
+                    let bound = *bind.get(name).ok_or_else(|| HdlError::UnknownName {
+                        name: format!("{}:{}", fragment.name, name),
+                    })?;
+                    let want = fragment.widths[i];
+                    let got = self.width(bound);
+                    if want != got {
+                        return Err(HdlError::WidthMismatch {
+                            message: format!(
+                                "port `{}` of fragment `{}` is {want} bits but bound net is {got} bits",
+                                name, fragment.name
+                            ),
+                        });
+                    }
+                    bound
+                }
+                Node::Const { value } => self.constant(*value, fragment.widths[i]),
+                Node::RegOut(_) | Node::MemRead { .. } => unreachable!("checked above"),
+                Node::Unary { op, a } => {
+                    let a = map[a.index()];
+                    let w = fragment.widths[i];
+                    self.push(Node::Unary { op: *op, a }, w)
+                }
+                Node::Binary { op, a, b } => {
+                    let a = map[a.index()];
+                    let b = map[b.index()];
+                    let w = fragment.widths[i];
+                    self.push(Node::Binary { op: *op, a, b }, w)
+                }
+                Node::Mux {
+                    sel,
+                    then_net,
+                    else_net,
+                } => {
+                    let sel = map[sel.index()];
+                    let t = map[then_net.index()];
+                    let e = map[else_net.index()];
+                    let w = fragment.widths[i];
+                    self.push(
+                        Node::Mux {
+                            sel,
+                            then_net: t,
+                            else_net: e,
+                        },
+                        w,
+                    )
+                }
+                Node::Slice { a, hi, lo } => {
+                    let a = map[a.index()];
+                    let w = fragment.widths[i];
+                    self.push(
+                        Node::Slice {
+                            a,
+                            hi: *hi,
+                            lo: *lo,
+                        },
+                        w,
+                    )
+                }
+                Node::Concat { hi, lo } => {
+                    let h = map[hi.index()];
+                    let l = map[lo.index()];
+                    let w = fragment.widths[i];
+                    self.push(Node::Concat { hi: h, lo: l }, w)
+                }
+            };
+            map.push(new_id);
+        }
+        let mut out = HashMap::new();
+        for (name, id) in &fragment.named {
+            out.insert(name.clone(), map[id.index()]);
+        }
+        Ok(out)
+    }
+
+    /// Copies an entire design (including registers and memories) into
+    /// `self`, renaming everything with `prefix`. Input ports present
+    /// in `bind` are replaced by the given nets; all others become
+    /// fresh inputs named `{prefix}{name}`.
+    ///
+    /// Used to build product machines (miters) for equivalence
+    /// checking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdlError::WidthMismatch`] if a binding width differs
+    /// from the port width, or propagates validation errors of
+    /// `other`.
+    pub fn absorb(
+        &mut self,
+        other: &Netlist,
+        prefix: &str,
+        bind: &HashMap<String, NetId>,
+    ) -> Result<AbsorbedDesign, HdlError> {
+        other.validate()?;
+        // State elements first so RegOut/MemRead nodes can map.
+        let regs: Vec<RegId> = other
+            .registers
+            .iter()
+            .map(|r| {
+                self.register(format!("{prefix}{}", r.name), r.width, r.init)
+                    .0
+            })
+            .collect();
+        let mems: Vec<MemId> = other
+            .memories
+            .iter()
+            .map(|m| {
+                self.memory(
+                    format!("{prefix}{}", m.name),
+                    m.addr_width,
+                    m.data_width,
+                    m.init.clone(),
+                )
+            })
+            .collect();
+        let mut nets: Vec<NetId> = Vec::with_capacity(other.nodes.len());
+        for (i, node) in other.nodes.iter().enumerate() {
+            let w = other.widths[i];
+            let id = match node {
+                Node::Input { name } => match bind.get(name) {
+                    Some(&b) => {
+                        if self.width(b) != w {
+                            return Err(HdlError::WidthMismatch {
+                                message: format!(
+                                    "absorb binding for `{name}` is {} bits, port is {w}",
+                                    self.width(b)
+                                ),
+                            });
+                        }
+                        b
+                    }
+                    None => self.input(format!("{prefix}{name}"), w),
+                },
+                Node::Const { value } => self.constant(*value, w),
+                Node::RegOut(r) => self.push(Node::RegOut(regs[r.index()]), w),
+                Node::MemRead { mem, addr } => self.push(
+                    Node::MemRead {
+                        mem: mems[mem.index()],
+                        addr: nets[addr.index()],
+                    },
+                    w,
+                ),
+                Node::Unary { op, a } => self.push(
+                    Node::Unary {
+                        op: *op,
+                        a: nets[a.index()],
+                    },
+                    w,
+                ),
+                Node::Binary { op, a, b } => self.push(
+                    Node::Binary {
+                        op: *op,
+                        a: nets[a.index()],
+                        b: nets[b.index()],
+                    },
+                    w,
+                ),
+                Node::Mux {
+                    sel,
+                    then_net,
+                    else_net,
+                } => self.push(
+                    Node::Mux {
+                        sel: nets[sel.index()],
+                        then_net: nets[then_net.index()],
+                        else_net: nets[else_net.index()],
+                    },
+                    w,
+                ),
+                Node::Slice { a, hi, lo } => self.push(
+                    Node::Slice {
+                        a: nets[a.index()],
+                        hi: *hi,
+                        lo: *lo,
+                    },
+                    w,
+                ),
+                Node::Concat { hi, lo } => self.push(
+                    Node::Concat {
+                        hi: nets[hi.index()],
+                        lo: nets[lo.index()],
+                    },
+                    w,
+                ),
+            };
+            nets.push(id);
+        }
+        // Register connections and memory write ports.
+        for (ri, r) in other.registers.iter().enumerate() {
+            let next = nets[r.next.expect("validated").index()];
+            match r.enable {
+                Some(e) => self.connect_en(regs[ri], next, nets[e.index()]),
+                None => self.connect(regs[ri], next),
+            }
+        }
+        for (mi, m) in other.memories.iter().enumerate() {
+            for p in &m.write_ports {
+                self.mem_write(
+                    mems[mi],
+                    nets[p.enable.index()],
+                    nets[p.addr.index()],
+                    nets[p.data.index()],
+                );
+            }
+        }
+        // Labels (skip memory name sentinels; memories were renamed on
+        // creation).
+        for (name, id) in &other.named {
+            if id.index() == u32::MAX as usize {
+                continue;
+            }
+            let new_name = format!("{prefix}{name}");
+            self.named.entry(new_name).or_insert(nets[id.index()]);
+        }
+        Ok(AbsorbedDesign { nets, regs, mems })
+    }
+
+    // ------------------------------------------------------------------
+    // Validation & ordering
+    // ------------------------------------------------------------------
+
+    /// Checks global invariants: every register is driven, and the
+    /// combinational logic is acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), HdlError> {
+        for r in &self.registers {
+            if r.next.is_none() {
+                return Err(HdlError::UnconnectedRegister {
+                    name: r.name.clone(),
+                });
+            }
+        }
+        self.topo_order().map(|_| ())
+    }
+
+    /// Computes a topological evaluation order of the combinational
+    /// nodes.
+    ///
+    /// Nodes are numbered in creation order and may only reference
+    /// earlier nets, so the creation order *is* already topological; this
+    /// method verifies that property (it can only be violated by internal
+    /// bugs) and returns the order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdlError::CombinationalCycle`] if a node references a
+    /// later net.
+    pub fn topo_order(&self) -> Result<Vec<NetId>, HdlError> {
+        for (i, node) in self.nodes.iter().enumerate() {
+            let ok = match node {
+                Node::Input { .. } | Node::Const { .. } | Node::RegOut(_) => true,
+                Node::MemRead { addr, .. } => addr.index() < i,
+                Node::Unary { a, .. } => a.index() < i,
+                Node::Binary { a, b, .. } => a.index() < i && b.index() < i,
+                Node::Mux {
+                    sel,
+                    then_net,
+                    else_net,
+                } => sel.index() < i && then_net.index() < i && else_net.index() < i,
+                Node::Slice { a, .. } => a.index() < i,
+                Node::Concat { hi, lo } => hi.index() < i && lo.index() < i,
+            };
+            if !ok {
+                return Err(HdlError::CombinationalCycle {
+                    net: NetId(i as u32),
+                });
+            }
+        }
+        Ok(self.nets().collect())
+    }
+
+    /// Direct combinational fan-in nets of `net`.
+    pub fn fanin(&self, net: NetId) -> Vec<NetId> {
+        match self.node(net) {
+            Node::Input { .. } | Node::Const { .. } | Node::RegOut(_) => vec![],
+            Node::MemRead { addr, .. } => vec![*addr],
+            Node::Unary { a, .. } => vec![*a],
+            Node::Binary { a, b, .. } => vec![*a, *b],
+            Node::Mux {
+                sel,
+                then_net,
+                else_net,
+            } => vec![*sel, *then_net, *else_net],
+            Node::Slice { a, .. } => vec![*a],
+            Node::Concat { hi, lo } => vec![*hi, *lo],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_validate_counter() {
+        let mut nl = Netlist::new("c");
+        let one = nl.constant(1, 8);
+        let (r, out) = nl.register("cnt", 8, 0);
+        let next = nl.add(out, one);
+        nl.connect(r, next);
+        assert!(nl.validate().is_ok());
+        assert_eq!(nl.width(next), 8);
+    }
+
+    #[test]
+    fn unconnected_register_rejected() {
+        let mut nl = Netlist::new("c");
+        let (_r, _out) = nl.register("cnt", 8, 0);
+        assert_eq!(
+            nl.validate(),
+            Err(HdlError::UnconnectedRegister { name: "cnt".into() })
+        );
+    }
+
+    #[test]
+    fn constants_are_cached() {
+        let mut nl = Netlist::new("c");
+        let a = nl.constant(7, 4);
+        let b = nl.constant(7, 4);
+        let c = nl.constant(7, 5);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal widths")]
+    fn width_mismatch_panics() {
+        let mut nl = Netlist::new("c");
+        let a = nl.constant(1, 4);
+        let b = nl.constant(1, 5);
+        nl.add(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate input name")]
+    fn duplicate_input_panics() {
+        let mut nl = Netlist::new("c");
+        nl.input("x", 1);
+        nl.input("x", 2);
+    }
+
+    #[test]
+    fn comparison_result_is_one_bit() {
+        let mut nl = Netlist::new("c");
+        let a = nl.input("a", 32);
+        let b = nl.input("b", 32);
+        let e = nl.eq(a, b);
+        assert_eq!(nl.width(e), 1);
+    }
+
+    #[test]
+    fn zext_sext_widths() {
+        let mut nl = Netlist::new("c");
+        let a = nl.input("a", 16);
+        let z = nl.zext(a, 32);
+        assert_eq!(nl.width(z), 32);
+        let s = nl.sext(a, 32);
+        assert_eq!(nl.width(s), 32);
+        let s64 = nl.sext(a, 64);
+        assert_eq!(nl.width(s64), 64);
+    }
+
+    #[test]
+    fn find_named_nets() {
+        let mut nl = Netlist::new("c");
+        let a = nl.input("a", 8);
+        assert_eq!(nl.find("a"), Ok(a));
+        assert!(matches!(nl.find("zz"), Err(HdlError::UnknownName { .. })));
+    }
+
+    #[test]
+    fn or_all_empty_is_zero() {
+        let mut nl = Netlist::new("c");
+        let z = nl.or_all(&[]);
+        assert!(matches!(nl.node(z), Node::Const { value: 0 }));
+    }
+
+    #[test]
+    fn import_fragment_binds_and_copies() {
+        let mut frag = Netlist::new("incr");
+        let x = frag.input("x", 8);
+        let one = frag.constant(1, 8);
+        let y = frag.add(x, one);
+        frag.label("y", y);
+
+        let mut nl = Netlist::new("top");
+        let (r, out) = nl.register("acc", 8, 0);
+        let mut bind = HashMap::new();
+        bind.insert("x".to_string(), out);
+        let outs = nl.import_fragment(&frag, &bind).unwrap();
+        nl.connect(r, outs["y"]);
+        let mut sim = crate::Simulator::new(&nl).unwrap();
+        sim.run(4);
+        assert_eq!(sim.reg_value(r), 4);
+    }
+
+    #[test]
+    fn import_fragment_missing_binding_errors() {
+        let mut frag = Netlist::new("f");
+        frag.input("x", 8);
+        let mut nl = Netlist::new("top");
+        let err = nl.import_fragment(&frag, &HashMap::new()).unwrap_err();
+        assert!(matches!(err, HdlError::UnknownName { .. }));
+    }
+
+    #[test]
+    fn import_fragment_rejects_sequential_fragments() {
+        let mut frag = Netlist::new("f");
+        let (r, out) = frag.register("r", 4, 0);
+        frag.connect(r, out);
+        let mut nl = Netlist::new("top");
+        let err = nl.import_fragment(&frag, &HashMap::new()).unwrap_err();
+        assert!(matches!(err, HdlError::WidthMismatch { .. }));
+    }
+
+    #[test]
+    fn import_fragment_width_mismatch_errors() {
+        let mut frag = Netlist::new("f");
+        frag.input("x", 8);
+        let mut nl = Netlist::new("top");
+        let wide = nl.input("w", 16);
+        let mut bind = HashMap::new();
+        bind.insert("x".to_string(), wide);
+        let err = nl.import_fragment(&frag, &bind).unwrap_err();
+        assert!(matches!(err, HdlError::WidthMismatch { .. }));
+    }
+
+    #[test]
+    fn absorb_copies_state_and_renames() {
+        // A counter design absorbed twice into one netlist: both copies
+        // run independently.
+        let mut src = Netlist::new("cnt");
+        let one = src.constant(1, 4);
+        let (r, out) = src.register("c", 4, 0);
+        let next = src.add(out, one);
+        src.connect(r, next);
+        src.label("next", next);
+
+        let mut top = Netlist::new("top");
+        let a = top.absorb(&src, "a/", &HashMap::new()).unwrap();
+        let b = top.absorb(&src, "b/", &HashMap::new()).unwrap();
+        assert!(top.find("a/next").is_ok());
+        assert!(top.find("b/next").is_ok());
+        let mut sim = crate::Simulator::new(&top).unwrap();
+        sim.run(5);
+        assert_eq!(sim.reg_value(a.regs[0]), 5);
+        assert_eq!(sim.reg_value(b.regs[0]), 5);
+    }
+
+    #[test]
+    fn absorb_binds_inputs() {
+        let mut src = Netlist::new("inc");
+        let x = src.input("x", 8);
+        let one = src.constant(1, 8);
+        let y = src.add(x, one);
+        src.label("y", y);
+        let _ = x;
+
+        let mut top = Netlist::new("top");
+        let seven = top.constant(7, 8);
+        let mut bind = HashMap::new();
+        bind.insert("x".to_string(), seven);
+        let d = top.absorb(&src, "s/", &bind).unwrap();
+        let y_top = d.nets[y.index()];
+        let (r, _) = top.register("probe", 8, 0);
+        top.connect(r, y_top);
+        let mut sim = crate::Simulator::new(&top).unwrap();
+        sim.step();
+        assert_eq!(sim.reg_value(r), 8);
+        // No leftover input: the design is closed.
+        assert!(top.input_ports().is_empty());
+    }
+
+    #[test]
+    fn absorb_rejects_bad_binding_width() {
+        let mut src = Netlist::new("w");
+        src.input("x", 8);
+        let mut top = Netlist::new("top");
+        let narrow = top.constant(0, 4);
+        let mut bind = HashMap::new();
+        bind.insert("x".to_string(), narrow);
+        assert!(matches!(
+            top.absorb(&src, "s/", &bind),
+            Err(HdlError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn memory_ports_check_widths() {
+        let mut nl = Netlist::new("c");
+        let m = nl.memory("gpr", 2, 32, vec![]);
+        let addr = nl.input("a", 2);
+        let dout = nl.mem_read(m, addr);
+        assert_eq!(nl.width(dout), 32);
+        assert_eq!(nl.memory_info(m).entries(), 4);
+    }
+}

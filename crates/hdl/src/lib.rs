@@ -1,0 +1,62 @@
+//! # autopipe-hdl — word-level synchronous hardware IR
+//!
+//! This crate is the hardware substrate for the `autopipe` pipeline
+//! transformation tool. It provides:
+//!
+//! * a **word-level netlist IR** ([`Netlist`]) with registers, register
+//!   files / memories, and the combinational operators needed to express
+//!   processor data paths (see [`ir`]),
+//! * a **cycle-accurate two-phase simulator** ([`sim::Simulator`]),
+//! * a **structural cost model** ([`stats`]) estimating gate count and
+//!   critical-path depth — used for the paper's mux-chain vs balanced-tree
+//!   forwarding comparison,
+//! * **AIG lowering** ([`aig`]) that bit-blasts a netlist into an
+//!   and-inverter graph for SAT-based bounded model checking,
+//! * a minimal **VCD trace writer** ([`vcd`]).
+//!
+//! The IR deliberately matches the abstraction level of the DAC 2001 paper
+//! *Automated Pipeline Design*: a design is a set of registers assigned to
+//! stages plus the combinational circuits between them. Anything a
+//! prepared sequential machine needs — write enables, register-file
+//! address ports, update-enable gating — is expressible directly.
+//!
+//! ## Example
+//!
+//! ```
+//! use autopipe_hdl::{Netlist, Simulator};
+//!
+//! # fn main() -> Result<(), autopipe_hdl::HdlError> {
+//! let mut nl = Netlist::new("counter");
+//! let one = nl.constant(1, 8);
+//! let (cnt, cnt_out) = nl.register("cnt", 8, 0);
+//! let next = nl.add(cnt_out, one);
+//! nl.connect(cnt, next);
+//! let mut sim = Simulator::new(&nl)?;
+//! for _ in 0..5 {
+//!     sim.step();
+//! }
+//! assert_eq!(sim.reg_value(cnt), 5);
+//! # Ok(())
+//! # }
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aig;
+pub mod ir;
+pub mod opt;
+pub mod sim;
+pub mod stats;
+pub mod testgen;
+pub mod value;
+pub mod vcd;
+
+pub use aig::{Aig, AigLit, Lowered};
+pub use ir::{
+    AbsorbedDesign, BinaryOp, HdlError, MemId, Memory, NetId, Netlist, Node, RegId, Register,
+    UnaryOp,
+};
+pub use opt::{optimize, NetMap, OptStats};
+pub use sim::Simulator;
+pub use stats::{cone_to_dot, DelayModel, NetlistStats};
+pub use value::mask;

@@ -1,0 +1,504 @@
+//! Netlist optimization: constant folding, local simplification,
+//! structural hashing and dead-logic removal.
+//!
+//! [`optimize`] rebuilds a netlist in topological order:
+//!
+//! * nodes whose operands are all constants are evaluated (using the
+//!   same [`crate::value`] semantics as the simulator);
+//! * local identities are applied (`x ∧ 0 = 0`, `x ⊕ 0 = x`,
+//!   `mux(s, a, a) = a`, `x + 0 = x`, `x = x` is true, …);
+//! * structurally identical nodes are shared;
+//! * combinational logic not reachable from any register, memory port
+//!   or named net is dropped.
+//!
+//! The interface is preserved exactly: every input, register and
+//! memory reappears (same order, names, widths, initial values), so an
+//! optimized design is a drop-in replacement. The returned
+//! [`NetMap`] translates old net ids for callers that hold them.
+//!
+//! Correctness is not taken on faith: the test suite proves
+//! original-vs-optimized sequential equivalence by BMC over a product
+//! machine with *universally quantified* inputs, and the pipeline
+//! integration test re-runs the full data-consistency checker on an
+//! optimized DLX.
+
+use crate::ir::{BinaryOp, NetId, Netlist, Node, UnaryOp};
+use crate::value;
+use std::collections::HashMap;
+
+/// Old-to-new net translation produced by [`optimize`].
+#[derive(Debug, Clone)]
+pub struct NetMap {
+    map: Vec<NetId>,
+}
+
+impl NetMap {
+    /// The net in the optimized design corresponding to `old`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old` was dead logic (not preserved); use
+    /// [`NetMap::try_net`] when unsure.
+    pub fn net(&self, old: NetId) -> NetId {
+        self.try_net(old).expect("net was dead logic")
+    }
+
+    /// The preserved counterpart of `old`, or `None` for dead logic.
+    pub fn try_net(&self, old: NetId) -> Option<NetId> {
+        let n = self.map[old.index()];
+        if n.index() == u32::MAX as usize {
+            None
+        } else {
+            Some(n)
+        }
+    }
+}
+
+/// Statistics of one optimization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptStats {
+    /// Nodes in the input netlist.
+    pub nodes_before: usize,
+    /// Nodes in the output netlist.
+    pub nodes_after: usize,
+}
+
+/// Key for structural hashing of rebuilt nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Unary(UnaryOp, NetId),
+    Binary(BinaryOp, NetId, NetId),
+    Mux(NetId, NetId, NetId),
+    Slice(NetId, u32, u32),
+    Concat(NetId, NetId),
+    MemRead(usize, NetId),
+}
+
+/// Constant value of a net in the rebuilt design, if known.
+fn const_of(nl: &Netlist, net: NetId) -> Option<u64> {
+    match nl.node(net) {
+        Node::Const { value } => Some(*value),
+        _ => None,
+    }
+}
+
+/// Optimizes `nl`; see the [module docs](self).
+///
+/// # Panics
+///
+/// Panics if `nl` fails validation.
+pub fn optimize(nl: &Netlist) -> (Netlist, NetMap, OptStats) {
+    nl.validate().expect("netlist must validate");
+
+    // Reachability: combinational roots are register inputs, memory
+    // write ports, memory read addresses (kept via their reader), and
+    // named nets.
+    let mut live = vec![false; nl.node_count()];
+    let mut stack: Vec<NetId> = Vec::new();
+    for r in nl.registers() {
+        stack.push(r.next.expect("validated"));
+        if let Some(e) = r.enable {
+            stack.push(e);
+        }
+    }
+    for m in nl.memories() {
+        for p in &m.write_ports {
+            stack.extend([p.enable, p.addr, p.data]);
+        }
+    }
+    for (_, id) in nl.named_nets() {
+        if id.index() != u32::MAX as usize {
+            stack.push(id);
+        }
+    }
+    while let Some(n) = stack.pop() {
+        if live[n.index()] {
+            continue;
+        }
+        live[n.index()] = true;
+        stack.extend(nl.fanin(n));
+    }
+
+    let mut out = Netlist::new(nl.name.clone());
+    // Interface first: inputs (all of them), registers, memories — in
+    // original order so ids line up.
+    let mut map: Vec<Option<NetId>> = vec![None; nl.node_count()];
+    let mut reg_out_new = Vec::new();
+    for r in nl.registers() {
+        let (_, o) = out.register(r.name.clone(), r.width, r.init);
+        reg_out_new.push(o);
+    }
+    for m in nl.memories() {
+        // Memory creation reserves its name; strip it from the clone.
+        out.memory(m.name.clone(), m.addr_width, m.data_width, m.init.clone());
+    }
+    // Map RegOut nodes of the source.
+    let mut reg_out_old: HashMap<usize, NetId> = HashMap::new();
+    for net in nl.nets() {
+        if let Node::RegOut(r) = nl.node(net) {
+            reg_out_old.insert(net.index(), reg_out_new[r.index()]);
+        }
+    }
+
+    let mut strash: HashMap<Key, NetId> = HashMap::new();
+    for net in nl.nets() {
+        let idx = net.index();
+        if !live[idx] && !matches!(nl.node(net), Node::Input { .. }) {
+            continue;
+        }
+        let w = nl.width(net);
+        let new = match nl.node(net) {
+            Node::Input { name } => out.input(name.clone(), w),
+            Node::Const { value } => out.constant(*value, w),
+            Node::RegOut(_) => reg_out_old[&idx],
+            Node::MemRead { mem, addr } => {
+                let a = map[addr.index()].expect("topo order");
+                let key = Key::MemRead(mem.index(), a);
+                *strash
+                    .entry(key)
+                    .or_insert_with(|| out.mem_read(crate::ir::mem_id(mem.index()), a))
+            }
+            Node::Unary { op, a } => {
+                let a = map[a.index()].expect("topo order");
+                rebuild_unary(&mut out, &mut strash, *op, a, w)
+            }
+            Node::Binary { op, a, b } => {
+                let a = map[a.index()].expect("topo order");
+                let b = map[b.index()].expect("topo order");
+                rebuild_binary(&mut out, &mut strash, *op, a, b)
+            }
+            Node::Mux {
+                sel,
+                then_net,
+                else_net,
+            } => {
+                let s = map[sel.index()].expect("topo order");
+                let t = map[then_net.index()].expect("topo order");
+                let e = map[else_net.index()].expect("topo order");
+                rebuild_mux(&mut out, &mut strash, s, t, e)
+            }
+            Node::Slice { a, hi, lo } => {
+                let a = map[a.index()].expect("topo order");
+                if let Some(v) = const_of(&out, a) {
+                    out.constant(value::trunc(v >> lo, hi - lo + 1), hi - lo + 1)
+                } else if *lo == 0 && *hi + 1 == out.width(a) {
+                    a // full-width slice
+                } else {
+                    let key = Key::Slice(a, *hi, *lo);
+                    *strash.entry(key).or_insert_with(|| out.slice(a, *hi, *lo))
+                }
+            }
+            Node::Concat { hi, lo } => {
+                let h = map[hi.index()].expect("topo order");
+                let l = map[lo.index()].expect("topo order");
+                match (const_of(&out, h), const_of(&out, l)) {
+                    (Some(hv), Some(lv)) => {
+                        let lw = out.width(l);
+                        out.constant(hv << lw | lv, w)
+                    }
+                    _ => {
+                        let key = Key::Concat(h, l);
+                        *strash.entry(key).or_insert_with(|| out.concat(h, l))
+                    }
+                }
+            }
+        };
+        map[idx] = Some(new);
+    }
+
+    // Reconnect state.
+    for (ri, r) in nl.registers().iter().enumerate() {
+        let next = map[r.next.expect("validated").index()].expect("live");
+        let reg = out.reg_by_name(&r.name).expect("recreated");
+        match r.enable {
+            Some(e) => {
+                let en = map[e.index()].expect("live");
+                // Fold a constant-1 enable away.
+                if const_of(&out, en) == Some(1) {
+                    out.connect(reg, next);
+                } else {
+                    out.connect_en(reg, next, en);
+                }
+                let _ = ri;
+            }
+            None => out.connect(reg, next),
+        }
+    }
+    for (mi, m) in nl.memories().iter().enumerate() {
+        for p in &m.write_ports {
+            let en = map[p.enable.index()].expect("live");
+            let addr = map[p.addr.index()].expect("live");
+            let data = map[p.data.index()].expect("live");
+            if const_of(&out, en) == Some(0) {
+                continue; // dead write port
+            }
+            out.mem_write(crate::ir::mem_id(mi), en, addr, data);
+        }
+    }
+    // Carry labels (the memory-name sentinels were recreated by
+    // `memory`; `label` tolerates re-pointing only for fresh names, so
+    // insert through the label API only when absent).
+    for (name, id) in nl.named_nets() {
+        if id.index() == u32::MAX as usize {
+            continue;
+        }
+        if out.find(name).is_err() {
+            out.label(
+                name.to_string(),
+                map[id.index()].expect("named nets are live"),
+            );
+        }
+    }
+
+    let stats = OptStats {
+        nodes_before: nl.node_count(),
+        nodes_after: out.node_count(),
+    };
+    let netmap = NetMap {
+        map: map
+            .iter()
+            .map(|o| o.unwrap_or_else(NetId::invalid))
+            .collect(),
+    };
+    (out, netmap, stats)
+}
+
+fn rebuild_unary(
+    out: &mut Netlist,
+    strash: &mut HashMap<Key, NetId>,
+    op: UnaryOp,
+    a: NetId,
+    w: u32,
+) -> NetId {
+    let aw = out.width(a);
+    if let Some(v) = const_of(out, a) {
+        let folded = match op {
+            UnaryOp::Not => value::trunc(!v, aw),
+            UnaryOp::Neg => value::trunc(v.wrapping_neg(), aw),
+            UnaryOp::RedOr => u64::from(v != 0),
+            UnaryOp::RedAnd => u64::from(v == value::mask(aw)),
+            UnaryOp::RedXor => u64::from(v.count_ones() & 1 == 1),
+        };
+        return out.constant(folded, w);
+    }
+    if aw == 1 && matches!(op, UnaryOp::RedOr | UnaryOp::RedAnd | UnaryOp::RedXor) {
+        return a;
+    }
+    let key = Key::Unary(op, a);
+    *strash.entry(key).or_insert_with(|| match op {
+        UnaryOp::Not => out.not(a),
+        UnaryOp::Neg => out.neg(a),
+        UnaryOp::RedOr => out.red_or(a),
+        UnaryOp::RedAnd => out.red_and(a),
+        UnaryOp::RedXor => out.red_xor(a),
+    })
+}
+
+fn rebuild_binary(
+    out: &mut Netlist,
+    strash: &mut HashMap<Key, NetId>,
+    op: BinaryOp,
+    a: NetId,
+    b: NetId,
+) -> NetId {
+    use BinaryOp::*;
+    let aw = out.width(a);
+    let ones = value::mask(aw);
+    let ca = const_of(out, a);
+    let cb = const_of(out, b);
+    // Full constant folding via the shared value semantics.
+    if let (Some(x), Some(y)) = (ca, cb) {
+        let folded = match op {
+            And => x & y,
+            Or => x | y,
+            Xor => x ^ y,
+            Add => value::trunc(x.wrapping_add(y), aw),
+            Sub => value::trunc(x.wrapping_sub(y), aw),
+            Mul => value::trunc(x.wrapping_mul(y), aw),
+            Eq => u64::from(x == y),
+            Ne => u64::from(x != y),
+            Ult => u64::from(x < y),
+            Ule => u64::from(x <= y),
+            Slt => u64::from(value::signed_lt(x, y, aw)),
+            Sle => u64::from(value::signed_le(x, y, aw)),
+            Shl => value::shl(x, y, aw),
+            Lshr => value::lshr(x, y, aw),
+            Ashr => value::ashr(x, y, aw),
+        };
+        let w = if op.is_comparison() { 1 } else { aw };
+        return out.constant(folded, w);
+    }
+    // Identities.
+    match (op, ca, cb) {
+        (And, Some(0), _) | (And, _, Some(0)) => return out.constant(0, aw),
+        (And, Some(m), _) if m == ones => return b,
+        (And, _, Some(m)) if m == ones => return a,
+        (Or, Some(0), _) => return b,
+        (Or, _, Some(0)) => return a,
+        (Or, Some(m), _) | (Or, _, Some(m)) if m == ones => return out.constant(ones, aw),
+        (Xor, Some(0), _) => return b,
+        (Xor, _, Some(0)) => return a,
+        (Add, Some(0), _) => return b,
+        (Add, _, Some(0)) | (Sub, _, Some(0)) => return a,
+        (Mul, Some(0), _) | (Mul, _, Some(0)) => return out.constant(0, aw),
+        (Mul, Some(1), _) => return b,
+        (Mul, _, Some(1)) => return a,
+        (Shl, _, Some(0)) | (Lshr, _, Some(0)) | (Ashr, _, Some(0)) => return a,
+        _ => {}
+    }
+    if a == b {
+        match op {
+            And | Or => return a,
+            Xor | Sub | Ne | Ult | Slt => {
+                let w = if op.is_comparison() { 1 } else { aw };
+                return out.constant(0, w);
+            }
+            Eq | Ule | Sle => return out.constant(1, 1),
+            _ => {}
+        }
+    }
+    // Canonicalise commutative operand order for hashing.
+    let (a, b) = match op {
+        And | Or | Xor | Add | Mul | Eq | Ne if b < a => (b, a),
+        _ => (a, b),
+    };
+    let key = Key::Binary(op, a, b);
+    *strash.entry(key).or_insert_with(|| match op {
+        And => out.and(a, b),
+        Or => out.or(a, b),
+        Xor => out.xor(a, b),
+        Add => out.add(a, b),
+        Sub => out.sub(a, b),
+        Mul => out.mul(a, b),
+        Eq => out.eq(a, b),
+        Ne => out.ne(a, b),
+        Ult => out.ult(a, b),
+        Ule => out.ule(a, b),
+        Slt => out.slt(a, b),
+        Sle => out.sle(a, b),
+        Shl => out.shl(a, b),
+        Lshr => out.lshr(a, b),
+        Ashr => out.ashr(a, b),
+    })
+}
+
+fn rebuild_mux(
+    out: &mut Netlist,
+    strash: &mut HashMap<Key, NetId>,
+    s: NetId,
+    t: NetId,
+    e: NetId,
+) -> NetId {
+    match const_of(out, s) {
+        Some(1) => return t,
+        Some(0) => return e,
+        _ => {}
+    }
+    if t == e {
+        return t;
+    }
+    let key = Key::Mux(s, t, e);
+    *strash.entry(key).or_insert_with(|| out.mux(s, t, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+
+    #[test]
+    fn folds_constants_and_identities() {
+        let mut nl = Netlist::new("f");
+        let x = nl.input("x", 8);
+        let zero = nl.constant(0, 8);
+        let a = nl.add(x, zero); // x
+        let b = nl.and(a, zero); // 0
+        let c = nl.or(x, b); // x
+        let d = nl.xor(c, c); // 0
+        let e = nl.add(d, x); // x
+        let (r, _) = nl.register("r", 8, 0);
+        nl.connect(r, e);
+        let (opt, _, stats) = optimize(&nl);
+        assert!(stats.nodes_after < stats.nodes_before);
+        // The register input collapses to the input directly.
+        let reg = opt.reg_by_name("r").unwrap();
+        let next = opt.register_info(reg).next.unwrap();
+        assert!(matches!(opt.node(next), crate::ir::Node::Input { .. }));
+    }
+
+    #[test]
+    fn drops_dead_logic_but_keeps_interface() {
+        let mut nl = Netlist::new("d");
+        let x = nl.input("x", 8);
+        let y = nl.input("unused", 8);
+        let dead = nl.add(y, y);
+        let one = nl.one();
+        let _dead2 = nl.mux(one, dead, dead);
+        let (r, out) = nl.register("r", 8, 0);
+        let live = nl.xor(x, out);
+        nl.connect(r, live);
+        let (opt, _, stats) = optimize(&nl);
+        assert!(stats.nodes_after < stats.nodes_before);
+        // The unused input still exists (interface preserved).
+        assert!(opt.find("unused").is_ok());
+        assert_eq!(opt.registers().len(), 1);
+    }
+
+    #[test]
+    fn shares_structurally_identical_nodes() {
+        let mut nl = Netlist::new("s");
+        let a = nl.input("a", 8);
+        let b = nl.input("b", 8);
+        let s1 = nl.add(a, b);
+        let s2 = nl.add(b, a); // commutes to the same node
+        let x = nl.xor(s1, s2); // becomes xor(n, n) = 0
+        let (r, _) = nl.register("r", 8, 0);
+        nl.connect(r, x);
+        let (opt, _, _) = optimize(&nl);
+        let reg = opt.reg_by_name("r").unwrap();
+        let next = opt.register_info(reg).next.unwrap();
+        assert!(matches!(
+            opt.node(next),
+            crate::ir::Node::Const { value: 0 }
+        ));
+    }
+
+    #[test]
+    fn optimized_netlist_simulates_identically() {
+        use rand::{Rng, SeedableRng};
+        let mut nl = Netlist::new("sim");
+        let a = nl.input("a", 8);
+        let b = nl.input("b", 8);
+        let zero = nl.constant(0, 8);
+        let t1 = nl.add(a, zero);
+        let t2 = nl.sub(t1, b);
+        let c = nl.ult(t2, a);
+        let m = nl.memory("m", 2, 8, vec![9, 8, 7, 6]);
+        let addr = nl.slice(b, 1, 0);
+        let rd = nl.mem_read(m, addr);
+        let (r, out) = nl.register("r", 8, 1);
+        let sum = nl.add(rd, out);
+        let v = nl.mux(c, sum, t2);
+        nl.connect(r, v);
+        nl.label("v", v);
+        nl.mem_write(m, c, addr, t2);
+        let (opt, netmap, _) = optimize(&nl);
+        let mut s1 = Simulator::new(&nl).unwrap();
+        let mut s2 = Simulator::new(&opt).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let av = rng.gen_range(0..256);
+            let bv = rng.gen_range(0..256);
+            s1.set_input(a, av);
+            s1.set_input_by_name("b", bv).unwrap();
+            s2.set_input_by_name("a", av).unwrap();
+            s2.set_input_by_name("b", bv).unwrap();
+            s1.settle();
+            s2.settle();
+            assert_eq!(s1.get(v), s2.get(netmap.net(v)));
+            s1.clock();
+            s2.clock();
+            assert_eq!(s1.reg_value(r), s2.reg_value(opt.reg_by_name("r").unwrap()));
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! Cycle-accurate two-phase simulator for [`Netlist`]s.
+//!
+//! Each cycle has two phases:
+//!
+//! 1. **settle** — evaluate every combinational net in topological order
+//!    against the *current* register/memory state and the externally set
+//!    input values;
+//! 2. **clock** — commit register next-values (subject to clock enables)
+//!    and memory write ports (in port order; the last port to a given
+//!    address wins).
+//!
+//! [`Simulator::step`] performs both. Callers that need to inspect
+//! settled combinational values before the edge (e.g. the co-simulation
+//! checker) call [`Simulator::settle`], read via [`Simulator::get`], then
+//! [`Simulator::clock`].
+
+use crate::ir::{HdlError, MemId, NetId, Netlist, Node, RegId, UnaryOp};
+use crate::value::{ashr, lshr, mask, shl, signed_le, signed_lt, trunc};
+use crate::BinaryOp;
+use std::collections::HashMap;
+
+/// A netlist interpreter; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    nl: Netlist,
+    values: Vec<u64>,
+    regs: Vec<u64>,
+    mems: Vec<Vec<u64>>,
+    inputs: HashMap<NetId, u64>,
+    settled: bool,
+    cycle: u64,
+}
+
+impl Simulator {
+    /// Builds a simulator for a validated netlist (the netlist is
+    /// cloned so the simulator is self-contained).
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`HdlError`] reported by [`Netlist::validate`].
+    pub fn new(nl: &Netlist) -> Result<Self, HdlError> {
+        nl.validate()?;
+        let regs = nl.registers().iter().map(|r| r.init).collect();
+        let mems = nl
+            .memories()
+            .iter()
+            .map(|m| {
+                let mut v = m.init.clone();
+                v.resize(m.entries(), 0);
+                v
+            })
+            .collect();
+        Ok(Simulator {
+            values: vec![0; nl.node_count()],
+            regs,
+            mems,
+            inputs: HashMap::new(),
+            settled: false,
+            cycle: 0,
+            nl: nl.clone(),
+        })
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &Netlist {
+        &self.nl
+    }
+
+    /// Number of completed clock cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Sets an input port value for the current cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not an input or the value does not fit.
+    pub fn set_input(&mut self, net: NetId, value: u64) {
+        assert!(
+            matches!(self.nl.node(net), Node::Input { .. }),
+            "{net} is not an input port"
+        );
+        let w = self.nl.width(net);
+        assert!(
+            value <= mask(w),
+            "input value {value:#x} does not fit in {w} bits"
+        );
+        self.inputs.insert(net, value);
+        self.settled = false;
+    }
+
+    /// Convenience: set an input by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdlError::UnknownName`] for unknown ports.
+    pub fn set_input_by_name(&mut self, name: &str, value: u64) -> Result<(), HdlError> {
+        let id = self.nl.find(name)?;
+        self.set_input(id, value);
+        Ok(())
+    }
+
+    /// Evaluates all combinational nets against the current state.
+    /// Idempotent until the next `clock`/`set_input`.
+    pub fn settle(&mut self) {
+        if self.settled {
+            return;
+        }
+        for i in 0..self.nl.node_count() {
+            let id = NetId(i as u32);
+            let w = self.nl.width(id);
+            let v = match *self.nl.node(id) {
+                Node::Input { .. } => self.inputs.get(&id).copied().unwrap_or(0),
+                Node::Const { value } => value,
+                Node::RegOut(r) => self.regs[r.index()],
+                Node::MemRead { mem, addr } => {
+                    let a = self.values[addr.index()] as usize;
+                    self.mems[mem.index()][a]
+                }
+                Node::Unary { op, a } => {
+                    let av = self.values[a.index()];
+                    let aw = self.nl.width(a);
+                    match op {
+                        UnaryOp::Not => trunc(!av, aw),
+                        UnaryOp::Neg => trunc(av.wrapping_neg(), aw),
+                        UnaryOp::RedOr => (av != 0) as u64,
+                        UnaryOp::RedAnd => (av == mask(aw)) as u64,
+                        UnaryOp::RedXor => (av.count_ones() & 1) as u64,
+                    }
+                }
+                Node::Binary { op, a, b } => {
+                    let av = self.values[a.index()];
+                    let bv = self.values[b.index()];
+                    let aw = self.nl.width(a);
+                    match op {
+                        BinaryOp::And => av & bv,
+                        BinaryOp::Or => av | bv,
+                        BinaryOp::Xor => av ^ bv,
+                        BinaryOp::Add => trunc(av.wrapping_add(bv), aw),
+                        BinaryOp::Sub => trunc(av.wrapping_sub(bv), aw),
+                        BinaryOp::Mul => trunc(av.wrapping_mul(bv), aw),
+                        BinaryOp::Eq => (av == bv) as u64,
+                        BinaryOp::Ne => (av != bv) as u64,
+                        BinaryOp::Ult => (av < bv) as u64,
+                        BinaryOp::Ule => (av <= bv) as u64,
+                        BinaryOp::Slt => signed_lt(av, bv, aw) as u64,
+                        BinaryOp::Sle => signed_le(av, bv, aw) as u64,
+                        BinaryOp::Shl => shl(av, bv, aw),
+                        BinaryOp::Lshr => lshr(av, bv, aw),
+                        BinaryOp::Ashr => ashr(av, bv, aw),
+                    }
+                }
+                Node::Mux {
+                    sel,
+                    then_net,
+                    else_net,
+                } => {
+                    if self.values[sel.index()] == 1 {
+                        self.values[then_net.index()]
+                    } else {
+                        self.values[else_net.index()]
+                    }
+                }
+                Node::Slice { a, hi, lo } => {
+                    let av = self.values[a.index()];
+                    trunc(av >> lo, hi - lo + 1)
+                }
+                Node::Concat { hi, lo } => {
+                    let lw = self.nl.width(lo);
+                    (self.values[hi.index()] << lw) | self.values[lo.index()]
+                }
+            };
+            debug_assert!(v <= mask(w), "net {id} value {v:#x} exceeds {w} bits");
+            self.values[i] = v;
+        }
+        self.settled = true;
+    }
+
+    /// Reads a settled net value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Simulator::settle`] in the current
+    /// cycle.
+    pub fn get(&self, net: NetId) -> u64 {
+        assert!(self.settled, "call settle() before reading net values");
+        self.values[net.index()]
+    }
+
+    /// Reads a settled net value by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdlError::UnknownName`] for unknown names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is not settled.
+    pub fn get_by_name(&self, name: &str) -> Result<u64, HdlError> {
+        Ok(self.get(self.nl.find(name)?))
+    }
+
+    /// The current stored value of a register.
+    pub fn reg_value(&self, reg: RegId) -> u64 {
+        self.regs[reg.index()]
+    }
+
+    /// The current contents of one memory entry.
+    pub fn mem_value(&self, mem: MemId, addr: usize) -> u64 {
+        self.mems[mem.index()][addr]
+    }
+
+    /// Overwrites a register's stored value (for test harnesses and state
+    /// injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit.
+    pub fn poke_reg(&mut self, reg: RegId, value: u64) {
+        let w = self.nl.register_info(reg).width;
+        assert!(value <= mask(w), "poke value does not fit in {w} bits");
+        self.regs[reg.index()] = value;
+        self.settled = false;
+    }
+
+    /// Overwrites one memory entry (for loading programs/data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range or the value does not fit.
+    pub fn poke_mem(&mut self, mem: MemId, addr: usize, value: u64) {
+        let m = self.nl.memory_info(mem);
+        assert!(addr < m.entries(), "address {addr} out of range");
+        assert!(
+            value <= mask(m.data_width),
+            "poke value does not fit in {} bits",
+            m.data_width
+        );
+        self.mems[mem.index()][addr] = value;
+        self.settled = false;
+    }
+
+    /// Commits the clock edge using the settled combinational values.
+    /// Settles first if necessary.
+    pub fn clock(&mut self) {
+        self.settle();
+        // Registers: sample next/enable from settled values.
+        let mut new_regs = self.regs.clone();
+        for (i, r) in self.nl.registers().iter().enumerate() {
+            let en = r
+                .enable
+                .map(|e| self.values[e.index()] == 1)
+                .unwrap_or(true);
+            if en {
+                let next = r.next.expect("validated netlist");
+                new_regs[i] = self.values[next.index()];
+            }
+        }
+        // Memories: apply write ports in order (last wins).
+        for (mi, m) in self.nl.memories().iter().enumerate() {
+            for p in &m.write_ports {
+                if self.values[p.enable.index()] == 1 {
+                    let a = self.values[p.addr.index()] as usize;
+                    self.mems[mi][a] = self.values[p.data.index()];
+                }
+            }
+        }
+        self.regs = new_regs;
+        self.settled = false;
+        self.cycle += 1;
+    }
+
+    /// One full cycle: settle then clock.
+    pub fn step(&mut self) {
+        self.clock();
+    }
+
+    /// Runs `n` cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Resets registers and memories to their initial values.
+    pub fn reset(&mut self) {
+        for (i, r) in self.nl.registers().iter().enumerate() {
+            self.regs[i] = r.init;
+        }
+        for (i, m) in self.nl.memories().iter().enumerate() {
+            let mut v = m.init.clone();
+            v.resize(m.entries(), 0);
+            self.mems[i] = v;
+        }
+        self.settled = false;
+        self.cycle = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Netlist;
+
+    #[test]
+    fn counter_counts() {
+        let mut nl = Netlist::new("c");
+        let one = nl.constant(1, 8);
+        let (r, out) = nl.register("cnt", 8, 0);
+        let next = nl.add(out, one);
+        nl.connect(r, next);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.run(300);
+        assert_eq!(sim.reg_value(r), 300 % 256);
+    }
+
+    #[test]
+    fn enable_gates_updates() {
+        let mut nl = Netlist::new("c");
+        let en = nl.input("en", 1);
+        let one = nl.constant(1, 8);
+        let (r, out) = nl.register("cnt", 8, 0);
+        let next = nl.add(out, one);
+        nl.connect_en(r, next, en);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input(en, 0);
+        sim.run(5);
+        assert_eq!(sim.reg_value(r), 0);
+        sim.set_input(en, 1);
+        sim.run(3);
+        assert_eq!(sim.reg_value(r), 3);
+    }
+
+    #[test]
+    fn memory_read_write() {
+        let mut nl = Netlist::new("m");
+        let m = nl.memory("ram", 3, 16, vec![7, 8]);
+        let we = nl.input("we", 1);
+        let wa = nl.input("wa", 3);
+        let wd = nl.input("wd", 16);
+        let ra = nl.input("ra", 3);
+        nl.mem_write(m, we, wa, wd);
+        let dout = nl.mem_read(m, ra);
+        nl.label("dout", dout);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input(ra, 1);
+        sim.settle();
+        assert_eq!(sim.get(dout), 8);
+        sim.set_input(we, 1);
+        sim.set_input(wa, 5);
+        sim.set_input(wd, 0xbeef);
+        sim.step();
+        sim.set_input(we, 0);
+        sim.set_input(ra, 5);
+        sim.settle();
+        assert_eq!(sim.get(dout), 0xbeef);
+    }
+
+    #[test]
+    fn last_write_port_wins() {
+        let mut nl = Netlist::new("m");
+        let m = nl.memory("ram", 2, 8, vec![]);
+        let one = nl.one();
+        let a = nl.constant(2, 2);
+        let d1 = nl.constant(0x11, 8);
+        let d2 = nl.constant(0x22, 8);
+        nl.mem_write(m, one, a, d1);
+        nl.mem_write(m, one, a, d2);
+        let ra = nl.constant(2, 2);
+        let dout = nl.mem_read(m, ra);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.step();
+        sim.settle();
+        assert_eq!(sim.get(dout), 0x22);
+    }
+
+    #[test]
+    fn read_sees_pre_write_value_within_cycle() {
+        // Asynchronous read must observe the state *before* the edge.
+        let mut nl = Netlist::new("m");
+        let m = nl.memory("ram", 2, 8, vec![0xaa]);
+        let one = nl.one();
+        let a0 = nl.constant(0, 2);
+        let d = nl.constant(0x55, 8);
+        nl.mem_write(m, one, a0, d);
+        let dout = nl.mem_read(m, a0);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.settle();
+        assert_eq!(sim.get(dout), 0xaa);
+        sim.clock();
+        sim.settle();
+        assert_eq!(sim.get(dout), 0x55);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut nl = Netlist::new("c");
+        let one = nl.constant(1, 4);
+        let (r, out) = nl.register("cnt", 4, 9);
+        let next = nl.add(out, one);
+        nl.connect(r, next);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.run(3);
+        assert_eq!(sim.reg_value(r), 12);
+        sim.reset();
+        assert_eq!(sim.reg_value(r), 9);
+        assert_eq!(sim.cycle(), 0);
+    }
+
+    #[test]
+    fn mux_and_comparisons() {
+        let mut nl = Netlist::new("c");
+        let a = nl.input("a", 8);
+        let b = nl.input("b", 8);
+        let lt = nl.slt(a, b);
+        let m = nl.mux(lt, a, b); // signed min
+        nl.label("min", m);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input(a, 0xff); // -1
+        sim.set_input(b, 1);
+        sim.settle();
+        assert_eq!(sim.get(m), 0xff);
+    }
+}

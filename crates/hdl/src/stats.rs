@@ -1,0 +1,338 @@
+//! Structural cost model: gate-count and critical-path estimates.
+//!
+//! The paper observes that the generated forwarding hardware "gets slow
+//! with larger pipelines" when built as a linear multiplexer cascade and
+//! suggests a find-first-one circuit with a balanced multiplexer tree
+//! instead. To reproduce that comparison (experiment E7) we need a
+//! technology-independent cost model. The model below counts two-input
+//! gate equivalents and logic levels per node:
+//!
+//! | node            | gates                | levels                  |
+//! |-----------------|----------------------|-------------------------|
+//! | Not/Neg         | `w` / `5w`           | 1 / `2⌈log2 w⌉+2`       |
+//! | And/Or/Xor      | `w`                  | 1                       |
+//! | Add/Sub         | `5w`                 | `2⌈log2 w⌉+2` (CLA)     |
+//! | Eq/Ne           | `2w-1`               | `⌈log2 w⌉+1`            |
+//! | Ult/…/Sle       | `5w`                 | `2⌈log2 w⌉+2`           |
+//! | Shl/Lshr/Ashr   | `3w⌈log2 w⌉`         | `2⌈log2 w⌉` (barrel)    |
+//! | Mux             | `3w`                 | 2                       |
+//! | RedOr/RedAnd/…  | `w-1`                | `⌈log2 w⌉`              |
+//! | MemRead         | `entries·(w+1)`      | `2⌈log2 entries⌉`       |
+//! | Slice/Concat    | 0                    | 0                       |
+//!
+//! The absolute numbers are nominal; only relative comparisons between
+//! synthesized variants are meaningful, which is all the experiments use.
+
+use crate::ir::{BinaryOp, NetId, Netlist, Node, UnaryOp};
+
+/// Per-node delay/area lookup; see the [module docs](self) for the
+/// table. A custom model can be supplied for sensitivity studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DelayModel;
+
+fn clog2(x: u32) -> u32 {
+    32 - x.saturating_sub(1).leading_zeros()
+}
+
+impl DelayModel {
+    /// Gate-equivalent count of a node.
+    pub fn gates(&self, nl: &Netlist, net: NetId) -> u64 {
+        let w = u64::from(nl.width(net));
+        match nl.node(net) {
+            Node::Input { .. } | Node::Const { .. } | Node::RegOut(_) => 0,
+            Node::Slice { .. } | Node::Concat { .. } => 0,
+            Node::MemRead { mem, .. } => {
+                let entries = nl.memory_info(*mem).entries() as u64;
+                entries * (w + 1)
+            }
+            Node::Unary { op, a } => {
+                let aw = u64::from(nl.width(*a));
+                match op {
+                    UnaryOp::Not => aw,
+                    UnaryOp::Neg => 5 * aw,
+                    UnaryOp::RedOr | UnaryOp::RedAnd | UnaryOp::RedXor => aw.saturating_sub(1),
+                }
+            }
+            Node::Binary { op, a, .. } => {
+                let aw = u64::from(nl.width(*a));
+                match op {
+                    BinaryOp::And | BinaryOp::Or | BinaryOp::Xor => aw,
+                    BinaryOp::Add | BinaryOp::Sub => 5 * aw,
+                    BinaryOp::Mul => 6 * aw * aw,
+                    BinaryOp::Eq | BinaryOp::Ne => 2 * aw - 1,
+                    BinaryOp::Ult | BinaryOp::Ule | BinaryOp::Slt | BinaryOp::Sle => 5 * aw,
+                    BinaryOp::Shl | BinaryOp::Lshr | BinaryOp::Ashr => {
+                        3 * aw * u64::from(clog2(nl.width(*a)))
+                    }
+                }
+            }
+            Node::Mux { .. } => 3 * w,
+        }
+    }
+
+    /// Logic levels (delay) through a node.
+    pub fn levels(&self, nl: &Netlist, net: NetId) -> u32 {
+        match nl.node(net) {
+            Node::Input { .. } | Node::Const { .. } | Node::RegOut(_) => 0,
+            Node::Slice { .. } | Node::Concat { .. } => 0,
+            Node::MemRead { mem, .. } => 2 * nl.memory_info(*mem).addr_width,
+            Node::Unary { op, a } => match op {
+                UnaryOp::Not => 1,
+                UnaryOp::Neg => 2 * clog2(nl.width(*a)) + 2,
+                UnaryOp::RedOr | UnaryOp::RedAnd | UnaryOp::RedXor => clog2(nl.width(*a)),
+            },
+            Node::Binary { op, a, .. } => {
+                let lw = clog2(nl.width(*a));
+                match op {
+                    BinaryOp::And | BinaryOp::Or | BinaryOp::Xor => 1,
+                    BinaryOp::Add | BinaryOp::Sub => 2 * lw + 2,
+                    BinaryOp::Mul => 4 * lw + 4,
+                    BinaryOp::Eq | BinaryOp::Ne => lw + 1,
+                    BinaryOp::Ult | BinaryOp::Ule | BinaryOp::Slt | BinaryOp::Sle => 2 * lw + 2,
+                    BinaryOp::Shl | BinaryOp::Lshr | BinaryOp::Ashr => 2 * lw,
+                }
+            }
+            Node::Mux { .. } => 2,
+        }
+    }
+}
+
+/// Aggregate structural statistics of a netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetlistStats {
+    /// Total two-input gate equivalents.
+    pub gates: u64,
+    /// Longest register-to-register (or input-to-register) path in logic
+    /// levels.
+    pub critical_path: u32,
+    /// Number of state bits held in registers.
+    pub register_bits: u64,
+    /// Number of state bits held in memories.
+    pub memory_bits: u64,
+    /// Number of combinational nodes.
+    pub nodes: u64,
+}
+
+impl NetlistStats {
+    /// Computes statistics for `nl` under the default [`DelayModel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist fails validation (it must be acyclic).
+    pub fn of(nl: &Netlist) -> NetlistStats {
+        Self::with_model(nl, DelayModel)
+    }
+
+    /// Computes statistics under a caller-supplied model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist fails validation.
+    pub fn with_model(nl: &Netlist, model: DelayModel) -> NetlistStats {
+        nl.validate().expect("netlist must validate");
+        let mut gates = 0u64;
+        let mut arrival = vec![0u32; nl.node_count()];
+        for net in nl.nets() {
+            gates += model.gates(nl, net);
+            let own = model.levels(nl, net);
+            let fanin_max = nl
+                .fanin(net)
+                .into_iter()
+                .map(|f| arrival[f.index()])
+                .max()
+                .unwrap_or(0);
+            arrival[net.index()] = fanin_max + own;
+        }
+        // Critical path = max arrival at any register next/enable input or
+        // memory write port input.
+        let mut critical = 0u32;
+        for r in nl.registers() {
+            if let Some(n) = r.next {
+                critical = critical.max(arrival[n.index()]);
+            }
+            if let Some(e) = r.enable {
+                critical = critical.max(arrival[e.index()]);
+            }
+        }
+        for m in nl.memories() {
+            for p in &m.write_ports {
+                critical = critical
+                    .max(arrival[p.enable.index()])
+                    .max(arrival[p.addr.index()])
+                    .max(arrival[p.data.index()]);
+            }
+        }
+        let register_bits = nl.registers().iter().map(|r| u64::from(r.width)).sum();
+        let memory_bits = nl
+            .memories()
+            .iter()
+            .map(|m| m.entries() as u64 * u64::from(m.data_width))
+            .sum();
+        NetlistStats {
+            gates,
+            critical_path: critical,
+            register_bits,
+            memory_bits,
+            nodes: nl.node_count() as u64,
+        }
+    }
+}
+
+/// Renders the backward cone of `roots` (up to `max_depth` levels of
+/// fan-in) as a Graphviz `dot` graph — used to visualise generated
+/// structures such as the paper's Figure 2 forwarding network.
+///
+/// Labelled nets show their names; state elements and inputs form the
+/// cone's leaves.
+pub fn cone_to_dot(nl: &Netlist, roots: &[NetId], max_depth: usize) -> String {
+    use crate::ir::Node;
+    use std::collections::{HashMap, HashSet, VecDeque};
+    use std::fmt::Write as _;
+
+    // Reverse name lookup for labels.
+    let mut names: HashMap<NetId, Vec<&str>> = HashMap::new();
+    for (name, id) in nl.named_nets() {
+        if id.index() != u32::MAX as usize {
+            names.entry(id).or_default().push(name);
+        }
+    }
+    let mut out = String::from("digraph cone {\n  rankdir=LR;\n  node [fontsize=9];\n");
+    let mut seen: HashSet<NetId> = HashSet::new();
+    let mut queue: VecDeque<(NetId, usize)> = roots.iter().map(|&r| (r, 0)).collect();
+    let mut edges = Vec::new();
+    while let Some((net, depth)) = queue.pop_front() {
+        if !seen.insert(net) {
+            continue;
+        }
+        let kind = match nl.node(net) {
+            Node::Input { name } => format!("input {name}"),
+            Node::Const { value } => format!("{value:#x}"),
+            Node::RegOut(r) => format!("reg {}", nl.register_info(*r).name),
+            Node::MemRead { mem, .. } => format!("mem {}", nl.memory_info(*mem).name),
+            Node::Unary { op, .. } => format!("{op:?}"),
+            Node::Binary { op, .. } => format!("{op:?}"),
+            Node::Mux { .. } => "Mux".into(),
+            Node::Slice { hi, lo, .. } => format!("[{hi}:{lo}]"),
+            Node::Concat { .. } => "Concat".into(),
+        };
+        let label = match names.get(&net) {
+            Some(ns) => format!("{}\\n{kind}", ns.join(",")),
+            None => kind,
+        };
+        let shape = match nl.node(net) {
+            Node::RegOut(_) | Node::MemRead { .. } => "box",
+            Node::Input { .. } => "invhouse",
+            Node::Const { .. } => "plaintext",
+            _ => "ellipse",
+        };
+        let _ = writeln!(out, "  n{} [label=\"{label}\" shape={shape}];", net.index());
+        if depth < max_depth {
+            for f in nl.fanin(net) {
+                edges.push((f, net));
+                queue.push_back((f, depth + 1));
+            }
+        }
+    }
+    for (from, to) in edges {
+        if seen.contains(&from) {
+            let _ = writeln!(out, "  n{} -> n{};", from.index(), to.index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Netlist;
+
+    #[test]
+    fn clog2_values() {
+        assert_eq!(clog2(1), 0);
+        assert_eq!(clog2(2), 1);
+        assert_eq!(clog2(3), 2);
+        assert_eq!(clog2(32), 5);
+        assert_eq!(clog2(33), 6);
+    }
+
+    #[test]
+    fn counter_stats() {
+        let mut nl = Netlist::new("c");
+        let one = nl.constant(1, 8);
+        let (r, out) = nl.register("cnt", 8, 0);
+        let next = nl.add(out, one);
+        nl.connect(r, next);
+        let s = NetlistStats::of(&nl);
+        assert_eq!(s.register_bits, 8);
+        assert_eq!(s.gates, 40); // 5 * 8 for the adder
+        assert_eq!(s.critical_path, 2 * 3 + 2);
+    }
+
+    #[test]
+    fn mux_chain_deeper_than_tree() {
+        // A linear chain of n muxes must report a longer critical path
+        // than a balanced tree over the same inputs.
+        fn chain(n: usize) -> u32 {
+            let mut nl = Netlist::new("chain");
+            let mut v = nl.input("x0", 32);
+            let mut sels = Vec::new();
+            for i in 0..n {
+                let xi = nl.input(format!("x{}", i + 1), 32);
+                let s = nl.input(format!("s{i}"), 1);
+                sels.push(s);
+                v = nl.mux(s, xi, v);
+            }
+            let (r, _) = nl.register("out", 32, 0);
+            nl.connect(r, v);
+            NetlistStats::of(&nl).critical_path
+        }
+        assert!(chain(8) > chain(2));
+        assert_eq!(chain(8) - chain(7), 2); // each mux adds 2 levels
+    }
+
+    #[test]
+    fn cone_to_dot_renders_named_nodes() {
+        let mut nl = Netlist::new("d");
+        let a = nl.input("opa", 8);
+        let b = nl.input("opb", 8);
+        let s = nl.add(a, b);
+        nl.label("sum", s);
+        let (r, _) = nl.register("acc", 8, 0);
+        nl.connect(r, s);
+        let dot = cone_to_dot(&nl, &[s], 4);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("sum"));
+        assert!(dot.contains("input opa"));
+        assert!(dot.contains("->"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn cone_to_dot_respects_depth() {
+        let mut nl = Netlist::new("d");
+        let a = nl.input("x", 4);
+        let n1 = nl.not(a);
+        let n2 = nl.not(n1);
+        let n3 = nl.not(n2);
+        let (r, _) = nl.register("out", 4, 0);
+        nl.connect(r, n3);
+        let shallow = cone_to_dot(&nl, &[n3], 1);
+        assert!(!shallow.contains("input x"), "{shallow}");
+        let deep = cone_to_dot(&nl, &[n3], 5);
+        assert!(deep.contains("input x"));
+    }
+
+    #[test]
+    fn memory_bits_counted() {
+        let mut nl = Netlist::new("m");
+        let m = nl.memory("ram", 5, 32, vec![]);
+        let a = nl.input("a", 5);
+        let d = nl.mem_read(m, a);
+        let (r, _) = nl.register("out", 32, 0);
+        nl.connect(r, d);
+        let s = NetlistStats::of(&nl);
+        assert_eq!(s.memory_bits, 32 * 32);
+        assert_eq!(s.register_bits, 32);
+    }
+}

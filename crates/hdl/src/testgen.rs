@@ -1,0 +1,199 @@
+//! Deterministic random-netlist generation (test support).
+//!
+//! Used by the cross-implementation property tests: simulator vs AIG
+//! lowering, and original vs optimized netlists. The generator is
+//! seeded and dependency-free so both this crate's tests and
+//! `autopipe-verify`'s can share identical inputs.
+
+use crate::ir::{NetId, Netlist};
+
+/// A tiny deterministic generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng(seed)
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (bound > 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// Builds a random netlist with three inputs, one enabled register and
+/// one memory with a write port, applying `n_ops` random operations
+/// over a growing net pool. Returns the netlist and all pool nets
+/// (useful as probes).
+///
+/// Port names: `i0[8] i1[8] i2[1] we[1] wa[2] wd[8]`; register `r`,
+/// memory `m`.
+pub fn random_netlist(seed: u64, n_ops: usize) -> (Netlist, Vec<NetId>) {
+    let mut rng = TestRng::new(seed);
+    let mut nl = Netlist::new(format!("rand{seed}"));
+    let mut pool: Vec<NetId> = Vec::new();
+    pool.push(nl.input("i0", 8));
+    pool.push(nl.input("i1", 8));
+    pool.push(nl.input("i2", 1));
+    let m = nl.memory("m", 2, 8, vec![3, 1, 4, 1]);
+    let (reg, reg_out) = nl.register("r", 8, 0x5a);
+    pool.push(reg_out);
+    let addr0 = nl.slice(pool[0], 1, 0);
+    pool.push(nl.mem_read(m, addr0));
+
+    for _ in 0..n_ops {
+        let pick = |rng: &mut TestRng, nl: &Netlist, width: Option<u32>| -> NetId {
+            for _ in 0..8 {
+                let cand = pool[rng.below(pool.len() as u64) as usize];
+                match width {
+                    Some(w) if nl.width(cand) == w => return cand,
+                    None => return cand,
+                    _ => {}
+                }
+            }
+            pool[0]
+        };
+        let choice = rng.below(10);
+        let id = match choice {
+            0 => {
+                let a = pick(&mut rng, &nl, None);
+                match rng.below(5) {
+                    0 => nl.not(a),
+                    1 => nl.neg(a),
+                    2 => nl.red_or(a),
+                    3 => nl.red_and(a),
+                    _ => nl.red_xor(a),
+                }
+            }
+            1..=4 => {
+                let a = pick(&mut rng, &nl, None);
+                let wa = nl.width(a);
+                let b0 = pick(&mut rng, &nl, None);
+                let b = if nl.width(b0) == wa {
+                    b0
+                } else if nl.width(b0) < wa {
+                    nl.zext(b0, wa)
+                } else {
+                    nl.slice(b0, wa - 1, 0)
+                };
+                match rng.below(15) {
+                    14 => nl.mul(a, b),
+                    0 => nl.and(a, b),
+                    1 => nl.or(a, b),
+                    2 => nl.xor(a, b),
+                    3 => nl.add(a, b),
+                    4 => nl.sub(a, b),
+                    5 => nl.eq(a, b),
+                    6 => nl.ne(a, b),
+                    7 => nl.ult(a, b),
+                    8 => nl.ule(a, b),
+                    9 => nl.slt(a, b),
+                    10 => nl.sle(a, b),
+                    11 => nl.shl(a, b),
+                    12 => nl.lshr(a, b),
+                    _ => nl.ashr(a, b),
+                }
+            }
+            5 => {
+                let s0 = pick(&mut rng, &nl, Some(1));
+                let s = if nl.width(s0) == 1 { s0 } else { nl.red_or(s0) };
+                let t = pick(&mut rng, &nl, None);
+                let wt = nl.width(t);
+                let e0 = pick(&mut rng, &nl, None);
+                let e = if nl.width(e0) == wt {
+                    e0
+                } else if nl.width(e0) < wt {
+                    nl.zext(e0, wt)
+                } else {
+                    nl.slice(e0, wt - 1, 0)
+                };
+                nl.mux(s, t, e)
+            }
+            6 => {
+                let a = pick(&mut rng, &nl, None);
+                let w = nl.width(a);
+                let lo = rng.below(u64::from(w)) as u32;
+                let hi = lo + rng.below(u64::from(w - lo)) as u32;
+                nl.slice(a, hi, lo)
+            }
+            7 => {
+                let a = pick(&mut rng, &nl, None);
+                let b = pick(&mut rng, &nl, None);
+                if nl.width(a) + nl.width(b) <= 64 {
+                    nl.concat(a, b)
+                } else {
+                    a
+                }
+            }
+            8 => {
+                let w = 1 + rng.below(16) as u32;
+                let v = rng.next_u64() & crate::value::mask(w);
+                nl.constant(v, w)
+            }
+            _ => {
+                let x = pick(&mut rng, &nl, None);
+                let a = if nl.width(x) >= 2 {
+                    nl.slice(x, 1, 0)
+                } else {
+                    nl.zext(x, 2)
+                };
+                nl.mem_read(m, a)
+            }
+        };
+        pool.push(id);
+    }
+
+    // Drive the register and a write port from pool members.
+    let next = *pool
+        .iter()
+        .rev()
+        .find(|&&n| nl.width(n) == 8)
+        .unwrap_or(&pool[0]);
+    let en = pool.iter().rev().find(|&&n| nl.width(n) == 1).copied();
+    match en {
+        Some(e) => nl.connect_en(reg, next, e),
+        None => nl.connect(reg, next),
+    }
+    let we = nl.input("we", 1);
+    let wa = nl.input("wa", 2);
+    let wd = nl.input("wd", 8);
+    nl.mem_write(m, we, wa, wd);
+    // Probe labels so equivalence checks can address outputs by name.
+    let probe = *pool.last().expect("nonempty");
+    nl.label("probe", probe);
+    (nl, pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic_and_valid() {
+        for seed in 0..30 {
+            let (a, pool_a) = random_netlist(seed, 25);
+            let (b, pool_b) = random_netlist(seed, 25);
+            assert!(a.validate().is_ok());
+            assert_eq!(a.node_count(), b.node_count(), "seed {seed}");
+            assert_eq!(pool_a, pool_b);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (a, _) = random_netlist(1, 25);
+        let (b, _) = random_netlist(2, 25);
+        assert_ne!(a.node_count(), b.node_count());
+    }
+}

@@ -1,0 +1,178 @@
+//! Bit-vector value helpers.
+//!
+//! All signals in the IR are at most 64 bits wide, so runtime values are
+//! plain `u64`s that are kept masked to their declared width. This module
+//! centralises the masking and signed-interpretation arithmetic so the
+//! simulator and the AIG-lowering reference semantics cannot drift apart.
+
+/// Returns the bit mask for a `width`-bit value.
+///
+/// # Panics
+///
+/// Panics if `width` is zero or greater than 64.
+///
+/// ```
+/// assert_eq!(autopipe_hdl::mask(8), 0xff);
+/// assert_eq!(autopipe_hdl::mask(64), u64::MAX);
+/// ```
+#[inline]
+pub fn mask(width: u32) -> u64 {
+    assert!(
+        (1..=64).contains(&width),
+        "width {width} out of range 1..=64"
+    );
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Truncates `v` to `width` bits.
+#[inline]
+pub fn trunc(v: u64, width: u32) -> u64 {
+    v & mask(width)
+}
+
+/// Sign-extends the `width`-bit value `v` to 64 bits (as `i64`).
+#[inline]
+pub fn sext(v: u64, width: u32) -> i64 {
+    let shift = 64 - width;
+    ((v << shift) as i64) >> shift
+}
+
+/// Interprets the `width`-bit value `v` as signed and compares with `rhs`.
+#[inline]
+pub fn signed_lt(a: u64, b: u64, width: u32) -> bool {
+    sext(a, width) < sext(b, width)
+}
+
+/// Interprets the `width`-bit values as signed: `a <= b`.
+#[inline]
+pub fn signed_le(a: u64, b: u64, width: u32) -> bool {
+    sext(a, width) <= sext(b, width)
+}
+
+/// Arithmetic (sign-preserving) right shift of a `width`-bit value.
+#[inline]
+pub fn ashr(v: u64, amount: u64, width: u32) -> u64 {
+    if amount >= width as u64 {
+        // Shifting out everything leaves the sign bit replicated.
+        let sign = (v >> (width - 1)) & 1;
+        return if sign == 1 { mask(width) } else { 0 };
+    }
+    trunc((sext(v, width) >> amount) as u64, width)
+}
+
+/// Logical right shift of a `width`-bit value.
+#[inline]
+pub fn lshr(v: u64, amount: u64, width: u32) -> u64 {
+    if amount >= width as u64 {
+        0
+    } else {
+        trunc(v, width) >> amount
+    }
+}
+
+/// Left shift of a `width`-bit value, truncated back to `width` bits.
+#[inline]
+pub fn shl(v: u64, amount: u64, width: u32) -> u64 {
+    if amount >= width as u64 {
+        0
+    } else {
+        trunc(v << amount, width)
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Shift/extension helpers agree with a 128-bit wide reference.
+        #[test]
+        fn shifts_match_wide_reference(v: u64, amount in 0u64..80, width in 1u32..=64) {
+            let v = trunc(v, width);
+            let wide = u128::from(v);
+            prop_assert_eq!(
+                u128::from(shl(v, amount, width)),
+                (wide << amount.min(127)) & u128::from(mask(width))
+            );
+            prop_assert_eq!(u128::from(lshr(v, amount, width)), wide >> amount.min(127));
+            // Arithmetic shift against i128 sign extension.
+            let signed = i128::from(sext(v, width));
+            let want = (signed >> amount.min(127)) as u128 & u128::from(mask(width));
+            prop_assert_eq!(u128::from(ashr(v, amount, width)), want);
+        }
+
+        /// Signed comparisons agree with i128 on the sign-extended
+        /// values.
+        #[test]
+        fn signed_compares_match_wide_reference(a: u64, b: u64, width in 1u32..=64) {
+            let (a, b) = (trunc(a, width), trunc(b, width));
+            let (sa, sb) = (i128::from(sext(a, width)), i128::from(sext(b, width)));
+            prop_assert_eq!(signed_lt(a, b, width), sa < sb);
+            prop_assert_eq!(signed_le(a, b, width), sa <= sb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_bounds() {
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(5), 0b11111);
+        assert_eq!(mask(63), u64::MAX >> 1);
+        assert_eq!(mask(64), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "width 0 out of range")]
+    fn mask_zero_panics() {
+        mask(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width 65 out of range")]
+    fn mask_too_wide_panics() {
+        mask(65);
+    }
+
+    #[test]
+    fn sext_basics() {
+        assert_eq!(sext(0b1000, 4), -8);
+        assert_eq!(sext(0b0111, 4), 7);
+        assert_eq!(sext(0xffff_ffff, 32), -1);
+        assert_eq!(sext(5, 64), 5);
+    }
+
+    #[test]
+    fn signed_comparisons() {
+        assert!(signed_lt(0b1111, 0b0001, 4)); // -1 < 1
+        assert!(!signed_lt(0b0001, 0b1111, 4));
+        assert!(signed_le(0b1111, 0b1111, 4));
+        assert!(signed_le(0, 0, 32));
+    }
+
+    #[test]
+    fn shift_semantics() {
+        assert_eq!(shl(0b1011, 1, 4), 0b0110);
+        assert_eq!(shl(1, 4, 4), 0);
+        assert_eq!(lshr(0b1000, 3, 4), 1);
+        assert_eq!(lshr(0b1000, 4, 4), 0);
+        assert_eq!(ashr(0b1000, 1, 4), 0b1100);
+        assert_eq!(ashr(0b1000, 7, 4), 0b1111);
+        assert_eq!(ashr(0b0100, 7, 4), 0);
+    }
+
+    #[test]
+    fn shift_full_width_64() {
+        assert_eq!(shl(u64::MAX, 63, 64), 1 << 63);
+        assert_eq!(lshr(u64::MAX, 63, 64), 1);
+        assert_eq!(ashr(1 << 63, 63, 64), u64::MAX);
+    }
+}

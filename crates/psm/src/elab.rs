@@ -1,0 +1,479 @@
+//! Shared elaboration machinery.
+//!
+//! Both elaborations of a [`Plan`] — the sequential reference machine
+//! (this crate) and the pipelined machine (`autopipe-synth`) — consist of
+//! the same steps:
+//!
+//! 1. build the **skeleton**: one hardware register per instance `R.j`,
+//!    one memory per register file, the external inputs
+//!    ([`build_skeleton`]);
+//! 2. instantiate each stage's data-path fragment, binding its input
+//!    ports ([`instantiate_stage`]); the [`InputGen`] hook is the
+//!    paper's *input generation function* `g_k` — the sequential machine
+//!    passes register values through unchanged, the pipelined machine
+//!    substitutes the synthesized forwarding networks;
+//! 3. connect instance registers with the paper's pass-through/write-
+//!    enable rules ([`connect_instances`]) and file write ports with the
+//!    precomputed `Rwe.j`/`Rwa.j` pipeline ([`connect_files`]).
+//!
+//! Keeping these steps in one place guarantees the two machines differ
+//! *only* in scheduling and input generation — which is precisely the
+//! property the correctness argument relies on.
+
+use crate::plan::{Plan, PlanError, ResolvedInput};
+use autopipe_hdl::{MemId, NetId, Netlist, RegId};
+use std::collections::HashMap;
+
+/// The machine's state elements materialised in a netlist.
+#[derive(Debug, Clone)]
+pub struct Skeleton {
+    /// Per [`Plan::instances`] entry: the hardware register and its
+    /// output net.
+    pub inst_regs: Vec<(RegId, NetId)>,
+    /// Per [`Plan::files`] entry: the memory.
+    pub file_mems: Vec<MemId>,
+    /// Per `spec.external_inputs` entry: the input net.
+    pub ext_inputs: Vec<NetId>,
+}
+
+/// Creates all state elements and external inputs of the machine.
+pub fn build_skeleton(nl: &mut Netlist, plan: &Plan) -> Skeleton {
+    let ext_inputs = plan
+        .spec
+        .external_inputs
+        .iter()
+        .map(|(name, w)| nl.input(name.clone(), *w))
+        .collect();
+    let inst_regs = plan
+        .instances
+        .iter()
+        .map(|inst| nl.register(inst.name(), inst.width, inst.init))
+        .collect();
+    let file_mems = plan
+        .files
+        .iter()
+        .map(|f| nl.memory(f.name.clone(), f.addr_width, f.data_width, f.init.clone()))
+        .collect();
+    Skeleton {
+        inst_regs,
+        file_mems,
+        ext_inputs,
+    }
+}
+
+/// The paper's input generation function `g_k`.
+///
+/// `instantiate_stage` calls these hooks to obtain the net bound to each
+/// stage-logic input port. The *default* behaviour (sequential machine)
+/// simply returns register outputs and raw read-port data; the pipeline
+/// transformation overrides [`InputGen::read_data`] (and
+/// [`InputGen::instance`] for loop-back operands) with forwarding
+/// networks.
+pub trait InputGen {
+    /// Net carrying the value of `plan.instances[inst]` as read by
+    /// `stage` through the fragment input `port`.
+    fn instance(&mut self, nl: &mut Netlist, stage: usize, port: &str, inst: usize) -> NetId;
+
+    /// Net carrying external input `ext` as read by `stage` through the
+    /// fragment input `port`.
+    fn external(&mut self, nl: &mut Netlist, stage: usize, port: &str, ext: usize) -> NetId;
+
+    /// Net bound to a register-file read: `raw` is the combinational
+    /// read-port data for address `addr`. Return `raw` for pass-through
+    /// or a substituted (forwarded) net.
+    fn read_data(
+        &mut self,
+        nl: &mut Netlist,
+        stage: usize,
+        file: usize,
+        port: usize,
+        addr: NetId,
+        raw: NetId,
+    ) -> NetId;
+}
+
+/// Pass-through input generation: the prepared sequential machine.
+#[derive(Debug)]
+pub struct DirectInputs<'a> {
+    /// The skeleton whose registers/inputs provide the values.
+    pub skel: &'a Skeleton,
+}
+
+impl InputGen for DirectInputs<'_> {
+    fn instance(&mut self, _nl: &mut Netlist, _stage: usize, _port: &str, inst: usize) -> NetId {
+        self.skel.inst_regs[inst].1
+    }
+
+    fn external(&mut self, _nl: &mut Netlist, _stage: usize, _port: &str, ext: usize) -> NetId {
+        self.skel.ext_inputs[ext]
+    }
+
+    fn read_data(
+        &mut self,
+        _nl: &mut Netlist,
+        _stage: usize,
+        _file: usize,
+        _port: usize,
+        _addr: NetId,
+        raw: NetId,
+    ) -> NetId {
+        raw
+    }
+}
+
+/// Result of instantiating one stage.
+#[derive(Debug, Clone)]
+pub struct StageInstance {
+    /// Outputs of the stage fragment (name → net).
+    pub outputs: HashMap<String, NetId>,
+    /// Per read port: the address net used (after `g_k` substitution the
+    /// data may differ, but the address is the stage's own `f_k_Rra`).
+    pub read_addrs: Vec<NetId>,
+}
+
+/// Instantiates stage `k`'s read ports and data-path fragment into `nl`.
+///
+/// # Errors
+///
+/// Propagates port-resolution and width errors.
+pub fn instantiate_stage(
+    nl: &mut Netlist,
+    plan: &Plan,
+    skel: &Skeleton,
+    stage: usize,
+    gen: &mut dyn InputGen,
+) -> Result<StageInstance, PlanError> {
+    let logic = plan.stage_logic(stage);
+
+    // Helper to resolve one port into a net.
+    fn port_net(
+        nl: &mut Netlist,
+        plan: &Plan,
+        stage: usize,
+        port: &str,
+        gen: &mut dyn InputGen,
+        read_data: &HashMap<String, NetId>,
+    ) -> Result<NetId, PlanError> {
+        match plan.resolve_input(stage, port)? {
+            ResolvedInput::Instance(i) => Ok(gen.instance(nl, stage, port, i)),
+            ResolvedInput::External(e) => Ok(gen.external(nl, stage, port, e)),
+            ResolvedInput::ReadPort { .. } => {
+                read_data
+                    .get(port)
+                    .copied()
+                    .ok_or_else(|| PlanError::UnknownPort {
+                        stage,
+                        port: port.to_string(),
+                    })
+            }
+        }
+    }
+
+    // Read ports first (their address fragments may not use aliases).
+    let mut read_data: HashMap<String, NetId> = HashMap::new();
+    let mut read_addrs = Vec::new();
+    for (pi, rp) in logic.read_ports.iter().enumerate() {
+        let mut bind = HashMap::new();
+        for port in rp.addr.input_ports() {
+            let net = port_net(nl, plan, stage, port, gen, &read_data)?;
+            bind.insert(port.to_string(), net);
+        }
+        let outs = rp
+            .addr
+            .instantiate(nl, &bind)
+            .map_err(|e| PlanError::WidthMismatch {
+                message: e.to_string(),
+            })?;
+        let addr = outs["addr"];
+        let file_idx = plan
+            .files
+            .iter()
+            .position(|f| f.name == rp.file)
+            .expect("validated");
+        let raw = nl.mem_read(skel.file_mems[file_idx], addr);
+        let data = gen.read_data(nl, stage, file_idx, pi, addr, raw);
+        read_data.insert(rp.alias.clone(), data);
+        read_addrs.push(addr);
+    }
+
+    // Main stage fragment.
+    let mut bind = HashMap::new();
+    for port in logic.logic.input_ports() {
+        let net = port_net(nl, plan, stage, port, gen, &read_data)?;
+        bind.insert(port.to_string(), net);
+    }
+    let outputs = logic
+        .logic
+        .instantiate(nl, &bind)
+        .map_err(|e| PlanError::WidthMismatch {
+            message: e.to_string(),
+        })?;
+    Ok(StageInstance {
+        outputs,
+        read_addrs,
+    })
+}
+
+/// An unconditional-priority override of one instance's update: when
+/// `cond` is 1, the register loads `value` regardless of its normal
+/// update rule. Used by the speculation rollback mechanism ("the correct
+/// value is used as input for subsequent calculations").
+#[derive(Debug, Clone, Copy)]
+pub struct InstanceOverride {
+    /// Index into [`Plan::instances`].
+    pub instance: usize,
+    /// 1-bit condition.
+    pub cond: NetId,
+    /// Replacement value (instance width).
+    pub value: NetId,
+}
+
+/// Connects every register instance using the paper's update rules:
+///
+/// * instance with a predecessor instance: clock enable `ue_k`, value
+///   `f_k_R` if the stage writes (muxed by `f_k_Rwe` when present),
+///   otherwise the predecessor's value (pass-through);
+/// * first instance: value `f_k_R`, clock enable `ue_k ∧ f_k_Rwe`.
+///
+/// `overrides` (normally empty) force specific instances to load a
+/// value under a condition, with priority over the normal rule.
+///
+/// # Panics
+///
+/// Panics if a stage fragment failed to produce a promised output
+/// (prevented by planning).
+pub fn connect_instances(
+    nl: &mut Netlist,
+    plan: &Plan,
+    skel: &Skeleton,
+    stages: &[StageInstance],
+    ue: &[NetId],
+    overrides: &[InstanceOverride],
+) {
+    for (ii, inst) in plan.instances.iter().enumerate() {
+        let (reg, _) = skel.inst_regs[ii];
+        let k = inst.writer;
+        let outs = &stages[k].outputs;
+        let data = inst.has_data.then(|| outs[&inst.base]);
+        let we = inst.has_we.then(|| outs[&format!("{}.we", inst.base)]);
+        let (mut value, mut ce) = if inst.has_pred {
+            let pred_ii = plan
+                .instance_named(&inst.base, inst.index - 1)
+                .expect("has_pred checked");
+            let pred = skel.inst_regs[pred_ii].1;
+            let value = match (data, we) {
+                (Some(d), Some(w)) => nl.mux(w, d, pred),
+                (Some(d), None) => d,
+                (None, _) => pred,
+            };
+            (value, ue[k])
+        } else {
+            let d = data.expect("first instance must have data (validated)");
+            let ce = match we {
+                Some(w) => nl.and(ue[k], w),
+                None => ue[k],
+            };
+            (d, ce)
+        };
+        for ov in overrides.iter().filter(|o| o.instance == ii) {
+            value = nl.mux(ov.cond, ov.value, value);
+            ce = nl.or(ce, ov.cond);
+        }
+        nl.connect_en(reg, value, ce);
+    }
+}
+
+/// The precomputed write-control signals of one file: for every stage
+/// `j` from `ctrl_stage` to `write_stage`, the `Rwe.j` / `Rwa.j` values
+/// available while an instruction occupies stage `j`.
+#[derive(Debug, Clone)]
+pub struct FileCtrl {
+    /// `(j, we_net, wa_net)` for `j` in `ctrl_stage ..= write_stage`.
+    /// Entry `j == ctrl_stage` is combinational; later entries are pipe
+    /// registers.
+    pub staged: Vec<(usize, NetId, NetId)>,
+}
+
+impl FileCtrl {
+    /// The control signals visible at stage `j`, if within range.
+    pub fn at(&self, j: usize) -> Option<(NetId, NetId)> {
+        self.staged
+            .iter()
+            .find(|(s, _, _)| *s == j)
+            .map(|(_, we, wa)| (*we, *wa))
+    }
+}
+
+/// The declared (not yet connected) precomputation pipe registers of
+/// one file: `(j, we_reg, we_out, wa_reg, wa_out)` for every `j` in
+/// `ctrl_stage+1 ..= write_stage`.
+#[derive(Debug, Clone)]
+pub struct FileCtrlRegs {
+    /// Pipe registers in stage order.
+    pub pipes: Vec<(
+        usize,
+        autopipe_hdl::RegId,
+        NetId,
+        autopipe_hdl::RegId,
+        NetId,
+    )>,
+}
+
+/// Declares the `Rwe.j`/`Rwa.j` pipe registers of every file *without*
+/// connecting them — so their output nets can feed forwarding hit
+/// comparators that are built before the stage logic is connected.
+pub fn declare_file_ctrl(nl: &mut Netlist, plan: &Plan) -> Vec<FileCtrlRegs> {
+    plan.files
+        .iter()
+        .map(|f| {
+            let mut pipes = Vec::new();
+            if !f.read_only {
+                for j in f.pipe_indices() {
+                    let (we_reg, we_out) = nl.register(format!("{}.we.{j}", f.name), 1, 0);
+                    let (wa_reg, wa_out) =
+                        nl.register(format!("{}.wa.{j}", f.name), f.addr_width, 0);
+                    pipes.push((j, we_reg, we_out, wa_reg, wa_out));
+                }
+            }
+            FileCtrlRegs { pipes }
+        })
+        .collect()
+}
+
+/// Connects the precomputation pipes declared by [`declare_file_ctrl`]
+/// and the file write ports (`enable = Rwe.w ∧ ue_w`); returns one
+/// [`FileCtrl`] per file with the per-stage `we`/`wa` nets.
+pub fn connect_file_ctrl(
+    nl: &mut Netlist,
+    plan: &Plan,
+    skel: &Skeleton,
+    regs: &[FileCtrlRegs],
+    stages: &[StageInstance],
+    ue: &[NetId],
+) -> Vec<FileCtrl> {
+    let mut ctrls = Vec::new();
+    for (fi, f) in plan.files.iter().enumerate() {
+        if f.read_only {
+            ctrls.push(FileCtrl { staged: vec![] });
+            continue;
+        }
+        let c = f.ctrl_stage;
+        let w = f.write_stage;
+        let we0 = stages[c].outputs[&format!("{}.we", f.name)];
+        let wa0 = stages[c].outputs[&format!("{}.wa", f.name)];
+        let mut staged = vec![(c, we0, wa0)];
+        let (mut we_cur, mut wa_cur) = (we0, wa0);
+        for &(j, we_reg, we_out, wa_reg, wa_out) in &regs[fi].pipes {
+            // Pipe register X.j is written by stage j-1 and updates with
+            // ue_{j-1} — exactly like a data instance register.
+            nl.connect_en(we_reg, we_cur, ue[j - 1]);
+            nl.connect_en(wa_reg, wa_cur, ue[j - 1]);
+            staged.push((j, we_out, wa_out));
+            we_cur = we_out;
+            wa_cur = wa_out;
+        }
+        let data = stages[w].outputs[&f.name];
+        let en = nl.and(we_cur, ue[w]);
+        nl.mem_write(skel.file_mems[fi], en, wa_cur, data);
+        ctrls.push(FileCtrl { staged });
+    }
+    ctrls
+}
+
+/// Builds the precomputed `we`/`wa` pipeline of every file and connects
+/// the write ports (`enable = Rwe.w ∧ ue_w`).
+///
+/// Returns one [`FileCtrl`] per file (empty `staged` for read-only
+/// files) so the pipeline transformation can reuse the precomputed
+/// signals for its hit comparators.
+pub fn connect_files(
+    nl: &mut Netlist,
+    plan: &Plan,
+    skel: &Skeleton,
+    stages: &[StageInstance],
+    ue: &[NetId],
+) -> Vec<FileCtrl> {
+    let regs = declare_file_ctrl(nl, plan);
+    connect_file_ctrl(nl, plan, skel, &regs, stages, ue)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopipe_hdl::Simulator;
+
+    #[test]
+    fn instance_override_takes_priority_and_forces_ce() {
+        // A register normally gated off entirely; the override writes
+        // anyway.
+        let mut nl = Netlist::new("ov");
+        let cond = nl.input("cond", 1);
+        let (reg, _out) = nl.register("r", 8, 0);
+        let never = nl.zero();
+        let normal = nl.constant(0x11, 8);
+        let forced = nl.constant(0xee, 8);
+        // Reproduce the override logic connect_instances applies.
+        let value = nl.mux(cond, forced, normal);
+        let ce = nl.or(never, cond);
+        nl.connect_en(reg, value, ce);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input(cond, 0);
+        sim.run(3);
+        assert_eq!(sim.reg_value(reg), 0, "gated off");
+        sim.set_input(cond, 1);
+        sim.step();
+        assert_eq!(sim.reg_value(reg), 0xee, "override wins");
+    }
+
+    #[test]
+    fn file_ctrl_declare_then_connect_matches_combined() {
+        // declare_file_ctrl + connect_file_ctrl must behave exactly as
+        // connect_files; checked structurally via the pipe register
+        // names and counts on a plan with ctrl < write.
+        use crate::spec::{FileDecl, MachineSpec, RegisterDecl};
+        use crate::Fragment;
+        let mut spec = MachineSpec::new("fc", 3);
+        spec.register(RegisterDecl::new("V", 4).written_by(0));
+        spec.file(FileDecl::new("F", 2, 4, 2).ctrl(0));
+        let mut s0 = Netlist::new("s0");
+        let v = s0.input("V", 4);
+        let one = s0.constant(1, 4);
+        let nv = s0.add(v, one);
+        s0.label("V", nv);
+        let we = s0.one();
+        s0.label("F.we", we);
+        let wa = s0.slice(v, 1, 0);
+        s0.label("F.wa", wa);
+        spec.stage(0, "S0", Fragment::new(s0).unwrap(), vec![]);
+        for k in 1..3 {
+            let mut s = Netlist::new(format!("s{k}"));
+            if k == 2 {
+                let v = s.input("V", 4);
+                s.label("F", v);
+            } else {
+                s.constant(0, 1);
+            }
+            spec.stage(k, format!("S{k}"), Fragment::new(s).unwrap(), vec![]);
+        }
+        let plan = spec.plan().unwrap();
+        let mut nl = Netlist::new("t");
+        let skel = build_skeleton(&mut nl, &plan);
+        let regs = declare_file_ctrl(&mut nl, &plan);
+        assert_eq!(regs[0].pipes.len(), 2, "pipes for j = 1, 2");
+        assert!(nl.reg_by_name("F.we.1").is_some());
+        assert!(nl.reg_by_name("F.wa.2").is_some());
+        // Stage instantiation + connection must validate end to end.
+        let one = nl.one();
+        let ue = vec![one, one, one];
+        let mut gen = DirectInputs { skel: &skel };
+        let stages: Vec<StageInstance> = (0..3)
+            .map(|k| instantiate_stage(&mut nl, &plan, &skel, k, &mut gen).unwrap())
+            .collect();
+        connect_instances(&mut nl, &plan, &skel, &stages, &ue, &[]);
+        let ctrl = connect_file_ctrl(&mut nl, &plan, &skel, &regs, &stages, &ue);
+        assert_eq!(ctrl[0].staged.len(), 3, "stages 0, 1, 2 all covered");
+        assert!(ctrl[0].at(1).is_some());
+        assert!(ctrl[0].at(9).is_none());
+        nl.validate().unwrap();
+    }
+}

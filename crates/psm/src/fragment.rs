@@ -1,0 +1,216 @@
+//! Combinational netlist fragments.
+//!
+//! A [`Fragment`] packages one of the paper's data-path functions `f_k`
+//! (or an address function `f_k_Rra`) as a self-contained, purely
+//! combinational [`Netlist`]: its input ports are the function's formal
+//! parameters and its labelled nets are the function's named results.
+//! Fragments are instantiated — possibly many times — into a machine
+//! netlist with [`Netlist::import_fragment`].
+
+use autopipe_hdl::{HdlError, NetId, Netlist, Node};
+use std::fmt;
+
+/// Error building a [`Fragment`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FragmentError {
+    /// The fragment contains registers or memories.
+    NotCombinational {
+        /// Name of the offending fragment.
+        fragment: String,
+    },
+    /// Underlying netlist error.
+    Hdl(HdlError),
+}
+
+impl fmt::Display for FragmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FragmentError::NotCombinational { fragment } => {
+                write!(f, "fragment `{fragment}` must be purely combinational")
+            }
+            FragmentError::Hdl(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FragmentError {}
+
+impl From<HdlError> for FragmentError {
+    fn from(e: HdlError) -> Self {
+        FragmentError::Hdl(e)
+    }
+}
+
+/// A purely combinational function-as-netlist; see the [module
+/// docs](self).
+///
+/// ```
+/// use autopipe_hdl::Netlist;
+/// use autopipe_psm::Fragment;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // f(PC) = PC + 1, labelled as the next PC value.
+/// let mut f = Netlist::new("next_pc");
+/// let pc = f.input("PC", 8);
+/// let one = f.constant(1, 8);
+/// let next = f.add(pc, one);
+/// f.label("PC", next); // outputs may shadow the port they update
+/// let frag = Fragment::new(f)?;
+/// assert_eq!(frag.input_ports(), vec!["PC"]);
+/// assert!(frag.has_output("PC"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fragment {
+    netlist: Netlist,
+}
+
+impl Fragment {
+    /// Wraps a netlist, checking that it is purely combinational and
+    /// acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FragmentError::NotCombinational`] if the netlist holds
+    /// registers or memories, or propagates validation errors.
+    pub fn new(netlist: Netlist) -> Result<Fragment, FragmentError> {
+        if !netlist.registers().is_empty() || !netlist.memories().is_empty() {
+            return Err(FragmentError::NotCombinational {
+                fragment: netlist.name.clone(),
+            });
+        }
+        netlist.topo_order()?;
+        Ok(Fragment { netlist })
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Fragment name.
+    pub fn name(&self) -> &str {
+        &self.netlist.name
+    }
+
+    /// Names of the input ports.
+    pub fn input_ports(&self) -> Vec<&str> {
+        self.netlist
+            .input_ports()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect()
+    }
+
+    /// Names of the outputs: labelled nets whose name does not denote
+    /// the identically named input port (labels may shadow ports, e.g.
+    /// `PC := PC + 1`).
+    pub fn output_names(&self) -> Vec<&str> {
+        self.netlist
+            .named_nets()
+            .into_iter()
+            .filter(|(name, id)| !self.is_own_port(name, *id))
+            .map(|(n, _)| n)
+            .collect()
+    }
+
+    fn is_own_port(&self, name: &str, id: NetId) -> bool {
+        matches!(self.netlist.node(id), Node::Input { name: n } if n == name)
+    }
+
+    /// Whether the fragment produces the named output.
+    pub fn has_output(&self, name: &str) -> bool {
+        self.netlist
+            .find(name)
+            .map(|id| !self.is_own_port(name, id))
+            .unwrap_or(false)
+    }
+
+    /// Width of a named output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdlError::UnknownName`] if the output does not exist.
+    pub fn output_width(&self, name: &str) -> Result<u32, HdlError> {
+        let id = self.netlist.find(name)?;
+        Ok(self.netlist.width(id))
+    }
+
+    /// Width of a named input port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdlError::UnknownName`] if the port does not exist.
+    pub fn input_width(&self, name: &str) -> Result<u32, HdlError> {
+        self.netlist
+            .input_ports()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, id)| self.netlist.width(id))
+            .ok_or_else(|| HdlError::UnknownName { name: name.into() })
+    }
+
+    /// Instantiates the fragment into `target`, binding input ports per
+    /// `bind`; returns the map of output names to nets in `target`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Netlist::import_fragment`].
+    pub fn instantiate(
+        &self,
+        target: &mut Netlist,
+        bind: &std::collections::HashMap<String, NetId>,
+    ) -> Result<std::collections::HashMap<String, NetId>, HdlError> {
+        target.import_fragment(&self.netlist, bind)
+    }
+
+    /// Builds the identity fragment: one input `in` of the given width,
+    /// labelled `out`. Useful for trivial address functions in tests.
+    pub fn identity(width: u32) -> Fragment {
+        let mut nl = Netlist::new("identity");
+        let x = nl.input("in", width);
+        nl.label("out", x);
+        Fragment { netlist: nl }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ports_and_outputs_classified() {
+        let mut nl = Netlist::new("f");
+        let a = nl.input("a", 8);
+        let b = nl.input("b", 8);
+        let s = nl.add(a, b);
+        nl.label("sum", s);
+        let f = Fragment::new(nl).unwrap();
+        assert_eq!(f.input_ports(), vec!["a", "b"]);
+        assert_eq!(f.output_names(), vec!["sum"]);
+        assert!(f.has_output("sum"));
+        assert!(!f.has_output("a"));
+        assert!(!f.has_output("nope"));
+        assert_eq!(f.output_width("sum").unwrap(), 8);
+    }
+
+    #[test]
+    fn sequential_fragment_rejected() {
+        let mut nl = Netlist::new("f");
+        let (r, out) = nl.register("r", 4, 0);
+        nl.connect(r, out);
+        assert!(matches!(
+            Fragment::new(nl),
+            Err(FragmentError::NotCombinational { .. })
+        ));
+    }
+
+    #[test]
+    fn identity_fragment_roundtrips() {
+        let f = Fragment::identity(12);
+        assert_eq!(f.input_ports(), vec!["in"]);
+        assert_eq!(f.output_names(), vec!["out"]);
+        assert_eq!(f.output_width("out").unwrap(), 12);
+    }
+}

@@ -1,0 +1,39 @@
+//! # autopipe-psm — the prepared sequential machine model
+//!
+//! Implements Section 2 of *Automated Pipeline Design* (Kroening & Paul,
+//! DAC 2001): the description layer for a **prepared sequential
+//! machine** — a design that is already partitioned into `n` pipeline
+//! stages but executes one instruction at a time under a round-robin
+//! update-enable schedule (the paper's Table 1).
+//!
+//! The designer provides exactly what the paper asks for:
+//!
+//! * a list of registers: name, width ("domain"), and the stage(s) that
+//!   write them — multi-stage **instances** `R.k` included
+//!   ([`RegisterDecl`]),
+//! * register files with write-enable / write-address / read-address
+//!   functions ([`FileDecl`], [`ReadPort`]),
+//! * the combinational data paths `f_k` of every stage as netlist
+//!   [`Fragment`]s whose ports follow a simple naming convention
+//!   (see [`StageLogic`]).
+//!
+//! [`MachineSpec::plan`] validates the description and
+//! [`SequentialMachine`] elaborates it into a runnable
+//! [`autopipe_hdl::Netlist`] with the sequential scheduler. The pipeline
+//! transformation in `autopipe-synth` consumes the same [`Plan`].
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod elab;
+pub mod fragment;
+pub mod plan;
+pub mod sequential;
+pub mod spec;
+
+pub use elab::{
+    DirectInputs, FileCtrl, FileCtrlRegs, InputGen, InstanceOverride, Skeleton, StageInstance,
+};
+pub use fragment::Fragment;
+pub use plan::{Plan, PlanError, RegInstance, ResolvedInput};
+pub use sequential::{SequentialMachine, VisibleState, VisibleValue};
+pub use spec::{FileDecl, MachineSpec, ReadPort, RegisterDecl, StageLogic};

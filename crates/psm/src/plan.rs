@@ -1,0 +1,809 @@
+//! Validation and resolution of a [`MachineSpec`] into a [`Plan`].
+//!
+//! The plan enumerates every *physical* register instance `R.j`
+//! (written by stage `j-1`), classifies each as data-producing and/or
+//! pass-through, resolves the write-enable/address precomputation pipes
+//! of register files, and provides the input-port resolution used by
+//! both the sequential elaboration and the pipeline transformation.
+
+use crate::spec::{MachineSpec, StageLogic};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Errors detected while resolving a machine specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A stage has no logic assigned.
+    MissingStageLogic {
+        /// Stage index.
+        stage: usize,
+    },
+    /// Two declarations share a name.
+    DuplicateName {
+        /// The clashing name.
+        name: String,
+    },
+    /// A register has no writer stages.
+    NoWriters {
+        /// Register name.
+        register: String,
+    },
+    /// A stage index in a declaration is out of range.
+    StageOutOfRange {
+        /// Offending declaration.
+        what: String,
+        /// The out-of-range stage.
+        stage: usize,
+    },
+    /// A fragment output does not correspond to any register/file target.
+    UnknownOutput {
+        /// Stage index.
+        stage: usize,
+        /// Output name.
+        output: String,
+    },
+    /// A fragment input port cannot be resolved.
+    UnknownPort {
+        /// Stage index.
+        stage: usize,
+        /// Port name.
+        port: String,
+    },
+    /// A register instance is neither computed nor a pass-through copy.
+    UndrivenInstance {
+        /// Instance name, e.g. `"IR.1"`.
+        instance: String,
+    },
+    /// A width disagreement between a port/output and its target.
+    WidthMismatch {
+        /// Human-readable description.
+        message: String,
+    },
+    /// A file declaration is inconsistent (message describes how).
+    BadFile {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::MissingStageLogic { stage } => {
+                write!(f, "stage {stage} has no logic assigned")
+            }
+            PlanError::DuplicateName { name } => write!(f, "duplicate name `{name}`"),
+            PlanError::NoWriters { register } => {
+                write!(f, "register `{register}` has no writer stages")
+            }
+            PlanError::StageOutOfRange { what, stage } => {
+                write!(f, "{what}: stage {stage} out of range")
+            }
+            PlanError::UnknownOutput { stage, output } => {
+                write!(f, "stage {stage} output `{output}` has no target")
+            }
+            PlanError::UnknownPort { stage, port } => {
+                write!(f, "stage {stage} port `{port}` cannot be resolved")
+            }
+            PlanError::UndrivenInstance { instance } => {
+                write!(f, "register instance `{instance}` is never computed")
+            }
+            PlanError::WidthMismatch { message } => write!(f, "width mismatch: {message}"),
+            PlanError::BadFile { message } => write!(f, "bad file declaration: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A physical register instance `R.j` (written by stage `j-1`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegInstance {
+    /// Index of the declaring [`crate::RegisterDecl`].
+    pub reg: usize,
+    /// Base register name.
+    pub base: String,
+    /// Instance index `j` (the paper's `R.j`).
+    pub index: usize,
+    /// Writing stage (`j - 1`).
+    pub writer: usize,
+    /// Bit width.
+    pub width: u32,
+    /// Initial value.
+    pub init: u64,
+    /// Whether the writer stage's logic computes a value (`f_k_R`).
+    pub has_data: bool,
+    /// Whether the writer stage's logic provides a write enable.
+    pub has_we: bool,
+    /// Whether a predecessor instance `R.(j-1)` exists (pass-through).
+    pub has_pred: bool,
+    /// Whether this is the newest (largest-`j`) instance.
+    pub is_last: bool,
+    /// Whether this instance carries the architecturally visible value.
+    pub visible: bool,
+}
+
+impl RegInstance {
+    /// The canonical instance name `R.j`.
+    pub fn name(&self) -> String {
+        format!("{}.{}", self.base, self.index)
+    }
+}
+
+/// Resolved register-file information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilePlan {
+    /// Index of the declaring [`crate::FileDecl`].
+    pub file: usize,
+    /// File name.
+    pub name: String,
+    /// Address width.
+    pub addr_width: u32,
+    /// Data width.
+    pub data_width: u32,
+    /// Initial contents.
+    pub init: Vec<u64>,
+    /// Architecturally visible.
+    pub visible: bool,
+    /// Read-only (no write port).
+    pub read_only: bool,
+    /// Stage providing the write data.
+    pub write_stage: usize,
+    /// Stage computing `we`/`wa` (precomputation origin).
+    pub ctrl_stage: usize,
+}
+
+impl FilePlan {
+    /// Instance indices `j` of the precomputed `we`/`wa` pipe registers:
+    /// `ctrl_stage+1 ..= write_stage` (empty when control and write
+    /// coincide).
+    pub fn pipe_indices(&self) -> std::ops::RangeInclusive<usize> {
+        self.ctrl_stage + 1..=self.write_stage
+    }
+}
+
+/// What a stage-logic input port refers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolvedInput {
+    /// A register instance (index into [`Plan::instances`]).
+    Instance(usize),
+    /// A register-file read port: (file index into [`Plan::files`],
+    /// read-port index within the stage).
+    ReadPort {
+        /// Index into [`Plan::files`].
+        file: usize,
+        /// Index into the stage's `read_ports`.
+        port: usize,
+    },
+    /// A machine-level external input (index into
+    /// `spec.external_inputs`).
+    External(usize),
+}
+
+/// The validated, resolved machine description.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The original specification.
+    pub spec: MachineSpec,
+    /// All physical register instances, ordered by (register, index).
+    pub instances: Vec<RegInstance>,
+    /// All register files.
+    pub files: Vec<FilePlan>,
+}
+
+impl Plan {
+    /// Resolves and validates `spec`; see [`MachineSpec::plan`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first detected [`PlanError`].
+    pub fn resolve(spec: &MachineSpec) -> Result<Plan, PlanError> {
+        let n = spec.n_stages;
+        // Every stage must have logic.
+        for (k, s) in spec.stages.iter().enumerate() {
+            if s.is_none() {
+                return Err(PlanError::MissingStageLogic { stage: k });
+            }
+        }
+        // Unique names across registers, files and external inputs.
+        let mut names = HashSet::new();
+        for r in &spec.registers {
+            if !names.insert(r.name.clone()) {
+                return Err(PlanError::DuplicateName {
+                    name: r.name.clone(),
+                });
+            }
+        }
+        for fdecl in &spec.files {
+            if !names.insert(fdecl.name.clone()) {
+                return Err(PlanError::DuplicateName {
+                    name: fdecl.name.clone(),
+                });
+            }
+        }
+        for (e, _) in &spec.external_inputs {
+            if !names.insert(e.clone()) {
+                return Err(PlanError::DuplicateName { name: e.clone() });
+            }
+        }
+
+        // Registers -> instances.
+        let mut instances = Vec::new();
+        for (ri, r) in spec.registers.iter().enumerate() {
+            if r.writers.is_empty() {
+                return Err(PlanError::NoWriters {
+                    register: r.name.clone(),
+                });
+            }
+            for &w in &r.writers {
+                if w >= n {
+                    return Err(PlanError::StageOutOfRange {
+                        what: format!("register `{}` writer", r.name),
+                        stage: w,
+                    });
+                }
+            }
+            let last = *r.writers.last().expect("nonempty");
+            for &w in &r.writers {
+                let logic = stage_logic(spec, w);
+                let has_data = logic.logic.has_output(&r.name);
+                let we_name = format!("{}.we", r.name);
+                let has_we = logic.logic.has_output(&we_name);
+                if has_data {
+                    let got = logic
+                        .logic
+                        .output_width(&r.name)
+                        .expect("has_output checked");
+                    if got != r.width {
+                        return Err(PlanError::WidthMismatch {
+                            message: format!(
+                                "stage {w} computes `{}` as {got} bits, declared {}",
+                                r.name, r.width
+                            ),
+                        });
+                    }
+                }
+                if has_we {
+                    let got = logic.logic.output_width(&we_name).expect("checked");
+                    if got != 1 {
+                        return Err(PlanError::WidthMismatch {
+                            message: format!("`{we_name}` must be 1 bit, got {got}"),
+                        });
+                    }
+                }
+                let has_pred = r.writers.contains(&w.wrapping_sub(1)) && w > 0;
+                if !has_data && !has_pred {
+                    return Err(PlanError::UndrivenInstance {
+                        instance: format!("{}.{}", r.name, w + 1),
+                    });
+                }
+                instances.push(RegInstance {
+                    reg: ri,
+                    base: r.name.clone(),
+                    index: w + 1,
+                    writer: w,
+                    width: r.width,
+                    init: r.init,
+                    has_data,
+                    has_we,
+                    has_pred,
+                    is_last: w == last,
+                    visible: r.visible && w == last,
+                });
+            }
+        }
+
+        // Files.
+        let mut files = Vec::new();
+        for (fi, fdecl) in spec.files.iter().enumerate() {
+            if !fdecl.read_only {
+                if fdecl.write_stage >= n {
+                    return Err(PlanError::StageOutOfRange {
+                        what: format!("file `{}` write stage", fdecl.name),
+                        stage: fdecl.write_stage,
+                    });
+                }
+                if fdecl.ctrl_stage > fdecl.write_stage {
+                    return Err(PlanError::BadFile {
+                        message: format!(
+                            "file `{}`: ctrl stage {} after write stage {}",
+                            fdecl.name, fdecl.ctrl_stage, fdecl.write_stage
+                        ),
+                    });
+                }
+                let wl = stage_logic(spec, fdecl.write_stage);
+                if !wl.logic.has_output(&fdecl.name) {
+                    return Err(PlanError::BadFile {
+                        message: format!(
+                            "file `{}`: stage {} must output the write data `{}`",
+                            fdecl.name, fdecl.write_stage, fdecl.name
+                        ),
+                    });
+                }
+                let dw = wl.logic.output_width(&fdecl.name).expect("checked");
+                if dw != fdecl.data_width {
+                    return Err(PlanError::WidthMismatch {
+                        message: format!(
+                            "file `{}` write data is {dw} bits, declared {}",
+                            fdecl.name, fdecl.data_width
+                        ),
+                    });
+                }
+                let cl = stage_logic(spec, fdecl.ctrl_stage);
+                for (suffix, want) in [("we", 1), ("wa", fdecl.addr_width)] {
+                    let oname = format!("{}.{}", fdecl.name, suffix);
+                    if !cl.logic.has_output(&oname) {
+                        return Err(PlanError::BadFile {
+                            message: format!(
+                                "file `{}`: stage {} must output `{oname}`",
+                                fdecl.name, fdecl.ctrl_stage
+                            ),
+                        });
+                    }
+                    let got = cl.logic.output_width(&oname).expect("checked");
+                    if got != want {
+                        return Err(PlanError::WidthMismatch {
+                            message: format!("`{oname}` must be {want} bits, got {got}"),
+                        });
+                    }
+                }
+            }
+            files.push(FilePlan {
+                file: fi,
+                name: fdecl.name.clone(),
+                addr_width: fdecl.addr_width,
+                data_width: fdecl.data_width,
+                init: fdecl.init.clone(),
+                visible: fdecl.visible,
+                read_only: fdecl.read_only,
+                write_stage: fdecl.write_stage,
+                ctrl_stage: fdecl.ctrl_stage,
+            });
+        }
+
+        let plan = Plan {
+            spec: spec.clone(),
+            instances,
+            files,
+        };
+
+        // Every fragment output must have a target; every input must
+        // resolve; read ports must be consistent.
+        for k in 0..n {
+            let logic = stage_logic(&plan.spec, k);
+            let mut aliases = HashSet::new();
+            for rp in &logic.read_ports {
+                if !aliases.insert(rp.alias.clone()) {
+                    return Err(PlanError::DuplicateName {
+                        name: rp.alias.clone(),
+                    });
+                }
+                let Some(fp) = plan.files.iter().find(|f| f.name == rp.file) else {
+                    return Err(PlanError::UnknownPort {
+                        stage: k,
+                        port: format!("read port file `{}`", rp.file),
+                    });
+                };
+                if !rp.addr.has_output("addr") {
+                    return Err(PlanError::BadFile {
+                        message: format!(
+                            "read port `{}` address fragment must label an `addr` output",
+                            rp.alias
+                        ),
+                    });
+                }
+                let got = rp.addr.output_width("addr").expect("checked");
+                if got != fp.addr_width {
+                    return Err(PlanError::WidthMismatch {
+                        message: format!(
+                            "read port `{}` address is {got} bits, file `{}` needs {}",
+                            rp.alias, fp.name, fp.addr_width
+                        ),
+                    });
+                }
+                // Address fragment inputs must resolve without aliases.
+                for port in rp.addr.input_ports() {
+                    if let ResolvedInput::ReadPort { .. } = plan.resolve_input(k, port)? {
+                        return Err(PlanError::UnknownPort {
+                            stage: k,
+                            port: format!(
+                                "{port} (read-port aliases not allowed in address functions)"
+                            ),
+                        });
+                    }
+                }
+            }
+            for port in logic.logic.input_ports() {
+                plan.resolve_input(k, port)?;
+            }
+            for out in logic.logic.output_names() {
+                if !plan.output_has_target(k, out) {
+                    return Err(PlanError::UnknownOutput {
+                        stage: k,
+                        output: out.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Whether stage `k`'s fragment output `name` corresponds to a
+    /// register value, a write enable, or a file data/we/wa signal.
+    fn output_has_target(&self, k: usize, name: &str) -> bool {
+        let (base, suffix) = match name.rsplit_once('.') {
+            Some((b, s)) if s == "we" || s == "wa" => (b, Some(s)),
+            _ => (name, None),
+        };
+        if let Some(r) = self.spec.registers.iter().find(|r| r.name == base) {
+            return match suffix {
+                None | Some("we") => r.writers.contains(&k),
+                _ => false,
+            };
+        }
+        if let Some(fp) = self.files.iter().find(|f| f.name == base && !f.read_only) {
+            return match suffix {
+                None => fp.write_stage == k,
+                Some("we") | Some("wa") => fp.ctrl_stage == k,
+                _ => false,
+            };
+        }
+        false
+    }
+
+    /// Index into [`Plan::instances`] of instance `base.index`, if it
+    /// exists.
+    pub fn instance_named(&self, base: &str, index: usize) -> Option<usize> {
+        self.instances
+            .iter()
+            .position(|i| i.base == base && i.index == index)
+    }
+
+    /// The instance a bare register name resolves to when read by stage
+    /// `k`: the largest instance index `j <= k`, or — for architectural
+    /// loop-backs — the smallest instance.
+    pub fn instance_for_read(&self, stage: usize, base: &str) -> Option<usize> {
+        let mut candidates: Vec<(usize, usize)> = self
+            .instances
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.base == base)
+            .map(|(pos, i)| (i.index, pos))
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        candidates.sort_unstable();
+        candidates
+            .iter()
+            .rev()
+            .find(|(j, _)| *j <= stage)
+            .or_else(|| candidates.first())
+            .map(|(_, pos)| *pos)
+    }
+
+    /// Resolves a stage-logic input port name; see the conventions on
+    /// [`crate::spec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::UnknownPort`] when nothing matches, or
+    /// [`PlanError::WidthMismatch`] placeholders are *not* produced here
+    /// (widths are checked at elaboration time when nets exist).
+    pub fn resolve_input(&self, stage: usize, port: &str) -> Result<ResolvedInput, PlanError> {
+        // 1. Read-port alias of this stage.
+        let logic = stage_logic(&self.spec, stage);
+        if let Some(pi) = logic.read_ports.iter().position(|rp| rp.alias == port) {
+            let file = self
+                .files
+                .iter()
+                .position(|f| f.name == logic.read_ports[pi].file)
+                .ok_or_else(|| PlanError::UnknownPort {
+                    stage,
+                    port: port.to_string(),
+                })?;
+            return Ok(ResolvedInput::ReadPort { file, port: pi });
+        }
+        // 2. External input.
+        if let Some(ei) = self
+            .spec
+            .external_inputs
+            .iter()
+            .position(|(n, _)| n == port)
+        {
+            return Ok(ResolvedInput::External(ei));
+        }
+        // 3. Explicit instance `R.j`.
+        if let Some((base, idx)) = port.rsplit_once('.') {
+            if let Ok(j) = idx.parse::<usize>() {
+                if let Some(pos) = self.instance_named(base, j) {
+                    return Ok(ResolvedInput::Instance(pos));
+                }
+            }
+        }
+        // 4. Bare register name.
+        if let Some(pos) = self.instance_for_read(stage, port) {
+            return Ok(ResolvedInput::Instance(pos));
+        }
+        Err(PlanError::UnknownPort {
+            stage,
+            port: port.to_string(),
+        })
+    }
+
+    /// The stage logic of stage `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range (plans always have full stages).
+    pub fn stage_logic(&self, k: usize) -> &StageLogic {
+        stage_logic(&self.spec, k)
+    }
+
+    /// Number of stages.
+    pub fn n_stages(&self) -> usize {
+        self.spec.n_stages
+    }
+}
+
+fn stage_logic(spec: &MachineSpec, k: usize) -> &StageLogic {
+    spec.stages[k]
+        .as_ref()
+        .expect("stage logic presence checked during planning")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FileDecl, MachineSpec, ReadPort, RegisterDecl};
+    use crate::Fragment;
+    use autopipe_hdl::Netlist;
+
+    /// A tiny 3-stage machine: stage 0 computes X:=PC+1 and PC:=PC+1;
+    /// stage 1 computes Y:=X*2 (via add); stage 2 writes Y into file M.
+    fn toy_spec() -> MachineSpec {
+        let mut spec = MachineSpec::new("toy", 3);
+        spec.register(RegisterDecl::new("PC", 8).written_by(0).visible());
+        spec.register(RegisterDecl::new("X", 8).written_by(0));
+        spec.register(
+            RegisterDecl::new("A", 4).written_by(0).written_by(1), // pipe the address along
+        );
+        spec.register(RegisterDecl::new("Y", 8).written_by(1));
+        spec.file(FileDecl::new("M", 4, 8, 2).ctrl(2).visible());
+
+        let mut s0 = Netlist::new("s0");
+        let pc = s0.input("PC", 8);
+        let one = s0.constant(1, 8);
+        let npc = s0.add(pc, one);
+        s0.label("PC", npc);
+        s0.label("X", npc);
+        let a = s0.slice(pc, 3, 0);
+        s0.label("A", a);
+        spec.stage(0, "S0", Fragment::new(s0).unwrap(), vec![]);
+
+        let mut s1 = Netlist::new("s1");
+        let x = s1.input("X", 8);
+        let y = s1.add(x, x);
+        s1.label("Y", y);
+        spec.stage(1, "S1", Fragment::new(s1).unwrap(), vec![]);
+
+        let mut s2 = Netlist::new("s2");
+        let y = s2.input("Y", 8);
+        let a = s2.input("A", 4);
+        s2.label("M", y);
+        let one = s2.one();
+        s2.label("M.we", one);
+        s2.label("M.wa", a);
+        spec.stage(2, "S2", Fragment::new(s2).unwrap(), vec![]);
+        spec
+    }
+
+    #[test]
+    fn toy_plan_resolves() {
+        let plan = toy_spec().plan().unwrap();
+        assert_eq!(plan.instances.len(), 5); // PC.1 X.1 A.1 A.2 Y.2
+        assert_eq!(plan.files.len(), 1);
+        let a2 = plan.instance_named("A", 2).unwrap();
+        assert!(plan.instances[a2].has_pred);
+        assert!(!plan.instances[a2].has_data); // pure copy
+        let pc1 = plan.instance_named("PC", 1).unwrap();
+        assert!(plan.instances[pc1].visible);
+    }
+
+    #[test]
+    fn bare_name_resolution_wraps_for_loopback() {
+        let plan = toy_spec().plan().unwrap();
+        // Stage 0 reads PC -> PC.1 (loop-back).
+        match plan.resolve_input(0, "PC").unwrap() {
+            ResolvedInput::Instance(i) => {
+                assert_eq!(plan.instances[i].name(), "PC.1");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Stage 2 reads A -> A.2 (nearest at-or-before).
+        match plan.resolve_input(2, "A").unwrap() {
+            ResolvedInput::Instance(i) => assert_eq!(plan.instances[i].name(), "A.2"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_stage_logic_is_reported() {
+        let mut spec = MachineSpec::new("m", 2);
+        spec.register(RegisterDecl::new("R", 4).written_by(0));
+        let mut s0 = Netlist::new("s0");
+        let r = s0.input("R", 4);
+        s0.label("R", r);
+        spec.stage(0, "S0", Fragment::new(s0).unwrap(), vec![]);
+        assert_eq!(
+            spec.plan().unwrap_err(),
+            PlanError::MissingStageLogic { stage: 1 }
+        );
+    }
+
+    #[test]
+    fn undriven_instance_detected() {
+        let mut spec = MachineSpec::new("m", 2);
+        spec.register(RegisterDecl::new("R", 4).written_by(1)); // stage 1 never outputs R
+        let mut s0 = Netlist::new("s0");
+        s0.constant(0, 1);
+        spec.stage(0, "S0", Fragment::new(s0).unwrap(), vec![]);
+        let mut s1 = Netlist::new("s1");
+        s1.constant(0, 1);
+        spec.stage(1, "S1", Fragment::new(s1).unwrap(), vec![]);
+        assert_eq!(
+            spec.plan().unwrap_err(),
+            PlanError::UndrivenInstance {
+                instance: "R.2".into()
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_output_detected() {
+        let mut spec = MachineSpec::new("m", 1);
+        spec.register(RegisterDecl::new("R", 4).written_by(0));
+        let mut s0 = Netlist::new("s0");
+        let r = s0.input("R", 4);
+        let one = s0.constant(1, 4);
+        let next = s0.add(r, one);
+        s0.label("R", next);
+        let z = s0.constant(0, 1);
+        s0.label("BOGUS", z);
+        spec.stage(0, "S0", Fragment::new(s0).unwrap(), vec![]);
+        assert!(matches!(
+            spec.plan().unwrap_err(),
+            PlanError::UnknownOutput { output, .. } if output == "BOGUS"
+        ));
+    }
+
+    #[test]
+    fn read_port_alias_resolves() {
+        let mut spec = MachineSpec::new("m", 1);
+        spec.register(RegisterDecl::new("R", 8).written_by(0));
+        spec.file(FileDecl::read_only("ROM", 3, 8));
+        let mut addr = Netlist::new("addr");
+        let r = addr.input("R", 8);
+        let a = addr.slice(r, 2, 0);
+        addr.label("addr", a);
+        let mut s0 = Netlist::new("s0");
+        let data = s0.input("romd", 8);
+        s0.label("R", data);
+        spec.stage(
+            0,
+            "S0",
+            Fragment::new(s0).unwrap(),
+            vec![ReadPort::new("ROM", "romd", Fragment::new(addr).unwrap())],
+        );
+        let plan = spec.plan().unwrap();
+        assert_eq!(
+            plan.resolve_input(0, "romd").unwrap(),
+            ResolvedInput::ReadPort { file: 0, port: 0 }
+        );
+    }
+
+    #[test]
+    fn ctrl_after_write_stage_rejected() {
+        let mut spec = MachineSpec::new("m", 3);
+        spec.file(FileDecl::new("M", 2, 8, 1).ctrl(2)); // ctrl after write
+        for k in 0..3 {
+            let mut s = Netlist::new(format!("s{k}"));
+            s.constant(0, 1);
+            spec.stage(k, format!("S{k}"), Fragment::new(s).unwrap(), vec![]);
+        }
+        assert!(matches!(
+            spec.plan().unwrap_err(),
+            PlanError::BadFile { message } if message.contains("after write stage")
+        ));
+    }
+
+    #[test]
+    fn writer_stage_out_of_range_rejected() {
+        let mut spec = MachineSpec::new("m", 2);
+        spec.register(RegisterDecl::new("R", 4).written_by(7));
+        for k in 0..2 {
+            let mut s = Netlist::new(format!("s{k}"));
+            s.constant(0, 1);
+            spec.stage(k, format!("S{k}"), Fragment::new(s).unwrap(), vec![]);
+        }
+        assert!(matches!(
+            spec.plan().unwrap_err(),
+            PlanError::StageOutOfRange { stage: 7, .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_read_port_alias_rejected() {
+        let mut spec = MachineSpec::new("m", 1);
+        spec.register(RegisterDecl::new("R", 8).written_by(0));
+        spec.file(FileDecl::read_only("ROM", 3, 8));
+        let addr = || {
+            let mut a = Netlist::new("a");
+            let r = a.input("R", 8);
+            let s = a.slice(r, 2, 0);
+            a.label("addr", s);
+            Fragment::new(a).unwrap()
+        };
+        let mut s0 = Netlist::new("s0");
+        let d = s0.input("x", 8);
+        let one = s0.constant(1, 8);
+        let out = s0.add(d, one);
+        s0.label("R", out);
+        spec.stage(
+            0,
+            "S0",
+            Fragment::new(s0).unwrap(),
+            vec![
+                ReadPort::new("ROM", "x", addr()),
+                ReadPort::new("ROM", "x", addr()),
+            ],
+        );
+        assert!(matches!(
+            spec.plan().unwrap_err(),
+            PlanError::DuplicateName { name } if name == "x"
+        ));
+    }
+
+    #[test]
+    fn read_port_on_unknown_file_rejected() {
+        let mut spec = MachineSpec::new("m", 1);
+        spec.register(RegisterDecl::new("R", 8).written_by(0));
+        let mut a = Netlist::new("a");
+        let r = a.input("R", 8);
+        let s = a.slice(r, 2, 0);
+        a.label("addr", s);
+        let mut s0 = Netlist::new("s0");
+        let d = s0.input("x", 8);
+        let one = s0.constant(1, 8);
+        let out = s0.add(d, one);
+        s0.label("R", out);
+        spec.stage(
+            0,
+            "S0",
+            Fragment::new(s0).unwrap(),
+            vec![ReadPort::new("GHOST", "x", Fragment::new(a).unwrap())],
+        );
+        assert!(matches!(
+            spec.plan().unwrap_err(),
+            PlanError::UnknownPort { .. }
+        ));
+    }
+
+    #[test]
+    fn write_data_width_checked() {
+        let mut spec = MachineSpec::new("m", 1);
+        spec.file(FileDecl::new("M", 2, 8, 0));
+        let mut s0 = Netlist::new("s0");
+        let z = s0.constant(0, 4); // wrong width
+        s0.label("M", z);
+        let one = s0.one();
+        s0.label("M.we", one);
+        let a = s0.constant(0, 2);
+        s0.label("M.wa", a);
+        spec.stage(0, "S0", Fragment::new(s0).unwrap(), vec![]);
+        assert!(matches!(
+            spec.plan().unwrap_err(),
+            PlanError::WidthMismatch { .. }
+        ));
+    }
+}

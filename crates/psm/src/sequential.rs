@@ -1,0 +1,326 @@
+//! The prepared **sequential** machine: round-robin scheduling.
+//!
+//! Elaborates a [`Plan`] into a netlist whose update-enable signals
+//! `ue_k` are driven by a modulo-`n` stage counter, reproducing the
+//! paper's Table 1: exactly one stage is enabled per cycle, cycling
+//! `0, 1, …, n-1, 0, …`, so one instruction completes every `n` cycles.
+//! This machine is the correctness reference for the pipelined
+//! transformation.
+
+use crate::elab::{self, DirectInputs, FileCtrl, Skeleton, StageInstance};
+use crate::plan::{Plan, PlanError};
+use autopipe_hdl::{HdlError, NetId, Netlist, Simulator};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from sequential elaboration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SequentialError {
+    /// Planning/port resolution failed.
+    Plan(PlanError),
+    /// The produced netlist failed validation (internal bug if it
+    /// happens).
+    Hdl(HdlError),
+}
+
+impl fmt::Display for SequentialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SequentialError::Plan(e) => write!(f, "{e}"),
+            SequentialError::Hdl(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SequentialError {}
+
+impl From<PlanError> for SequentialError {
+    fn from(e: PlanError) -> Self {
+        SequentialError::Plan(e)
+    }
+}
+
+impl From<HdlError> for SequentialError {
+    fn from(e: HdlError) -> Self {
+        SequentialError::Hdl(e)
+    }
+}
+
+/// A value of the architecturally visible state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VisibleValue {
+    /// A plain register value.
+    Word(u64),
+    /// The full contents of a register file.
+    File(Vec<u64>),
+}
+
+/// Snapshot of all visible registers/files, keyed by base name.
+pub type VisibleState = BTreeMap<String, VisibleValue>;
+
+/// The elaborated sequential machine with its simulator.
+#[derive(Debug)]
+pub struct SequentialMachine {
+    plan: Plan,
+    netlist: Netlist,
+    skel: Skeleton,
+    ue_nets: Vec<NetId>,
+    file_ctrl: Vec<FileCtrl>,
+    sim: Simulator,
+}
+
+impl SequentialMachine {
+    /// Elaborates and validates the sequential machine for `plan`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SequentialError`] on port-resolution or netlist
+    /// problems.
+    pub fn new(plan: Plan) -> Result<SequentialMachine, SequentialError> {
+        let (netlist, skel, ue_nets, file_ctrl) = elaborate(&plan)?;
+        let sim = Simulator::new(&netlist)?;
+        Ok(SequentialMachine {
+            plan,
+            netlist,
+            skel,
+            ue_nets,
+            file_ctrl,
+            sim,
+        })
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The plan this machine was elaborated from.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Mutable access to the simulator (set external inputs, poke
+    /// memories to load programs, …).
+    pub fn sim_mut(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+
+    /// Read access to the simulator.
+    pub fn sim(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// The per-stage update-enable nets.
+    pub fn ue_nets(&self) -> &[NetId] {
+        &self.ue_nets
+    }
+
+    /// Precomputed write-control signals per file (for inspection).
+    pub fn file_ctrl(&self) -> &[FileCtrl] {
+        &self.file_ctrl
+    }
+
+    /// The skeleton (register/memory handles).
+    pub fn skeleton(&self) -> &Skeleton {
+        &self.skel
+    }
+
+    /// Runs one clock cycle.
+    pub fn step_cycle(&mut self) {
+        self.sim.step();
+    }
+
+    /// Runs one full instruction (`n` cycles).
+    pub fn step_instruction(&mut self) {
+        for _ in 0..self.plan.n_stages() {
+            self.sim.step();
+        }
+    }
+
+    /// Snapshot of the architecturally visible state (the paper's
+    /// `R_S^i` when taken at an instruction boundary).
+    pub fn visible_state(&self) -> VisibleState {
+        let mut out = BTreeMap::new();
+        for (ii, inst) in self.plan.instances.iter().enumerate() {
+            if inst.visible {
+                let (reg, _) = self.skel.inst_regs[ii];
+                out.insert(
+                    inst.base.clone(),
+                    VisibleValue::Word(self.sim.reg_value(reg)),
+                );
+            }
+        }
+        for (fi, f) in self.plan.files.iter().enumerate() {
+            if f.visible {
+                let mem = self.skel.file_mems[fi];
+                let vals = (0..1usize << f.addr_width)
+                    .map(|a| self.sim.mem_value(mem, a))
+                    .collect();
+                out.insert(f.name.clone(), VisibleValue::File(vals));
+            }
+        }
+        out
+    }
+
+    /// Records the update-enable pattern for `cycles` cycles — the
+    /// paper's **Table 1**. Row `t` holds `ue_0 … ue_{n-1}` during cycle
+    /// `t`. Simulation resumes from the current state.
+    pub fn ue_table(&mut self, cycles: usize) -> Vec<Vec<bool>> {
+        let mut rows = Vec::with_capacity(cycles);
+        for _ in 0..cycles {
+            self.sim.settle();
+            rows.push(self.ue_nets.iter().map(|&n| self.sim.get(n) == 1).collect());
+            self.sim.clock();
+        }
+        rows
+    }
+}
+
+/// Elaborates the sequential netlist; shared by [`SequentialMachine`].
+fn elaborate(
+    plan: &Plan,
+) -> Result<(Netlist, Skeleton, Vec<NetId>, Vec<FileCtrl>), SequentialError> {
+    let n = plan.n_stages();
+    let mut nl = Netlist::new(format!("{}_seq", plan.spec.name));
+    let skel = elab::build_skeleton(&mut nl, plan);
+
+    // Round-robin stage counter (Table 1).
+    let cnt_width = (usize::BITS - (n - 1).leading_zeros()).max(1);
+    let (cnt_reg, cnt_out) = nl.register("stage_counter", cnt_width, 0);
+    let last = nl.constant((n - 1) as u64, cnt_width);
+    let one = nl.constant(1, cnt_width);
+    let zero = nl.constant(0, cnt_width);
+    let wrap = nl.eq(cnt_out, last);
+    let incr = nl.add(cnt_out, one);
+    let next = nl.mux(wrap, zero, incr);
+    nl.connect(cnt_reg, next);
+
+    let mut ue_nets = Vec::with_capacity(n);
+    for k in 0..n {
+        let kc = nl.constant(k as u64, cnt_width);
+        let ue = nl.eq(cnt_out, kc);
+        nl.label(format!("ue.{k}"), ue);
+        ue_nets.push(ue);
+    }
+
+    // Stage logic with direct (pass-through) input generation.
+    let mut gen = DirectInputs { skel: &skel };
+    let mut stages: Vec<StageInstance> = Vec::with_capacity(n);
+    for k in 0..n {
+        stages.push(elab::instantiate_stage(&mut nl, plan, &skel, k, &mut gen)?);
+    }
+
+    elab::connect_instances(&mut nl, plan, &skel, &stages, &ue_nets, &[]);
+    let file_ctrl = elab::connect_files(&mut nl, plan, &skel, &stages, &ue_nets);
+    nl.validate()?;
+    Ok((nl, skel, ue_nets, file_ctrl))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FileDecl, MachineSpec, RegisterDecl};
+    use crate::Fragment;
+    use autopipe_hdl::Netlist;
+
+    /// Three-stage machine: S0 computes X:=PC+1, PC:=PC+1 and pipes the
+    /// low PC bits as address A; S1 computes Y := X+X; S2 stores Y into
+    /// file M at address A.
+    fn toy_plan() -> Plan {
+        let mut spec = MachineSpec::new("toy", 3);
+        spec.register(RegisterDecl::new("PC", 8).written_by(0).visible());
+        spec.register(RegisterDecl::new("X", 8).written_by(0));
+        spec.register(RegisterDecl::new("A", 4).written_by(0).written_by(1));
+        spec.register(RegisterDecl::new("Y", 8).written_by(1));
+        spec.file(FileDecl::new("M", 4, 8, 2).ctrl(2).visible());
+
+        let mut s0 = Netlist::new("s0");
+        let pc = s0.input("PC", 8);
+        let one = s0.constant(1, 8);
+        let npc = s0.add(pc, one);
+        s0.label("PC", npc);
+        s0.label("X", npc);
+        let a = s0.slice(pc, 3, 0);
+        s0.label("A", a);
+        spec.stage(0, "S0", Fragment::new(s0).unwrap(), vec![]);
+
+        let mut s1 = Netlist::new("s1");
+        let x = s1.input("X", 8);
+        let y = s1.add(x, x);
+        s1.label("Y", y);
+        spec.stage(1, "S1", Fragment::new(s1).unwrap(), vec![]);
+
+        let mut s2 = Netlist::new("s2");
+        let y = s2.input("Y", 8);
+        let a = s2.input("A", 4);
+        s2.label("M", y);
+        let one = s2.one();
+        s2.label("M.we", one);
+        s2.label("M.wa", a);
+        spec.stage(2, "S2", Fragment::new(s2).unwrap(), vec![]);
+        spec.plan().unwrap()
+    }
+
+    #[test]
+    fn table1_round_robin() {
+        let mut m = SequentialMachine::new(toy_plan()).unwrap();
+        let t = m.ue_table(9);
+        // Paper Table 1: ue_0 in cycles 0,3,6; ue_1 in 1,4,7; ue_2 in
+        // 2,5,8.
+        for (cycle, row) in t.iter().enumerate() {
+            for (k, &active) in row.iter().enumerate() {
+                assert_eq!(active, cycle % 3 == k, "cycle {cycle} stage {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn executes_instructions() {
+        let mut m = SequentialMachine::new(toy_plan()).unwrap();
+        // Instruction i (0-based): reads PC=i, writes PC:=i+1,
+        // X:=i+1, A:=i, and two stages later M[i] := 2*(i+1).
+        for _ in 0..5 {
+            m.step_instruction();
+        }
+        let st = m.visible_state();
+        assert_eq!(st["PC"], VisibleValue::Word(5));
+        match &st["M"] {
+            VisibleValue::File(v) => {
+                #[allow(clippy::needless_range_loop)]
+                for i in 0..5 {
+                    assert_eq!(v[i], 2 * (i as u64 + 1), "M[{i}]");
+                }
+                assert_eq!(v[5], 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pass_through_instance_carries_value() {
+        let mut m = SequentialMachine::new(toy_plan()).unwrap();
+        // After one full instruction the A.2 register must hold the A.1
+        // value from that instruction (pass-through via ue_1).
+        m.step_instruction();
+        let plan = m.plan().clone();
+        let a2 = plan.instance_named("A", 2).unwrap();
+        let (reg, _) = m.skeleton().inst_regs[a2];
+        assert_eq!(m.sim().reg_value(reg), 0); // instruction 0 had PC=0
+        m.step_instruction();
+        assert_eq!(m.sim().reg_value(reg), 1);
+    }
+
+    #[test]
+    fn one_instruction_takes_n_cycles() {
+        let mut m = SequentialMachine::new(toy_plan()).unwrap();
+        let before = m.visible_state();
+        m.step_cycle();
+        m.step_cycle();
+        // Mid-instruction: PC already updated (stage 0 ran) but memory
+        // not yet written.
+        let mid = m.visible_state();
+        assert_ne!(before["PC"], mid["PC"]);
+        m.step_cycle();
+        assert_eq!(m.sim().cycle(), 3);
+    }
+}

@@ -1,0 +1,314 @@
+//! Machine specification: what the paper's "designer" provides.
+//!
+//! A [`MachineSpec`] collects the register list, register files, read
+//! ports, external inputs and per-stage data-path logic of a prepared
+//! sequential machine. It is a plain data structure with builder-style
+//! declaration methods; all cross-checking happens in
+//! [`MachineSpec::plan`](crate::plan).
+//!
+//! ## Stage-logic port conventions
+//!
+//! A stage `k` fragment ([`StageLogic`]) refers to machine state through
+//! its port names:
+//!
+//! * input `"R"` — value of register `R` as seen by stage `k`
+//!   (instance `R.j` with the largest `j <= k`, or the earliest instance
+//!   for architectural loop-backs such as the PC read by stage 0);
+//! * input `"R.j"` — an explicit instance;
+//! * input `"<alias>"` — data of a register-file [`ReadPort`] declared
+//!   for this stage;
+//! * input `"<name>"` — a machine-level external input;
+//! * output `"R"` — the paper's `f_k_R`, the value computed for
+//!   register `R` (stage `k` must be one of `R`'s writers);
+//! * output `"R.we"` — the paper's `f_k_Rwe` write-enable (optional);
+//! * for a file `F` written by stage `w` with control stage `c`:
+//!   output `"F"` (write data, stage `w`), outputs `"F.we"` and
+//!   `"F.wa"` (stage `c`; the tool pipelines them to `w` as the paper's
+//!   *precomputed* `Rwe.j` / `Rwa.j`).
+
+use crate::fragment::Fragment;
+
+/// Declaration of a (possibly multi-instance) register.
+///
+/// A register written by stage `k` materialises as the paper's instance
+/// `R.(k+1)`; declaring several writer stages creates the instance chain
+/// (e.g. `IR.2`, `IR.3`) with automatic pass-through of earlier values.
+#[derive(Debug, Clone)]
+pub struct RegisterDecl {
+    /// Base name (`"PC"`, `"IR"`, `"C"` …).
+    pub name: String,
+    /// Bit width.
+    pub width: u32,
+    /// Initial value of every instance.
+    pub init: u64,
+    /// Sorted list of stages writing an instance.
+    pub writers: Vec<usize>,
+    /// Whether the final instance is architecturally visible (compared
+    /// by the data-consistency check).
+    pub visible: bool,
+}
+
+impl RegisterDecl {
+    /// New register with the given name and width (init 0, no writers,
+    /// not visible).
+    pub fn new(name: impl Into<String>, width: u32) -> RegisterDecl {
+        RegisterDecl {
+            name: name.into(),
+            width,
+            init: 0,
+            writers: Vec::new(),
+            visible: false,
+        }
+    }
+
+    /// Adds a writer stage (an instance `R.(stage+1)`).
+    #[must_use]
+    pub fn written_by(mut self, stage: usize) -> Self {
+        self.writers.push(stage);
+        self.writers.sort_unstable();
+        self.writers.dedup();
+        self
+    }
+
+    /// Sets the initial value.
+    #[must_use]
+    pub fn init(mut self, value: u64) -> Self {
+        self.init = value;
+        self
+    }
+
+    /// Marks the register architecturally visible.
+    #[must_use]
+    pub fn visible(mut self) -> Self {
+        self.visible = true;
+        self
+    }
+}
+
+/// Declaration of a register file (the paper's Figure 1 interface).
+#[derive(Debug, Clone)]
+pub struct FileDecl {
+    /// File name (`"GPR"`, `"IMEM"` …).
+    pub name: String,
+    /// Number of address bits α(R).
+    pub addr_width: u32,
+    /// Width of each entry.
+    pub data_width: u32,
+    /// Initial contents (zero padded).
+    pub init: Vec<u64>,
+    /// Stage whose `f_k` output provides the write data (`Din`).
+    pub write_stage: usize,
+    /// Stage whose logic computes `F.we` / `F.wa`; the tool pipelines
+    /// them to `write_stage` (the paper's precomputed `Rwe.j`/`Rwa.j`).
+    pub ctrl_stage: usize,
+    /// Whether the file is architecturally visible.
+    pub visible: bool,
+    /// Read-only files (e.g. instruction memory) have no write port at
+    /// all; `write_stage`/`ctrl_stage` are ignored.
+    pub read_only: bool,
+}
+
+impl FileDecl {
+    /// New writable file; write data, enable and address all produced by
+    /// `write_stage` until overridden with [`FileDecl::ctrl`].
+    pub fn new(
+        name: impl Into<String>,
+        addr_width: u32,
+        data_width: u32,
+        write_stage: usize,
+    ) -> FileDecl {
+        FileDecl {
+            name: name.into(),
+            addr_width,
+            data_width,
+            init: Vec::new(),
+            write_stage,
+            ctrl_stage: write_stage,
+            visible: false,
+            read_only: false,
+        }
+    }
+
+    /// New read-only file (no write port; e.g. instruction ROM).
+    pub fn read_only(name: impl Into<String>, addr_width: u32, data_width: u32) -> FileDecl {
+        FileDecl {
+            name: name.into(),
+            addr_width,
+            data_width,
+            init: Vec::new(),
+            write_stage: 0,
+            ctrl_stage: 0,
+            visible: false,
+            read_only: true,
+        }
+    }
+
+    /// Sets the control (we/wa precomputation) stage.
+    #[must_use]
+    pub fn ctrl(mut self, stage: usize) -> Self {
+        self.ctrl_stage = stage;
+        self
+    }
+
+    /// Sets initial contents.
+    #[must_use]
+    pub fn init(mut self, contents: Vec<u64>) -> Self {
+        self.init = contents;
+        self
+    }
+
+    /// Marks the file architecturally visible.
+    #[must_use]
+    pub fn visible(mut self) -> Self {
+        self.visible = true;
+        self
+    }
+}
+
+/// A combinational read port on a register file: the paper's read
+/// address function `f_k_Rra` plus the alias under which the read data
+/// enters the stage logic.
+#[derive(Debug, Clone)]
+pub struct ReadPort {
+    /// File being read.
+    pub file: String,
+    /// Name under which the read data is bound into the stage fragment
+    /// (e.g. `"GPRa"`).
+    pub alias: String,
+    /// Address function; a fragment whose inputs resolve like stage
+    /// inputs and which labels its result `"addr"`.
+    pub addr: Fragment,
+}
+
+impl ReadPort {
+    /// Declares a read port.
+    pub fn new(file: impl Into<String>, alias: impl Into<String>, addr: Fragment) -> ReadPort {
+        ReadPort {
+            file: file.into(),
+            alias: alias.into(),
+            addr,
+        }
+    }
+}
+
+/// Per-stage data-path logic: the paper's `f_k` bundle.
+#[derive(Debug, Clone)]
+pub struct StageLogic {
+    /// Human-readable stage name (`"IF"`, `"ID"`, …).
+    pub name: String,
+    /// Register-file read ports used by this stage.
+    pub read_ports: Vec<ReadPort>,
+    /// The combinational function computing this stage's outputs.
+    pub logic: Fragment,
+}
+
+/// The full designer-supplied machine description.
+///
+/// ```
+/// use autopipe_hdl::Netlist;
+/// use autopipe_psm::{Fragment, MachineSpec, RegisterDecl, SequentialMachine};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A one-stage machine: CNT := CNT + 1 every instruction.
+/// let mut spec = MachineSpec::new("count", 1);
+/// spec.register(RegisterDecl::new("CNT", 8).written_by(0).visible());
+/// let mut f = Netlist::new("s0");
+/// let c = f.input("CNT", 8);
+/// let one = f.constant(1, 8);
+/// let next = f.add(c, one);
+/// f.label("CNT", next);
+/// spec.stage(0, "S0", Fragment::new(f)?, vec![]);
+///
+/// let mut m = SequentialMachine::new(spec.plan()?)?;
+/// m.step_instruction();
+/// m.step_instruction();
+/// assert_eq!(
+///     m.visible_state()["CNT"],
+///     autopipe_psm::VisibleValue::Word(2)
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MachineSpec {
+    /// Machine name.
+    pub name: String,
+    /// Number of pipeline stages `n`.
+    pub n_stages: usize,
+    /// Register declarations.
+    pub registers: Vec<RegisterDecl>,
+    /// Register-file declarations.
+    pub files: Vec<FileDecl>,
+    /// External input ports (name, width) available to all stages.
+    pub external_inputs: Vec<(String, u32)>,
+    /// Per-stage logic; must be filled for every stage before planning.
+    pub stages: Vec<Option<StageLogic>>,
+}
+
+impl MachineSpec {
+    /// Creates an empty specification with `n_stages` stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_stages` is zero.
+    pub fn new(name: impl Into<String>, n_stages: usize) -> MachineSpec {
+        assert!(n_stages >= 1, "a machine needs at least one stage");
+        MachineSpec {
+            name: name.into(),
+            n_stages,
+            registers: Vec::new(),
+            files: Vec::new(),
+            external_inputs: Vec::new(),
+            stages: vec![None; n_stages],
+        }
+    }
+
+    /// Declares a register.
+    pub fn register(&mut self, decl: RegisterDecl) -> &mut Self {
+        self.registers.push(decl);
+        self
+    }
+
+    /// Declares a register file.
+    pub fn file(&mut self, decl: FileDecl) -> &mut Self {
+        self.files.push(decl);
+        self
+    }
+
+    /// Declares an external input port.
+    pub fn external_input(&mut self, name: impl Into<String>, width: u32) -> &mut Self {
+        self.external_inputs.push((name.into(), width));
+        self
+    }
+
+    /// Sets the logic of stage `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn stage(
+        &mut self,
+        k: usize,
+        name: impl Into<String>,
+        logic: Fragment,
+        read_ports: Vec<ReadPort>,
+    ) -> &mut Self {
+        assert!(k < self.n_stages, "stage {k} out of range");
+        self.stages[k] = Some(StageLogic {
+            name: name.into(),
+            read_ports,
+            logic,
+        });
+        self
+    }
+
+    /// Validates the description and resolves it into a [`crate::Plan`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::PlanError`] describing the first
+    /// inconsistency.
+    pub fn plan(&self) -> Result<crate::Plan, crate::PlanError> {
+        crate::Plan::resolve(self)
+    }
+}

@@ -1,0 +1,469 @@
+//! Bounded model checking and k-induction over netlist AIGs.
+//!
+//! The synthesizer emits [`Obligation`]s — boolean nets that must be
+//! invariantly 1. [`check_obligations`] discharges them:
+//!
+//! * **combinational** obligations are tautologies over one cycle's
+//!   signals: a single free-state SAT query (induction with `k = 0`)
+//!   proves them outright;
+//! * **inductive** obligations relate consecutive cycles through
+//!   monitor registers: k-induction proves them, with BMC from the
+//!   initial state as the base case (and as a fallback bounded check
+//!   when induction is inconclusive).
+
+use crate::cnf::{apply_sign, tseitin_and};
+use crate::sat::{Lit, SatResult, Solver};
+use autopipe_hdl::aig::Aig;
+use autopipe_hdl::{AigLit, Netlist};
+use autopipe_synth::{Obligation, ObligationClass};
+use std::collections::HashMap;
+
+/// Lazily encodes time frames of an AIG into a SAT solver.
+#[derive(Debug)]
+pub struct Unroller<'a> {
+    aig: &'a Aig,
+    /// The underlying solver (exposed for assumptions/queries).
+    pub solver: Solver,
+    frames: Vec<Vec<Option<Lit>>>,
+    latch_of_var: HashMap<u32, usize>,
+    false_lit: Lit,
+    free_init: bool,
+}
+
+impl<'a> Unroller<'a> {
+    /// Creates an unroller. With `free_init`, frame-0 latches are
+    /// unconstrained (for induction steps); otherwise they take their
+    /// reset values.
+    pub fn new(aig: &'a Aig, free_init: bool) -> Unroller<'a> {
+        let mut solver = Solver::new();
+        let f = solver.new_var().positive();
+        solver.add_clause(&[f.not()]);
+        let latch_of_var = aig
+            .latches()
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.var, i))
+            .collect();
+        Unroller {
+            aig,
+            solver,
+            frames: Vec::new(),
+            latch_of_var,
+            false_lit: f,
+            free_init,
+        }
+    }
+
+    fn frame_slot(&mut self, t: usize) {
+        while self.frames.len() <= t {
+            self.frames.push(vec![None; self.aig.var_count() as usize]);
+        }
+    }
+
+    /// SAT literal of AIG variable `var` at frame `t`, encoding its
+    /// cone on demand (iterative; latch recursion crosses frames).
+    fn var_lit(&mut self, t: usize, var: u32) -> Lit {
+        self.frame_slot(t);
+        if let Some(l) = self.frames[t][var as usize] {
+            return l;
+        }
+        // Work stack of (frame, var) pending encodings.
+        let mut stack: Vec<(usize, u32)> = vec![(t, var)];
+        while let Some(&(ft, fv)) = stack.last() {
+            self.frame_slot(ft);
+            if self.frames[ft][fv as usize].is_some() {
+                stack.pop();
+                continue;
+            }
+            let lit = if fv == 0 {
+                Some(self.false_lit)
+            } else if self.aig.is_input(fv) {
+                Some(self.solver.new_var().positive())
+            } else if let Some(&li) = self.latch_of_var.get(&fv) {
+                let latch = self.aig.latches()[li];
+                if ft == 0 {
+                    if self.free_init {
+                        Some(self.solver.new_var().positive())
+                    } else if latch.init {
+                        Some(self.false_lit.not())
+                    } else {
+                        Some(self.false_lit)
+                    }
+                } else {
+                    // Latch output at t = next function at t-1.
+                    let nv = latch.next.var();
+                    match self.frames.get(ft - 1).and_then(|f| f[nv as usize]) {
+                        Some(src) => Some(apply_sign(src, latch.next)),
+                        None => {
+                            stack.push((ft - 1, nv));
+                            None
+                        }
+                    }
+                }
+            } else {
+                let (a, b) = self.aig.and_gate(fv).expect("remaining vars are ANDs");
+                let av = self.frames[ft][a.var() as usize];
+                let bv = self.frames[ft][b.var() as usize];
+                match (av, bv) {
+                    (Some(al), Some(bl)) => {
+                        let v = self.solver.new_var().positive();
+                        tseitin_and(&mut self.solver, v, apply_sign(al, a), apply_sign(bl, b));
+                        Some(v)
+                    }
+                    _ => {
+                        if av.is_none() {
+                            stack.push((ft, a.var()));
+                        }
+                        if bv.is_none() {
+                            stack.push((ft, b.var()));
+                        }
+                        None
+                    }
+                }
+            };
+            if let Some(l) = lit {
+                self.frames[ft][fv as usize] = Some(l);
+                stack.pop();
+            }
+        }
+        self.frames[t][var as usize].expect("just encoded")
+    }
+
+    /// SAT literal of an AIG literal at frame `t`.
+    pub fn lit(&mut self, t: usize, l: AigLit) -> Lit {
+        let v = self.var_lit(t, l.var());
+        apply_sign(v, l)
+    }
+}
+
+/// Outcome of a bounded check of one property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BmcOutcome {
+    /// Proved for all reachable states (k-induction succeeded at the
+    /// recorded `k`).
+    Proved {
+        /// Induction depth that closed the proof.
+        k: usize,
+    },
+    /// Holds in every frame up to the bound (no proof).
+    BoundedOk {
+        /// Checked depth.
+        depth: usize,
+    },
+    /// Violated at the recorded frame (counterexample exists).
+    Violated {
+        /// First failing frame.
+        frame: usize,
+    },
+}
+
+/// Result alias used by the public helpers.
+pub type BmcResult = BmcOutcome;
+
+/// BMC: checks that `prop` holds in frames `0..=depth` from reset.
+///
+/// ```
+/// use autopipe_hdl::{aig, Netlist};
+/// use autopipe_verify::bmc::{bmc_invariant, BmcOutcome};
+///
+/// # fn main() -> Result<(), autopipe_hdl::HdlError> {
+/// // A 2-bit counter; property: it never equals 5 (trivially true,
+/// // 5 does not fit) — but "never equals 3" is violated at frame 3.
+/// let mut nl = Netlist::new("cnt");
+/// let (r, out) = nl.register("c", 2, 0);
+/// let one = nl.constant(1, 2);
+/// let next = nl.add(out, one);
+/// nl.connect(r, next);
+/// let three = nl.constant(3, 2);
+/// let bad = nl.eq(out, three);
+/// let ok = nl.not(bad);
+/// let low = aig::lower(&nl)?;
+/// let prop = low.net_lits(ok)[0];
+/// assert_eq!(bmc_invariant(&low.aig, prop, 10), BmcOutcome::Violated { frame: 3 });
+/// # Ok(())
+/// # }
+/// ```
+pub fn bmc_invariant(aig: &Aig, prop: AigLit, depth: usize) -> BmcOutcome {
+    let mut unroller = Unroller::new(aig, false);
+    for t in 0..=depth {
+        let p = unroller.lit(t, prop);
+        if unroller.solver.solve_with_assumptions(&[p.not()]) == SatResult::Sat {
+            return BmcOutcome::Violated { frame: t };
+        }
+    }
+    BmcOutcome::BoundedOk { depth }
+}
+
+/// A counterexample trace: per frame, the assignment of the AIG's
+/// primary inputs (variables absent from the map were irrelevant —
+/// any value reproduces the violation).
+pub type CexTrace = Vec<HashMap<u32, bool>>;
+
+/// Like [`bmc_invariant`], but returns the input trace of the first
+/// violation so it can be replayed on a simulator.
+pub fn bmc_invariant_with_trace(
+    aig: &Aig,
+    prop: AigLit,
+    depth: usize,
+) -> (BmcOutcome, Option<CexTrace>) {
+    let mut unroller = Unroller::new(aig, false);
+    for t in 0..=depth {
+        let p = unroller.lit(t, prop);
+        if unroller.solver.solve_with_assumptions(&[p.not()]) == SatResult::Sat {
+            let mut trace = Vec::with_capacity(t + 1);
+            for ft in 0..=t {
+                let mut frame = HashMap::new();
+                for &iv in aig.inputs() {
+                    // Only encoded (relevant) inputs have SAT variables.
+                    if let Some(l) = unroller.frames.get(ft).and_then(|f| f[iv as usize]) {
+                        if let Some(v) = unroller.solver.value(l.var()) {
+                            frame.insert(iv, v ^ l.negated());
+                        }
+                    }
+                }
+                trace.push(frame);
+            }
+            return (BmcOutcome::Violated { frame: t }, Some(trace));
+        }
+    }
+    (BmcOutcome::BoundedOk { depth }, None)
+}
+
+/// k-induction: tries to prove `prop` invariant. Returns
+/// [`BmcOutcome::Proved`] when some `k ≤ max_k` closes the induction,
+/// [`BmcOutcome::Violated`] when the base case fails, and
+/// [`BmcOutcome::BoundedOk`] when only the bounded base holds.
+pub fn kinduction(aig: &Aig, prop: AigLit, max_k: usize) -> BmcOutcome {
+    // Base case: BMC up to max_k.
+    if let BmcOutcome::Violated { frame } = bmc_invariant(aig, prop, max_k) {
+        return BmcOutcome::Violated { frame };
+    }
+    // Step: free initial state; assume prop in frames 0..k, refute at
+    // frame k.
+    for k in 0..=max_k {
+        let mut unroller = Unroller::new(aig, true);
+        let mut assumptions = Vec::new();
+        for t in 0..k {
+            let p = unroller.lit(t, prop);
+            assumptions.push(p);
+        }
+        let goal = unroller.lit(k, prop);
+        assumptions.push(goal.not());
+        if unroller.solver.solve_with_assumptions(&assumptions) == SatResult::Unsat {
+            return BmcOutcome::Proved { k };
+        }
+    }
+    BmcOutcome::BoundedOk { depth: max_k }
+}
+
+/// Report for one discharged obligation.
+#[derive(Debug, Clone)]
+pub struct ObligationReport {
+    /// Obligation name.
+    pub name: String,
+    /// Its class.
+    pub class: ObligationClass,
+    /// The verdict.
+    pub outcome: BmcOutcome,
+}
+
+impl ObligationReport {
+    /// True unless a counterexample was found.
+    pub fn ok(&self) -> bool {
+        !matches!(self.outcome, BmcOutcome::Violated { .. })
+    }
+}
+
+/// Discharges the synthesizer's obligations on `netlist`:
+/// combinational ones by a single free-state SAT query, inductive ones
+/// by k-induction up to `max_k` (falling back to a bounded result).
+///
+/// # Errors
+///
+/// Propagates AIG lowering errors.
+pub fn check_obligations(
+    netlist: &Netlist,
+    obligations: &[Obligation],
+    max_k: usize,
+) -> Result<Vec<ObligationReport>, autopipe_hdl::HdlError> {
+    let lowered = autopipe_hdl::aig::lower(netlist)?;
+    let mut out = Vec::with_capacity(obligations.len());
+    for ob in obligations {
+        let prop = lowered.net_lits(ob.net)[0];
+        let outcome = match ob.class {
+            ObligationClass::Combinational => {
+                // Tautology over arbitrary (even unreachable) states.
+                match kinduction_comb(&lowered.aig, prop) {
+                    true => BmcOutcome::Proved { k: 0 },
+                    // Not a tautology over free states: fall back to
+                    // reachable-state induction.
+                    false => kinduction(&lowered.aig, prop, max_k),
+                }
+            }
+            ObligationClass::Inductive => kinduction(&lowered.aig, prop, max_k),
+        };
+        out.push(ObligationReport {
+            name: ob.name.clone(),
+            class: ob.class,
+            outcome,
+        });
+    }
+    Ok(out)
+}
+
+/// 0-induction: `prop` holds in every state whatsoever.
+fn kinduction_comb(aig: &Aig, prop: AigLit) -> bool {
+    let mut unroller = Unroller::new(aig, true);
+    let p = unroller.lit(0, prop);
+    unroller.solver.solve_with_assumptions(&[p.not()]) == SatResult::Unsat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopipe_hdl::Netlist;
+
+    /// A 3-bit counter that wraps at 6; property: value != 7.
+    fn counter_netlist() -> (Netlist, autopipe_hdl::NetId) {
+        let mut nl = Netlist::new("c6");
+        let (r, out) = nl.register("cnt", 3, 0);
+        let five = nl.constant(5, 3);
+        let one = nl.constant(1, 3);
+        let zero = nl.constant(0, 3);
+        let wrap = nl.eq(out, five);
+        let inc = nl.add(out, one);
+        let next = nl.mux(wrap, zero, inc);
+        nl.connect(r, next);
+        let seven = nl.constant(7, 3);
+        let bad = nl.eq(out, seven);
+        let ok = nl.not(bad);
+        nl.label("ok", ok);
+        (nl, ok)
+    }
+
+    #[test]
+    fn bmc_holds_on_safe_counter() {
+        let (nl, ok) = counter_netlist();
+        let low = autopipe_hdl::aig::lower(&nl).unwrap();
+        let prop = low.net_lits(ok)[0];
+        assert_eq!(
+            bmc_invariant(&low.aig, prop, 20),
+            BmcOutcome::BoundedOk { depth: 20 }
+        );
+    }
+
+    #[test]
+    fn bmc_finds_reachable_violation() {
+        // Property "cnt != 4" is violated at frame 4.
+        let (mut nl, _) = counter_netlist();
+        let out = nl.find("cnt").unwrap();
+        let four = nl.constant(4, 3);
+        let bad = nl.eq(out, four);
+        let ok = nl.not(bad);
+        let ok = nl.label("ok4", ok);
+        let low = autopipe_hdl::aig::lower(&nl).unwrap();
+        let prop = low.net_lits(ok)[0];
+        assert_eq!(
+            bmc_invariant(&low.aig, prop, 20),
+            BmcOutcome::Violated { frame: 4 }
+        );
+    }
+
+    #[test]
+    fn induction_proves_simple_invariant() {
+        // A 1-bit register that feeds itself its own value OR 1 —
+        // once set it stays set; init 1 so it is always 1.
+        let mut nl = Netlist::new("sticky");
+        let (r, out) = nl.register("s", 1, 1);
+        let one = nl.one();
+        let next = nl.or(out, one);
+        nl.connect(r, next);
+        nl.label("prop", out);
+        let low = autopipe_hdl::aig::lower(&nl).unwrap();
+        let prop = low.net_lits(out)[0];
+        match kinduction(&low.aig, prop, 3) {
+            BmcOutcome::Proved { .. } => {}
+            other => panic!("expected proof, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn induction_inconclusive_on_deep_invariant() {
+        // cnt != 7 on the wrap-at-6 counter is true but not inductive
+        // (from the unreachable state 6+1=7 ... actually 6 -> 7):
+        // states 6,7 are unreachable; from free state 6 the next is 7.
+        let (nl, ok) = counter_netlist();
+        let low = autopipe_hdl::aig::lower(&nl).unwrap();
+        let prop = low.net_lits(ok)[0];
+        match kinduction(&low.aig, prop, 1) {
+            BmcOutcome::BoundedOk { .. } => {}
+            // Some k may still prove it via path constraints; accept
+            // Proved as well but never Violated.
+            BmcOutcome::Proved { .. } => {}
+            BmcOutcome::Violated { frame } => panic!("spurious cex at {frame}"),
+        }
+    }
+
+    #[test]
+    fn counterexample_trace_pins_the_inputs() {
+        // Property: "a and b never both 1 two cycles in a row" — the
+        // trace must assign the inputs accordingly.
+        let mut nl = Netlist::new("cex");
+        let a = nl.input("a", 1);
+        let b = nl.input("b", 1);
+        let both = nl.and(a, b);
+        let (r, seen) = nl.register("seen", 1, 0);
+        nl.connect(r, both);
+        let again = nl.and(seen, both);
+        let ok = nl.not(again);
+        let low = autopipe_hdl::aig::lower(&nl).unwrap();
+        let prop = low.net_lits(ok)[0];
+        let (outcome, trace) = bmc_invariant_with_trace(&low.aig, prop, 5);
+        assert_eq!(outcome, BmcOutcome::Violated { frame: 1 });
+        let trace = trace.unwrap();
+        assert_eq!(trace.len(), 2);
+        // Both inputs must be 1 in both frames.
+        for frame in &trace {
+            for (net, vars) in &low.input_vars {
+                let _ = net;
+                for &v in vars {
+                    assert_eq!(frame.get(&v), Some(&true));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unroller_matches_simulator() {
+        use autopipe_hdl::Simulator;
+        // Cross-check: value of a counter at frame t via SAT equals the
+        // simulated value.
+        let (nl, _) = counter_netlist();
+        let low = autopipe_hdl::aig::lower(&nl).unwrap();
+        let cnt = nl.find("cnt").unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let mut unroller = Unroller::new(&low.aig, false);
+        for t in 0..10 {
+            sim.settle();
+            let want = sim.get(cnt);
+            for (bit, &al) in low.net_lits(cnt).iter().enumerate() {
+                let sl = unroller.lit(t, al);
+                // Check satisfiability of "bit == want_bit" and
+                // unsatisfiability of the complement (closed system:
+                // values are forced).
+                let want_bit = (want >> bit) & 1 == 1;
+                let forced = if want_bit { sl } else { sl.not() };
+                assert_eq!(
+                    unroller.solver.solve_with_assumptions(&[forced]),
+                    SatResult::Sat
+                );
+                assert_eq!(
+                    unroller.solver.solve_with_assumptions(&[forced.not()]),
+                    SatResult::Unsat,
+                    "frame {t} bit {bit}"
+                );
+            }
+            sim.clock();
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Tseitin encoding of AIG cones into CNF.
+//!
+//! Only the gates in the cone of influence of queried literals are
+//! encoded (lazily), which keeps BMC formulas small even for large
+//! netlists.
+
+use crate::sat::{Lit, Solver};
+use autopipe_hdl::AigLit;
+
+/// Encodes `v ↔ a ∧ b` with the standard three clauses.
+pub fn tseitin_and(solver: &mut Solver, v: Lit, a: Lit, b: Lit) {
+    solver.add_clause(&[v.not(), a]);
+    solver.add_clause(&[v.not(), b]);
+    solver.add_clause(&[a.not(), b.not(), v]);
+}
+
+/// Translates an AIG literal given the SAT literal of its variable.
+pub fn apply_sign(var_lit: Lit, aig_lit: AigLit) -> Lit {
+    if aig_lit.negated() {
+        var_lit.not()
+    } else {
+        var_lit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::SatResult;
+
+    #[test]
+    fn and_gate_truth_table() {
+        for (av, bv, want) in [
+            (false, false, false),
+            (true, false, false),
+            (true, true, true),
+        ] {
+            let mut s = Solver::new();
+            let a = s.new_var().positive();
+            let b = s.new_var().positive();
+            let v = s.new_var().positive();
+            tseitin_and(&mut s, v, a, b);
+            s.add_clause(&[if av { a } else { a.not() }]);
+            s.add_clause(&[if bv { b } else { b.not() }]);
+            assert_eq!(s.solve(), SatResult::Sat);
+            assert_eq!(s.value(v.var()), Some(want));
+        }
+    }
+
+    #[test]
+    fn apply_sign_flips() {
+        let mut s = Solver::new();
+        let v = s.new_var().positive();
+        let pos = AigLit::new(3, false);
+        let neg = AigLit::new(3, true);
+        assert_eq!(apply_sign(v, pos), v);
+        assert_eq!(apply_sign(v, neg), v.not());
+    }
+}

@@ -1,0 +1,486 @@
+//! The scheduling-function co-simulation checker (paper §6.1–6.3).
+//!
+//! Runs the generated pipelined machine cycle by cycle against the
+//! prepared sequential machine, maintaining the paper's scheduling
+//! function
+//!
+//! ```text
+//! I(k,0) = 0
+//! I(k,T) = I(k,T-1)       if ¬ue_k^(T-1)
+//! I(0,T) = I(0,T-1) + 1   if ue_0^(T-1)
+//! I(k,T) = I(k-1,T-1)     if ue_k^(T-1), k > 0
+//! ```
+//!
+//! and asserting, every cycle:
+//!
+//! * **Lemma 1** — adjoining stages satisfy
+//!   `I(k-1,T) ∈ {I(k,T), I(k,T)+1}` and `full_k = 0 ⇔ I(k-1,T) = I(k,T)`;
+//! * **data consistency** — for every visible register `R ∈ out(k)`:
+//!   `R_I^T = R_S^{I(k,T)}` (and whole-contents equality for visible
+//!   register files at their write stage);
+//! * **bounded liveness** — some instruction retires at least every
+//!   `liveness_bound` cycles while no external stall is applied.
+//!
+//! For machines with speculation the scheduling function is no longer
+//! monotone (squashed instructions disappear), so — like the paper,
+//! which "omits rollback" in these arguments — the per-cycle checks are
+//! disabled and only statistics/liveness are tracked; the speculation
+//! experiments validate end states against the golden ISA model
+//! instead.
+
+use autopipe_hdl::{NetId, Simulator};
+use autopipe_psm::{SequentialMachine, VisibleState, VisibleValue};
+use autopipe_synth::PipelinedMachine;
+use std::fmt;
+
+/// A violation found by the checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConsistencyError {
+    /// Lemma 1.2 violated: scheduling functions of adjoining stages
+    /// differ by more than one.
+    SchedulingAdjacency {
+        /// Cycle of the violation.
+        cycle: u64,
+        /// The later stage `k`.
+        stage: usize,
+        /// `I(k-1,T)`.
+        upstream: u64,
+        /// `I(k,T)`.
+        here: u64,
+    },
+    /// Lemma 1.3 violated: the full bit disagrees with the scheduling
+    /// functions.
+    FullBit {
+        /// Cycle of the violation.
+        cycle: u64,
+        /// Stage `k`.
+        stage: usize,
+        /// Observed `full_k`.
+        full: bool,
+    },
+    /// Data consistency violated on a plain register.
+    Register {
+        /// Cycle of the violation.
+        cycle: u64,
+        /// Writing stage.
+        stage: usize,
+        /// Register base name.
+        register: String,
+        /// Scheduled instruction index `i = I(k,T)`.
+        instruction: u64,
+        /// Implementation value.
+        got: u64,
+        /// Specification value `R_S^i`.
+        want: u64,
+    },
+    /// Data consistency violated on a register file entry.
+    File {
+        /// Cycle of the violation.
+        cycle: u64,
+        /// File name.
+        file: String,
+        /// Entry address.
+        addr: usize,
+        /// Scheduled instruction index.
+        instruction: u64,
+        /// Implementation value.
+        got: u64,
+        /// Specification value.
+        want: u64,
+    },
+    /// No retirement within the liveness bound.
+    Liveness {
+        /// Cycle at which the bound expired.
+        cycle: u64,
+        /// Cycles since the last retirement.
+        since: u64,
+    },
+}
+
+impl fmt::Display for ConsistencyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsistencyError::SchedulingAdjacency {
+                cycle,
+                stage,
+                upstream,
+                here,
+            } => write!(
+                f,
+                "cycle {cycle}: I({},T)={upstream} vs I({stage},T)={here} not adjacent",
+                stage - 1
+            ),
+            ConsistencyError::FullBit { cycle, stage, full } => write!(
+                f,
+                "cycle {cycle}: full_{stage}={full} contradicts scheduling functions"
+            ),
+            ConsistencyError::Register {
+                cycle,
+                stage,
+                register,
+                instruction,
+                got,
+                want,
+            } => write!(
+                f,
+                "cycle {cycle}: {register} (stage {stage}, instr {instruction}) = \
+{got:#x}, expected {want:#x}"
+            ),
+            ConsistencyError::File {
+                cycle,
+                file,
+                addr,
+                instruction,
+                got,
+                want,
+            } => write!(
+                f,
+                "cycle {cycle}: {file}[{addr}] (instr {instruction}) = {got:#x}, \
+expected {want:#x}"
+            ),
+            ConsistencyError::Liveness { cycle, since } => {
+                write!(f, "cycle {cycle}: no retirement for {since} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConsistencyError {}
+
+/// Execution statistics gathered while checking — these double as the
+/// performance probes for the experiment harness (CPI, stall/hazard
+/// rates, rollback counts).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CosimStats {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Retired instructions (`ue` pulses of the last stage).
+    pub retired: u64,
+    /// Per-stage `ue` pulse counts.
+    pub ue_counts: Vec<u64>,
+    /// Per-stage cycles with `stall` active.
+    pub stall_counts: Vec<u64>,
+    /// Per-stage cycles with `dhaz` active.
+    pub dhaz_counts: Vec<u64>,
+    /// Per-stage cycles with the stage full (occupancy).
+    pub full_counts: Vec<u64>,
+    /// Rollback events observed.
+    pub rollbacks: u64,
+}
+
+impl CosimStats {
+    /// Cycles per retired instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.retired == 0 {
+            f64::INFINITY
+        } else {
+            self.cycles as f64 / self.retired as f64
+        }
+    }
+
+    /// Pipeline occupancy of stage `k` (fraction of cycles full).
+    pub fn occupancy(&self, k: usize) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.full_counts.get(k).copied().unwrap_or(0) as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Hook deciding the external stall inputs per (cycle, stage). The
+/// simulator reference allows state-dependent models (e.g. wait-state
+/// memories inspecting the instruction registers); only *register*
+/// state may be read (combinational nets are not settled yet).
+pub type ExtStallHook = Box<dyn FnMut(&Simulator, u64, usize) -> bool>;
+
+/// The checker; see the [module docs](self).
+pub struct Cosim {
+    pm: PipelinedMachine,
+    sim: Simulator,
+    seq: SequentialMachine,
+    sched: Vec<u64>,
+    snapshots: Vec<VisibleState>,
+    visible_regs: Vec<(String, autopipe_hdl::RegId, usize)>,
+    visible_files: Vec<(String, autopipe_hdl::MemId, usize, usize)>,
+    stats: CosimStats,
+    liveness_bound: Option<u64>,
+    last_retire: u64,
+    ext_hook: Option<ExtStallHook>,
+    checks: bool,
+}
+
+impl fmt::Debug for Cosim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cosim")
+            .field("cycles", &self.stats.cycles)
+            .field("retired", &self.stats.retired)
+            .field("checks", &self.checks)
+            .finish()
+    }
+}
+
+impl Cosim {
+    /// Builds the checker for a pipelined machine (the sequential
+    /// reference is elaborated from the same plan).
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration/simulation construction errors as
+    /// strings (they indicate internal inconsistencies, not user
+    /// mistakes).
+    pub fn new(pm: &PipelinedMachine) -> Result<Cosim, String> {
+        let sim = pm.simulator().map_err(|e| e.to_string())?;
+        let seq = SequentialMachine::new(pm.plan.clone()).map_err(|e| e.to_string())?;
+        let n = pm.n_stages();
+        let mut visible_regs = Vec::new();
+        for (ii, inst) in pm.plan.instances.iter().enumerate() {
+            if inst.visible {
+                visible_regs.push((inst.base.clone(), pm.skel.inst_regs[ii].0, inst.writer));
+            }
+        }
+        let mut visible_files = Vec::new();
+        for (fi, fp) in pm.plan.files.iter().enumerate() {
+            if fp.visible {
+                visible_files.push((
+                    fp.name.clone(),
+                    pm.skel.file_mems[fi],
+                    fp.write_stage,
+                    1usize << fp.addr_width,
+                ));
+            }
+        }
+        let snapshots = vec![seq.visible_state()];
+        let checks = pm.report.speculations.is_empty();
+        Ok(Cosim {
+            pm: pm.clone(),
+            sim,
+            seq,
+            sched: vec![0; n],
+            snapshots,
+            visible_regs,
+            visible_files,
+            stats: CosimStats {
+                ue_counts: vec![0; n],
+                stall_counts: vec![0; n],
+                dhaz_counts: vec![0; n],
+                full_counts: vec![0; n],
+                ..Default::default()
+            },
+            liveness_bound: Some(16 * n as u64 + 64),
+            last_retire: 0,
+            ext_hook: None,
+            checks,
+        })
+    }
+
+    /// Installs an external-stall driver (disables the liveness bound,
+    /// which arbitrary stalls would trivially violate).
+    #[must_use]
+    pub fn with_ext_stalls(mut self, hook: ExtStallHook) -> Self {
+        self.ext_hook = Some(hook);
+        self.liveness_bound = None;
+        self
+    }
+
+    /// Overrides (or disables, with `None`) the liveness bound.
+    #[must_use]
+    pub fn with_liveness_bound(mut self, bound: Option<u64>) -> Self {
+        self.liveness_bound = bound;
+        self
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &CosimStats {
+        &self.stats
+    }
+
+    /// The pipelined machine's simulator (e.g. to load program memory
+    /// before running — remember to mirror state into
+    /// [`Cosim::seq_sim_mut`]).
+    pub fn sim_mut(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+
+    /// The sequential reference simulator (e.g. to mirror program
+    /// loads). The initial snapshot is re-taken automatically on the
+    /// next [`Cosim::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if checking already started (cycle > 0): mutating the
+    /// reference mid-run would invalidate the snapshots.
+    pub fn seq_sim_mut(&mut self) -> &mut Simulator {
+        assert_eq!(self.stats.cycles, 0, "mutate the reference before running");
+        self.snapshots.clear();
+        self.seq.sim_mut()
+    }
+
+    fn snapshot(&mut self, i: u64) -> &VisibleState {
+        if self.snapshots.is_empty() {
+            self.snapshots.push(self.seq.visible_state());
+        }
+        while self.snapshots.len() as u64 <= i {
+            self.seq.step_instruction();
+            self.snapshots.push(self.seq.visible_state());
+        }
+        &self.snapshots[i as usize]
+    }
+
+    /// Runs one pipeline cycle with all checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConsistencyError`] encountered.
+    pub fn step(&mut self) -> Result<(), ConsistencyError> {
+        let n = self.pm.n_stages();
+        let cycle = self.stats.cycles;
+        // Drive external stalls.
+        let mut ext_active = false;
+        if let Some(hook) = self.ext_hook.as_mut() {
+            let exts: Vec<(NetId, bool)> = (0..n)
+                .map(|k| (self.pm.control.ext[k], hook(&self.sim, cycle, k)))
+                .collect();
+            for (net, v) in exts {
+                // ext nets are constants when disabled; only drive
+                // genuine inputs.
+                if matches!(
+                    self.sim.netlist().node(net),
+                    autopipe_hdl::Node::Input { .. }
+                ) {
+                    self.sim.set_input(net, u64::from(v));
+                    ext_active |= v;
+                }
+            }
+        }
+        self.sim.settle();
+
+        // Sample control signals.
+        let ue: Vec<bool> = (0..n)
+            .map(|k| self.sim.get(self.pm.control.ue[k]) == 1)
+            .collect();
+        let full: Vec<bool> = (0..n)
+            .map(|k| self.sim.get(self.pm.control.full[k]) == 1)
+            .collect();
+        #[allow(clippy::needless_range_loop)] // k indexes parallel per-stage arrays
+        for k in 0..n {
+            if ue[k] {
+                self.stats.ue_counts[k] += 1;
+            }
+            if self.sim.get(self.pm.control.stall[k]) == 1 {
+                self.stats.stall_counts[k] += 1;
+            }
+            if self.sim.get(self.pm.control.dhaz[k]) == 1 {
+                self.stats.dhaz_counts[k] += 1;
+            }
+            if full[k] {
+                self.stats.full_counts[k] += 1;
+            }
+        }
+        let rollback = (0..n).any(|k| self.sim.get(self.pm.control.rollback[k]) == 1);
+        if rollback {
+            self.stats.rollbacks += 1;
+        }
+
+        if self.checks {
+            // Lemma 1.2 / 1.3.
+            #[allow(clippy::needless_range_loop)] // k indexes parallel per-stage arrays
+            for k in 1..n {
+                let up = self.sched[k - 1];
+                let here = self.sched[k];
+                if up != here && up != here + 1 {
+                    return Err(ConsistencyError::SchedulingAdjacency {
+                        cycle,
+                        stage: k,
+                        upstream: up,
+                        here,
+                    });
+                }
+                if full[k] != (up == here + 1) {
+                    return Err(ConsistencyError::FullBit {
+                        cycle,
+                        stage: k,
+                        full: full[k],
+                    });
+                }
+            }
+            // Data consistency.
+            let regs = self.visible_regs.clone();
+            for (base, reg, stage) in regs {
+                let i = self.sched[stage];
+                let got = self.sim.reg_value(reg);
+                let snap = self.snapshot(i);
+                let want = match &snap[&base] {
+                    VisibleValue::Word(w) => *w,
+                    VisibleValue::File(_) => unreachable!("plain register"),
+                };
+                if got != want {
+                    return Err(ConsistencyError::Register {
+                        cycle,
+                        stage,
+                        register: base,
+                        instruction: i,
+                        got,
+                        want,
+                    });
+                }
+            }
+            let files = self.visible_files.clone();
+            for (name, mem, stage, entries) in files {
+                let i = self.sched[stage];
+                let want = match &self.snapshot(i)[&name] {
+                    VisibleValue::File(v) => v.clone(),
+                    VisibleValue::Word(_) => unreachable!("file"),
+                };
+                for (addr, want) in want.iter().enumerate().take(entries) {
+                    let got = self.sim.mem_value(mem, addr);
+                    if got != *want {
+                        return Err(ConsistencyError::File {
+                            cycle,
+                            file: name,
+                            addr,
+                            instruction: i,
+                            got,
+                            want: *want,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Liveness.
+        if ue[n - 1] {
+            self.stats.retired += 1;
+            self.last_retire = cycle;
+        } else if let Some(bound) = self.liveness_bound {
+            let since = cycle - self.last_retire;
+            if since > bound && !ext_active {
+                return Err(ConsistencyError::Liveness { cycle, since });
+            }
+        }
+
+        // Advance the scheduling function (paper's inductive
+        // definition), then the hardware.
+        let old = self.sched.clone();
+        for k in 0..n {
+            if ue[k] {
+                self.sched[k] = if k == 0 { old[0] + 1 } else { old[k - 1] };
+            }
+        }
+        self.sim.clock();
+        self.stats.cycles += 1;
+        Ok(())
+    }
+
+    /// Runs `cycles` cycles; stops at the first violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConsistencyError`].
+    pub fn run(&mut self, cycles: u64) -> Result<&CosimStats, ConsistencyError> {
+        for _ in 0..cycles {
+            self.step()?;
+        }
+        Ok(&self.stats)
+    }
+}

@@ -1,0 +1,35 @@
+//! # autopipe-verify — machine-checked verification of generated
+//! pipelines
+//!
+//! The paper verified its transformation in PVS; this crate discharges
+//! the same obligations with tooling built from scratch:
+//!
+//! * [`sat`] — a CDCL SAT solver (two-watched literals, 1UIP conflict
+//!   analysis, VSIDS, phase saving, Luby restarts, incremental
+//!   assumptions),
+//! * [`bmc`] — a time-frame unroller over the AIG of a netlist, bounded
+//!   model checking and k-induction for the invariant obligations the
+//!   synthesizer emits,
+//! * [`cosim`] — the scheduling-function co-simulation checker: runs
+//!   the pipelined machine against the prepared sequential machine and
+//!   asserts the paper's data-consistency criterion `R_I^T = R_S^i`,
+//!   the Lemma 1 scheduling-function properties, and a bounded liveness
+//!   criterion, every cycle,
+//! * [`equiv`] — bounded product-machine checks: cycle-exact miters of
+//!   two pipeline variants, and retirement-indexed equivalence of the
+//!   pipelined machine against the sequential reference for closed
+//!   systems.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bmc;
+pub mod cnf;
+pub mod cosim;
+pub mod equiv;
+pub mod report;
+pub mod sat;
+
+pub use bmc::{check_obligations, BmcOutcome, BmcResult, ObligationReport};
+pub use cosim::{ConsistencyError, Cosim, CosimStats};
+pub use report::{verify_machine, VerificationReport, VerifySettings};
+pub use sat::{Lit, SatResult, Solver, Var};

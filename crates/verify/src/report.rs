@@ -1,0 +1,196 @@
+//! One-call verification of a generated machine: the machine-checked
+//! half of the paper's four-tuple.
+//!
+//! [`verify_machine`] discharges, for a [`PipelinedMachine`]:
+//!
+//! 1. every synthesizer-emitted obligation (SAT / k-induction),
+//! 2. bounded retirement equivalence against the sequential
+//!    specification for every visible, writable register file (for
+//!    closed systems),
+//! 3. a co-simulation run with the scheduling-function checker (for
+//!    speculation-free machines) or a plain liveness-monitored run.
+//!
+//! The result pretty-prints as the machine-proof appendix of the
+//! generated proof document.
+
+use crate::bmc::{bmc_invariant, check_obligations, BmcOutcome, ObligationReport};
+use crate::cosim::{Cosim, CosimStats};
+use crate::equiv::retirement_miter;
+use autopipe_synth::PipelinedMachine;
+use std::fmt;
+use std::time::Instant;
+
+/// Result of one bounded-equivalence check.
+#[derive(Debug, Clone)]
+pub struct EquivalenceReport {
+    /// The register file checked.
+    pub file: String,
+    /// Number of writes compared.
+    pub writes: u64,
+    /// BMC depth.
+    pub depth: usize,
+    /// Outcome.
+    pub outcome: BmcOutcome,
+    /// Milliseconds spent.
+    pub millis: u128,
+}
+
+/// Settings for [`verify_machine`].
+#[derive(Debug, Clone, Copy)]
+pub struct VerifySettings {
+    /// Maximum induction depth for the obligations.
+    pub max_k: usize,
+    /// Writes per file compared by the retirement miters (0 disables).
+    pub equiv_writes: u64,
+    /// BMC depth for the retirement miters.
+    pub equiv_depth: usize,
+    /// Cycles of checked co-simulation (0 disables).
+    pub cosim_cycles: u64,
+}
+
+impl Default for VerifySettings {
+    fn default() -> Self {
+        VerifySettings {
+            max_k: 2,
+            equiv_writes: 3,
+            equiv_depth: 40,
+            cosim_cycles: 200,
+        }
+    }
+}
+
+/// The combined verdict.
+#[derive(Debug, Clone)]
+pub struct VerificationReport {
+    /// Per-obligation outcomes.
+    pub obligations: Vec<ObligationReport>,
+    /// Per-file bounded equivalence outcomes (empty for open systems).
+    pub equivalence: Vec<EquivalenceReport>,
+    /// Co-simulation statistics, if it ran and passed.
+    pub cosim: Option<CosimStats>,
+    /// First co-simulation violation, if any.
+    pub cosim_violation: Option<String>,
+    /// Notes about skipped steps.
+    pub notes: Vec<String>,
+}
+
+impl VerificationReport {
+    /// True when nothing failed (skipped steps do not fail).
+    pub fn ok(&self) -> bool {
+        self.obligations.iter().all(|o| o.ok())
+            && self
+                .equivalence
+                .iter()
+                .all(|e| !matches!(e.outcome, BmcOutcome::Violated { .. }))
+            && self.cosim_violation.is_none()
+    }
+}
+
+impl fmt::Display for VerificationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let proved = self
+            .obligations
+            .iter()
+            .filter(|o| matches!(o.outcome, BmcOutcome::Proved { .. }))
+            .count();
+        writeln!(
+            f,
+            "obligations: {} total, {} proved, {} failed",
+            self.obligations.len(),
+            proved,
+            self.obligations.iter().filter(|o| !o.ok()).count()
+        )?;
+        for e in &self.equivalence {
+            writeln!(
+                f,
+                "equivalence `{}` ({} writes, depth {}): {:?} in {} ms",
+                e.file, e.writes, e.depth, e.outcome, e.millis
+            )?;
+        }
+        match (&self.cosim, &self.cosim_violation) {
+            (Some(s), _) => writeln!(
+                f,
+                "cosim: {} cycles, {} retired, CPI {:.2} — consistent",
+                s.cycles,
+                s.retired,
+                s.cpi()
+            )?,
+            (None, Some(v)) => writeln!(f, "cosim: VIOLATION — {v}")?,
+            (None, None) => {}
+        }
+        for n in &self.notes {
+            writeln!(f, "note: {n}")?;
+        }
+        write!(f, "verdict: {}", if self.ok() { "PASS" } else { "FAIL" })
+    }
+}
+
+/// Runs the full machine-checked verification suite on `pm`; see the
+/// [module docs](self).
+pub fn verify_machine(pm: &PipelinedMachine, settings: VerifySettings) -> VerificationReport {
+    let mut notes = Vec::new();
+
+    let obligations = check_obligations(&pm.netlist, &pm.obligations, settings.max_k)
+        .unwrap_or_else(|e| {
+            notes.push(format!("obligation lowering failed: {e}"));
+            Vec::new()
+        });
+
+    // Retirement equivalence per visible writable file — closed
+    // systems only.
+    let mut equivalence = Vec::new();
+    let closed = pm.netlist.input_ports().is_empty();
+    if settings.equiv_writes > 0 {
+        if closed {
+            for fp in pm.plan.files.iter().filter(|f| f.visible && !f.read_only) {
+                match retirement_miter(pm, &fp.name, settings.equiv_writes) {
+                    Ok((nl, prop)) => match autopipe_hdl::aig::lower(&nl) {
+                        Ok(low) => {
+                            let p = low.net_lits(prop)[0];
+                            let t0 = Instant::now();
+                            let outcome = bmc_invariant(&low.aig, p, settings.equiv_depth);
+                            equivalence.push(EquivalenceReport {
+                                file: fp.name.clone(),
+                                writes: settings.equiv_writes,
+                                depth: settings.equiv_depth,
+                                outcome,
+                                millis: t0.elapsed().as_millis(),
+                            });
+                        }
+                        Err(e) => notes.push(format!("lowering `{}` miter: {e}", fp.name)),
+                    },
+                    Err(e) => notes.push(format!("miter for `{}`: {e}", fp.name)),
+                }
+            }
+        } else {
+            notes.push("retirement equivalence skipped: machine has external inputs".into());
+        }
+    }
+
+    // Co-simulation.
+    let (mut cosim_stats, mut violation) = (None, None);
+    if settings.cosim_cycles > 0 {
+        match Cosim::new(pm) {
+            Ok(mut cosim) => match cosim.run(settings.cosim_cycles) {
+                Ok(stats) => cosim_stats = Some(stats.clone()),
+                Err(e) => violation = Some(e.to_string()),
+            },
+            Err(e) => notes.push(format!("cosim construction failed: {e}")),
+        }
+        if !pm.report.speculations.is_empty() {
+            notes.push(
+                "speculative machine: cosim ran with per-cycle checks disabled (paper \
+omits rollback in the consistency argument)"
+                    .into(),
+            );
+        }
+    }
+
+    VerificationReport {
+        obligations,
+        equivalence,
+        cosim: cosim_stats,
+        cosim_violation: violation,
+        notes,
+    }
+}

@@ -1,0 +1,769 @@
+//! A CDCL SAT solver.
+//!
+//! Implements the standard conflict-driven clause learning loop: unit
+//! propagation with two watched literals, first-UIP conflict analysis
+//! with clause minimisation, VSIDS-style activity with exponential
+//! decay, phase saving, Luby-sequence restarts, and incremental solving
+//! under assumptions (used by the BMC engine to query many properties
+//! against one unrolled formula).
+//!
+//! Performance is adequate for the circuit sizes this project checks
+//! (tens of thousands of variables); there is deliberately no clause
+//! database reduction or preprocessing.
+
+use std::fmt;
+
+/// A boolean variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(u32);
+
+impl Var {
+    /// Index of the variable (dense from 0).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    pub fn positive(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    pub fn negative(self) -> Lit {
+        Lit(self.0 << 1 | 1)
+    }
+
+    /// Literal with the given sign (`true` = positive).
+    pub fn lit(self, sign: bool) -> Lit {
+        if sign {
+            self.positive()
+        } else {
+            self.negative()
+        }
+    }
+}
+
+/// A literal: a variable or its negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The literal's variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether the literal is negated.
+    pub fn negated(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complement literal.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negated() {
+            write!(f, "-{}", self.var().0 + 1)
+        } else {
+            write!(f, "{}", self.var().0 + 1)
+        }
+    }
+}
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatResult {
+    /// A satisfying assignment was found (query [`Solver::value`]).
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+}
+
+const UNASSIGNED: u8 = 2;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ClauseRef(u32);
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+}
+
+/// The CDCL solver; see the [module docs](self).
+///
+/// ```
+/// use autopipe_verify::{SatResult, Solver};
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(&[a.positive(), b.positive()]); // a or b
+/// s.add_clause(&[a.negative()]);               // not a
+/// assert_eq!(s.solve(), SatResult::Sat);
+/// assert_eq!(s.value(b), Some(true));
+/// ```
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// Watch lists indexed by literal code: clauses watching that
+    /// literal (watched literals are lits[0] and lits[1]).
+    watches: Vec<Vec<ClauseRef>>,
+    /// Assignment per variable: 0 = false, 1 = true, 2 = unassigned.
+    assign: Vec<u8>,
+    /// Saved phases for decision polarity.
+    phase: Vec<bool>,
+    /// Decision level per variable.
+    level: Vec<u32>,
+    /// Reason clause per variable (for implied assignments).
+    reason: Vec<Option<ClauseRef>>,
+    /// Assignment trail.
+    trail: Vec<Lit>,
+    /// Trail indices where each decision level starts.
+    trail_lim: Vec<usize>,
+    /// Next trail position to propagate.
+    qhead: usize,
+    /// VSIDS activity.
+    activity: Vec<f64>,
+    var_inc: f64,
+    /// Set when the clause database is unconditionally unsatisfiable.
+    unsat: bool,
+    /// Statistics: number of conflicts seen.
+    pub conflicts: u64,
+    /// Statistics: number of decisions made.
+    pub decisions: u64,
+    /// Statistics: number of propagated literals.
+    pub propagations: u64,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            var_inc: 1.0,
+            ..Default::default()
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of learnt clauses currently in the database.
+    pub fn num_learnt(&self) -> usize {
+        self.clauses.iter().filter(|c| c.learnt).count()
+    }
+
+    /// Writes the problem (original clauses only, not learnt ones) in
+    /// DIMACS CNF format — interoperable with external SAT solvers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_dimacs<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        let originals: Vec<&Clause> = self.clauses.iter().filter(|c| !c.learnt).collect();
+        writeln!(w, "p cnf {} {}", self.num_vars(), originals.len())?;
+        for c in originals {
+            for l in &c.lits {
+                write!(w, "{l} ")?;
+            }
+            writeln!(w, "0")?;
+        }
+        Ok(())
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(UNASSIGNED);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    fn lit_value(&self, l: Lit) -> u8 {
+        let a = self.assign[l.var().index()];
+        if a == UNASSIGNED {
+            UNASSIGNED
+        } else {
+            a ^ u8::from(l.negated())
+        }
+    }
+
+    /// The model value of `v` after a [`SatResult::Sat`] outcome.
+    /// `None` if the variable was irrelevant (never assigned).
+    pub fn value(&self, v: Var) -> Option<bool> {
+        match self.assign[v.index()] {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Adds a clause. Returns `false` if the database became trivially
+    /// unsatisfiable (empty clause, or conflicting units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after a conflicting state at level 0 was
+    /// reached *and* literals reference unknown variables.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if self.unsat {
+            return false;
+        }
+        // Incremental use: a previous solve may have returned while
+        // decision levels (e.g. assumption levels) were still open.
+        self.backtrack(0);
+        // Simplify: dedupe, drop false lits, detect tautology.
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            debug_assert!(l.var().index() < self.num_vars());
+            match self.lit_value(l) {
+                1 => return true, // already satisfied
+                0 => continue,    // falsified at level 0: drop
+                _ => {}
+            }
+            if c.contains(&l.not()) {
+                return true; // tautology
+            }
+            if !c.contains(&l) {
+                c.push(l);
+            }
+        }
+        match c.len() {
+            0 => {
+                self.unsat = true;
+                false
+            }
+            1 => {
+                self.enqueue(c[0], None);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                self.attach(Clause {
+                    lits: c,
+                    learnt: false,
+                });
+                true
+            }
+        }
+    }
+
+    fn attach(&mut self, clause: Clause) -> ClauseRef {
+        let cr = ClauseRef(self.clauses.len() as u32);
+        self.watches[clause.lits[0].not().code()].push(cr);
+        self.watches[clause.lits[1].not().code()].push(cr);
+        self.clauses.push(clause);
+        cr
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
+        debug_assert_eq!(self.lit_value(l), UNASSIGNED);
+        let v = l.var().index();
+        self.assign[v] = u8::from(!l.negated());
+        self.phase[v] = !l.negated();
+        self.level[v] = self.trail_lim.len() as u32;
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the conflicting clause if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.propagations += 1;
+            // Clauses watching ¬p must find a new watch or propagate.
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            while i < ws.len() {
+                let cr = ws[i];
+                let conflict = {
+                    let assign = &self.assign;
+                    let value_of = |l: Lit| -> u8 {
+                        let a = assign[l.var().index()];
+                        if a == UNASSIGNED {
+                            UNASSIGNED
+                        } else {
+                            a ^ u8::from(l.negated())
+                        }
+                    };
+                    let clause = &mut self.clauses[cr.0 as usize];
+                    // Normalise: watched literal being falsified is
+                    // lits[1].
+                    if clause.lits[0] == p.not() {
+                        clause.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(clause.lits[1], p.not());
+                    let first = clause.lits[0];
+                    if value_of(first) == 1 {
+                        i += 1;
+                        continue;
+                    }
+                    // Find a replacement watch.
+                    let mut found = None;
+                    for k in 2..clause.lits.len() {
+                        if value_of(clause.lits[k]) != 0 {
+                            found = Some(k);
+                            break;
+                        }
+                    }
+                    match found {
+                        Some(k) => {
+                            clause.lits.swap(1, k);
+                            let nw = clause.lits[1];
+                            self.watches[nw.not().code()].push(cr);
+                            ws.swap_remove(i);
+                            continue;
+                        }
+                        // Unit or conflict.
+                        None => value_of(first) == 0,
+                    }
+                };
+                if conflict {
+                    // No new watches can land on p's list during this
+                    // pass (the replacement watch is never false), so a
+                    // plain restore is safe.
+                    debug_assert!(self.watches[p.code()].is_empty());
+                    self.watches[p.code()] = ws;
+                    self.qhead = self.trail.len();
+                    return Some(cr);
+                }
+                let first = self.clauses[cr.0 as usize].lits[0];
+                self.enqueue(first, Some(cr));
+                i += 1;
+            }
+            self.watches[p.code()] = ws;
+        }
+        None
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        while self.decision_level() > level {
+            let start = self.trail_lim.pop().expect("level > 0");
+            for &l in &self.trail[start..] {
+                self.assign[l.var().index()] = UNASSIGNED;
+                self.reason[l.var().index()] = None;
+            }
+            self.trail.truncate(start);
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn bump(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis; returns (learnt clause, backtrack
+    /// level). The asserting literal is placed first.
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot for the UIP
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut cr = conflict;
+        let mut idx = self.trail.len();
+        loop {
+            let clause = &self.clauses[cr.0 as usize];
+            let skip = usize::from(p.is_some());
+            let lits: Vec<Lit> = clause.lits[skip..].to_vec();
+            for q in lits {
+                let v = q.var();
+                if !seen[v.index()] && self.level[v.index()] > 0 {
+                    seen[v.index()] = true;
+                    self.bump(v);
+                    if self.level[v.index()] == self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Pick the next trail literal to resolve on.
+            loop {
+                idx -= 1;
+                let l = self.trail[idx];
+                if seen[l.var().index()] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("found").var();
+            seen[pv.index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = p.expect("found").not();
+                break;
+            }
+            cr = self.reason[pv.index()].expect("implied literal has a reason");
+        }
+        // Clause minimisation: drop literals implied by the rest.
+        let keep: Vec<Lit> = learnt[1..]
+            .iter()
+            .copied()
+            .filter(|&l| {
+                let Some(r) = self.reason[l.var().index()] else {
+                    return true;
+                };
+                self.clauses[r.0 as usize].lits[1..]
+                    .iter()
+                    .any(|q| !seen[q.var().index()] && self.level[q.var().index()] > 0)
+            })
+            .collect();
+        let mut minimised = vec![learnt[0]];
+        minimised.extend(keep);
+        // Backtrack level: the second-highest level in the clause.
+        let bt = minimised[1..]
+            .iter()
+            .map(|l| self.level[l.var().index()])
+            .max()
+            .unwrap_or(0);
+        // Move a literal of level `bt` to position 1 (watch invariant).
+        if minimised.len() > 1 {
+            let pos = minimised[1..]
+                .iter()
+                .position(|l| self.level[l.var().index()] == bt)
+                .expect("max exists")
+                + 1;
+            minimised.swap(1, pos);
+        }
+        (minimised, bt)
+    }
+
+    fn pick_branch(&mut self) -> Option<Var> {
+        // Highest-activity unassigned variable (linear scan keeps the
+        // implementation simple; adequate for our sizes).
+        let mut best: Option<(f64, Var)> = None;
+        for i in 0..self.num_vars() {
+            if self.assign[i] == UNASSIGNED {
+                let a = self.activity[i];
+                if best.map(|(b, _)| a > b).unwrap_or(true) {
+                    best = Some((a, Var(i as u32)));
+                }
+            }
+        }
+        best.map(|(_, v)| v)
+    }
+
+    /// Solves the formula.
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under the given assumption literals; the clause database
+    /// is preserved afterwards, so further clauses/queries may follow.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        if self.unsat {
+            return SatResult::Unsat;
+        }
+        self.backtrack(0);
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SatResult::Unsat;
+        }
+        let mut restarts = 0u32;
+        let mut conflict_budget = luby(restarts) * 128;
+        loop {
+            // (Re-)apply assumptions after any restart/backtrack below
+            // their level.
+            while (self.decision_level() as usize) < assumptions.len() {
+                let a = assumptions[self.decision_level() as usize];
+                match self.lit_value(a) {
+                    1 => {
+                        // Already implied: open a pseudo level to keep
+                        // the indexing consistent.
+                        self.trail_lim.push(self.trail.len());
+                    }
+                    0 => return SatResult::Unsat,
+                    _ => {
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(a, None);
+                    }
+                }
+                if let Some(conflict) = self.propagate() {
+                    let _ = conflict;
+                    return SatResult::Unsat;
+                }
+            }
+            match self.propagate() {
+                Some(conflict) => {
+                    self.conflicts += 1;
+                    if self.decision_level() as usize <= assumptions.len() {
+                        if self.decision_level() == 0 {
+                            self.unsat = true;
+                        }
+                        return SatResult::Unsat;
+                    }
+                    let (learnt, bt) = self.analyze(conflict);
+                    let bt = bt.max(assumptions.len() as u32);
+                    self.backtrack(bt);
+                    self.var_inc *= 1.0 / 0.95;
+                    let assert_lit = learnt[0];
+                    if learnt.len() == 1 {
+                        self.backtrack(assumptions.len() as u32);
+                        if self.lit_value(assert_lit) == UNASSIGNED {
+                            self.enqueue(assert_lit, None);
+                        } else if self.lit_value(assert_lit) == 0 {
+                            return SatResult::Unsat;
+                        }
+                    } else {
+                        let cr = self.attach(Clause {
+                            lits: learnt,
+                            learnt: true,
+                        });
+                        match self.lit_value(assert_lit) {
+                            UNASSIGNED => self.enqueue(assert_lit, Some(cr)),
+                            // Clamped above the natural backtrack level
+                            // (assumptions): an already-false asserting
+                            // literal conflicts with the assumptions.
+                            0 => return SatResult::Unsat,
+                            _ => {}
+                        }
+                    }
+                    conflict_budget = conflict_budget.saturating_sub(1);
+                    if conflict_budget == 0 {
+                        restarts += 1;
+                        conflict_budget = luby(restarts) * 128;
+                        self.backtrack(assumptions.len() as u32);
+                    }
+                }
+                None => match self.pick_branch() {
+                    None => return SatResult::Sat,
+                    Some(v) => {
+                        self.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(v.lit(self.phase[v.index()]), None);
+                    }
+                },
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence (1,1,2,1,1,2,4,…), 0-indexed.
+fn luby(i: u32) -> u64 {
+    let mut x = u64::from(i);
+    // Find the finite subsequence containing index x.
+    let (mut seq, mut size) = (0u32, 1u64);
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    1 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(s: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| s.new_var()).collect()
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        assert!(s.add_clause(&[v[0].positive()]));
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(v[0]), Some(true));
+        assert!(!s.add_clause(&[v[0].negative()]));
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 5);
+        for i in 0..4 {
+            s.add_clause(&[v[i].negative(), v[i + 1].positive()]);
+        }
+        s.add_clause(&[v[0].positive()]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        for x in &v {
+            assert_eq!(s.value(*x), Some(true));
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn pigeonhole_3_into_2_unsat() {
+        // PHP(3,2): 3 pigeons, 2 holes.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..3).map(|_| vars(&mut s, 2)).collect();
+        for row in &p {
+            s.add_clause(&[row[0].positive(), row[1].positive()]);
+        }
+        for hole in 0..2 {
+            for a in 0..3 {
+                for b in a + 1..3 {
+                    s.add_clause(&[p[a][hole].negative(), p[b][hole].negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn pigeonhole_5_into_4_unsat() {
+        let n = 5;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..n).map(|_| vars(&mut s, n - 1)).collect();
+        for row in &p {
+            let lits: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
+            s.add_clause(&lits);
+        }
+        for hole in 0..n - 1 {
+            for a in 0..n {
+                for b in a + 1..n {
+                    s.add_clause(&[p[a][hole].negative(), p[b][hole].negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(s.conflicts > 0);
+    }
+
+    #[test]
+    fn assumptions_are_incremental() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        // (a ∨ b) ∧ (¬a ∨ c)
+        s.add_clause(&[v[0].positive(), v[1].positive()]);
+        s.add_clause(&[v[0].negative(), v[2].positive()]);
+        assert_eq!(s.solve_with_assumptions(&[v[0].positive()]), SatResult::Sat);
+        assert_eq!(s.value(v[2]), Some(true));
+        assert_eq!(
+            s.solve_with_assumptions(&[v[0].positive(), v[2].negative()]),
+            SatResult::Unsat
+        );
+        // Solver still usable.
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn xor_chain_parity() {
+        // XOR chain: x0 ^ x1 = t0, t0 ^ x2 = t1, ... with final forced
+        // to 1 and all inputs forced to 0 -> UNSAT.
+        let n = 8;
+        let mut s = Solver::new();
+        let x = vars(&mut s, n);
+        let mut acc = x[0];
+        for xi in x.iter().take(n).skip(1) {
+            let t = s.new_var();
+            // t = acc ^ xi
+            s.add_clause(&[t.negative(), acc.positive(), xi.positive()]);
+            s.add_clause(&[t.negative(), acc.negative(), xi.negative()]);
+            s.add_clause(&[t.positive(), acc.negative(), xi.positive()]);
+            s.add_clause(&[t.positive(), acc.positive(), xi.negative()]);
+            acc = t;
+        }
+        s.add_clause(&[acc.positive()]);
+        for xi in &x {
+            s.add_clause(&[xi.negative()]);
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn random_3sat_cross_check_with_brute_force() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let nv = rng.gen_range(3..=10usize);
+            let nc = rng.gen_range(1..=40usize);
+            let clauses: Vec<Vec<(usize, bool)>> = (0..nc)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| (rng.gen_range(0..nv), rng.gen_bool(0.5)))
+                        .collect()
+                })
+                .collect();
+            // Brute force.
+            let mut brute_sat = false;
+            'outer: for m in 0u32..(1 << nv) {
+                for c in &clauses {
+                    if !c.iter().any(|&(v, sign)| ((m >> v) & 1 == 1) == sign) {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            // CDCL.
+            let mut s = Solver::new();
+            let vs = vars(&mut s, nv);
+            for c in &clauses {
+                let lits: Vec<Lit> = c.iter().map(|&(v, sign)| vs[v].lit(sign)).collect();
+                s.add_clause(&lits);
+            }
+            let got = s.solve() == SatResult::Sat;
+            assert_eq!(got, brute_sat, "clauses: {clauses:?}");
+            if got {
+                // Verify the model.
+                for c in &clauses {
+                    assert!(c
+                        .iter()
+                        .any(|&(v, sign)| s.value(vs[v]).unwrap_or(false) == sign));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dimacs_export() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause(&[v[0].positive(), v[1].negative()]);
+        s.add_clause(&[v[1].positive(), v[2].positive()]);
+        let mut buf = Vec::new();
+        s.write_dimacs(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("p cnf 3 2"));
+        assert!(text.contains("1 -2 0"));
+        assert!(text.contains("2 3 0"));
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let want = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..want.len() as u32).map(luby).collect();
+        assert_eq!(got, want);
+    }
+}

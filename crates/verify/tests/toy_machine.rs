@@ -1,0 +1,297 @@
+//! End-to-end verification of a small generated pipeline: cosim with
+//! the scheduling function, SAT/BMC discharge of the emitted
+//! obligations, and both miter constructions.
+
+use autopipe_hdl::Netlist;
+use autopipe_psm::{FileDecl, Fragment, MachineSpec, Plan, ReadPort, RegisterDecl};
+use autopipe_synth::{
+    ForwardingSpec, MuxTopology, PipelineSynthesizer, PipelinedMachine, SynthOptions,
+};
+use autopipe_verify::bmc::{bmc_invariant, BmcOutcome};
+use autopipe_verify::equiv::{lockstep_miter, retirement_miter};
+use autopipe_verify::{check_obligations, Cosim};
+
+/// The same 3-stage accumulator machine as the synthesizer's unit
+/// tests: `RF[dst] := RF[src] + imm`, stage 0 fetch + write-control,
+/// stage 1 operand read (the forwarded read), stage 2 write back.
+fn toy_plan(program: &[u64]) -> Plan {
+    let mut spec = MachineSpec::new("acc", 3);
+    spec.register(RegisterDecl::new("PC", 4).written_by(0).visible());
+    spec.register(RegisterDecl::new("IR", 8).written_by(0));
+    spec.register(RegisterDecl::new("X", 8).written_by(1));
+    spec.file(FileDecl::read_only("IMEM", 4, 8).init(program.to_vec()));
+    spec.file(FileDecl::new("RF", 2, 8, 2).ctrl(0).visible());
+
+    let mut f0 = Netlist::new("fetch");
+    let pc = f0.input("PC", 4);
+    let insn = f0.input("insn", 8);
+    let one = f0.constant(1, 4);
+    let npc = f0.add(pc, one);
+    f0.label("PC", npc);
+    f0.label("IR", insn);
+    let we = f0.one();
+    f0.label("RF.we", we);
+    let wa = f0.slice(insn, 1, 0);
+    f0.label("RF.wa", wa);
+    let mut fa = Netlist::new("fetch_addr");
+    let pca = fa.input("PC", 4);
+    fa.label("addr", pca);
+    spec.stage(
+        0,
+        "F",
+        Fragment::new(f0).unwrap(),
+        vec![ReadPort::new("IMEM", "insn", Fragment::new(fa).unwrap())],
+    );
+
+    let mut f1 = Netlist::new("ex");
+    let ir = f1.input("IR", 8);
+    let src = f1.input("srcv", 8);
+    let imm4 = f1.slice(ir, 7, 4);
+    let imm = f1.zext(imm4, 8);
+    let x = f1.add(src, imm);
+    f1.label("X", x);
+    let mut ra = Netlist::new("src_addr");
+    let ir2 = ra.input("IR", 8);
+    let a = ra.slice(ir2, 3, 2);
+    ra.label("addr", a);
+    spec.stage(
+        1,
+        "EX",
+        Fragment::new(f1).unwrap(),
+        vec![ReadPort::new("RF", "srcv", Fragment::new(ra).unwrap())],
+    );
+
+    let mut f2 = Netlist::new("wb");
+    let x = f2.input("X", 8);
+    f2.label("RF", x);
+    spec.stage(2, "WB", Fragment::new(f2).unwrap(), vec![]);
+    spec.plan().unwrap()
+}
+
+fn insn(imm: u64, src: u64, dst: u64) -> u64 {
+    imm << 4 | src << 2 | dst
+}
+
+fn hazard_program() -> Vec<u64> {
+    vec![
+        insn(1, 0, 0),
+        insn(2, 0, 1),
+        insn(3, 1, 2),
+        insn(4, 2, 3),
+        insn(5, 3, 0),
+        insn(1, 0, 1),
+        insn(2, 1, 2),
+        insn(3, 2, 3),
+    ]
+}
+
+fn build(fwd: ForwardingSpec, topology: MuxTopology) -> PipelinedMachine {
+    let plan = toy_plan(&hazard_program());
+    PipelineSynthesizer::new(
+        SynthOptions::new()
+            .with_forwarding(fwd)
+            .with_topology(topology),
+    )
+    .run(&plan)
+    .unwrap()
+}
+
+#[test]
+fn cosim_passes_for_forwarding_pipeline() {
+    let pm = build(
+        ForwardingSpec::forward_from_write_stage("RF"),
+        MuxTopology::Chain,
+    );
+    let mut cosim = Cosim::new(&pm).unwrap();
+    let stats = cosim.run(200).unwrap().clone();
+    assert!(stats.retired > 150, "forwarded pipeline retires ~1 IPC");
+    assert!(stats.cpi() < 1.5);
+}
+
+#[test]
+fn cosim_passes_for_interlock_pipeline_with_higher_cpi() {
+    let pm = build(ForwardingSpec::interlock("RF"), MuxTopology::Chain);
+    let mut cosim = Cosim::new(&pm).unwrap();
+    let stats = cosim.run(200).unwrap().clone();
+    assert!(
+        stats.cpi() > 1.5,
+        "interlock-only must stall: {}",
+        stats.cpi()
+    );
+    assert!(stats.dhaz_counts[1] > 0);
+}
+
+#[test]
+fn cosim_catches_unprotected_pipeline() {
+    let pm = build(ForwardingSpec::unprotected("RF"), MuxTopology::Chain);
+    let mut cosim = Cosim::new(&pm).unwrap();
+    let err = cosim.run(200).unwrap_err();
+    // The violation must be a data-consistency error, not a control
+    // lemma.
+    match err {
+        autopipe_verify::ConsistencyError::File { .. }
+        | autopipe_verify::ConsistencyError::Register { .. } => {}
+        other => panic!("unexpected violation {other}"),
+    }
+}
+
+#[test]
+fn cosim_holds_under_random_external_stalls() {
+    let plan = toy_plan(&hazard_program());
+    let pm = PipelineSynthesizer::new(
+        SynthOptions::new()
+            .with_forwarding(ForwardingSpec::forward_from_write_stage("RF"))
+            .with_ext_stalls(),
+    )
+    .run(&plan)
+    .unwrap();
+    // Deterministic pseudo-random stall pattern.
+    let mut state = 0x12345678u64;
+    let hook = move |_sim: &autopipe_hdl::Simulator, cycle: u64, stage: usize| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(cycle ^ stage as u64);
+        (state >> 33).is_multiple_of(4)
+    };
+    let mut cosim = Cosim::new(&pm).unwrap().with_ext_stalls(Box::new(hook));
+    let stats = cosim.run(400).unwrap().clone();
+    assert!(stats.retired > 50);
+    assert!(stats.stall_counts.iter().any(|&c| c > 0));
+}
+
+#[test]
+fn obligations_discharge_by_sat_and_induction() {
+    let pm = build(
+        ForwardingSpec::forward_from_write_stage("RF"),
+        MuxTopology::Chain,
+    );
+    let reports = check_obligations(&pm.netlist, &pm.obligations, 2).unwrap();
+    assert!(!reports.is_empty());
+    for r in &reports {
+        assert!(r.ok(), "obligation {} failed: {:?}", r.name, r.outcome);
+        // Every stall-engine obligation should be fully proved, not
+        // just bounded.
+        assert!(
+            matches!(r.outcome, BmcOutcome::Proved { .. }),
+            "obligation {} only bounded: {:?}",
+            r.name,
+            r.outcome
+        );
+    }
+}
+
+#[test]
+fn chain_and_tree_variants_are_lockstep_equivalent() {
+    let a = build(
+        ForwardingSpec::forward_from_write_stage("RF"),
+        MuxTopology::Chain,
+    );
+    let b = build(
+        ForwardingSpec::forward_from_write_stage("RF"),
+        MuxTopology::Tree,
+    );
+    let (nl, prop) = lockstep_miter(&a, &b).unwrap();
+    let low = autopipe_hdl::aig::lower(&nl).unwrap();
+    let p = low.net_lits(prop)[0];
+    assert_eq!(
+        bmc_invariant(&low.aig, p, 25),
+        BmcOutcome::BoundedOk { depth: 25 }
+    );
+}
+
+#[test]
+fn pipelined_vs_sequential_retirement_equivalence() {
+    let pm = build(
+        ForwardingSpec::forward_from_write_stage("RF"),
+        MuxTopology::Chain,
+    );
+    // Every instruction writes RF, so K writes = K instructions. The
+    // sequential machine needs 3 cycles per instruction.
+    let k = 5u64;
+    let (nl, prop) = retirement_miter(&pm, "RF", k).unwrap();
+    let low = autopipe_hdl::aig::lower(&nl).unwrap();
+    let p = low.net_lits(prop)[0];
+    let depth = (3 * k + 4) as usize;
+    assert_eq!(
+        bmc_invariant(&low.aig, p, depth),
+        BmcOutcome::BoundedOk { depth }
+    );
+}
+
+#[test]
+fn retirement_miter_detects_unprotected_pipeline() {
+    let pm = build(ForwardingSpec::unprotected("RF"), MuxTopology::Chain);
+    let (nl, prop) = retirement_miter(&pm, "RF", 3).unwrap();
+    let low = autopipe_hdl::aig::lower(&nl).unwrap();
+    let p = low.net_lits(prop)[0];
+    match bmc_invariant(&low.aig, p, 16) {
+        BmcOutcome::Violated { .. } => {}
+        other => panic!("expected a counterexample, got {other:?}"),
+    }
+}
+
+#[test]
+fn verify_machine_packages_the_machine_proof() {
+    use autopipe_verify::{verify_machine, VerifySettings};
+    let pm = build(
+        ForwardingSpec::forward_from_write_stage("RF"),
+        MuxTopology::Chain,
+    );
+    let report = verify_machine(
+        &pm,
+        VerifySettings {
+            max_k: 2,
+            equiv_writes: 3,
+            equiv_depth: 14,
+            cosim_cycles: 100,
+        },
+    );
+    assert!(report.ok(), "{report}");
+    assert!(!report.obligations.is_empty());
+    assert_eq!(report.equivalence.len(), 1, "one visible writable file");
+    let text = format!("{report}");
+    assert!(text.contains("verdict: PASS"));
+
+    // And it must FAIL loudly for the unprotected variant.
+    let bad = build(ForwardingSpec::unprotected("RF"), MuxTopology::Chain);
+    let report = verify_machine(
+        &bad,
+        VerifySettings {
+            max_k: 1,
+            equiv_writes: 3,
+            equiv_depth: 14,
+            cosim_cycles: 100,
+        },
+    );
+    assert!(!report.ok());
+    assert!(format!("{report}").contains("verdict: FAIL"));
+}
+
+#[test]
+fn transitive_dhaz_term_is_equivalent_on_single_read_stage_machines() {
+    // Ablation (DESIGN.md §5): §4.1.1's transitive hazard term is
+    // subsumed by the stall chain whenever every hazardous forwarding
+    // source is adjacent to its reader — as in this machine and the
+    // DLX. The lockstep miter proves cycle-exact equivalence of the
+    // with/without variants.
+    let plan = toy_plan(&hazard_program());
+    let with = PipelineSynthesizer::new(
+        SynthOptions::new().with_forwarding(ForwardingSpec::forward_from_write_stage("RF")),
+    )
+    .run(&plan)
+    .unwrap();
+    let without = PipelineSynthesizer::new(
+        SynthOptions::new()
+            .with_forwarding(ForwardingSpec::forward_from_write_stage("RF"))
+            .without_transitive_dhaz(),
+    )
+    .run(&plan)
+    .unwrap();
+    let (nl, prop) = lockstep_miter(&with, &without).unwrap();
+    let low = autopipe_hdl::aig::lower(&nl).unwrap();
+    let p = low.net_lits(prop)[0];
+    assert_eq!(
+        bmc_invariant(&low.aig, p, 24),
+        BmcOutcome::BoundedOk { depth: 24 }
+    );
+}

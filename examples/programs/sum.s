@@ -1,0 +1,13 @@
+; sum of 1..10, then a load-use pattern
+        addi r1, r0, 10    ; n
+        addi r2, r0, 0     ; sum
+loop:   add  r2, r2, r1
+        subi r1, r1, 1
+        bnez r1, loop
+        nop                ; delay slot
+        sw   r2, 0(r0)
+        lw   r3, 0(r0)
+        add  r4, r3, r3
+        sw   r4, 4(r0)
+        halt
+        nop

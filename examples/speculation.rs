@@ -1,0 +1,126 @@
+//! Speculation (paper §5): branch-predicted fetch on the branchy
+//! mini-machine and precise interrupts on the DLX.
+//!
+//! Run with `cargo run --example speculation`.
+
+use autopipe::dlx::branchy::{branchy_synth_options, build_branchy_spec, BInstr, Predictor};
+use autopipe::dlx::machine::{dlx_interrupt_options, load_program};
+use autopipe::dlx::{build_dlx_spec, DlxConfig};
+use autopipe::synth::PipelineSynthesizer;
+use autopipe::verify::Cosim;
+
+fn branch_prediction() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== speculative fetch: a tight always-taken loop ==");
+    // r1 += 1; beqz r0 -> 0  (r0 is never written, so always taken).
+    let prog = [
+        BInstr::Alu {
+            dst: 1,
+            src: 1,
+            imm: 1,
+        }
+        .encode(),
+        BInstr::Beqz { src: 0, target: 0 }.encode(),
+    ];
+    for predictor in [Predictor::NextLine, Predictor::AlwaysTaken] {
+        let plan = build_branchy_spec(predictor)?.plan()?;
+        let pm = PipelineSynthesizer::new(branchy_synth_options()).run(&plan)?;
+        let mut cosim = Cosim::new(&pm).map_err(std::io::Error::other)?;
+        {
+            let sim = cosim.sim_mut();
+            let nl = sim.netlist();
+            let mem = nl
+                .mem_ids()
+                .find(|m| nl.memory_info(*m).name.ends_with("IMEM"))
+                .expect("imem");
+            for (i, w) in prog.iter().enumerate() {
+                sim.poke_mem(mem, i, u64::from(*w));
+            }
+        }
+        let stats = cosim
+            .run(400)
+            .map_err(|e| std::io::Error::other(e.to_string()))?
+            .clone();
+        println!(
+            "  {predictor:?}: CPI {:.2}, {} rollbacks for {} instructions — \
+the guess costs cycles, never correctness",
+            stats.cpi(),
+            stats.rollbacks,
+            stats.retired
+        );
+    }
+    Ok(())
+}
+
+fn precise_interrupts() -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n== precise interrupts on the DLX (speculate: no interrupt) ==");
+    let isr = 0x40u32;
+    let cfg = DlxConfig::default().with_interrupts();
+    let plan = build_dlx_spec(cfg)?.plan()?;
+    let pm = PipelineSynthesizer::new(dlx_interrupt_options(isr)).run(&plan)?;
+
+    let image = autopipe::dlx::asm::assemble_image(
+        "       addi r1, r0, 0
+         loop:  addi r2, r1, 100
+                sw   r2, 0(r1)
+                addi r1, r1, 4
+                j    loop
+                nop
+         .org 0x40                 ; the interrupt handler
+                addi r3, r0, 7
+                sw   r3, 396(r0)   ; word 99
+                halt
+                nop",
+    )?;
+
+    let mut sim = pm.simulator()?;
+    load_program(&mut sim, cfg, &image);
+    let irq = pm.netlist.find("irq")?;
+    let rollback = pm.netlist.find("spec.irq.rollback")?;
+    sim.set_input(irq, 0);
+    sim.run(40);
+    sim.set_input(irq, 1);
+    let mut fired_at = None;
+    for t in 0..20 {
+        sim.settle();
+        if sim.get(rollback) == 1 {
+            fired_at = Some(40 + t);
+            sim.clock();
+            break;
+        }
+        sim.clock();
+    }
+    sim.set_input(irq, 0);
+    sim.run(60);
+
+    let nl = sim.netlist();
+    let dmem = nl
+        .mem_ids()
+        .find(|m| nl.memory_info(*m).name.ends_with("DMEM"))
+        .expect("dmem");
+    let epc = pm
+        .plan
+        .instances
+        .iter()
+        .position(|i| i.base == "EPC")
+        .map(|ii| pm.skel.inst_regs[ii].0)
+        .expect("EPC register");
+    let mut committed = 0usize;
+    while sim.mem_value(dmem, committed) == 100 + 4 * committed as u64 {
+        committed += 1;
+    }
+    println!(
+        "  interrupt accepted at cycle {:?}: pipeline squashed, EPC = {:#x}",
+        fired_at,
+        sim.reg_value(epc)
+    );
+    println!(
+        "  precise state: {committed} stores committed (gap-free prefix), handler marker = {}",
+        sim.mem_value(dmem, 99)
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    branch_prediction()?;
+    precise_interrupts()
+}

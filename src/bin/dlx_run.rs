@@ -1,0 +1,356 @@
+//! `dlx-run` — assemble and execute DLX programs on the autopipe
+//! machines.
+//!
+//! ```text
+//! usage: dlx-run <prog.s> [options]
+//!
+//!   --isa              run only the golden instruction-level simulator
+//!   --verify           discharge the proof obligations (SAT/induction)
+//!                      and print the machine-proof verdict before running
+//!   --sequential       run the prepared sequential machine
+//!   --interlock        pipeline without forwarding (interlock only)
+//!   --tree             use the find-first-one/tree select network
+//!   --optimize         run the verified netlist optimizer first
+//!   --no-check         skip the cycle-level data-consistency checker
+//!   --cycles N         cycle budget (default 10000)
+//!   --vcd FILE         dump a VCD trace of the pipelined run
+//!   --disasm           print the disassembled program and exit
+//!   --mem ADDR=VAL     preload a data-memory word (byte address)
+//! ```
+//!
+//! Prints CPI, stall/hazard statistics, the register file and all
+//! touched data-memory words.
+
+use autopipe::dlx::asm::{assemble, disassemble};
+use autopipe::dlx::machine::dlx_interlock_options;
+use autopipe::dlx::machine::load_program;
+use autopipe::dlx::{build_dlx_spec, dlx_synth_options, DlxConfig, IsaSim};
+use autopipe::hdl::vcd::VcdWriter;
+use autopipe::psm::SequentialMachine;
+use autopipe::synth::{MuxTopology, PipelineSynthesizer};
+use autopipe::verify::Cosim;
+use std::process::ExitCode;
+
+struct Options {
+    path: String,
+    isa_only: bool,
+    verify: bool,
+    sequential: bool,
+    interlock: bool,
+    tree: bool,
+    optimize: bool,
+    check: bool,
+    cycles: u64,
+    vcd: Option<String>,
+    disasm: bool,
+    mem: Vec<(u32, u32)>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: dlx-run <prog.s> [--isa|--sequential] [--interlock] [--tree] \
+[--optimize] [--verify] [--no-check] [--cycles N] [--vcd FILE] [--disasm] \
+[--mem ADDR=VAL]..."
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut args = std::env::args().skip(1);
+    let mut o = Options {
+        path: String::new(),
+        isa_only: false,
+        verify: false,
+        sequential: false,
+        interlock: false,
+        tree: false,
+        optimize: false,
+        check: true,
+        cycles: 10_000,
+        vcd: None,
+        disasm: false,
+        mem: Vec::new(),
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--isa" => o.isa_only = true,
+            "--verify" => o.verify = true,
+            "--sequential" => o.sequential = true,
+            "--interlock" => o.interlock = true,
+            "--tree" => o.tree = true,
+            "--optimize" => o.optimize = true,
+            "--no-check" => o.check = false,
+            "--disasm" => o.disasm = true,
+            "--cycles" => {
+                let v = args.next().ok_or_else(usage)?;
+                o.cycles = v.parse().map_err(|_| usage())?;
+            }
+            "--vcd" => o.vcd = Some(args.next().ok_or_else(usage)?),
+            "--mem" => {
+                let v = args.next().ok_or_else(usage)?;
+                let (a, val) = v.split_once('=').ok_or_else(usage)?;
+                let parse = |s: &str| -> Result<u32, ExitCode> {
+                    if let Some(h) = s.strip_prefix("0x") {
+                        u32::from_str_radix(h, 16).map_err(|_| usage())
+                    } else {
+                        s.parse().map_err(|_| usage())
+                    }
+                };
+                o.mem.push((parse(a)?, parse(val)?));
+            }
+            "-h" | "--help" => return Err(usage()),
+            other if o.path.is_empty() && !other.starts_with('-') => o.path = other.to_string(),
+            _ => return Err(usage()),
+        }
+    }
+    if o.path.is_empty() {
+        return Err(usage());
+    }
+    Ok(o)
+}
+
+fn print_state(regs: &[u64], dmem: &[u64]) {
+    println!("registers:");
+    for (i, v) in regs.iter().enumerate() {
+        if *v != 0 {
+            println!("  r{i:<2} = {v:#010x} ({v})");
+        }
+    }
+    println!("data memory (touched words):");
+    for (i, v) in dmem.iter().enumerate() {
+        if *v != 0 {
+            println!("  [{:#06x}] = {v:#010x} ({v})", i * 4);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let o = match parse_args() {
+        Ok(o) => o,
+        Err(c) => return c,
+    };
+    let src = match std::fs::read_to_string(&o.path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dlx-run: cannot read {}: {e}", o.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let prog = match assemble(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("dlx-run: {}: {e}", o.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let words: Vec<u32> = prog.iter().map(|i| i.encode()).collect();
+    if o.disasm {
+        match disassemble(&words) {
+            Ok(t) => print!("{t}"),
+            Err((addr, w)) => eprintln!("dlx-run: bad word {w:#010x} at {addr}"),
+        }
+        return ExitCode::SUCCESS;
+    }
+    let cfg = DlxConfig::default();
+    if words.len() > 1 << cfg.imem_aw {
+        eprintln!("dlx-run: program too large ({} words)", words.len());
+        return ExitCode::FAILURE;
+    }
+
+    if o.isa_only {
+        let mut sim = IsaSim::new(cfg, &words);
+        for &(addr, val) in &o.mem {
+            let idx = (addr >> 2) as usize & ((1 << cfg.dmem_aw) - 1);
+            sim.dmem[idx] = val;
+        }
+        let stop = sim.run(o.cycles);
+        println!("isa: {:?} after {} instructions", stop, sim.retired);
+        let regs: Vec<u64> = sim.regs.iter().map(|&r| u64::from(r)).collect();
+        let dmem: Vec<u64> = sim.dmem.iter().map(|&r| u64::from(r)).collect();
+        print_state(&regs, &dmem);
+        return ExitCode::SUCCESS;
+    }
+
+    let plan = match build_dlx_spec(cfg).and_then(|s| s.plan()) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("dlx-run: internal: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if o.sequential {
+        let mut m = match SequentialMachine::new(plan) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("dlx-run: internal: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        load_program(m.sim_mut(), cfg, &words);
+        for &(addr, val) in &o.mem {
+            poke_dmem(m.sim_mut(), cfg, addr, val);
+        }
+        for _ in 0..o.cycles / 5 {
+            m.step_instruction();
+        }
+        println!("sequential machine after {} cycles:", m.sim().cycle());
+        let (regs, dmem) = snapshot(m.sim());
+        print_state(&regs, &dmem);
+        return ExitCode::SUCCESS;
+    }
+
+    // Pipelined run.
+    let mut options = if o.interlock {
+        dlx_interlock_options()
+    } else {
+        dlx_synth_options()
+    };
+    if o.tree {
+        options = options.with_topology(MuxTopology::Tree);
+    }
+    let pm = match PipelineSynthesizer::new(options).run(&plan) {
+        Ok(pm) => pm,
+        Err(e) => {
+            eprintln!("dlx-run: synthesis: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let pm = if o.optimize { pm.optimized() } else { pm };
+    println!("{}", pm.report);
+
+    if o.verify {
+        // Machine-checked proof of the generated control logic
+        // (bounded equivalence needs a closed system; see the
+        // verify_pipeline example for the small-configuration run).
+        let report = autopipe::verify::verify_machine(
+            &pm,
+            autopipe::verify::VerifySettings {
+                max_k: 2,
+                equiv_writes: 0,
+                equiv_depth: 0,
+                cosim_cycles: 0,
+            },
+        );
+        println!("machine proof:\n{report}\n");
+        if !report.ok() {
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if o.check {
+        let mut cosim = match Cosim::new(&pm) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("dlx-run: internal: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        load_program(cosim.sim_mut(), cfg, &words);
+        for &(addr, val) in &o.mem {
+            poke_dmem(cosim.sim_mut(), cfg, addr, val);
+        }
+        load_program(cosim.seq_sim_mut(), cfg, &words);
+        for &(addr, val) in &o.mem {
+            poke_dmem(cosim.seq_sim_mut(), cfg, addr, val);
+        }
+        if let Err(e) = cosim.run(o.cycles) {
+            eprintln!("dlx-run: CONSISTENCY VIOLATION: {e}");
+            return ExitCode::FAILURE;
+        }
+        let s = cosim.stats().clone();
+        println!(
+            "pipelined: {} instructions in {} cycles (CPI {:.2}), checked against the \
+sequential machine every cycle",
+            s.retired,
+            s.cycles,
+            s.cpi()
+        );
+        let occupancy: Vec<String> = (0..5)
+            .map(|k| format!("{:.0}%", 100.0 * s.occupancy(k)))
+            .collect();
+        println!(
+            "  decode hazard cycles: {}, per-stage stalls: {:?}, occupancy {:?}",
+            s.dhaz_counts[1], s.stall_counts, occupancy
+        );
+        let (regs, dmem) = snapshot(cosim.sim_mut());
+        print_state(&regs, &dmem);
+        return ExitCode::SUCCESS;
+    }
+
+    // Unchecked pipelined run (optionally with VCD).
+    let mut sim = match pm.simulator() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dlx-run: internal: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    load_program(&mut sim, cfg, &words);
+    for &(addr, val) in &o.mem {
+        poke_dmem(&mut sim, cfg, addr, val);
+    }
+    let mut vcd_out: Option<(VcdWriter<std::fs::File>, String)> = match &o.vcd {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Some((VcdWriter::new(f, &pm.netlist), path.clone())),
+            Err(e) => {
+                eprintln!("dlx-run: cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let retire = *pm.control.ue.last().expect("stages");
+    let mut retired = 0u64;
+    for _ in 0..o.cycles {
+        sim.settle();
+        if sim.get(retire) == 1 {
+            retired += 1;
+        }
+        if let Some((vcd, _)) = vcd_out.as_mut() {
+            if let Err(e) = vcd.sample(&sim) {
+                eprintln!("dlx-run: vcd: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        sim.clock();
+    }
+    println!(
+        "pipelined (unchecked): {} instructions in {} cycles (CPI {:.2})",
+        retired,
+        sim.cycle(),
+        sim.cycle() as f64 / retired.max(1) as f64
+    );
+    if let Some((_, path)) = &vcd_out {
+        println!("VCD trace written to {path}");
+    }
+    let (regs, dmem) = snapshot(&sim);
+    print_state(&regs, &dmem);
+    ExitCode::SUCCESS
+}
+
+fn find_mem(sim: &autopipe::hdl::Simulator, suffix: &str) -> autopipe::hdl::MemId {
+    let nl = sim.netlist();
+    nl.mem_ids()
+        .find(|m| nl.memory_info(*m).name.ends_with(suffix))
+        .expect("DLX netlists carry GPR/DMEM")
+}
+
+fn poke_dmem(sim: &mut autopipe::hdl::Simulator, cfg: DlxConfig, addr: u32, val: u32) {
+    let mem = find_mem(sim, "DMEM");
+    let idx = (addr >> 2) as usize & ((1 << cfg.dmem_aw) - 1);
+    sim.poke_mem(mem, idx, u64::from(val));
+}
+
+fn snapshot(sim: &autopipe::hdl::Simulator) -> (Vec<u64>, Vec<u64>) {
+    let gpr = find_mem(sim, "GPR");
+    let dmem = find_mem(sim, "DMEM");
+    let nl = sim.netlist();
+    let regs = (0..nl.memory_info(gpr).entries())
+        .map(|i| sim.mem_value(gpr, i))
+        .collect();
+    let mem = (0..nl.memory_info(dmem).entries())
+        .map(|i| sim.mem_value(dmem, i))
+        .collect();
+    (regs, mem)
+}

@@ -1,0 +1,34 @@
+//! # autopipe — Automated Pipeline Design
+//!
+//! A Rust reproduction of *Automated Pipeline Design* (Kroening & Paul,
+//! DAC 2001): a tool that transforms a **prepared sequential machine** —
+//! a processor design already partitioned into pipeline stages but driven
+//! by a round-robin, one-instruction-at-a-time schedule — into a fully
+//! pipelined machine by synthesizing the forwarding, interlock, stall and
+//! speculation (rollback) hardware, together with a machine-checkable
+//! correctness argument for the transformation.
+//!
+//! The workspace is organised bottom-up:
+//!
+//! * [`hdl`] — a word-level synchronous RTL intermediate representation
+//!   with a cycle-accurate simulator, structural cost model and AIG
+//!   lowering for SAT-based checking.
+//! * [`psm`] — the prepared-sequential-machine description layer: stages,
+//!   register declarations and per-stage instances `R.k`, register files,
+//!   stage data-path functions `f_k`.
+//! * [`synth`] — the paper's contribution: the pipeline transformation
+//!   (stall engine, forwarding, interlock, speculation) and proof
+//!   obligation generation.
+//! * [`verify`] — a CDCL SAT solver, bounded model checker, k-induction
+//!   engine and scheduling-function co-simulation checker.
+//! * [`dlx`] — the five-stage DLX RISC case study: ISA, assembler, golden
+//!   simulator, prepared sequential machine, workload generators.
+//!
+//! See `examples/quickstart.rs` for a complete end-to-end walk-through.
+#![forbid(unsafe_code)]
+
+pub use autopipe_dlx as dlx;
+pub use autopipe_hdl as hdl;
+pub use autopipe_psm as psm;
+pub use autopipe_synth as synth;
+pub use autopipe_verify as verify;

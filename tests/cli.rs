@@ -1,0 +1,124 @@
+//! Smoke tests for the `dlx_run` command-line tool.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dlx_run"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned() + &String::from_utf8_lossy(&out.stderr),
+    )
+}
+
+fn write_prog(name: &str, text: &str) -> String {
+    let path = std::env::temp_dir().join(name);
+    std::fs::write(&path, text).expect("write temp program");
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn checked_pipelined_run() {
+    let p = write_prog(
+        "dlxrun_sum.s",
+        "   addi r1, r0, 4
+            addi r2, r1, 5
+            sw   r2, 0(r0)
+            halt
+            nop",
+    );
+    let (ok, out) = run(&[&p, "--cycles", "60"]);
+    assert!(ok, "{out}");
+    assert!(
+        out.contains("checked against the sequential machine"),
+        "{out}"
+    );
+    assert!(out.contains("(9)"), "DMEM[0] = 9 expected: {out}");
+}
+
+#[test]
+fn isa_only_run_and_mem_preload() {
+    let p = write_prog(
+        "dlxrun_load.s",
+        "   lw   r1, 8(r0)
+            addi r2, r1, 1
+            sw   r2, 12(r0)
+            halt
+            nop",
+    );
+    let (ok, out) = run(&[&p, "--isa", "--mem", "8=41"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("(42)"), "{out}");
+}
+
+#[test]
+fn disassembly_roundtrips_through_stdout() {
+    let p = write_prog(
+        "dlxrun_dis.s",
+        "   addi r1, r0, 7
+            beqz r1, 3
+            nop
+            halt",
+    );
+    let (ok, out) = run(&[&p, "--disasm"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("addi r1, r0, 0x7"), "{out}");
+    assert!(out.contains("beqz r1, 3"), "{out}");
+}
+
+#[test]
+fn bad_source_is_reported_with_line() {
+    let p = write_prog("dlxrun_bad.s", "nop\nbogus r1\n");
+    let (ok, out) = run(&[&p]);
+    assert!(!ok);
+    assert!(out.contains("line 2"), "{out}");
+}
+
+#[test]
+fn vcd_file_is_written() {
+    let p = write_prog(
+        "dlxrun_vcd.s",
+        "   addi r1, r0, 1
+            halt
+            nop",
+    );
+    let vcd = std::env::temp_dir().join("dlxrun_trace.vcd");
+    let vcd_s = vcd.to_string_lossy().into_owned();
+    let (ok, out) = run(&[&p, "--no-check", "--cycles", "20", "--vcd", &vcd_s]);
+    assert!(ok, "{out}");
+    let text = std::fs::read_to_string(&vcd).expect("vcd written");
+    assert!(text.contains("$enddefinitions"));
+}
+
+#[test]
+fn verify_flag_discharges_obligations() {
+    let p = write_prog(
+        "dlxrun_verify.s",
+        "   addi r1, r0, 2
+            add  r2, r1, r1
+            sw   r2, 0(r0)
+            halt
+            nop",
+    );
+    let (ok, out) = run(&[&p, "--verify", "--cycles", "40"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("verdict: PASS"), "{out}");
+    assert!(out.contains("27 proved"), "{out}");
+}
+
+#[test]
+fn optimize_flag_runs_the_checked_pipeline() {
+    let p = write_prog(
+        "dlxrun_opt.s",
+        "   addi r1, r0, 3
+            add  r2, r1, r1
+            sw   r2, 0(r0)
+            halt
+            nop",
+    );
+    let (ok, out) = run(&[&p, "--optimize", "--cycles", "40"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("(6)"), "DMEM[0] = 6 expected: {out}");
+}

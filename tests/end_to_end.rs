@@ -1,0 +1,118 @@
+//! Whole-stack end-to-end: assemble source text, pipeline the DLX,
+//! execute under the checker, and compare architectural results with
+//! the golden ISA simulator.
+
+use autopipe::dlx::asm::assemble;
+use autopipe::dlx::machine::load_program;
+use autopipe::dlx::workload::fib;
+use autopipe::dlx::{build_dlx_spec, dlx_synth_options, DlxConfig, IsaSim};
+use autopipe::synth::{MuxTopology, PipelineSynthesizer, PipelinedMachine};
+use autopipe::verify::Cosim;
+
+fn dlx(topology: MuxTopology) -> (DlxConfig, PipelinedMachine) {
+    let cfg = DlxConfig::default();
+    let plan = build_dlx_spec(cfg).unwrap().plan().unwrap();
+    let pm = PipelineSynthesizer::new(dlx_synth_options().with_topology(topology))
+        .run(&plan)
+        .unwrap();
+    (cfg, pm)
+}
+
+/// Runs `prog` on the pipelined DLX (checker on) until the ISA
+/// simulator's halt point, then compares DMEM.
+fn run_and_compare(prog: &[autopipe::dlx::Instr], max_cycles: u64) {
+    let words: Vec<u32> = prog.iter().map(|i| i.encode()).collect();
+    let mut isa = IsaSim::new(DlxConfig::default(), &words);
+    isa.run(100_000);
+    assert!(isa.halted(), "reference must halt");
+
+    for topology in [MuxTopology::Chain, MuxTopology::Tree] {
+        let (cfg, pm) = dlx(topology);
+        let mut cosim = Cosim::new(&pm).unwrap();
+        load_program(cosim.sim_mut(), cfg, &words);
+        load_program(cosim.seq_sim_mut(), cfg, &words);
+        // Run until the halt has certainly retired.
+        let needed = isa.retired * 3 + 40;
+        cosim.run(needed.min(max_cycles)).unwrap();
+        let dmem = {
+            let nl = cosim.sim_mut().netlist();
+            nl.mem_ids()
+                .find(|m| nl.memory_info(*m).name.ends_with("DMEM"))
+                .unwrap()
+        };
+        for (i, want) in isa.dmem.iter().enumerate() {
+            assert_eq!(
+                cosim.sim_mut().mem_value(dmem, i),
+                u64::from(*want),
+                "DMEM[{i}] ({topology:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn fibonacci_matches_reference() {
+    run_and_compare(&fib(15), 2000);
+}
+
+#[test]
+fn bubble_sort_matches_reference() {
+    // Seed DMEM[0..5] with stores, then bubble-sort in place (one
+    // translation unit so the absolute jumps resolve correctly).
+    let prog = assemble(
+        "       addi r1, r0, 9
+                sw   r1, 0(r0)
+                addi r1, r0, 4
+                sw   r1, 4(r0)
+                addi r1, r0, 7
+                sw   r1, 8(r0)
+                addi r1, r0, 1
+                sw   r1, 12(r0)
+                addi r1, r0, 8
+                sw   r1, 16(r0)
+                addi r1, r0, 5     ; outer counter
+        outer:  subi r1, r1, 1
+                beqz r1, done
+                nop
+                addi r2, r0, 0     ; ptr
+                add  r3, r1, r0    ; inner counter
+        inner:  lw   r4, 0(r2)
+                lw   r5, 4(r2)
+                sltu r6, r5, r4
+                beqz r6, noswap
+                nop
+                sw   r5, 0(r2)
+                sw   r4, 4(r2)
+        noswap: addi r2, r2, 4
+                subi r3, r3, 1
+                bnez r3, inner
+                nop
+                j    outer
+                nop
+        done:   halt
+                nop",
+    )
+    .unwrap();
+    run_and_compare(&prog, 8000);
+}
+
+#[test]
+fn assembled_subroutine_with_jal_matches_reference() {
+    let prog = assemble(
+        "        addi r1, r0, 6
+                 jal  double     ; r31 := return
+                 nop             ; delay slot
+                 sw   r2, 0(r0)  ; 12
+                 jal  double
+                 nop
+                 sw   r2, 4(r0)  ; 24
+                 halt
+                 nop
+         double: add  r2, r1, r1
+                 add  r1, r2, r0
+                 jr   r31
+                 nop",
+    )
+    .unwrap();
+    run_and_compare(&prog, 2000);
+}
