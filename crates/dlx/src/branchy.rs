@@ -250,7 +250,7 @@ pub fn branchy_program(branch_frac: f64, seed: u64) -> Vec<u16> {
         let instr = if b < branch_frac {
             // Forward target within a few instructions (keeps the
             // program flowing around the whole memory).
-            let target = ((i + rng.gen_range(2..6)) % len) as u8;
+            let target = ((i + rng.gen_range(2usize..6)) % len) as u8;
             BInstr::Beqz {
                 // src 0 reads RF[0]: often zero -> frequently taken;
                 // src 1..3: usually nonzero -> rarely taken.

@@ -1,0 +1,488 @@
+//! Abstract syntax of a `.psm` design, plus the canonical
+//! pretty-printer.
+//!
+//! The printer emits exactly the concrete syntax the parser accepts, so
+//! `parse(print(d))` reproduces `d` up to spans — the round-trip
+//! property the test suite checks on random designs.
+
+use crate::diag::Span;
+use std::fmt;
+
+/// One parsed `.psm` file.
+#[derive(Debug, Clone)]
+pub struct Design {
+    pub name: String,
+    pub name_span: Span,
+    pub n_stages: usize,
+    pub inputs: Vec<InputDecl>,
+    pub regs: Vec<RegDecl>,
+    pub files: Vec<FileDeclAst>,
+    pub stages: Vec<StageDecl>,
+    pub annotations: Vec<Annotation>,
+}
+
+#[derive(Debug, Clone)]
+pub struct InputDecl {
+    pub name: String,
+    pub width: u32,
+    pub span: Span,
+}
+
+#[derive(Debug, Clone)]
+pub struct RegDecl {
+    pub name: String,
+    pub width: u32,
+    pub writers: Vec<usize>,
+    pub init: u64,
+    pub visible: bool,
+    pub span: Span,
+}
+
+#[derive(Debug, Clone)]
+pub struct FileDeclAst {
+    pub name: String,
+    pub addr_width: u32,
+    pub data_width: u32,
+    pub read_only: bool,
+    pub write_stage: usize,
+    pub ctrl_stage: Option<usize>,
+    pub init: Vec<u64>,
+    pub visible: bool,
+    pub span: Span,
+}
+
+#[derive(Debug, Clone)]
+pub struct StageDecl {
+    pub index: usize,
+    pub index_span: Span,
+    pub name: String,
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement inside a `stage` block.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `read alias = FILE[addr_expr];`
+    Read {
+        alias: String,
+        file: String,
+        file_span: Span,
+        addr: Expr,
+    },
+    /// `let name = expr;`
+    Let {
+        name: String,
+        span: Span,
+        expr: Expr,
+    },
+    /// `target = expr;` — target is a register/file output, optionally
+    /// with a `.we` / `.wa` control suffix.
+    Assign {
+        target: String,
+        suffix: Option<CtrlSuffix>,
+        span: Span,
+        expr: Expr,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CtrlSuffix {
+    We,
+    Wa,
+}
+
+/// Machine-level annotations lowering to `SynthOptions`.
+#[derive(Debug, Clone)]
+pub enum Annotation {
+    /// `forward T via S;` / `forward T;`
+    Forward {
+        target: String,
+        target_span: Span,
+        via: Option<(String, Span)>,
+    },
+    /// `interlock T;`
+    Interlock { target: String, target_span: Span },
+    /// `unprotected T;`
+    Unprotected { target: String, target_span: Span },
+    /// `topology tree;` / `topology chain;`
+    Topology { tree: bool },
+    /// `ext_stalls;`
+    ExtStalls,
+    /// `no_monitors;`
+    NoMonitors,
+    /// `no_transitive_dhaz;`
+    NoTransitiveDhaz,
+    /// `speculate NAME at K port P { guess = e; resolve at J ...; fixup ...; }`
+    Speculate(SpeculateAst),
+}
+
+#[derive(Debug, Clone)]
+pub struct SpeculateAst {
+    pub name: String,
+    pub stage: usize,
+    pub stage_span: Span,
+    pub port: String,
+    pub port_span: Span,
+    pub guess: Expr,
+    pub resolve_stage: usize,
+    pub resolve_span: Span,
+    /// `None` = re-read through the forwarding network; `Some(input)` =
+    /// compare against an external input.
+    pub actual_input: Option<String>,
+    pub fixups: Vec<FixupAst>,
+}
+
+#[derive(Debug, Clone)]
+pub struct FixupAst {
+    pub register: String,
+    pub register_span: Span,
+    pub value: FixupValueAst,
+}
+
+#[derive(Debug, Clone)]
+pub enum FixupValueAst {
+    Const(u64),
+    Input(String),
+    Instance(String),
+    Actual,
+}
+
+/// Expressions. Every node carries its span for diagnostics.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Register, alias, let-binding or external input reference.
+    Ident {
+        name: String,
+        span: Span,
+    },
+    /// Explicit register instance `R.k`.
+    Instance {
+        name: String,
+        k: usize,
+        span: Span,
+    },
+    /// Sized literal `w'hv`.
+    Const {
+        value: u64,
+        width: u32,
+        span: Span,
+    },
+    Unary {
+        op: UnOp,
+        a: Box<Expr>,
+        span: Span,
+    },
+    Binary {
+        op: BinOp,
+        a: Box<Expr>,
+        b: Box<Expr>,
+        span: Span,
+    },
+    /// `sel ? a : b`.
+    Mux {
+        sel: Box<Expr>,
+        a: Box<Expr>,
+        b: Box<Expr>,
+        span: Span,
+    },
+    /// `e[hi:lo]`.
+    Slice {
+        a: Box<Expr>,
+        hi: u32,
+        lo: u32,
+        span: Span,
+    },
+    /// `e[i]` single-bit index.
+    Bit {
+        a: Box<Expr>,
+        idx: u32,
+        span: Span,
+    },
+    /// Builtin call: sext/zext/cat/ult/ule/slt/sle/redor/redand/redxor.
+    Call {
+        func: String,
+        func_span: Span,
+        args: Vec<Expr>,
+        /// Width argument of sext/zext, stored separately.
+        width: Option<u32>,
+        span: Span,
+    },
+}
+
+impl Expr {
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Ident { span, .. }
+            | Expr::Instance { span, .. }
+            | Expr::Const { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Mux { span, .. }
+            | Expr::Slice { span, .. }
+            | Expr::Bit { span, .. }
+            | Expr::Call { span, .. } => *span,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Not,
+    Neg,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Or,
+    Xor,
+    And,
+    Eq,
+    Ne,
+    Shl,
+    Lshr,
+    Ashr,
+    Add,
+    Sub,
+    Mul,
+}
+
+impl BinOp {
+    /// Binding strength; higher binds tighter. Mirrors the parser's
+    /// precedence climbing levels.
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::Xor => 2,
+            BinOp::And => 3,
+            BinOp::Eq | BinOp::Ne => 4,
+            BinOp::Shl | BinOp::Lshr | BinOp::Ashr => 5,
+            BinOp::Add | BinOp::Sub => 6,
+            BinOp::Mul => 7,
+        }
+    }
+
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::And => "&",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Shl => "<<",
+            BinOp::Lshr => ">>",
+            BinOp::Ashr => ">>>",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pretty-printer
+// ---------------------------------------------------------------------
+
+impl fmt::Display for Design {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "machine {}({}) {{", self.name, self.n_stages)?;
+        for i in &self.inputs {
+            writeln!(f, "  input {} : {};", i.name, i.width)?;
+        }
+        for r in &self.regs {
+            write!(f, "  reg {} : {} writes(", r.name, r.width)?;
+            for (i, w) in r.writers.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{w}")?;
+            }
+            write!(f, ")")?;
+            if r.init != 0 {
+                write!(f, " init {}", r.init)?;
+            }
+            if r.visible {
+                write!(f, " visible")?;
+            }
+            writeln!(f, ";")?;
+        }
+        for d in &self.files {
+            write!(
+                f,
+                "  file {} : [{} x {}]",
+                d.name, d.addr_width, d.data_width
+            )?;
+            if d.read_only {
+                write!(f, " readonly")?;
+            } else {
+                write!(f, " write({})", d.write_stage)?;
+                if let Some(c) = d.ctrl_stage {
+                    write!(f, " ctrl({c})")?;
+                }
+            }
+            if !d.init.is_empty() {
+                write!(f, " init {{ ")?;
+                for (i, v) in d.init.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, " }}")?;
+            }
+            if d.visible {
+                write!(f, " visible")?;
+            }
+            writeln!(f, ";")?;
+        }
+        for s in &self.stages {
+            writeln!(f)?;
+            writeln!(f, "  stage {} {} {{", s.index, s.name)?;
+            for st in &s.stmts {
+                match st {
+                    Stmt::Read {
+                        alias, file, addr, ..
+                    } => writeln!(f, "    read {alias} = {file}[{addr}];")?,
+                    Stmt::Let { name, expr, .. } => writeln!(f, "    let {name} = {expr};")?,
+                    Stmt::Assign {
+                        target,
+                        suffix,
+                        expr,
+                        ..
+                    } => {
+                        let sfx = match suffix {
+                            Some(CtrlSuffix::We) => ".we",
+                            Some(CtrlSuffix::Wa) => ".wa",
+                            None => "",
+                        };
+                        writeln!(f, "    {target}{sfx} = {expr};")?;
+                    }
+                }
+            }
+            writeln!(f, "  }}")?;
+        }
+        if !self.annotations.is_empty() {
+            writeln!(f)?;
+        }
+        for a in &self.annotations {
+            match a {
+                Annotation::Forward { target, via, .. } => match via {
+                    Some((s, _)) => writeln!(f, "  forward {target} via {s};")?,
+                    None => writeln!(f, "  forward {target};")?,
+                },
+                Annotation::Interlock { target, .. } => writeln!(f, "  interlock {target};")?,
+                Annotation::Unprotected { target, .. } => writeln!(f, "  unprotected {target};")?,
+                Annotation::Topology { tree } => {
+                    writeln!(f, "  topology {};", if *tree { "tree" } else { "chain" })?
+                }
+                Annotation::ExtStalls => writeln!(f, "  ext_stalls;")?,
+                Annotation::NoMonitors => writeln!(f, "  no_monitors;")?,
+                Annotation::NoTransitiveDhaz => writeln!(f, "  no_transitive_dhaz;")?,
+                Annotation::Speculate(s) => {
+                    writeln!(
+                        f,
+                        "  speculate {} at {} port {} {{",
+                        s.name, s.stage, s.port
+                    )?;
+                    writeln!(f, "    guess = {};", s.guess)?;
+                    match &s.actual_input {
+                        Some(input) => writeln!(
+                            f,
+                            "    resolve at {} from input {};",
+                            s.resolve_stage, input
+                        )?,
+                        None => writeln!(f, "    resolve at {} by reread;", s.resolve_stage)?,
+                    }
+                    for fx in &s.fixups {
+                        let v = match &fx.value {
+                            FixupValueAst::Const(c) => format!("const {c}"),
+                            FixupValueAst::Input(n) => format!("input {n}"),
+                            FixupValueAst::Instance(n) => format!("instance {n}"),
+                            FixupValueAst::Actual => "actual".into(),
+                        };
+                        writeln!(f, "    fixup {} = {v};", fx.register)?;
+                    }
+                    writeln!(f, "  }}")?;
+                }
+            }
+        }
+        writeln!(f, "}}")
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.print(f, 0)
+    }
+}
+
+impl Expr {
+    /// Precedence-aware printing: parenthesise exactly when the child
+    /// binds looser than the context requires.
+    fn print(&self, f: &mut fmt::Formatter<'_>, min_prec: u8) -> fmt::Result {
+        match self {
+            Expr::Ident { name, .. } => write!(f, "{name}"),
+            Expr::Instance { name, k, .. } => write!(f, "{name}.{k}"),
+            Expr::Const { value, width, .. } => write!(f, "{width}'h{value:x}"),
+            Expr::Unary { op, a, .. } => {
+                write!(f, "{}", if *op == UnOp::Not { "~" } else { "-" })?;
+                a.print(f, 9)
+            }
+            Expr::Binary { op, a, b, .. } => {
+                let p = op.precedence();
+                let parens = p < min_prec;
+                if parens {
+                    write!(f, "(")?;
+                }
+                a.print(f, p)?;
+                write!(f, " {} ", op.symbol())?;
+                // Left-associative: the right child needs one more level.
+                b.print(f, p + 1)?;
+                if parens {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Expr::Mux { sel, a, b, .. } => {
+                let parens = min_prec > 0;
+                if parens {
+                    write!(f, "(")?;
+                }
+                sel.print(f, 1)?;
+                write!(f, " ? ")?;
+                a.print(f, 1)?;
+                write!(f, " : ")?;
+                b.print(f, 0)?;
+                if parens {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Expr::Slice { a, hi, lo, .. } => {
+                a.print(f, 8)?;
+                write!(f, "[{hi}:{lo}]")
+            }
+            Expr::Bit { a, idx, .. } => {
+                a.print(f, 8)?;
+                write!(f, "[{idx}]")
+            }
+            Expr::Call {
+                func, args, width, ..
+            } => {
+                write!(f, "{func}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    a.print(f, 0)?;
+                }
+                if let Some(w) = width {
+                    if !args.is_empty() {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{w}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}

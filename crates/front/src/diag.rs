@@ -1,0 +1,183 @@
+//! Source-located diagnostics, dependency-free.
+//!
+//! A [`Diagnostic`] carries a byte-span into the original source; the
+//! renderer resolves it to line/column and prints the offending line
+//! with a caret underline, in the style popularised by rustc/miette:
+//!
+//! ```text
+//! error: unknown stage index 7
+//!   --> dlx.psm:14:9
+//!    |
+//! 14 |   stage 7 XX {
+//!    |         ^ machine has 5 stages
+//! ```
+
+use std::fmt;
+use std::ops::Range;
+
+/// A byte range into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl From<Range<usize>> for Span {
+    fn from(r: Range<usize>) -> Span {
+        Span {
+            start: r.start,
+            end: r.end,
+        }
+    }
+}
+
+/// One error with an optional span label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Main message (shown after `error:`).
+    pub message: String,
+    /// Location in the source, if known.
+    pub span: Option<Span>,
+    /// Short label printed under the caret.
+    pub label: String,
+}
+
+impl Diagnostic {
+    pub fn new(message: impl Into<String>, span: Span, label: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            message: message.into(),
+            span: Some(span),
+            label: label.into(),
+        }
+    }
+
+    /// A machine-level error with no source location (e.g. a plan error
+    /// produced after lowering).
+    pub fn whole_file(message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            message: message.into(),
+            span: None,
+            label: String::new(),
+        }
+    }
+}
+
+/// All errors from one parse/lower run, with enough context to render.
+#[derive(Debug, Clone)]
+pub struct Diagnostics {
+    /// File name used in renderings.
+    pub file: String,
+    /// Full source text.
+    pub source: String,
+    /// Errors, in source order.
+    pub errors: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.errors {
+            render_one(&mut out, &self.file, &self.source, d);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl std::error::Error for Diagnostics {}
+
+fn render_one(out: &mut String, file: &str, source: &str, d: &Diagnostic) {
+    use fmt::Write;
+    let _ = writeln!(out, "error: {}", d.message);
+    let Some(span) = d.span else {
+        let _ = writeln!(out, "  --> {file}");
+        return;
+    };
+    let (line_no, col, line) = locate(source, span.start);
+    let _ = writeln!(out, "  --> {file}:{line_no}:{col}");
+    let gutter = line_no.to_string().len();
+    let _ = writeln!(out, "{:gutter$} |", "");
+    let _ = writeln!(out, "{line_no} | {line}");
+    // Caret width: clamp to the part of the span on this line.
+    let span_len = span.end.saturating_sub(span.start).max(1);
+    let width = span_len.min(line.len().saturating_sub(col - 1).max(1));
+    let _ = writeln!(
+        out,
+        "{:gutter$} | {:pad$}{carets} {label}",
+        "",
+        "",
+        pad = col - 1,
+        carets = "^".repeat(width),
+        label = d.label
+    );
+}
+
+/// Resolves a byte offset to (1-based line, 1-based column, line text).
+fn locate(source: &str, offset: usize) -> (usize, usize, &str) {
+    let offset = offset.min(source.len());
+    let before = &source[..offset];
+    let line_no = before.bytes().filter(|&b| b == b'\n').count() + 1;
+    let line_start = before.rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let line_end = source[offset..]
+        .find('\n')
+        .map(|i| offset + i)
+        .unwrap_or(source.len());
+    (
+        line_no,
+        offset - line_start + 1,
+        &source[line_start..line_end],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_caret_at_location() {
+        let src = "machine m(1) {\n  reg X : 99;\n}\n";
+        let at = src.find("99").unwrap();
+        let diags = Diagnostics {
+            file: "m.psm".into(),
+            source: src.into(),
+            errors: vec![Diagnostic::new(
+                "width out of range",
+                Span::new(at, at + 2),
+                "must be 1..=64",
+            )],
+        };
+        let text = diags.render();
+        assert!(text.contains("error: width out of range"));
+        assert!(text.contains("m.psm:2:11"));
+        assert!(text.contains("^^ must be 1..=64"));
+    }
+
+    #[test]
+    fn whole_file_diagnostic_renders_without_span() {
+        let diags = Diagnostics {
+            file: "m.psm".into(),
+            source: String::new(),
+            errors: vec![Diagnostic::whole_file("plan failed")],
+        };
+        assert!(diags.render().contains("error: plan failed"));
+    }
+}

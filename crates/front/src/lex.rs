@@ -1,0 +1,370 @@
+//! Hand-written lexer for the `.psm` language.
+//!
+//! Produces a flat token stream with byte spans. Keywords are lexed as
+//! identifiers and classified by the parser, so register names like
+//! `reg` are rejected with a proper diagnostic rather than a lex error.
+
+use crate::diag::{Diagnostic, Span};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Bare unsized integer (decimal or 0x/0b/0o prefixed).
+    Int(u64),
+    /// Verilog-style sized literal `<width>'<b|o|d|h><digits>`.
+    Sized {
+        width: u32,
+        value: u64,
+    },
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Dot,
+    Assign,   // =
+    Question, // ?
+    Plus,
+    Minus,
+    Star,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    EqEq,
+    NotEq,
+    Shl,  // <<
+    Lshr, // >>
+    Ashr, // >>>
+    Eof,
+}
+
+impl Tok {
+    /// Human-readable description for "expected X, found Y" messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Int(v) => format!("integer `{v}`"),
+            Tok::Sized { width, value } => format!("sized literal `{width}'d{value}`"),
+            Tok::LBrace => "`{`".into(),
+            Tok::RBrace => "`}`".into(),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::LBracket => "`[`".into(),
+            Tok::RBracket => "`]`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Semi => "`;`".into(),
+            Tok::Colon => "`:`".into(),
+            Tok::Dot => "`.`".into(),
+            Tok::Assign => "`=`".into(),
+            Tok::Question => "`?`".into(),
+            Tok::Plus => "`+`".into(),
+            Tok::Minus => "`-`".into(),
+            Tok::Star => "`*`".into(),
+            Tok::Amp => "`&`".into(),
+            Tok::Pipe => "`|`".into(),
+            Tok::Caret => "`^`".into(),
+            Tok::Tilde => "`~`".into(),
+            Tok::EqEq => "`==`".into(),
+            Tok::NotEq => "`!=`".into(),
+            Tok::Shl => "`<<`".into(),
+            Tok::Lshr => "`>>`".into(),
+            Tok::Ashr => "`>>>`".into(),
+            Tok::Eof => "end of file".into(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub span: Span,
+}
+
+/// Tokenizes the whole input. Returns the first lexical error, if any.
+pub fn lex(src: &str) -> Result<Vec<Token>, Diagnostic> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments.
+        if c == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        // Identifiers.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            toks.push(Token {
+                tok: Tok::Ident(src[start..i].to_string()),
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        // Numbers: bare ints and sized literals.
+        if c.is_ascii_digit() {
+            let (value, end) = lex_int(src, i)?;
+            i = end;
+            if bytes.get(i) == Some(&b'\'') {
+                i += 1;
+                let width = u32::try_from(value).map_err(|_| {
+                    Diagnostic::new(
+                        "literal width does not fit in 32 bits",
+                        Span::new(start, i),
+                        "width too large",
+                    )
+                })?;
+                let base = match bytes.get(i) {
+                    Some(b'b') => 2,
+                    Some(b'o') => 8,
+                    Some(b'd') => 10,
+                    Some(b'h') => 16,
+                    _ => {
+                        return Err(Diagnostic::new(
+                            "sized literal needs a base: b, o, d or h",
+                            Span::new(start, i + 1),
+                            "expected `<width>'<base><digits>`",
+                        ))
+                    }
+                };
+                i += 1;
+                let digit_start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let digits = src[digit_start..i].replace('_', "");
+                let value = u64::from_str_radix(&digits, base).map_err(|_| {
+                    Diagnostic::new(
+                        format!("invalid base-{base} digits `{digits}`"),
+                        Span::new(digit_start, i),
+                        "bad digits",
+                    )
+                })?;
+                if !(1..=64).contains(&width) {
+                    return Err(Diagnostic::new(
+                        format!("literal width {width} out of range 1..=64"),
+                        Span::new(start, i),
+                        "width must be 1..=64",
+                    ));
+                }
+                if width < 64 && value >= 1u64 << width {
+                    return Err(Diagnostic::new(
+                        format!("value {value:#x} does not fit in {width} bits"),
+                        Span::new(start, i),
+                        "literal overflows its width",
+                    ));
+                }
+                toks.push(Token {
+                    tok: Tok::Sized { width, value },
+                    span: Span::new(start, i),
+                });
+            } else {
+                toks.push(Token {
+                    tok: Tok::Int(value),
+                    span: Span::new(start, i),
+                });
+            }
+            continue;
+        }
+        // Operators and punctuation.
+        let (tok, len) = match c {
+            b'{' => (Tok::LBrace, 1),
+            b'}' => (Tok::RBrace, 1),
+            b'(' => (Tok::LParen, 1),
+            b')' => (Tok::RParen, 1),
+            b'[' => (Tok::LBracket, 1),
+            b']' => (Tok::RBracket, 1),
+            b',' => (Tok::Comma, 1),
+            b';' => (Tok::Semi, 1),
+            b':' => (Tok::Colon, 1),
+            b'.' => (Tok::Dot, 1),
+            b'?' => (Tok::Question, 1),
+            b'+' => (Tok::Plus, 1),
+            b'-' => (Tok::Minus, 1),
+            b'*' => (Tok::Star, 1),
+            b'&' => (Tok::Amp, 1),
+            b'|' => (Tok::Pipe, 1),
+            b'^' => (Tok::Caret, 1),
+            b'~' => (Tok::Tilde, 1),
+            b'=' if bytes.get(i + 1) == Some(&b'=') => (Tok::EqEq, 2),
+            b'=' => (Tok::Assign, 1),
+            b'!' if bytes.get(i + 1) == Some(&b'=') => (Tok::NotEq, 2),
+            b'<' if bytes.get(i + 1) == Some(&b'<') => (Tok::Shl, 2),
+            b'>' if bytes.get(i + 1) == Some(&b'>') && bytes.get(i + 2) == Some(&b'>') => {
+                (Tok::Ashr, 3)
+            }
+            b'>' if bytes.get(i + 1) == Some(&b'>') => (Tok::Lshr, 2),
+            _ => {
+                return Err(Diagnostic::new(
+                    format!(
+                        "unexpected character `{}`",
+                        src[i..].chars().next().unwrap()
+                    ),
+                    Span::new(i, i + 1),
+                    "not part of the language",
+                ))
+            }
+        };
+        i += len;
+        toks.push(Token {
+            tok,
+            span: Span::new(start, i),
+        });
+    }
+    toks.push(Token {
+        tok: Tok::Eof,
+        span: Span::new(src.len(), src.len()),
+    });
+    Ok(toks)
+}
+
+/// Lexes a bare integer (decimal, 0x, 0b, 0o) starting at `start`.
+fn lex_int(src: &str, start: usize) -> Result<(u64, usize), Diagnostic> {
+    let bytes = src.as_bytes();
+    let (base, mut i) = if bytes[start] == b'0' {
+        match bytes.get(start + 1) {
+            Some(b'x') | Some(b'X') => (16, start + 2),
+            Some(b'b') | Some(b'B') => (2, start + 2),
+            Some(b'o') | Some(b'O') => (8, start + 2),
+            _ => (10, start),
+        }
+    } else {
+        (10, start)
+    };
+    let digit_start = i;
+    while i < bytes.len() && (bytes[i].is_ascii_hexdigit() || bytes[i] == b'_') {
+        // Stop decimal/binary/octal scans at the first digit of a wider
+        // base so `10'h3f` lexes as 10, quote, h, 3f.
+        let d = bytes[i];
+        let val = (d as char).to_digit(16).unwrap_or(99);
+        if d != b'_' && val >= base {
+            break;
+        }
+        i += 1;
+    }
+    let digits = src[digit_start..i].replace('_', "");
+    if digits.is_empty() {
+        return Err(Diagnostic::new(
+            "integer literal has no digits",
+            Span::new(start, i),
+            "expected digits",
+        ));
+    }
+    let value = u64::from_str_radix(&digits, base).map_err(|_| {
+        Diagnostic::new(
+            format!("integer literal `{digits}` overflows 64 bits"),
+            Span::new(start, i),
+            "too large",
+        )
+    })?;
+    Ok((value, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_declarations() {
+        let toks = kinds("reg PC : 32 writes(1) init 1 visible;");
+        assert_eq!(toks[0], Tok::Ident("reg".into()));
+        assert_eq!(toks[1], Tok::Ident("PC".into()));
+        assert_eq!(toks[2], Tok::Colon);
+        assert_eq!(toks[3], Tok::Int(32));
+        assert!(toks.contains(&Tok::Semi));
+    }
+
+    #[test]
+    fn lexes_sized_literals() {
+        assert_eq!(
+            kinds("6'h20")[0],
+            Tok::Sized {
+                width: 6,
+                value: 0x20
+            }
+        );
+        assert_eq!(kinds("1'b0")[0], Tok::Sized { width: 1, value: 0 });
+        assert_eq!(
+            kinds("32'd10")[0],
+            Tok::Sized {
+                width: 32,
+                value: 10
+            }
+        );
+        assert_eq!(
+            kinds("16'hff_ff")[0],
+            Tok::Sized {
+                width: 16,
+                value: 0xffff
+            }
+        );
+    }
+
+    #[test]
+    fn sized_literal_overflow_rejected() {
+        assert!(lex("4'h1f").is_err());
+        assert!(lex("65'h0").is_err());
+    }
+
+    #[test]
+    fn lexes_operators_longest_first() {
+        assert_eq!(
+            kinds("a >>> b >> c << d == e != f"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ashr,
+                Tok::Ident("b".into()),
+                Tok::Lshr,
+                Tok::Ident("c".into()),
+                Tok::Shl,
+                Tok::Ident("d".into()),
+                Tok::EqEq,
+                Tok::Ident("e".into()),
+                Tok::NotEq,
+                Tok::Ident("f".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_hex_ints() {
+        let toks = kinds("0x2a // trailing\n7");
+        assert_eq!(toks[0], Tok::Int(0x2a));
+        assert_eq!(toks[1], Tok::Int(7));
+    }
+
+    #[test]
+    fn instance_refs_lex_as_ident_dot_int() {
+        assert_eq!(
+            kinds("C.3"),
+            vec![Tok::Ident("C".into()), Tok::Dot, Tok::Int(3), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn bad_character_is_located() {
+        let err = lex("reg @").unwrap_err();
+        assert_eq!(err.span.unwrap().start, 4);
+    }
+}

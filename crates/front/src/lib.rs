@@ -1,0 +1,80 @@
+//! `autopipe-front`: the textual front end and Verilog back end.
+//!
+//! This crate closes the loop around the synthesis core:
+//!
+//! * **`.psm` language** — a small textual form of the paper's prepared
+//!   sequential machine (stages, registers, register files, per-stage
+//!   combinational logic, forwarding/speculation annotations). The
+//!   [`lex`]/[`parse`]/[`lower`] pipeline turns it into an
+//!   [`autopipe_psm::MachineSpec`] plus [`autopipe_synth::SynthOptions`]
+//!   with source-located [`diag::Diagnostics`].
+//! * **Verilog emitter** — [`emit_verilog`] walks a synthesized
+//!   [`autopipe_synth::PipelinedMachine`]'s netlist and prints
+//!   structural Verilog-2001.
+//! * The `autopipe` CLI binary (in the workspace root) wires both into
+//!   `parse`/`synth`/`verify`/`emit`/`report` subcommands.
+
+pub mod ast;
+pub mod diag;
+pub mod lex;
+pub mod lower;
+pub mod parse;
+pub mod reader;
+pub mod verilog;
+
+pub use diag::{Diagnostic, Diagnostics, Span};
+pub use verilog::emit_verilog;
+
+use autopipe_psm::MachineSpec;
+use autopipe_synth::SynthOptions;
+
+/// A fully front-ended design: the surface syntax plus its lowering.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The parsed surface AST (pretty-printable).
+    pub design: ast::Design,
+    /// The lowered machine specification, ready for `plan()`.
+    pub spec: MachineSpec,
+    /// Transformation options from the design's annotations.
+    pub options: SynthOptions,
+}
+
+/// Parses and lowers `.psm` source text.
+///
+/// `file` is only used in rendered diagnostics.
+///
+/// # Errors
+///
+/// Returns every diagnostic collected while parsing or lowering.
+pub fn compile(src: &str, file: &str) -> Result<Compiled, Diagnostics> {
+    let fail = |errors| Diagnostics {
+        file: file.to_string(),
+        source: src.to_string(),
+        errors,
+    };
+    let design = parse::parse_design(src).map_err(|e| fail(vec![e]))?;
+    let (spec, options) = lower::lower(&design).map_err(fail)?;
+    Ok(Compiled {
+        design,
+        spec,
+        options,
+    })
+}
+
+/// [`compile`] followed by reading the file, with I/O errors folded into
+/// the diagnostics.
+///
+/// # Errors
+///
+/// Returns diagnostics for unreadable files as well as language errors.
+pub fn compile_file(path: &std::path::Path) -> Result<Compiled, Diagnostics> {
+    let src = std::fs::read_to_string(path).map_err(|e| Diagnostics {
+        file: path.display().to_string(),
+        source: String::new(),
+        errors: vec![Diagnostic::whole_file(format!(
+            "cannot read `{}`: {e}",
+            path.display()
+        ))],
+    })?;
+    compile(&src, &path.display().to_string())
+}

@@ -1,0 +1,1166 @@
+//! Lowering: surface AST → [`MachineSpec`] + [`SynthOptions`].
+//!
+//! All semantic checking lives here, so every rejection carries a source
+//! span: unknown stages, duplicate declarations, width mismatches,
+//! builtin arity errors, cyclic `let` chains, dangling forwarding or
+//! speculation annotations. The `hdl` builder's own panics are
+//! unreachable from well-checked input.
+
+use std::collections::{HashMap, HashSet};
+
+use autopipe_hdl::{mask, NetId, Netlist, Node};
+use autopipe_psm::{FileDecl, Fragment, MachineSpec, ReadPort, RegisterDecl};
+use autopipe_synth::{
+    ActualSource, Fixup, FixupValue, ForwardingSpec, MuxTopology, SpeculationSpec, SynthOptions,
+};
+
+use crate::ast::*;
+use crate::diag::{Diagnostic, Span};
+
+/// What a top-level name refers to (registers, files and inputs share
+/// one namespace).
+#[derive(Clone, Copy)]
+enum Sym {
+    Reg(usize),
+    File(usize),
+    Input(usize),
+}
+
+/// Lowers a parsed design. On success the spec is ready for
+/// `MachineSpec::plan`; on failure every collected error is returned.
+pub fn lower(design: &Design) -> Result<(MachineSpec, SynthOptions), Vec<Diagnostic>> {
+    let mut errors = Vec::new();
+
+    if design.n_stages == 0 {
+        return Err(vec![Diagnostic::new(
+            "a machine needs at least one stage",
+            design.name_span,
+            "declared with 0 stages",
+        )]);
+    }
+
+    // ---- declarations -------------------------------------------------
+    let mut syms: HashMap<&str, Sym> = HashMap::new();
+    for (i, input) in design.inputs.iter().enumerate() {
+        if syms.insert(&input.name, Sym::Input(i)).is_some() {
+            errors.push(dup(&input.name, input.span));
+        }
+        if !(1..=64).contains(&input.width) {
+            errors.push(width_range(&input.name, input.width, input.span));
+        }
+    }
+    for (i, r) in design.regs.iter().enumerate() {
+        if syms.insert(&r.name, Sym::Reg(i)).is_some() {
+            errors.push(dup(&r.name, r.span));
+        }
+        if !(1..=64).contains(&r.width) {
+            errors.push(width_range(&r.name, r.width, r.span));
+        } else if r.init > mask(r.width) {
+            errors.push(Diagnostic::new(
+                format!(
+                    "initial value {} does not fit in the {} bits of `{}`",
+                    r.init, r.width, r.name
+                ),
+                r.span,
+                "init overflows the register",
+            ));
+        }
+        for &w in &r.writers {
+            if w >= design.n_stages {
+                errors.push(stage_oob(w, design.n_stages, r.span));
+            }
+        }
+    }
+    for (i, f) in design.files.iter().enumerate() {
+        if syms.insert(&f.name, Sym::File(i)).is_some() {
+            errors.push(dup(&f.name, f.span));
+        }
+        if !(1..=20).contains(&f.addr_width) {
+            errors.push(Diagnostic::new(
+                format!(
+                    "address width {} of file `{}` out of range 1..=20",
+                    f.addr_width, f.name
+                ),
+                f.span,
+                "address width out of range",
+            ));
+        }
+        if !(1..=64).contains(&f.data_width) {
+            errors.push(width_range(&f.name, f.data_width, f.span));
+        } else {
+            if f.addr_width <= 20 && f.init.len() > 1usize << f.addr_width.min(20) {
+                errors.push(Diagnostic::new(
+                    format!(
+                        "file `{}` has {} initial words but only {} entries",
+                        f.name,
+                        f.init.len(),
+                        1usize << f.addr_width.min(20)
+                    ),
+                    f.span,
+                    "too many initial values",
+                ));
+            }
+            if let Some(v) = f.init.iter().find(|v| **v > mask(f.data_width)) {
+                errors.push(Diagnostic::new(
+                    format!(
+                        "initial word {:#x} does not fit in the {} bits of `{}`",
+                        v, f.data_width, f.name
+                    ),
+                    f.span,
+                    "init value overflows the entry width",
+                ));
+            }
+        }
+        if !f.read_only {
+            if f.write_stage >= design.n_stages {
+                errors.push(stage_oob(f.write_stage, design.n_stages, f.span));
+            }
+            if let Some(c) = f.ctrl_stage {
+                if c >= design.n_stages {
+                    errors.push(stage_oob(c, design.n_stages, f.span));
+                } else if c > f.write_stage {
+                    errors.push(Diagnostic::new(
+                        format!(
+                            "control stage {} of file `{}` comes after write stage {}",
+                            c, f.name, f.write_stage
+                        ),
+                        f.span,
+                        "we/wa must be computed at or before the write stage",
+                    ));
+                }
+            }
+        }
+    }
+    if !errors.is_empty() {
+        return Err(errors);
+    }
+
+    let mut spec = MachineSpec::new(&design.name, design.n_stages);
+    for i in &design.inputs {
+        spec.external_input(&i.name, i.width);
+    }
+    for r in &design.regs {
+        let mut d = RegisterDecl::new(&r.name, r.width).init(r.init);
+        for &w in &r.writers {
+            d = d.written_by(w);
+        }
+        if r.visible {
+            d = d.visible();
+        }
+        spec.register(d);
+    }
+    for f in &design.files {
+        let mut d = if f.read_only {
+            FileDecl::read_only(&f.name, f.addr_width, f.data_width)
+        } else {
+            FileDecl::new(&f.name, f.addr_width, f.data_width, f.write_stage)
+                .ctrl(f.ctrl_stage.unwrap_or(f.write_stage))
+        };
+        d = d.init(f.init.clone());
+        if f.visible {
+            d = d.visible();
+        }
+        spec.file(d);
+    }
+
+    // ---- stages -------------------------------------------------------
+    let mut seen_stage = vec![false; design.n_stages];
+    for s in &design.stages {
+        if s.index >= design.n_stages {
+            errors.push(Diagnostic::new(
+                format!(
+                    "unknown stage index {}: machine `{}` has {} stages",
+                    s.index, design.name, design.n_stages
+                ),
+                s.index_span,
+                format!("expected an index in 0..={}", design.n_stages - 1),
+            ));
+            continue;
+        }
+        if seen_stage[s.index] {
+            errors.push(Diagnostic::new(
+                format!("stage {} is defined twice", s.index),
+                s.index_span,
+                "second definition here",
+            ));
+            continue;
+        }
+        seen_stage[s.index] = true;
+        match lower_stage(design, &syms, s) {
+            Ok((frag, ports)) => {
+                spec.stage(s.index, &s.name, frag, ports);
+            }
+            Err(e) => errors.push(e),
+        }
+    }
+    for (k, seen) in seen_stage.iter().enumerate() {
+        if !seen {
+            errors.push(Diagnostic::new(
+                format!("stage {k} has no definition"),
+                design.name_span,
+                format!("add `stage {k} <name> {{ ... }}`"),
+            ));
+        }
+    }
+    if !errors.is_empty() {
+        return Err(errors);
+    }
+
+    // ---- annotations --------------------------------------------------
+    let mut opts = SynthOptions::new();
+    let mut forwarded: HashSet<&str> = HashSet::new();
+    for a in &design.annotations {
+        match a {
+            Annotation::Forward {
+                target,
+                target_span,
+                via,
+            } => {
+                check_forward_target(&syms, target, *target_span, &mut forwarded, &mut errors);
+                match via {
+                    Some((src, src_span)) => match syms.get(src.as_str()) {
+                        Some(Sym::Reg(_)) => {
+                            opts = opts.with_forwarding(ForwardingSpec::forward(
+                                target.clone(),
+                                src.clone(),
+                            ))
+                        }
+                        _ => errors.push(Diagnostic::new(
+                            format!("forwarding register `{src}` is not declared in any stage"),
+                            *src_span,
+                            "no register of this name exists",
+                        )),
+                    },
+                    None => {
+                        opts = opts.with_forwarding(ForwardingSpec::forward_from_write_stage(
+                            target.clone(),
+                        ))
+                    }
+                }
+            }
+            Annotation::Interlock {
+                target,
+                target_span,
+            } => {
+                check_forward_target(&syms, target, *target_span, &mut forwarded, &mut errors);
+                opts = opts.with_forwarding(ForwardingSpec::interlock(target.clone()));
+            }
+            Annotation::Unprotected {
+                target,
+                target_span,
+            } => {
+                check_forward_target(&syms, target, *target_span, &mut forwarded, &mut errors);
+                opts = opts.with_forwarding(ForwardingSpec::unprotected(target.clone()));
+            }
+            Annotation::Topology { tree } => {
+                opts = opts.with_topology(if *tree {
+                    MuxTopology::Tree
+                } else {
+                    MuxTopology::Chain
+                });
+            }
+            Annotation::ExtStalls => opts = opts.with_ext_stalls(),
+            Annotation::NoMonitors => opts = opts.without_monitors(),
+            Annotation::NoTransitiveDhaz => opts = opts.without_transitive_dhaz(),
+            Annotation::Speculate(s) => match lower_speculation(design, &syms, &spec, s) {
+                Ok(sp) => opts = opts.with_speculation(sp),
+                Err(e) => errors.push(e),
+            },
+        }
+    }
+    if errors.is_empty() {
+        Ok((spec, opts))
+    } else {
+        Err(errors)
+    }
+}
+
+fn dup(name: &str, span: Span) -> Diagnostic {
+    Diagnostic::new(
+        format!("duplicate declaration of `{name}`"),
+        span,
+        "registers, files and inputs share one namespace",
+    )
+}
+
+fn width_range(name: &str, width: u32, span: Span) -> Diagnostic {
+    Diagnostic::new(
+        format!("width {width} of `{name}` out of range 1..=64"),
+        span,
+        "widths must be 1..=64",
+    )
+}
+
+fn stage_oob(stage: usize, n: usize, span: Span) -> Diagnostic {
+    Diagnostic::new(
+        format!("stage index {stage} out of range: the machine has {n} stages"),
+        span,
+        format!("expected 0..={}", n - 1),
+    )
+}
+
+fn check_forward_target<'a>(
+    syms: &HashMap<&str, Sym>,
+    target: &'a str,
+    span: Span,
+    forwarded: &mut HashSet<&'a str>,
+    errors: &mut Vec<Diagnostic>,
+) {
+    match syms.get(target) {
+        Some(Sym::Reg(_)) | Some(Sym::File(_)) => {}
+        _ => errors.push(Diagnostic::new(
+            format!("cannot protect `{target}`: no such register or file"),
+            span,
+            "forwarding targets must be declared registers or files",
+        )),
+    }
+    if !forwarded.insert(target) {
+        errors.push(Diagnostic::new(
+            format!("`{target}` has more than one protection annotation"),
+            span,
+            "second annotation here",
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stage lowering
+// ---------------------------------------------------------------------
+
+fn lower_stage(
+    design: &Design,
+    syms: &HashMap<&str, Sym>,
+    stage: &StageDecl,
+) -> Result<(Fragment, Vec<ReadPort>), Diagnostic> {
+    // Pass 1: collect read-port aliases and let-bindings.
+    let mut aliases: HashMap<&str, u32> = HashMap::new();
+    let mut lets: HashMap<&str, &Expr> = HashMap::new();
+    for st in &stage.stmts {
+        match st {
+            Stmt::Read {
+                alias,
+                file,
+                file_span,
+                ..
+            } => {
+                let Some(Sym::File(fi)) = syms.get(file.as_str()) else {
+                    return Err(Diagnostic::new(
+                        format!("unknown register file `{file}`"),
+                        *file_span,
+                        "read ports require a declared file",
+                    ));
+                };
+                if aliases
+                    .insert(alias, design.files[*fi].data_width)
+                    .is_some()
+                    || syms.contains_key(alias.as_str())
+                {
+                    return Err(Diagnostic::new(
+                        format!("read alias `{alias}` collides with another name"),
+                        *file_span,
+                        "aliases must be fresh names",
+                    ));
+                }
+            }
+            Stmt::Let { name, span, .. } => {
+                if lets.insert(name, let_expr(st)).is_some() || syms.contains_key(name.as_str()) {
+                    return Err(Diagnostic::new(
+                        format!("`{name}` is already defined"),
+                        *span,
+                        "let-bindings must be fresh names",
+                    ));
+                }
+            }
+            Stmt::Assign { .. } => {}
+        }
+    }
+    for alias in aliases.keys() {
+        if lets.contains_key(*alias) {
+            // A let and an alias of the same name: report on the let.
+            for st in &stage.stmts {
+                if let Stmt::Let { name, span, .. } = st {
+                    if name == alias {
+                        return Err(Diagnostic::new(
+                            format!("`{name}` is already defined as a read alias"),
+                            *span,
+                            "pick a different binding name",
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 2: lower read-port address functions (restricted context) and
+    // the stage body.
+    let mut ports = Vec::new();
+    let mut lw = FragLowerer {
+        design,
+        syms,
+        stage_k: stage.index,
+        nl: Netlist::new(&stage.name),
+        ports: HashMap::new(),
+        lets,
+        let_values: HashMap::new(),
+        aliases,
+        stack: Vec::new(),
+        restricted: None,
+    };
+    for st in &stage.stmts {
+        if let Stmt::Read {
+            alias, file, addr, ..
+        } = st
+        {
+            let Some(Sym::File(fi)) = syms.get(file.as_str()) else {
+                unreachable!("checked in pass 1");
+            };
+            let file_decl = &design.files[*fi];
+            let mut addr_lw = FragLowerer {
+                design,
+                syms,
+                stage_k: stage.index,
+                nl: Netlist::new(format!("{}.{alias}.addr", stage.name)),
+                ports: HashMap::new(),
+                lets: HashMap::new(),
+                let_values: HashMap::new(),
+                aliases: lw.aliases.clone(),
+                stack: Vec::new(),
+                restricted: Some("a read address"),
+            };
+            let net = addr_lw.expr(addr)?;
+            let w = addr_lw.nl.width(net);
+            if w != file_decl.addr_width {
+                return Err(Diagnostic::new(
+                    format!(
+                        "read address is {w} bits but file `{file}` has {} address bits",
+                        file_decl.addr_width
+                    ),
+                    addr.span(),
+                    "address width must match the file",
+                ));
+            }
+            let net = addr_lw.copy_if_bare_port("addr", net);
+            addr_lw.nl.label("addr", net);
+            ports.push(ReadPort::new(
+                file.clone(),
+                alias.clone(),
+                Fragment::new(addr_lw.nl).map_err(|e| {
+                    Diagnostic::new(format!("invalid read address: {e:?}"), addr.span(), "")
+                })?,
+            ));
+        }
+    }
+
+    // Outputs are labelled only after all statements are lowered, so
+    // lazily created input ports never collide with output labels.
+    let mut outputs: Vec<(String, NetId)> = Vec::new();
+    let mut assigned: HashSet<(String, Option<CtrlSuffix>)> = HashSet::new();
+    for st in &stage.stmts {
+        let Stmt::Assign {
+            target,
+            suffix,
+            span,
+            expr,
+        } = st
+        else {
+            continue;
+        };
+        if !assigned.insert((target.clone(), *suffix)) {
+            return Err(Diagnostic::new(
+                format!("duplicate assignment to `{target}`"),
+                *span,
+                "each target can be assigned once per stage",
+            ));
+        }
+        let net = lw.expr(expr)?;
+        let w = lw.nl.width(net);
+        let label = match (syms.get(target.as_str()), suffix) {
+            (Some(Sym::Reg(ri)), None) => {
+                let r = &design.regs[*ri];
+                check_writer(r, stage.index, target, *span)?;
+                expect_width(w, r.width, "register", target, expr.span())?;
+                target.clone()
+            }
+            (Some(Sym::Reg(ri)), Some(CtrlSuffix::We)) => {
+                let r = &design.regs[*ri];
+                check_writer(r, stage.index, target, *span)?;
+                expect_width(w, 1, "write enable of", target, expr.span())?;
+                format!("{target}.we")
+            }
+            (Some(Sym::Reg(_)), Some(CtrlSuffix::Wa)) => {
+                return Err(Diagnostic::new(
+                    format!("register `{target}` has no write address"),
+                    *span,
+                    "`.wa` applies to register files",
+                ));
+            }
+            (Some(Sym::File(fi)), sfx) => {
+                let f = &design.files[*fi];
+                if f.read_only {
+                    return Err(Diagnostic::new(
+                        format!("file `{target}` is read-only"),
+                        *span,
+                        "read-only files cannot be written",
+                    ));
+                }
+                let ctrl = f.ctrl_stage.unwrap_or(f.write_stage);
+                match sfx {
+                    None => {
+                        if stage.index != f.write_stage {
+                            return Err(Diagnostic::new(
+                                format!(
+                                    "write data of `{target}` belongs to stage {}, not stage {}",
+                                    f.write_stage, stage.index
+                                ),
+                                *span,
+                                "declared write stage differs",
+                            ));
+                        }
+                        expect_width(w, f.data_width, "file", target, expr.span())?;
+                        target.clone()
+                    }
+                    Some(CtrlSuffix::We) => {
+                        check_ctrl(ctrl, stage.index, target, *span)?;
+                        expect_width(w, 1, "write enable of", target, expr.span())?;
+                        format!("{target}.we")
+                    }
+                    Some(CtrlSuffix::Wa) => {
+                        check_ctrl(ctrl, stage.index, target, *span)?;
+                        expect_width(w, f.addr_width, "write address of", target, expr.span())?;
+                        format!("{target}.wa")
+                    }
+                }
+            }
+            (Some(Sym::Input(_)), _) => {
+                return Err(Diagnostic::new(
+                    format!("cannot assign to input `{target}`"),
+                    *span,
+                    "inputs are driven from outside the machine",
+                ));
+            }
+            (None, _) => {
+                return Err(Diagnostic::new(
+                    format!("unknown assignment target `{target}`"),
+                    *span,
+                    "targets must be declared registers or files",
+                ));
+            }
+        };
+        outputs.push((label, net));
+    }
+
+    // Force-lower any unused let so its errors are not silently dropped.
+    for st in &stage.stmts {
+        if let Stmt::Let { name, .. } = st {
+            if !lw.let_values.contains_key(name.as_str()) {
+                lw.lower_let(name, st)?;
+            }
+        }
+    }
+
+    for (label, net) in outputs {
+        let net = lw.copy_if_bare_port(&label, net);
+        lw.nl.label(label, net);
+    }
+    Fragment::new(lw.nl)
+        .map_err(|e| {
+            Diagnostic::new(
+                format!(
+                    "stage {} is not a combinational function: {e:?}",
+                    stage.index
+                ),
+                stage.index_span,
+                "",
+            )
+        })
+        .map(|frag| (frag, ports))
+}
+
+fn let_expr(st: &Stmt) -> &Expr {
+    match st {
+        Stmt::Let { expr, .. } => expr,
+        _ => unreachable!(),
+    }
+}
+
+fn check_writer(r: &RegDecl, k: usize, target: &str, span: Span) -> Result<(), Diagnostic> {
+    if r.writers.contains(&k) {
+        Ok(())
+    } else {
+        Err(Diagnostic::new(
+            format!("stage {k} does not write register `{target}`"),
+            span,
+            format!("declared writers: {:?}", r.writers),
+        ))
+    }
+}
+
+fn check_ctrl(ctrl: usize, k: usize, target: &str, span: Span) -> Result<(), Diagnostic> {
+    if ctrl == k {
+        Ok(())
+    } else {
+        Err(Diagnostic::new(
+            format!("write control of `{target}` belongs to stage {ctrl}, not stage {k}"),
+            span,
+            "declared control stage differs",
+        ))
+    }
+}
+
+fn expect_width(got: u32, want: u32, what: &str, name: &str, span: Span) -> Result<(), Diagnostic> {
+    if got == want {
+        Ok(())
+    } else {
+        Err(Diagnostic::new(
+            format!("{what} `{name}` is {want} bits but the expression is {got} bits"),
+            span,
+            format!("expected {want} bits"),
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Expression lowering
+// ---------------------------------------------------------------------
+
+struct FragLowerer<'a> {
+    design: &'a Design,
+    syms: &'a HashMap<&'a str, Sym>,
+    stage_k: usize,
+    nl: Netlist,
+    /// Input ports created so far (get-or-create; `Netlist::input`
+    /// rejects duplicates).
+    ports: HashMap<String, NetId>,
+    lets: HashMap<&'a str, &'a Expr>,
+    let_values: HashMap<&'a str, NetId>,
+    aliases: HashMap<&'a str, u32>,
+    /// In-progress let-bindings, for cycle detection.
+    stack: Vec<&'a str>,
+    /// `Some(context)` for address/guess functions, which may only read
+    /// registers, instances and external inputs.
+    restricted: Option<&'static str>,
+}
+
+impl<'a> FragLowerer<'a> {
+    fn port(&mut self, name: &str, width: u32) -> NetId {
+        if let Some(&n) = self.ports.get(name) {
+            return n;
+        }
+        let n = self.nl.input(name, width);
+        self.ports.insert(name.to_string(), n);
+        n
+    }
+
+    /// An output label pointing straight at the identically named input
+    /// port would be classified as a port, not an output
+    /// (`Fragment::output_names`); route it through a no-op OR.
+    fn copy_if_bare_port(&mut self, label: &str, net: NetId) -> NetId {
+        if let Node::Input { name } = self.nl.node(net) {
+            if name == label {
+                return self.nl.or(net, net);
+            }
+        }
+        net
+    }
+
+    fn lower_let(&mut self, name: &'a str, st: &'a Stmt) -> Result<NetId, Diagnostic> {
+        let expr = let_expr(st);
+        self.stack.push(name);
+        let v = self.expr(expr)?;
+        self.stack.pop();
+        self.let_values.insert(name, v);
+        Ok(v)
+    }
+
+    fn ident(&mut self, name: &'a str, span: Span) -> Result<NetId, Diagnostic> {
+        if let Some(&v) = self.let_values.get(name) {
+            return Ok(v);
+        }
+        if let Some(&expr) = self.lets.get(name) {
+            if self.stack.contains(&name) {
+                return Err(Diagnostic::new(
+                    format!("cyclic combinational definition of `{name}`"),
+                    span,
+                    format!("`{name}` depends on itself via {}", self.stack.join(" -> ")),
+                ));
+            }
+            self.stack.push(name);
+            let v = self.expr(expr)?;
+            self.stack.pop();
+            self.let_values.insert(name, v);
+            return Ok(v);
+        }
+        if let Some(&w) = self.aliases.get(name) {
+            if let Some(ctx) = self.restricted {
+                return Err(Diagnostic::new(
+                    format!("read-port data `{name}` cannot be used in {ctx}"),
+                    span,
+                    "addresses and guesses resolve before file reads",
+                ));
+            }
+            return Ok(self.port(name, w));
+        }
+        match self.syms.get(name) {
+            Some(Sym::Reg(ri)) => {
+                let w = self.design.regs[*ri].width;
+                Ok(self.port(name, w))
+            }
+            Some(Sym::Input(ii)) => {
+                let w = self.design.inputs[*ii].width;
+                Ok(self.port(name, w))
+            }
+            Some(Sym::File(_)) => Err(Diagnostic::new(
+                format!("register file `{name}` must be read through a `read` port"),
+                span,
+                "use `read alias = FILE[addr];`",
+            )),
+            None => Err(Diagnostic::new(
+                format!("unknown name `{name}` in stage {}", self.stage_k),
+                span,
+                "not a register, input, read alias or let-binding",
+            )),
+        }
+    }
+
+    fn expr(&mut self, e: &'a Expr) -> Result<NetId, Diagnostic> {
+        match e {
+            Expr::Ident { name, span } => self.ident(name, *span),
+            Expr::Instance { name, k, span } => match self.syms.get(name.as_str()) {
+                Some(Sym::Reg(ri)) => {
+                    let w = self.design.regs[*ri].width;
+                    Ok(self.port(&format!("{name}.{k}"), w))
+                }
+                _ => Err(Diagnostic::new(
+                    format!("`{name}` is not a register, so `{name}.{k}` names no instance"),
+                    *span,
+                    "instance references need a declared register",
+                )),
+            },
+            Expr::Const { value, width, .. } => Ok(self.nl.constant(*value, *width)),
+            Expr::Unary { op, a, .. } => {
+                let a = self.expr(a)?;
+                Ok(match op {
+                    UnOp::Not => self.nl.not(a),
+                    UnOp::Neg => self.nl.neg(a),
+                })
+            }
+            Expr::Binary { op, a, b, span } => {
+                let an = self.expr(a)?;
+                let bn = self.expr(b)?;
+                let (wa, wb) = (self.nl.width(an), self.nl.width(bn));
+                let needs_eq = !matches!(op, BinOp::Shl | BinOp::Lshr | BinOp::Ashr);
+                if needs_eq && wa != wb {
+                    return Err(Diagnostic::new(
+                        format!(
+                            "width mismatch for `{}`: left is {wa} bits, right is {wb} bits",
+                            op.symbol()
+                        ),
+                        *span,
+                        "operands must have equal widths",
+                    ));
+                }
+                Ok(match op {
+                    BinOp::Or => self.nl.or(an, bn),
+                    BinOp::Xor => self.nl.xor(an, bn),
+                    BinOp::And => self.nl.and(an, bn),
+                    BinOp::Eq => self.nl.eq(an, bn),
+                    BinOp::Ne => self.nl.ne(an, bn),
+                    BinOp::Shl => self.nl.shl(an, bn),
+                    BinOp::Lshr => self.nl.lshr(an, bn),
+                    BinOp::Ashr => self.nl.ashr(an, bn),
+                    BinOp::Add => self.nl.add(an, bn),
+                    BinOp::Sub => self.nl.sub(an, bn),
+                    BinOp::Mul => self.nl.mul(an, bn),
+                })
+            }
+            Expr::Mux { sel, a, b, span } => {
+                let s = self.expr(sel)?;
+                if self.nl.width(s) != 1 {
+                    return Err(Diagnostic::new(
+                        format!("mux select is {} bits, expected 1", self.nl.width(s)),
+                        sel.span(),
+                        "use a comparison or a bit index",
+                    ));
+                }
+                let an = self.expr(a)?;
+                let bn = self.expr(b)?;
+                let (wa, wb) = (self.nl.width(an), self.nl.width(bn));
+                if wa != wb {
+                    return Err(Diagnostic::new(
+                        format!("mux arms differ in width: {wa} bits vs {wb} bits"),
+                        *span,
+                        "both arms must have equal widths",
+                    ));
+                }
+                Ok(self.nl.mux(s, an, bn))
+            }
+            Expr::Slice { a, hi, lo, span } => {
+                let an = self.expr(a)?;
+                let w = self.nl.width(an);
+                if hi < lo || *hi >= w {
+                    return Err(Diagnostic::new(
+                        format!("slice [{hi}:{lo}] out of range for a {w}-bit value"),
+                        *span,
+                        format!("valid bits are [{}:0]", w - 1),
+                    ));
+                }
+                Ok(self.nl.slice(an, *hi, *lo))
+            }
+            Expr::Bit { a, idx, span } => {
+                let an = self.expr(a)?;
+                let w = self.nl.width(an);
+                if *idx >= w {
+                    return Err(Diagnostic::new(
+                        format!("bit index {idx} out of range for a {w}-bit value"),
+                        *span,
+                        format!("valid bits are [{}:0]", w - 1),
+                    ));
+                }
+                Ok(self.nl.bit(an, *idx))
+            }
+            Expr::Call {
+                func,
+                func_span,
+                args,
+                width,
+                span,
+            } => self.call(func, *func_span, args, *width, *span),
+        }
+    }
+
+    fn call(
+        &mut self,
+        func: &str,
+        func_span: Span,
+        args: &'a [Expr],
+        width: Option<u32>,
+        span: Span,
+    ) -> Result<NetId, Diagnostic> {
+        let arity = |want: usize| -> Result<(), Diagnostic> {
+            if args.len() == want && width.is_none() {
+                Ok(())
+            } else {
+                Err(Diagnostic::new(
+                    format!(
+                        "`{func}` expects {want} argument{}, found {}",
+                        if want == 1 { "" } else { "s" },
+                        args.len() + usize::from(width.is_some())
+                    ),
+                    span,
+                    "wrong number of arguments",
+                ))
+            }
+        };
+        match func {
+            "sext" | "zext" => {
+                let (Some(w), [a]) = (width, args) else {
+                    return Err(Diagnostic::new(
+                        format!("`{func}` expects (value, width)"),
+                        span,
+                        "e.g. `sext(IR[15:0], 32)`",
+                    ));
+                };
+                let an = self.expr(a)?;
+                let wa = self.nl.width(an);
+                if w < wa || w > 64 {
+                    return Err(Diagnostic::new(
+                        format!("cannot extend {wa} bits to {w}"),
+                        span,
+                        "target width must be in operand-width..=64",
+                    ));
+                }
+                Ok(if func == "sext" {
+                    self.nl.sext(an, w)
+                } else {
+                    self.nl.zext(an, w)
+                })
+            }
+            "cat" => {
+                if args.len() < 2 || width.is_some() {
+                    return Err(Diagnostic::new(
+                        format!("`cat` expects at least 2 arguments, found {}", args.len()),
+                        span,
+                        "wrong number of arguments",
+                    ));
+                }
+                let mut acc = self.expr(&args[0])?;
+                for a in &args[1..] {
+                    let an = self.expr(a)?;
+                    let w = self.nl.width(acc) + self.nl.width(an);
+                    if w > 64 {
+                        return Err(Diagnostic::new(
+                            format!("concatenation width {w} exceeds 64 bits"),
+                            span,
+                            "nets are at most 64 bits wide",
+                        ));
+                    }
+                    acc = self.nl.concat(acc, an);
+                }
+                Ok(acc)
+            }
+            "redor" | "redand" | "redxor" => {
+                arity(1)?;
+                let an = self.expr(&args[0])?;
+                Ok(match func {
+                    "redor" => self.nl.red_or(an),
+                    "redand" => self.nl.red_and(an),
+                    _ => self.nl.red_xor(an),
+                })
+            }
+            "ult" | "ule" | "slt" | "sle" => {
+                arity(2)?;
+                let an = self.expr(&args[0])?;
+                let bn = self.expr(&args[1])?;
+                let (wa, wb) = (self.nl.width(an), self.nl.width(bn));
+                if wa != wb {
+                    return Err(Diagnostic::new(
+                        format!("width mismatch for `{func}`: {wa} bits vs {wb} bits"),
+                        span,
+                        "operands must have equal widths",
+                    ));
+                }
+                Ok(match func {
+                    "ult" => self.nl.ult(an, bn),
+                    "ule" => self.nl.ule(an, bn),
+                    "slt" => self.nl.slt(an, bn),
+                    _ => self.nl.sle(an, bn),
+                })
+            }
+            _ => Err(Diagnostic::new(
+                format!("unknown function `{func}`"),
+                func_span,
+                "builtins: sext, zext, cat, redor, redand, redxor, ult, ule, slt, sle",
+            )),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Speculation lowering
+// ---------------------------------------------------------------------
+
+fn lower_speculation(
+    design: &Design,
+    syms: &HashMap<&str, Sym>,
+    spec: &MachineSpec,
+    s: &SpeculateAst,
+) -> Result<SpeculationSpec, Diagnostic> {
+    if s.stage >= design.n_stages {
+        return Err(stage_oob(s.stage, design.n_stages, s.stage_span));
+    }
+    if s.resolve_stage >= design.n_stages {
+        return Err(stage_oob(s.resolve_stage, design.n_stages, s.resolve_span));
+    }
+    if s.resolve_stage < s.stage {
+        return Err(Diagnostic::new(
+            format!(
+                "speculation `{}` resolves at stage {} before it is consumed at stage {}",
+                s.name, s.resolve_stage, s.stage
+            ),
+            s.resolve_span,
+            "the resolve stage must not precede the speculating stage",
+        ));
+    }
+    let stage_logic = spec.stages[s.stage]
+        .as_ref()
+        .expect("stages lowered before annotations");
+    let Ok(port_width) = stage_logic.logic.input_width(&s.port) else {
+        return Err(Diagnostic::new(
+            format!("stage {} has no input `{}`", s.stage, s.port),
+            s.port_span,
+            "the speculated port must be read by that stage",
+        ));
+    };
+
+    let mut lw = FragLowerer {
+        design,
+        syms,
+        stage_k: s.stage,
+        nl: Netlist::new(format!("{}.guess", s.name)),
+        ports: HashMap::new(),
+        lets: HashMap::new(),
+        let_values: HashMap::new(),
+        aliases: HashMap::new(),
+        stack: Vec::new(),
+        restricted: Some("a guess function"),
+    };
+    let g = lw.expr(&s.guess)?;
+    let gw = lw.nl.width(g);
+    if gw != port_width {
+        return Err(Diagnostic::new(
+            format!(
+                "guess is {gw} bits but port `{}` is {port_width} bits",
+                s.port
+            ),
+            s.guess.span(),
+            "guess and port widths must match",
+        ));
+    }
+    let g = lw.copy_if_bare_port("guess", g);
+    lw.nl.label("guess", g);
+    let guess = Fragment::new(lw.nl).map_err(|e| {
+        Diagnostic::new(format!("invalid guess function: {e:?}"), s.guess.span(), "")
+    })?;
+
+    let actual = match &s.actual_input {
+        Some(input) => {
+            match syms.get(input.as_str()) {
+                Some(Sym::Input(_)) => {}
+                _ => {
+                    return Err(Diagnostic::new(
+                        format!("`{input}` is not a declared input"),
+                        s.port_span,
+                        "resolve-from sources must be external inputs",
+                    ))
+                }
+            }
+            ActualSource::External(input.clone())
+        }
+        None => ActualSource::Reread,
+    };
+
+    let mut fixups = Vec::new();
+    for fx in &s.fixups {
+        let Some(Sym::Reg(ri)) = syms.get(fx.register.as_str()) else {
+            return Err(Diagnostic::new(
+                format!("fixup target `{}` is not a declared register", fx.register),
+                fx.register_span,
+                "fixups repair registers",
+            ));
+        };
+        let reg = &design.regs[*ri];
+        let value = match &fx.value {
+            FixupValueAst::Const(v) => {
+                if *v > mask(reg.width) {
+                    return Err(Diagnostic::new(
+                        format!(
+                            "fixup constant {v} does not fit in the {} bits of `{}`",
+                            reg.width, fx.register
+                        ),
+                        fx.register_span,
+                        "constant overflows the register",
+                    ));
+                }
+                FixupValue::Const(*v)
+            }
+            FixupValueAst::Input(n) => match syms.get(n.as_str()) {
+                Some(Sym::Input(_)) => FixupValue::External(n.clone()),
+                _ => {
+                    return Err(Diagnostic::new(
+                        format!("`{n}` is not a declared input"),
+                        fx.register_span,
+                        "fixup inputs must be external inputs",
+                    ))
+                }
+            },
+            FixupValueAst::Instance(n) => match syms.get(n.as_str()) {
+                Some(Sym::Reg(_)) => FixupValue::Instance(n.clone()),
+                _ => {
+                    return Err(Diagnostic::new(
+                        format!("`{n}` is not a declared register"),
+                        fx.register_span,
+                        "instance fixups name a register",
+                    ))
+                }
+            },
+            FixupValueAst::Actual => FixupValue::Actual,
+        };
+        fixups.push(Fixup {
+            register: fx.register.clone(),
+            value,
+        });
+    }
+
+    Ok(SpeculationSpec {
+        name: s.name.clone(),
+        stage: s.stage,
+        port: s.port.clone(),
+        guess,
+        resolve_stage: s.resolve_stage,
+        actual,
+        fixups,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_design;
+
+    fn lower_src(src: &str) -> Result<(MachineSpec, SynthOptions), Vec<Diagnostic>> {
+        lower(&parse_design(src).map_err(|e| vec![e])?)
+    }
+
+    #[test]
+    fn lowers_counter_machine() {
+        let (spec, _) = lower_src(
+            "machine count(1) {\n  reg CNT : 8 writes(0) visible;\n  stage 0 S0 { CNT = CNT + 8'd1; }\n}\n",
+        )
+        .unwrap();
+        let plan = spec.plan().unwrap();
+        let mut m = autopipe_psm::SequentialMachine::new(plan).unwrap();
+        m.step_instruction();
+        m.step_instruction();
+        assert_eq!(
+            m.visible_state()["CNT"],
+            autopipe_psm::VisibleValue::Word(2)
+        );
+    }
+
+    #[test]
+    fn detects_cyclic_lets() {
+        let errs = lower_src(
+            "machine m(1) {\n  reg X : 8 writes(0);\n  stage 0 A {\n    let a = b ^ X;\n    let b = a;\n    X = a;\n  }\n}\n",
+        )
+        .unwrap_err();
+        assert!(errs[0].message.contains("cyclic combinational definition"));
+    }
+
+    #[test]
+    fn detects_unknown_stage() {
+        let errs = lower_src(
+            "machine m(2) {\n  reg X : 8 writes(1);\n  stage 0 A { }\n  stage 1 B { X = X; }\n  stage 7 C { }\n}\n",
+        )
+        .unwrap_err();
+        assert!(errs[0].message.contains("unknown stage index 7"));
+    }
+
+    #[test]
+    fn detects_missing_forward_register() {
+        let errs = lower_src(
+            "machine m(2) {\n  reg X : 8 writes(1);\n  stage 0 A { }\n  stage 1 B { X = X; }\n  forward X via Q;\n}\n",
+        )
+        .unwrap_err();
+        assert!(errs[0]
+            .message
+            .contains("forwarding register `Q` is not declared"));
+    }
+
+    #[test]
+    fn pass_through_assignment_still_creates_output() {
+        let (spec, _) = lower_src(
+            "machine m(1) {\n  reg X : 8 writes(0) visible;\n  stage 0 A { X = X; }\n}\n",
+        )
+        .unwrap();
+        let logic = &spec.stages[0].as_ref().unwrap().logic;
+        assert!(logic.has_output("X"));
+    }
+
+    #[test]
+    fn width_mismatch_is_diagnosed_not_panicked() {
+        let errs =
+            lower_src("machine m(1) {\n  reg X : 8 writes(0);\n  stage 0 A { X = X + 4'd1; }\n}\n")
+                .unwrap_err();
+        assert!(errs[0].message.contains("width mismatch"));
+    }
+
+    #[test]
+    fn arity_mismatch_is_diagnosed() {
+        let errs =
+            lower_src("machine m(1) {\n  reg X : 8 writes(0);\n  stage 0 A { X = cat(X); }\n}\n")
+                .unwrap_err();
+        assert!(errs[0]
+            .message
+            .contains("`cat` expects at least 2 arguments"));
+    }
+}

@@ -1,0 +1,750 @@
+//! Recursive-descent parser for the `.psm` language.
+//!
+//! Grammar (see `docs/PSM_LANG.md` for the full EBNF):
+//!
+//! ```text
+//! design  := "machine" IDENT "(" INT ")" "{" item* "}"
+//! item    := input-decl | reg-decl | file-decl | stage | annotation
+//! ```
+//!
+//! Keywords are contextual: the lexer emits them as identifiers and the
+//! parser classifies them, so error messages can say what was expected.
+
+use crate::ast::*;
+use crate::diag::{Diagnostic, Span};
+use crate::lex::{lex, Tok, Token};
+
+/// Builtin function names accepted in call position.
+pub const BUILTINS: &[&str] = &[
+    "sext", "zext", "cat", "redor", "redand", "redxor", "ult", "ule", "slt", "sle",
+];
+
+/// Parses one `.psm` design, returning the first error encountered.
+pub fn parse_design(src: &str) -> Result<Design, Diagnostic> {
+    let toks = lex(src)?;
+    Parser { toks, pos: 0 }.design()
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, what: &str) -> Diagnostic {
+        Diagnostic::new(
+            format!("expected {what}, found {}", self.peek().describe()),
+            self.span(),
+            format!("expected {what}"),
+        )
+    }
+
+    fn expect(&mut self, t: Tok, what: &str) -> Result<Span, Diagnostic> {
+        if *self.peek() == t {
+            Ok(self.bump().span)
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, Span), Diagnostic> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                let span = self.bump().span;
+                Ok((s, span))
+            }
+            _ => Err(self.err(what)),
+        }
+    }
+
+    fn expect_int(&mut self, what: &str) -> Result<(u64, Span), Diagnostic> {
+        match *self.peek() {
+            Tok::Int(v) => {
+                let span = self.bump().span;
+                Ok((v, span))
+            }
+            _ => Err(self.err(what)),
+        }
+    }
+
+    fn expect_small_int(&mut self, what: &str) -> Result<(u32, Span), Diagnostic> {
+        let (v, span) = self.expect_int(what)?;
+        u32::try_from(v)
+            .map(|v| (v, span))
+            .map_err(|_| Diagnostic::new(format!("{what} `{v}` is too large"), span, "too large"))
+    }
+
+    /// True if the current token is the contextual keyword `kw`.
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    /// Consumes the contextual keyword `kw` if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<Span, Diagnostic> {
+        if self.at_kw(kw) {
+            Ok(self.bump().span)
+        } else {
+            Err(self.err(&format!("`{kw}`")))
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Top level
+    // -----------------------------------------------------------------
+
+    fn design(&mut self) -> Result<Design, Diagnostic> {
+        self.expect_kw("machine")?;
+        let (name, name_span) = self.expect_ident("machine name")?;
+        self.expect(Tok::LParen, "`(`")?;
+        let (n_stages, _) = self.expect_int("stage count")?;
+        self.expect(Tok::RParen, "`)`")?;
+        self.expect(Tok::LBrace, "`{`")?;
+        let mut d = Design {
+            name,
+            name_span,
+            n_stages: n_stages as usize,
+            inputs: Vec::new(),
+            regs: Vec::new(),
+            files: Vec::new(),
+            stages: Vec::new(),
+            annotations: Vec::new(),
+        };
+        while *self.peek() != Tok::RBrace {
+            match self.peek() {
+                Tok::Ident(s) => match s.as_str() {
+                    "input" => d.inputs.push(self.input_decl()?),
+                    "reg" => d.regs.push(self.reg_decl()?),
+                    "file" => d.files.push(self.file_decl()?),
+                    "stage" => d.stages.push(self.stage_decl()?),
+                    "forward" | "interlock" | "unprotected" | "topology" | "ext_stalls"
+                    | "no_monitors" | "no_transitive_dhaz" | "speculate" => {
+                        let a = self.annotation()?;
+                        d.annotations.push(a);
+                    }
+                    _ => return Err(self.err("a declaration, stage or annotation")),
+                },
+                Tok::Eof => return Err(self.err("`}` closing the machine body")),
+                _ => return Err(self.err("a declaration, stage or annotation")),
+            }
+        }
+        self.bump(); // `}`
+        if *self.peek() != Tok::Eof {
+            return Err(self.err("end of file after the machine body"));
+        }
+        Ok(d)
+    }
+
+    fn input_decl(&mut self) -> Result<InputDecl, Diagnostic> {
+        let start = self.expect_kw("input")?;
+        let (name, _) = self.expect_ident("input name")?;
+        self.expect(Tok::Colon, "`:`")?;
+        let (width, wspan) = self.expect_small_int("input width")?;
+        self.expect(Tok::Semi, "`;`")?;
+        Ok(InputDecl {
+            name,
+            width,
+            span: start.to(wspan),
+        })
+    }
+
+    fn reg_decl(&mut self) -> Result<RegDecl, Diagnostic> {
+        let start = self.expect_kw("reg")?;
+        let (name, name_span) = self.expect_ident("register name")?;
+        self.expect(Tok::Colon, "`:`")?;
+        let (width, _) = self.expect_small_int("register width")?;
+        self.expect_kw("writes")?;
+        self.expect(Tok::LParen, "`(`")?;
+        let mut writers = Vec::new();
+        loop {
+            let (k, _) = self.expect_int("writer stage index")?;
+            writers.push(k as usize);
+            if !matches!(self.peek(), Tok::Comma) {
+                break;
+            }
+            self.bump();
+        }
+        self.expect(Tok::RParen, "`)`")?;
+        let mut init = 0;
+        if self.eat_kw("init") {
+            init = self.expect_int("initial value")?.0;
+        }
+        let visible = self.eat_kw("visible");
+        let end = self.expect(Tok::Semi, "`;`")?;
+        let _ = name_span;
+        Ok(RegDecl {
+            name,
+            width,
+            writers,
+            init,
+            visible,
+            span: start.to(end),
+        })
+    }
+
+    fn file_decl(&mut self) -> Result<FileDeclAst, Diagnostic> {
+        let start = self.expect_kw("file")?;
+        let (name, _) = self.expect_ident("register file name")?;
+        self.expect(Tok::Colon, "`:`")?;
+        self.expect(Tok::LBracket, "`[`")?;
+        let (addr_width, _) = self.expect_small_int("address width")?;
+        self.expect_kw("x")?;
+        let (data_width, _) = self.expect_small_int("data width")?;
+        self.expect(Tok::RBracket, "`]`")?;
+        let (read_only, write_stage, ctrl_stage) = if self.eat_kw("readonly") {
+            (true, 0, None)
+        } else {
+            self.expect_kw("write")?;
+            self.expect(Tok::LParen, "`(`")?;
+            let (w, _) = self.expect_int("write stage index")?;
+            self.expect(Tok::RParen, "`)`")?;
+            let ctrl = if self.eat_kw("ctrl") {
+                self.expect(Tok::LParen, "`(`")?;
+                let (c, _) = self.expect_int("control stage index")?;
+                self.expect(Tok::RParen, "`)`")?;
+                Some(c as usize)
+            } else {
+                None
+            };
+            (false, w as usize, ctrl)
+        };
+        let mut init = Vec::new();
+        if self.eat_kw("init") {
+            self.expect(Tok::LBrace, "`{`")?;
+            if *self.peek() != Tok::RBrace {
+                loop {
+                    init.push(self.expect_int("initial memory word")?.0);
+                    if !matches!(self.peek(), Tok::Comma) {
+                        break;
+                    }
+                    self.bump();
+                }
+            }
+            self.expect(Tok::RBrace, "`}`")?;
+        }
+        let visible = self.eat_kw("visible");
+        let end = self.expect(Tok::Semi, "`;`")?;
+        Ok(FileDeclAst {
+            name,
+            addr_width,
+            data_width,
+            read_only,
+            write_stage,
+            ctrl_stage,
+            init,
+            visible,
+            span: start.to(end),
+        })
+    }
+
+    fn stage_decl(&mut self) -> Result<StageDecl, Diagnostic> {
+        self.expect_kw("stage")?;
+        let (index, index_span) = self.expect_int("stage index")?;
+        let (name, _) = self.expect_ident("stage name")?;
+        self.expect(Tok::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            if *self.peek() == Tok::Eof {
+                return Err(self.err("`}` closing the stage body"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump(); // `}`
+        Ok(StageDecl {
+            index: index as usize,
+            index_span,
+            name,
+            stmts,
+        })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        // `read alias = FILE[addr];`
+        if self.at_kw("read") && matches!(self.peek2(), Tok::Ident(_)) {
+            self.bump();
+            let (alias, _) = self.expect_ident("read-port alias")?;
+            self.expect(Tok::Assign, "`=`")?;
+            let (file, file_span) = self.expect_ident("register file name")?;
+            self.expect(Tok::LBracket, "`[`")?;
+            let addr = self.expr()?;
+            self.expect(Tok::RBracket, "`]`")?;
+            self.expect(Tok::Semi, "`;`")?;
+            return Ok(Stmt::Read {
+                alias,
+                file,
+                file_span,
+                addr,
+            });
+        }
+        // `let name = expr;`
+        if self.at_kw("let") && matches!(self.peek2(), Tok::Ident(_)) {
+            self.bump();
+            let (name, span) = self.expect_ident("binding name")?;
+            self.expect(Tok::Assign, "`=`")?;
+            let expr = self.expr()?;
+            self.expect(Tok::Semi, "`;`")?;
+            return Ok(Stmt::Let { name, span, expr });
+        }
+        // `target[.we|.wa] = expr;`
+        let (target, span) = self.expect_ident("assignment target")?;
+        let suffix = if *self.peek() == Tok::Dot {
+            self.bump();
+            let (s, sspan) = self.expect_ident("`we` or `wa`")?;
+            match s.as_str() {
+                "we" => Some(CtrlSuffix::We),
+                "wa" => Some(CtrlSuffix::Wa),
+                _ => {
+                    return Err(Diagnostic::new(
+                        format!("unknown control suffix `.{s}`"),
+                        sspan,
+                        "expected `we` or `wa`",
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+        self.expect(Tok::Assign, "`=`")?;
+        let expr = self.expr()?;
+        self.expect(Tok::Semi, "`;`")?;
+        Ok(Stmt::Assign {
+            target,
+            suffix,
+            span,
+            expr,
+        })
+    }
+
+    // -----------------------------------------------------------------
+    // Annotations
+    // -----------------------------------------------------------------
+
+    fn annotation(&mut self) -> Result<Annotation, Diagnostic> {
+        if self.eat_kw("forward") {
+            let (target, target_span) = self.expect_ident("register or file name")?;
+            let via = if self.eat_kw("via") {
+                let (s, sspan) = self.expect_ident("source register name")?;
+                Some((s, sspan))
+            } else {
+                None
+            };
+            self.expect(Tok::Semi, "`;`")?;
+            return Ok(Annotation::Forward {
+                target,
+                target_span,
+                via,
+            });
+        }
+        if self.eat_kw("interlock") {
+            let (target, target_span) = self.expect_ident("register or file name")?;
+            self.expect(Tok::Semi, "`;`")?;
+            return Ok(Annotation::Interlock {
+                target,
+                target_span,
+            });
+        }
+        if self.eat_kw("unprotected") {
+            let (target, target_span) = self.expect_ident("register or file name")?;
+            self.expect(Tok::Semi, "`;`")?;
+            return Ok(Annotation::Unprotected {
+                target,
+                target_span,
+            });
+        }
+        if self.eat_kw("topology") {
+            let (kind, kspan) = self.expect_ident("`tree` or `chain`")?;
+            let tree = match kind.as_str() {
+                "tree" => true,
+                "chain" => false,
+                _ => {
+                    return Err(Diagnostic::new(
+                        format!("unknown topology `{kind}`"),
+                        kspan,
+                        "expected `tree` or `chain`",
+                    ))
+                }
+            };
+            self.expect(Tok::Semi, "`;`")?;
+            return Ok(Annotation::Topology { tree });
+        }
+        if self.eat_kw("ext_stalls") {
+            self.expect(Tok::Semi, "`;`")?;
+            return Ok(Annotation::ExtStalls);
+        }
+        if self.eat_kw("no_monitors") {
+            self.expect(Tok::Semi, "`;`")?;
+            return Ok(Annotation::NoMonitors);
+        }
+        if self.eat_kw("no_transitive_dhaz") {
+            self.expect(Tok::Semi, "`;`")?;
+            return Ok(Annotation::NoTransitiveDhaz);
+        }
+        self.expect_kw("speculate")?;
+        let (name, _) = self.expect_ident("speculation name")?;
+        self.expect_kw("at")?;
+        let (stage, stage_span) = self.expect_int("speculating stage index")?;
+        self.expect_kw("port")?;
+        let (port, port_span) = self.expect_ident("port name")?;
+        self.expect(Tok::LBrace, "`{`")?;
+        self.expect_kw("guess")?;
+        self.expect(Tok::Assign, "`=`")?;
+        let guess = self.expr()?;
+        self.expect(Tok::Semi, "`;`")?;
+        self.expect_kw("resolve")?;
+        self.expect_kw("at")?;
+        let (resolve_stage, resolve_span) = self.expect_int("resolving stage index")?;
+        let actual_input = if self.eat_kw("from") {
+            self.expect_kw("input")?;
+            Some(self.expect_ident("input name")?.0)
+        } else {
+            self.expect_kw("by")?;
+            self.expect_kw("reread")?;
+            None
+        };
+        self.expect(Tok::Semi, "`;`")?;
+        let mut fixups = Vec::new();
+        while !matches!(self.peek(), Tok::RBrace) {
+            self.expect_kw("fixup")?;
+            let (register, register_span) = self.expect_ident("register name")?;
+            self.expect(Tok::Assign, "`=`")?;
+            let value = if self.eat_kw("const") {
+                FixupValueAst::Const(self.expect_int("constant value")?.0)
+            } else if self.eat_kw("input") {
+                FixupValueAst::Input(self.expect_ident("input name")?.0)
+            } else if self.eat_kw("instance") {
+                FixupValueAst::Instance(self.expect_ident("instance port name")?.0)
+            } else if self.eat_kw("actual") {
+                FixupValueAst::Actual
+            } else {
+                return Err(self.err("`const`, `input`, `instance` or `actual`"));
+            };
+            self.expect(Tok::Semi, "`;`")?;
+            fixups.push(FixupAst {
+                register,
+                register_span,
+                value,
+            });
+        }
+        self.bump(); // `}`
+        Ok(Annotation::Speculate(SpeculateAst {
+            name,
+            stage: stage as usize,
+            stage_span,
+            port,
+            port_span,
+            guess,
+            resolve_stage: resolve_stage as usize,
+            resolve_span,
+            actual_input,
+            fixups,
+        }))
+    }
+
+    // -----------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // -----------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, Diagnostic> {
+        let sel = self.binary(1)?;
+        if *self.peek() != Tok::Question {
+            return Ok(sel);
+        }
+        self.bump();
+        let a = self.binary(1)?;
+        self.expect(Tok::Colon, "`:`")?;
+        // Right-associative: `s ? a : t ? b : c` nests in the else arm.
+        let b = self.expr()?;
+        let span = sel.span().to(b.span());
+        Ok(Expr::Mux {
+            sel: Box::new(sel),
+            a: Box::new(a),
+            b: Box::new(b),
+            span,
+        })
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Pipe => BinOp::Or,
+                Tok::Caret => BinOp::Xor,
+                Tok::Amp => BinOp::And,
+                Tok::EqEq => BinOp::Eq,
+                Tok::NotEq => BinOp::Ne,
+                Tok::Shl => BinOp::Shl,
+                Tok::Lshr => BinOp::Lshr,
+                Tok::Ashr => BinOp::Ashr,
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                Tok::Star => BinOp::Mul,
+                _ => break,
+            };
+            if op.precedence() < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(op.precedence() + 1)?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary {
+                op,
+                a: Box::new(lhs),
+                b: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, Diagnostic> {
+        let op = match self.peek() {
+            Tok::Tilde => Some(UnOp::Not),
+            Tok::Minus => Some(UnOp::Neg),
+            _ => None,
+        };
+        if let Some(op) = op {
+            let start = self.bump().span;
+            let a = self.unary()?;
+            let span = start.to(a.span());
+            return Ok(Expr::Unary {
+                op,
+                a: Box::new(a),
+                span,
+            });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, Diagnostic> {
+        let mut e = self.primary()?;
+        while *self.peek() == Tok::LBracket {
+            self.bump();
+            let (hi, _) = self.expect_small_int("bit index")?;
+            if *self.peek() == Tok::Colon {
+                self.bump();
+                let (lo, _) = self.expect_small_int("low bit index")?;
+                let end = self.expect(Tok::RBracket, "`]`")?;
+                let span = e.span().to(end);
+                e = Expr::Slice {
+                    a: Box::new(e),
+                    hi,
+                    lo,
+                    span,
+                };
+            } else {
+                let end = self.expect(Tok::RBracket, "`]`")?;
+                let span = e.span().to(end);
+                e = Expr::Bit {
+                    a: Box::new(e),
+                    idx: hi,
+                    span,
+                };
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, Diagnostic> {
+        match self.peek().clone() {
+            Tok::Sized { width, value } => {
+                let span = self.bump().span;
+                Ok(Expr::Const { value, width, span })
+            }
+            Tok::Int(_) => Err(Diagnostic::new(
+                "unsized integer in expression position",
+                self.span(),
+                "use a sized literal like `8'd5`",
+            )),
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                let span = self.bump().span;
+                // Builtin call?
+                if *self.peek() == Tok::LParen && BUILTINS.contains(&name.as_str()) {
+                    return self.call(name, span);
+                }
+                // Explicit instance ref `R.k`?
+                if *self.peek() == Tok::Dot && matches!(self.peek2(), Tok::Int(_)) {
+                    self.bump();
+                    let (k, kspan) = self.expect_int("instance stage index")?;
+                    return Ok(Expr::Instance {
+                        name,
+                        k: k as usize,
+                        span: span.to(kspan),
+                    });
+                }
+                Ok(Expr::Ident { name, span })
+            }
+            _ => Err(self.err("an expression")),
+        }
+    }
+
+    fn call(&mut self, func: String, func_span: Span) -> Result<Expr, Diagnostic> {
+        self.expect(Tok::LParen, "`(`")?;
+        let mut args = Vec::new();
+        let mut width = None;
+        if *self.peek() != Tok::RParen {
+            loop {
+                // sext/zext take a trailing bare-integer width argument.
+                if matches!(self.peek(), Tok::Int(_))
+                    && (func == "sext" || func == "zext")
+                    && width.is_none()
+                {
+                    width = Some(self.expect_small_int("target width")?.0);
+                } else {
+                    args.push(self.expr()?);
+                }
+                if !matches!(self.peek(), Tok::Comma) {
+                    break;
+                }
+                self.bump();
+            }
+        }
+        let end = self.expect(Tok::RParen, "`)`")?;
+        Ok(Expr::Call {
+            func,
+            func_span,
+            args,
+            width,
+            span: func_span.to(end),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_machine() {
+        let d = parse_design(
+            "machine m(2) {\n  reg X : 8 writes(1);\n  stage 0 A { }\n  stage 1 B { X = X + 8'd1; }\n}\n",
+        )
+        .unwrap();
+        assert_eq!(d.name, "m");
+        assert_eq!(d.n_stages, 2);
+        assert_eq!(d.regs.len(), 1);
+        assert_eq!(d.stages.len(), 2);
+    }
+
+    #[test]
+    fn parses_precedence() {
+        let d = parse_design(
+            "machine m(1) {\n  reg X : 8 writes(0);\n  stage 0 A { X = X + X * X & X; }\n}\n",
+        )
+        .unwrap();
+        let Stmt::Assign { expr, .. } = &d.stages[0].stmts[0] else {
+            panic!()
+        };
+        // `&` binds loosest here: (X + (X * X)) & X.
+        assert_eq!(format!("{expr}"), "X + X * X & X");
+    }
+
+    #[test]
+    fn parses_ternary_right_assoc() {
+        let d = parse_design(
+            "machine m(1) {\n  reg X : 8 writes(0);\n  stage 0 A { X = X[0] ? X : X[1] ? X : X; }\n}\n",
+        )
+        .unwrap();
+        let Stmt::Assign { expr, .. } = &d.stages[0].stmts[0] else {
+            panic!()
+        };
+        assert_eq!(format!("{expr}"), "X[0] ? X : X[1] ? X : X");
+    }
+
+    #[test]
+    fn parses_instance_and_slice() {
+        let d = parse_design(
+            "machine m(4) {\n  reg C : 32 writes(2, 3);\n  stage 3 W { C = C.3[31:16] == 16'h0 ? C.2 : C; }\n}\n",
+        )
+        .unwrap();
+        let Stmt::Assign { expr, .. } = &d.stages[0].stmts[0] else {
+            panic!()
+        };
+        assert_eq!(format!("{expr}"), "C.3[31:16] == 16'h0 ? C.2 : C");
+    }
+
+    #[test]
+    fn parses_calls() {
+        let d = parse_design(
+            "machine m(1) {\n  reg X : 32 writes(0);\n  stage 0 A { X = sext(X[15:0], 32) + cat(X[15:0], 16'h0); }\n}\n",
+        )
+        .unwrap();
+        let Stmt::Assign { expr, .. } = &d.stages[0].stmts[0] else {
+            panic!()
+        };
+        assert_eq!(format!("{expr}"), "sext(X[15:0], 32) + cat(X[15:0], 16'h0)");
+    }
+
+    #[test]
+    fn rejects_unsized_int_in_expr() {
+        let err =
+            parse_design("machine m(1) {\n  reg X : 8 writes(0);\n  stage 0 A { X = X + 1; }\n}\n")
+                .unwrap_err();
+        assert!(err.message.contains("unsized integer"));
+    }
+
+    #[test]
+    fn parses_annotations() {
+        let d = parse_design(
+            "machine m(5) {\n  reg C : 32 writes(2, 3);\n  forward GPR via C;\n  forward DPC;\n  interlock RF;\n  topology tree;\n  ext_stalls;\n}\n",
+        )
+        .unwrap();
+        assert_eq!(d.annotations.len(), 5);
+    }
+
+    #[test]
+    fn parses_speculation_block() {
+        let d = parse_design(
+            "machine m(5) {\n  input irq : 1;\n  reg PC : 32 writes(1);\n  speculate irq at 0 port irq {\n    guess = 1'b0;\n    resolve at 2 from input irq;\n    fixup PC = const 16;\n    fixup DPC = actual;\n  }\n}\n",
+        )
+        .unwrap();
+        let Annotation::Speculate(s) = &d.annotations[0] else {
+            panic!()
+        };
+        assert_eq!(s.name, "irq");
+        assert_eq!(s.resolve_stage, 2);
+        assert_eq!(s.fixups.len(), 2);
+    }
+
+    #[test]
+    fn roundtrips_through_pretty_printer() {
+        let src = "machine m(3) {\n  input go : 1;\n  reg PC : 4 writes(0) init 1 visible;\n  reg IR : 8 writes(0);\n  file RF : [2 x 8] write(2) ctrl(0) visible;\n  file IMEM : [4 x 8] readonly init { 18, 33, 66, 129 };\n\n  stage 0 IF {\n    read insn = IMEM[PC[1:0]];\n    IR = insn;\n    PC = PC + 4'd1;\n  }\n\n  forward RF;\n  topology chain;\n}\n";
+        let d1 = parse_design(src).unwrap();
+        let printed = format!("{d1}");
+        let d2 = parse_design(&printed).unwrap();
+        assert_eq!(printed, format!("{d2}"));
+    }
+}

@@ -1,0 +1,278 @@
+//! Structural Verilog-2001 emitter.
+//!
+//! Emits the word-level netlist exactly as built: one `wire` declaration
+//! per combinational node in creation (topological) order, one `always`
+//! block per register, one write block per memory. Nothing is renamed —
+//! generated control nets like `fw.2.GPRa.hit.3` keep their dotted names
+//! through Verilog *escaped identifiers* (`\fw.2.GPRa.hit.3 `), so the
+//! output is directly comparable against reports, proof documents and
+//! VCD traces, and [`crate::reader`] can rebuild the identical netlist.
+//!
+//! Conventions:
+//!
+//! * register storage is `\NAME$q `, memory storage `\NAME$mem ` — the
+//!   unsuffixed names stay free for the architectural output nets;
+//! * every input port becomes a module input, every labelled net a
+//!   module output;
+//! * multiple write ports of one memory share a single `always` block in
+//!   port order, so the last write wins, matching the IR semantics.
+
+use autopipe_hdl::{BinaryOp, Netlist, Node, UnaryOp};
+use std::fmt::Write;
+
+/// Verilog keywords that must not appear as plain identifiers.
+const KEYWORDS: &[&str] = &[
+    "always",
+    "assign",
+    "begin",
+    "case",
+    "else",
+    "end",
+    "endcase",
+    "endmodule",
+    "for",
+    "if",
+    "initial",
+    "inout",
+    "input",
+    "integer",
+    "module",
+    "negedge",
+    "output",
+    "posedge",
+    "reg",
+    "wire",
+];
+
+/// Renders `name` as a Verilog identifier, escaping when needed.
+///
+/// Escaped identifiers (`\name `) carry their terminating space, so the
+/// result can be concatenated with any following token.
+pub fn vid(name: &str) -> String {
+    let simple = !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$')
+        && !KEYWORDS.contains(&name);
+    if simple {
+        name.to_string()
+    } else {
+        format!("\\{name} ")
+    }
+}
+
+/// Emits the netlist as a single structural Verilog-2001 module.
+pub fn emit_verilog(nl: &Netlist, module: &str) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+
+    // Name of the net driving each operand position: input nodes are the
+    // port itself, everything else gets a `n<index>` wire.
+    let opnd = |net: autopipe_hdl::NetId| -> String {
+        match nl.node(net) {
+            Node::Input { name } => vid(name),
+            _ => format!("n{}", net.index()),
+        }
+    };
+
+    let inputs = nl.input_ports();
+    let input_names: std::collections::HashSet<&str> = inputs.iter().map(|(n, _)| *n).collect();
+    // Labelled nets become outputs; skip memory-name reservations
+    // (invalid ids), the input ports themselves, and any label shadowed
+    // by an input port name.
+    let outputs: Vec<(&str, autopipe_hdl::NetId)> = nl
+        .named_nets()
+        .into_iter()
+        .filter(|(name, id)| {
+            id.index() < nl.node_count()
+                && !input_names.contains(name)
+                && !matches!(nl.node(*id), Node::Input { name: n } if n == name)
+        })
+        .collect();
+
+    let _ = writeln!(w, "// Structural netlist emitted by autopipe.");
+    let _ = writeln!(
+        w,
+        "// {} nodes, {} registers, {} memories.",
+        nl.node_count(),
+        nl.registers().len(),
+        nl.memories().len()
+    );
+    let _ = writeln!(w, "module {} (", vid(module));
+    let _ = write!(w, "  clk");
+    for (name, _) in &inputs {
+        let _ = write!(w, ",\n  {}", vid(name));
+    }
+    for (name, _) in &outputs {
+        let _ = write!(w, ",\n  {}", vid(name));
+    }
+    let _ = writeln!(w, "\n);");
+    let _ = writeln!(w, "  input wire clk;");
+    for (name, net) in &inputs {
+        let _ = writeln!(w, "  input wire [{}:0] {};", nl.width(*net) - 1, vid(name));
+    }
+    for (name, net) in &outputs {
+        let _ = writeln!(w, "  output wire [{}:0] {};", nl.width(*net) - 1, vid(name));
+    }
+
+    // State declarations first, so every `n<i>` wire can refer to them.
+    let _ = writeln!(w);
+    for r in nl.registers() {
+        let q = vid(&format!("{}$q", r.name));
+        let _ = writeln!(w, "  reg [{}:0] {};", r.width - 1, q);
+        let _ = writeln!(w, "  initial {} = {}'h{:x};", q, r.width, r.init);
+    }
+    for m in nl.memories() {
+        let s = vid(&format!("{}$mem", m.name));
+        let _ = writeln!(
+            w,
+            "  reg [{}:0] {}[0:{}];",
+            m.data_width - 1,
+            s,
+            m.entries() - 1
+        );
+        let _ = writeln!(w, "  initial begin");
+        for (i, v) in m.init.iter().enumerate() {
+            let _ = writeln!(w, "    {}[{}] = {}'h{:x};", s, i, m.data_width, v);
+        }
+        let _ = writeln!(w, "  end");
+    }
+
+    // One wire per combinational node, in creation (topological) order.
+    let _ = writeln!(w);
+    for net in nl.nets() {
+        let width = nl.width(net);
+        let rhs = match nl.node(net) {
+            Node::Input { .. } => continue, // the port is the net
+            Node::Const { value } => format!("{width}'h{value:x}"),
+            Node::RegOut(r) => vid(&format!("{}$q", nl.register_info(*r).name)),
+            Node::MemRead { mem, addr } => {
+                format!(
+                    "{}[{}]",
+                    vid(&format!("{}$mem", nl.memory_info(*mem).name)),
+                    opnd(*addr)
+                )
+            }
+            Node::Unary { op, a } => {
+                let sym = match op {
+                    UnaryOp::Not => "~",
+                    UnaryOp::Neg => "-",
+                    UnaryOp::RedOr => "|",
+                    UnaryOp::RedAnd => "&",
+                    UnaryOp::RedXor => "^",
+                };
+                format!("{sym}{}", opnd(*a))
+            }
+            Node::Binary { op, a, b } => {
+                let (a, b) = (opnd(*a), opnd(*b));
+                match op {
+                    BinaryOp::And => format!("{a} & {b}"),
+                    BinaryOp::Or => format!("{a} | {b}"),
+                    BinaryOp::Xor => format!("{a} ^ {b}"),
+                    BinaryOp::Add => format!("{a} + {b}"),
+                    BinaryOp::Sub => format!("{a} - {b}"),
+                    BinaryOp::Mul => format!("{a} * {b}"),
+                    BinaryOp::Eq => format!("{a} == {b}"),
+                    BinaryOp::Ne => format!("{a} != {b}"),
+                    BinaryOp::Ult => format!("{a} < {b}"),
+                    BinaryOp::Ule => format!("{a} <= {b}"),
+                    BinaryOp::Slt => format!("$signed({a}) < $signed({b})"),
+                    BinaryOp::Sle => format!("$signed({a}) <= $signed({b})"),
+                    BinaryOp::Shl => format!("{a} << {b}"),
+                    BinaryOp::Lshr => format!("{a} >> {b}"),
+                    BinaryOp::Ashr => format!("$signed({a}) >>> {b}"),
+                }
+            }
+            Node::Mux {
+                sel,
+                then_net,
+                else_net,
+            } => format!("{} ? {} : {}", opnd(*sel), opnd(*then_net), opnd(*else_net)),
+            Node::Slice { a, hi, lo } => format!("{}[{hi}:{lo}]", opnd(*a)),
+            Node::Concat { hi, lo } => format!("{{{}, {}}}", opnd(*hi), opnd(*lo)),
+        };
+        let _ = writeln!(w, "  wire [{}:0] n{} = {};", width - 1, net.index(), rhs);
+    }
+
+    // Register updates.
+    let _ = writeln!(w);
+    for r in nl.registers() {
+        let q = vid(&format!("{}$q", r.name));
+        let next = r.next.expect("pipelined netlists drive every register");
+        match r.enable {
+            Some(en) => {
+                let _ = writeln!(
+                    w,
+                    "  always @(posedge clk) if ({}) {} <= {};",
+                    opnd(en),
+                    q,
+                    opnd(next)
+                );
+            }
+            None => {
+                let _ = writeln!(w, "  always @(posedge clk) {} <= {};", q, opnd(next));
+            }
+        }
+    }
+
+    // Memory writes: one block per memory, ports in order (last wins).
+    for m in nl.memories() {
+        if m.write_ports.is_empty() {
+            continue;
+        }
+        let s = vid(&format!("{}$mem", m.name));
+        let _ = writeln!(w, "  always @(posedge clk) begin");
+        for p in &m.write_ports {
+            let _ = writeln!(
+                w,
+                "    if ({}) {}[{}] <= {};",
+                opnd(p.enable),
+                s,
+                opnd(p.addr),
+                opnd(p.data)
+            );
+        }
+        let _ = writeln!(w, "  end");
+    }
+
+    // Architectural / control outputs.
+    let _ = writeln!(w);
+    for (name, net) in &outputs {
+        let _ = writeln!(w, "  assign {} = {};", vid(name), opnd(*net));
+    }
+    let _ = writeln!(w, "endmodule");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_dotted_names() {
+        assert_eq!(vid("fw.2.GPRa.hit.3"), "\\fw.2.GPRa.hit.3 ");
+        assert_eq!(vid("PC$q"), "PC$q");
+        assert_eq!(vid("reg"), "\\reg ");
+        assert_eq!(vid("DPC"), "DPC");
+    }
+
+    #[test]
+    fn emits_counter_module() {
+        let mut nl = Netlist::new("count");
+        let (reg, q) = nl.register("CNT", 8, 0);
+        let one = nl.constant(1, 8);
+        let next = nl.add(q, one);
+        nl.connect(reg, next);
+        nl.label("CNT.next", next);
+        let v = emit_verilog(&nl, "count");
+        assert!(v.contains("module count ("));
+        assert!(v.contains("reg [7:0] CNT$q;"));
+        assert!(v.contains("always @(posedge clk) CNT$q <="));
+        assert!(v.contains("output wire [7:0] \\CNT.next ;"));
+        assert!(v.ends_with("endmodule\n"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Golden-file tests for rendered diagnostics: every malformed `.psm`
+//! under `tests/golden/` must produce exactly the error text recorded in
+//! its `.stderr` sibling.
+//!
+//! Regenerate with `UPDATE_GOLDEN=1 cargo test -p autopipe-front`.
+
+use std::path::Path;
+
+fn check(name: &str) {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let input = dir.join(format!("{name}.psm"));
+    let golden = dir.join(format!("{name}.stderr"));
+    let src = std::fs::read_to_string(&input).unwrap();
+    let rendered = match autopipe_front::compile(&src, &format!("tests/golden/{name}.psm")) {
+        Ok(_) => panic!("{name}.psm unexpectedly compiled"),
+        Err(diags) => diags.render(),
+    };
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden, &rendered).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&golden)
+        .unwrap_or_else(|_| panic!("missing {}; run with UPDATE_GOLDEN=1", golden.display()));
+    assert_eq!(
+        rendered, want,
+        "diagnostics for {name}.psm changed; rerun with UPDATE_GOLDEN=1 if intended"
+    );
+}
+
+#[test]
+fn unknown_stage() {
+    check("unknown_stage");
+}
+
+#[test]
+fn duplicate_register() {
+    check("duplicate_register");
+}
+
+#[test]
+fn missing_forward_register() {
+    check("missing_forward_register");
+}
+
+#[test]
+fn arity_mismatch() {
+    check("arity_mismatch");
+}
+
+#[test]
+fn cyclic_let() {
+    check("cyclic_let");
+}

@@ -1,0 +1,261 @@
+//! Property test: pretty-printing a random design and parsing it back
+//! reproduces the design (compared through the canonical printed form,
+//! which is injective up to spans).
+
+use autopipe_front::ast::{
+    Annotation, BinOp, CtrlSuffix, Design, Expr, FileDeclAst, RegDecl, StageDecl, Stmt, UnOp,
+};
+use autopipe_front::parse::parse_design;
+use autopipe_front::Span;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sp() -> Span {
+    Span::new(0, 0)
+}
+
+fn name(rng: &mut StdRng, prefix: &str, n: usize) -> String {
+    format!("{prefix}{}", rng.gen_range(0usize..n))
+}
+
+fn expr(rng: &mut StdRng, depth: u32, idents: &[String], n_stages: usize) -> Expr {
+    let leaf = depth == 0 || rng.gen_range(0u32..4) == 0;
+    if leaf {
+        match rng.gen_range(0u32..3) {
+            0 => {
+                let width = rng.gen_range(1u32..9);
+                let value = rng.gen_range(0u64..1 << width);
+                Expr::Const {
+                    value,
+                    width,
+                    span: sp(),
+                }
+            }
+            1 => Expr::Instance {
+                name: idents[rng.gen_range(0usize..idents.len())].clone(),
+                k: rng.gen_range(0usize..n_stages + 1),
+                span: sp(),
+            },
+            _ => Expr::Ident {
+                name: idents[rng.gen_range(0usize..idents.len())].clone(),
+                span: sp(),
+            },
+        }
+    } else {
+        let sub = |rng: &mut StdRng| Box::new(expr(rng, depth - 1, idents, n_stages));
+        match rng.gen_range(0u32..6) {
+            0 => Expr::Unary {
+                op: if rng.gen_range(0u32..2) == 0 {
+                    UnOp::Not
+                } else {
+                    UnOp::Neg
+                },
+                a: sub(rng),
+                span: sp(),
+            },
+            1 => {
+                const OPS: [BinOp; 11] = [
+                    BinOp::Or,
+                    BinOp::Xor,
+                    BinOp::And,
+                    BinOp::Eq,
+                    BinOp::Ne,
+                    BinOp::Shl,
+                    BinOp::Lshr,
+                    BinOp::Ashr,
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                ];
+                Expr::Binary {
+                    op: OPS[rng.gen_range(0usize..OPS.len())],
+                    a: sub(rng),
+                    b: sub(rng),
+                    span: sp(),
+                }
+            }
+            2 => Expr::Mux {
+                sel: sub(rng),
+                a: sub(rng),
+                b: sub(rng),
+                span: sp(),
+            },
+            3 => {
+                let lo = rng.gen_range(0u32..4);
+                Expr::Slice {
+                    a: sub(rng),
+                    hi: lo + rng.gen_range(0u32..4),
+                    lo,
+                    span: sp(),
+                }
+            }
+            4 => Expr::Bit {
+                a: sub(rng),
+                idx: rng.gen_range(0u32..8),
+                span: sp(),
+            },
+            _ => {
+                let (func, nargs, width) = match rng.gen_range(0u32..4) {
+                    0 => ("sext", 1, Some(rng.gen_range(8u32..33))),
+                    1 => ("zext", 1, Some(rng.gen_range(8u32..33))),
+                    2 => ("cat", 2 + rng.gen_range(0usize..2), None),
+                    _ => ("ult", 2, None),
+                };
+                Expr::Call {
+                    func: func.to_string(),
+                    func_span: sp(),
+                    args: (0..nargs)
+                        .map(|_| expr(rng, depth - 1, idents, n_stages))
+                        .collect(),
+                    width,
+                    span: sp(),
+                }
+            }
+        }
+    }
+}
+
+fn design(seed: u64) -> Design {
+    let rng = &mut StdRng::seed_from_u64(seed);
+    let n_stages = rng.gen_range(1usize..4);
+    let n_regs = rng.gen_range(1usize..4);
+    let regs: Vec<RegDecl> = (0..n_regs)
+        .map(|i| RegDecl {
+            name: format!("r{i}"),
+            width: rng.gen_range(1u32..33),
+            writers: {
+                let mut w: Vec<usize> = (0..n_stages)
+                    .filter(|_| rng.gen_range(0u32..2) == 0)
+                    .collect();
+                if w.is_empty() {
+                    w.push(rng.gen_range(0usize..n_stages));
+                }
+                w
+            },
+            init: rng.gen_range(0u64..16),
+            visible: rng.gen_range(0u32..2) == 0,
+            span: sp(),
+        })
+        .collect();
+    let files: Vec<FileDeclAst> = (0..rng.gen_range(0usize..2))
+        .map(|i| {
+            let read_only = rng.gen_range(0u32..2) == 0;
+            FileDeclAst {
+                name: format!("f{i}"),
+                addr_width: rng.gen_range(1u32..5),
+                data_width: rng.gen_range(1u32..17),
+                read_only,
+                write_stage: if read_only {
+                    0
+                } else {
+                    rng.gen_range(0usize..n_stages)
+                },
+                ctrl_stage: if !read_only && rng.gen_range(0u32..2) == 0 {
+                    Some(rng.gen_range(0usize..n_stages))
+                } else {
+                    None
+                },
+                init: (0..rng.gen_range(0usize..4))
+                    .map(|_| rng.gen_range(0u64..256))
+                    .collect(),
+                visible: rng.gen_range(0u32..2) == 0,
+                span: sp(),
+            }
+        })
+        .collect();
+
+    let idents: Vec<String> = regs.iter().map(|r| r.name.clone()).collect();
+    let stages: Vec<StageDecl> = (0..n_stages)
+        .map(|k| {
+            let mut stmts = Vec::new();
+            for (i, f) in files.iter().enumerate() {
+                if rng.gen_range(0u32..2) == 0 {
+                    stmts.push(Stmt::Read {
+                        alias: format!("a{k}_{i}"),
+                        file: f.name.clone(),
+                        file_span: sp(),
+                        addr: expr(rng, 1, &idents, n_stages),
+                    });
+                }
+            }
+            for i in 0..rng.gen_range(0usize..3) {
+                stmts.push(Stmt::Let {
+                    name: format!("x{k}_{i}"),
+                    span: sp(),
+                    expr: expr(rng, 3, &idents, n_stages),
+                });
+            }
+            for _ in 0..rng.gen_range(1usize..3) {
+                stmts.push(Stmt::Assign {
+                    target: name(rng, "r", n_regs),
+                    suffix: match rng.gen_range(0u32..4) {
+                        0 => Some(CtrlSuffix::We),
+                        1 => Some(CtrlSuffix::Wa),
+                        _ => None,
+                    },
+                    span: sp(),
+                    expr: expr(rng, 3, &idents, n_stages),
+                });
+            }
+            StageDecl {
+                index: k,
+                index_span: sp(),
+                name: format!("S{k}"),
+                stmts,
+            }
+        })
+        .collect();
+
+    let mut annotations = Vec::new();
+    if rng.gen_range(0u32..2) == 0 {
+        annotations.push(Annotation::Forward {
+            target: name(rng, "r", n_regs),
+            target_span: sp(),
+            via: if rng.gen_range(0u32..2) == 0 {
+                Some((name(rng, "r", n_regs), sp()))
+            } else {
+                None
+            },
+        });
+    }
+    if rng.gen_range(0u32..3) == 0 {
+        annotations.push(Annotation::Interlock {
+            target: name(rng, "r", n_regs),
+            target_span: sp(),
+        });
+    }
+    if rng.gen_range(0u32..3) == 0 {
+        annotations.push(Annotation::Topology {
+            tree: rng.gen_range(0u32..2) == 0,
+        });
+    }
+    if rng.gen_range(0u32..3) == 0 {
+        annotations.push(Annotation::ExtStalls);
+    }
+
+    Design {
+        name: "m".to_string(),
+        name_span: sp(),
+        n_stages,
+        inputs: Vec::new(),
+        regs,
+        files,
+        stages,
+        annotations,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256 })]
+
+    /// print → parse → print is the identity on the canonical form.
+    #[test]
+    fn printed_design_parses_back(seed in any::<u64>()) {
+        let d = design(seed);
+        let text = d.to_string();
+        let reparsed = parse_design(&text)
+            .unwrap_or_else(|e| panic!("generated design must parse:\n{text}\n{e:?}"));
+        prop_assert_eq!(text, reparsed.to_string());
+    }
+}

@@ -1,108 +1,42 @@
-//! Quickstart: describe a prepared sequential machine, let the tool
-//! pipeline it, and watch forwarding beat the interlock-only baseline.
+//! Quickstart: describe a prepared sequential machine in the textual
+//! `.psm` language, let the tool pipeline it, and watch forwarding beat
+//! the interlock-only baseline.
 //!
 //! The machine is a 3-stage accumulator (`RF[dst] := RF[src] + imm`):
 //! stage 0 fetches and precomputes the register-file write controls,
-//! stage 1 reads the (forwarded) operand, stage 2 writes back.
+//! stage 1 reads the (forwarded) operand, stage 2 writes back. The full
+//! description — stages, registers, the instruction memory contents and
+//! the `forward RF;` annotation — lives in `examples/programs/toy.psm`;
+//! this example compiles it, synthesizes both protection variants, and
+//! prints the report. (The same machine built with the netlist API
+//! directly is `autopipe::psm::MachineSpec` — see the crate docs.)
 //!
 //! Run with `cargo run --example quickstart`.
 
-use autopipe::hdl::Netlist;
-use autopipe::psm::{FileDecl, Fragment, MachineSpec, Plan, ReadPort, RegisterDecl};
-use autopipe::synth::{ForwardingSpec, PipelineSynthesizer, SynthOptions};
+use autopipe::front::compile_file;
+use autopipe::synth::{ForwardMode, PipelineSynthesizer};
 use autopipe::verify::Cosim;
-
-fn machine(program: &[u64]) -> Result<Plan, Box<dyn std::error::Error>> {
-    let mut spec = MachineSpec::new("acc", 3);
-    // The register list: name, width, writing stage — the paper's
-    // "the designer provides a list of the names of the registers,
-    // their domain, and the stages they belong to".
-    spec.register(RegisterDecl::new("PC", 4).written_by(0).visible());
-    spec.register(RegisterDecl::new("IR", 8).written_by(0));
-    spec.register(RegisterDecl::new("X", 8).written_by(1));
-    spec.file(FileDecl::read_only("IMEM", 4, 8).init(program.to_vec()));
-    // RF: 4 entries, written by stage 2, write controls precomputed in
-    // stage 0 (the paper's Rwe/Rwa).
-    spec.file(FileDecl::new("RF", 2, 8, 2).ctrl(0).visible());
-
-    // Stage 0: fetch. `f_0`: next PC, instruction register, write
-    // controls.
-    let mut f0 = Netlist::new("fetch");
-    let pc = f0.input("PC", 4);
-    let insn = f0.input("insn", 8);
-    let one = f0.constant(1, 4);
-    let npc = f0.add(pc, one);
-    f0.label("PC", npc);
-    f0.label("IR", insn);
-    let we = f0.one();
-    f0.label("RF.we", we);
-    let wa = f0.slice(insn, 1, 0);
-    f0.label("RF.wa", wa);
-    let mut fa = Netlist::new("fetch_addr");
-    let pca = fa.input("PC", 4);
-    fa.label("addr", pca);
-    spec.stage(
-        0,
-        "F",
-        Fragment::new(f0)?,
-        vec![ReadPort::new("IMEM", "insn", Fragment::new(fa)?)],
-    );
-
-    // Stage 1: execute. Reads the source operand through a register
-    // file port — the read the transformation must protect.
-    let mut f1 = Netlist::new("ex");
-    let ir = f1.input("IR", 8);
-    let src = f1.input("srcv", 8);
-    let imm4 = f1.slice(ir, 7, 4);
-    let imm = f1.zext(imm4, 8);
-    let x = f1.add(src, imm);
-    f1.label("X", x);
-    let mut ra = Netlist::new("src_addr");
-    let ir2 = ra.input("IR", 8);
-    let a = ra.slice(ir2, 3, 2);
-    ra.label("addr", a);
-    spec.stage(
-        1,
-        "EX",
-        Fragment::new(f1)?,
-        vec![ReadPort::new("RF", "srcv", Fragment::new(ra)?)],
-    );
-
-    // Stage 2: write back.
-    let mut f2 = Netlist::new("wb");
-    let x = f2.input("X", 8);
-    f2.label("RF", x);
-    spec.stage(2, "WB", Fragment::new(f2)?, vec![]);
-    Ok(spec.plan()?)
-}
-
-fn insn(imm: u64, src: u64, dst: u64) -> u64 {
-    imm << 4 | src << 2 | dst
-}
+use std::path::Path;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // A dependence-chained program: every instruction reads the
-    // previous result.
-    let program = vec![
-        insn(1, 0, 0),
-        insn(2, 0, 1),
-        insn(3, 1, 2),
-        insn(4, 2, 3),
-        insn(5, 3, 0),
-        insn(1, 0, 1),
-        insn(2, 1, 2),
-        insn(3, 2, 3),
-    ];
-    let plan = machine(&program)?;
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/programs/toy.psm");
+    // Parse + lower: text -> MachineSpec + SynthOptions. The program in
+    // IMEM is a dependence chain: every instruction reads the previous
+    // result, so the pipeline must forward or stall.
+    let compiled = compile_file(&path).map_err(|d| d.render())?;
+    let plan = compiled.spec.plan()?;
 
-    for (label, fwd) in [
-        (
-            "full forwarding",
-            ForwardingSpec::forward_from_write_stage("RF"),
-        ),
-        ("interlock only ", ForwardingSpec::interlock("RF")),
+    // The `.psm` file asks for write-stage forwarding (`forward RF;`);
+    // the baseline replaces it with an interlock.
+    let mut interlocked = compiled.options.clone();
+    for spec in &mut interlocked.forwarding {
+        spec.mode = ForwardMode::InterlockOnly;
+    }
+    for (label, options) in [
+        ("full forwarding", compiled.options.clone()),
+        ("interlock only ", interlocked),
     ] {
-        let pm = PipelineSynthesizer::new(SynthOptions::new().with_forwarding(fwd)).run(&plan)?;
+        let pm = PipelineSynthesizer::new(options).run(&plan)?;
         let mut cosim = Cosim::new(&pm).map_err(std::io::Error::other)?;
         let stats = cosim
             .run(200)
@@ -116,10 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let pm = PipelineSynthesizer::new(
-        SynthOptions::new().with_forwarding(ForwardingSpec::forward_from_write_stage("RF")),
-    )
-    .run(&plan)?;
+    let pm = PipelineSynthesizer::new(compiled.options).run(&plan)?;
     println!("\nSynthesis report:\n{}", pm.report);
     println!("Generated proof document (excerpt):");
     for line in pm.proof_document().lines().take(18) {

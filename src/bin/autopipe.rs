@@ -1,0 +1,249 @@
+//! `autopipe` — the unified front end for the pipeline transformation.
+//!
+//! ```text
+//! usage: autopipe <command> <design.psm> [options]
+//!
+//! commands:
+//!   parse    parse and lower the design, print the canonical form
+//!   synth    run the pipeline transformation, print the report
+//!   verify   synthesize, then discharge the proof obligations and run
+//!            the cycle-level consistency checker
+//!   emit     synthesize and print structural Verilog-2001
+//!   report   synthesize and print the cost/hazard report only
+//!
+//! options:
+//!   --emit FILE     (synth) also write the pipelined Verilog to FILE
+//!   --proof FILE    (synth) also write the proof document to FILE
+//!   -o FILE         (emit) write Verilog to FILE instead of stdout
+//!   --interlock     replace every `forward` annotation with an interlock
+//!   --tree          use the tree-shaped forwarding select network
+//!   --cycles N      (verify) consistency-checker cycle budget [10000]
+//!   -h, --help      print this help
+//!   --version       print the version
+//! ```
+//!
+//! Exit status: 0 on success, 1 on diagnosed errors (parse, lowering,
+//! synthesis, verification), 2 on command-line misuse.
+
+use autopipe::front::{compile_file, emit_verilog, Compiled};
+use autopipe::synth::{ForwardMode, MuxTopology, PipelineSynthesizer, PipelinedMachine};
+use autopipe::verify::{verify_machine, Cosim, VerifySettings};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: autopipe <parse|synth|verify|emit|report> <design.psm> [options]
+  --emit FILE   (synth) write pipelined Verilog to FILE
+  --proof FILE  (synth) write the proof document to FILE
+  -o FILE       (emit) write Verilog to FILE instead of stdout
+  --interlock   replace every `forward` annotation with an interlock
+  --tree        use the tree-shaped forwarding select network
+  --cycles N    (verify) consistency-checker cycle budget [10000]
+  -h, --help    print this help
+  --version     print the version";
+
+struct Options {
+    command: String,
+    path: PathBuf,
+    emit: Option<PathBuf>,
+    proof: Option<PathBuf>,
+    out: Option<PathBuf>,
+    interlock: bool,
+    tree: bool,
+    cycles: u64,
+}
+
+enum Early {
+    Help,
+    Version,
+    Usage(String),
+}
+
+fn parse_args() -> Result<Options, Early> {
+    let mut command = None;
+    let mut path = None;
+    let mut o = Options {
+        command: String::new(),
+        path: PathBuf::new(),
+        emit: None,
+        proof: None,
+        out: None,
+        interlock: false,
+        tree: false,
+        cycles: 10_000,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let file_arg = |args: &mut dyn Iterator<Item = String>| {
+            args.next()
+                .map(PathBuf::from)
+                .ok_or_else(|| Early::Usage(format!("{a} needs a file argument")))
+        };
+        match a.as_str() {
+            "-h" | "--help" => return Err(Early::Help),
+            "--version" => return Err(Early::Version),
+            "--emit" => o.emit = Some(file_arg(&mut args)?),
+            "--proof" => o.proof = Some(file_arg(&mut args)?),
+            "-o" => o.out = Some(file_arg(&mut args)?),
+            "--interlock" => o.interlock = true,
+            "--tree" => o.tree = true,
+            "--cycles" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| Early::Usage("--cycles needs a number".into()))?;
+                o.cycles = v
+                    .parse()
+                    .map_err(|_| Early::Usage(format!("bad cycle count `{v}`")))?;
+            }
+            other if other.starts_with('-') => {
+                return Err(Early::Usage(format!("unknown option `{other}`")))
+            }
+            other if command.is_none() => command = Some(other.to_string()),
+            other if path.is_none() => path = Some(PathBuf::from(other)),
+            other => return Err(Early::Usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    o.command = command.ok_or_else(|| Early::Usage("missing command".into()))?;
+    if !matches!(
+        o.command.as_str(),
+        "parse" | "synth" | "verify" | "emit" | "report"
+    ) {
+        return Err(Early::Usage(format!("unknown command `{}`", o.command)));
+    }
+    o.path = path.ok_or_else(|| Early::Usage("missing <design.psm>".into()))?;
+    Ok(o)
+}
+
+fn synthesize(c: &Compiled, o: &Options) -> Result<PipelinedMachine, String> {
+    let plan = c.spec.plan().map_err(|e| format!("plan: {e}"))?;
+    let mut options = c.options.clone();
+    if o.interlock {
+        // Like the DLX baseline: registers forwarded from their write
+        // stage only (e.g. the PC pair) keep that, everything else
+        // interlocks.
+        for spec in &mut options.forwarding {
+            if matches!(spec.mode, ForwardMode::Forward { source: Some(_) }) {
+                spec.mode = ForwardMode::InterlockOnly;
+            }
+        }
+    }
+    if o.tree {
+        options = options.with_topology(MuxTopology::Tree);
+    }
+    PipelineSynthesizer::new(options)
+        .run(&plan)
+        .map_err(|e| format!("synthesis: {e}"))
+}
+
+fn write_out(path: &PathBuf, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Print to stdout, exiting quietly when the reader has gone away —
+/// `autopipe emit design.psm | head` must not panic on EPIPE.
+fn out(text: impl std::fmt::Display) {
+    use std::io::Write;
+    if write!(std::io::stdout(), "{text}").is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn outln(text: impl std::fmt::Display) {
+    out(text);
+    out("\n");
+}
+
+fn run(o: &Options) -> Result<(), String> {
+    let compiled = compile_file(&o.path).map_err(|d| d.render())?;
+    match o.command.as_str() {
+        "parse" => {
+            out(&compiled.design);
+            outln(format_args!(
+                "// ok: {} stages, {} registers, {} files",
+                compiled.design.n_stages,
+                compiled.design.regs.len(),
+                compiled.design.files.len()
+            ));
+        }
+        "synth" => {
+            let pm = synthesize(&compiled, o)?;
+            outln(&pm.report);
+            if let Some(path) = &o.emit {
+                write_out(path, &emit_verilog(&pm.netlist, &compiled.design.name))?;
+                outln(format_args!("verilog written to {}", path.display()));
+            }
+            if let Some(path) = &o.proof {
+                write_out(path, &pm.proof_document())?;
+                outln(format_args!("proof document written to {}", path.display()));
+            }
+        }
+        "emit" => {
+            let pm = synthesize(&compiled, o)?;
+            let v = emit_verilog(&pm.netlist, &compiled.design.name);
+            match &o.out {
+                Some(path) => {
+                    write_out(path, &v)?;
+                    outln(format_args!("verilog written to {}", path.display()));
+                }
+                None => out(&v),
+            }
+        }
+        "report" => {
+            let pm = synthesize(&compiled, o)?;
+            outln(&pm.report);
+        }
+        "verify" => {
+            let pm = synthesize(&compiled, o)?;
+            let report = verify_machine(
+                &pm,
+                VerifySettings {
+                    max_k: 2,
+                    equiv_writes: 0,
+                    equiv_depth: 0,
+                    cosim_cycles: 0,
+                },
+            );
+            outln(format_args!("machine proof:\n{report}"));
+            if !report.ok() {
+                return Err("proof obligations failed".into());
+            }
+            let mut cosim = Cosim::new(&pm)?;
+            let stats = cosim
+                .run(o.cycles)
+                .map_err(|e| format!("consistency violation: {e}"))?;
+            outln(format_args!(
+                "cosim: {} instructions retired in {} cycles (CPI {:.2}), \
+checked against the sequential machine every cycle",
+                stats.retired,
+                stats.cycles,
+                stats.cpi()
+            ));
+        }
+        _ => unreachable!("validated in parse_args"),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let o = match parse_args() {
+        Ok(o) => o,
+        Err(Early::Help) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(Early::Version) => {
+            println!("autopipe {}", env!("CARGO_PKG_VERSION"));
+            return ExitCode::SUCCESS;
+        }
+        Err(Early::Usage(msg)) => {
+            eprintln!("autopipe: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&o) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -46,12 +46,37 @@ struct Options {
     mem: Vec<(u32, u32)>,
 }
 
+const USAGE: &str = "usage: dlx-run <prog.s> [options]
+  --isa              run only the golden instruction-level simulator
+  --verify           discharge the proof obligations before running
+  --sequential       run the prepared sequential machine
+  --interlock        pipeline without forwarding (interlock only)
+  --tree             use the find-first-one/tree select network
+  --optimize         run the verified netlist optimizer first
+  --no-check         skip the cycle-level data-consistency checker
+  --cycles N         cycle budget (default 10000)
+  --vcd FILE         dump a VCD trace of the pipelined run
+  --disasm           print the disassembled program and exit
+  --mem ADDR=VAL     preload a data-memory word (byte address)
+  -h, --help         print this help
+  --version          print the version";
+
+/// Print to stdout, exiting quietly when the reader has gone away —
+/// `dlx-run prog.s --disasm | head` must not panic on EPIPE.
+fn out(text: impl std::fmt::Display) {
+    use std::io::Write;
+    if write!(std::io::stdout(), "{text}").is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn outln(text: impl std::fmt::Display) {
+    out(text);
+    out("\n");
+}
+
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: dlx-run <prog.s> [--isa|--sequential] [--interlock] [--tree] \
-[--optimize] [--verify] [--no-check] [--cycles N] [--vcd FILE] [--disasm] \
-[--mem ADDR=VAL]..."
-    );
+    eprintln!("{USAGE}");
     ExitCode::FAILURE
 }
 
@@ -98,7 +123,14 @@ fn parse_args() -> Result<Options, ExitCode> {
                 };
                 o.mem.push((parse(a)?, parse(val)?));
             }
-            "-h" | "--help" => return Err(usage()),
+            "-h" | "--help" => {
+                outln(USAGE);
+                return Err(ExitCode::SUCCESS);
+            }
+            "--version" => {
+                outln(format_args!("dlx-run {}", env!("CARGO_PKG_VERSION")));
+                return Err(ExitCode::SUCCESS);
+            }
             other if o.path.is_empty() && !other.starts_with('-') => o.path = other.to_string(),
             _ => return Err(usage()),
         }
@@ -110,16 +142,16 @@ fn parse_args() -> Result<Options, ExitCode> {
 }
 
 fn print_state(regs: &[u64], dmem: &[u64]) {
-    println!("registers:");
+    outln("registers:");
     for (i, v) in regs.iter().enumerate() {
         if *v != 0 {
-            println!("  r{i:<2} = {v:#010x} ({v})");
+            outln(format_args!("  r{i:<2} = {v:#010x} ({v})"));
         }
     }
-    println!("data memory (touched words):");
+    outln("data memory (touched words):");
     for (i, v) in dmem.iter().enumerate() {
         if *v != 0 {
-            println!("  [{:#06x}] = {v:#010x} ({v})", i * 4);
+            outln(format_args!("  [{:#06x}] = {v:#010x} ({v})", i * 4));
         }
     }
 }
@@ -146,7 +178,7 @@ fn main() -> ExitCode {
     let words: Vec<u32> = prog.iter().map(|i| i.encode()).collect();
     if o.disasm {
         match disassemble(&words) {
-            Ok(t) => print!("{t}"),
+            Ok(t) => out(&t),
             Err((addr, w)) => eprintln!("dlx-run: bad word {w:#010x} at {addr}"),
         }
         return ExitCode::SUCCESS;
@@ -164,7 +196,10 @@ fn main() -> ExitCode {
             sim.dmem[idx] = val;
         }
         let stop = sim.run(o.cycles);
-        println!("isa: {:?} after {} instructions", stop, sim.retired);
+        outln(format_args!(
+            "isa: {:?} after {} instructions",
+            stop, sim.retired
+        ));
         let regs: Vec<u64> = sim.regs.iter().map(|&r| u64::from(r)).collect();
         let dmem: Vec<u64> = sim.dmem.iter().map(|&r| u64::from(r)).collect();
         print_state(&regs, &dmem);
@@ -194,7 +229,10 @@ fn main() -> ExitCode {
         for _ in 0..o.cycles / 5 {
             m.step_instruction();
         }
-        println!("sequential machine after {} cycles:", m.sim().cycle());
+        outln(format_args!(
+            "sequential machine after {} cycles:",
+            m.sim().cycle()
+        ));
         let (regs, dmem) = snapshot(m.sim());
         print_state(&regs, &dmem);
         return ExitCode::SUCCESS;
@@ -217,7 +255,7 @@ fn main() -> ExitCode {
         }
     };
     let pm = if o.optimize { pm.optimized() } else { pm };
-    println!("{}", pm.report);
+    outln(&pm.report);
 
     if o.verify {
         // Machine-checked proof of the generated control logic
@@ -232,7 +270,7 @@ fn main() -> ExitCode {
                 cosim_cycles: 0,
             },
         );
-        println!("machine proof:\n{report}\n");
+        outln(format_args!("machine proof:\n{report}\n"));
         if !report.ok() {
             return ExitCode::FAILURE;
         }
@@ -259,20 +297,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         let s = cosim.stats().clone();
-        println!(
+        outln(format_args!(
             "pipelined: {} instructions in {} cycles (CPI {:.2}), checked against the \
 sequential machine every cycle",
             s.retired,
             s.cycles,
             s.cpi()
-        );
+        ));
         let occupancy: Vec<String> = (0..5)
             .map(|k| format!("{:.0}%", 100.0 * s.occupancy(k)))
             .collect();
-        println!(
+        outln(format_args!(
             "  decode hazard cycles: {}, per-stage stalls: {:?}, occupancy {:?}",
             s.dhaz_counts[1], s.stall_counts, occupancy
-        );
+        ));
         let (regs, dmem) = snapshot(cosim.sim_mut());
         print_state(&regs, &dmem);
         return ExitCode::SUCCESS;
@@ -315,14 +353,14 @@ sequential machine every cycle",
         }
         sim.clock();
     }
-    println!(
+    outln(format_args!(
         "pipelined (unchecked): {} instructions in {} cycles (CPI {:.2})",
         retired,
         sim.cycle(),
         sim.cycle() as f64 / retired.max(1) as f64
-    );
+    ));
     if let Some((_, path)) = &vcd_out {
-        println!("VCD trace written to {path}");
+        outln(format_args!("VCD trace written to {path}"));
     }
     let (regs, dmem) = snapshot(&sim);
     print_state(&regs, &dmem);

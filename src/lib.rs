@@ -23,11 +23,16 @@
 //!   engine and scheduling-function co-simulation checker.
 //! * [`dlx`] — the five-stage DLX RISC case study: ISA, assembler, golden
 //!   simulator, prepared sequential machine, workload generators.
+//! * [`front`] — the textual `.psm` front end (lexer, parser, lowering,
+//!   diagnostics), the structural Verilog emitter, and the machinery
+//!   behind the `autopipe` command-line tool.
 //!
-//! See `examples/quickstart.rs` for a complete end-to-end walk-through.
+//! See `examples/quickstart.rs` for a complete end-to-end walk-through,
+//! and `examples/programs/*.psm` for the textual form.
 #![forbid(unsafe_code)]
 
 pub use autopipe_dlx as dlx;
+pub use autopipe_front as front;
 pub use autopipe_hdl as hdl;
 pub use autopipe_psm as psm;
 pub use autopipe_synth as synth;

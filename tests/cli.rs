@@ -1,16 +1,26 @@
-//! Smoke tests for the `dlx_run` command-line tool.
+//! Smoke tests for the `dlx_run` and `autopipe` command-line tools.
 
 use std::process::Command;
 
-fn run(args: &[&str]) -> (bool, String) {
-    let out = Command::new(env!("CARGO_BIN_EXE_dlx_run"))
-        .args(args)
-        .output()
-        .expect("binary runs");
+fn run_bin(bin: &str, args: &[&str]) -> (Option<i32>, String) {
+    let out = Command::new(bin).args(args).output().expect("binary runs");
     (
-        out.status.success(),
+        out.status.code(),
         String::from_utf8_lossy(&out.stdout).into_owned() + &String::from_utf8_lossy(&out.stderr),
     )
+}
+
+fn run(args: &[&str]) -> (bool, String) {
+    let (code, out) = run_bin(env!("CARGO_BIN_EXE_dlx_run"), args);
+    (code == Some(0), out)
+}
+
+fn autopipe(args: &[&str]) -> (Option<i32>, String) {
+    run_bin(env!("CARGO_BIN_EXE_autopipe"), args)
+}
+
+fn example(name: &str) -> String {
+    format!("{}/examples/programs/{name}", env!("CARGO_MANIFEST_DIR"))
 }
 
 fn write_prog(name: &str, text: &str) -> String {
@@ -106,6 +116,83 @@ fn verify_flag_discharges_obligations() {
     assert!(ok, "{out}");
     assert!(out.contains("verdict: PASS"), "{out}");
     assert!(out.contains("27 proved"), "{out}");
+}
+
+#[test]
+fn help_and_version_exit_successfully() {
+    for args in [&["--help"][..], &["--version"][..]] {
+        let (code, out) = run_bin(env!("CARGO_BIN_EXE_dlx_run"), args);
+        assert_eq!(code, Some(0), "{out}");
+        let (code, out) = autopipe(args);
+        assert_eq!(code, Some(0), "{out}");
+    }
+    let (_, out) = autopipe(&["--version"]);
+    assert!(out.contains(env!("CARGO_PKG_VERSION")), "{out}");
+}
+
+#[test]
+fn autopipe_usage_errors_exit_2() {
+    let (code, out) = autopipe(&["bogus", "x.psm"]);
+    assert_eq!(code, Some(2), "{out}");
+    let (code, _) = autopipe(&[]);
+    assert_eq!(code, Some(2));
+}
+
+#[test]
+fn autopipe_parse_prints_canonical_form() {
+    let (code, out) = autopipe(&["parse", &example("toy.psm")]);
+    assert_eq!(code, Some(0), "{out}");
+    assert!(out.contains("machine acc(3) {"), "{out}");
+    assert!(out.contains("forward RF;"), "{out}");
+}
+
+#[test]
+fn autopipe_diagnoses_bad_input_with_exit_1() {
+    let bad = std::env::temp_dir().join("autopipe_bad.psm");
+    std::fs::write(&bad, "machine m(1) {\n  reg R : 8 writes(0);\n}\n").unwrap();
+    let (code, out) = autopipe(&["parse", &bad.to_string_lossy()]);
+    assert_eq!(code, Some(1), "{out}");
+    assert!(out.contains("stage 0 has no definition"), "{out}");
+}
+
+#[test]
+fn autopipe_synth_emits_verilog_and_proof() {
+    let dir = std::env::temp_dir();
+    let v = dir.join("autopipe_dlx.v");
+    let proof = dir.join("autopipe_dlx_proof.md");
+    let (code, out) = autopipe(&[
+        "synth",
+        &example("dlx.psm"),
+        "--emit",
+        &v.to_string_lossy(),
+        "--proof",
+        &proof.to_string_lossy(),
+    ]);
+    assert_eq!(code, Some(0), "{out}");
+    assert!(out.contains("pipeline transformation of `dlx5`"), "{out}");
+    let verilog = std::fs::read_to_string(&v).unwrap();
+    assert!(verilog.contains("module dlx5 ("), "{verilog}");
+    assert!(verilog.ends_with("endmodule\n"));
+    let doc = std::fs::read_to_string(&proof).unwrap();
+    assert!(doc.contains("CORRECTNESS ARGUMENT"), "{doc}");
+}
+
+#[test]
+fn autopipe_verify_passes_on_toy_machine() {
+    let (code, out) = autopipe(&["verify", &example("toy.psm"), "--cycles", "300"]);
+    assert_eq!(code, Some(0), "{out}");
+    assert!(out.contains("verdict: PASS"), "{out}");
+    assert!(
+        out.contains("checked against the sequential machine"),
+        "{out}"
+    );
+}
+
+#[test]
+fn autopipe_emit_prints_verilog_to_stdout() {
+    let (code, out) = autopipe(&["emit", &example("toy.psm")]);
+    assert_eq!(code, Some(0), "{out}");
+    assert!(out.contains("module acc ("), "{out}");
 }
 
 #[test]

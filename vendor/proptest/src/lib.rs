@@ -1,0 +1,189 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! reimplements the subset of the proptest 1.x API the workspace uses:
+//! the `proptest!` / `prop_oneof!` / `prop_assert*!` macros, the
+//! [`Strategy`] trait with `prop_map` and tuple/range/`Just`/`any`
+//! strategies, `collection::vec`, and a deterministic [`TestRunner`].
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case reports the generated inputs
+//!   verbatim; they are reproducible because the runner's seed is fixed.
+//! - **Deterministic by construction.** Each test function runs the same
+//!   case sequence on every invocation, so CI is stable.
+//! - Only the configuration knob the workspace touches (`cases`) exists.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    use crate::strategy::Any;
+    use std::marker::PhantomData;
+
+    /// `any::<T>()` — the standard strategy for a primitive type.
+    pub fn any<T: rand::Standard + std::fmt::Debug>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Parameters are either `name in strategy` or
+/// `name: Type` (shorthand for `name in any::<Type>()`), optionally
+/// preceded by `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            $crate::__proptest_params! { config; body = $body; pats = []; strats = []; $($params)* }
+        }
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_params {
+    // `name in strategy` with more parameters following.
+    ($cfg:ident; body = $body:block; pats = [$($pat:pat,)*]; strats = [$($strat:expr,)*];
+     $name:ident in $s:expr, $($rest:tt)*) => {
+        $crate::__proptest_params! {
+            $cfg; body = $body; pats = [$($pat,)* $name,]; strats = [$($strat,)* $s,]; $($rest)*
+        }
+    };
+    // `name in strategy`, final parameter.
+    ($cfg:ident; body = $body:block; pats = [$($pat:pat,)*]; strats = [$($strat:expr,)*];
+     $name:ident in $s:expr) => {
+        $crate::__proptest_params! {
+            $cfg; body = $body; pats = [$($pat,)* $name,]; strats = [$($strat,)* $s,];
+        }
+    };
+    // `name: Type` with more parameters following.
+    ($cfg:ident; body = $body:block; pats = [$($pat:pat,)*]; strats = [$($strat:expr,)*];
+     $name:ident : $t:ty, $($rest:tt)*) => {
+        $crate::__proptest_params! {
+            $cfg; body = $body;
+            pats = [$($pat,)* $name,];
+            strats = [$($strat,)* $crate::arbitrary::any::<$t>(),];
+            $($rest)*
+        }
+    };
+    // `name: Type`, final parameter.
+    ($cfg:ident; body = $body:block; pats = [$($pat:pat,)*]; strats = [$($strat:expr,)*];
+     $name:ident : $t:ty) => {
+        $crate::__proptest_params! {
+            $cfg; body = $body;
+            pats = [$($pat,)* $name,];
+            strats = [$($strat,)* $crate::arbitrary::any::<$t>(),];
+        }
+    };
+    // All parameters consumed: run the cases.
+    ($cfg:ident; body = $body:block; pats = [$($pat:pat,)*]; strats = [$($strat:expr,)*];) => {
+        let strategy = ($($strat,)*);
+        let mut runner = $crate::test_runner::TestRunner::new($cfg);
+        let outcome = runner.run(&strategy, |($($pat,)*)| {
+            $body
+            Ok(())
+        });
+        if let Err(e) = outcome {
+            panic!("{}", e);
+        }
+    };
+}
+
+/// Strategy that picks uniformly among the listed strategies. The real
+/// crate's `weight => strategy` arms are accepted and honoured.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// the process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{:?}` == `{:?}`", a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{:?}` == `{:?}`: {}", a, b, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{:?}` != `{:?}`", a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{:?}` != `{:?}`: {}", a, b, format!($($fmt)+)
+        );
+    }};
+}

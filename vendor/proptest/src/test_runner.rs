@@ -1,0 +1,128 @@
+//! Deterministic test runner: generates `config.cases` inputs from a
+//! fixed seed and reports the first failing case without shrinking.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // The real default (256) is tuned for a shrinking runner; with
+        // deterministic non-shrinking cases a smaller default keeps the
+        // suite fast without losing the regression-catching role.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property is violated.
+    Fail(String),
+    /// The input is rejected (not counted as a failure).
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail<T: fmt::Display>(reason: T) -> TestCaseError {
+        TestCaseError::Fail(reason.to_string())
+    }
+
+    pub fn reject<T: fmt::Display>(reason: T) -> TestCaseError {
+        TestCaseError::Reject(reason.to_string())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+        }
+    }
+}
+
+// Lets `?` convert arbitrary errors inside proptest! bodies, mirroring
+// the real crate. TestCaseError itself deliberately does not implement
+// std::error::Error so this blanket impl cannot overlap with From<Self>.
+impl<E: std::error::Error> From<E> for TestCaseError {
+    fn from(e: E) -> TestCaseError {
+        TestCaseError::fail(e.to_string())
+    }
+}
+
+/// A property failure, carrying the offending input's debug rendering.
+#[derive(Debug)]
+pub struct TestError {
+    pub case: u32,
+    pub input: String,
+    pub reason: String,
+}
+
+impl fmt::Display for TestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "proptest case {} failed: {}\n    input: {}",
+            self.case, self.reason, self.input
+        )
+    }
+}
+
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: StdRng,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig) -> TestRunner {
+        // Fixed seed: every invocation replays the same case sequence.
+        TestRunner {
+            config,
+            rng: StdRng::seed_from_u64(0x70726f70_74657374),
+        }
+    }
+
+    pub fn run<S, F>(&mut self, strategy: &S, test: F) -> Result<(), TestError>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut case = 0;
+        let mut attempts = 0;
+        let max_attempts = self.config.cases.saturating_mul(10).max(100);
+        while case < self.config.cases {
+            attempts += 1;
+            if attempts > max_attempts {
+                break; // Too many rejects; give up quietly like the real runner.
+            }
+            let value = strategy.generate(&mut self.rng);
+            let rendered = format!("{:?}", value);
+            match test(value) {
+                Ok(()) => case += 1,
+                Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(reason)) => {
+                    return Err(TestError {
+                        case,
+                        input: rendered,
+                        reason,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
