@@ -23,6 +23,19 @@ fn bench_sim(c: &mut Criterion) {
         })
     });
     group.finish();
+
+    // The 64-lane bit-parallel simulator clocks 64 independent copies
+    // of the pipeline per step; throughput is lanes x cycles.
+    let mut group = c.benchmark_group("sim64");
+    group.throughput(Throughput::Elements(64 * 1000));
+    group.bench_function("dlx_pipeline_64x1k_cycles", |b| {
+        b.iter(|| {
+            let mut sim = autopipe_hdl::Sim64::new(&pm.netlist).expect("simulates");
+            sim.run(1000);
+            sim.cycle()
+        })
+    });
+    group.finish();
 }
 
 criterion_group! {

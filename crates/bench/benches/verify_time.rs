@@ -4,8 +4,8 @@
 use autopipe_bench::toy::{hazard_program, toy_plan};
 use autopipe_synth::{ForwardingSpec, PipelineSynthesizer, SynthOptions};
 use autopipe_verify::bmc::bmc_invariant;
-use autopipe_verify::check_obligations;
 use autopipe_verify::equiv::retirement_miter;
+use autopipe_verify::{check_obligations, check_obligations_jobs};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_verify(c: &mut Criterion) {
@@ -16,6 +16,9 @@ fn bench_verify(c: &mut Criterion) {
     .expect("synthesizes");
     c.bench_function("discharge_obligations_toy", |b| {
         b.iter(|| check_obligations(&pm.netlist, &pm.obligations, 2).expect("lowers"))
+    });
+    c.bench_function("discharge_obligations_toy_pooled", |b| {
+        b.iter(|| check_obligations_jobs(&pm.netlist, &pm.obligations, 2, 0).expect("lowers"))
     });
     let (nl, prop) = retirement_miter(&pm, "RF", 4).expect("miter builds");
     let low = autopipe_hdl::aig::lower(&nl).expect("lowers");

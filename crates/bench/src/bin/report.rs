@@ -2,30 +2,67 @@
 //! quantitative studies; see `DESIGN.md` (experiment index) and
 //! `EXPERIMENTS.md` (paper-vs-measured discussion).
 //!
-//! Usage: `cargo run -p autopipe-bench --bin report [--release] [eN ...]`
-//! with no arguments all experiments run.
+//! Usage: `cargo run -p autopipe-bench --bin report [--release]
+//! [eN ...] [--seed N] [--jobs N]`; with no experiment names all
+//! experiments run. `--seed` re-bases the random workloads of the
+//! CPI sweeps (E4/E5); `--jobs`/`-j` renders the selected experiments
+//! on the verification work-stealing pool (`0` = one per core) —
+//! output order stays deterministic regardless.
 
 use autopipe_bench::experiments as ex;
+use autopipe_verify::pool;
 
-type Renderer = fn() -> String;
+fn num_arg(flag: &str, v: Option<String>) -> u64 {
+    match v.and_then(|s| s.parse().ok()) {
+        Some(n) => n,
+        None => {
+            eprintln!("report: {flag} needs a number");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
-    let run: Vec<(&str, Renderer)> = vec![
-        ("e1", ex::e1_render),
-        ("e2", ex::e2_render),
-        ("e3", ex::e3_render),
-        ("e4", ex::e4_render),
-        ("e5", ex::e5_render),
-        ("e6", ex::e6_render),
-        ("e7", ex::e7_render),
-        ("e8", ex::e8_render),
-        ("e9", ex::e9_render),
-    ];
-    for (name, f) in run {
-        if want(name) {
-            println!("{}", f());
+    let mut names: Vec<String> = Vec::new();
+    let mut seed: Option<u64> = None;
+    let mut jobs: usize = 1;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => seed = Some(num_arg("--seed", args.next())),
+            "-j" | "--jobs" | "--threads" => jobs = num_arg("--jobs", args.next()) as usize,
+            other if !other.starts_with('-') => names.push(other.to_string()),
+            other => {
+                eprintln!("report: unknown option `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let want = |name: &str| names.is_empty() || names.iter().any(|a| a == name);
+    let run: Vec<&str> = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"]
+        .into_iter()
+        .filter(|n| want(n))
+        .collect();
+    // Fan the renderers across the pool; results come back in task
+    // order, so stdout is byte-identical for every --jobs value.
+    let tables = pool::map_tasks(jobs, run, move |_, name| match name {
+        "e1" => ex::e1_render(),
+        "e2" => ex::e2_render(),
+        "e3" => ex::e3_render(),
+        "e4" => ex::e4_render_seeded(seed.unwrap_or(0)),
+        "e5" => ex::e5_render_seeded(seed.map_or(100, |s| s + 100)),
+        "e6" => ex::e6_render(),
+        "e7" => ex::e7_render(),
+        "e8" => ex::e8_render(),
+        "e9" => ex::e9_render(),
+        _ => unreachable!("filtered above"),
+    });
+    for t in tables {
+        // Exit quietly when the reader has gone away — `report | head`
+        // must not panic on EPIPE.
+        use std::io::Write;
+        if writeln!(std::io::stdout(), "{t}").is_err() {
+            return;
         }
     }
 }

@@ -190,8 +190,13 @@ pub fn run_until_retired(pm: &PipelinedMachine, cfg: DlxConfig, prog: &[Instr], 
     cosim.stats().cycles
 }
 
-/// The E4 sweep data.
+/// The E4 sweep data (workload seeds `0..seeds`).
 pub fn e4_data(seeds: u64, prog_len: usize) -> Vec<CpiRow> {
+    e4_data_from(0, seeds, prog_len)
+}
+
+/// The E4 sweep data with workload seeds `base..base + seeds`.
+pub fn e4_data_from(base: u64, seeds: u64, prog_len: usize) -> Vec<CpiRow> {
     let cfg = DlxConfig::default();
     let fwd = dlx_pipeline(dlx_synth_options());
     let ilk = dlx_pipeline(dlx_interlock_options());
@@ -206,7 +211,7 @@ pub fn e4_data(seeds: u64, prog_len: usize) -> Vec<CpiRow> {
         let mut cyc_f = 0u64;
         let mut cyc_i = 0u64;
         let mut instr = 0u64;
-        for seed in 0..seeds {
+        for seed in base..base + seeds {
             let prog = random_program(cfg, prog_len, profile, seed);
             let n = prog_len as u64;
             cyc_f += run_until_retired(&fwd, cfg, &prog, n);
@@ -224,7 +229,12 @@ pub fn e4_data(seeds: u64, prog_len: usize) -> Vec<CpiRow> {
 
 /// Renders E4.
 pub fn e4_render() -> String {
-    let rows = e4_data(3, 60);
+    e4_render_seeded(0)
+}
+
+/// Renders E4 with workload seeds starting at `base`.
+pub fn e4_render_seeded(base: u64) -> String {
+    let rows = e4_data_from(base, 3, 60);
     let mut t = Table::new(vec![
         "raw density",
         "CPI forward",
@@ -265,8 +275,13 @@ pub struct LoadUseRow {
     pub cpi_slow_mem: f64,
 }
 
-/// The E5 sweep data.
+/// The E5 sweep data (workload seeds `100..100 + seeds`).
 pub fn e5_data(seeds: u64, prog_len: usize) -> Vec<LoadUseRow> {
+    e5_data_from(100, seeds, prog_len)
+}
+
+/// The E5 sweep data with workload seeds `base..base + seeds`.
+pub fn e5_data_from(base: u64, seeds: u64, prog_len: usize) -> Vec<LoadUseRow> {
     let cfg = DlxConfig::default();
     let fwd = dlx_pipeline(dlx_synth_options());
     let fwd_ext = dlx_pipeline(dlx_synth_options().with_ext_stalls());
@@ -282,7 +297,7 @@ pub fn e5_data(seeds: u64, prog_len: usize) -> Vec<LoadUseRow> {
         let mut dhaz = 0u64;
         let mut slow_cycles = 0u64;
         let mut instr = 0u64;
-        for seed in 100..100 + seeds {
+        for seed in base..base + seeds {
             let prog = random_program(cfg, prog_len, profile, seed);
             let words: Vec<u32> = prog.iter().map(|i| i.encode()).collect();
             let n = prog_len as u64;
@@ -320,7 +335,12 @@ pub fn e5_data(seeds: u64, prog_len: usize) -> Vec<LoadUseRow> {
 
 /// Renders E5.
 pub fn e5_render() -> String {
-    let rows = e5_data(3, 60);
+    e5_render_seeded(100)
+}
+
+/// Renders E5 with workload seeds starting at `base`.
+pub fn e5_render_seeded(base: u64) -> String {
+    let rows = e5_data_from(base, 3, 60);
     let mut t = Table::new(vec![
         "mem fraction",
         "CPI",

@@ -23,6 +23,7 @@ pub mod reader;
 pub mod verilog;
 
 pub use diag::{Diagnostic, Diagnostics, Span};
+pub use reader::{read_verilog, ReadError};
 pub use verilog::emit_verilog;
 
 use autopipe_psm::MachineSpec;

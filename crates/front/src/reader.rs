@@ -11,6 +11,51 @@
 use autopipe_hdl::{MemId, NetId, Netlist, RegId};
 use std::collections::HashMap;
 
+/// Error reading emitted Verilog back into a netlist: the source fell
+/// outside the subset [`crate::verilog::emit_verilog`] produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadError {
+    /// 1-based source line the failure is tied to, when known.
+    pub line: Option<usize>,
+    /// What fell outside the emitted subset.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.line {
+            Some(l) => write!(f, "line {l}: {}", self.msg),
+            None => write!(f, "{}", self.msg),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+// The parsing internals format their errors as `line N: msg` strings;
+// this lifts them into the structured form at the public boundary.
+impl From<String> for ReadError {
+    fn from(s: String) -> ReadError {
+        if let Some(rest) = s.strip_prefix("line ") {
+            if let Some((n, msg)) = rest.split_once(": ") {
+                if let Ok(line) = n.parse() {
+                    return ReadError {
+                        line: Some(line),
+                        msg: msg.to_string(),
+                    };
+                }
+            }
+        }
+        ReadError { line: None, msg: s }
+    }
+}
+
+impl From<&str> for ReadError {
+    fn from(s: &str) -> ReadError {
+        ReadError::from(s.to_string())
+    }
+}
+
 /// One token of a line.
 #[derive(Debug, Clone, PartialEq)]
 enum T {
@@ -122,9 +167,9 @@ struct Reader {
 ///
 /// # Errors
 ///
-/// Returns a message naming the offending line for anything outside the
-/// emitted subset.
-pub fn read_verilog(src: &str) -> Result<Netlist, String> {
+/// Returns a [`ReadError`] naming the offending line for anything
+/// outside the emitted subset.
+pub fn read_verilog(src: &str) -> Result<Netlist, ReadError> {
     let mut lines = src.lines().enumerate().peekable();
     let mut rd = None;
 

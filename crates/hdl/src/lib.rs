@@ -6,7 +6,9 @@
 //! * a **word-level netlist IR** ([`Netlist`]) with registers, register
 //!   files / memories, and the combinational operators needed to express
 //!   processor data paths (see [`ir`]),
-//! * a **cycle-accurate two-phase simulator** ([`sim::Simulator`]),
+//! * a **cycle-accurate two-phase simulator** ([`sim::Simulator`]) and a
+//!   **64-lane bit-parallel variant** ([`sim64::Sim64`]) that evaluates 64
+//!   stimulus vectors per pass for testgen/cosim sweeps,
 //! * a **structural cost model** ([`stats`]) estimating gate count and
 //!   critical-path depth — used for the paper's mux-chain vs balanced-tree
 //!   forwarding comparison,
@@ -46,6 +48,7 @@ pub mod aig;
 pub mod ir;
 pub mod opt;
 pub mod sim;
+pub mod sim64;
 pub mod stats;
 pub mod testgen;
 pub mod value;
@@ -58,5 +61,6 @@ pub use ir::{
 };
 pub use opt::{optimize, NetMap, OptStats};
 pub use sim::Simulator;
+pub use sim64::{Sim64, LANES};
 pub use stats::{cone_to_dot, DelayModel, NetlistStats};
 pub use value::mask;

@@ -1,0 +1,520 @@
+//! 64-lane bit-parallel ("bit-sliced") netlist simulation.
+//!
+//! [`Sim64`] runs the same two-phase cycle as [`crate::Simulator`] but
+//! evaluates **64 independent stimulus vectors per pass**: every net is
+//! stored as `width` bit-planes, where bit `l` of plane `b` is bit `b`
+//! of lane `l`'s value. Bitwise operators then cost one machine word
+//! operation per plane regardless of the lane count; arithmetic runs as
+//! ripple-carry/borrow chains over the planes and shifts as barrel
+//! stages masked per lane. Random test generation and cosimulation
+//! sweeps use this to amortize netlist traversal across 64 stimuli.
+//!
+//! The semantics of every operator are defined by [`crate::Simulator`]:
+//! for all netlists and stimuli, lane `l` of a [`Sim64`] equals a
+//! scalar simulator driven with lane `l`'s inputs (this is asserted by
+//! the crate's randomized tests).
+
+use crate::ir::{HdlError, MemId, NetId, Netlist, Node, RegId, UnaryOp};
+use crate::value::mask;
+use crate::BinaryOp;
+use std::collections::HashMap;
+
+/// Number of lanes evaluated per pass.
+pub const LANES: usize = 64;
+
+/// All-lanes-set plane constant.
+const ALL: u64 = u64::MAX;
+
+type Planes = Vec<u64>;
+
+/// Transposes 64 lane values of a `width`-bit signal into bit-planes.
+fn to_planes(lanes: &[u64; LANES], width: u32) -> Planes {
+    let mut planes = vec![0u64; width as usize];
+    for (l, &v) in lanes.iter().enumerate() {
+        debug_assert!(v <= mask(width));
+        for (b, plane) in planes.iter_mut().enumerate() {
+            *plane |= ((v >> b) & 1) << l;
+        }
+    }
+    planes
+}
+
+/// Extracts lane `l` from bit-planes.
+fn lane(planes: &[u64], l: usize) -> u64 {
+    planes
+        .iter()
+        .enumerate()
+        .fold(0, |acc, (b, &p)| acc | (((p >> l) & 1) << b))
+}
+
+/// Ripple-carry add of two equal-width plane vectors, with carry-in.
+fn add_planes(a: &[u64], b: &[u64], mut carry: u64) -> Planes {
+    let mut out = vec![0u64; a.len()];
+    for ((&ap, &bp), o) in a.iter().zip(b).zip(&mut out) {
+        *o = ap ^ bp ^ carry;
+        carry = (ap & bp) | (carry & (ap ^ bp));
+    }
+    out
+}
+
+/// Per-lane unsigned `a < b` as a single plane (borrow chain).
+fn ult_plane(a: &[u64], b: &[u64]) -> u64 {
+    let mut borrow = 0u64;
+    for (&ap, &bp) in a.iter().zip(b) {
+        borrow = (!ap & bp) | ((!ap | bp) & borrow);
+    }
+    borrow
+}
+
+/// Per-lane select: `sel ? t : e` plane-wise, `sel` a lane mask.
+fn mux_planes(sel: u64, t: &[u64], e: &[u64]) -> Planes {
+    t.iter()
+        .zip(e)
+        .map(|(&tp, &ep)| (tp & sel) | (ep & !sel))
+        .collect()
+}
+
+/// Barrel shifter over the amount's bit-planes. `fill` supplies the
+/// plane shifted in (`None` = zeros, `Some(sign)` for arithmetic).
+enum ShiftKind {
+    Left,
+    LogicalRight,
+    ArithRight,
+}
+
+fn shift_planes(a: &[u64], amount: &[u64], kind: &ShiftKind) -> Planes {
+    let w = a.len();
+    let mut r = a.to_vec();
+    for (i, &m) in amount.iter().enumerate() {
+        if m == 0 {
+            continue;
+        }
+        let sh = if i >= 63 { usize::MAX } else { 1usize << i };
+        let fill = match kind {
+            ShiftKind::ArithRight => r[w - 1],
+            _ => 0,
+        };
+        let shifted: Planes = (0..w)
+            .map(|b| match kind {
+                ShiftKind::Left => {
+                    if b >= sh && sh < w {
+                        r[b - sh]
+                    } else {
+                        0
+                    }
+                }
+                ShiftKind::LogicalRight | ShiftKind::ArithRight => {
+                    if sh < w && b + sh < w {
+                        r[b + sh]
+                    } else {
+                        fill
+                    }
+                }
+            })
+            .collect();
+        for (rp, sp) in r.iter_mut().zip(&shifted) {
+            *rp = (sp & m) | (*rp & !m);
+        }
+    }
+    r
+}
+
+/// A 64-lane bit-parallel netlist interpreter; see the
+/// [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Sim64 {
+    nl: Netlist,
+    values: Vec<Planes>,
+    regs: Vec<Planes>,
+    /// Per-memory, per-lane scalar storage: `mems[mem][lane][addr]`.
+    mems: Vec<Vec<Vec<u64>>>,
+    inputs: HashMap<NetId, Planes>,
+    settled: bool,
+    cycle: u64,
+}
+
+impl Sim64 {
+    /// Builds a 64-lane simulator for a validated netlist. All lanes
+    /// start from the same architectural state (register/memory
+    /// initial values).
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`HdlError`] reported by [`Netlist::validate`].
+    pub fn new(nl: &Netlist) -> Result<Self, HdlError> {
+        nl.validate()?;
+        let regs = nl
+            .registers()
+            .iter()
+            .map(|r| to_planes(&[r.init; LANES], r.width))
+            .collect();
+        let mems = nl
+            .memories()
+            .iter()
+            .map(|m| {
+                let mut v = m.init.clone();
+                v.resize(m.entries(), 0);
+                vec![v; LANES]
+            })
+            .collect();
+        Ok(Sim64 {
+            values: vec![Vec::new(); nl.node_count()],
+            regs,
+            mems,
+            inputs: HashMap::new(),
+            settled: false,
+            cycle: 0,
+            nl: nl.clone(),
+        })
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &Netlist {
+        &self.nl
+    }
+
+    /// Number of completed clock cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Sets all 64 lanes of an input port for the current cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not an input or a value does not fit.
+    pub fn set_input_lanes(&mut self, net: NetId, values: &[u64; LANES]) {
+        assert!(
+            matches!(self.nl.node(net), Node::Input { .. }),
+            "{net} is not an input port"
+        );
+        let w = self.nl.width(net);
+        for &v in values {
+            assert!(v <= mask(w), "input value {v:#x} does not fit in {w} bits");
+        }
+        self.inputs.insert(net, to_planes(values, w));
+        self.settled = false;
+    }
+
+    /// Broadcasts one value to all 64 lanes of an input port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not an input or the value does not fit.
+    pub fn set_input_all(&mut self, net: NetId, value: u64) {
+        self.set_input_lanes(net, &[value; LANES]);
+    }
+
+    /// Reads lane `l` of a settled net value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Sim64::settle`] in the current cycle
+    /// or if `l >= 64`.
+    pub fn get_lane(&self, net: NetId, l: usize) -> u64 {
+        assert!(self.settled, "call settle() before reading net values");
+        assert!(l < LANES, "lane {l} out of range");
+        lane(&self.values[net.index()], l)
+    }
+
+    /// Reads all 64 lanes of a settled net value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Sim64::settle`] in the current cycle.
+    pub fn get_lanes(&self, net: NetId) -> [u64; LANES] {
+        assert!(self.settled, "call settle() before reading net values");
+        let planes = &self.values[net.index()];
+        std::array::from_fn(|l| lane(planes, l))
+    }
+
+    /// Lane `l` of a register's stored value.
+    pub fn reg_lane(&self, reg: RegId, l: usize) -> u64 {
+        lane(&self.regs[reg.index()], l)
+    }
+
+    /// Lane `l` of one memory entry.
+    pub fn mem_lane(&self, mem: MemId, l: usize, addr: usize) -> u64 {
+        self.mems[mem.index()][l][addr]
+    }
+
+    /// Overwrites a register's stored value in every lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit.
+    pub fn poke_reg_all(&mut self, reg: RegId, value: u64) {
+        let w = self.nl.register_info(reg).width;
+        assert!(value <= mask(w), "poke value does not fit in {w} bits");
+        self.regs[reg.index()] = to_planes(&[value; LANES], w);
+        self.settled = false;
+    }
+
+    /// Overwrites one memory entry in every lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range or the value does not fit.
+    pub fn poke_mem_all(&mut self, mem: MemId, addr: usize, value: u64) {
+        let m = self.nl.memory_info(mem);
+        assert!(addr < m.entries(), "address {addr} out of range");
+        assert!(
+            value <= mask(m.data_width),
+            "poke value does not fit in {} bits",
+            m.data_width
+        );
+        for lane_mem in &mut self.mems[mem.index()] {
+            lane_mem[addr] = value;
+        }
+        self.settled = false;
+    }
+
+    /// Evaluates all combinational nets in every lane against the
+    /// current state. Idempotent until the next `clock`/`set_input*`.
+    pub fn settle(&mut self) {
+        if self.settled {
+            return;
+        }
+        for i in 0..self.nl.node_count() {
+            let id = NetId(i as u32);
+            let w = self.nl.width(id) as usize;
+            let v: Planes = match *self.nl.node(id) {
+                Node::Input { .. } => self.inputs.get(&id).cloned().unwrap_or_else(|| vec![0; w]),
+                Node::Const { value } => (0..w)
+                    .map(|b| if (value >> b) & 1 == 1 { ALL } else { 0 })
+                    .collect(),
+                Node::RegOut(r) => self.regs[r.index()].clone(),
+                Node::MemRead { mem, addr } => {
+                    let addr_planes = &self.values[addr.index()];
+                    let lane_mems = &self.mems[mem.index()];
+                    let mut planes = vec![0u64; w];
+                    for (l, lane_mem) in lane_mems.iter().enumerate() {
+                        let a = lane(addr_planes, l) as usize;
+                        let d = lane_mem[a];
+                        for (b, plane) in planes.iter_mut().enumerate() {
+                            *plane |= ((d >> b) & 1) << l;
+                        }
+                    }
+                    planes
+                }
+                Node::Unary { op, a } => {
+                    let av = &self.values[a.index()];
+                    match op {
+                        UnaryOp::Not => av.iter().map(|&p| !p).collect(),
+                        UnaryOp::Neg => {
+                            let na: Planes = av.iter().map(|&p| !p).collect();
+                            add_planes(&na, &vec![0; na.len()], ALL)
+                        }
+                        UnaryOp::RedOr => vec![av.iter().fold(0, |acc, &p| acc | p)],
+                        UnaryOp::RedAnd => vec![av.iter().fold(ALL, |acc, &p| acc & p)],
+                        UnaryOp::RedXor => vec![av.iter().fold(0, |acc, &p| acc ^ p)],
+                    }
+                }
+                Node::Binary { op, a, b } => {
+                    let av = &self.values[a.index()];
+                    let bv = &self.values[b.index()];
+                    match op {
+                        BinaryOp::And => av.iter().zip(bv).map(|(&x, &y)| x & y).collect(),
+                        BinaryOp::Or => av.iter().zip(bv).map(|(&x, &y)| x | y).collect(),
+                        BinaryOp::Xor => av.iter().zip(bv).map(|(&x, &y)| x ^ y).collect(),
+                        BinaryOp::Add => add_planes(av, bv, 0),
+                        BinaryOp::Sub => {
+                            let nb: Planes = bv.iter().map(|&p| !p).collect();
+                            add_planes(av, &nb, ALL)
+                        }
+                        BinaryOp::Mul => {
+                            let aw = av.len();
+                            let mut acc = vec![0u64; aw];
+                            for (i, &m) in bv.iter().enumerate().take(aw) {
+                                if m == 0 {
+                                    continue;
+                                }
+                                let addend: Planes = (0..aw)
+                                    .map(|bit| if bit >= i { av[bit - i] & m } else { 0 })
+                                    .collect();
+                                acc = add_planes(&acc, &addend, 0);
+                            }
+                            acc
+                        }
+                        BinaryOp::Eq => {
+                            vec![av.iter().zip(bv).fold(ALL, |acc, (&x, &y)| acc & !(x ^ y))]
+                        }
+                        BinaryOp::Ne => {
+                            vec![!av.iter().zip(bv).fold(ALL, |acc, (&x, &y)| acc & !(x ^ y))]
+                        }
+                        BinaryOp::Ult => vec![ult_plane(av, bv)],
+                        BinaryOp::Ule => vec![!ult_plane(bv, av)],
+                        BinaryOp::Slt | BinaryOp::Sle => {
+                            // Bias trick: flipping the sign plane turns a
+                            // signed compare into an unsigned one.
+                            let mut ab = av.clone();
+                            let mut bb = bv.clone();
+                            *ab.last_mut().expect("width >= 1") ^= ALL;
+                            *bb.last_mut().expect("width >= 1") ^= ALL;
+                            match op {
+                                BinaryOp::Slt => vec![ult_plane(&ab, &bb)],
+                                _ => vec![!ult_plane(&bb, &ab)],
+                            }
+                        }
+                        BinaryOp::Shl => shift_planes(av, bv, &ShiftKind::Left),
+                        BinaryOp::Lshr => shift_planes(av, bv, &ShiftKind::LogicalRight),
+                        BinaryOp::Ashr => shift_planes(av, bv, &ShiftKind::ArithRight),
+                    }
+                }
+                Node::Mux {
+                    sel,
+                    then_net,
+                    else_net,
+                } => mux_planes(
+                    self.values[sel.index()][0],
+                    &self.values[then_net.index()],
+                    &self.values[else_net.index()],
+                ),
+                Node::Slice { a, hi, lo } => {
+                    self.values[a.index()][lo as usize..=hi as usize].to_vec()
+                }
+                Node::Concat { hi, lo } => {
+                    let mut planes = self.values[lo.index()].clone();
+                    planes.extend_from_slice(&self.values[hi.index()]);
+                    planes
+                }
+            };
+            debug_assert_eq!(v.len(), w, "net {id} plane count");
+            self.values[i] = v;
+        }
+        self.settled = true;
+    }
+
+    /// Commits the clock edge in every lane using the settled
+    /// combinational values. Settles first if necessary.
+    pub fn clock(&mut self) {
+        self.settle();
+        let mut new_regs = self.regs.clone();
+        for (i, r) in self.nl.registers().iter().enumerate() {
+            let en = r.enable.map(|e| self.values[e.index()][0]).unwrap_or(ALL);
+            let next = r.next.expect("validated netlist");
+            new_regs[i] = mux_planes(en, &self.values[next.index()], &self.regs[i]);
+        }
+        for (mi, m) in self.nl.memories().iter().enumerate() {
+            for p in &m.write_ports {
+                let en = self.values[p.enable.index()][0];
+                if en == 0 {
+                    continue;
+                }
+                let addr_planes = self.values[p.addr.index()].clone();
+                let data_planes = self.values[p.data.index()].clone();
+                for l in 0..LANES {
+                    if (en >> l) & 1 == 1 {
+                        let a = lane(&addr_planes, l) as usize;
+                        self.mems[mi][l][a] = lane(&data_planes, l);
+                    }
+                }
+            }
+        }
+        self.regs = new_regs;
+        self.settled = false;
+        self.cycle += 1;
+    }
+
+    /// One full cycle: settle then clock.
+    pub fn step(&mut self) {
+        self.clock();
+    }
+
+    /// Runs `n` cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Resets registers and memories to their initial values in every
+    /// lane.
+    pub fn reset(&mut self) {
+        for (i, r) in self.nl.registers().iter().enumerate() {
+            self.regs[i] = to_planes(&[r.init; LANES], r.width);
+        }
+        for (i, m) in self.nl.memories().iter().enumerate() {
+            let mut v = m.init.clone();
+            v.resize(m.entries(), 0);
+            self.mems[i] = vec![v; LANES];
+        }
+        self.settled = false;
+        self.cycle = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Netlist;
+
+    #[test]
+    fn planes_roundtrip() {
+        let mut lanes = [0u64; LANES];
+        for (l, v) in lanes.iter_mut().enumerate() {
+            *v = (l as u64 * 37) & mask(8);
+        }
+        let planes = to_planes(&lanes, 8);
+        for (l, &v) in lanes.iter().enumerate() {
+            assert_eq!(lane(&planes, l), v);
+        }
+    }
+
+    #[test]
+    fn counter_counts_in_every_lane() {
+        let mut nl = Netlist::new("c");
+        let one = nl.constant(1, 8);
+        let (r, out) = nl.register("cnt", 8, 0);
+        let next = nl.add(out, one);
+        nl.connect(r, next);
+        let mut sim = Sim64::new(&nl).unwrap();
+        sim.run(300);
+        for l in 0..LANES {
+            assert_eq!(sim.reg_lane(r, l), 300 % 256);
+        }
+    }
+
+    #[test]
+    fn lanes_diverge_with_inputs() {
+        let mut nl = Netlist::new("c");
+        let en = nl.input("en", 1);
+        let one = nl.constant(1, 8);
+        let (r, out) = nl.register("cnt", 8, 0);
+        let next = nl.add(out, one);
+        nl.connect_en(r, next, en);
+        let mut sim = Sim64::new(&nl).unwrap();
+        // Even lanes enabled, odd lanes frozen.
+        let lanes: [u64; LANES] = std::array::from_fn(|l| (l % 2 == 0) as u64);
+        sim.set_input_lanes(en, &lanes);
+        sim.run(5);
+        for l in 0..LANES {
+            assert_eq!(sim.reg_lane(r, l), if l % 2 == 0 { 5 } else { 0 });
+        }
+    }
+
+    #[test]
+    fn per_lane_memory_writes() {
+        let mut nl = Netlist::new("m");
+        let m = nl.memory("ram", 2, 8, vec![0xaa]);
+        let we = nl.input("we", 1);
+        let wa = nl.input("wa", 2);
+        let wd = nl.input("wd", 8);
+        nl.mem_write(m, we, wa, wd);
+        let ra = nl.input("ra", 2);
+        let dout = nl.mem_read(m, ra);
+        nl.label("dout", dout);
+        let mut sim = Sim64::new(&nl).unwrap();
+        sim.set_input_all(we, 1);
+        // Lane l writes value l to address l % 4.
+        sim.set_input_lanes(wa, &std::array::from_fn(|l| (l % 4) as u64));
+        sim.set_input_lanes(wd, &std::array::from_fn(|l| l as u64));
+        sim.step();
+        sim.set_input_all(we, 0);
+        sim.set_input_lanes(ra, &std::array::from_fn(|l| (l % 4) as u64));
+        sim.settle();
+        for l in 0..LANES {
+            assert_eq!(sim.get_lane(dout, l), l as u64);
+        }
+    }
+}

@@ -32,6 +32,17 @@ impl TestRng {
     }
 }
 
+/// Draws one random stimulus: a value for every input port of `nl`,
+/// masked to the port width. Feed the pairs to
+/// [`crate::Simulator::set_input`] (or collect 64 draws per port for
+/// [`crate::Sim64::set_input_lanes`]).
+pub fn random_inputs(rng: &mut TestRng, nl: &Netlist) -> Vec<(NetId, u64)> {
+    nl.input_ports()
+        .into_iter()
+        .map(|(_, id)| (id, rng.next_u64() & crate::value::mask(nl.width(id))))
+        .collect()
+}
+
 /// Builds a random netlist with three inputs, one enabled register and
 /// one memory with a write port, applying `n_ops` random operations
 /// over a growing net pool. Returns the netlist and all pool nets

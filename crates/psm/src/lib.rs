@@ -35,5 +35,5 @@ pub use elab::{
 };
 pub use fragment::Fragment;
 pub use plan::{Plan, PlanError, RegInstance, ResolvedInput};
-pub use sequential::{SequentialMachine, VisibleState, VisibleValue};
+pub use sequential::{SequentialError, SequentialMachine, VisibleState, VisibleValue};
 pub use spec::{FileDecl, MachineSpec, ReadPort, RegisterDecl, StageLogic};

@@ -12,11 +12,14 @@
 //!   when induction is inconclusive).
 
 use crate::cnf::{apply_sign, tseitin_and};
-use crate::sat::{Lit, SatResult, Solver};
+use crate::pool;
+use crate::sat::{Lit, SatResult, Solver, Var};
 use autopipe_hdl::aig::Aig;
 use autopipe_hdl::{AigLit, Netlist};
 use autopipe_synth::{Obligation, ObligationClass};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Lazily encodes time frames of an AIG into a SAT solver.
 #[derive(Debug)]
@@ -133,6 +136,159 @@ impl<'a> Unroller<'a> {
     pub fn lit(&mut self, t: usize, l: AigLit) -> Lit {
         let v = self.var_lit(t, l.var());
         apply_sign(v, l)
+    }
+}
+
+/// A shared, deterministically numbered full-frame CNF encoding of an
+/// AIG's time frames.
+///
+/// The lazy [`Unroller`] encodes only the cone of influence of each
+/// queried literal, which is ideal for a single property but wasteful
+/// for a batch: every obligation — and inside [`kinduction`], every
+/// candidate depth — re-walks the same AIG. The cache instead encodes
+/// *complete* frames exactly once, behind a mutex that is only touched
+/// when a new frame is first needed; worker threads then ingest the
+/// shared clause segments into their private solvers and query with
+/// assumptions. Variable numbering is a pure function of `(frame, AIG
+/// variable)`, so the clauses every solver sees are identical no
+/// matter which thread encoded the frame first — a prerequisite for
+/// the engine's byte-deterministic reports.
+#[derive(Debug)]
+pub struct ClauseCache<'a> {
+    aig: &'a Aig,
+    free_init: bool,
+    vars_per_frame: usize,
+    latch_of_var: HashMap<u32, usize>,
+    frames: Mutex<Vec<Arc<Vec<Vec<Lit>>>>>,
+}
+
+impl<'a> ClauseCache<'a> {
+    /// Creates a cache. With `free_init`, frame-0 latches are
+    /// unconstrained (induction steps); otherwise they take their
+    /// reset values (BMC base cases).
+    pub fn new(aig: &'a Aig, free_init: bool) -> ClauseCache<'a> {
+        ClauseCache {
+            aig,
+            free_init,
+            vars_per_frame: aig.var_count().saturating_sub(1) as usize,
+            latch_of_var: aig
+                .latches()
+                .iter()
+                .enumerate()
+                .map(|(i, l)| (l.var, i))
+                .collect(),
+            frames: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether frame-0 latches are free (step cache) or reset (base).
+    pub fn free_init(&self) -> bool {
+        self.free_init
+    }
+
+    /// SAT literal of AIG literal `l` at frame `t` under the cache's
+    /// fixed numbering: variable 0 is the shared constant-false
+    /// variable, then each frame owns a contiguous block.
+    pub fn lit(&self, t: usize, l: AigLit) -> Lit {
+        let v = l.var();
+        let var = if v == 0 {
+            Var::new(0)
+        } else {
+            Var::new((1 + t * self.vars_per_frame + (v as usize - 1)) as u32)
+        };
+        apply_sign(var.positive(), l)
+    }
+
+    /// The clause segment for frame `t`, encoding it (and any earlier
+    /// missing frames) on first use.
+    fn frame(&self, t: usize) -> Arc<Vec<Vec<Lit>>> {
+        let mut frames = self.frames.lock().expect("cache poisoned");
+        while frames.len() <= t {
+            let ft = frames.len();
+            frames.push(Arc::new(self.encode_frame(ft)));
+        }
+        frames[t].clone()
+    }
+
+    fn encode_frame(&self, t: usize) -> Vec<Vec<Lit>> {
+        let mut clauses = Vec::new();
+        if t == 0 {
+            // Pin the shared constant-false variable.
+            clauses.push(vec![self.lit(0, AigLit::FALSE).not()]);
+        }
+        for v in 1..self.aig.var_count() {
+            if self.aig.is_input(v) {
+                continue;
+            }
+            if let Some(&li) = self.latch_of_var.get(&v) {
+                let latch = self.aig.latches()[li];
+                let out = self.lit(t, AigLit::new(v, false));
+                if t == 0 {
+                    if !self.free_init {
+                        clauses.push(vec![if latch.init { out } else { out.not() }]);
+                    }
+                } else {
+                    // out_t <-> next-function at t-1.
+                    let src = self.lit(t - 1, latch.next);
+                    clauses.push(vec![out.not(), src]);
+                    clauses.push(vec![out, src.not()]);
+                }
+            } else {
+                let (a, b) = self.aig.and_gate(v).expect("remaining vars are ANDs");
+                let out = self.lit(t, AigLit::new(v, false));
+                let al = self.lit(t, a);
+                let bl = self.lit(t, b);
+                clauses.push(vec![out.not(), al]);
+                clauses.push(vec![out.not(), bl]);
+                clauses.push(vec![al.not(), bl.not(), out]);
+            }
+        }
+        clauses
+    }
+
+    /// A fresh solver view over the cache: frames are ingested on
+    /// demand as literals from later frames are requested.
+    pub fn unroller(&self) -> CachedUnroller<'_, 'a> {
+        CachedUnroller {
+            cache: self,
+            solver: Solver::new(),
+            loaded: 0,
+        }
+    }
+}
+
+/// A private solver fed from a [`ClauseCache`]; the cheap per-thread
+/// half of the shared-encoding design.
+#[derive(Debug)]
+pub struct CachedUnroller<'c, 'a> {
+    cache: &'c ClauseCache<'a>,
+    /// The underlying solver (query with assumptions).
+    pub solver: Solver,
+    loaded: usize,
+}
+
+impl CachedUnroller<'_, '_> {
+    fn ensure(&mut self, t: usize) {
+        while self.loaded <= t {
+            if self.loaded == 0 {
+                self.solver.new_var(); // the constant-false variable
+            }
+            for _ in 0..self.cache.vars_per_frame {
+                self.solver.new_var();
+            }
+            let seg = self.cache.frame(self.loaded);
+            for c in seg.iter() {
+                self.solver.add_clause(c);
+            }
+            self.loaded += 1;
+        }
+    }
+
+    /// SAT literal of AIG literal `l` at frame `t`, ingesting cached
+    /// frames as needed.
+    pub fn lit(&mut self, t: usize, l: AigLit) -> Lit {
+        self.ensure(t);
+        self.cache.lit(t, l)
     }
 }
 
@@ -256,6 +412,57 @@ pub fn kinduction(aig: &Aig, prop: AigLit, max_k: usize) -> BmcOutcome {
     BmcOutcome::BoundedOk { depth: max_k }
 }
 
+/// [`bmc_invariant`] on a shared clause cache (must be a reset-state
+/// cache, i.e. `free_init == false`).
+pub fn bmc_invariant_cached(cache: &ClauseCache<'_>, prop: AigLit, depth: usize) -> BmcOutcome {
+    debug_assert!(!cache.free_init(), "BMC needs reset initial states");
+    let mut u = cache.unroller();
+    for t in 0..=depth {
+        let p = u.lit(t, prop);
+        if u.solver.solve_with_assumptions(&[p.not()]) == SatResult::Sat {
+            return BmcOutcome::Violated { frame: t };
+        }
+    }
+    BmcOutcome::BoundedOk { depth }
+}
+
+/// [`kinduction`] on shared clause caches. Unlike the classic
+/// version, the induction step reuses **one** growing solver across
+/// all candidate depths (assumption literals keep each query
+/// non-destructive), so frames are encoded and ingested once instead
+/// of once per `k`.
+pub fn kinduction_cached(
+    base: &ClauseCache<'_>,
+    step: &ClauseCache<'_>,
+    prop: AigLit,
+    max_k: usize,
+) -> BmcOutcome {
+    debug_assert!(step.free_init(), "induction steps need free states");
+    if let BmcOutcome::Violated { frame } = bmc_invariant_cached(base, prop, max_k) {
+        return BmcOutcome::Violated { frame };
+    }
+    let mut u = step.unroller();
+    let mut assumed: Vec<Lit> = Vec::new();
+    for k in 0..=max_k {
+        let goal = u.lit(k, prop);
+        let mut q = assumed.clone();
+        q.push(goal.not());
+        if u.solver.solve_with_assumptions(&q) == SatResult::Unsat {
+            return BmcOutcome::Proved { k };
+        }
+        assumed.push(goal);
+    }
+    BmcOutcome::BoundedOk { depth: max_k }
+}
+
+/// 0-induction over a shared free-state cache: `prop` holds in every
+/// state whatsoever.
+fn kinduction_comb_cached(step: &ClauseCache<'_>, prop: AigLit) -> bool {
+    let mut u = step.unroller();
+    let p = u.lit(0, prop);
+    u.solver.solve_with_assumptions(&[p.not()]) == SatResult::Unsat
+}
+
 /// Report for one discharged obligation.
 #[derive(Debug, Clone)]
 pub struct ObligationReport {
@@ -265,6 +472,10 @@ pub struct ObligationReport {
     pub class: ObligationClass,
     /// The verdict.
     pub outcome: BmcOutcome,
+    /// Wall-clock microseconds this obligation took to discharge.
+    /// Timing is reported out-of-band (the deterministic report text
+    /// never includes it).
+    pub micros: u128,
 }
 
 impl ObligationReport {
@@ -277,6 +488,8 @@ impl ObligationReport {
 /// Discharges the synthesizer's obligations on `netlist`:
 /// combinational ones by a single free-state SAT query, inductive ones
 /// by k-induction up to `max_k` (falling back to a bounded result).
+/// Runs on the calling thread; see [`check_obligations_jobs`] for the
+/// parallel engine.
 ///
 /// # Errors
 ///
@@ -286,36 +499,53 @@ pub fn check_obligations(
     obligations: &[Obligation],
     max_k: usize,
 ) -> Result<Vec<ObligationReport>, autopipe_hdl::HdlError> {
+    check_obligations_jobs(netlist, obligations, max_k, 1)
+}
+
+/// [`check_obligations`], fanned out across `jobs` worker threads
+/// (`0` = one per core).
+///
+/// The netlist is lowered once; all workers share two [`ClauseCache`]s
+/// (reset-state for BMC base cases, free-state for induction steps and
+/// combinational tautologies) so the AIG's time frames are encoded a
+/// single time. Reports come back in obligation order with identical
+/// verdicts regardless of `jobs`; only the recorded wall-clock
+/// microseconds vary.
+///
+/// # Errors
+///
+/// Propagates AIG lowering errors.
+pub fn check_obligations_jobs(
+    netlist: &Netlist,
+    obligations: &[Obligation],
+    max_k: usize,
+    jobs: usize,
+) -> Result<Vec<ObligationReport>, autopipe_hdl::HdlError> {
     let lowered = autopipe_hdl::aig::lower(netlist)?;
-    let mut out = Vec::with_capacity(obligations.len());
-    for ob in obligations {
+    let base = ClauseCache::new(&lowered.aig, false);
+    let step = ClauseCache::new(&lowered.aig, true);
+    Ok(pool::map_tasks(jobs, obligations.to_vec(), |_, ob| {
+        let t0 = Instant::now();
         let prop = lowered.net_lits(ob.net)[0];
         let outcome = match ob.class {
             ObligationClass::Combinational => {
                 // Tautology over arbitrary (even unreachable) states.
-                match kinduction_comb(&lowered.aig, prop) {
+                match kinduction_comb_cached(&step, prop) {
                     true => BmcOutcome::Proved { k: 0 },
                     // Not a tautology over free states: fall back to
                     // reachable-state induction.
-                    false => kinduction(&lowered.aig, prop, max_k),
+                    false => kinduction_cached(&base, &step, prop, max_k),
                 }
             }
-            ObligationClass::Inductive => kinduction(&lowered.aig, prop, max_k),
+            ObligationClass::Inductive => kinduction_cached(&base, &step, prop, max_k),
         };
-        out.push(ObligationReport {
+        ObligationReport {
             name: ob.name.clone(),
             class: ob.class,
             outcome,
-        });
-    }
-    Ok(out)
-}
-
-/// 0-induction: `prop` holds in every state whatsoever.
-fn kinduction_comb(aig: &Aig, prop: AigLit) -> bool {
-    let mut unroller = Unroller::new(aig, true);
-    let p = unroller.lit(0, prop);
-    unroller.solver.solve_with_assumptions(&[p.not()]) == SatResult::Unsat
+            micros: t0.elapsed().as_micros(),
+        }
+    }))
 }
 
 #[cfg(test)]
@@ -431,6 +661,76 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cached_engine_agrees_with_lazy_unroller() {
+        let (nl, ok) = counter_netlist();
+        let low = autopipe_hdl::aig::lower(&nl).unwrap();
+        let prop = low.net_lits(ok)[0];
+        let base = ClauseCache::new(&low.aig, false);
+        let step = ClauseCache::new(&low.aig, true);
+        assert_eq!(
+            bmc_invariant_cached(&base, prop, 20),
+            bmc_invariant(&low.aig, prop, 20)
+        );
+        assert_eq!(
+            kinduction_cached(&base, &step, prop, 3),
+            kinduction(&low.aig, prop, 3)
+        );
+        // And on a reachable violation (cnt == 4 at frame 4).
+        let (mut nl, _) = counter_netlist();
+        let out = nl.find("cnt").unwrap();
+        let four = nl.constant(4, 3);
+        let bad = nl.eq(out, four);
+        let okn = nl.not(bad);
+        let okn = nl.label("ok4", okn);
+        let low = autopipe_hdl::aig::lower(&nl).unwrap();
+        let prop = low.net_lits(okn)[0];
+        let base = ClauseCache::new(&low.aig, false);
+        let step = ClauseCache::new(&low.aig, true);
+        assert_eq!(
+            kinduction_cached(&base, &step, prop, 8),
+            BmcOutcome::Violated { frame: 4 }
+        );
+    }
+
+    #[test]
+    fn parallel_obligation_checks_match_sequential() {
+        // Build a netlist carrying several labeled invariants of mixed
+        // truth values and discharge them as obligations.
+        let (mut nl, ok) = counter_netlist();
+        let out = nl.find("cnt").unwrap();
+        let mut obs = vec![Obligation {
+            name: "never7".into(),
+            class: ObligationClass::Inductive,
+            net: ok,
+        }];
+        for v in [3u64, 5, 6] {
+            let c = nl.constant(v, 3);
+            let bad = nl.eq(out, c);
+            let okn = nl.not(bad);
+            let okn = nl.label(format!("ok{v}"), okn);
+            obs.push(Obligation {
+                name: format!("never{v}"),
+                class: ObligationClass::Inductive,
+                net: okn,
+            });
+        }
+        let seq = check_obligations(&nl, &obs, 8).unwrap();
+        for jobs in [2, 4, 0] {
+            let par = check_obligations_jobs(&nl, &obs, 8, jobs).unwrap();
+            assert_eq!(par.len(), seq.len());
+            for (a, b) in par.iter().zip(&seq) {
+                assert_eq!(a.name, b.name, "jobs = {jobs}");
+                assert_eq!(a.outcome, b.outcome, "{} jobs = {jobs}", a.name);
+            }
+        }
+        // The counter wraps at 6: 3 and 5 are reached, 6 is not.
+        assert!(seq[0].ok());
+        assert!(!seq[1].ok());
+        assert!(!seq[2].ok());
+        assert!(seq[3].ok());
     }
 
     #[test]

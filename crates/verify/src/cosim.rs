@@ -226,12 +226,12 @@ impl Cosim {
     ///
     /// # Errors
     ///
-    /// Propagates elaboration/simulation construction errors as
-    /// strings (they indicate internal inconsistencies, not user
-    /// mistakes).
-    pub fn new(pm: &PipelinedMachine) -> Result<Cosim, String> {
-        let sim = pm.simulator().map_err(|e| e.to_string())?;
-        let seq = SequentialMachine::new(pm.plan.clone()).map_err(|e| e.to_string())?;
+    /// Propagates elaboration/simulation construction errors as a
+    /// typed [`crate::VerifyError`] (they indicate internal
+    /// inconsistencies, not user mistakes).
+    pub fn new(pm: &PipelinedMachine) -> Result<Cosim, crate::VerifyError> {
+        let sim = pm.simulator()?;
+        let seq = SequentialMachine::new(pm.plan.clone())?;
         let n = pm.n_stages();
         let mut visible_regs = Vec::new();
         for (ii, inst) in pm.plan.instances.iter().enumerate() {

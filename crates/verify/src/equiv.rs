@@ -301,13 +301,63 @@ pub fn netlist_miter(a: &Netlist, b: &Netlist) -> Result<(Netlist, NetId), Miter
 ///
 /// # Errors
 ///
-/// Propagates simulator construction errors as a message.
-pub fn simulate_property(nl: &Netlist, prop: NetId, cycles: u64) -> Result<Option<u64>, String> {
-    let mut sim = autopipe_hdl::Simulator::new(nl).map_err(|e| e.to_string())?;
+/// Propagates simulator construction errors.
+pub fn simulate_property(
+    nl: &Netlist,
+    prop: NetId,
+    cycles: u64,
+) -> Result<Option<u64>, autopipe_hdl::HdlError> {
+    let mut sim = autopipe_hdl::Simulator::new(nl)?;
     for t in 0..cycles {
         sim.settle();
         if sim.get(prop) != 1 {
             return Ok(Some(t));
+        }
+        sim.clock();
+    }
+    Ok(None)
+}
+
+/// Fuzzes a 1-bit property on an **open** netlist (e.g. a
+/// [`netlist_miter`] with shared inputs): every cycle, all input ports
+/// are driven with 64 independent pseudo-random stimulus vectors and
+/// the property is evaluated bit-parallel across the lanes in one
+/// [`autopipe_hdl::Sim64`] pass. Returns the first `(cycle, lane)`
+/// whose property evaluates to 0, so `cycles` cycles test
+/// `64 × cycles` stimulus vectors. Deterministic in `seed`.
+///
+/// # Errors
+///
+/// Propagates simulator construction errors.
+pub fn fuzz_property(
+    nl: &Netlist,
+    prop: NetId,
+    seed: u64,
+    cycles: u64,
+) -> Result<Option<(u64, usize)>, autopipe_hdl::HdlError> {
+    use autopipe_hdl::testgen::{random_inputs, TestRng};
+    use autopipe_hdl::{Sim64, LANES};
+    let mut sim = Sim64::new(nl)?;
+    let mut rng = TestRng::new(seed);
+    let ports = nl.input_ports();
+    for t in 0..cycles {
+        // Transposed fill: lane l of every port comes from one
+        // `random_inputs` draw, keeping the stream order stable.
+        let mut lanes: Vec<[u64; LANES]> = vec![[0; LANES]; ports.len()];
+        #[allow(clippy::needless_range_loop)]
+        for l in 0..LANES {
+            for (p, (_, v)) in random_inputs(&mut rng, nl).into_iter().enumerate() {
+                lanes[p][l] = v;
+            }
+        }
+        for (p, (_, id)) in ports.iter().enumerate() {
+            sim.set_input_lanes(*id, &lanes[p]);
+        }
+        sim.settle();
+        for (l, v) in sim.get_lanes(prop).into_iter().enumerate() {
+            if v != 1 {
+                return Ok(Some((t, l)));
+            }
         }
         sim.clock();
     }
@@ -339,5 +389,25 @@ mod tests {
         let (r, _) = nl.register("r", 1, 0);
         nl.connect(r, one);
         assert!(check_closed(&nl).is_ok());
+    }
+
+    #[test]
+    fn fuzzer_confirms_tautology_and_finds_violation() {
+        // a + b == b + a holds for every stimulus …
+        let mut nl = Netlist::new("comm");
+        let a = nl.input("a", 4);
+        let b = nl.input("b", 4);
+        let ab = nl.add(a, b);
+        let ba = nl.add(b, a);
+        let ok = nl.eq(ab, ba);
+        let ok = nl.label("ok", ok);
+        assert_eq!(fuzz_property(&nl, ok, 7, 20).unwrap(), None);
+        // … while `a != 5` is falsified almost immediately: each of the
+        // 20 cycles tries 64 random 4-bit values.
+        let five = nl.constant(5, 4);
+        let bad = nl.ne(a, five);
+        let bad = nl.label("ne5", bad);
+        let hit = fuzz_property(&nl, bad, 7, 20).unwrap();
+        assert!(hit.is_some(), "no lane drew the value 5");
     }
 }

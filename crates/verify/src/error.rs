@@ -1,0 +1,89 @@
+//! The crate-wide typed error.
+//!
+//! Every fallible public surface of `autopipe-verify` returns
+//! [`VerifyError`] (or a more specific error that converts into it)
+//! instead of the bare `String`s of early versions, so callers can
+//! match on failure classes and the workspace-level `autopipe::Error`
+//! can wrap verification failures without string-parsing.
+
+use crate::cosim::ConsistencyError;
+use crate::equiv::MiterError;
+use autopipe_hdl::HdlError;
+use autopipe_psm::SequentialError;
+use std::fmt;
+
+/// Any failure produced while constructing or running a verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Netlist construction, validation or AIG lowering failed.
+    Hdl(HdlError),
+    /// Elaborating the sequential reference machine failed.
+    Sequential(SequentialError),
+    /// The co-simulation checker found a consistency violation.
+    Consistency(ConsistencyError),
+    /// A product-machine (miter) construction failed.
+    Miter(MiterError),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Hdl(e) => write!(f, "{e}"),
+            VerifyError::Sequential(e) => write!(f, "sequential reference: {e}"),
+            VerifyError::Consistency(e) => write!(f, "consistency violation: {e}"),
+            VerifyError::Miter(e) => write!(f, "miter: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VerifyError::Hdl(e) => Some(e),
+            VerifyError::Sequential(e) => Some(e),
+            VerifyError::Consistency(e) => Some(e),
+            VerifyError::Miter(e) => Some(e),
+        }
+    }
+}
+
+impl From<HdlError> for VerifyError {
+    fn from(e: HdlError) -> Self {
+        VerifyError::Hdl(e)
+    }
+}
+
+impl From<SequentialError> for VerifyError {
+    fn from(e: SequentialError) -> Self {
+        VerifyError::Sequential(e)
+    }
+}
+
+impl From<ConsistencyError> for VerifyError {
+    fn from(e: ConsistencyError) -> Self {
+        VerifyError::Consistency(e)
+    }
+}
+
+impl From<MiterError> for VerifyError {
+    fn from(e: MiterError) -> Self {
+        VerifyError::Miter(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_delegate() {
+        let e = VerifyError::from(ConsistencyError::Liveness {
+            cycle: 10,
+            since: 5,
+        });
+        assert!(e.to_string().contains("no retirement"));
+        assert!(std::error::Error::source(&e).is_some());
+        let m = VerifyError::from(MiterError::UnknownFile { name: "RF".into() });
+        assert!(m.to_string().contains("RF"));
+    }
+}

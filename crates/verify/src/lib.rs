@@ -18,7 +18,13 @@
 //! * [`equiv`] — bounded product-machine checks: cycle-exact miters of
 //!   two pipeline variants, and retirement-indexed equivalence of the
 //!   pipelined machine against the sequential reference for closed
-//!   systems.
+//!   systems,
+//! * [`pool`] — a dependency-free work-stealing thread pool
+//!   ([`std::thread::scope`]-based) that fans obligation and
+//!   equivalence checks across cores while keeping every report
+//!   byte-deterministic (per-task result slots, merged in task order),
+//! * [`error`] — the typed [`VerifyError`] every fallible public
+//!   surface returns.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -26,10 +32,18 @@ pub mod bmc;
 pub mod cnf;
 pub mod cosim;
 pub mod equiv;
+pub mod error;
+pub mod pool;
 pub mod report;
 pub mod sat;
 
-pub use bmc::{check_obligations, BmcOutcome, BmcResult, ObligationReport};
+pub use bmc::{
+    check_obligations, check_obligations_jobs, BmcOutcome, BmcResult, ClauseCache, ObligationReport,
+};
 pub use cosim::{ConsistencyError, Cosim, CosimStats};
-pub use report::{verify_machine, VerificationReport, VerifySettings};
+pub use equiv::{
+    fuzz_property, lockstep_miter, netlist_miter, retirement_miter, simulate_property, MiterError,
+};
+pub use error::VerifyError;
+pub use report::{verify_machine, VerificationReport, VerifySettings, VerifyTimings};
 pub use sat::{Lit, SatResult, Solver, Var};

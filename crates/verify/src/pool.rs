@@ -1,0 +1,193 @@
+//! A hand-rolled work-stealing thread pool on [`std::thread::scope`].
+//!
+//! Verification workloads are coarse, independent tasks of wildly
+//! unequal cost (one obligation may close at `k = 0`, its neighbour
+//! may need a deep unrolling), which is exactly the shape work
+//! stealing handles well: each worker owns a deque seeded with a
+//! contiguous slice of the task indices, pops from the front of its
+//! own deque, and steals from the back of a victim's when it runs dry.
+//!
+//! **Determinism contract.** Results are written into *per-task slots*
+//! and merged in task order, so the output of [`run_tasks`] (and of
+//! everything built on it — obligation reports, equivalence reports,
+//! the verification verdict) is byte-identical regardless of the
+//! worker count or the interleaving the scheduler happened to pick.
+//! Only wall-clock timings vary between runs.
+//!
+//! The pool is dependency-free and contains no `unsafe`: the deques
+//! and result slots are `Mutex`-protected, which is noise next to the
+//! seconds-long SAT calls the tasks perform.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// The worker count meaning "one per available core".
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolves a user-facing `--jobs` value: `0` means auto-detect.
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        default_jobs()
+    } else {
+        jobs
+    }
+}
+
+/// Runs every closure in `tasks` on `jobs` workers and returns the
+/// results **in task order** (see the module docs for the determinism
+/// contract). `jobs == 0` auto-detects; `jobs == 1` (or a single task)
+/// runs inline on the calling thread with no pool at all.
+pub fn run_tasks<T, F>(jobs: usize, tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = tasks.len();
+    let jobs = resolve_jobs(jobs).min(n.max(1));
+    if jobs <= 1 || n <= 1 {
+        return tasks.into_iter().map(|f| f()).collect();
+    }
+
+    // Task and result slots, indexed by task id. Workers `take` the
+    // closure out of its slot (so it runs exactly once) and park the
+    // result in the matching slot.
+    let tasks: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    // Per-worker deques seeded with contiguous chunks, so workers
+    // start far apart and only collide once load imbalance develops.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..jobs)
+        .map(|w| {
+            let lo = w * n / jobs;
+            let hi = (w + 1) * n / jobs;
+            Mutex::new((lo..hi).collect())
+        })
+        .collect();
+
+    std::thread::scope(|s| {
+        for w in 0..jobs {
+            let queues = &queues;
+            let tasks = &tasks;
+            let results = &results;
+            s.spawn(move || loop {
+                // Own work first (front), then steal (back). Tasks
+                // never enqueue new tasks, so "every deque empty" is a
+                // stable termination condition.
+                let mut next = queues[w].lock().expect("queue poisoned").pop_front();
+                if next.is_none() {
+                    for (v, victim) in queues.iter().enumerate() {
+                        if v == w {
+                            continue;
+                        }
+                        next = victim.lock().expect("queue poisoned").pop_back();
+                        if next.is_some() {
+                            break;
+                        }
+                    }
+                }
+                let Some(i) = next else { break };
+                let f = tasks[i].lock().expect("task slot poisoned").take();
+                if let Some(f) = f {
+                    let r = f();
+                    *results[i].lock().expect("result slot poisoned") = Some(r);
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every task ran")
+        })
+        .collect()
+}
+
+/// Maps `f` over `items` on `jobs` workers; results come back in item
+/// order. `f` receives the item index alongside the item.
+pub fn map_tasks<I, T, F>(jobs: usize, items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    let f = &f;
+    run_tasks(
+        jobs,
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| move || f(i, item))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        for jobs in [1, 2, 4, 7] {
+            let tasks: Vec<_> = (0..50)
+                .map(|i| {
+                    move || {
+                        // Uneven costs provoke stealing.
+                        if i % 7 == 0 {
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                        }
+                        i * i
+                    }
+                })
+                .collect();
+            let got = run_tasks(jobs, tasks);
+            let want: Vec<usize> = (0..50).map(|i| i * i).collect();
+            assert_eq!(got, want, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let tasks: Vec<_> = (0..200)
+            .map(|i| {
+                let hits = &hits;
+                move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    i
+                }
+            })
+            .collect();
+        let got = run_tasks(8, tasks);
+        assert_eq!(hits.load(Ordering::Relaxed), 200);
+        assert_eq!(got, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_task_sets() {
+        let empty: Vec<fn() -> u32> = Vec::new();
+        assert!(run_tasks(4, empty).is_empty());
+        assert_eq!(run_tasks(4, vec![|| 41 + 1]), vec![42]);
+    }
+
+    #[test]
+    fn map_tasks_passes_indices() {
+        let got = map_tasks(3, vec![10u64, 20, 30], |i, v| v + i as u64);
+        assert_eq!(got, vec![10, 21, 32]);
+    }
+
+    #[test]
+    fn zero_jobs_auto_detects() {
+        assert!(resolve_jobs(0) >= 1);
+        assert_eq!(resolve_jobs(3), 3);
+        let got = run_tasks(0, vec![|| 1u8, || 2, || 3]);
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+}

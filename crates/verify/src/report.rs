@@ -10,12 +10,23 @@
 //! 3. a co-simulation run with the scheduling-function checker (for
 //!    speculation-free machines) or a plain liveness-monitored run.
 //!
+//! Steps 1 and 2 fan out across the [`crate::pool`] work-stealing
+//! pool when [`VerifySettings::jobs`] asks for more than one worker.
+//!
+//! **Determinism contract.** The [`VerificationReport`] — including
+//! its `Display` rendering — is byte-identical regardless of `jobs`:
+//! results land in per-task slots and merge in task order, and no
+//! wall-clock value appears in the report text. Timings are carried
+//! out-of-band in [`VerificationReport::timings`] and rendered only
+//! by the explicit [`VerificationReport::timing_table`].
+//!
 //! The result pretty-prints as the machine-proof appendix of the
 //! generated proof document.
 
-use crate::bmc::{bmc_invariant, check_obligations, BmcOutcome, ObligationReport};
+use crate::bmc::{bmc_invariant, check_obligations_jobs, BmcOutcome, ObligationReport};
 use crate::cosim::{Cosim, CosimStats};
 use crate::equiv::retirement_miter;
+use crate::pool;
 use autopipe_synth::PipelinedMachine;
 use std::fmt;
 use std::time::Instant;
@@ -31,7 +42,9 @@ pub struct EquivalenceReport {
     pub depth: usize,
     /// Outcome.
     pub outcome: BmcOutcome,
-    /// Milliseconds spent.
+    /// Milliseconds spent (miter construction, lowering and BMC).
+    /// Reported only via [`VerificationReport::timing_table`], never
+    /// in the deterministic report text.
     pub millis: u128,
 }
 
@@ -46,6 +59,9 @@ pub struct VerifySettings {
     pub equiv_depth: usize,
     /// Cycles of checked co-simulation (0 disables).
     pub cosim_cycles: u64,
+    /// Worker threads for the obligation/equivalence fan-out
+    /// (`1` = run on the calling thread, `0` = one per core).
+    pub jobs: usize,
 }
 
 impl Default for VerifySettings {
@@ -55,8 +71,32 @@ impl Default for VerifySettings {
             equiv_writes: 3,
             equiv_depth: 40,
             cosim_cycles: 200,
+            jobs: 1,
         }
     }
+}
+
+impl VerifySettings {
+    /// Returns the settings with the given worker count (`0` = one
+    /// per core).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+}
+
+/// Wall-clock profile of one [`verify_machine`] run. Never part of
+/// the deterministic report text; see
+/// [`VerificationReport::timing_table`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VerifyTimings {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// End-to-end wall-clock milliseconds.
+    pub wall_millis: u128,
+    /// Wall-clock milliseconds of the co-simulation step.
+    pub cosim_millis: u128,
 }
 
 /// The combined verdict.
@@ -72,6 +112,8 @@ pub struct VerificationReport {
     pub cosim_violation: Option<String>,
     /// Notes about skipped steps.
     pub notes: Vec<String>,
+    /// Wall-clock profile (excluded from `Display`).
+    pub timings: VerifyTimings,
 }
 
 impl VerificationReport {
@@ -83,6 +125,54 @@ impl VerificationReport {
                 .iter()
                 .all(|e| !matches!(e.outcome, BmcOutcome::Violated { .. }))
             && self.cosim_violation.is_none()
+    }
+
+    /// Renders the wall-clock table: one row per obligation and
+    /// equivalence check plus the cosim and end-to-end totals. The sum
+    /// of the per-task times divided by the elapsed wall clock is the
+    /// realized parallel speedup.
+    pub fn timing_table(&self) -> String {
+        use fmt::Write;
+        let mut s = String::new();
+        let mut task_micros: u128 = 0;
+        let _ = writeln!(s, "verify timing ({} jobs)", self.timings.jobs.max(1));
+        let _ = writeln!(s, "  {:<32} {:>12}", "task", "millis");
+        for o in &self.obligations {
+            task_micros += o.micros;
+            let _ = writeln!(
+                s,
+                "  {:<32} {:>12.3}",
+                format!("obligation {}", o.name),
+                o.micros as f64 / 1000.0
+            );
+        }
+        for e in &self.equivalence {
+            task_micros += e.millis * 1000;
+            let _ = writeln!(
+                s,
+                "  {:<32} {:>12}",
+                format!("equivalence {}", e.file),
+                e.millis
+            );
+        }
+        if self.cosim.is_some() || self.cosim_violation.is_some() {
+            let _ = writeln!(s, "  {:<32} {:>12}", "cosim", self.timings.cosim_millis);
+            task_micros += self.timings.cosim_millis * 1000;
+        }
+        let _ = writeln!(
+            s,
+            "  {:<32} {:>12}",
+            "total (wall)", self.timings.wall_millis
+        );
+        if self.timings.wall_millis > 0 {
+            let _ = writeln!(
+                s,
+                "  {:<32} {:>12.2}",
+                "speedup (task-sum / wall)",
+                task_micros as f64 / 1000.0 / self.timings.wall_millis as f64
+            );
+        }
+        s
     }
 }
 
@@ -103,8 +193,8 @@ impl fmt::Display for VerificationReport {
         for e in &self.equivalence {
             writeln!(
                 f,
-                "equivalence `{}` ({} writes, depth {}): {:?} in {} ms",
-                e.file, e.writes, e.depth, e.outcome, e.millis
+                "equivalence `{}` ({} writes, depth {}): {:?}",
+                e.file, e.writes, e.depth, e.outcome
             )?;
         }
         match (&self.cosim, &self.cosim_violation) {
@@ -128,38 +218,49 @@ impl fmt::Display for VerificationReport {
 /// Runs the full machine-checked verification suite on `pm`; see the
 /// [module docs](self).
 pub fn verify_machine(pm: &PipelinedMachine, settings: VerifySettings) -> VerificationReport {
+    let t_start = Instant::now();
     let mut notes = Vec::new();
 
-    let obligations = check_obligations(&pm.netlist, &pm.obligations, settings.max_k)
-        .unwrap_or_else(|e| {
-            notes.push(format!("obligation lowering failed: {e}"));
-            Vec::new()
-        });
+    let obligations =
+        check_obligations_jobs(&pm.netlist, &pm.obligations, settings.max_k, settings.jobs)
+            .unwrap_or_else(|e| {
+                notes.push(format!("obligation lowering failed: {e}"));
+                Vec::new()
+            });
 
     // Retirement equivalence per visible writable file — closed
-    // systems only.
+    // systems only. One pool task per file.
     let mut equivalence = Vec::new();
     let closed = pm.netlist.input_ports().is_empty();
     if settings.equiv_writes > 0 {
         if closed {
-            for fp in pm.plan.files.iter().filter(|f| f.visible && !f.read_only) {
-                match retirement_miter(pm, &fp.name, settings.equiv_writes) {
-                    Ok((nl, prop)) => match autopipe_hdl::aig::lower(&nl) {
-                        Ok(low) => {
-                            let p = low.net_lits(prop)[0];
-                            let t0 = Instant::now();
-                            let outcome = bmc_invariant(&low.aig, p, settings.equiv_depth);
-                            equivalence.push(EquivalenceReport {
-                                file: fp.name.clone(),
-                                writes: settings.equiv_writes,
-                                depth: settings.equiv_depth,
-                                outcome,
-                                millis: t0.elapsed().as_millis(),
-                            });
-                        }
-                        Err(e) => notes.push(format!("lowering `{}` miter: {e}", fp.name)),
-                    },
-                    Err(e) => notes.push(format!("miter for `{}`: {e}", fp.name)),
+            let files: Vec<&str> = pm
+                .plan
+                .files
+                .iter()
+                .filter(|f| f.visible && !f.read_only)
+                .map(|f| f.name.as_str())
+                .collect();
+            let outcomes = pool::map_tasks(settings.jobs, files, |_, name| {
+                let t0 = Instant::now();
+                let (nl, prop) = retirement_miter(pm, name, settings.equiv_writes)
+                    .map_err(|e| format!("miter for `{name}`: {e}"))?;
+                let low = autopipe_hdl::aig::lower(&nl)
+                    .map_err(|e| format!("lowering `{name}` miter: {e}"))?;
+                let p = low.net_lits(prop)[0];
+                let outcome = bmc_invariant(&low.aig, p, settings.equiv_depth);
+                Ok::<EquivalenceReport, String>(EquivalenceReport {
+                    file: name.to_string(),
+                    writes: settings.equiv_writes,
+                    depth: settings.equiv_depth,
+                    outcome,
+                    millis: t0.elapsed().as_millis(),
+                })
+            });
+            for r in outcomes {
+                match r {
+                    Ok(e) => equivalence.push(e),
+                    Err(n) => notes.push(n),
                 }
             }
         } else {
@@ -168,6 +269,7 @@ pub fn verify_machine(pm: &PipelinedMachine, settings: VerifySettings) -> Verifi
     }
 
     // Co-simulation.
+    let t_cosim = Instant::now();
     let (mut cosim_stats, mut violation) = (None, None);
     if settings.cosim_cycles > 0 {
         match Cosim::new(pm) {
@@ -192,5 +294,10 @@ omits rollback in the consistency argument)"
         cosim: cosim_stats,
         cosim_violation: violation,
         notes,
+        timings: VerifyTimings {
+            jobs: pool::resolve_jobs(settings.jobs),
+            wall_millis: t_start.elapsed().as_millis(),
+            cosim_millis: t_cosim.elapsed().as_millis(),
+        },
     }
 }

@@ -18,6 +18,14 @@ use std::fmt;
 pub struct Var(u32);
 
 impl Var {
+    /// Constructs the variable with the given dense index. Callers
+    /// that number variables arithmetically (e.g. the shared clause
+    /// cache) must create matching solver variables with
+    /// [`Solver::new_var`] before use.
+    pub fn new(index: u32) -> Var {
+        Var(index)
+    }
+
     /// Index of the variable (dense from 0).
     pub fn index(self) -> usize {
         self.0 as usize

@@ -244,6 +244,7 @@ fn verify_machine_packages_the_machine_proof() {
             equiv_writes: 3,
             equiv_depth: 14,
             cosim_cycles: 100,
+            jobs: 2,
         },
     );
     assert!(report.ok(), "{report}");
@@ -261,6 +262,7 @@ fn verify_machine_packages_the_machine_proof() {
             equiv_writes: 3,
             equiv_depth: 14,
             cosim_cycles: 100,
+            jobs: 1,
         },
     );
     assert!(!report.ok());

@@ -17,10 +17,8 @@
 //!
 //! Run with `cargo run --example custom_machine`.
 
-use autopipe::hdl::Netlist;
-use autopipe::psm::{FileDecl, Fragment, MachineSpec, Plan, ReadPort, RegisterDecl};
-use autopipe::synth::{ForwardingSpec, PipelineSynthesizer, SynthOptions};
-use autopipe::verify::{verify_machine, Cosim, VerifySettings};
+use autopipe::prelude::*;
+use autopipe::psm::{FileDecl, Fragment, ReadPort, RegisterDecl};
 
 const N: usize = 32; // ROM length
 const TAPS: usize = 4;
@@ -140,6 +138,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             equiv_writes: 3,
             equiv_depth: 20,
             cosim_cycles: 0, // the run below doubles as the cosim
+            jobs: 0,         // one worker per core
         },
     );
     println!("machine proof:\n{report}\n");
@@ -147,7 +146,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Execute under the cycle-level checker and cross-check against
     // the Rust reference.
-    let mut cosim = Cosim::new(&pm).map_err(std::io::Error::other)?;
+    let mut cosim = Cosim::new(&pm)?;
     let cycles = 120;
     let stats = cosim
         .run(cycles)

@@ -7,8 +7,7 @@
 use autopipe::dlx::asm::assemble;
 use autopipe::dlx::machine::{dlx_interlock_options, load_program};
 use autopipe::dlx::{build_dlx_spec, dlx_synth_options, DlxConfig};
-use autopipe::synth::{PipelineSynthesizer, SynthOptions};
-use autopipe::verify::Cosim;
+use autopipe::prelude::*;
 
 fn run(
     options: SynthOptions,
@@ -19,7 +18,7 @@ fn run(
     let cfg = DlxConfig::default();
     let plan = build_dlx_spec(cfg)?.plan()?;
     let pm = PipelineSynthesizer::new(options).run(&plan)?;
-    let mut cosim = Cosim::new(&pm).map_err(std::io::Error::other)?;
+    let mut cosim = Cosim::new(&pm)?;
     load_program(cosim.sim_mut(), cfg, words);
     load_program(cosim.seq_sim_mut(), cfg, words);
     let stats = cosim

@@ -13,9 +13,8 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use autopipe::front::compile_file;
-use autopipe::synth::{ForwardMode, PipelineSynthesizer};
-use autopipe::verify::Cosim;
+use autopipe::prelude::*;
+use autopipe::synth::ForwardMode;
 use std::path::Path;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -37,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("interlock only ", interlocked),
     ] {
         let pm = PipelineSynthesizer::new(options).run(&plan)?;
-        let mut cosim = Cosim::new(&pm).map_err(std::io::Error::other)?;
+        let mut cosim = Cosim::new(&pm)?;
         let stats = cosim
             .run(200)
             .map_err(|e| std::io::Error::other(e.to_string()))?

@@ -6,8 +6,7 @@
 use autopipe::dlx::branchy::{branchy_synth_options, build_branchy_spec, BInstr, Predictor};
 use autopipe::dlx::machine::{dlx_interrupt_options, load_program};
 use autopipe::dlx::{build_dlx_spec, DlxConfig};
-use autopipe::synth::PipelineSynthesizer;
-use autopipe::verify::Cosim;
+use autopipe::prelude::*;
 
 fn branch_prediction() -> Result<(), Box<dyn std::error::Error>> {
     println!("== speculative fetch: a tight always-taken loop ==");
@@ -24,7 +23,7 @@ fn branch_prediction() -> Result<(), Box<dyn std::error::Error>> {
     for predictor in [Predictor::NextLine, Predictor::AlwaysTaken] {
         let plan = build_branchy_spec(predictor)?.plan()?;
         let pm = PipelineSynthesizer::new(branchy_synth_options()).run(&plan)?;
-        let mut cosim = Cosim::new(&pm).map_err(std::io::Error::other)?;
+        let mut cosim = Cosim::new(&pm)?;
         {
             let sim = cosim.sim_mut();
             let nl = sim.netlist();

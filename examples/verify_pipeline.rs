@@ -7,11 +7,9 @@
 //! Run with `cargo run --release --example verify_pipeline`.
 
 use autopipe::dlx::{build_dlx_spec, dlx_synth_options, DlxConfig};
-use autopipe::synth::MuxTopology;
-use autopipe::synth::PipelineSynthesizer;
+use autopipe::prelude::*;
 use autopipe::verify::bmc::{bmc_invariant, BmcOutcome};
-use autopipe::verify::check_obligations;
-use autopipe::verify::equiv::lockstep_miter;
+use autopipe::verify::lockstep_miter;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Small configuration keeps the SAT instances pleasant.

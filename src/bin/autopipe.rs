@@ -18,9 +18,15 @@
 //!   --interlock     replace every `forward` annotation with an interlock
 //!   --tree          use the tree-shaped forwarding select network
 //!   --cycles N      (verify) consistency-checker cycle budget [10000]
+//!   --depth K       (verify) k-induction depth for the obligations [2]
+//!   -j, --jobs N    (verify) worker threads; 0 = one per core [1]
 //!   -h, --help      print this help
 //!   --version       print the version
 //! ```
+//!
+//! `verify` prints the deterministic verification report on stdout —
+//! byte-identical for every `--jobs` value — and the wall-clock timing
+//! table on stderr.
 //!
 //! Exit status: 0 on success, 1 on diagnosed errors (parse, lowering,
 //! synthesis, verification), 2 on command-line misuse.
@@ -38,6 +44,8 @@ const USAGE: &str = "usage: autopipe <parse|synth|verify|emit|report> <design.ps
   --interlock   replace every `forward` annotation with an interlock
   --tree        use the tree-shaped forwarding select network
   --cycles N    (verify) consistency-checker cycle budget [10000]
+  --depth K     (verify) k-induction depth for the obligations [2]
+  -j, --jobs N  (verify) worker threads; 0 = one per core [1]
   -h, --help    print this help
   --version     print the version";
 
@@ -50,6 +58,21 @@ struct Options {
     interlock: bool,
     tree: bool,
     cycles: u64,
+    depth: usize,
+    jobs: usize,
+}
+
+/// Parses the numeric argument of a flag, reporting command-line
+/// misuse (exit code 2) on a missing or malformed value.
+fn num_arg<T: std::str::FromStr>(
+    flag: &str,
+    args: &mut dyn Iterator<Item = String>,
+) -> Result<T, Early> {
+    let v = args
+        .next()
+        .ok_or_else(|| Early::Usage(format!("{flag} needs a number")))?;
+    v.parse()
+        .map_err(|_| Early::Usage(format!("bad value `{v}` for {flag}")))
 }
 
 enum Early {
@@ -70,6 +93,8 @@ fn parse_args() -> Result<Options, Early> {
         interlock: false,
         tree: false,
         cycles: 10_000,
+        depth: 2,
+        jobs: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -86,14 +111,11 @@ fn parse_args() -> Result<Options, Early> {
             "-o" => o.out = Some(file_arg(&mut args)?),
             "--interlock" => o.interlock = true,
             "--tree" => o.tree = true,
-            "--cycles" => {
-                let v = args
-                    .next()
-                    .ok_or_else(|| Early::Usage("--cycles needs a number".into()))?;
-                o.cycles = v
-                    .parse()
-                    .map_err(|_| Early::Usage(format!("bad cycle count `{v}`")))?;
-            }
+            "--cycles" => o.cycles = num_arg("--cycles", &mut args)?,
+            "--depth" | "--max-k" => o.depth = num_arg("--depth", &mut args)?,
+            // `--threads` kept as a hidden alias of the documented
+            // spelling.
+            "-j" | "--jobs" | "--threads" => o.jobs = num_arg("--jobs", &mut args)?,
             other if other.starts_with('-') => {
                 return Err(Early::Usage(format!("unknown option `{other}`")))
             }
@@ -196,17 +218,21 @@ fn run(o: &Options) -> Result<(), String> {
             let report = verify_machine(
                 &pm,
                 VerifySettings {
-                    max_k: 2,
+                    max_k: o.depth,
                     equiv_writes: 0,
                     equiv_depth: 0,
                     cosim_cycles: 0,
+                    jobs: o.jobs,
                 },
             );
             outln(format_args!("machine proof:\n{report}"));
+            // Wall-clock profile goes to stderr: the stdout report is
+            // byte-identical for every `--jobs` value.
+            eprint!("{}", report.timing_table());
             if !report.ok() {
                 return Err("proof obligations failed".into());
             }
-            let mut cosim = Cosim::new(&pm)?;
+            let mut cosim = Cosim::new(&pm).map_err(|e| e.to_string())?;
             let stats = cosim
                 .run(o.cycles)
                 .map_err(|e| format!("consistency violation: {e}"))?;

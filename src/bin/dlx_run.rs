@@ -13,6 +13,8 @@
 //!   --optimize         run the verified netlist optimizer first
 //!   --no-check         skip the cycle-level data-consistency checker
 //!   --cycles N         cycle budget (default 10000)
+//!   --depth K          (--verify) k-induction depth [2]
+//!   -j, --jobs N       (--verify) worker threads; 0 = one per core [1]
 //!   --vcd FILE         dump a VCD trace of the pipelined run
 //!   --disasm           print the disassembled program and exit
 //!   --mem ADDR=VAL     preload a data-memory word (byte address)
@@ -41,6 +43,8 @@ struct Options {
     optimize: bool,
     check: bool,
     cycles: u64,
+    depth: usize,
+    jobs: usize,
     vcd: Option<String>,
     disasm: bool,
     mem: Vec<(u32, u32)>,
@@ -55,6 +59,8 @@ const USAGE: &str = "usage: dlx-run <prog.s> [options]
   --optimize         run the verified netlist optimizer first
   --no-check         skip the cycle-level data-consistency checker
   --cycles N         cycle budget (default 10000)
+  --depth K          (--verify) k-induction depth [2]
+  -j, --jobs N       (--verify) worker threads; 0 = one per core [1]
   --vcd FILE         dump a VCD trace of the pipelined run
   --disasm           print the disassembled program and exit
   --mem ADDR=VAL     preload a data-memory word (byte address)
@@ -92,6 +98,8 @@ fn parse_args() -> Result<Options, ExitCode> {
         optimize: false,
         check: true,
         cycles: 10_000,
+        depth: 2,
+        jobs: 1,
         vcd: None,
         disasm: false,
         mem: Vec::new(),
@@ -109,6 +117,14 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--cycles" => {
                 let v = args.next().ok_or_else(usage)?;
                 o.cycles = v.parse().map_err(|_| usage())?;
+            }
+            "--depth" | "--max-k" => {
+                let v = args.next().ok_or_else(usage)?;
+                o.depth = v.parse().map_err(|_| usage())?;
+            }
+            "-j" | "--jobs" | "--threads" => {
+                let v = args.next().ok_or_else(usage)?;
+                o.jobs = v.parse().map_err(|_| usage())?;
             }
             "--vcd" => o.vcd = Some(args.next().ok_or_else(usage)?),
             "--mem" => {
@@ -264,13 +280,15 @@ fn main() -> ExitCode {
         let report = autopipe::verify::verify_machine(
             &pm,
             autopipe::verify::VerifySettings {
-                max_k: 2,
+                max_k: o.depth,
                 equiv_writes: 0,
                 equiv_depth: 0,
                 cosim_cycles: 0,
+                jobs: o.jobs,
             },
         );
         outln(format_args!("machine proof:\n{report}\n"));
+        eprint!("{}", report.timing_table());
         if !report.ok() {
             return ExitCode::FAILURE;
         }

@@ -27,6 +27,11 @@
 //!   diagnostics), the structural Verilog emitter, and the machinery
 //!   behind the `autopipe` command-line tool.
 //!
+//! Every fallible step of that workflow returns a typed error that
+//! converts into the workspace-level [`Error`], so an end-to-end run
+//! is a chain of `?`s; [`prelude`] pulls in the workflow types in one
+//! `use`.
+//!
 //! See `examples/quickstart.rs` for a complete end-to-end walk-through,
 //! and `examples/programs/*.psm` for the textual form.
 #![forbid(unsafe_code)]
@@ -37,3 +42,120 @@ pub use autopipe_hdl as hdl;
 pub use autopipe_psm as psm;
 pub use autopipe_synth as synth;
 pub use autopipe_verify as verify;
+
+use std::fmt;
+
+/// Workspace-level error: every crate's typed error converts into this
+/// via `From`, so end-to-end workflows (compile → plan → synthesize →
+/// verify) can use one `Result` type throughout.
+#[derive(Debug, Clone)]
+pub enum Error {
+    /// Netlist construction/validation error ([`hdl::HdlError`]).
+    Hdl(hdl::HdlError),
+    /// Plan resolution error ([`psm::PlanError`]).
+    Plan(psm::PlanError),
+    /// Sequential-machine construction error
+    /// ([`psm::SequentialError`]).
+    Sequential(psm::SequentialError),
+    /// Pipeline synthesis error ([`synth::SynthError`]).
+    Synth(synth::SynthError),
+    /// Verification error ([`verify::VerifyError`]).
+    Verify(verify::VerifyError),
+    /// Front-end diagnostics ([`front::Diagnostics`]).
+    Diagnostics(front::Diagnostics),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Hdl(e) => write!(f, "hdl: {e}"),
+            Error::Plan(e) => write!(f, "plan: {e}"),
+            Error::Sequential(e) => write!(f, "sequential machine: {e}"),
+            Error::Synth(e) => write!(f, "synthesis: {e}"),
+            Error::Verify(e) => write!(f, "verification: {e}"),
+            Error::Diagnostics(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Hdl(e) => Some(e),
+            Error::Plan(e) => Some(e),
+            Error::Sequential(e) => Some(e),
+            Error::Synth(e) => Some(e),
+            Error::Verify(e) => Some(e),
+            Error::Diagnostics(d) => Some(d),
+        }
+    }
+}
+
+impl From<hdl::HdlError> for Error {
+    fn from(e: hdl::HdlError) -> Error {
+        Error::Hdl(e)
+    }
+}
+
+impl From<psm::PlanError> for Error {
+    fn from(e: psm::PlanError) -> Error {
+        Error::Plan(e)
+    }
+}
+
+impl From<psm::SequentialError> for Error {
+    fn from(e: psm::SequentialError) -> Error {
+        Error::Sequential(e)
+    }
+}
+
+impl From<synth::SynthError> for Error {
+    fn from(e: synth::SynthError) -> Error {
+        Error::Synth(e)
+    }
+}
+
+impl From<verify::VerifyError> for Error {
+    fn from(e: verify::VerifyError) -> Error {
+        Error::Verify(e)
+    }
+}
+
+impl From<verify::ConsistencyError> for Error {
+    fn from(e: verify::ConsistencyError) -> Error {
+        Error::Verify(e.into())
+    }
+}
+
+impl From<verify::MiterError> for Error {
+    fn from(e: verify::MiterError) -> Error {
+        Error::Verify(e.into())
+    }
+}
+
+impl From<front::Diagnostics> for Error {
+    fn from(d: front::Diagnostics) -> Error {
+        Error::Diagnostics(d)
+    }
+}
+
+/// The workflow types in one `use`: describing a machine, planning it,
+/// synthesizing the pipeline, and verifying the result.
+///
+/// ```
+/// use autopipe::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::front::{compile, compile_file, emit_verilog, Compiled, Diagnostics};
+    pub use crate::hdl::{HdlError, Netlist, Sim64, Simulator};
+    pub use crate::psm::{MachineSpec, Plan, SequentialMachine};
+    pub use crate::synth::{
+        ForwardingSpec, MuxTopology, PipelineSynthesizer, PipelinedMachine, SynthOptions,
+        SynthReport,
+    };
+    pub use crate::verify::{
+        check_obligations, check_obligations_jobs, fuzz_property, verify_machine, Cosim,
+        VerificationReport, VerifyError, VerifySettings,
+    };
+    pub use crate::Error;
+}

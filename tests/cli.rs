@@ -10,6 +10,17 @@ fn run_bin(bin: &str, args: &[&str]) -> (Option<i32>, String) {
     )
 }
 
+/// Like [`run_bin`] but keeps stdout separate from stderr, for tests
+/// that pin down the byte-exact report contract.
+fn run_bin_stdout(bin: &str, args: &[&str]) -> (Option<i32>, Vec<u8>, String) {
+    let out = Command::new(bin).args(args).output().expect("binary runs");
+    (
+        out.status.code(),
+        out.stdout,
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
 fn run(args: &[&str]) -> (bool, String) {
     let (code, out) = run_bin(env!("CARGO_BIN_EXE_dlx_run"), args);
     (code == Some(0), out)
@@ -186,6 +197,33 @@ fn autopipe_verify_passes_on_toy_machine() {
         out.contains("checked against the sequential machine"),
         "{out}"
     );
+}
+
+/// The determinism contract of the parallel engine: the verification
+/// report on stdout is byte-identical no matter how many worker
+/// threads discharge the obligations, and the wall-clock timing table
+/// stays on stderr where it cannot perturb the report.
+#[test]
+fn autopipe_verify_report_is_identical_across_jobs() {
+    let dlx = example("dlx.psm");
+    let (code1, out1, err1) = run_bin_stdout(
+        env!("CARGO_BIN_EXE_autopipe"),
+        &["verify", &dlx, "--cycles", "60", "-j", "1"],
+    );
+    let (code4, out4, err4) = run_bin_stdout(
+        env!("CARGO_BIN_EXE_autopipe"),
+        &["verify", &dlx, "--cycles", "60", "-j", "4"],
+    );
+    assert_eq!(code1, Some(0), "{err1}");
+    assert_eq!(code4, Some(0), "{err4}");
+    assert_eq!(
+        out1, out4,
+        "stdout must be byte-identical for -j 1 and -j 4"
+    );
+    // The timing table is stderr-only and reflects the requested lanes.
+    assert!(err1.contains("verify timing (1 jobs)"), "{err1}");
+    assert!(err4.contains("verify timing (4 jobs)"), "{err4}");
+    assert!(err4.contains("speedup"), "{err4}");
 }
 
 #[test]

@@ -31,6 +31,7 @@ fn settings() -> VerifySettings {
         equiv_writes: 0, // the cheap per-variant pass; equivalence runs elsewhere
         equiv_depth: 0,
         cosim_cycles: 120,
+        jobs: 0,
     }
 }
 
