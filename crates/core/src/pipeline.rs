@@ -775,7 +775,13 @@ impl<'a> SynthGen<'a> {
                     };
                     let valid = nl.label(format!("fw.{k}.{port}.valid.{j}"), valid);
                     let nv = nl.not(valid);
-                    if self.options.transitive_dhaz {
+                    // The transitive-dhaz term is skipped for the source
+                    // directly above the reader (j == k+1): no bubble can
+                    // separate the two stages, and `hit` includes `full`,
+                    // so `dhaz_{k+1} ∧ full_{k+1}` implies `stall_{k+1}`,
+                    // which the stall chain already folds into `stall_k`.
+                    // OR-ing it here would only duplicate that term.
+                    if self.options.transitive_dhaz && j > k + 1 {
                         let dj = self.dhaz[j].expect("reverse order");
                         bad.push(nl.or(nv, dj));
                     } else {

@@ -19,15 +19,32 @@ pub const BUILTINS: &[&str] = &[
     "sext", "zext", "cat", "redor", "redand", "redxor", "ult", "ule", "slt", "sle",
 ];
 
+/// Deepest expression nesting the parser accepts. Expression parsing is
+/// recursive-descent, so pathological inputs like `((((…` or `~~~~…x`
+/// would otherwise exhaust the stack instead of producing a diagnostic.
+const MAX_EXPR_DEPTH: usize = 128;
+
+/// Largest stage count a `machine` header may declare. Lowering allocates
+/// per-stage tables, so an absurd header like `machine m(4000000000)` must
+/// be rejected here rather than attempted.
+const MAX_STAGES: u64 = 64;
+
 /// Parses one `.psm` design, returning the first error encountered.
 pub fn parse_design(src: &str) -> Result<Design, Diagnostic> {
     let toks = lex(src)?;
-    Parser { toks, pos: 0 }.design()
+    Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    }
+    .design()
 }
 
 struct Parser {
     toks: Vec<Token>,
     pos: usize,
+    /// Current expression-recursion depth, bounded by [`MAX_EXPR_DEPTH`].
+    depth: usize,
 }
 
 impl Parser {
@@ -125,7 +142,14 @@ impl Parser {
         self.expect_kw("machine")?;
         let (name, name_span) = self.expect_ident("machine name")?;
         self.expect(Tok::LParen, "`(`")?;
-        let (n_stages, _) = self.expect_int("stage count")?;
+        let (n_stages, stages_span) = self.expect_int("stage count")?;
+        if n_stages > MAX_STAGES {
+            return Err(Diagnostic::new(
+                format!("stage count {n_stages} exceeds the supported maximum of {MAX_STAGES}"),
+                stages_span,
+                "too many stages",
+            ));
+        }
         self.expect(Tok::RParen, "`)`")?;
         self.expect(Tok::LBrace, "`{`")?;
         let mut d = Design {
@@ -472,7 +496,27 @@ impl Parser {
     // Expressions (precedence climbing)
     // -----------------------------------------------------------------
 
+    /// Bumps the recursion depth, erroring out on pathological nesting.
+    fn enter(&mut self) -> Result<(), Diagnostic> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            return Err(Diagnostic::new(
+                "expression is nested too deeply",
+                self.span(),
+                format!("more than {MAX_EXPR_DEPTH} levels of nesting"),
+            ));
+        }
+        Ok(())
+    }
+
     fn expr(&mut self) -> Result<Expr, Diagnostic> {
+        self.enter()?;
+        let r = self.expr_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn expr_inner(&mut self) -> Result<Expr, Diagnostic> {
         let sel = self.binary(1)?;
         if *self.peek() != Tok::Question {
             return Ok(sel);
@@ -525,6 +569,13 @@ impl Parser {
     }
 
     fn unary(&mut self) -> Result<Expr, Diagnostic> {
+        self.enter()?;
+        let r = self.unary_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn unary_inner(&mut self) -> Result<Expr, Diagnostic> {
         let op = match self.peek() {
             Tok::Tilde => Some(UnOp::Not),
             Tok::Minus => Some(UnOp::Neg),

@@ -1,0 +1,203 @@
+//! Crash corpus for the `.psm` front end: no input — however malformed,
+//! truncated, or adversarial — may panic, overflow the stack, or attempt
+//! an absurd allocation. Every failure must surface as a `Diagnostic`.
+
+use autopipe_front::compile;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A minimal well-formed machine used as a template for mutations.
+const VALID: &str = "\
+machine m(2) {
+  reg PC : 4 writes(0) visible;
+  reg X  : 8 writes(1);
+  file RF : [2 x 8] write(1) ctrl(0) visible;
+  stage 0 F {
+    PC = PC + 4'd1;
+    RF.we = 1'b1;
+    RF.wa = PC[1:0];
+  }
+  stage 1 W {
+    X = X ^ 8'd3;
+    RF = X;
+  }
+  forward RF;
+}
+";
+
+/// Compiling must return `Ok` or `Err` — the assertion is simply that we
+/// get back to the caller at all (no panic, no stack overflow, no OOM).
+fn must_not_panic(src: &str) {
+    let _ = compile(src, "corpus.psm");
+}
+
+/// Wraps an expression string in an otherwise valid design.
+fn with_expr(expr: &str) -> String {
+    format!("machine m(1) {{ reg X : 8 writes(0); stage 0 S {{ X = {expr}; }} }}")
+}
+
+#[test]
+fn template_is_valid() {
+    compile(VALID, "t.psm").expect("the corpus template must compile");
+}
+
+#[test]
+fn deeply_nested_parens_error_instead_of_overflowing() {
+    let e = format!("{}8'd1{}", "(".repeat(100_000), ")".repeat(100_000));
+    let err = compile(&with_expr(&e), "t.psm").expect_err("must be rejected");
+    assert!(
+        err.to_string().contains("nested too deeply"),
+        "expected a depth diagnostic, got: {err}"
+    );
+}
+
+#[test]
+fn deep_unary_chain_errors_instead_of_overflowing() {
+    must_not_panic(&with_expr(&format!("{}X", "~".repeat(100_000))));
+    must_not_panic(&with_expr(&format!("{}X", "-".repeat(100_000))));
+}
+
+#[test]
+fn deep_ternary_chain_errors_instead_of_overflowing() {
+    // Right-associative `? :` recurses in the else arm.
+    let e = format!("{}8'd0", "X[0] ? 8'd1 : ".repeat(100_000));
+    must_not_panic(&with_expr(&e));
+}
+
+#[test]
+fn unbalanced_nesting_is_diagnosed() {
+    must_not_panic(&with_expr(&"(".repeat(50_000)));
+    must_not_panic(&"{".repeat(10_000));
+    must_not_panic(&"}".repeat(10_000));
+}
+
+#[test]
+fn absurd_stage_count_is_rejected_without_allocating() {
+    for n in ["65", "4294967295", "18446744073709551615"] {
+        let src = format!("machine m({n}) {{ }}");
+        let err = compile(&src, "t.psm").expect_err("must be rejected");
+        assert!(
+            err.to_string().contains("stage count"),
+            "expected a stage-count diagnostic for {n}, got: {err}"
+        );
+    }
+}
+
+#[test]
+fn every_truncation_of_a_valid_program_is_handled() {
+    for end in 0..VALID.len() {
+        if VALID.is_char_boundary(end) {
+            must_not_panic(&VALID[..end]);
+        }
+    }
+}
+
+#[test]
+fn single_byte_corruptions_are_handled() {
+    let bytes = VALID.as_bytes();
+    for i in 0..bytes.len() {
+        for b in [b'\0', b'(', b')', b'{', b'}', b'?', b'~', b'9', 0xFF] {
+            let mut v = bytes.to_vec();
+            v[i] = b;
+            // Corruption may break UTF-8; the lossless round-trip keeps
+            // the test focused on the parser, not str validation.
+            must_not_panic(&String::from_utf8_lossy(&v));
+        }
+    }
+}
+
+/// Alphabet for random token soup: everything the lexer knows about,
+/// plus a few things it does not.
+const SOUP: &[&str] = &[
+    "machine",
+    "reg",
+    "file",
+    "stage",
+    "read",
+    "forward",
+    "interlock",
+    "topology",
+    "ext_stalls",
+    "writes",
+    "write",
+    "ctrl",
+    "init",
+    "visible",
+    "readonly",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ":",
+    ";",
+    ",",
+    ".",
+    "?",
+    "~",
+    "-",
+    "+",
+    "*",
+    "&",
+    "|",
+    "^",
+    "==",
+    "!=",
+    "<<",
+    ">>",
+    ">>>",
+    "=",
+    "x",
+    "PC",
+    "RF",
+    "S",
+    "8'd5",
+    "1'b1",
+    "0",
+    "1",
+    "4294967296",
+    "18446744073709551615",
+    "'",
+    "\"",
+    "//",
+    "\n",
+    " ",
+    "$",
+    "@",
+    "\u{00e9}",
+];
+
+fn soup(seed: u64) -> String {
+    let rng = &mut StdRng::seed_from_u64(seed);
+    let len = rng.gen_range(0usize..200);
+    let mut s = String::new();
+    for _ in 0..len {
+        s.push_str(SOUP[rng.gen_range(0usize..SOUP.len())]);
+        if rng.gen_range(0u32..3) == 0 {
+            s.push(' ');
+        }
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512 })]
+
+    /// Random token soup never panics the front end.
+    #[test]
+    fn token_soup_never_panics(seed in any::<u64>()) {
+        must_not_panic(&soup(seed));
+    }
+
+    /// Token soup spliced into an otherwise valid design never panics.
+    #[test]
+    fn spliced_soup_never_panics(seed in any::<u64>()) {
+        let rng = &mut StdRng::seed_from_u64(seed ^ 0xD1CE);
+        let cut = rng.gen_range(0usize..VALID.len());
+        if VALID.is_char_boundary(cut) {
+            must_not_panic(&format!("{}{}{}", &VALID[..cut], soup(seed), &VALID[cut..]));
+        }
+    }
+}

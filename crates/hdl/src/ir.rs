@@ -1195,6 +1195,72 @@ impl Netlist {
     }
 
     // ------------------------------------------------------------------
+    // Netlist surgery (fault injection)
+    // ------------------------------------------------------------------
+
+    /// Replaces the node defining `net` with the constant `value`,
+    /// leaving every consumer — and the net's name, if any — in place.
+    ///
+    /// This is the classic *stuck-at* fault: forcing a register output
+    /// keeps the register itself driven (the `RegOut` node is simply
+    /// shadowed), so the netlist stays valid and simulatable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit the net's width.
+    pub fn force_const(&mut self, net: NetId, value: u64) {
+        let w = self.width(net);
+        assert!(
+            value <= crate::value::mask(w),
+            "stuck-at value {value:#x} does not fit in {w} bits"
+        );
+        // The constant cache may point at the overwritten net; drop
+        // any such entry so later `constant` calls stay truthful.
+        self.const_cache.retain(|_, id| *id != net);
+        self.nodes[net.index()] = Node::Const { value };
+    }
+
+    /// Swaps the two data arms of the multiplexer defining `net`.
+    /// Returns `false` (and does nothing) when `net` is not a mux.
+    pub fn swap_mux_arms(&mut self, net: NetId) -> bool {
+        match &mut self.nodes[net.index()] {
+            Node::Mux {
+                then_net, else_net, ..
+            } => {
+                std::mem::swap(then_net, else_net);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Rewrites the address operand of write port `port` of `mem`.
+    ///
+    /// Write-port operands are not topologically constrained (they are
+    /// sampled at the clock edge, not combinationally), so the new
+    /// address may be a *later* net — e.g. `old_addr + 1` appended
+    /// after the rest of the design.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bad port index or an address width mismatch.
+    pub fn set_write_addr(&mut self, mem: MemId, port: usize, addr: NetId) {
+        let w = self.width(addr);
+        let m = &mut self.memories[mem.index()];
+        assert!(
+            port < m.write_ports.len(),
+            "memory `{}` has no write port {port}",
+            m.name
+        );
+        assert_eq!(
+            w, m.addr_width,
+            "memory `{}` write address must be {} bits",
+            m.name, m.addr_width
+        );
+        m.write_ports[port].addr = addr;
+    }
+
+    // ------------------------------------------------------------------
     // Validation & ordering
     // ------------------------------------------------------------------
 

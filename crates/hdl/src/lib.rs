@@ -14,7 +14,10 @@
 //!   forwarding comparison,
 //! * **AIG lowering** ([`aig`]) that bit-blasts a netlist into an
 //!   and-inverter graph for SAT-based bounded model checking,
-//! * a minimal **VCD trace writer** ([`vcd`]).
+//! * a minimal **VCD trace writer** ([`vcd`]),
+//! * a deterministic, seedable **fault-injection catalog** ([`mutate`])
+//!   of pipeline-semantic faults, used by the verification crate's
+//!   soundness harness to check that broken designs are caught.
 //!
 //! The IR deliberately matches the abstraction level of the DAC 2001 paper
 //! *Automated Pipeline Design*: a design is a set of registers assigned to
@@ -46,6 +49,7 @@
 
 pub mod aig;
 pub mod ir;
+pub mod mutate;
 pub mod opt;
 pub mod sim;
 pub mod sim64;
@@ -59,6 +63,7 @@ pub use ir::{
     AbsorbedDesign, BinaryOp, HdlError, MemId, Memory, NetId, Netlist, Node, RegId, Register,
     UnaryOp,
 };
+pub use mutate::{FaultKind, FaultTarget, Mutation};
 pub use opt::{optimize, NetMap, OptStats};
 pub use sim::Simulator;
 pub use sim64::{Sim64, LANES};

@@ -13,13 +13,14 @@
 
 use crate::cnf::{apply_sign, tseitin_and};
 use crate::pool;
-use crate::sat::{Lit, SatResult, Solver, Var};
+use crate::sat::{Lit, SatResult, SolveBudget, Solver, Var};
 use autopipe_hdl::aig::Aig;
 use autopipe_hdl::{AigLit, Netlist};
 use autopipe_synth::{Obligation, ObligationClass};
 use std::collections::HashMap;
+use std::sync::atomic::AtomicBool;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Lazily encodes time frames of an AIG into a SAT solver.
 #[derive(Debug)]
@@ -200,23 +201,32 @@ impl<'a> ClauseCache<'a> {
     }
 
     /// The clause segment for frame `t`, encoding it (and any earlier
-    /// missing frames) on first use.
-    fn frame(&self, t: usize) -> Arc<Vec<Vec<Lit>>> {
+    /// missing frames) on first use. `None` when `budget` ran out of
+    /// wall-clock mid-encode; nothing partial is cached in that case,
+    /// so a later retry (or another thread with time left) encodes the
+    /// identical segment.
+    fn frame(&self, t: usize, budget: &SolveBudget) -> Option<Arc<Vec<Vec<Lit>>>> {
         let mut frames = self.frames.lock().expect("cache poisoned");
         while frames.len() <= t {
             let ft = frames.len();
-            frames.push(Arc::new(self.encode_frame(ft)));
+            frames.push(Arc::new(self.encode_frame(ft, budget)?));
         }
-        frames[t].clone()
+        Some(frames[t].clone())
     }
 
-    fn encode_frame(&self, t: usize) -> Vec<Vec<Lit>> {
+    fn encode_frame(&self, t: usize, budget: &SolveBudget) -> Option<Vec<Vec<Lit>>> {
         let mut clauses = Vec::new();
         if t == 0 {
             // Pin the shared constant-false variable.
             clauses.push(vec![self.lit(0, AigLit::FALSE).not()]);
         }
         for v in 1..self.aig.var_count() {
+            // A full frame of a large design is millions of clauses;
+            // check the wall-clock bounds at a coarse stride so even a
+            // single giant frame cannot blow through a deadline.
+            if v & 0xFFFF == 0 && budget.out_of_time() {
+                return None;
+            }
             if self.aig.is_input(v) {
                 continue;
             }
@@ -243,7 +253,7 @@ impl<'a> ClauseCache<'a> {
                 clauses.push(vec![al.not(), bl.not(), out]);
             }
         }
-        clauses
+        Some(clauses)
     }
 
     /// A fresh solver view over the cache: frames are ingested on
@@ -253,6 +263,7 @@ impl<'a> ClauseCache<'a> {
             cache: self,
             solver: Solver::new(),
             loaded: 0,
+            poisoned: false,
         }
     }
 }
@@ -265,30 +276,62 @@ pub struct CachedUnroller<'c, 'a> {
     /// The underlying solver (query with assumptions).
     pub solver: Solver,
     loaded: usize,
+    /// Set when a bounded ingest was interrupted mid-frame: the solver
+    /// is partially loaded and must not be queried or extended.
+    poisoned: bool,
 }
 
 impl CachedUnroller<'_, '_> {
-    fn ensure(&mut self, t: usize) {
+    /// Loads frames `0..=t` into the private solver. `false` when the
+    /// wall-clock bounds of `budget` fired mid-way; an interruption
+    /// mid-frame leaves the solver partially loaded, so the unroller is
+    /// poisoned and every later call fails too — callers abandon the
+    /// obligation (a fresh unroller starts over from the shared cache,
+    /// which only ever stores complete segments).
+    fn ensure(&mut self, t: usize, budget: &SolveBudget) -> bool {
         while self.loaded <= t {
+            if self.poisoned {
+                return false;
+            }
+            let Some(seg) = self.cache.frame(self.loaded, budget) else {
+                self.poisoned = true;
+                return false;
+            };
             if self.loaded == 0 {
                 self.solver.new_var(); // the constant-false variable
             }
             for _ in 0..self.cache.vars_per_frame {
                 self.solver.new_var();
             }
-            let seg = self.cache.frame(self.loaded);
-            for c in seg.iter() {
+            for (i, c) in seg.iter().enumerate() {
+                // Ingest is allocation-heavy; bound it like the encode.
+                if i & 0xFFFF == 0 && budget.out_of_time() {
+                    self.poisoned = true;
+                    return false;
+                }
                 self.solver.add_clause(c);
             }
             self.loaded += 1;
         }
+        true
     }
 
     /// SAT literal of AIG literal `l` at frame `t`, ingesting cached
     /// frames as needed.
     pub fn lit(&mut self, t: usize, l: AigLit) -> Lit {
-        self.ensure(t);
+        let ok = self.ensure(t, &SolveBudget::unlimited());
+        debug_assert!(ok, "an unlimited budget cannot expire");
         self.cache.lit(t, l)
+    }
+
+    /// Budget-aware [`CachedUnroller::lit`]: `None` when the
+    /// wall-clock bounds fired before the frames could be ingested.
+    pub fn try_lit(&mut self, t: usize, l: AigLit, budget: &SolveBudget) -> Option<Lit> {
+        if self.ensure(t, budget) {
+            Some(self.cache.lit(t, l))
+        } else {
+            None
+        }
     }
 }
 
@@ -311,6 +354,11 @@ pub enum BmcOutcome {
         /// First failing frame.
         frame: usize,
     },
+    /// The check was abandoned before reaching a verdict: a
+    /// [`SolveBudget`] bound (conflict budget, deadline or
+    /// cancellation) fired. Not a failure — but not a proof either;
+    /// reports carrying this outcome are *partial*.
+    TimedOut,
 }
 
 /// Result alias used by the public helpers.
@@ -412,15 +460,49 @@ pub fn kinduction(aig: &Aig, prop: AigLit, max_k: usize) -> BmcOutcome {
     BmcOutcome::BoundedOk { depth: max_k }
 }
 
+/// [`bmc_invariant`] under a [`SolveBudget`]: returns
+/// [`BmcOutcome::TimedOut`] if any frame's SAT query is interrupted.
+pub fn bmc_invariant_bounded(
+    aig: &Aig,
+    prop: AigLit,
+    depth: usize,
+    budget: &SolveBudget,
+) -> BmcOutcome {
+    let mut unroller = Unroller::new(aig, false);
+    for t in 0..=depth {
+        let p = unroller.lit(t, prop);
+        match unroller.solver.solve_bounded(&[p.not()], budget) {
+            SatResult::Sat => return BmcOutcome::Violated { frame: t },
+            SatResult::Interrupted => return BmcOutcome::TimedOut,
+            SatResult::Unsat => {}
+        }
+    }
+    BmcOutcome::BoundedOk { depth }
+}
+
 /// [`bmc_invariant`] on a shared clause cache (must be a reset-state
 /// cache, i.e. `free_init == false`).
 pub fn bmc_invariant_cached(cache: &ClauseCache<'_>, prop: AigLit, depth: usize) -> BmcOutcome {
+    bmc_invariant_cached_bounded(cache, prop, depth, &SolveBudget::unlimited())
+}
+
+/// [`bmc_invariant_cached`] under a [`SolveBudget`].
+pub fn bmc_invariant_cached_bounded(
+    cache: &ClauseCache<'_>,
+    prop: AigLit,
+    depth: usize,
+    budget: &SolveBudget,
+) -> BmcOutcome {
     debug_assert!(!cache.free_init(), "BMC needs reset initial states");
     let mut u = cache.unroller();
     for t in 0..=depth {
-        let p = u.lit(t, prop);
-        if u.solver.solve_with_assumptions(&[p.not()]) == SatResult::Sat {
-            return BmcOutcome::Violated { frame: t };
+        let Some(p) = u.try_lit(t, prop, budget) else {
+            return BmcOutcome::TimedOut;
+        };
+        match u.solver.solve_bounded(&[p.not()], budget) {
+            SatResult::Sat => return BmcOutcome::Violated { frame: t },
+            SatResult::Interrupted => return BmcOutcome::TimedOut,
+            SatResult::Unsat => {}
         }
     }
     BmcOutcome::BoundedOk { depth }
@@ -437,18 +519,37 @@ pub fn kinduction_cached(
     prop: AigLit,
     max_k: usize,
 ) -> BmcOutcome {
+    kinduction_cached_bounded(base, step, prop, max_k, &SolveBudget::unlimited())
+}
+
+/// [`kinduction_cached`] under a [`SolveBudget`]: any interrupted SAT
+/// query (base case or induction step) abandons the obligation with
+/// [`BmcOutcome::TimedOut`] — never a wrong verdict.
+pub fn kinduction_cached_bounded(
+    base: &ClauseCache<'_>,
+    step: &ClauseCache<'_>,
+    prop: AigLit,
+    max_k: usize,
+    budget: &SolveBudget,
+) -> BmcOutcome {
     debug_assert!(step.free_init(), "induction steps need free states");
-    if let BmcOutcome::Violated { frame } = bmc_invariant_cached(base, prop, max_k) {
-        return BmcOutcome::Violated { frame };
+    match bmc_invariant_cached_bounded(base, prop, max_k, budget) {
+        BmcOutcome::Violated { frame } => return BmcOutcome::Violated { frame },
+        BmcOutcome::TimedOut => return BmcOutcome::TimedOut,
+        _ => {}
     }
     let mut u = step.unroller();
     let mut assumed: Vec<Lit> = Vec::new();
     for k in 0..=max_k {
-        let goal = u.lit(k, prop);
+        let Some(goal) = u.try_lit(k, prop, budget) else {
+            return BmcOutcome::TimedOut;
+        };
         let mut q = assumed.clone();
         q.push(goal.not());
-        if u.solver.solve_with_assumptions(&q) == SatResult::Unsat {
-            return BmcOutcome::Proved { k };
+        match u.solver.solve_bounded(&q, budget) {
+            SatResult::Unsat => return BmcOutcome::Proved { k },
+            SatResult::Interrupted => return BmcOutcome::TimedOut,
+            SatResult::Sat => {}
         }
         assumed.push(goal);
     }
@@ -456,11 +557,19 @@ pub fn kinduction_cached(
 }
 
 /// 0-induction over a shared free-state cache: `prop` holds in every
-/// state whatsoever.
-fn kinduction_comb_cached(step: &ClauseCache<'_>, prop: AigLit) -> bool {
+/// state whatsoever. `None` when the query was interrupted.
+fn kinduction_comb_cached(
+    step: &ClauseCache<'_>,
+    prop: AigLit,
+    budget: &SolveBudget,
+) -> Option<bool> {
     let mut u = step.unroller();
-    let p = u.lit(0, prop);
-    u.solver.solve_with_assumptions(&[p.not()]) == SatResult::Unsat
+    let p = u.try_lit(0, prop, budget)?;
+    match u.solver.solve_bounded(&[p.not()], budget) {
+        SatResult::Unsat => Some(true),
+        SatResult::Sat => Some(false),
+        SatResult::Interrupted => None,
+    }
 }
 
 /// Report for one discharged obligation.
@@ -479,9 +588,72 @@ pub struct ObligationReport {
 }
 
 impl ObligationReport {
-    /// True unless a counterexample was found.
+    /// True unless a counterexample was found. A timed-out obligation
+    /// is not a failure — but see [`ObligationReport::timed_out`]:
+    /// reports containing one are partial, not proofs.
     pub fn ok(&self) -> bool {
         !matches!(self.outcome, BmcOutcome::Violated { .. })
+    }
+
+    /// True when the obligation's check was abandoned on a resource
+    /// bound before reaching a verdict.
+    pub fn timed_out(&self) -> bool {
+        matches!(self.outcome, BmcOutcome::TimedOut)
+    }
+}
+
+/// Resource bounds for a batch obligation check
+/// ([`check_obligations_bounded`]).
+///
+/// Obligations that exhaust `initial_conflicts` are retried with a
+/// doubled conflict budget (learnt-clause work is redone, but each
+/// retry restarts deterministically) until they finish or the
+/// wall-clock bounds fire; obligations still undecided then report
+/// [`BmcOutcome::TimedOut`].
+#[derive(Debug, Clone, Default)]
+pub struct ObligationBudget {
+    /// Wall-clock allowance for the whole batch, measured from the
+    /// moment the check starts (`None` = unlimited).
+    pub timeout: Option<Duration>,
+    /// Conflict budget of each obligation's first attempt; escalates
+    /// ×2 per retry (`None` = unlimited, no retries needed).
+    pub initial_conflicts: Option<u64>,
+    /// Cooperative cancellation token shared with the pool workers;
+    /// raising it aborts the batch cleanly (`None` = none).
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl ObligationBudget {
+    /// An unbounded budget: identical behaviour to
+    /// [`check_obligations_jobs`].
+    pub fn unlimited() -> ObligationBudget {
+        ObligationBudget::default()
+    }
+
+    /// Sets the batch wall-clock allowance.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> ObligationBudget {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the first-attempt conflict budget.
+    #[must_use]
+    pub fn with_initial_conflicts(mut self, conflicts: u64) -> ObligationBudget {
+        self.initial_conflicts = Some(conflicts);
+        self
+    }
+
+    /// Sets the cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> ObligationBudget {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// True when no bound is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.timeout.is_none() && self.initial_conflicts.is_none() && self.cancel.is_none()
     }
 }
 
@@ -521,31 +693,114 @@ pub fn check_obligations_jobs(
     max_k: usize,
     jobs: usize,
 ) -> Result<Vec<ObligationReport>, autopipe_hdl::HdlError> {
+    check_obligations_bounded(
+        netlist,
+        obligations,
+        max_k,
+        jobs,
+        &ObligationBudget::unlimited(),
+    )
+}
+
+/// [`check_obligations_jobs`] under an [`ObligationBudget`]: the batch
+/// degrades gracefully instead of hanging. Every obligation still gets
+/// a report slot — obligations whose check could not finish within the
+/// bounds (or that never started because the batch was cancelled)
+/// carry [`BmcOutcome::TimedOut`].
+///
+/// **Determinism.** Verdicts are budget-independent for obligations
+/// whose cost is far from the bound on either side: easy obligations
+/// finish identically under any `jobs`, and obligations well beyond
+/// the budget time out under any `jobs`. Only obligations whose solve
+/// time straddles the deadline can flip between runs; conflict-only
+/// budgets (no `timeout`) are fully deterministic.
+///
+/// # Errors
+///
+/// Propagates AIG lowering errors.
+pub fn check_obligations_bounded(
+    netlist: &Netlist,
+    obligations: &[Obligation],
+    max_k: usize,
+    jobs: usize,
+    budget: &ObligationBudget,
+) -> Result<Vec<ObligationReport>, autopipe_hdl::HdlError> {
     let lowered = autopipe_hdl::aig::lower(netlist)?;
     let base = ClauseCache::new(&lowered.aig, false);
     let step = ClauseCache::new(&lowered.aig, true);
-    Ok(pool::map_tasks(jobs, obligations.to_vec(), |_, ob| {
-        let t0 = Instant::now();
-        let prop = lowered.net_lits(ob.net)[0];
-        let outcome = match ob.class {
-            ObligationClass::Combinational => {
-                // Tautology over arbitrary (even unreachable) states.
-                match kinduction_comb_cached(&step, prop) {
-                    true => BmcOutcome::Proved { k: 0 },
-                    // Not a tautology over free states: fall back to
-                    // reachable-state induction.
-                    false => kinduction_cached(&base, &step, prop, max_k),
+    let deadline = budget.timeout.map(|t| Instant::now() + t);
+    let walls = SolveBudget {
+        max_conflicts: None,
+        deadline,
+        cancel: budget.cancel.clone(),
+    };
+    let names: Vec<&Obligation> = obligations.iter().collect();
+    Ok(pool::run_tasks_cancellable(
+        jobs,
+        obligations
+            .iter()
+            .map(|ob| {
+                let walls = walls.clone();
+                let lowered = &lowered;
+                let base = &base;
+                let step = &step;
+                move || {
+                    let t0 = Instant::now();
+                    let prop = lowered.net_lits(ob.net)[0];
+                    // Retry with an escalating conflict budget until a
+                    // verdict lands or the wall-clock bounds fire.
+                    let mut conflicts = budget.initial_conflicts;
+                    let outcome = loop {
+                        let attempt = SolveBudget {
+                            max_conflicts: conflicts,
+                            ..walls.clone()
+                        };
+                        let outcome = match ob.class {
+                            ObligationClass::Combinational => {
+                                // Tautology over arbitrary (even
+                                // unreachable) states; fall back to
+                                // reachable-state induction otherwise.
+                                match kinduction_comb_cached(step, prop, &attempt) {
+                                    Some(true) => BmcOutcome::Proved { k: 0 },
+                                    Some(false) => {
+                                        kinduction_cached_bounded(base, step, prop, max_k, &attempt)
+                                    }
+                                    None => BmcOutcome::TimedOut,
+                                }
+                            }
+                            ObligationClass::Inductive => {
+                                kinduction_cached_bounded(base, step, prop, max_k, &attempt)
+                            }
+                        };
+                        if outcome != BmcOutcome::TimedOut || walls.out_of_time() {
+                            break outcome;
+                        }
+                        match conflicts {
+                            // Conflict budget exhausted with time left:
+                            // escalate and retry.
+                            Some(c) => conflicts = Some(c.saturating_mul(2)),
+                            // No conflict budget: the walls fired
+                            // mid-query (racily cleared since) — give up.
+                            None => break BmcOutcome::TimedOut,
+                        }
+                    };
+                    ObligationReport {
+                        name: ob.name.clone(),
+                        class: ob.class,
+                        outcome,
+                        micros: t0.elapsed().as_micros(),
+                    }
                 }
-            }
-            ObligationClass::Inductive => kinduction_cached(&base, &step, prop, max_k),
-        };
-        ObligationReport {
-            name: ob.name.clone(),
-            class: ob.class,
-            outcome,
-            micros: t0.elapsed().as_micros(),
-        }
-    }))
+            })
+            .collect(),
+        || walls.out_of_time(),
+        |i| ObligationReport {
+            name: names[i].name.clone(),
+            class: names[i].class,
+            outcome: BmcOutcome::TimedOut,
+            micros: 0,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -631,6 +886,7 @@ mod tests {
             // Proved as well but never Violated.
             BmcOutcome::Proved { .. } => {}
             BmcOutcome::Violated { frame } => panic!("spurious cex at {frame}"),
+            BmcOutcome::TimedOut => panic!("unbounded run cannot time out"),
         }
     }
 

@@ -1,0 +1,223 @@
+//! Counterexample ergonomics: replay, minimization, VCD witnesses.
+//!
+//! A refutation from [`crate::bmc`] arrives as a [`CexTrace`] — per
+//! frame, the primary-input assignment the SAT solver chose. This
+//! module turns that into something a human can act on:
+//!
+//! * [`replay_trace`] re-executes the trace on the independent
+//!   [`Sim64`] simulator and reports the first cycle the property
+//!   fails — a cross-check of the SAT-level refutation against a
+//!   completely separate evaluation engine;
+//! * [`minimize_trace`] greedily prunes the trace (truncating to the
+//!   first failing cycle, then dropping every input-bit assignment
+//!   whose default preserves the failure) so the witness pins only
+//!   what matters;
+//! * [`write_vcd_witness`] dumps the replayed trace through the
+//!   [`autopipe_hdl::vcd`] writer for waveform inspection.
+//!
+//! Closed systems (programs in ROM — the common case for generated
+//! pipelines) have no primary inputs; their traces carry empty frames
+//! and replay is simply deterministic re-simulation up to the failing
+//! cycle.
+
+use crate::bmc::CexTrace;
+use crate::error::VerifyError;
+use autopipe_hdl::aig::Lowered;
+use autopipe_hdl::vcd::VcdWriter;
+use autopipe_hdl::{HdlError, NetId, Netlist, Sim64, Simulator};
+use std::io::Write;
+
+/// Per-frame input values for a trace, resolved from AIG input
+/// variables to word-level `(net, value)` pairs. Variables a frame
+/// leaves unassigned default to 0.
+fn frame_inputs(lowered: &Lowered, trace: &CexTrace, t: usize) -> Vec<(NetId, u64)> {
+    lowered
+        .input_vars
+        .iter()
+        .map(|(net, vars)| {
+            let mut v = 0u64;
+            if let Some(frame) = trace.get(t) {
+                for (bit, var) in vars.iter().enumerate() {
+                    if frame.get(var).copied().unwrap_or(false) {
+                        v |= 1 << bit;
+                    }
+                }
+            }
+            (*net, v)
+        })
+        .collect()
+}
+
+/// Replays `trace` on a fresh [`Sim64`] of `nl` and returns the first
+/// cycle (within the trace) at which the 1-bit net `prop` evaluates
+/// to 0, or `None` if the trace does not refute the property under
+/// simulation semantics.
+///
+/// # Errors
+///
+/// Propagates simulator construction errors.
+pub fn replay_trace(
+    nl: &Netlist,
+    lowered: &Lowered,
+    prop: NetId,
+    trace: &CexTrace,
+) -> Result<Option<u64>, HdlError> {
+    let mut sim = Sim64::new(nl)?;
+    for t in 0..trace.len() {
+        for (net, v) in frame_inputs(lowered, trace, t) {
+            sim.set_input_all(net, v);
+        }
+        sim.settle();
+        if sim.get_lane(prop, 0) != 1 {
+            return Ok(Some(t as u64));
+        }
+        sim.clock();
+    }
+    Ok(None)
+}
+
+/// Greedily minimizes a refutation trace against replay:
+///
+/// 1. truncates the trace to end at its first failing cycle,
+/// 2. for each frame (in order) and each assigned input bit (in
+///    variable order), drops the assignment if the truncated trace
+///    still fails at the same-or-earlier cycle without it.
+///
+/// The result refutes `prop` under [`replay_trace`] whenever the
+/// input did; a trace that does not replay is returned unchanged.
+///
+/// # Errors
+///
+/// Propagates simulator construction errors.
+pub fn minimize_trace(
+    nl: &Netlist,
+    lowered: &Lowered,
+    prop: NetId,
+    trace: &CexTrace,
+) -> Result<CexTrace, HdlError> {
+    let Some(fail) = replay_trace(nl, lowered, prop, trace)? else {
+        return Ok(trace.clone());
+    };
+    let mut min: CexTrace = trace[..=fail as usize].to_vec();
+    for t in 0..min.len() {
+        let mut vars: Vec<u32> = min[t].keys().copied().collect();
+        vars.sort_unstable();
+        for var in vars {
+            let Some(old) = min[t].remove(&var) else {
+                continue;
+            };
+            match replay_trace(nl, lowered, prop, &min)? {
+                Some(c) if c <= fail => {} // still refutes: keep dropped
+                _ => {
+                    min[t].insert(var, old);
+                }
+            }
+        }
+    }
+    Ok(min)
+}
+
+/// Replays `trace` on a scalar [`Simulator`] of `nl`, streaming every
+/// named net to a VCD waveform on `out`. At least `cycles` cycles are
+/// dumped (traces shorter than that continue with all-zero inputs),
+/// so short counterexamples still produce a readable waveform.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::Hdl`] on simulator construction failures
+/// and [`VerifyError::Io`] on write failures.
+pub fn write_vcd_witness<W: Write>(
+    out: W,
+    nl: &Netlist,
+    lowered: &Lowered,
+    trace: &CexTrace,
+    cycles: u64,
+) -> Result<(), VerifyError> {
+    let mut sim = Simulator::new(nl)?;
+    let mut vcd = VcdWriter::new(out, nl);
+    let total = cycles.max(trace.len() as u64);
+    for t in 0..total {
+        for (net, v) in frame_inputs(lowered, trace, t as usize) {
+            sim.set_input(net, v);
+        }
+        sim.settle();
+        vcd.sample(&sim)?;
+        sim.clock();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bmc::{bmc_invariant_with_trace, BmcOutcome};
+
+    /// Open netlist: property "a and b never both 1 two cycles in a
+    /// row" — refutable only by driving both inputs high twice.
+    fn sticky_and() -> (Netlist, NetId) {
+        let mut nl = Netlist::new("cex");
+        let a = nl.input("a", 1);
+        let b = nl.input("b", 1);
+        let both = nl.and(a, b);
+        let (r, seen) = nl.register("seen", 1, 0);
+        nl.connect(r, both);
+        let again = nl.and(seen, both);
+        let ok = nl.not(again);
+        let ok = nl.label("ok", ok);
+        (nl, ok)
+    }
+
+    #[test]
+    fn replay_confirms_sat_refutation() {
+        let (nl, ok) = sticky_and();
+        let low = autopipe_hdl::aig::lower(&nl).unwrap();
+        let prop = low.net_lits(ok)[0];
+        let (outcome, trace) = bmc_invariant_with_trace(&low.aig, prop, 5);
+        assert_eq!(outcome, BmcOutcome::Violated { frame: 1 });
+        let trace = trace.unwrap();
+        assert_eq!(replay_trace(&nl, &low, ok, &trace).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn minimization_preserves_refutation_and_never_grows() {
+        let (nl, ok) = sticky_and();
+        let low = autopipe_hdl::aig::lower(&nl).unwrap();
+        let prop = low.net_lits(ok)[0];
+        // Pad the SAT trace with an irrelevant trailing frame and an
+        // irrelevant assignment to give the minimizer work.
+        let (_, trace) = bmc_invariant_with_trace(&low.aig, prop, 5);
+        let mut trace = trace.unwrap();
+        trace.push(trace[0].clone());
+        let before: usize = trace.iter().map(|f| f.len()).sum::<usize>() + trace.len();
+        let min = minimize_trace(&nl, &low, ok, &trace).unwrap();
+        let after: usize = min.iter().map(|f| f.len()).sum::<usize>() + min.len();
+        assert!(after <= before);
+        assert_eq!(min.len(), 2, "truncated to the failing cycle");
+        assert_eq!(replay_trace(&nl, &low, ok, &min).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn non_refuting_trace_is_returned_unchanged() {
+        let (nl, ok) = sticky_and();
+        let low = autopipe_hdl::aig::lower(&nl).unwrap();
+        let empty: CexTrace = vec![Default::default(); 3];
+        let min = minimize_trace(&nl, &low, ok, &empty).unwrap();
+        assert_eq!(min.len(), 3);
+        assert_eq!(replay_trace(&nl, &low, ok, &min).unwrap(), None);
+    }
+
+    #[test]
+    fn vcd_witness_is_wellformed() {
+        let (nl, ok) = sticky_and();
+        let low = autopipe_hdl::aig::lower(&nl).unwrap();
+        let prop = low.net_lits(ok)[0];
+        let (_, trace) = bmc_invariant_with_trace(&low.aig, prop, 5);
+        let trace = trace.unwrap();
+        let mut buf = Vec::new();
+        write_vcd_witness(&mut buf, &nl, &low, &trace, 4).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("$enddefinitions"));
+        assert!(text.contains("#0"));
+        assert!(text.contains("#3"), "padded to the requested length");
+    }
+}

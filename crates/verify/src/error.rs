@@ -23,6 +23,9 @@ pub enum VerifyError {
     Consistency(ConsistencyError),
     /// A product-machine (miter) construction failed.
     Miter(MiterError),
+    /// Writing a witness/report artifact failed (message of the
+    /// underlying I/O error; kept as text so the error stays `Eq`).
+    Io(String),
 }
 
 impl fmt::Display for VerifyError {
@@ -32,6 +35,7 @@ impl fmt::Display for VerifyError {
             VerifyError::Sequential(e) => write!(f, "sequential reference: {e}"),
             VerifyError::Consistency(e) => write!(f, "consistency violation: {e}"),
             VerifyError::Miter(e) => write!(f, "miter: {e}"),
+            VerifyError::Io(m) => write!(f, "io: {m}"),
         }
     }
 }
@@ -43,6 +47,7 @@ impl std::error::Error for VerifyError {
             VerifyError::Sequential(e) => Some(e),
             VerifyError::Consistency(e) => Some(e),
             VerifyError::Miter(e) => Some(e),
+            VerifyError::Io(_) => None,
         }
     }
 }
@@ -68,6 +73,12 @@ impl From<ConsistencyError> for VerifyError {
 impl From<MiterError> for VerifyError {
     fn from(e: MiterError) -> Self {
         VerifyError::Miter(e)
+    }
+}
+
+impl From<std::io::Error> for VerifyError {
+    fn from(e: std::io::Error) -> Self {
+        VerifyError::Io(e.to_string())
     }
 }
 

@@ -23,12 +23,27 @@
 //!   ([`std::thread::scope`]-based) that fans obligation and
 //!   equivalence checks across cores while keeping every report
 //!   byte-deterministic (per-task result slots, merged in task order),
+//! * [`soundness`] — the fault-injection harness: applies
+//!   [`autopipe_hdl::mutate`] faults to a synthesized machine and
+//!   asserts every mutant is *killed* by the verification stack,
+//!   producing a kill matrix with replayable, VCD-backed
+//!   counterexamples,
+//! * [`cex`] — counterexample ergonomics: greedy trace minimization
+//!   against simulator replay and VCD witness dumping,
 //! * [`error`] — the typed [`VerifyError`] every fallible public
 //!   surface returns.
+//!
+//! Long-running checks are resource-bounded: [`sat::SolveBudget`]
+//! threads per-call conflict budgets, wall-clock deadlines and a
+//! cooperative cancellation token into the solver, and
+//! [`VerifySettings::timeout`] turns them into a graceful partial
+//! [`VerificationReport`] (per-obligation `Proved`/`Violated`/
+//! `TimedOut`) instead of a hang.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bmc;
+pub mod cex;
 pub mod cnf;
 pub mod cosim;
 pub mod equiv;
@@ -36,14 +51,18 @@ pub mod error;
 pub mod pool;
 pub mod report;
 pub mod sat;
+pub mod soundness;
 
 pub use bmc::{
-    check_obligations, check_obligations_jobs, BmcOutcome, BmcResult, ClauseCache, ObligationReport,
+    check_obligations, check_obligations_bounded, check_obligations_jobs, BmcOutcome, BmcResult,
+    ClauseCache, ObligationBudget, ObligationReport,
 };
+pub use cex::{minimize_trace, replay_trace, write_vcd_witness};
 pub use cosim::{ConsistencyError, Cosim, CosimStats};
 pub use equiv::{
     fuzz_property, lockstep_miter, netlist_miter, retirement_miter, simulate_property, MiterError,
 };
 pub use error::VerifyError;
 pub use report::{verify_machine, VerificationReport, VerifySettings, VerifyTimings};
-pub use sat::{Lit, SatResult, Solver, Var};
+pub use sat::{Lit, SatResult, SolveBudget, Solver, Var};
+pub use soundness::{run_soundness, KillChannel, MutantResult, SoundnessReport, SoundnessSettings};

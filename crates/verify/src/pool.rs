@@ -46,10 +46,45 @@ where
     T: Send,
     F: FnOnce() -> T + Send,
 {
+    run_tasks_cancellable(
+        jobs,
+        tasks,
+        || false,
+        |_| unreachable!("tasks are never skipped without cancellation"),
+    )
+}
+
+/// [`run_tasks`] with cooperative shutdown: workers consult
+/// `should_stop` before starting each task, and tasks skipped because
+/// the pool is draining get their result from `fallback(task_index)`
+/// instead. Results still come back in task order, one per task, so
+/// the determinism contract carries over — a cancelled run returns a
+/// *complete* vector in which unstarted tasks are marked by their
+/// fallback value.
+///
+/// `should_stop` does not preempt a task already running; pair it with
+/// resource bounds inside the tasks (e.g.
+/// [`crate::sat::SolveBudget`]) for prompt aborts.
+pub fn run_tasks_cancellable<T, F, C, G>(
+    jobs: usize,
+    tasks: Vec<F>,
+    should_stop: C,
+    fallback: G,
+) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+    C: Fn() -> bool + Sync,
+    G: Fn(usize) -> T + Sync,
+{
     let n = tasks.len();
     let jobs = resolve_jobs(jobs).min(n.max(1));
     if jobs <= 1 || n <= 1 {
-        return tasks.into_iter().map(|f| f()).collect();
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| if should_stop() { fallback(i) } else { f() })
+            .collect();
     }
 
     // Task and result slots, indexed by task id. Workers `take` the
@@ -73,7 +108,12 @@ where
             let queues = &queues;
             let tasks = &tasks;
             let results = &results;
+            let should_stop = &should_stop;
             s.spawn(move || loop {
+                // Drain: leave remaining tasks to their fallbacks.
+                if should_stop() {
+                    break;
+                }
                 // Own work first (front), then steal (back). Tasks
                 // never enqueue new tasks, so "every deque empty" is a
                 // stable termination condition.
@@ -101,10 +141,11 @@ where
 
     results
         .into_iter()
-        .map(|m| {
+        .enumerate()
+        .map(|(i, m)| {
             m.into_inner()
                 .expect("result slot poisoned")
-                .expect("every task ran")
+                .unwrap_or_else(|| fallback(i))
         })
         .collect()
 }
@@ -181,6 +222,53 @@ mod tests {
     fn map_tasks_passes_indices() {
         let got = map_tasks(3, vec![10u64, 20, 30], |i, v| v + i as u64);
         assert_eq!(got, vec![10, 21, 32]);
+    }
+
+    #[test]
+    fn pre_cancelled_pool_returns_all_fallbacks() {
+        for jobs in [1, 4] {
+            let tasks: Vec<_> = (0..10).map(|i| move || i as i64).collect();
+            let got = run_tasks_cancellable(jobs, tasks, || true, |i| -1 - i as i64);
+            assert_eq!(
+                got,
+                (0..10).map(|i| -1 - i).collect::<Vec<i64>>(),
+                "jobs = {jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn mid_run_cancellation_yields_complete_vector() {
+        use std::sync::atomic::AtomicBool;
+        for jobs in [1, 2, 4] {
+            let stop = AtomicBool::new(false);
+            let tasks: Vec<_> = (0..64)
+                .map(|i| {
+                    let stop = &stop;
+                    move || {
+                        if i == 3 {
+                            stop.store(true, Ordering::SeqCst);
+                        }
+                        i as i64
+                    }
+                })
+                .collect();
+            let got = run_tasks_cancellable(
+                jobs,
+                tasks,
+                || stop.load(Ordering::SeqCst),
+                |i| -1 - i as i64,
+            );
+            // One slot per task; each holds either the genuine result
+            // or its fallback, never a mix-up or a missing entry.
+            assert_eq!(got.len(), 64, "jobs = {jobs}");
+            for (i, v) in got.iter().enumerate() {
+                assert!(
+                    *v == i as i64 || *v == -1 - i as i64,
+                    "jobs = {jobs}, slot {i} = {v}"
+                );
+            }
+        }
     }
 
     #[test]

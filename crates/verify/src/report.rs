@@ -23,13 +23,17 @@
 //! The result pretty-prints as the machine-proof appendix of the
 //! generated proof document.
 
-use crate::bmc::{bmc_invariant, check_obligations_jobs, BmcOutcome, ObligationReport};
+use crate::bmc::{
+    bmc_invariant_bounded, check_obligations_bounded, BmcOutcome, ObligationBudget,
+    ObligationReport,
+};
 use crate::cosim::{Cosim, CosimStats};
 use crate::equiv::retirement_miter;
 use crate::pool;
+use crate::sat::SolveBudget;
 use autopipe_synth::PipelinedMachine;
 use std::fmt;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Result of one bounded-equivalence check.
 #[derive(Debug, Clone)]
@@ -62,6 +66,14 @@ pub struct VerifySettings {
     /// Worker threads for the obligation/equivalence fan-out
     /// (`1` = run on the calling thread, `0` = one per core).
     pub jobs: usize,
+    /// Wall-clock allowance for the whole run (`None` = unlimited).
+    /// When it expires, in-flight SAT queries are interrupted
+    /// cooperatively and the report degrades to a *partial* one:
+    /// undecided obligations/equivalence checks carry
+    /// [`BmcOutcome::TimedOut`] and the cosim step is skipped — never
+    /// a hang, never a wrong verdict. See
+    /// [`VerificationReport::complete`].
+    pub timeout: Option<Duration>,
 }
 
 impl Default for VerifySettings {
@@ -72,6 +84,7 @@ impl Default for VerifySettings {
             equiv_depth: 40,
             cosim_cycles: 200,
             jobs: 1,
+            timeout: None,
         }
     }
 }
@@ -82,6 +95,13 @@ impl VerifySettings {
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Returns the settings with the given wall-clock allowance.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
         self
     }
 }
@@ -112,6 +132,10 @@ pub struct VerificationReport {
     pub cosim_violation: Option<String>,
     /// Notes about skipped steps.
     pub notes: Vec<String>,
+    /// True when the run's [`VerifySettings::timeout`] cut the cosim
+    /// step short (obligations and equivalence checks record their
+    /// own [`BmcOutcome::TimedOut`]).
+    pub cosim_timed_out: bool,
     /// Wall-clock profile (excluded from `Display`).
     pub timings: VerifyTimings,
 }
@@ -125,6 +149,20 @@ impl VerificationReport {
                 .iter()
                 .all(|e| !matches!(e.outcome, BmcOutcome::Violated { .. }))
             && self.cosim_violation.is_none()
+    }
+
+    /// True when every step ran to a verdict — false for partial
+    /// reports produced under an expired [`VerifySettings::timeout`].
+    /// A report that is [`VerificationReport::ok`] but not complete
+    /// proves nothing about the undecided steps; the CLI maps this
+    /// state to its own documented exit code.
+    pub fn complete(&self) -> bool {
+        !self.cosim_timed_out
+            && self.obligations.iter().all(|o| !o.timed_out())
+            && self
+                .equivalence
+                .iter()
+                .all(|e| e.outcome != BmcOutcome::TimedOut)
     }
 
     /// Renders the wall-clock table: one row per obligation and
@@ -183,13 +221,18 @@ impl fmt::Display for VerificationReport {
             .iter()
             .filter(|o| matches!(o.outcome, BmcOutcome::Proved { .. }))
             .count();
-        writeln!(
+        let timed_out = self.obligations.iter().filter(|o| o.timed_out()).count();
+        write!(
             f,
             "obligations: {} total, {} proved, {} failed",
             self.obligations.len(),
             proved,
             self.obligations.iter().filter(|o| !o.ok()).count()
         )?;
+        if timed_out > 0 {
+            write!(f, ", {timed_out} timed out")?;
+        }
+        writeln!(f)?;
         for e in &self.equivalence {
             writeln!(
                 f,
@@ -211,7 +254,14 @@ impl fmt::Display for VerificationReport {
         for n in &self.notes {
             writeln!(f, "note: {n}")?;
         }
-        write!(f, "verdict: {}", if self.ok() { "PASS" } else { "FAIL" })
+        let verdict = if !self.ok() {
+            "FAIL"
+        } else if !self.complete() {
+            "INCOMPLETE"
+        } else {
+            "PASS"
+        };
+        write!(f, "verdict: {verdict}")
     }
 }
 
@@ -221,12 +271,27 @@ pub fn verify_machine(pm: &PipelinedMachine, settings: VerifySettings) -> Verifi
     let t_start = Instant::now();
     let mut notes = Vec::new();
 
-    let obligations =
-        check_obligations_jobs(&pm.netlist, &pm.obligations, settings.max_k, settings.jobs)
-            .unwrap_or_else(|e| {
-                notes.push(format!("obligation lowering failed: {e}"));
-                Vec::new()
-            });
+    // One deadline governs the whole run; each step consults it
+    // cooperatively. Timed-out obligations first retry with escalating
+    // conflict budgets while time remains.
+    let deadline = settings.timeout.map(|t| t_start + t);
+    let ob_budget = ObligationBudget {
+        timeout: settings.timeout,
+        initial_conflicts: settings.timeout.map(|_| 1 << 14),
+        cancel: None,
+    };
+
+    let obligations = check_obligations_bounded(
+        &pm.netlist,
+        &pm.obligations,
+        settings.max_k,
+        settings.jobs,
+        &ob_budget,
+    )
+    .unwrap_or_else(|e| {
+        notes.push(format!("obligation lowering failed: {e}"));
+        Vec::new()
+    });
 
     // Retirement equivalence per visible writable file — closed
     // systems only. One pool task per file.
@@ -241,22 +306,51 @@ pub fn verify_machine(pm: &PipelinedMachine, settings: VerifySettings) -> Verifi
                 .filter(|f| f.visible && !f.read_only)
                 .map(|f| f.name.as_str())
                 .collect();
-            let outcomes = pool::map_tasks(settings.jobs, files, |_, name| {
-                let t0 = Instant::now();
-                let (nl, prop) = retirement_miter(pm, name, settings.equiv_writes)
-                    .map_err(|e| format!("miter for `{name}`: {e}"))?;
-                let low = autopipe_hdl::aig::lower(&nl)
-                    .map_err(|e| format!("lowering `{name}` miter: {e}"))?;
-                let p = low.net_lits(prop)[0];
-                let outcome = bmc_invariant(&low.aig, p, settings.equiv_depth);
-                Ok::<EquivalenceReport, String>(EquivalenceReport {
-                    file: name.to_string(),
-                    writes: settings.equiv_writes,
-                    depth: settings.equiv_depth,
-                    outcome,
-                    millis: t0.elapsed().as_millis(),
-                })
-            });
+            let solve_budget = SolveBudget {
+                max_conflicts: None,
+                deadline,
+                cancel: None,
+            };
+            let outcomes = pool::run_tasks_cancellable(
+                settings.jobs,
+                files
+                    .iter()
+                    .map(|&name| {
+                        let solve_budget = solve_budget.clone();
+                        move || {
+                            let t0 = Instant::now();
+                            let (nl, prop) = retirement_miter(pm, name, settings.equiv_writes)
+                                .map_err(|e| format!("miter for `{name}`: {e}"))?;
+                            let low = autopipe_hdl::aig::lower(&nl)
+                                .map_err(|e| format!("lowering `{name}` miter: {e}"))?;
+                            let p = low.net_lits(prop)[0];
+                            let outcome = bmc_invariant_bounded(
+                                &low.aig,
+                                p,
+                                settings.equiv_depth,
+                                &solve_budget,
+                            );
+                            Ok::<EquivalenceReport, String>(EquivalenceReport {
+                                file: name.to_string(),
+                                writes: settings.equiv_writes,
+                                depth: settings.equiv_depth,
+                                outcome,
+                                millis: t0.elapsed().as_millis(),
+                            })
+                        }
+                    })
+                    .collect(),
+                || solve_budget.out_of_time(),
+                |i| {
+                    Ok(EquivalenceReport {
+                        file: files[i].to_string(),
+                        writes: settings.equiv_writes,
+                        depth: settings.equiv_depth,
+                        outcome: BmcOutcome::TimedOut,
+                        millis: 0,
+                    })
+                },
+            );
             for r in outcomes {
                 match r {
                     Ok(e) => equivalence.push(e),
@@ -268,23 +362,53 @@ pub fn verify_machine(pm: &PipelinedMachine, settings: VerifySettings) -> Verifi
         }
     }
 
-    // Co-simulation.
+    // Co-simulation. Under a timeout the run is chunked so an expired
+    // deadline aborts between chunks; an aborted cosim contributes no
+    // stats (partial statistics would make the report text depend on
+    // wall-clock noise) — just the note and the incomplete flag.
     let t_cosim = Instant::now();
     let (mut cosim_stats, mut violation) = (None, None);
+    let mut cosim_timed_out = false;
+    let out_of_time = || deadline.map(|d| Instant::now() >= d).unwrap_or(false);
     if settings.cosim_cycles > 0 {
-        match Cosim::new(pm) {
-            Ok(mut cosim) => match cosim.run(settings.cosim_cycles) {
-                Ok(stats) => cosim_stats = Some(stats.clone()),
-                Err(e) => violation = Some(e.to_string()),
-            },
-            Err(e) => notes.push(format!("cosim construction failed: {e}")),
-        }
-        if !pm.report.speculations.is_empty() {
-            notes.push(
-                "speculative machine: cosim ran with per-cycle checks disabled (paper \
+        if out_of_time() {
+            cosim_timed_out = true;
+            notes.push("cosim skipped: timeout exceeded".into());
+        } else {
+            match Cosim::new(pm) {
+                Ok(mut cosim) => {
+                    let mut left = settings.cosim_cycles;
+                    loop {
+                        let chunk = left.min(1024);
+                        match cosim.run(chunk) {
+                            Ok(_) => {
+                                left -= chunk;
+                                if left == 0 {
+                                    cosim_stats = Some(cosim.stats().clone());
+                                    break;
+                                }
+                                if out_of_time() {
+                                    cosim_timed_out = true;
+                                    notes.push("cosim aborted: timeout exceeded".into());
+                                    break;
+                                }
+                            }
+                            Err(e) => {
+                                violation = Some(e.to_string());
+                                break;
+                            }
+                        }
+                    }
+                }
+                Err(e) => notes.push(format!("cosim construction failed: {e}")),
+            }
+            if !pm.report.speculations.is_empty() {
+                notes.push(
+                    "speculative machine: cosim ran with per-cycle checks disabled (paper \
 omits rollback in the consistency argument)"
-                    .into(),
-            );
+                        .into(),
+                );
+            }
         }
     }
 
@@ -294,6 +418,7 @@ omits rollback in the consistency argument)"
         cosim: cosim_stats,
         cosim_violation: violation,
         notes,
+        cosim_timed_out,
         timings: VerifyTimings {
             jobs: pool::resolve_jobs(settings.jobs),
             wall_millis: t_start.elapsed().as_millis(),

@@ -12,6 +12,9 @@
 //! database reduction or preprocessing.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A boolean variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -95,6 +98,92 @@ pub enum SatResult {
     Sat,
     /// The formula (under the given assumptions) is unsatisfiable.
     Unsat,
+    /// The search was abandoned because a [`SolveBudget`] bound was
+    /// exhausted (conflict budget, wall-clock deadline or cancellation
+    /// token). The clause database — including clauses learnt during
+    /// the interrupted run — remains valid, so the query may be
+    /// retried, typically with a larger budget.
+    Interrupted,
+}
+
+/// External resource bounds for a solve call.
+///
+/// The solver checks the budget cooperatively: on every conflict and
+/// every few hundred decisions. All bounds are optional; the default
+/// budget is unlimited and adds no overhead worth measuring. Conflict
+/// budgets are deterministic (the search is single-threaded and seeded
+/// by clause order); deadlines and cancellation tokens are wall-clock
+/// mechanisms for `--timeout`-style bounds.
+#[derive(Debug, Clone, Default)]
+pub struct SolveBudget {
+    /// Abandon the call after this many conflicts (`None` = unlimited).
+    pub max_conflicts: Option<u64>,
+    /// Abandon the call once this instant passes (`None` = unlimited).
+    pub deadline: Option<Instant>,
+    /// Abandon the call once this flag is raised, e.g. by a watchdog
+    /// or signal handler on another thread (`None` = none).
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl SolveBudget {
+    /// A budget with no bounds: the solver runs to completion.
+    pub fn unlimited() -> SolveBudget {
+        SolveBudget::default()
+    }
+
+    /// Sets the conflict bound.
+    #[must_use]
+    pub fn with_conflicts(mut self, max_conflicts: u64) -> SolveBudget {
+        self.max_conflicts = Some(max_conflicts);
+        self
+    }
+
+    /// Sets the wall-clock deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> SolveBudget {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> SolveBudget {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// True when no bound is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_conflicts.is_none() && self.deadline.is_none() && self.cancel.is_none()
+    }
+
+    /// True once the wall-clock bounds (deadline or cancellation — not
+    /// the conflict budget) are spent. Callers use this to distinguish
+    /// "out of conflicts, retry with more" from "out of time, give up".
+    pub fn out_of_time(&self) -> bool {
+        if let Some(c) = &self.cancel {
+            if c.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// True once any bound is spent, given the conflicts used so far
+    /// by the current call.
+    pub fn exhausted(&self, conflicts_used: u64) -> bool {
+        if let Some(m) = self.max_conflicts {
+            if conflicts_used >= m {
+                return true;
+            }
+        }
+        self.out_of_time()
+    }
 }
 
 const UNASSIGNED: u8 = 2;
@@ -491,6 +580,17 @@ impl Solver {
     /// Solves under the given assumption literals; the clause database
     /// is preserved afterwards, so further clauses/queries may follow.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.solve_bounded(assumptions, &SolveBudget::unlimited())
+    }
+
+    /// [`Solver::solve_with_assumptions`] under an external
+    /// [`SolveBudget`]: the search is abandoned with
+    /// [`SatResult::Interrupted`] — never a wrong verdict — once the
+    /// budget's conflict bound, deadline or cancellation token fires.
+    /// The budget is checked on every conflict (including mid-restart,
+    /// before a new Luby round begins) and every few hundred
+    /// decisions, so even conflict-free searches notice cancellation.
+    pub fn solve_bounded(&mut self, assumptions: &[Lit], budget: &SolveBudget) -> SatResult {
         if self.unsat {
             return SatResult::Unsat;
         }
@@ -499,6 +599,9 @@ impl Solver {
             self.unsat = true;
             return SatResult::Unsat;
         }
+        let unlimited = budget.is_unlimited();
+        let mut used_conflicts = 0u64;
+        let mut decision_check = 0u32;
         let mut restarts = 0u32;
         let mut conflict_budget = luby(restarts) * 128;
         loop {
@@ -558,6 +661,11 @@ impl Solver {
                             _ => {}
                         }
                     }
+                    used_conflicts += 1;
+                    if !unlimited && budget.exhausted(used_conflicts) {
+                        self.backtrack(0);
+                        return SatResult::Interrupted;
+                    }
                     conflict_budget = conflict_budget.saturating_sub(1);
                     if conflict_budget == 0 {
                         restarts += 1;
@@ -568,6 +676,14 @@ impl Solver {
                 None => match self.pick_branch() {
                     None => return SatResult::Sat,
                     Some(v) => {
+                        decision_check += 1;
+                        if !unlimited && decision_check >= 256 {
+                            decision_check = 0;
+                            if budget.out_of_time() {
+                                self.backtrack(0);
+                                return SatResult::Interrupted;
+                            }
+                        }
                         self.decisions += 1;
                         self.trail_lim.push(self.trail.len());
                         self.enqueue(v.lit(self.phase[v.index()]), None);
@@ -666,6 +782,65 @@ mod tests {
         }
         assert_eq!(s.solve(), SatResult::Unsat);
         assert!(s.conflicts > 0);
+    }
+
+    /// PHP(n, n-1) — hard enough to guarantee conflicts.
+    #[allow(clippy::needless_range_loop)]
+    fn pigeonhole(n: usize) -> Solver {
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..n).map(|_| vars(&mut s, n - 1)).collect();
+        for row in &p {
+            let lits: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
+            s.add_clause(&lits);
+        }
+        for hole in 0..n - 1 {
+            for a in 0..n {
+                for b in a + 1..n {
+                    s.add_clause(&[p[a][hole].negative(), p[b][hole].negative()]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn conflict_budget_interrupts_then_retry_succeeds() {
+        let mut s = pigeonhole(6);
+        let tight = SolveBudget::unlimited().with_conflicts(3);
+        assert_eq!(s.solve_bounded(&[], &tight), SatResult::Interrupted);
+        // The interrupted run's learnt clauses stay sound: an
+        // unbounded retry completes with the correct verdict.
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn cancel_token_interrupts_mid_search() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let cancel = Arc::new(AtomicBool::new(true));
+        let mut s = pigeonhole(6);
+        let budget = SolveBudget::unlimited().with_cancel(cancel.clone());
+        assert_eq!(s.solve_bounded(&[], &budget), SatResult::Interrupted);
+        // Lowering the flag lets the same call run to completion.
+        cancel.store(false, Ordering::Relaxed);
+        assert_eq!(s.solve_bounded(&[], &budget), SatResult::Unsat);
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_immediately() {
+        let mut s = pigeonhole(6);
+        let budget = SolveBudget::unlimited().with_deadline(Instant::now());
+        assert!(budget.out_of_time());
+        assert_eq!(s.solve_bounded(&[], &budget), SatResult::Interrupted);
+    }
+
+    #[test]
+    fn unlimited_budget_reports_no_bounds() {
+        let b = SolveBudget::unlimited();
+        assert!(b.is_unlimited());
+        assert!(!b.out_of_time());
+        assert!(!b.exhausted(u64::MAX));
+        assert!(!b.with_conflicts(10).is_unlimited());
     }
 
     #[test]

@@ -1,0 +1,410 @@
+//! Fault-injection soundness harness: *does the verifier catch broken
+//! pipelines?*
+//!
+//! A verification stack that only ever says "PASS" is indistinguishable
+//! from one that checks nothing. This module closes that loop: it takes
+//! a synthesized [`PipelinedMachine`], applies each fault from the
+//! deterministic [`autopipe_hdl::mutate`] catalog, and asserts that
+//! every mutant is **killed** — some check yields a concrete
+//! counterexample. Three kill channels run in a fixed order:
+//!
+//! 1. **Obligations** — the synthesizer's own proof obligations,
+//!    discharged by BMC/k-induction ([`crate::bmc`]). A violation comes
+//!    with a frame number and a replayable input trace.
+//! 2. **Retirement equivalence** — the pipelined mutant against the
+//!    prepared sequential machine via [`crate::equiv::retirement_miter`]
+//!    (closed systems only), checked by simulation of the product
+//!    machine.
+//! 3. **Co-simulation** — the cycle-level consistency checker
+//!    ([`crate::cosim`]), which catches liveness breaks (a stalled
+//!    pipeline never retires) even for speculative machines.
+//!
+//! Every kill is backed up: the counterexample trace is minimized
+//! ([`crate::cex::minimize_trace`]), replayed on the independent
+//! [`autopipe_hdl::Sim64`] engine, and optionally dumped as a VCD
+//! witness. The result is a *kill matrix* ([`SoundnessReport`]) whose
+//! text is byte-deterministic in the seed.
+
+use crate::bmc::{bmc_invariant_with_trace, check_obligations_jobs, BmcOutcome};
+use crate::cex::{minimize_trace, replay_trace, write_vcd_witness};
+use crate::cosim::Cosim;
+use crate::equiv::{retirement_miter, simulate_property, MiterError};
+use crate::error::VerifyError;
+use crate::pool;
+use autopipe_hdl::mutate::{self, Mutation};
+use autopipe_hdl::Netlist;
+use autopipe_synth::PipelinedMachine;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Tuning knobs for a soundness run. The defaults match the
+/// `autopipe mutate` CLI defaults.
+#[derive(Debug, Clone)]
+pub struct SoundnessSettings {
+    /// Seed for the catalog selection shuffle.
+    pub seed: u64,
+    /// Number of mutants to draw from the catalog (`0` = all).
+    pub count: usize,
+    /// k-induction depth for the obligation channel.
+    pub max_k: usize,
+    /// Simulation budget (cycles) of each retirement miter.
+    pub sim_cycles: u64,
+    /// Cycle budget of the co-simulation channel.
+    pub cosim_cycles: u64,
+    /// Write count `K` for the retirement snapshot (the harness always
+    /// also checks `K = 1`).
+    pub writes: u64,
+    /// Worker threads over mutants (`0` = one per core).
+    pub jobs: usize,
+    /// Directory for VCD witnesses (`None` = do not write files).
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for SoundnessSettings {
+    fn default() -> Self {
+        SoundnessSettings {
+            seed: 1,
+            count: 0,
+            max_k: 2,
+            sim_cycles: 1024,
+            cosim_cycles: 2048,
+            writes: 8,
+            jobs: 1,
+            out_dir: None,
+        }
+    }
+}
+
+/// Which check killed a mutant, with its evidence location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KillChannel {
+    /// A proof obligation was violated.
+    Obligation {
+        /// Obligation name.
+        name: String,
+        /// First failing frame of the BMC refutation.
+        frame: usize,
+    },
+    /// The retirement-indexed equivalence against the sequential
+    /// machine failed.
+    Retirement {
+        /// Visible file whose snapshots disagreed.
+        file: String,
+        /// Snapshot write count `K` of the failing miter.
+        writes: u64,
+        /// First cycle at which the miter property fell.
+        cycle: u64,
+    },
+    /// The co-simulation consistency checker reported a violation.
+    Cosim {
+        /// Cycle of the violation.
+        cycle: u64,
+        /// Human-readable violation description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for KillChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KillChannel::Obligation { name, frame } => {
+                write!(f, "obligation {name} @ frame {frame}")
+            }
+            KillChannel::Retirement {
+                file,
+                writes,
+                cycle,
+            } => write!(f, "retirement {file} (K={writes}) @ cycle {cycle}"),
+            KillChannel::Cosim { cycle, reason } => write!(f, "cosim @ cycle {cycle}: {reason}"),
+        }
+    }
+}
+
+/// Outcome for a single mutant.
+#[derive(Debug, Clone)]
+pub struct MutantResult {
+    /// The mutation's stable id (e.g. `full.2:stuck0`).
+    pub id: String,
+    /// The paper mechanism the fault breaks.
+    pub mechanism: String,
+    /// The kill, or `None` when the mutant **survived** every channel.
+    pub channel: Option<KillChannel>,
+    /// Whether the counterexample replayed on the independent
+    /// simulation engine (always true for the cosim channel, which is
+    /// itself simulation-based).
+    pub replayed: bool,
+    /// VCD witness path, when one was written.
+    pub witness: Option<PathBuf>,
+    /// Wall-clock microseconds spent on this mutant (out-of-band:
+    /// never part of the deterministic report text).
+    pub micros: u128,
+}
+
+impl MutantResult {
+    /// True when some channel produced a counterexample.
+    pub fn killed(&self) -> bool {
+        self.channel.is_some()
+    }
+}
+
+/// The kill matrix of one soundness run.
+#[derive(Debug, Clone)]
+pub struct SoundnessReport {
+    /// Size of the full fault catalog of the machine.
+    pub catalog_size: usize,
+    /// The selection seed.
+    pub seed: u64,
+    /// Per-mutant outcomes, in catalog order.
+    pub results: Vec<MutantResult>,
+    /// A kill found on the *unmutated* machine — must be `None`, or
+    /// every kill in `results` is meaningless.
+    pub baseline: Option<KillChannel>,
+}
+
+impl SoundnessReport {
+    /// Number of killed mutants.
+    pub fn killed(&self) -> usize {
+        self.results.iter().filter(|r| r.killed()).count()
+    }
+
+    /// True when the baseline is clean and every mutant was killed with
+    /// *confirmed* evidence: the counterexample replayed on the
+    /// independent [`autopipe_hdl::Sim64`] engine. A kill that fails to
+    /// replay is suspect (a solver or encoding artifact) and does not
+    /// count.
+    pub fn ok(&self) -> bool {
+        self.baseline.is_none() && self.results.iter().all(|r| r.killed() && r.replayed)
+    }
+}
+
+impl fmt::Display for SoundnessReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fault injection: {} of {} catalog mutants (seed {})",
+            self.results.len(),
+            self.catalog_size,
+            self.seed
+        )?;
+        for r in &self.results {
+            let verdict = if r.killed() { "KILLED  " } else { "SURVIVED" };
+            write!(f, "  {verdict} {:<28}", r.id)?;
+            match &r.channel {
+                Some(c) if r.replayed => write!(f, " {c}")?,
+                Some(c) => write!(f, " {c} [replay FAILED — evidence not confirmed]")?,
+                None => write!(f, " no channel produced a counterexample")?,
+            }
+            writeln!(f, "\n           mechanism: {}", r.mechanism)?;
+        }
+        match &self.baseline {
+            Some(c) => writeln!(f, "baseline: DIRTY — {c} (kills above are meaningless)")?,
+            None => writeln!(f, "baseline: clean")?,
+        }
+        writeln!(f, "killed {}/{}", self.killed(), self.results.len())
+    }
+}
+
+/// The evidence a successful attack returns alongside its channel.
+struct Kill {
+    channel: KillChannel,
+    replayed: bool,
+    vcd: Option<Vec<u8>>,
+}
+
+/// Runs the three kill channels, in order, against `machine` (which
+/// may be the unmutated baseline). Returns the first kill, or `None`.
+fn attack(
+    machine: &PipelinedMachine,
+    settings: &SoundnessSettings,
+    want_vcd: bool,
+) -> Result<Option<Kill>, VerifyError> {
+    // Channel 1: proof obligations (BMC / k-induction).
+    let reports =
+        check_obligations_jobs(&machine.netlist, &machine.obligations, settings.max_k, 1)?;
+    for (ob, rep) in machine.obligations.iter().zip(&reports) {
+        if let BmcOutcome::Violated { frame } = rep.outcome {
+            let lowered = autopipe_hdl::aig::lower(&machine.netlist)?;
+            let prop = lowered.net_lits(ob.net)[0];
+            let (_, trace) = bmc_invariant_with_trace(&lowered.aig, prop, frame);
+            let trace = trace.unwrap_or_default();
+            let trace = minimize_trace(&machine.netlist, &lowered, ob.net, &trace)?;
+            let replayed = matches!(
+                replay_trace(&machine.netlist, &lowered, ob.net, &trace)?,
+                Some(c) if c <= frame as u64
+            );
+            let vcd = if want_vcd {
+                let mut buf = Vec::new();
+                write_vcd_witness(
+                    &mut buf,
+                    &machine.netlist,
+                    &lowered,
+                    &trace,
+                    frame as u64 + 2,
+                )?;
+                Some(buf)
+            } else {
+                None
+            };
+            return Ok(Some(Kill {
+                channel: KillChannel::Obligation {
+                    name: ob.name.clone(),
+                    frame,
+                },
+                replayed,
+                vcd,
+            }));
+        }
+    }
+
+    // Channel 2: retirement equivalence (closed systems only).
+    let mut k_values = vec![1];
+    if settings.writes > 1 {
+        k_values.push(settings.writes);
+    }
+    'files: for file in machine
+        .plan
+        .files
+        .iter()
+        .filter(|f| f.visible && !f.read_only)
+    {
+        for &writes in &k_values {
+            let (miter, prop) = match retirement_miter(machine, &file.name, writes) {
+                Ok(m) => m,
+                // Open design: the channel does not apply.
+                Err(MiterError::NotClosed { .. }) => break 'files,
+                Err(e) => return Err(e.into()),
+            };
+            if let Some(cycle) = simulate_property(&miter, prop, settings.sim_cycles)? {
+                let (replayed, vcd) = closed_evidence(&miter, prop, cycle, want_vcd)?;
+                return Ok(Some(Kill {
+                    channel: KillChannel::Retirement {
+                        file: file.name.clone(),
+                        writes,
+                        cycle,
+                    },
+                    replayed,
+                    vcd,
+                }));
+            }
+        }
+    }
+
+    // Channel 3: co-simulation (liveness survives even for
+    // speculative machines, where per-cycle data checks are off).
+    let mut cosim = Cosim::new(machine)?;
+    if let Err(e) = cosim.run(settings.cosim_cycles) {
+        let cycle = match &e {
+            crate::cosim::ConsistencyError::SchedulingAdjacency { cycle, .. }
+            | crate::cosim::ConsistencyError::FullBit { cycle, .. }
+            | crate::cosim::ConsistencyError::Register { cycle, .. }
+            | crate::cosim::ConsistencyError::File { cycle, .. }
+            | crate::cosim::ConsistencyError::Liveness { cycle, .. } => *cycle,
+        };
+        let vcd = if want_vcd {
+            let lowered = autopipe_hdl::aig::lower(&machine.netlist)?;
+            let mut buf = Vec::new();
+            write_vcd_witness(&mut buf, &machine.netlist, &lowered, &Vec::new(), cycle + 2)?;
+            Some(buf)
+        } else {
+            None
+        };
+        return Ok(Some(Kill {
+            channel: KillChannel::Cosim {
+                cycle,
+                reason: e.to_string(),
+            },
+            // The checker *is* the simulator: the violation was
+            // observed on a concrete run, no separate replay needed.
+            replayed: true,
+            vcd,
+        }));
+    }
+
+    Ok(None)
+}
+
+/// Replay + VCD evidence for a property failure on a closed netlist
+/// (no inputs: the trace is the empty assignment per frame).
+fn closed_evidence(
+    nl: &Netlist,
+    prop: autopipe_hdl::NetId,
+    cycle: u64,
+    want_vcd: bool,
+) -> Result<(bool, Option<Vec<u8>>), VerifyError> {
+    let lowered = autopipe_hdl::aig::lower(nl)?;
+    let trace = vec![HashMap::new(); cycle as usize + 1];
+    let replayed = replay_trace(nl, &lowered, prop, &trace)? == Some(cycle);
+    let vcd = if want_vcd {
+        let mut buf = Vec::new();
+        write_vcd_witness(&mut buf, nl, &lowered, &trace, cycle + 2)?;
+        Some(buf)
+    } else {
+        None
+    };
+    Ok((replayed, vcd))
+}
+
+/// Runs the full soundness harness on `pm`: checks the baseline is
+/// clean, applies the selected mutants, and attacks each one. Mutants
+/// are attacked in parallel (`settings.jobs`); the report is
+/// deterministic in the seed regardless of the worker count.
+///
+/// # Errors
+///
+/// Propagates netlist lowering, miter construction and witness I/O
+/// errors. A *surviving mutant is not an error* — it is reported in
+/// the kill matrix (`report.ok()` turns false).
+pub fn run_soundness(
+    pm: &PipelinedMachine,
+    settings: &SoundnessSettings,
+) -> Result<SoundnessReport, VerifyError> {
+    let catalog = mutate::catalog(&pm.netlist);
+    let selected = mutate::select(&catalog, settings.seed, settings.count);
+
+    // A dirty baseline makes every kill meaningless; check it first
+    // (without witness generation — there is nothing to witness).
+    let baseline = attack(pm, settings, false)?.map(|k| k.channel);
+
+    if let Some(dir) = &settings.out_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    let results: Vec<Result<MutantResult, VerifyError>> = pool::map_tasks(
+        settings.jobs,
+        selected.iter().collect::<Vec<&Mutation>>(),
+        |_, m| {
+            let t0 = Instant::now();
+            let mut mutant = pm.clone();
+            mutant.netlist = mutate::apply(&pm.netlist, m);
+            let kill = attack(&mutant, settings, settings.out_dir.is_some())?;
+            let (channel, replayed, vcd) = match kill {
+                Some(k) => (Some(k.channel), k.replayed, k.vcd),
+                None => (None, false, None),
+            };
+            let witness = match (&settings.out_dir, vcd) {
+                (Some(dir), Some(bytes)) => {
+                    let path = dir.join(format!("{}.vcd", m.id.replace([':', '/'], "_")));
+                    std::fs::write(&path, bytes)?;
+                    Some(path)
+                }
+                _ => None,
+            };
+            Ok(MutantResult {
+                id: m.id.clone(),
+                mechanism: m.mechanism.clone(),
+                channel,
+                replayed,
+                witness,
+                micros: t0.elapsed().as_micros(),
+            })
+        },
+    );
+    let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok(SoundnessReport {
+        catalog_size: catalog.len(),
+        seed: settings.seed,
+        results,
+        baseline,
+    })
+}

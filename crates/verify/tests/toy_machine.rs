@@ -245,6 +245,7 @@ fn verify_machine_packages_the_machine_proof() {
             equiv_depth: 14,
             cosim_cycles: 100,
             jobs: 2,
+            timeout: None,
         },
     );
     assert!(report.ok(), "{report}");
@@ -263,6 +264,7 @@ fn verify_machine_packages_the_machine_proof() {
             equiv_depth: 14,
             cosim_cycles: 100,
             jobs: 1,
+            timeout: None,
         },
     );
     assert!(!report.ok());

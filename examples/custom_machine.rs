@@ -139,6 +139,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             equiv_depth: 20,
             cosim_cycles: 0, // the run below doubles as the cosim
             jobs: 0,         // one worker per core
+            timeout: None,
         },
     );
     println!("machine proof:\n{report}\n");

@@ -27,6 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             BmcOutcome::Proved { k } => format!("proved (k = {k})"),
             BmcOutcome::BoundedOk { depth } => format!("bounded ok (depth {depth})"),
             BmcOutcome::Violated { frame } => format!("VIOLATED at frame {frame}"),
+            BmcOutcome::TimedOut => "timed out".into(),
         };
         println!("  [{:?}] {:<28} {}", r.class, r.name, verdict);
     }

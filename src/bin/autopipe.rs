@@ -8,6 +8,8 @@
 //!   synth    run the pipeline transformation, print the report
 //!   verify   synthesize, then discharge the proof obligations and run
 //!            the cycle-level consistency checker
+//!   mutate   fault-injection soundness run: apply pipeline-semantic
+//!            faults and assert every mutant is killed
 //!   emit     synthesize and print structural Verilog-2001
 //!   report   synthesize and print the cost/hazard report only
 //!
@@ -15,11 +17,16 @@
 //!   --emit FILE     (synth) also write the pipelined Verilog to FILE
 //!   --proof FILE    (synth) also write the proof document to FILE
 //!   -o FILE         (emit) write Verilog to FILE instead of stdout
+//!                   (mutate) directory for VCD witnesses
 //!   --interlock     replace every `forward` annotation with an interlock
 //!   --tree          use the tree-shaped forwarding select network
 //!   --cycles N      (verify) consistency-checker cycle budget [10000]
-//!   --depth K       (verify) k-induction depth for the obligations [2]
-//!   -j, --jobs N    (verify) worker threads; 0 = one per core [1]
+//!   --depth K       (verify, mutate) k-induction depth [2]
+//!   --timeout N     (verify) wall-clock budget in seconds; the report
+//!                   degrades to a partial one instead of hanging
+//!   --seed S        (mutate) catalog selection seed [1]
+//!   --count N       (mutate) mutants to draw; 0 = whole catalog [0]
+//!   -j, --jobs N    (verify, mutate) worker threads; 0 = one per core
 //!   -h, --help      print this help
 //!   --version       print the version
 //! ```
@@ -29,23 +36,31 @@
 //! table on stderr.
 //!
 //! Exit status: 0 on success, 1 on diagnosed errors (parse, lowering,
-//! synthesis, verification), 2 on command-line misuse.
+//! synthesis, verification, surviving mutants), 2 on command-line
+//! misuse, 3 when a `--timeout` expired and the (otherwise clean)
+//! report is partial.
 
 use autopipe::front::{compile_file, emit_verilog, Compiled};
 use autopipe::synth::{ForwardMode, MuxTopology, PipelineSynthesizer, PipelinedMachine};
-use autopipe::verify::{verify_machine, Cosim, VerifySettings};
+use autopipe::verify::{run_soundness, verify_machine, Cosim, SoundnessSettings, VerifySettings};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
-const USAGE: &str = "usage: autopipe <parse|synth|verify|emit|report> <design.psm> [options]
+const USAGE: &str = "usage: autopipe <parse|synth|verify|mutate|emit|report> <design.psm> [options]
   --emit FILE   (synth) write pipelined Verilog to FILE
   --proof FILE  (synth) write the proof document to FILE
   -o FILE       (emit) write Verilog to FILE instead of stdout
+                (mutate) directory for VCD witnesses
   --interlock   replace every `forward` annotation with an interlock
   --tree        use the tree-shaped forwarding select network
   --cycles N    (verify) consistency-checker cycle budget [10000]
-  --depth K     (verify) k-induction depth for the obligations [2]
-  -j, --jobs N  (verify) worker threads; 0 = one per core [1]
+  --depth K     (verify, mutate) k-induction depth [2]
+  --timeout N   (verify) wall-clock budget in seconds (partial report,
+                exit 3, instead of a hang)
+  --seed S      (mutate) catalog selection seed [1]
+  --count N     (mutate) mutants to draw; 0 = whole catalog [0]
+  -j, --jobs N  (verify, mutate) worker threads; 0 = one per core [1]
   -h, --help    print this help
   --version     print the version";
 
@@ -60,6 +75,9 @@ struct Options {
     cycles: u64,
     depth: usize,
     jobs: usize,
+    timeout: Option<u64>,
+    seed: u64,
+    count: usize,
 }
 
 /// Parses the numeric argument of a flag, reporting command-line
@@ -95,6 +113,9 @@ fn parse_args() -> Result<Options, Early> {
         cycles: 10_000,
         depth: 2,
         jobs: 1,
+        timeout: None,
+        seed: 1,
+        count: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -113,6 +134,9 @@ fn parse_args() -> Result<Options, Early> {
             "--tree" => o.tree = true,
             "--cycles" => o.cycles = num_arg("--cycles", &mut args)?,
             "--depth" | "--max-k" => o.depth = num_arg("--depth", &mut args)?,
+            "--timeout" => o.timeout = Some(num_arg("--timeout", &mut args)?),
+            "--seed" => o.seed = num_arg("--seed", &mut args)?,
+            "--count" => o.count = num_arg("--count", &mut args)?,
             // `--threads` kept as a hidden alias of the documented
             // spelling.
             "-j" | "--jobs" | "--threads" => o.jobs = num_arg("--jobs", &mut args)?,
@@ -127,7 +151,7 @@ fn parse_args() -> Result<Options, Early> {
     o.command = command.ok_or_else(|| Early::Usage("missing command".into()))?;
     if !matches!(
         o.command.as_str(),
-        "parse" | "synth" | "verify" | "emit" | "report"
+        "parse" | "synth" | "verify" | "mutate" | "emit" | "report"
     ) {
         return Err(Early::Usage(format!("unknown command `{}`", o.command)));
     }
@@ -174,7 +198,7 @@ fn outln(text: impl std::fmt::Display) {
     out("\n");
 }
 
-fn run(o: &Options) -> Result<(), String> {
+fn run(o: &Options) -> Result<ExitCode, String> {
     let compiled = compile_file(&o.path).map_err(|d| d.render())?;
     match o.command.as_str() {
         "parse" => {
@@ -223,6 +247,7 @@ fn run(o: &Options) -> Result<(), String> {
                     equiv_depth: 0,
                     cosim_cycles: 0,
                     jobs: o.jobs,
+                    timeout: o.timeout.map(Duration::from_secs),
                 },
             );
             outln(format_args!("machine proof:\n{report}"));
@@ -231,6 +256,12 @@ fn run(o: &Options) -> Result<(), String> {
             eprint!("{}", report.timing_table());
             if !report.ok() {
                 return Err("proof obligations failed".into());
+            }
+            if !report.complete() {
+                // Clean so far, but the timeout expired before every
+                // check finished: the report above is partial.
+                outln("verification incomplete: --timeout expired");
+                return Ok(ExitCode::from(3));
             }
             let mut cosim = Cosim::new(&pm).map_err(|e| e.to_string())?;
             let stats = cosim
@@ -244,9 +275,29 @@ checked against the sequential machine every cycle",
                 stats.cpi()
             ));
         }
+        "mutate" => {
+            let pm = synthesize(&compiled, o)?;
+            let settings = SoundnessSettings {
+                seed: o.seed,
+                count: o.count,
+                max_k: o.depth,
+                jobs: o.jobs,
+                out_dir: Some(
+                    o.out
+                        .clone()
+                        .unwrap_or_else(|| PathBuf::from("autopipe-mutants")),
+                ),
+                ..SoundnessSettings::default()
+            };
+            let report = run_soundness(&pm, &settings).map_err(|e| e.to_string())?;
+            out(&report);
+            if !report.ok() {
+                return Err("fault injection: surviving mutants or dirty baseline".into());
+            }
+        }
         _ => unreachable!("validated in parse_args"),
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn main() -> ExitCode {
@@ -266,7 +317,7 @@ fn main() -> ExitCode {
         }
     };
     match run(&o) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("{msg}");
             ExitCode::FAILURE

@@ -285,6 +285,7 @@ fn main() -> ExitCode {
                 equiv_depth: 0,
                 cosim_cycles: 0,
                 jobs: o.jobs,
+                timeout: None,
             },
         );
         outln(format_args!("machine proof:\n{report}\n"));

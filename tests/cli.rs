@@ -226,6 +226,63 @@ fn autopipe_verify_report_is_identical_across_jobs() {
     assert!(err4.contains("speedup"), "{err4}");
 }
 
+/// A 1-stage machine whose every obligation is far too expensive for a
+/// 1-second budget: a chain of 160 64-bit multiply-adds. All three of
+/// its obligations time out under `--timeout 1`, so the partial report
+/// is deterministic by construction — no obligation's solve time
+/// straddles the deadline.
+fn hard_machine() -> String {
+    let mut s = String::from(
+        "machine hard(1) {\n  reg X : 64 writes(0) visible;\n  stage 0 S {\n    let a0 = X ^ 64'd1;\n",
+    );
+    for i in 1..160 {
+        s.push_str(&format!(
+            "    let a{i} = a{} * a{} + 64'd{i};\n",
+            i - 1,
+            i - 1
+        ));
+    }
+    s.push_str("    X = a159;\n  }\n}\n");
+    write_prog("autopipe_hard.psm", &s)
+}
+
+#[test]
+fn autopipe_timeout_partial_report_is_identical_across_jobs() {
+    let hard = hard_machine();
+    let args = |j| {
+        [
+            "verify".into(),
+            hard.clone(),
+            "--timeout".into(),
+            "1".into(),
+            "--cycles".into(),
+            "0".into(),
+            "-j".into(),
+            String::from(j),
+        ]
+    };
+    let a1 = args("1");
+    let a4 = args("4");
+    let (code1, out1, err1) = run_bin_stdout(
+        env!("CARGO_BIN_EXE_autopipe"),
+        &a1.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let (code4, out4, err4) = run_bin_stdout(
+        env!("CARGO_BIN_EXE_autopipe"),
+        &a4.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    // Exit code 3: the budget expired but nothing that finished failed.
+    assert_eq!(code1, Some(3), "{err1}");
+    assert_eq!(code4, Some(3), "{err4}");
+    assert_eq!(
+        out1, out4,
+        "partial report must be byte-identical for -j 1 and -j 4"
+    );
+    let text = String::from_utf8_lossy(&out1);
+    assert!(text.contains("3 timed out"), "{text}");
+    assert!(text.contains("INCOMPLETE"), "{text}");
+}
+
 #[test]
 fn autopipe_emit_prints_verilog_to_stdout() {
     let (code, out) = autopipe(&["emit", &example("toy.psm")]);

@@ -32,6 +32,7 @@ fn settings() -> VerifySettings {
         equiv_depth: 0,
         cosim_cycles: 120,
         jobs: 0,
+        timeout: None,
     }
 }
 
