@@ -1,0 +1,285 @@
+//! The lint catalog: every diagnostic code the analyzer can emit.
+//!
+//! Codes are grouped by pass: `AP01xx` stage-dataflow hazard lints,
+//! `AP02xx` dead-state lints on the specification, `AP03xx` structural
+//! lints on the synthesized HDL netlist. Each code has a stable kebab
+//! name usable everywhere the code is (CLI overrides, JSON, SARIF).
+
+use std::fmt;
+
+/// Effective severity of a lint finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Reported for the record only; never affects the exit code.
+    Allow,
+    /// Suspicious but accepted.
+    Warn,
+    /// Rejected: `autopipe lint` exits non-zero.
+    Deny,
+}
+
+impl Level {
+    /// Parses a CLI level name.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s {
+            "allow" => Some(Level::Allow),
+            "warn" => Some(Level::Warn),
+            "deny" => Some(Level::Deny),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Level::Allow => "allow",
+            Level::Warn => "warn",
+            Level::Deny => "deny",
+        })
+    }
+}
+
+/// Static description of one lint code.
+#[derive(Debug)]
+pub struct CodeInfo {
+    /// Stable code, e.g. `"AP0105"`.
+    pub code: &'static str,
+    /// Stable kebab-case name, e.g. `"missing-forwarding-register"`.
+    pub name: &'static str,
+    /// Default severity before CLI overrides.
+    pub default: Level,
+    /// One-line summary (used as the SARIF rule description).
+    pub summary: &'static str,
+    /// Which mechanism of the paper's transformation the lint guards.
+    pub mechanism: &'static str,
+}
+
+/// Dataflow: a read crosses a write with no designation at all.
+pub const UNCOVERED_HAZARDOUS_READ: &str = "AP0101";
+/// Dataflow: plain-register forwarding beyond the adjacent stage.
+pub const UNFORWARDABLE_LOOPBACK: &str = "AP0102";
+/// Dataflow: file write controls computed after the reading stage.
+pub const LATE_WRITE_CONTROLS: &str = "AP0103";
+/// Dataflow: a designation that no hazardous read ever uses.
+pub const UNUSED_DESIGNATION: &str = "AP0104";
+/// Dataflow: an intermediate hit stage with no forwarding register.
+pub const MISSING_FORWARDING_REGISTER: &str = "AP0105";
+/// Dataflow: an explicitly unprotected hazard.
+pub const UNPROTECTED_HAZARD: &str = "AP0106";
+/// Dataflow: a designation naming a register/file that does not exist.
+pub const UNKNOWN_DESIGNATION_TARGET: &str = "AP0107";
+/// Spec: a register that is written but never read.
+pub const NEVER_READ_REGISTER: &str = "AP0201";
+/// Spec: a file that is never read.
+pub const NEVER_READ_FILE: &str = "AP0202";
+/// Spec: a declared read port whose alias the stage logic ignores.
+pub const UNUSED_READ_PORT: &str = "AP0203";
+/// Netlist: combinational cycle.
+pub const COMBINATIONAL_CYCLE: &str = "AP0301";
+/// Netlist: operator width/index inconsistency.
+pub const WIDTH_MISMATCH: &str = "AP0302";
+/// Netlist: combinational nets unreachable from any state or output.
+pub const DEAD_NET: &str = "AP0303";
+/// Netlist: a register whose output drives nothing.
+pub const UNREAD_REGISTER: &str = "AP0304";
+/// Netlist: a register with no next-value connection.
+pub const UNWRITTEN_REGISTER: &str = "AP0305";
+/// Cross-check: a forwarding hit signal that is constant false.
+pub const DEAD_FORWARD_PATH: &str = "AP0306";
+/// Cross-check: an interlock whose hit signals are all constant false.
+pub const UNREACHABLE_INTERLOCK: &str = "AP0307";
+
+/// The full catalog, ordered by code.
+pub const CODES: &[CodeInfo] = &[
+    CodeInfo {
+        code: UNCOVERED_HAZARDOUS_READ,
+        name: "uncovered-hazardous-read",
+        default: Level::Deny,
+        summary: "a stage reads a value written by a later stage with no forwarding or \
+                  interlock designation",
+        mechanism: "hazard coverage (paper §4): every read crossing a write needs a \
+                    designated protection mode",
+    },
+    CodeInfo {
+        code: UNFORWARDABLE_LOOPBACK,
+        name: "unforwardable-loopback",
+        default: Level::Deny,
+        summary: "plain-register forwarding is only supported from the adjacent stage",
+        mechanism: "loop-back operand forwarding (paper §4.1): the write data of stage k+1 \
+                    is the only plain-register bypass source",
+    },
+    CodeInfo {
+        code: LATE_WRITE_CONTROLS,
+        name: "late-write-controls",
+        default: Level::Deny,
+        summary: "a file's we/wa controls are computed after a reading stage",
+        mechanism: "precomputed write controls (paper §4.1): hit comparators need Rwe.j/Rwa.j \
+                    available at every hit stage",
+    },
+    CodeInfo {
+        code: UNUSED_DESIGNATION,
+        name: "unused-designation",
+        default: Level::Warn,
+        summary: "a forward/interlock/unprotected designation that no hazardous read uses",
+        mechanism: "designer designations (paper §4): designations exist only to cover \
+                    hazardous reads",
+    },
+    CodeInfo {
+        code: MISSING_FORWARDING_REGISTER,
+        name: "missing-forwarding-register",
+        default: Level::Deny,
+        summary: "an intermediate hit stage has no forwarding register to bypass from, so \
+                  the hit always interlocks",
+        mechanism: "designated forwarding registers (paper §4.2): the DLX needs `C` in the \
+                    execute and memory stages to bypass ALU results",
+    },
+    CodeInfo {
+        code: UNPROTECTED_HAZARD,
+        name: "unprotected-hazard",
+        default: Level::Warn,
+        summary: "a hazardous read is explicitly unprotected; the pipeline is incorrect \
+                  when the hazard occurs",
+        mechanism: "ablation mode: `unprotected` exists so the data-consistency checker can \
+                    demonstrate the violation",
+    },
+    CodeInfo {
+        code: UNKNOWN_DESIGNATION_TARGET,
+        name: "unknown-designation-target",
+        default: Level::Deny,
+        summary: "a designation names a register or file that does not exist",
+        mechanism: "designer designations (paper §4)",
+    },
+    CodeInfo {
+        code: NEVER_READ_REGISTER,
+        name: "never-read-register",
+        default: Level::Warn,
+        summary: "a register is written but never read and not architecturally visible",
+        mechanism: "prepared sequential machine well-formedness (paper §2)",
+    },
+    CodeInfo {
+        code: NEVER_READ_FILE,
+        name: "never-read-file",
+        default: Level::Warn,
+        summary: "a register file is never read and not architecturally visible",
+        mechanism: "prepared sequential machine well-formedness (paper §2)",
+    },
+    CodeInfo {
+        code: UNUSED_READ_PORT,
+        name: "unused-read-port",
+        default: Level::Warn,
+        summary: "a declared read port whose data the stage logic never uses",
+        mechanism: "read-port enumeration (paper §4.1): every port grows hit comparators \
+                    and bypass muxes",
+    },
+    CodeInfo {
+        code: COMBINATIONAL_CYCLE,
+        name: "combinational-cycle",
+        default: Level::Deny,
+        summary: "the combinational logic contains a cycle",
+        mechanism: "synchronous circuit model (paper §2): stage functions must be acyclic",
+    },
+    CodeInfo {
+        code: WIDTH_MISMATCH,
+        name: "width-mismatch",
+        default: Level::Deny,
+        summary: "an operator's operand widths or slice indices are inconsistent",
+        mechanism: "word-level IR well-formedness",
+    },
+    CodeInfo {
+        code: DEAD_NET,
+        name: "dead-net",
+        default: Level::Warn,
+        summary: "combinational nets unreachable from any register, memory or named output",
+        mechanism: "hardware cost (paper §7): dead logic inflates the gate counts the \
+                    transformation is judged by",
+    },
+    CodeInfo {
+        code: UNREAD_REGISTER,
+        name: "unread-register",
+        default: Level::Warn,
+        summary: "a netlist register whose output drives no logic",
+        mechanism: "hardware cost (paper §7)",
+    },
+    CodeInfo {
+        code: UNWRITTEN_REGISTER,
+        name: "unwritten-register",
+        default: Level::Deny,
+        summary: "a netlist register with no next-value connection",
+        mechanism: "synchronous circuit model (paper §2)",
+    },
+    CodeInfo {
+        code: DEAD_FORWARD_PATH,
+        name: "dead-forward-path",
+        default: Level::Warn,
+        summary: "a forwarding hit signal constant-folds to false, so the bypass can \
+                  never fire",
+        mechanism: "forwarding network (paper §4.2): cross-checked against the synthesized \
+                    hit logic by constant propagation",
+    },
+    CodeInfo {
+        code: UNREACHABLE_INTERLOCK,
+        name: "unreachable-interlock",
+        default: Level::Warn,
+        summary: "every hit signal of an interlock-only path constant-folds to false, so \
+                  the interlock can never trigger",
+        mechanism: "interlock generation (paper §4.1): cross-checked against the synthesized \
+                    hit logic by constant propagation",
+    },
+];
+
+/// Looks up a code by its `APxxxx` code or kebab name.
+pub fn lookup(key: &str) -> Option<&'static CodeInfo> {
+    CODES.iter().find(|c| c.code == key || c.name == key)
+}
+
+/// The catalog entry for `code`.
+///
+/// # Panics
+///
+/// Panics if `code` is not in [`CODES`] (an internal error: the
+/// analyzer only emits cataloged codes).
+pub fn info(code: &str) -> &'static CodeInfo {
+    lookup(code).expect("lint code registered in the catalog")
+}
+
+/// Whether findings of this code imply that `PipelineSynthesizer::run`
+/// would reject the design (so the lint driver must skip synthesis).
+pub fn blocks_synthesis(code: &str) -> bool {
+    matches!(
+        code,
+        UNCOVERED_HAZARDOUS_READ
+            | UNFORWARDABLE_LOOPBACK
+            | LATE_WRITE_CONTROLS
+            | UNKNOWN_DESIGNATION_TARGET
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_sorted_and_unique() {
+        for w in CODES.windows(2) {
+            assert!(w[0].code < w[1].code, "{} >= {}", w[0].code, w[1].code);
+        }
+        let mut names: Vec<_> = CODES.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CODES.len());
+    }
+
+    #[test]
+    fn lookup_accepts_code_and_name() {
+        assert_eq!(
+            lookup("AP0105").unwrap().name,
+            "missing-forwarding-register"
+        );
+        assert_eq!(
+            lookup("missing-forwarding-register").unwrap().code,
+            "AP0105"
+        );
+        assert!(lookup("AP9999").is_none());
+    }
+}

@@ -1,0 +1,263 @@
+//! Cross-check of the dataflow classification against the synthesized
+//! hit logic (`AP0306`/`AP0307`).
+//!
+//! The synthesizer labels every hit signal it generates
+//! (`fw.{stage}.{port}.hit.{j}`). A register-aware constant propagation
+//! over the netlist — like the optimizer's constant folder, but also
+//! propagating through registers that can never leave their reset value
+//! — reveals hits that are *structurally* impossible, e.g. a file whose
+//! write enable is tied to zero (the enable travels to the write stage
+//! through control registers, so a purely combinational fold misses
+//! it). A forwarding path whose hits fold away can never bypass
+//! ([`codes::DEAD_FORWARD_PATH`]); an interlock-only path whose hits
+//! all fold away can never stall ([`codes::UNREACHABLE_INTERLOCK`]) —
+//! either way the designation buys hardware that does nothing.
+
+use crate::{codes, LintConfig, LintReport};
+use autopipe_hdl::{BinaryOp, Netlist, Node, UnaryOp};
+use autopipe_synth::{ForwardMode, PipelinedMachine, SynthOptions};
+
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Nets whose value is the same constant in every reachable cycle.
+///
+/// Fixpoint over the netlist: constants seed the set, combinational
+/// nodes fold when their inputs are known, and a register whose next
+/// value is provably its own reset value can never change, so its
+/// output is constant too. Conservative: anything not provably constant
+/// is `None`.
+fn const_nets(nl: &Netlist) -> Vec<Option<u64>> {
+    let nets: Vec<_> = nl.nets().collect();
+    let mut val: Vec<Option<u64>> = vec![None; nets.len()];
+    loop {
+        let mut changed = false;
+        for (i, &net) in nets.iter().enumerate() {
+            if val[i].is_some() {
+                continue;
+            }
+            let w = nl.width(net);
+            let get = |n: autopipe_hdl::NetId| val[n.index()];
+            let v = match nl.node(net) {
+                Node::Const { value } => Some(*value & mask(w)),
+                Node::Input { .. } | Node::MemRead { .. } => None,
+                Node::RegOut(r) => {
+                    // A register whose next value is its reset value
+                    // holds that value forever (a gating enable only
+                    // ever *keeps* the old value).
+                    let reg = nl.register_info(*r);
+                    let init = reg.init & mask(reg.width);
+                    match reg.next {
+                        Some(next) if get(next) == Some(init) => Some(init),
+                        _ => None,
+                    }
+                }
+                Node::Unary { op, a } => {
+                    let aw = nl.width(*a);
+                    get(*a).map(|a| match op {
+                        UnaryOp::Not => !a & mask(w),
+                        UnaryOp::Neg => a.wrapping_neg() & mask(w),
+                        UnaryOp::RedOr => u64::from(a != 0),
+                        UnaryOp::RedAnd => u64::from(a == mask(aw)),
+                        UnaryOp::RedXor => u64::from(a.count_ones() % 2 == 1),
+                    })
+                }
+                Node::Binary { op, a, b } => fold_binary(*op, get(*a), get(*b), nl.width(*a), w),
+                Node::Mux {
+                    sel,
+                    then_net,
+                    else_net,
+                } => match get(*sel) {
+                    Some(0) => get(*else_net),
+                    Some(_) => get(*then_net),
+                    None => match (get(*then_net), get(*else_net)) {
+                        (Some(t), Some(e)) if t == e => Some(t),
+                        _ => None,
+                    },
+                },
+                Node::Slice { a, hi, lo } => get(*a).map(|a| (a >> lo) & mask(hi - lo + 1)),
+                Node::Concat { hi, lo } => match (get(*hi), get(*lo)) {
+                    (Some(h), Some(l)) => Some(((h << nl.width(*lo)) | l) & mask(w)),
+                    _ => None,
+                },
+            };
+            if v.is_some() {
+                val[i] = v;
+                changed = true;
+            }
+        }
+        if !changed {
+            return val;
+        }
+    }
+}
+
+fn fold_binary(
+    op: BinaryOp,
+    a: Option<u64>,
+    b: Option<u64>,
+    in_width: u32,
+    out_width: u32,
+) -> Option<u64> {
+    let m = mask(out_width);
+    // Dominating zeros: `x & 0` and `x * 0` are 0 without knowing `x`.
+    if matches!(op, BinaryOp::And | BinaryOp::Mul) && (a == Some(0) || b == Some(0)) {
+        return Some(0);
+    }
+    let (a, b) = (a?, b?);
+    let im = mask(in_width);
+    let sign = |v: u64| {
+        // Sign-extend an `in_width`-bit value to i64.
+        if in_width < 64 && v & (1 << (in_width - 1)) != 0 {
+            (v | !im) as i64
+        } else {
+            v as i64
+        }
+    };
+    Some(match op {
+        BinaryOp::And => (a & b) & m,
+        BinaryOp::Or => (a | b) & m,
+        BinaryOp::Xor => (a ^ b) & m,
+        BinaryOp::Add => a.wrapping_add(b) & m,
+        BinaryOp::Sub => a.wrapping_sub(b) & m,
+        BinaryOp::Mul => a.wrapping_mul(b) & m,
+        BinaryOp::Eq => u64::from(a == b),
+        BinaryOp::Ne => u64::from(a != b),
+        BinaryOp::Ult => u64::from(a < b),
+        BinaryOp::Ule => u64::from(a <= b),
+        BinaryOp::Slt => u64::from(sign(a) < sign(b)),
+        BinaryOp::Sle => u64::from(sign(a) <= sign(b)),
+        BinaryOp::Shl => {
+            if b >= 64 {
+                0
+            } else {
+                (a << b) & m
+            }
+        }
+        BinaryOp::Lshr => {
+            if b >= 64 {
+                0
+            } else {
+                (a >> b) & m
+            }
+        }
+        BinaryOp::Ashr => {
+            let sh = b.min(63);
+            ((sign(a) >> sh) as u64) & m
+        }
+    })
+}
+
+/// Runs the pass, appending findings to `report`.
+pub fn run(
+    pm: &PipelinedMachine,
+    options: &SynthOptions,
+    config: &LintConfig,
+    report: &mut LintReport,
+) {
+    let consts = const_nets(&pm.netlist);
+    for path in &pm.report.forwards {
+        // Unprotected paths generate no protection hardware to check.
+        if matches!(
+            options.mode_for(&path.target),
+            Some(ForwardMode::Unprotected) | None
+        ) {
+            continue;
+        }
+        // Which of the path's hit signals are provably constant false?
+        let mut dead_hits = Vec::new();
+        let mut live_hits = Vec::new();
+        for &j in &path.hit_stages {
+            let name = format!("fw.{}.{}.hit.{}", path.stage, path.port, j);
+            let Ok(net) = pm.netlist.find(&name) else {
+                continue; // defensive: labels exist for all protected paths
+            };
+            if consts[net.index()] == Some(0) {
+                dead_hits.push(j);
+            } else {
+                live_hits.push(j);
+            }
+        }
+        if dead_hits.is_empty() {
+            continue;
+        }
+        if path.interlock_only {
+            if live_hits.is_empty() {
+                let mut f = config.finding(
+                    codes::UNREACHABLE_INTERLOCK,
+                    format!(
+                        "interlock for `{}` read at stage {} (`{}`) can never trigger: \
+                         every hit signal is constant false",
+                        path.target, path.stage, path.port
+                    ),
+                );
+                f.stage = Some(path.stage);
+                f.target = Some(path.target.clone());
+                f.ports = vec![path.port.clone()];
+                f.help = Some(
+                    "the write enable is constant zero; drop the designation or fix the \
+                     write logic"
+                        .to_string(),
+                );
+                report.findings.push(f);
+            }
+        } else {
+            let msg = if live_hits.is_empty() {
+                format!(
+                    "forwarding path for `{}` read at stage {} (`{}`) is dead: every hit \
+                     signal is constant false",
+                    path.target, path.stage, path.port
+                )
+            } else {
+                format!(
+                    "forwarding path for `{}` read at stage {} (`{}`): hit(s) at \
+                     stage(s) {dead_hits:?} are constant false and can never bypass",
+                    path.target, path.stage, path.port
+                )
+            };
+            let mut f = config.finding(codes::DEAD_FORWARD_PATH, msg);
+            f.stage = Some(path.stage);
+            f.target = Some(path.target.clone());
+            f.ports = vec![path.port.clone()];
+            f.help = Some(
+                "the hit condition const-folds to false; drop the designation or fix \
+                 the write logic"
+                    .to_string(),
+            );
+            report.findings.push(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopipe_hdl::Netlist;
+
+    #[test]
+    fn propagates_through_stuck_registers() {
+        let mut nl = Netlist::new("t");
+        let zero = nl.constant(0, 1);
+        let x = nl.input("x", 1);
+        // we_reg: next is constant 0, init 0 -> provably stuck at 0.
+        let (we_reg, we_out) = nl.register("we", 1, 0);
+        nl.connect(we_reg, zero);
+        // hit = we_out & x: must fold to 0 despite the register.
+        let hit = nl.and(we_out, x);
+        // free: a register fed by an input stays unknown.
+        let (fr, fr_out) = nl.register("fr", 1, 0);
+        nl.connect(fr, x);
+        nl.validate().unwrap();
+
+        let consts = const_nets(&nl);
+        assert_eq!(consts[hit.index()], Some(0));
+        assert_eq!(consts[we_out.index()], Some(0));
+        assert_eq!(consts[fr_out.index()], None);
+        assert_eq!(consts[x.index()], None);
+    }
+}

@@ -1,0 +1,499 @@
+//! Stage-dataflow hazard analysis (`AP01xx`/`AP02xx`).
+//!
+//! For every stage-logic input port the pass resolves what is read and
+//! which stage writes it, mirroring the classification the synthesizer
+//! enforces — but as *explanations* instead of hard errors:
+//!
+//! * reads whose writer sits at or before the reader are safe
+//!   (same-instruction flow);
+//! * reads crossing a write need a designation
+//!   ([`UNCOVERED_HAZARDOUS_READ`](codes::UNCOVERED_HAZARDOUS_READ));
+//! * forwarded file reads additionally need every intermediate hit
+//!   stage covered by the designated forwarding register
+//!   ([`MISSING_FORWARDING_REGISTER`](codes::MISSING_FORWARDING_REGISTER)
+//!   — the lint that fires when the DLX loses its `C` register);
+//! * designations nothing uses are flagged
+//!   ([`UNUSED_DESIGNATION`](codes::UNUSED_DESIGNATION)).
+//!
+//! Findings are aggregated per (stage, target): a stage reading `GPR`
+//! through two ports produces one finding naming both ports.
+
+use crate::{codes, LintConfig, LintReport, ReadClass, ReadInfo};
+use autopipe_psm::{FilePlan, Plan, ResolvedInput};
+use autopipe_synth::{ForwardMode, SynthOptions};
+use std::collections::BTreeMap;
+use std::collections::HashSet;
+
+/// Key for per-(stage, target, code) aggregation.
+type Key = (usize, String, &'static str);
+
+struct Pending {
+    message: String,
+    help: Option<String>,
+    ports: Vec<String>,
+}
+
+/// Runs the pass, appending findings and the read fact base to
+/// `report`.
+pub fn run(plan: &Plan, options: &SynthOptions, config: &LintConfig, report: &mut LintReport) {
+    let mut pending: BTreeMap<Key, Pending> = BTreeMap::new();
+    let mut emit = |stage: usize,
+                    target: &str,
+                    code: &'static str,
+                    port: &str,
+                    message: String,
+                    help: Option<String>| {
+        let entry = pending
+            .entry((stage, target.to_string(), code))
+            .or_insert_with(|| Pending {
+                message,
+                help,
+                ports: Vec::new(),
+            });
+        if !entry.ports.iter().any(|p| p == port) {
+            entry.ports.push(port.to_string());
+        }
+    };
+
+    // Register bases read by anything (stage logic, read-port address
+    // functions, speculation guesses/fixups) — feeds AP0201.
+    let mut read_bases: HashSet<String> = HashSet::new();
+    // Files read through some port — feeds AP0202.
+    let mut read_files: HashSet<String> = HashSet::new();
+    // Designation targets that cover at least one hazardous read.
+    let mut used_designations: HashSet<String> = HashSet::new();
+
+    for k in 0..plan.n_stages() {
+        let logic = plan.stage_logic(k);
+        // The ports the synthesizer resolves for stage k, in source
+        // order: the stage function's own inputs, then each read port's
+        // address-function inputs.
+        let mut ports: Vec<String> = logic
+            .logic
+            .input_ports()
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
+        for rp in &logic.read_ports {
+            ports.extend(rp.addr.input_ports().iter().map(|s| (*s).to_string()));
+        }
+        for port in &ports {
+            let Ok(resolved) = plan.resolve_input(k, port) else {
+                continue; // unresolvable ports are plan errors, not lints
+            };
+            match resolved {
+                ResolvedInput::Instance(i) => {
+                    let inst = &plan.instances[i];
+                    read_bases.insert(inst.base.clone());
+                    let w = inst.writer;
+                    let mut rec = |class| {
+                        report.reads.push(ReadInfo {
+                            stage: k,
+                            port: port.clone(),
+                            target: inst.base.clone(),
+                            writers: vec![w],
+                            class,
+                        });
+                    };
+                    if w <= k {
+                        rec(ReadClass::Safe);
+                        continue;
+                    }
+                    if is_speculated(options, k, port) {
+                        rec(ReadClass::Speculated);
+                        continue;
+                    }
+                    match options.mode_for(&inst.base) {
+                        None => {
+                            rec(ReadClass::Uncovered);
+                            emit(
+                                k,
+                                &inst.base,
+                                codes::UNCOVERED_HAZARDOUS_READ,
+                                port,
+                                format!(
+                                    "stage {k} reads register `{}` written by stage {w} \
+                                     with no designation",
+                                    inst.base
+                                ),
+                                Some(format!("add `forward {0};` or `interlock {0};`", inst.base)),
+                            );
+                        }
+                        Some(ForwardMode::Unprotected) => {
+                            rec(ReadClass::Unprotected);
+                            used_designations.insert(inst.base.clone());
+                            emit(
+                                k,
+                                &inst.base,
+                                codes::UNPROTECTED_HAZARD,
+                                port,
+                                format!(
+                                    "stage {k} reads register `{}` written by stage {w} \
+                                     unprotected: the pipeline is incorrect when the \
+                                     hazard occurs",
+                                    inst.base
+                                ),
+                                None,
+                            );
+                        }
+                        Some(mode) => {
+                            rec(match mode {
+                                ForwardMode::Forward { .. } => ReadClass::Forwardable,
+                                _ => ReadClass::Interlock,
+                            });
+                            used_designations.insert(inst.base.clone());
+                            if w != k + 1 {
+                                emit(
+                                    k,
+                                    &inst.base,
+                                    codes::UNFORWARDABLE_LOOPBACK,
+                                    port,
+                                    format!(
+                                        "stage {k} reads register `{}` written by stage \
+                                         {w}: loop-back protection only supports the \
+                                         adjacent stage (distance 1, got {})",
+                                        inst.base,
+                                        w - k
+                                    ),
+                                    Some(format!(
+                                        "pipe `{}` through intermediate instances so the \
+                                         read distance becomes 1",
+                                        inst.base
+                                    )),
+                                );
+                            }
+                        }
+                    }
+                }
+                ResolvedInput::ReadPort { file, .. } => {
+                    let fp = &plan.files[file];
+                    read_files.insert(fp.name.clone());
+                    let mut rec = |class, writers: Vec<usize>| {
+                        report.reads.push(ReadInfo {
+                            stage: k,
+                            port: port.clone(),
+                            target: fp.name.clone(),
+                            writers,
+                            class,
+                        });
+                    };
+                    if fp.read_only {
+                        rec(ReadClass::Safe, vec![]);
+                        continue;
+                    }
+                    let w = fp.write_stage;
+                    if k >= w {
+                        rec(ReadClass::Safe, vec![w]);
+                        continue;
+                    }
+                    match options.mode_for(&fp.name) {
+                        None => {
+                            rec(ReadClass::Uncovered, vec![w]);
+                            emit(
+                                k,
+                                &fp.name,
+                                codes::UNCOVERED_HAZARDOUS_READ,
+                                port,
+                                format!(
+                                    "stage {k} reads file `{}` written by stage {w} \
+                                     with no designation",
+                                    fp.name
+                                ),
+                                Some(format!(
+                                    "add `forward {0} via <reg>;` or `interlock {0};`",
+                                    fp.name
+                                )),
+                            );
+                        }
+                        Some(ForwardMode::Unprotected) => {
+                            rec(ReadClass::Unprotected, vec![w]);
+                            used_designations.insert(fp.name.clone());
+                            emit(
+                                k,
+                                &fp.name,
+                                codes::UNPROTECTED_HAZARD,
+                                port,
+                                format!(
+                                    "stage {k} reads file `{}` written by stage {w} \
+                                     unprotected: the pipeline is incorrect when the \
+                                     hazard occurs",
+                                    fp.name
+                                ),
+                                None,
+                            );
+                        }
+                        Some(mode) => {
+                            rec(
+                                match mode {
+                                    ForwardMode::Forward { .. } => ReadClass::Forwardable,
+                                    _ => ReadClass::Interlock,
+                                },
+                                vec![w],
+                            );
+                            used_designations.insert(fp.name.clone());
+                            if fp.ctrl_stage > k {
+                                emit(
+                                    k,
+                                    &fp.name,
+                                    codes::LATE_WRITE_CONTROLS,
+                                    port,
+                                    format!(
+                                        "file `{}` write controls are computed at stage \
+                                         {}, after reading stage {k}: the hit \
+                                         comparators cannot see `we`/`wa`",
+                                        fp.name, fp.ctrl_stage
+                                    ),
+                                    Some(format!(
+                                        "move the `{0}.we`/`{0}.wa` computation to stage \
+                                         {k} or earlier (`ctrl({k})`)",
+                                        fp.name
+                                    )),
+                                );
+                            }
+                            if let ForwardMode::Forward { source } = mode {
+                                check_hit_coverage(plan, fp, k, port, source.as_deref(), &mut emit);
+                            }
+                        }
+                    }
+                }
+                ResolvedInput::External(_) => {}
+            }
+        }
+        // AP0203: declared read ports the stage function ignores.
+        for rp in &logic.read_ports {
+            if !logic.logic.input_ports().iter().any(|p| *p == rp.alias) {
+                let mut f = config.finding(
+                    codes::UNUSED_READ_PORT,
+                    format!(
+                        "read port `{}` of file `{}` at stage {k} is never used by the \
+                         stage logic",
+                        rp.alias, rp.file
+                    ),
+                );
+                f.stage = Some(k);
+                f.target = Some(rp.file.clone());
+                f.ports = vec![rp.alias.clone()];
+                f.help = Some("delete the `read` or use its alias".to_string());
+                report.findings.push(f);
+            }
+        }
+    }
+
+    // Speculation guess/fixup inputs also read registers.
+    for sp in &options.speculation {
+        for p in sp.guess.input_ports() {
+            if let Ok(ResolvedInput::Instance(i)) = plan.resolve_input(sp.stage, p) {
+                read_bases.insert(plan.instances[i].base.clone());
+            }
+        }
+        if let Ok(ResolvedInput::Instance(i)) = plan.resolve_input(sp.stage, &sp.port) {
+            read_bases.insert(plan.instances[i].base.clone());
+        }
+        for fix in &sp.fixups {
+            if let autopipe_synth::FixupValue::Instance(base) = &fix.value {
+                read_bases.insert(base.clone());
+            }
+        }
+    }
+
+    // Flush the aggregated per-(stage, target) findings.
+    for ((stage, target, code), p) in pending {
+        let mut f = config.finding(code, p.message);
+        if p.ports.len() > 1 {
+            f.message = format!("{} (ports {})", f.message, join_ticked(&p.ports));
+        }
+        f.stage = Some(stage);
+        f.target = Some(target);
+        f.ports = p.ports;
+        f.help = p.help;
+        report.findings.push(f);
+    }
+
+    designation_lints(plan, options, &used_designations, config, report);
+    dead_state_lints(plan, options, &read_bases, &read_files, config, report);
+}
+
+/// `AP0105`: every intermediate hit stage `j` (reader `k` < `j` < write
+/// stage `w`) must have a bypass source. Hits at `w` forward the write
+/// data itself and are always covered. With no designated register,
+/// *every* intermediate hit interlocks; with register `q`, stage `j` is
+/// covered when `q` is freshly written there (instance `q.(j+1)` with
+/// data) or travels through it (instance `q.j`).
+fn check_hit_coverage(
+    plan: &Plan,
+    fp: &FilePlan,
+    k: usize,
+    port: &str,
+    source: Option<&str>,
+    emit: &mut impl FnMut(usize, &str, &'static str, &str, String, Option<String>),
+) {
+    let w = fp.write_stage;
+    let intermediates: Vec<usize> = (k + 1..w).collect();
+    if intermediates.is_empty() {
+        return;
+    }
+    match source {
+        None => emit(
+            k,
+            &fp.name,
+            codes::MISSING_FORWARDING_REGISTER,
+            port,
+            format!(
+                "stage {k} reads file `{}` (written by stage {w}) forwarded from the \
+                 write stage only: hits at stage(s) {intermediates:?} have no forwarding \
+                 register and always interlock",
+                fp.name
+            ),
+            Some(format!(
+                "designate a forwarding register: `forward {} via <reg>;`",
+                fp.name
+            )),
+        ),
+        Some(q) => {
+            for j in intermediates {
+                let fresh = plan
+                    .instance_named(q, j + 1)
+                    .is_some_and(|i| plan.instances[i].has_data);
+                let travelled = plan.instance_named(q, j).is_some();
+                if !fresh && !travelled {
+                    emit(
+                        k,
+                        &fp.name,
+                        codes::MISSING_FORWARDING_REGISTER,
+                        port,
+                        format!(
+                            "forwarding register `{q}` does not cover hit stage {j} for \
+                             the read of `{}` at stage {k}: the hit always interlocks",
+                            fp.name
+                        ),
+                        Some(format!(
+                            "write `{q}` in stage {j} (instance `{q}.{}`) or pipe it \
+                             through (instance `{q}.{j}`)",
+                            j + 1
+                        )),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `AP0104`/`AP0107`: designations nothing uses, or naming nothing.
+fn designation_lints(
+    plan: &Plan,
+    options: &SynthOptions,
+    used: &HashSet<String>,
+    config: &LintConfig,
+    report: &mut LintReport,
+) {
+    for fspec in &options.forwarding {
+        let target_exists = plan.files.iter().any(|f| f.name == fspec.target)
+            || plan.instances.iter().any(|i| i.base == fspec.target);
+        if !target_exists {
+            let mut f = config.finding(
+                codes::UNKNOWN_DESIGNATION_TARGET,
+                format!(
+                    "designation targets `{}`, which is not a register or file of this \
+                     machine",
+                    fspec.target
+                ),
+            );
+            f.target = Some(fspec.target.clone());
+            report.findings.push(f);
+            continue;
+        }
+        if let ForwardMode::Forward { source: Some(q) } = &fspec.mode {
+            if !plan.instances.iter().any(|i| &i.base == q) {
+                let mut f = config.finding(
+                    codes::UNKNOWN_DESIGNATION_TARGET,
+                    format!(
+                        "designated forwarding register `{q}` (for `{}`) is not a \
+                         register of this machine",
+                        fspec.target
+                    ),
+                );
+                f.target = Some(q.clone());
+                report.findings.push(f);
+                continue;
+            }
+        }
+        if !used.contains(&fspec.target) {
+            let what = match fspec.mode {
+                ForwardMode::Forward { .. } => "forward",
+                ForwardMode::InterlockOnly => "interlock",
+                ForwardMode::Unprotected => "unprotected",
+            };
+            let mut f = config.finding(
+                codes::UNUSED_DESIGNATION,
+                format!(
+                    "`{what} {};` is never used: no read of `{0}` crosses its write \
+                     stage",
+                    fspec.target
+                ),
+            );
+            f.target = Some(fspec.target.clone());
+            f.help = Some("delete the designation".to_string());
+            report.findings.push(f);
+        }
+    }
+}
+
+/// `AP0201`/`AP0202`: written-but-never-read state.
+fn dead_state_lints(
+    plan: &Plan,
+    options: &SynthOptions,
+    read_bases: &HashSet<String>,
+    read_files: &HashSet<String>,
+    config: &LintConfig,
+    report: &mut LintReport,
+) {
+    // Forwarding sources are read by the generated bypass network.
+    let is_forward_source = |name: &str| {
+        options
+            .forwarding
+            .iter()
+            .any(|f| matches!(&f.mode, ForwardMode::Forward { source: Some(q) } if q == name))
+    };
+    for r in &plan.spec.registers {
+        if r.visible || read_bases.contains(&r.name) || is_forward_source(&r.name) {
+            continue;
+        }
+        let mut f = config.finding(
+            codes::NEVER_READ_REGISTER,
+            format!(
+                "register `{}` is written but never read and not visible",
+                r.name
+            ),
+        );
+        f.target = Some(r.name.clone());
+        f.help = Some("delete it, read it, or mark it `visible`".to_string());
+        report.findings.push(f);
+    }
+    for fp in &plan.files {
+        if fp.visible || read_files.contains(&fp.name) {
+            continue;
+        }
+        let mut f = config.finding(
+            codes::NEVER_READ_FILE,
+            format!("file `{}` is never read and not visible", fp.name),
+        );
+        f.target = Some(fp.name.clone());
+        f.help = Some("delete it, read it, or mark it `visible`".to_string());
+        report.findings.push(f);
+    }
+}
+
+fn is_speculated(options: &SynthOptions, stage: usize, port: &str) -> bool {
+    options
+        .speculation
+        .iter()
+        .any(|s| s.stage == stage && s.port == port)
+}
+
+fn join_ticked(ports: &[String]) -> String {
+    ports
+        .iter()
+        .map(|p| format!("`{p}`"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}

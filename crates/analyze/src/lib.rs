@@ -1,0 +1,345 @@
+//! `autopipe-analyze`: static hazard & structural analysis over PSM
+//! specifications and synthesized HDL netlists.
+//!
+//! The analyzer complements the machine-checked verification flow with
+//! *lints*: findings that explain a design problem at the specification
+//! level before it turns into a synthesis error or a model-checking
+//! counterexample. Three passes feed one [`LintReport`]:
+//!
+//! * **stage dataflow** ([`dataflow`]) — for every register/file read
+//!   at stage `k`, the set of writing stages, classified
+//!   safe/forwardable/interlock/uncovered, mirroring (and explaining)
+//!   the checks `PipelineSynthesizer` enforces. This is where a missing
+//!   forwarding register becomes `AP0105` with a source span instead of
+//!   a verification counterexample.
+//! * **structural** ([`structural`]) — combinational-cycle detection,
+//!   width/index checking, dead-net and never-read/never-written
+//!   register detection over the HDL IR, sharing the single
+//!   [`autopipe_hdl::NetAnalysis`] graph walk with the cost reports.
+//! * **cross-check** ([`crosscheck`]) — register-aware constant
+//!   propagation over the synthesized hit/dhaz control nets to flag
+//!   forwarding paths that can never fire (`AP0306`) and interlocks
+//!   that can never trigger (`AP0307`).
+//!
+//! Findings carry stable codes (see [`codes`]), have per-code
+//! `allow`/`warn`/`deny` overrides ([`LintConfig`]), and render as
+//! human diagnostics (via [`autopipe_front::Diagnostics`]), stable JSON,
+//! or SARIF 2.1.0 (see [`output`]).
+#![warn(missing_docs)]
+
+pub mod codes;
+pub mod crosscheck;
+pub mod dataflow;
+pub mod output;
+pub mod spans;
+pub mod structural;
+
+pub use codes::{CodeInfo, Level, CODES};
+pub use spans::attach_spans;
+
+use autopipe_front::{Diagnostic, Diagnostics, Severity, Span};
+use autopipe_psm::Plan;
+use autopipe_synth::{PipelineSynthesizer, PipelinedMachine, SynthError, SynthOptions};
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Catalog entry (code, name, default level).
+    pub code: &'static CodeInfo,
+    /// Effective level after [`LintConfig`] overrides.
+    pub level: Level,
+    /// Human-readable message.
+    pub message: String,
+    /// Optional fix suggestion.
+    pub help: Option<String>,
+    /// Reading/declaring stage, when the finding is stage-local.
+    pub stage: Option<usize>,
+    /// The register/file the finding is about.
+    pub target: Option<String>,
+    /// The input ports involved (e.g. `["GPRa", "GPRb"]`).
+    pub ports: Vec<String>,
+    /// Source span, attached by [`attach_spans`] when an AST is
+    /// available.
+    pub span: Option<Span>,
+}
+
+impl Finding {
+    fn new(code: &'static str, level: Level, message: String) -> Finding {
+        Finding {
+            code: codes::info(code),
+            level,
+            message,
+            help: None,
+            stage: None,
+            target: None,
+            ports: Vec::new(),
+            span: None,
+        }
+    }
+}
+
+/// Classification of one stage-input read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadClass {
+    /// The value flows forward with the instruction (writer at or
+    /// before the reader) or comes from read-only state.
+    Safe,
+    /// Hazardous, covered by a `Forward` designation.
+    Forwardable,
+    /// Hazardous, covered by an `InterlockOnly` designation.
+    Interlock,
+    /// Hazardous, explicitly unprotected.
+    Unprotected,
+    /// Hazardous with no designation at all.
+    Uncovered,
+    /// Replaced by a speculation guess; verified at the resolve stage.
+    Speculated,
+}
+
+impl ReadClass {
+    /// Stable serialization name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ReadClass::Safe => "safe",
+            ReadClass::Forwardable => "forwardable",
+            ReadClass::Interlock => "interlock",
+            ReadClass::Unprotected => "unprotected",
+            ReadClass::Uncovered => "uncovered",
+            ReadClass::Speculated => "speculated",
+        }
+    }
+}
+
+/// One analyzed stage-input read: the dataflow fact base the hazard
+/// lints are derived from (serialized in the JSON report).
+#[derive(Debug, Clone)]
+pub struct ReadInfo {
+    /// Reading stage.
+    pub stage: usize,
+    /// Stage-logic input port (register name, instance name or read
+    /// alias).
+    pub port: String,
+    /// The register/file base name being read.
+    pub target: String,
+    /// Stages writing the value this read observes (later stages mean
+    /// a hazard).
+    pub writers: Vec<usize>,
+    /// Hazard classification.
+    pub class: ReadClass,
+}
+
+/// Per-code level overrides (`--allow/--warn/--deny`).
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    overrides: Vec<(&'static CodeInfo, Level)>,
+}
+
+impl LintConfig {
+    /// Empty configuration: every code at its default level.
+    pub fn new() -> LintConfig {
+        LintConfig::default()
+    }
+
+    /// Overrides `key` (an `APxxxx` code or kebab name) to `level`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown code.
+    pub fn set(&mut self, key: &str, level: Level) -> Result<(), String> {
+        let info = codes::lookup(key).ok_or_else(|| format!("unknown lint `{key}`"))?;
+        self.overrides.retain(|(c, _)| c.code != info.code);
+        self.overrides.push((info, level));
+        Ok(())
+    }
+
+    /// The effective level for a code.
+    pub fn level_for(&self, info: &'static CodeInfo) -> Level {
+        self.overrides
+            .iter()
+            .find(|(c, _)| c.code == info.code)
+            .map(|&(_, l)| l)
+            .unwrap_or(info.default)
+    }
+
+    /// Builds a finding with its effective level applied.
+    pub(crate) fn finding(&self, code: &'static str, message: String) -> Finding {
+        let info = codes::info(code);
+        Finding::new(code, self.level_for(info), message)
+    }
+}
+
+/// The result of one analyzer run.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// All findings, deterministically ordered (see
+    /// [`LintReport::sort`]).
+    pub findings: Vec<Finding>,
+    /// The dataflow fact base (one entry per stage-input read).
+    pub reads: Vec<ReadInfo>,
+}
+
+impl LintReport {
+    /// Number of deny-level findings.
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.level == Level::Deny)
+            .count()
+    }
+
+    /// Number of warn-level findings.
+    pub fn warnings(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.level == Level::Warn)
+            .count()
+    }
+
+    /// Number of findings downgraded to `allow` (still recorded).
+    pub fn allowed(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.level == Level::Allow)
+            .count()
+    }
+
+    /// Whether any finding denies the design.
+    pub fn has_errors(&self) -> bool {
+        self.errors() > 0
+    }
+
+    /// Whether any finding — regardless of its configured level — means
+    /// the synthesizer itself would reject the design, so the driver
+    /// must not attempt synthesis.
+    pub fn blocks_synthesis(&self) -> bool {
+        self.findings
+            .iter()
+            .any(|f| codes::blocks_synthesis(f.code.code))
+    }
+
+    /// Sorts findings deterministically: by source position, then code,
+    /// then stage, then message. Byte-identical output across runs and
+    /// thread counts follows from this plus the passes being
+    /// deterministic.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            let pos = |f: &Finding| f.span.map_or(usize::MAX, |s| s.start);
+            pos(a)
+                .cmp(&pos(b))
+                .then_with(|| a.code.code.cmp(b.code.code))
+                .then_with(|| a.stage.cmp(&b.stage))
+                .then_with(|| a.message.cmp(&b.message))
+        });
+    }
+
+    /// Renders the findings through the shared diagnostics renderer.
+    /// `file`/`source` locate the spans; pass an empty source for
+    /// programmatic (span-less) specs.
+    pub fn to_diagnostics(&self, file: &str, source: &str) -> Diagnostics {
+        let errors = self
+            .findings
+            .iter()
+            .map(|f| {
+                let severity = match f.level {
+                    Level::Deny => Severity::Error,
+                    Level::Warn => Severity::Warning,
+                    Level::Allow => Severity::Note,
+                };
+                let label = f.help.clone().unwrap_or_default();
+                let mut d = match f.span {
+                    Some(span) => Diagnostic::new(f.message.clone(), span, label),
+                    None => Diagnostic::whole_file(f.message.clone()),
+                };
+                d = d.with_severity(severity).with_code(f.code.code);
+                d
+            })
+            .collect();
+        Diagnostics {
+            file: file.to_string(),
+            source: source.to_string(),
+            errors,
+        }
+    }
+
+    /// The one-line summary appended to human output.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "lint: {} error(s), {} warning(s), {} allowed, {} read(s) analyzed",
+            self.errors(),
+            self.warnings(),
+            self.allowed(),
+            self.reads.len()
+        )
+    }
+}
+
+/// Runs the dataflow pass only (no synthesized netlist needed).
+pub fn lint_spec(plan: &Plan, options: &SynthOptions, config: &LintConfig) -> LintReport {
+    let mut report = LintReport::default();
+    dataflow::run(plan, options, config, &mut report);
+    report.sort();
+    report
+}
+
+/// Drops `AP0304` findings about architecturally visible instances:
+/// visible state is the machine's observable output, so its final
+/// instance legitimately drives nothing inside the netlist.
+fn exempt_visible_state(report: &mut LintReport, plan: &Plan) {
+    let visible: Vec<String> = plan
+        .instances
+        .iter()
+        .filter(|i| i.visible)
+        .map(|i| i.name())
+        .collect();
+    report.findings.retain(|f| {
+        f.code.code != codes::UNREAD_REGISTER
+            || f.target
+                .as_deref()
+                .is_none_or(|t| !visible.iter().any(|v| v == t))
+    });
+}
+
+/// Runs all passes against an already-synthesized machine.
+pub fn lint_machine(
+    plan: &Plan,
+    options: &SynthOptions,
+    pm: &PipelinedMachine,
+    config: &LintConfig,
+) -> LintReport {
+    let mut report = LintReport::default();
+    dataflow::run(plan, options, config, &mut report);
+    structural::run(&pm.netlist, config, &mut report);
+    crosscheck::run(pm, options, config, &mut report);
+    exempt_visible_state(&mut report, plan);
+    report.sort();
+    report
+}
+
+/// The full driver: dataflow first; if nothing blocks synthesis, the
+/// design is synthesized and the structural and cross-check passes run
+/// against the netlist. The machine is returned for reuse (the CLI
+/// continues into `synth`/`verify` with it).
+///
+/// # Errors
+///
+/// Returns the synthesizer's own error when synthesis fails for a
+/// reason no dataflow lint anticipated (a lint-coverage gap worth
+/// reporting verbatim).
+pub fn lint_design(
+    plan: &Plan,
+    options: &SynthOptions,
+    config: &LintConfig,
+) -> Result<(LintReport, Option<PipelinedMachine>), SynthError> {
+    let mut report = LintReport::default();
+    dataflow::run(plan, options, config, &mut report);
+    if report.blocks_synthesis() {
+        report.sort();
+        return Ok((report, None));
+    }
+    let pm = PipelineSynthesizer::new(options.clone()).run(plan)?;
+    structural::run(&pm.netlist, config, &mut report);
+    crosscheck::run(&pm, options, config, &mut report);
+    exempt_visible_state(&mut report, plan);
+    report.sort();
+    Ok((report, Some(pm)))
+}

@@ -1,0 +1,243 @@
+//! Machine-readable lint output: stable JSON and SARIF 2.1.0.
+//!
+//! Both writers are hand-rolled (the workspace is dependency-free) and
+//! byte-deterministic: findings are emitted in [`crate::LintReport`]
+//! sort order, SARIF rules sorted by code, and no timestamps or
+//! absolute paths appear anywhere.
+
+use crate::{codes, Finding, Level, LintReport};
+use autopipe_front::diag::locate;
+use std::fmt::Write;
+
+/// JSON string escaping per RFC 8259.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn level_str(level: Level) -> &'static str {
+    match level {
+        Level::Deny => "error",
+        Level::Warn => "warning",
+        Level::Allow => "allowed",
+    }
+}
+
+/// The stable JSON report (`--format json`).
+///
+/// `source` resolves spans to 1-based line/column; pass an empty
+/// string for span-less programmatic specs.
+pub fn to_json(report: &LintReport, file: &str, source: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"tool\": \"autopipe-lint\",");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"file\": \"{}\",", json_escape(file));
+    let _ = writeln!(
+        out,
+        "  \"summary\": {{\"errors\": {}, \"warnings\": {}, \"allowed\": {}}},",
+        report.errors(),
+        report.warnings(),
+        report.allowed()
+    );
+    out.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"code\": \"{}\", \"name\": \"{}\", \"level\": \"{}\", \"message\": \"{}\"",
+            f.code.code,
+            f.code.name,
+            level_str(f.level),
+            json_escape(&f.message)
+        );
+        if let Some(k) = f.stage {
+            let _ = write!(out, ", \"stage\": {k}");
+        }
+        if let Some(t) = &f.target {
+            let _ = write!(out, ", \"target\": \"{}\"", json_escape(t));
+        }
+        if !f.ports.is_empty() {
+            let ports: Vec<String> = f
+                .ports
+                .iter()
+                .map(|p| format!("\"{}\"", json_escape(p)))
+                .collect();
+            let _ = write!(out, ", \"ports\": [{}]", ports.join(", "));
+        }
+        if let Some(span) = f.span {
+            let (line, col, _) = locate(source, span.start);
+            let _ = write!(
+                out,
+                ", \"line\": {line}, \"column\": {col}, \"start\": {}, \"end\": {}",
+                span.start, span.end
+            );
+        }
+        if let Some(h) = &f.help {
+            let _ = write!(out, ", \"help\": \"{}\"", json_escape(h));
+        }
+        out.push('}');
+    }
+    out.push_str(if report.findings.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    out.push_str("  \"reads\": [");
+    for (i, r) in report.reads.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let writers: Vec<String> = r.writers.iter().map(|w| w.to_string()).collect();
+        let _ = write!(
+            out,
+            "    {{\"stage\": {}, \"port\": \"{}\", \"target\": \"{}\", \
+             \"writers\": [{}], \"class\": \"{}\"}}",
+            r.stage,
+            json_escape(&r.port),
+            json_escape(&r.target),
+            writers.join(", "),
+            r.class.as_str()
+        );
+    }
+    out.push_str(if report.reads.is_empty() {
+        "]\n"
+    } else {
+        "\n  ]\n"
+    });
+    out.push_str("}\n");
+    out
+}
+
+/// SARIF 2.1.0 (`--format sarif`): one run, one rule per fired code,
+/// one result per finding.
+pub fn to_sarif(report: &LintReport, file: &str, source: &str) -> String {
+    let mut fired: Vec<&'static codes::CodeInfo> = Vec::new();
+    for f in &report.findings {
+        if !fired.iter().any(|c| c.code == f.code.code) {
+            fired.push(f.code);
+        }
+    }
+    fired.sort_by_key(|c| c.code);
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\","
+    );
+    let _ = writeln!(out, "  \"version\": \"2.1.0\",");
+    out.push_str("  \"runs\": [{\n");
+    out.push_str("    \"tool\": {\"driver\": {\"name\": \"autopipe-lint\", \"rules\": [");
+    for (i, c) in fired.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            out,
+            "      {{\"id\": \"{}\", \"name\": \"{}\", \
+             \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            c.code,
+            c.name,
+            json_escape(c.summary)
+        );
+    }
+    out.push_str(if fired.is_empty() {
+        "]}},\n"
+    } else {
+        "\n    ]}},\n"
+    });
+    out.push_str("    \"results\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("      {");
+        let _ = write!(
+            out,
+            "\"ruleId\": \"{}\", \"level\": \"{}\", \"message\": {{\"text\": \"{}\"}}",
+            f.code.code,
+            sarif_level(f),
+            json_escape(&f.message)
+        );
+        let _ = write!(
+            out,
+            ", \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+             {{\"uri\": \"{}\"}}",
+            json_escape(file)
+        );
+        if let Some(span) = f.span {
+            let (line, col, _) = locate(source, span.start);
+            let _ = write!(
+                out,
+                ", \"region\": {{\"startLine\": {line}, \"startColumn\": {col}}}"
+            );
+        }
+        out.push_str("}}]}");
+    }
+    out.push_str(if report.findings.is_empty() {
+        "]\n"
+    } else {
+        "\n    ]\n"
+    });
+    out.push_str("  }]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// SARIF has no "allowed" level; downgraded findings become notes.
+fn sarif_level(f: &Finding) -> &'static str {
+    match f.level {
+        Level::Deny => "error",
+        Level::Warn => "warning",
+        Level::Allow => "note",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LintConfig;
+
+    fn sample() -> LintReport {
+        let config = LintConfig::new();
+        let mut report = LintReport::default();
+        report
+            .findings
+            .push(config.finding(codes::DEAD_NET, "2 nets \"dead\"".to_string()));
+        report
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let j = to_json(&sample(), "m.psm", "");
+        assert!(j.contains("\\\"dead\\\""), "{j}");
+        assert!(j.contains("\"warnings\": 1"), "{j}");
+        assert!(j.contains("\"code\": \"AP0303\""), "{j}");
+    }
+
+    #[test]
+    fn sarif_has_schema_and_rule() {
+        let s = to_sarif(&sample(), "m.psm", "");
+        assert!(s.contains("sarif-2.1.0.json"), "{s}");
+        assert!(s.contains("\"ruleId\": \"AP0303\""), "{s}");
+        assert!(s.contains("\"level\": \"warning\""), "{s}");
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let r = LintReport::default();
+        let j = to_json(&r, "m.psm", "");
+        assert!(j.contains("\"findings\": []"), "{j}");
+        let s = to_sarif(&r, "m.psm", "");
+        assert!(s.contains("\"results\": []"), "{s}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Source-span attachment: maps findings back into `.psm` source.
+//!
+//! The analyzer runs on the lowered [`autopipe_psm::Plan`], which has
+//! no spans; when the design came from text, this pass walks the
+//! surface AST and attaches the best span to each finding:
+//!
+//! 1. the first occurrence of an involved port in the reading stage
+//!    (a `read` statement's file name, or an identifier/instance
+//!    reference in an expression);
+//! 2. the designation's own span (for designation lints);
+//! 3. the stage header;
+//! 4. the register/file declaration.
+
+use crate::{codes, Finding, LintReport};
+use autopipe_front::ast::{Annotation, Design, Expr, StageDecl, Stmt};
+use autopipe_front::Span;
+
+/// Attaches spans to all findings that lack one.
+pub fn attach_spans(report: &mut LintReport, design: &Design) {
+    for f in &mut report.findings {
+        if f.span.is_some() {
+            continue;
+        }
+        f.span = find_span(f, design);
+    }
+    report.sort();
+}
+
+fn find_span(f: &Finding, design: &Design) -> Option<Span> {
+    // Designation lints point at the annotation.
+    if matches!(
+        f.code.code,
+        codes::UNUSED_DESIGNATION | codes::UNKNOWN_DESIGNATION_TARGET
+    ) {
+        if let Some(target) = &f.target {
+            if let Some(span) = annotation_span(design, target) {
+                return Some(span);
+            }
+        }
+    }
+    let stage = f
+        .stage
+        .and_then(|k| design.stages.iter().find(|s| s.index == k));
+    if let Some(s) = stage {
+        // First involved port read in the stage, in source order.
+        for port in &f.ports {
+            if let Some(span) = port_span(s, port) {
+                return Some(span);
+            }
+        }
+        // Fall back to the target name appearing anywhere in the stage.
+        if let Some(t) = &f.target {
+            if let Some(span) = port_span(s, t) {
+                return Some(span);
+            }
+        }
+        return Some(s.index_span);
+    }
+    // Declaration-level findings (AP0201/AP0202, netlist lints naming a
+    // spec register).
+    if let Some(t) = &f.target {
+        if let Some(r) = design.regs.iter().find(|r| &r.name == t) {
+            return Some(r.span);
+        }
+        if let Some(d) = design.files.iter().find(|d| &d.name == t) {
+            return Some(d.span);
+        }
+        if let Some(span) = annotation_span(design, t) {
+            return Some(span);
+        }
+    }
+    None
+}
+
+/// The span of the designation annotation targeting (or sourcing)
+/// `name`.
+fn annotation_span(design: &Design, name: &str) -> Option<Span> {
+    for a in &design.annotations {
+        match a {
+            Annotation::Forward {
+                target,
+                target_span,
+                via,
+            } => {
+                if let Some((src, src_span)) = via {
+                    if src == name {
+                        return Some(*src_span);
+                    }
+                }
+                if target == name {
+                    return Some(*target_span);
+                }
+            }
+            Annotation::Interlock {
+                target,
+                target_span,
+            }
+            | Annotation::Unprotected {
+                target,
+                target_span,
+            } if target == name => return Some(*target_span),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The first source location in stage `s` where `port` is read: a
+/// `read` statement binding that alias, or an identifier/instance
+/// reference inside any statement's expression.
+fn port_span(s: &StageDecl, port: &str) -> Option<Span> {
+    for stmt in &s.stmts {
+        match stmt {
+            Stmt::Read {
+                alias,
+                file_span,
+                addr,
+                ..
+            } => {
+                if alias == port {
+                    return Some(*file_span);
+                }
+                if let Some(span) = expr_span(addr, port) {
+                    return Some(span);
+                }
+            }
+            Stmt::Let { expr, .. } | Stmt::Assign { expr, .. } => {
+                if let Some(span) = expr_span(expr, port) {
+                    return Some(span);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Pre-order search for an identifier or explicit instance named
+/// `port`.
+fn expr_span(e: &Expr, port: &str) -> Option<Span> {
+    match e {
+        Expr::Ident { name, span } if name == port => Some(*span),
+        Expr::Instance { name, k, span } if format!("{name}.{k}") == port => Some(*span),
+        Expr::Ident { .. } | Expr::Instance { .. } | Expr::Const { .. } => None,
+        Expr::Unary { a, .. } | Expr::Slice { a, .. } | Expr::Bit { a, .. } => expr_span(a, port),
+        Expr::Binary { a, b, .. } => expr_span(a, port).or_else(|| expr_span(b, port)),
+        Expr::Mux { sel, a, b, .. } => expr_span(sel, port)
+            .or_else(|| expr_span(a, port))
+            .or_else(|| expr_span(b, port)),
+        Expr::Call { args, .. } => args.iter().find_map(|a| expr_span(a, port)),
+    }
+}

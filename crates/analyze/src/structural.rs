@@ -1,0 +1,344 @@
+//! Structural lints over the HDL netlist (`AP03xx`).
+//!
+//! The pass consumes the single [`NetAnalysis`] graph walk shared with
+//! the cost reports (depth/fanout/liveness computed once) and adds:
+//!
+//! * combinational-cycle detection via an SCC pass over the fan-in
+//!   graph ([`codes::COMBINATIONAL_CYCLE`]) — the builder API cannot
+//!   construct cycles (nodes only reference earlier nets), so this
+//!   guards externally-read and hand-mutated IR;
+//! * operator width/index checking ([`codes::WIDTH_MISMATCH`]);
+//! * dead-net counting ([`codes::DEAD_NET`]);
+//! * never-read / never-written register detection
+//!   ([`codes::UNREAD_REGISTER`], [`codes::UNWRITTEN_REGISTER`]).
+
+use crate::{codes, Finding, LintConfig, LintReport};
+use autopipe_hdl::{BinaryOp, NetAnalysis, Netlist, Node};
+
+/// Runs the pass, appending findings to `report`.
+pub fn run(nl: &Netlist, config: &LintConfig, report: &mut LintReport) {
+    report.findings.extend(lint_netlist(nl, config));
+}
+
+/// Structural lints as a standalone pass (also usable on netlists that
+/// did not come out of the synthesizer, e.g. read from Verilog).
+pub fn lint_netlist(nl: &Netlist, config: &LintConfig) -> Vec<Finding> {
+    let mut out = Vec::new();
+
+    // AP0305 first: NetAnalysis insists on validated netlists, so a
+    // netlist with unwritten registers gets only the lints that do not
+    // need the walk.
+    let mut unwritten = false;
+    for r in nl.registers() {
+        if r.next.is_none() {
+            unwritten = true;
+            let mut f = config.finding(
+                codes::UNWRITTEN_REGISTER,
+                format!("register `{}` has no next-value connection", r.name),
+            );
+            f.target = Some(r.name.clone());
+            f.help = Some("connect its next value or delete it".to_string());
+            out.push(f);
+        }
+    }
+
+    // AP0301: SCC over the combinational fan-in graph.
+    let n = nl.node_count();
+    if let Some(cycle) = find_cycle(n, |i| {
+        net_ids(nl, i).into_iter().map(|net| net.index()).collect()
+    }) {
+        let mut f = config.finding(
+            codes::COMBINATIONAL_CYCLE,
+            format!(
+                "combinational cycle through {} net(s) (e.g. net {})",
+                cycle.len(),
+                cycle[0]
+            ),
+        );
+        f.help = Some("break the loop with a register".to_string());
+        out.push(f);
+        return out; // liveness/arrival are meaningless on cyclic graphs
+    }
+
+    // AP0302: per-node width and index consistency.
+    for net in nl.nets() {
+        if let Some(msg) = width_error(nl, net) {
+            out.push(config.finding(codes::WIDTH_MISMATCH, msg));
+        }
+    }
+    if out.iter().any(|f| f.code.code == codes::WIDTH_MISMATCH) || unwritten {
+        return out;
+    }
+
+    // One graph walk for everything below.
+    let analysis = NetAnalysis::of(nl);
+
+    // AP0303: dead combinational logic. Inputs, constants and register
+    // outputs are interface/state, not "logic"; everything else that
+    // cannot reach a register, memory or named output is dead.
+    let dead: Vec<u32> = nl
+        .nets()
+        .filter(|&net| {
+            !analysis.is_live(net)
+                && !matches!(
+                    nl.node(net),
+                    Node::Input { .. } | Node::Const { .. } | Node::RegOut(_)
+                )
+        })
+        .map(|net| net.index() as u32)
+        .collect();
+    if !dead.is_empty() {
+        let mut f = config.finding(
+            codes::DEAD_NET,
+            format!(
+                "{} combinational net(s) unreachable from any register, memory or named \
+                 output (first: net {})",
+                dead.len(),
+                dead[0]
+            ),
+        );
+        f.help = Some("run the optimizer or remove the logic".to_string());
+        out.push(f);
+    }
+
+    // AP0304: registers whose stored value nothing consumes. A register
+    // may legitimately lack a RegOut node (write-only sinks have no
+    // readers by construction), so only flag outputs that exist and
+    // have zero fan-out.
+    for (i, r) in nl.registers().iter().enumerate() {
+        let reg_out = nl
+            .nets()
+            .find(|&net| matches!(nl.node(net), Node::RegOut(id) if id.index() == i));
+        if let Some(out_net) = reg_out {
+            if analysis.fanout(out_net) == 0 {
+                let mut f = config.finding(
+                    codes::UNREAD_REGISTER,
+                    format!("register `{}` is never read", r.name),
+                );
+                f.target = Some(r.name.clone());
+                f.help = Some("delete it or consume its output".to_string());
+                out.push(f);
+            }
+        }
+    }
+    out
+}
+
+fn net_ids(nl: &Netlist, i: usize) -> Vec<autopipe_hdl::NetId> {
+    let net = nl.nets().nth(i).expect("index in range");
+    nl.fanin(net)
+}
+
+/// Width/index consistency of one node; `None` when consistent.
+fn width_error(nl: &Netlist, net: autopipe_hdl::NetId) -> Option<String> {
+    let w = |n| nl.width(n);
+    let out = w(net);
+    match *nl.node(net) {
+        Node::Binary { op, a, b } => {
+            use BinaryOp::*;
+            match op {
+                And | Or | Xor | Add | Sub | Mul => {
+                    if w(a) != w(b) || out != w(a) {
+                        return Some(format!(
+                            "net {}: {op:?} operands are {}/{} bits, result {out}",
+                            net.index(),
+                            w(a),
+                            w(b)
+                        ));
+                    }
+                }
+                Eq | Ne | Ult | Ule | Slt | Sle => {
+                    if w(a) != w(b) || out != 1 {
+                        return Some(format!(
+                            "net {}: {op:?} compares {}/{} bits into {out}",
+                            net.index(),
+                            w(a),
+                            w(b)
+                        ));
+                    }
+                }
+                // Shift amounts may have their own width.
+                _ => {
+                    if out != w(a) {
+                        return Some(format!(
+                            "net {}: {op:?} result is {out} bits, operand {}",
+                            net.index(),
+                            w(a)
+                        ));
+                    }
+                }
+            }
+        }
+        Node::Mux {
+            sel,
+            then_net,
+            else_net,
+        } if (w(sel) != 1 || w(then_net) != w(else_net) || out != w(then_net)) => {
+            return Some(format!(
+                "net {}: mux select is {} bit(s), arms {}/{} bits, result {out}",
+                net.index(),
+                w(sel),
+                w(then_net),
+                w(else_net)
+            ));
+        }
+        Node::Slice { a, hi, lo } if (lo > hi || hi >= w(a) || out != hi - lo + 1) => {
+            return Some(format!(
+                "net {}: slice [{hi}:{lo}] of a {}-bit net produces {out} bits",
+                net.index(),
+                w(a)
+            ));
+        }
+        Node::Concat { hi, lo } if out != w(hi) + w(lo) => {
+            return Some(format!(
+                "net {}: concat of {}+{} bits produces {out}",
+                net.index(),
+                w(hi),
+                w(lo)
+            ));
+        }
+        _ => {}
+    }
+    None
+}
+
+/// Iterative Tarjan SCC over an adjacency function; returns one cycle
+/// (an SCC with more than one node, or a self-loop) if any exists.
+///
+/// Generic over the adjacency so the algorithm is testable on graphs
+/// the netlist builder cannot express.
+pub fn find_cycle(n: usize, adj: impl Fn(usize) -> Vec<usize>) -> Option<Vec<usize>> {
+    const UNSEEN: usize = usize::MAX;
+    let mut index = vec![UNSEEN; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+
+    for root in 0..n {
+        if index[root] != UNSEEN {
+            continue;
+        }
+        // Explicit DFS stack: (node, neighbors, next neighbor position).
+        let mut dfs: Vec<(usize, Vec<usize>, usize)> = vec![(root, adj(root), 0)];
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref neighbors, ref mut pos)) = dfs.last_mut() {
+            if *pos < neighbors.len() {
+                let u = neighbors[*pos];
+                *pos += 1;
+                if u == v {
+                    return Some(vec![v]); // self-loop
+                }
+                if index[u] == UNSEEN {
+                    index[u] = next_index;
+                    low[u] = next_index;
+                    next_index += 1;
+                    stack.push(u);
+                    on_stack[u] = true;
+                    dfs.push((u, adj(u), 0));
+                } else if on_stack[u] {
+                    low[v] = low[v].min(index[u]);
+                }
+            } else {
+                dfs.pop();
+                if let Some(&mut (parent, _, _)) = dfs.last_mut() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let u = stack.pop().expect("tarjan stack invariant");
+                        on_stack[u] = false;
+                        scc.push(u);
+                        if u == v {
+                            break;
+                        }
+                    }
+                    if scc.len() > 1 {
+                        scc.sort_unstable();
+                        return Some(scc);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scc_finds_cycles_and_accepts_dags() {
+        // 0 -> 1 -> 2 -> 0 plus a pendant 3 -> 0.
+        let cyclic = |i: usize| -> Vec<usize> {
+            match i {
+                0 => vec![1],
+                1 => vec![2],
+                2 => vec![0],
+                3 => vec![0],
+                _ => vec![],
+            }
+        };
+        assert_eq!(find_cycle(4, cyclic), Some(vec![0, 1, 2]));
+
+        let dag = |i: usize| -> Vec<usize> {
+            match i {
+                0 => vec![1, 2],
+                1 => vec![3],
+                2 => vec![3],
+                _ => vec![],
+            }
+        };
+        assert_eq!(find_cycle(4, dag), None);
+
+        let self_loop = |i: usize| if i == 2 { vec![2] } else { vec![] };
+        assert_eq!(find_cycle(3, self_loop), Some(vec![2]));
+    }
+
+    #[test]
+    fn unwritten_register_is_denied() {
+        let mut nl = Netlist::new("m");
+        let _ = nl.register("dangling", 8, 0);
+        let findings = lint_netlist(&nl, &LintConfig::new());
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code.code, codes::UNWRITTEN_REGISTER);
+    }
+
+    #[test]
+    fn clean_counter_has_no_findings() {
+        let mut nl = Netlist::new("c");
+        let one = nl.constant(1, 8);
+        let (r, out) = nl.register("cnt", 8, 0);
+        let next = nl.add(out, one);
+        nl.connect(r, next);
+        assert!(lint_netlist(&nl, &LintConfig::new()).is_empty());
+    }
+
+    #[test]
+    fn dead_logic_and_unread_registers_flagged() {
+        let mut nl = Netlist::new("d");
+        let one = nl.constant(1, 8);
+        let (r, out) = nl.register("cnt", 8, 0);
+        let next = nl.add(out, one);
+        nl.connect(r, next);
+        // A register nothing reads, plus logic reaching nothing.
+        let (r2, out2) = nl.register("ghost", 8, 0);
+        nl.connect(r2, next);
+        let _dead = nl.xor(out, one);
+        let findings = lint_netlist(&nl, &LintConfig::new());
+        let codes_seen: Vec<_> = findings.iter().map(|f| f.code.code).collect();
+        assert!(codes_seen.contains(&codes::DEAD_NET), "{codes_seen:?}");
+        assert!(
+            codes_seen.contains(&codes::UNREAD_REGISTER),
+            "{codes_seen:?}"
+        );
+        let _ = out2;
+    }
+}

@@ -1,0 +1,161 @@
+//! Golden-file tests: one crafted `.psm` fixture per lint code, with
+//! byte-exact expected human diagnostics (`.stderr`) and JSON
+//! (`.json`).
+//!
+//! Regenerate the expected files after an intentional output change
+//! with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p autopipe-analyze --test golden
+//! ```
+
+use autopipe_analyze::{attach_spans, lint_design, output, LintConfig, LintReport};
+use autopipe_front::compile;
+use std::path::{Path, PathBuf};
+
+fn fixtures() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Compiles and lints `source`, returning the report with spans
+/// attached. `file` is the name baked into the rendered output.
+fn lint_source(source: &str, file: &str) -> LintReport {
+    let compiled = compile(source, file).unwrap_or_else(|d| panic!("{file} compiles: {d}"));
+    let plan = compiled
+        .spec
+        .plan()
+        .unwrap_or_else(|e| panic!("{file} plans: {e}"));
+    let (mut report, _) = lint_design(&plan, &compiled.options, &LintConfig::new())
+        .unwrap_or_else(|e| panic!("{file}: unexpected synthesis error: {e}"));
+    attach_spans(&mut report, &compiled.design);
+    report
+}
+
+/// The human rendering the CLI produces: diagnostics, then the summary
+/// line.
+fn human(report: &LintReport, file: &str, source: &str) -> String {
+    format!(
+        "{}{}\n",
+        report.to_diagnostics(file, source).render(),
+        report.summary_line()
+    )
+}
+
+fn check_golden(path: &Path, actual: &str) {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e} (run with UPDATE_GOLDEN=1)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected,
+        actual,
+        "{} is stale (run with UPDATE_GOLDEN=1 to regenerate)",
+        path.display()
+    );
+}
+
+#[test]
+fn fixtures_match_goldens() {
+    let dir = fixtures();
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("fixtures dir")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            (p.extension()? == "psm").then(|| p.file_stem().unwrap().to_string_lossy().into_owned())
+        })
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "no fixtures found in {}", dir.display());
+    for name in names {
+        let file = format!("{name}.psm");
+        let source = std::fs::read_to_string(dir.join(&file)).expect("read fixture");
+        let report = lint_source(&source, &file);
+        check_golden(
+            &dir.join(format!("{name}.stderr")),
+            &human(&report, &file, &source),
+        );
+        check_golden(
+            &dir.join(format!("{name}.json")),
+            &output::to_json(&report, &file, &source),
+        );
+    }
+}
+
+/// The paper's acceptance case: deleting the forwarding-register
+/// designation (`via C`) from the shipped DLX must produce exactly one
+/// error — `AP0105`, pointing at the reading stage — instead of a
+/// verification counterexample.
+#[test]
+fn dlx_without_via_c_is_a_single_ap0105() {
+    let dlx = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/programs/dlx.psm");
+    let source = std::fs::read_to_string(dlx).expect("read dlx.psm");
+    assert!(
+        source.contains("forward GPR via C;"),
+        "dlx.psm changed shape"
+    );
+    let source = source.replace("forward GPR via C;", "forward GPR;");
+    let file = "dlx_no_via.psm";
+    let report = lint_source(&source, file);
+
+    assert_eq!(
+        report.errors(),
+        1,
+        "exactly one error:\n{}",
+        human(&report, file, &source)
+    );
+    let f = &report.findings[0];
+    assert_eq!(f.code.code, "AP0105");
+    assert_eq!(f.stage, Some(1), "span points at the reading stage");
+    let dir = fixtures();
+    check_golden(
+        &dir.join("dlx_no_via.stderr"),
+        &human(&report, file, &source),
+    );
+    check_golden(
+        &dir.join("dlx_no_via.json"),
+        &output::to_json(&report, file, &source),
+    );
+}
+
+/// The shipped examples are lint-clean: zero findings, every read
+/// classified.
+#[test]
+fn shipped_examples_are_clean() {
+    for name in ["toy.psm", "dlx.psm"] {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../examples/programs")
+            .join(name);
+        let source = std::fs::read_to_string(path).expect("read example");
+        let report = lint_source(&source, name);
+        assert!(
+            report.findings.is_empty(),
+            "{name}: {}",
+            human(&report, name, &source)
+        );
+        assert!(!report.reads.is_empty(), "{name}: reads analyzed");
+    }
+}
+
+/// `AP0107` cannot be written in `.psm` (the front end rejects unknown
+/// designation targets first), but programmatic `SynthOptions` can
+/// still name a target that does not exist.
+#[test]
+fn unknown_designation_target_from_programmatic_options() {
+    let source = std::fs::read_to_string(fixtures().join("clean.psm")).expect("read clean.psm");
+    let compiled = compile(&source, "clean.psm").unwrap_or_else(|d| panic!("{d}"));
+    let plan = compiled.spec.plan().expect("plans");
+    let options = compiled
+        .options
+        .clone()
+        .with_forwarding(autopipe_synth::ForwardingSpec::interlock("BOGUS"));
+    let report = autopipe_analyze::lint_spec(&plan, &options, &LintConfig::new());
+    let codes: Vec<&str> = report.findings.iter().map(|f| f.code.code).collect();
+    assert!(codes.contains(&"AP0107"), "{codes:?}");
+    assert!(report.blocks_synthesis());
+}

@@ -11,7 +11,7 @@ fn bench_cpi(c: &mut Criterion) {
     let pm = dlx_pipeline(dlx_synth_options());
     let prog = random_program(cfg, 60, HazardProfile::serial(), 2);
     c.bench_function("cosim_60_serial_instructions", |b| {
-        b.iter(|| run_until_retired(&pm, cfg, &prog, 60))
+        b.iter(|| run_until_retired(&pm, cfg, &prog, 60));
     });
 }
 

@@ -20,7 +20,7 @@ fn bench_synthesis(c: &mut Criterion) {
                             .run(&plan)
                             .expect("synthesizes");
                         NetlistStats::of(&pm.netlist).gates
-                    })
+                    });
                 },
             );
         }

@@ -20,7 +20,7 @@ fn bench_sim(c: &mut Criterion) {
             load_program(&mut sim, cfg, &words);
             sim.run(1000);
             sim.cycle()
-        })
+        });
     });
     group.finish();
 
@@ -33,7 +33,7 @@ fn bench_sim(c: &mut Criterion) {
             let mut sim = autopipe_hdl::Sim64::new(&pm.netlist).expect("simulates");
             sim.run(1000);
             sim.cycle()
-        })
+        });
     });
     group.finish();
 }

@@ -15,16 +15,16 @@ fn bench_verify(c: &mut Criterion) {
     .run(&toy_plan(&hazard_program()))
     .expect("synthesizes");
     c.bench_function("discharge_obligations_toy", |b| {
-        b.iter(|| check_obligations(&pm.netlist, &pm.obligations, 2).expect("lowers"))
+        b.iter(|| check_obligations(&pm.netlist, &pm.obligations, 2).expect("lowers"));
     });
     c.bench_function("discharge_obligations_toy_pooled", |b| {
-        b.iter(|| check_obligations_jobs(&pm.netlist, &pm.obligations, 2, 0).expect("lowers"))
+        b.iter(|| check_obligations_jobs(&pm.netlist, &pm.obligations, 2, 0).expect("lowers"));
     });
     let (nl, prop) = retirement_miter(&pm, "RF", 4).expect("miter builds");
     let low = autopipe_hdl::aig::lower(&nl).expect("lowers");
     let p = low.net_lits(prop)[0];
     c.bench_function("bmc_retirement_equiv_depth16", |b| {
-        b.iter(|| bmc_invariant(&low.aig, p, 16))
+        b.iter(|| bmc_invariant(&low.aig, p, 16));
     });
 }
 

@@ -1608,7 +1608,7 @@ mod validation_tests {
         .unwrap_err();
         match err {
             SynthError::BadSpeculation { message } => {
-                assert!(message.contains(needle), "`{message}` lacks `{needle}`")
+                assert!(message.contains(needle), "`{message}` lacks `{needle}`");
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1638,7 +1638,7 @@ mod validation_tests {
                 s.fixups = vec![Fixup {
                     register: "NOPE".into(),
                     value: FixupValue::Const(0),
-                }]
+                }];
             },
             "fixup register",
         );
@@ -1647,7 +1647,7 @@ mod validation_tests {
                 s.fixups = vec![Fixup {
                     register: "L".into(),
                     value: FixupValue::Const(0x99), // does not fit in 4 bits
-                }]
+                }];
             },
             "does not fit",
         );
@@ -1656,7 +1656,7 @@ mod validation_tests {
                 s.fixups = vec![Fixup {
                     register: "L".into(),
                     value: FixupValue::External("missing".into()),
-                }]
+                }];
             },
             "unknown external",
         );
@@ -1665,7 +1665,7 @@ mod validation_tests {
                 s.fixups = vec![Fixup {
                     register: "L".into(),
                     value: FixupValue::Instance("GHOST".into()),
-                }]
+                }];
             },
             "unknown fixup source",
         );

@@ -372,7 +372,7 @@ impl fmt::Display for Design {
                 Annotation::Interlock { target, .. } => writeln!(f, "  interlock {target};")?,
                 Annotation::Unprotected { target, .. } => writeln!(f, "  unprotected {target};")?,
                 Annotation::Topology { tree } => {
-                    writeln!(f, "  topology {};", if *tree { "tree" } else { "chain" })?
+                    writeln!(f, "  topology {};", if *tree { "tree" } else { "chain" })?;
                 }
                 Annotation::ExtStalls => writeln!(f, "  ext_stalls;")?,
                 Annotation::NoMonitors => writeln!(f, "  no_monitors;")?,

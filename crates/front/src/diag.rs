@@ -45,6 +45,31 @@ impl From<Range<usize>> for Span {
     }
 }
 
+/// How serious a diagnostic is. Parse/lowering failures are always
+/// [`Severity::Error`]; the static analyzer also emits warnings and
+/// downgraded ("allowed") findings through the same renderer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Severity {
+    /// Fatal: the design is rejected.
+    #[default]
+    Error,
+    /// Suspicious but not fatal.
+    Warning,
+    /// Reported for the record only (e.g. an `--allow`ed lint).
+    Note,
+}
+
+impl Severity {
+    /// The rendering prefix (`error`, `warning`, `note`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
 /// One error with an optional span label.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -54,6 +79,11 @@ pub struct Diagnostic {
     pub span: Option<Span>,
     /// Short label printed under the caret.
     pub label: String,
+    /// Severity prefix used when rendering.
+    pub severity: Severity,
+    /// Stable diagnostic code (e.g. `AP0101`), rendered as
+    /// `error[AP0101]:` when present.
+    pub code: Option<String>,
 }
 
 impl Diagnostic {
@@ -62,6 +92,8 @@ impl Diagnostic {
             message: message.into(),
             span: Some(span),
             label: label.into(),
+            severity: Severity::Error,
+            code: None,
         }
     }
 
@@ -72,7 +104,23 @@ impl Diagnostic {
             message: message.into(),
             span: None,
             label: String::new(),
+            severity: Severity::Error,
+            code: None,
         }
+    }
+
+    /// Sets the severity prefix.
+    #[must_use]
+    pub fn with_severity(mut self, severity: Severity) -> Diagnostic {
+        self.severity = severity;
+        self
+    }
+
+    /// Attaches a stable diagnostic code.
+    #[must_use]
+    pub fn with_code(mut self, code: impl Into<String>) -> Diagnostic {
+        self.code = Some(code.into());
+        self
     }
 }
 
@@ -107,7 +155,14 @@ impl std::error::Error for Diagnostics {}
 
 fn render_one(out: &mut String, file: &str, source: &str, d: &Diagnostic) {
     use fmt::Write;
-    let _ = writeln!(out, "error: {}", d.message);
+    match &d.code {
+        Some(code) => {
+            let _ = writeln!(out, "{}[{code}]: {}", d.severity.as_str(), d.message);
+        }
+        None => {
+            let _ = writeln!(out, "{}: {}", d.severity.as_str(), d.message);
+        }
+    }
     let Some(span) = d.span else {
         let _ = writeln!(out, "  --> {file}");
         return;
@@ -120,19 +175,27 @@ fn render_one(out: &mut String, file: &str, source: &str, d: &Diagnostic) {
     // Caret width: clamp to the part of the span on this line.
     let span_len = span.end.saturating_sub(span.start).max(1);
     let width = span_len.min(line.len().saturating_sub(col - 1).max(1));
+    // No trailing space after the carets when there is no label.
+    let label = if d.label.is_empty() {
+        String::new()
+    } else {
+        format!(" {}", d.label)
+    };
     let _ = writeln!(
         out,
-        "{:gutter$} | {:pad$}{carets} {label}",
+        "{:gutter$} | {:pad$}{carets}{label}",
         "",
         "",
         pad = col - 1,
         carets = "^".repeat(width),
-        label = d.label
     );
 }
 
 /// Resolves a byte offset to (1-based line, 1-based column, line text).
-fn locate(source: &str, offset: usize) -> (usize, usize, &str) {
+///
+/// Shared by the renderer above and by machine-readable emitters (the
+/// lint JSON/SARIF writers) so every consumer agrees on positions.
+pub fn locate(source: &str, offset: usize) -> (usize, usize, &str) {
     let offset = offset.min(source.len());
     let before = &source[..offset];
     let line_no = before.bytes().filter(|&b| b == b'\n').count() + 1;
@@ -169,6 +232,25 @@ mod tests {
         assert!(text.contains("error: width out of range"));
         assert!(text.contains("m.psm:2:11"));
         assert!(text.contains("^^ must be 1..=64"));
+    }
+
+    #[test]
+    fn severity_and_code_prefix_the_message() {
+        let src = "machine m(1) {\n}\n";
+        let diags = Diagnostics {
+            file: "m.psm".into(),
+            source: src.into(),
+            errors: vec![
+                Diagnostic::new("dead annotation", Span::new(0, 7), "unused")
+                    .with_severity(Severity::Warning)
+                    .with_code("AP0104"),
+            ],
+        };
+        let text = diags.render();
+        assert!(
+            text.starts_with("warning[AP0104]: dead annotation"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod parse;
 pub mod reader;
 pub mod verilog;
 
-pub use diag::{Diagnostic, Diagnostics, Span};
+pub use diag::{Diagnostic, Diagnostics, Severity, Span};
 pub use reader::{read_verilog, ReadError};
 pub use verilog::emit_verilog;
 

@@ -223,7 +223,7 @@ pub fn lower(design: &Design) -> Result<(MachineSpec, SynthOptions), Vec<Diagnos
                             opts = opts.with_forwarding(ForwardingSpec::forward(
                                 target.clone(),
                                 src.clone(),
-                            ))
+                            ));
                         }
                         _ => errors.push(Diagnostic::new(
                             format!("forwarding register `{src}` is not declared in any stage"),
@@ -234,7 +234,7 @@ pub fn lower(design: &Design) -> Result<(MachineSpec, SynthOptions), Vec<Diagnos
                     None => {
                         opts = opts.with_forwarding(ForwardingSpec::forward_from_write_stage(
                             target.clone(),
-                        ))
+                        ));
                     }
                 }
             }

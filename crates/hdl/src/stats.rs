@@ -129,37 +129,103 @@ impl NetlistStats {
     ///
     /// Panics if the netlist fails validation.
     pub fn with_model(nl: &Netlist, model: DelayModel) -> NetlistStats {
+        NetAnalysis::with_model(nl, model).stats()
+    }
+}
+
+/// Per-net structural analysis, computed once and shared by every
+/// consumer: arrival times (depth), fanout counts and liveness in a
+/// single forward pass plus one reverse sweep.
+///
+/// [`NetlistStats`] is the aggregate view; the `autopipe report`
+/// command and the `autopipe-analyze` lint pass both read the per-net
+/// tables so the graph is never walked twice for the same answer.
+#[derive(Debug, Clone)]
+pub struct NetAnalysis {
+    model: DelayModel,
+    /// Per-net arrival time in logic levels.
+    arrival: Vec<u32>,
+    /// Per-net fanout: uses as a node operand, register `next`/`enable`,
+    /// or memory write-port input. Labels are not counted.
+    fanout: Vec<u32>,
+    /// Per-net liveness: reachable (through fan-in) from a register
+    /// input, a memory write port, or a named net.
+    live: Vec<bool>,
+    gates: u64,
+    critical_path: u32,
+    register_bits: u64,
+    memory_bits: u64,
+    nodes: u64,
+}
+
+impl NetAnalysis {
+    /// Analyzes `nl` under the default [`DelayModel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist fails validation (it must be acyclic).
+    pub fn of(nl: &Netlist) -> NetAnalysis {
+        Self::with_model(nl, DelayModel)
+    }
+
+    /// Analyzes `nl` under a caller-supplied model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist fails validation.
+    pub fn with_model(nl: &Netlist, model: DelayModel) -> NetAnalysis {
         nl.validate().expect("netlist must validate");
+        let n = nl.node_count();
         let mut gates = 0u64;
-        let mut arrival = vec![0u32; nl.node_count()];
+        let mut arrival = vec![0u32; n];
+        let mut fanout = vec![0u32; n];
+        // Forward pass: creation order is topological, so one sweep
+        // settles arrival times and fanout counts together.
         for net in nl.nets() {
             gates += model.gates(nl, net);
             let own = model.levels(nl, net);
-            let fanin_max = nl
-                .fanin(net)
-                .into_iter()
-                .map(|f| arrival[f.index()])
-                .max()
-                .unwrap_or(0);
+            let mut fanin_max = 0;
+            for f in nl.fanin(net) {
+                fanin_max = fanin_max.max(arrival[f.index()]);
+                fanout[f.index()] += 1;
+            }
             arrival[net.index()] = fanin_max + own;
         }
-        // Critical path = max arrival at any register next/enable input or
-        // memory write port input.
+        // Roots: everything that affects state or the visible interface.
         let mut critical = 0u32;
+        let mut roots: Vec<NetId> = Vec::new();
         for r in nl.registers() {
-            if let Some(n) = r.next {
-                critical = critical.max(arrival[n.index()]);
-            }
-            if let Some(e) = r.enable {
-                critical = critical.max(arrival[e.index()]);
+            for net in [r.next, r.enable].into_iter().flatten() {
+                critical = critical.max(arrival[net.index()]);
+                fanout[net.index()] += 1;
+                roots.push(net);
             }
         }
         for m in nl.memories() {
             for p in &m.write_ports {
-                critical = critical
-                    .max(arrival[p.enable.index()])
-                    .max(arrival[p.addr.index()])
-                    .max(arrival[p.data.index()]);
+                for net in [p.enable, p.addr, p.data] {
+                    critical = critical.max(arrival[net.index()]);
+                    fanout[net.index()] += 1;
+                    roots.push(net);
+                }
+            }
+        }
+        for (_, net) in nl.named_nets() {
+            // Memory names map to a sentinel id rather than a net.
+            if net.index() < n {
+                roots.push(net);
+            }
+        }
+        // Reverse sweep: liveness through fan-in from the roots.
+        let mut live = vec![false; n];
+        for net in roots {
+            live[net.index()] = true;
+        }
+        for i in (0..n).rev() {
+            if live[i] {
+                for f in nl.fanin(NetId(i as u32)) {
+                    live[f.index()] = true;
+                }
             }
         }
         let register_bits = nl.registers().iter().map(|r| u64::from(r.width)).sum();
@@ -168,12 +234,48 @@ impl NetlistStats {
             .iter()
             .map(|m| m.entries() as u64 * u64::from(m.data_width))
             .sum();
-        NetlistStats {
+        NetAnalysis {
+            model,
+            arrival,
+            fanout,
+            live,
             gates,
             critical_path: critical,
             register_bits,
             memory_bits,
-            nodes: nl.node_count() as u64,
+            nodes: n as u64,
+        }
+    }
+
+    /// Arrival time of `net` in logic levels.
+    pub fn arrival(&self, net: NetId) -> u32 {
+        self.arrival[net.index()]
+    }
+
+    /// Fanout count of `net` (labels excluded).
+    pub fn fanout(&self, net: NetId) -> u32 {
+        self.fanout[net.index()]
+    }
+
+    /// Whether `net` is reachable from a register input, memory write
+    /// port, or named net.
+    pub fn is_live(&self, net: NetId) -> bool {
+        self.live[net.index()]
+    }
+
+    /// The model the analysis ran under.
+    pub fn model(&self) -> DelayModel {
+        self.model
+    }
+
+    /// The aggregate statistics, derived without another walk.
+    pub fn stats(&self) -> NetlistStats {
+        NetlistStats {
+            gates: self.gates,
+            critical_path: self.critical_path,
+            register_bits: self.register_bits,
+            memory_bits: self.memory_bits,
+            nodes: self.nodes,
         }
     }
 }
@@ -289,6 +391,27 @@ mod tests {
         }
         assert!(chain(8) > chain(2));
         assert_eq!(chain(8) - chain(7), 2); // each mux adds 2 levels
+    }
+
+    #[test]
+    fn net_analysis_tracks_fanout_and_liveness() {
+        let mut nl = Netlist::new("a");
+        let x = nl.input("x", 8);
+        let y = nl.input("y", 8);
+        let s = nl.add(x, y); // live: feeds the register
+        let dead = nl.xor(x, y); // dead: referenced by nothing
+        let (r, _out) = nl.register("acc", 8, 0);
+        nl.connect(r, s);
+        let a = NetAnalysis::of(&nl);
+        assert_eq!(a.fanout(x), 2); // add + xor
+        assert_eq!(a.fanout(s), 1); // register next
+        assert_eq!(a.fanout(dead), 0);
+        assert!(a.is_live(s));
+        assert!(a.is_live(x), "inputs feeding live logic are live");
+        assert!(!a.is_live(dead));
+        assert_eq!(a.arrival(s), 2 * 3 + 2); // 8-bit CLA adder
+                                             // The aggregate view matches the one-shot computation.
+        assert_eq!(a.stats(), NetlistStats::of(&nl));
     }
 
     #[test]

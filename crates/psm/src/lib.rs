@@ -34,6 +34,6 @@ pub use elab::{
     DirectInputs, FileCtrl, FileCtrlRegs, InputGen, InstanceOverride, Skeleton, StageInstance,
 };
 pub use fragment::Fragment;
-pub use plan::{Plan, PlanError, RegInstance, ResolvedInput};
+pub use plan::{FilePlan, Plan, PlanError, RegInstance, ResolvedInput};
 pub use sequential::{SequentialError, SequentialMachine, VisibleState, VisibleValue};
 pub use spec::{FileDecl, MachineSpec, ReadPort, RegisterDecl, StageLogic};

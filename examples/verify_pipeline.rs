@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let p = low.net_lits(prop)[0];
     match bmc_invariant(&low.aig, p, 20) {
         BmcOutcome::BoundedOk { depth } => {
-            println!("  chain and tree variants agree cycle-exactly for {depth} cycles (BMC)")
+            println!("  chain and tree variants agree cycle-exactly for {depth} cycles (BMC)");
         }
         other => println!("  unexpected: {other:?}"),
     }

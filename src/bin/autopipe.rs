@@ -5,13 +5,17 @@
 //!
 //! commands:
 //!   parse    parse and lower the design, print the canonical form
+//!   lint     static hazard & structural analysis: classify every
+//!            register/file read, check forwarding coverage, and lint
+//!            the synthesized netlist — without running verification
 //!   synth    run the pipeline transformation, print the report
 //!   verify   synthesize, then discharge the proof obligations and run
 //!            the cycle-level consistency checker
 //!   mutate   fault-injection soundness run: apply pipeline-semantic
 //!            faults and assert every mutant is killed
 //!   emit     synthesize and print structural Verilog-2001
-//!   report   synthesize and print the cost/hazard report only
+//!   report   synthesize and print the cost/hazard report and
+//!            structural netlist statistics
 //!
 //! options:
 //!   --emit FILE     (synth) also write the pipelined Verilog to FILE
@@ -20,6 +24,10 @@
 //!                   (mutate) directory for VCD witnesses
 //!   --interlock     replace every `forward` annotation with an interlock
 //!   --tree          use the tree-shaped forwarding select network
+//!   --format F      (lint) output format: human, json, sarif [human]
+//!   --allow CODE    (lint) downgrade a lint to allowed (still recorded)
+//!   --warn CODE     (lint) set a lint to warning
+//!   --deny CODE     (lint) promote a lint to error
 //!   --cycles N      (verify) consistency-checker cycle budget [10000]
 //!   --depth K       (verify, mutate) k-induction depth [2]
 //!   --timeout N     (verify) wall-clock budget in seconds; the report
@@ -31,29 +39,44 @@
 //!   --version       print the version
 //! ```
 //!
+//! `synth`, `verify` and `mutate` run the linter first: deny-level
+//! findings stop the pipeline transformation with rendered diagnostics
+//! (exit 1), warnings go to stderr and the run continues. The lint
+//! level overrides (`--allow/--warn/--deny`, taking an `APxxxx` code or
+//! its kebab-case name) apply there too.
+//!
 //! `verify` prints the deterministic verification report on stdout —
 //! byte-identical for every `--jobs` value — and the wall-clock timing
 //! table on stderr.
 //!
 //! Exit status: 0 on success, 1 on diagnosed errors (parse, lowering,
 //! synthesis, verification, surviving mutants), 2 on command-line
-//! misuse, 3 when a `--timeout` expired and the (otherwise clean)
-//! report is partial.
+//! misuse *and* on deny-level `lint` findings, 3 when a `--timeout`
+//! expired and the (otherwise clean) report is partial.
 
+use autopipe::analyze::{attach_spans, lint_design, Level, LintConfig, LintReport};
 use autopipe::front::{compile_file, emit_verilog, Compiled};
-use autopipe::synth::{ForwardMode, MuxTopology, PipelineSynthesizer, PipelinedMachine};
+use autopipe::hdl::NetlistStats;
+use autopipe::synth::{
+    ForwardMode, MuxTopology, PipelineSynthesizer, PipelinedMachine, SynthOptions,
+};
 use autopipe::verify::{run_soundness, verify_machine, Cosim, SoundnessSettings, VerifySettings};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
-const USAGE: &str = "usage: autopipe <parse|synth|verify|mutate|emit|report> <design.psm> [options]
+const USAGE: &str =
+    "usage: autopipe <parse|lint|synth|verify|mutate|emit|report> <design.psm> [options]
   --emit FILE   (synth) write pipelined Verilog to FILE
   --proof FILE  (synth) write the proof document to FILE
   -o FILE       (emit) write Verilog to FILE instead of stdout
                 (mutate) directory for VCD witnesses
   --interlock   replace every `forward` annotation with an interlock
   --tree        use the tree-shaped forwarding select network
+  --format F    (lint) output format: human, json, sarif [human]
+  --allow CODE  (lint) downgrade a lint to allowed (still recorded)
+  --warn CODE   (lint) set a lint to warning
+  --deny CODE   (lint) promote a lint to error
   --cycles N    (verify) consistency-checker cycle budget [10000]
   --depth K     (verify, mutate) k-induction depth [2]
   --timeout N   (verify) wall-clock budget in seconds (partial report,
@@ -72,6 +95,8 @@ struct Options {
     out: Option<PathBuf>,
     interlock: bool,
     tree: bool,
+    format: String,
+    lint: LintConfig,
     cycles: u64,
     depth: usize,
     jobs: usize,
@@ -110,6 +135,8 @@ fn parse_args() -> Result<Options, Early> {
         out: None,
         interlock: false,
         tree: false,
+        format: "human".into(),
+        lint: LintConfig::new(),
         cycles: 10_000,
         depth: 2,
         jobs: 1,
@@ -124,6 +151,16 @@ fn parse_args() -> Result<Options, Early> {
                 .map(PathBuf::from)
                 .ok_or_else(|| Early::Usage(format!("{a} needs a file argument")))
         };
+        // `--allow/--warn/--deny CODE`: validated against the lint
+        // catalog right here, so a typo is command-line misuse (exit
+        // 2), not a diagnosed error.
+        let lint_arg =
+            |args: &mut dyn Iterator<Item = String>, lint: &mut LintConfig, level: Level| {
+                let code = args
+                    .next()
+                    .ok_or_else(|| Early::Usage(format!("{a} needs a lint code")))?;
+                lint.set(&code, level).map_err(Early::Usage)
+            };
         match a.as_str() {
             "-h" | "--help" => return Err(Early::Help),
             "--version" => return Err(Early::Version),
@@ -132,6 +169,20 @@ fn parse_args() -> Result<Options, Early> {
             "-o" => o.out = Some(file_arg(&mut args)?),
             "--interlock" => o.interlock = true,
             "--tree" => o.tree = true,
+            "--format" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| Early::Usage("--format needs a value".into()))?;
+                if !matches!(v.as_str(), "human" | "json" | "sarif") {
+                    return Err(Early::Usage(format!(
+                        "bad value `{v}` for --format (human, json, sarif)"
+                    )));
+                }
+                o.format = v;
+            }
+            "--allow" => lint_arg(&mut args, &mut o.lint, Level::Allow)?,
+            "--warn" => lint_arg(&mut args, &mut o.lint, Level::Warn)?,
+            "--deny" => lint_arg(&mut args, &mut o.lint, Level::Deny)?,
             "--cycles" => o.cycles = num_arg("--cycles", &mut args)?,
             "--depth" | "--max-k" => o.depth = num_arg("--depth", &mut args)?,
             "--timeout" => o.timeout = Some(num_arg("--timeout", &mut args)?),
@@ -151,7 +202,7 @@ fn parse_args() -> Result<Options, Early> {
     o.command = command.ok_or_else(|| Early::Usage("missing command".into()))?;
     if !matches!(
         o.command.as_str(),
-        "parse" | "synth" | "verify" | "mutate" | "emit" | "report"
+        "parse" | "lint" | "synth" | "verify" | "mutate" | "emit" | "report"
     ) {
         return Err(Early::Usage(format!("unknown command `{}`", o.command)));
     }
@@ -159,8 +210,10 @@ fn parse_args() -> Result<Options, Early> {
     Ok(o)
 }
 
-fn synthesize(c: &Compiled, o: &Options) -> Result<PipelinedMachine, String> {
-    let plan = c.spec.plan().map_err(|e| format!("plan: {e}"))?;
+/// The synthesis options after applying the `--interlock`/`--tree`
+/// command-line rewrites — shared by synthesis and the linter so both
+/// see the same design.
+fn effective_options(c: &Compiled, o: &Options) -> SynthOptions {
     let mut options = c.options.clone();
     if o.interlock {
         // Like the DLX baseline: registers forwarded from their write
@@ -175,9 +228,49 @@ fn synthesize(c: &Compiled, o: &Options) -> Result<PipelinedMachine, String> {
     if o.tree {
         options = options.with_topology(MuxTopology::Tree);
     }
-    PipelineSynthesizer::new(options)
+    options
+}
+
+fn synthesize(c: &Compiled, o: &Options) -> Result<PipelinedMachine, String> {
+    let plan = c.spec.plan().map_err(|e| format!("plan: {e}"))?;
+    PipelineSynthesizer::new(effective_options(c, o))
         .run(&plan)
         .map_err(|e| format!("synthesis: {e}"))
+}
+
+/// Runs the full lint driver against the compiled design and attaches
+/// source spans from the AST.
+fn lint_compiled(
+    c: &Compiled,
+    o: &Options,
+) -> Result<(LintReport, Option<PipelinedMachine>), String> {
+    let plan = c.spec.plan().map_err(|e| format!("plan: {e}"))?;
+    let options = effective_options(c, o);
+    let (mut report, pm) =
+        lint_design(&plan, &options, &o.lint).map_err(|e| format!("synthesis: {e}"))?;
+    attach_spans(&mut report, &c.design);
+    Ok((report, pm))
+}
+
+/// Lint gate at the head of `synth`/`verify`/`mutate`: deny-level
+/// findings abort with rendered diagnostics (exit 1), warnings go to
+/// stderr, and the machine the linter already synthesized is reused.
+fn lint_and_synthesize(c: &Compiled, o: &Options) -> Result<PipelinedMachine, String> {
+    let (report, pm) = lint_compiled(c, o)?;
+    let file = o.path.display().to_string();
+    let source = std::fs::read_to_string(&o.path).unwrap_or_default();
+    let rendered = report.to_diagnostics(&file, &source).render();
+    if report.has_errors() || pm.is_none() {
+        // `pm.is_none()` without errors: a synthesis-blocking finding
+        // was downgraded with `--allow` — record it, but there is still
+        // no machine to continue with.
+        return Err(format!("{rendered}{}", report.summary_line()));
+    }
+    if report.warnings() + report.allowed() > 0 {
+        err(&rendered);
+        errln(report.summary_line());
+    }
+    Ok(pm.expect("checked above"))
 }
 
 fn write_out(path: &PathBuf, contents: &str) -> Result<(), String> {
@@ -198,6 +291,20 @@ fn outln(text: impl std::fmt::Display) {
     out("\n");
 }
 
+/// Print to stderr, ignoring EPIPE: diagnostics can span many lines,
+/// and `autopipe synth bad.psm 2>&1 | head` must not panic when the
+/// reader stops early. Unlike [`out`], the caller's exit code is
+/// preserved.
+fn err(text: impl std::fmt::Display) {
+    use std::io::Write;
+    let _ = write!(std::io::stderr(), "{text}");
+}
+
+fn errln(text: impl std::fmt::Display) {
+    err(text);
+    err("\n");
+}
+
 fn run(o: &Options) -> Result<ExitCode, String> {
     let compiled = compile_file(&o.path).map_err(|d| d.render())?;
     match o.command.as_str() {
@@ -210,8 +317,24 @@ fn run(o: &Options) -> Result<ExitCode, String> {
                 compiled.design.files.len()
             ));
         }
+        "lint" => {
+            let (report, _) = lint_compiled(&compiled, o)?;
+            let file = o.path.display().to_string();
+            let source = std::fs::read_to_string(&o.path).unwrap_or_default();
+            match o.format.as_str() {
+                "json" => out(autopipe::analyze::output::to_json(&report, &file, &source)),
+                "sarif" => out(autopipe::analyze::output::to_sarif(&report, &file, &source)),
+                _ => {
+                    err(report.to_diagnostics(&file, &source).render());
+                    outln(report.summary_line());
+                }
+            }
+            if report.has_errors() {
+                return Ok(ExitCode::from(2));
+            }
+        }
         "synth" => {
-            let pm = synthesize(&compiled, o)?;
+            let pm = lint_and_synthesize(&compiled, o)?;
             outln(&pm.report);
             if let Some(path) = &o.emit {
                 write_out(path, &emit_verilog(&pm.netlist, &compiled.design.name))?;
@@ -236,9 +359,19 @@ fn run(o: &Options) -> Result<ExitCode, String> {
         "report" => {
             let pm = synthesize(&compiled, o)?;
             outln(&pm.report);
+            let stats = NetlistStats::of(&pm.netlist);
+            outln(format_args!(
+                "netlist: {} gate equivalents, {} nodes, depth {} levels, \
+{} register bits, {} memory bits",
+                stats.gates,
+                stats.nodes,
+                stats.critical_path,
+                stats.register_bits,
+                stats.memory_bits
+            ));
         }
         "verify" => {
-            let pm = synthesize(&compiled, o)?;
+            let pm = lint_and_synthesize(&compiled, o)?;
             let report = verify_machine(
                 &pm,
                 VerifySettings {
@@ -253,7 +386,7 @@ fn run(o: &Options) -> Result<ExitCode, String> {
             outln(format_args!("machine proof:\n{report}"));
             // Wall-clock profile goes to stderr: the stdout report is
             // byte-identical for every `--jobs` value.
-            eprint!("{}", report.timing_table());
+            err(report.timing_table());
             if !report.ok() {
                 return Err("proof obligations failed".into());
             }
@@ -276,7 +409,7 @@ checked against the sequential machine every cycle",
             ));
         }
         "mutate" => {
-            let pm = synthesize(&compiled, o)?;
+            let pm = lint_and_synthesize(&compiled, o)?;
             let settings = SoundnessSettings {
                 seed: o.seed,
                 count: o.count,
@@ -312,14 +445,14 @@ fn main() -> ExitCode {
             return ExitCode::SUCCESS;
         }
         Err(Early::Usage(msg)) => {
-            eprintln!("autopipe: {msg}\n{USAGE}");
+            errln(format_args!("autopipe: {msg}\n{USAGE}"));
             return ExitCode::from(2);
         }
     };
     match run(&o) {
         Ok(code) => code,
         Err(msg) => {
-            eprintln!("{msg}");
+            errln(msg);
             ExitCode::FAILURE
         }
     }

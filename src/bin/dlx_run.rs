@@ -23,6 +23,7 @@
 //! Prints CPI, stall/hazard statistics, the register file and all
 //! touched data-memory words.
 
+use autopipe::analyze::LintConfig;
 use autopipe::dlx::asm::{assemble, disassemble};
 use autopipe::dlx::machine::dlx_interlock_options;
 use autopipe::dlx::machine::load_program;
@@ -79,6 +80,13 @@ fn out(text: impl std::fmt::Display) {
 fn outln(text: impl std::fmt::Display) {
     out(text);
     out("\n");
+}
+
+/// Print to stderr, ignoring EPIPE (multi-line diagnostics under
+/// `2>&1 | head` must not panic); the exit code is preserved.
+fn err(text: impl std::fmt::Display) {
+    use std::io::Write;
+    let _ = write!(std::io::stderr(), "{text}");
 }
 
 fn usage() -> ExitCode {
@@ -263,13 +271,22 @@ fn main() -> ExitCode {
     if o.tree {
         options = options.with_topology(MuxTopology::Tree);
     }
-    let pm = match PipelineSynthesizer::new(options).run(&plan) {
+    let pm = match PipelineSynthesizer::new(options.clone()).run(&plan) {
         Ok(pm) => pm,
         Err(e) => {
             eprintln!("dlx-run: synthesis: {e}");
             return ExitCode::FAILURE;
         }
     };
+    // Static lint gate (span-less: the DLX spec is programmatic). The
+    // spec is known-clean, so any finding is a regression in the
+    // generator itself.
+    let lint = autopipe::analyze::lint_machine(&plan, &options, &pm, &LintConfig::new());
+    if lint.has_errors() {
+        err(lint.to_diagnostics("dlx", "").render());
+        err(format_args!("dlx-run: {}\n", lint.summary_line()));
+        return ExitCode::FAILURE;
+    }
     let pm = if o.optimize { pm.optimized() } else { pm };
     outln(&pm.report);
 
@@ -289,7 +306,7 @@ fn main() -> ExitCode {
             },
         );
         outln(format_args!("machine proof:\n{report}\n"));
-        eprint!("{}", report.timing_table());
+        err(report.timing_table());
         if !report.ok() {
             return ExitCode::FAILURE;
         }

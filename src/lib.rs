@@ -26,6 +26,10 @@
 //! * [`front`] — the textual `.psm` front end (lexer, parser, lowering,
 //!   diagnostics), the structural Verilog emitter, and the machinery
 //!   behind the `autopipe` command-line tool.
+//! * [`analyze`] — static hazard & structural analysis (`autopipe
+//!   lint`): stage-dataflow read classification, netlist lints, and a
+//!   cross-check of the synthesized hit logic, with stable `APxxxx`
+//!   codes rendered as human diagnostics, JSON, or SARIF.
 //!
 //! Every fallible step of that workflow returns a typed error that
 //! converts into the workspace-level [`Error`], so an end-to-end run
@@ -36,6 +40,7 @@
 //! and `examples/programs/*.psm` for the textual form.
 #![forbid(unsafe_code)]
 
+pub use autopipe_analyze as analyze;
 pub use autopipe_dlx as dlx;
 pub use autopipe_front as front;
 pub use autopipe_hdl as hdl;
@@ -146,6 +151,7 @@ impl From<front::Diagnostics> for Error {
 /// use autopipe::prelude::*;
 /// ```
 pub mod prelude {
+    pub use crate::analyze::{lint_design, lint_spec, LintConfig, LintReport};
     pub use crate::front::{compile, compile_file, emit_verilog, Compiled, Diagnostics};
     pub use crate::hdl::{HdlError, Netlist, Sim64, Simulator};
     pub use crate::psm::{MachineSpec, Plan, SequentialMachine};

@@ -304,3 +304,96 @@ fn optimize_flag_runs_the_checked_pipeline() {
     assert!(ok, "{out}");
     assert!(out.contains("(6)"), "DMEM[0] = 6 expected: {out}");
 }
+
+// ---------------------------------------------------------------- lint
+
+fn fixture(name: &str) -> String {
+    format!(
+        "{}/crates/analyze/tests/fixtures/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+#[test]
+fn lint_clean_design_exits_zero() {
+    let (code, out) = autopipe(&["lint", &example("dlx.psm")]);
+    assert_eq!(code, Some(0), "{out}");
+    assert!(out.contains("0 error(s)"), "{out}");
+    assert!(out.contains("21 read(s) analyzed"), "{out}");
+}
+
+#[test]
+fn lint_bad_fixture_exits_two_with_sarif_code() {
+    let (code, out) = autopipe(&["lint", &fixture("uncovered_read.psm"), "--format", "sarif"]);
+    assert_eq!(code, Some(2), "{out}");
+    assert!(out.contains("\"ruleId\": \"AP0101\""), "{out}");
+    assert!(out.contains("sarif-2.1.0.json"), "{out}");
+}
+
+/// `--deny` on a warn-level lint flips a clean exit into exit 2.
+#[test]
+fn lint_deny_promotes_warning_to_error_exit() {
+    let path = fixture("unused_designation.psm");
+    let (code, out) = autopipe(&["lint", &path]);
+    assert_eq!(code, Some(0), "warn-level by default: {out}");
+    let (code, out) = autopipe(&["lint", &path, "--deny", "AP0104"]);
+    assert_eq!(code, Some(2), "{out}");
+    assert!(out.contains("error[AP0104]"), "{out}");
+}
+
+/// `--allow` on an error-level lint downgrades the exit code but the
+/// finding stays in the machine-readable record.
+#[test]
+fn lint_allow_downgrades_exit_but_keeps_record() {
+    let path = fixture("uncovered_read.psm");
+    let (code, _) = autopipe(&["lint", &path]);
+    assert_eq!(code, Some(2));
+    let (code, out) = autopipe(&["lint", &path, "--allow", "AP0101", "--format", "json"]);
+    assert_eq!(code, Some(0), "{out}");
+    assert!(out.contains("\"code\": \"AP0101\""), "{out}");
+    assert!(out.contains("\"level\": \"allowed\""), "{out}");
+    assert!(out.contains("\"allowed\": 1"), "{out}");
+}
+
+/// Lint codes are addressable by kebab-case name too; a typo is
+/// command-line misuse (exit 2 before any analysis).
+#[test]
+fn lint_accepts_names_and_rejects_unknown_codes() {
+    let path = fixture("unused_designation.psm");
+    let (code, _) = autopipe(&["lint", &path, "--deny", "unused-designation"]);
+    assert_eq!(code, Some(2), "kebab name addresses the same lint");
+    let (code, out) = autopipe(&["lint", &path, "--deny", "AP9999"]);
+    assert_eq!(code, Some(2));
+    assert!(out.contains("unknown lint"), "{out}");
+}
+
+/// JSON and SARIF output are byte-deterministic across `-j` values.
+#[test]
+fn lint_output_is_deterministic_across_jobs() {
+    for format in ["json", "sarif"] {
+        let path = fixture("never_read.psm");
+        let (c1, o1, e1) = run_bin_stdout(
+            env!("CARGO_BIN_EXE_autopipe"),
+            &["lint", &path, "--format", format, "-j", "1"],
+        );
+        let (c4, o4, e4) = run_bin_stdout(
+            env!("CARGO_BIN_EXE_autopipe"),
+            &["lint", &path, "--format", format, "-j", "4"],
+        );
+        assert_eq!(c1, Some(0), "{e1}");
+        assert_eq!(c4, Some(0), "{e4}");
+        assert_eq!(o1, o4, "{format} must be byte-identical for -j 1 and -j 4");
+        assert!(!o1.is_empty());
+    }
+}
+
+/// `synth` refuses to run on a design with deny-level lint findings.
+#[test]
+fn synth_gates_on_lint_errors() {
+    let (code, out) = autopipe(&["synth", &fixture("uncovered_read.psm")]);
+    assert_eq!(code, Some(1), "{out}");
+    assert!(out.contains("error[AP0101]"), "{out}");
+    let (code, out) = autopipe(&["synth", &fixture("dead_forward.psm")]);
+    assert_eq!(code, Some(0), "warnings do not gate: {out}");
+    assert!(out.contains("warning[AP0306]"), "{out}");
+}
