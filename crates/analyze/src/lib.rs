@@ -330,15 +330,90 @@ pub fn lint_design(
     options: &SynthOptions,
     config: &LintConfig,
 ) -> Result<(LintReport, Option<PipelinedMachine>), SynthError> {
+    lint_design_traced(plan, options, config, &autopipe_trace::Trace::disabled())
+}
+
+/// [`lint_design`] that records run telemetry: one phase span per lint
+/// pass (with the running finding count), a `synth` phase span carrying
+/// the synthesis report's headline numbers, and — after a successful
+/// synthesis — one per-stage counter on [`autopipe_trace::Track::stage`]
+/// with the [`autopipe_synth::StageCost`] attribution (forward/interlock
+/// paths, hit comparators, control-cone gates and levels). Everything
+/// recorded here is a pure function of the design, so it lands on the
+/// deterministic trace sink.
+///
+/// # Errors
+///
+/// Returns the synthesizer's own error when synthesis fails for a
+/// reason no dataflow lint anticipated.
+pub fn lint_design_traced(
+    plan: &Plan,
+    options: &SynthOptions,
+    config: &LintConfig,
+    trace: &autopipe_trace::Trace,
+) -> Result<(LintReport, Option<PipelinedMachine>), SynthError> {
+    use autopipe_trace::{a, Track};
     let mut report = LintReport::default();
-    dataflow::run(plan, options, config, &mut report);
+    {
+        let mut span = trace.span(Track::RUN, "phase", "lint:dataflow");
+        dataflow::run(plan, options, config, &mut report);
+        span.args(vec![
+            a("findings", report.findings.len()),
+            a("reads", report.reads.len()),
+        ]);
+    }
     if report.blocks_synthesis() {
         report.sort();
+        trace.instant(
+            Track::RUN,
+            "phase",
+            "synthesis blocked",
+            vec![a("findings", report.findings.len())],
+        );
         return Ok((report, None));
     }
-    let pm = PipelineSynthesizer::new(options.clone()).run(plan)?;
-    structural::run(&pm.netlist, config, &mut report);
-    crosscheck::run(&pm, options, config, &mut report);
+    let pm = {
+        let mut span = trace.span(Track::RUN, "phase", "synth");
+        let pm = PipelineSynthesizer::new(options.clone()).run(plan)?;
+        span.args(vec![
+            a("stages", pm.report.n_stages),
+            a("forwards", pm.report.forwards.len()),
+            a("speculations", pm.report.speculations.len()),
+            a("obligations", pm.report.obligations),
+            a("valid_bits", pm.report.valid_bits),
+        ]);
+        pm
+    };
+    if trace.is_enabled() {
+        for cost in pm.stage_costs() {
+            trace.counter(
+                Track::stage(cost.stage),
+                "stage",
+                &format!("stage {}", cost.stage),
+                vec![
+                    a("forward_paths", cost.forward_paths),
+                    a("interlock_paths", cost.interlock_paths),
+                    a("hit_signals", cost.hit_signals),
+                    a("control_gates", cost.control_gates),
+                    a("stall_levels", u64::from(cost.stall_levels)),
+                    a("dhaz_levels", u64::from(cost.dhaz_levels)),
+                    a("ue_levels", u64::from(cost.ue_levels)),
+                ],
+            );
+        }
+    }
+    {
+        let before = report.findings.len();
+        let mut span = trace.span(Track::RUN, "phase", "lint:structural");
+        structural::run(&pm.netlist, config, &mut report);
+        span.arg("findings", report.findings.len() - before);
+    }
+    {
+        let before = report.findings.len();
+        let mut span = trace.span(Track::RUN, "phase", "lint:crosscheck");
+        crosscheck::run(&pm, options, config, &mut report);
+        span.arg("findings", report.findings.len() - before);
+    }
     exempt_visible_state(&mut report, plan);
     report.sort();
     Ok((report, Some(pm)))

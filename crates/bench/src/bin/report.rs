@@ -3,14 +3,19 @@
 //! `EXPERIMENTS.md` (paper-vs-measured discussion).
 //!
 //! Usage: `cargo run -p autopipe-bench --bin report [--release]
-//! [eN ...] [--seed N] [--jobs N]`; with no experiment names all
-//! experiments run. `--seed` re-bases the random workloads of the
-//! CPI sweeps (E4/E5); `--jobs`/`-j` renders the selected experiments
-//! on the verification work-stealing pool (`0` = one per core) —
-//! output order stays deterministic regardless.
+//! [eN ...] [--seed N] [--jobs N] [--json FILE]`; with no experiment
+//! names all experiments run. `--seed` re-bases the random workloads of
+//! the CPI sweeps (E4/E5); `--jobs`/`-j` renders the selected
+//! experiments on the verification work-stealing pool (`0` = one per
+//! core) — output order stays deterministic regardless. `--json FILE`
+//! additionally writes the machine-readable `BENCH_5.json` record:
+//! per-experiment wall-clock plus the small-DLX verification section
+//! (obligation outcomes and summed SAT counters); the schema is
+//! documented in `docs/OBSERVABILITY.md`.
 
 use autopipe_bench::experiments as ex;
 use autopipe_verify::pool;
+use std::time::Instant;
 
 fn num_arg(flag: &str, v: Option<String>) -> u64 {
     match v.and_then(|s| s.parse().ok()) {
@@ -22,15 +27,62 @@ fn num_arg(flag: &str, v: Option<String>) -> u64 {
     }
 }
 
+/// Renders the `BENCH_5.json` record; hand-rolled like every other
+/// JSON writer in the workspace (names are `[a-z0-9_]`, so no string
+/// escaping is needed).
+fn bench5_json(seed: u64, jobs: usize, rows: &[(&str, u128)], verify: &ex::Bench5Verify) -> String {
+    let mut s = String::from("{\n  \"schema\": \"autopipe-bench-5\",\n");
+    s.push_str(&format!("  \"seed\": {seed},\n  \"jobs\": {jobs},\n"));
+    s.push_str("  \"experiments\": [\n");
+    for (i, (name, micros)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"wall_ms\": {}.{:03}}}{comma}\n",
+            micros / 1000,
+            micros % 1000
+        ));
+    }
+    s.push_str("  ],\n  \"verify\": {\n");
+    s.push_str("    \"machine\": \"dlx5-small\",\n");
+    s.push_str(&format!(
+        "    \"obligations\": {}, \"proved\": {}, \"failed\": {}, \"max_k\": {},\n",
+        verify.obligations, verify.proved, verify.failed, verify.max_k
+    ));
+    s.push_str(&format!("    \"wall_ms\": {},\n", verify.millis));
+    let st = &verify.stats;
+    s.push_str(&format!(
+        "    \"sat\": {{\"conflicts\": {}, \"decisions\": {}, \"propagations\": {}, \
+\"restarts\": {}, \"learnt\": {}, \"frames\": {}, \"clauses\": {}, \"attempts\": {}}}\n",
+        st.conflicts,
+        st.decisions,
+        st.propagations,
+        st.restarts,
+        st.learnt,
+        st.frames,
+        st.clauses,
+        st.attempts
+    ));
+    s.push_str("  }\n}\n");
+    s
+}
+
 fn main() {
     let mut names: Vec<String> = Vec::new();
     let mut seed: Option<u64> = None;
     let mut jobs: usize = 1;
+    let mut json: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--seed" => seed = Some(num_arg("--seed", args.next())),
             "-j" | "--jobs" | "--threads" => jobs = num_arg("--jobs", args.next()) as usize,
+            "--json" => match args.next() {
+                Some(path) => json = Some(path),
+                None => {
+                    eprintln!("report: --json needs a file argument");
+                    std::process::exit(2);
+                }
+            },
             other if !other.starts_with('-') => names.push(other.to_string()),
             other => {
                 eprintln!("report: unknown option `{other}`");
@@ -45,24 +97,38 @@ fn main() {
         .collect();
     // Fan the renderers across the pool; results come back in task
     // order, so stdout is byte-identical for every --jobs value.
-    let tables = pool::map_tasks(jobs, run, move |_, name| match name {
-        "e1" => ex::e1_render(),
-        "e2" => ex::e2_render(),
-        "e3" => ex::e3_render(),
-        "e4" => ex::e4_render_seeded(seed.unwrap_or(0)),
-        "e5" => ex::e5_render_seeded(seed.map_or(100, |s| s + 100)),
-        "e6" => ex::e6_render(),
-        "e7" => ex::e7_render(),
-        "e8" => ex::e8_render(),
-        "e9" => ex::e9_render(),
-        _ => unreachable!("filtered above"),
+    let tables = pool::map_tasks(jobs, run, move |_, name| {
+        let t0 = Instant::now();
+        let text = match name {
+            "e1" => ex::e1_render(),
+            "e2" => ex::e2_render(),
+            "e3" => ex::e3_render(),
+            "e4" => ex::e4_render_seeded(seed.unwrap_or(0)),
+            "e5" => ex::e5_render_seeded(seed.map_or(100, |s| s + 100)),
+            "e6" => ex::e6_render(),
+            "e7" => ex::e7_render(),
+            "e8" => ex::e8_render(),
+            "e9" => ex::e9_render(),
+            _ => unreachable!("filtered above"),
+        };
+        (name, text, t0.elapsed().as_micros())
     });
-    for t in tables {
+    for (_, t, _) in &tables {
         // Exit quietly when the reader has gone away — `report | head`
         // must not panic on EPIPE.
         use std::io::Write;
         if writeln!(std::io::stdout(), "{t}").is_err() {
             return;
         }
+    }
+    if let Some(path) = json {
+        let rows: Vec<(&str, u128)> = tables.iter().map(|(n, _, us)| (*n, *us)).collect();
+        let verify = ex::bench5_verify(jobs);
+        let text = bench5_json(seed.unwrap_or(0), jobs, &rows, &verify);
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("report: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("report: wrote {path}");
     }
 }

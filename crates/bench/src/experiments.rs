@@ -765,6 +765,60 @@ pub fn e9_render() -> String {
     )
 }
 
+// ---------------------------------------------------------------------
+// BENCH_5.json — the machine-readable verification section.
+// ---------------------------------------------------------------------
+
+/// The verification section of `BENCH_5.json`: obligation outcomes and
+/// summed SAT counters for the small DLX (see `docs/OBSERVABILITY.md`
+/// for the schema).
+#[derive(Debug, Clone, Default)]
+pub struct Bench5Verify {
+    /// Obligations discharged.
+    pub obligations: usize,
+    /// Fully proved (k-induction closed).
+    pub proved: usize,
+    /// Violated or timed out (expected 0).
+    pub failed: usize,
+    /// k-induction depth used.
+    pub max_k: usize,
+    /// Summed solver work across every obligation.
+    pub stats: autopipe_verify::SolveStats,
+    /// Wall-clock milliseconds for the whole batch.
+    pub millis: u128,
+}
+
+/// Discharges the small DLX's proof obligations and folds the
+/// per-obligation [`autopipe_verify::SolveStats`] into one record.
+pub fn bench5_verify(jobs: usize) -> Bench5Verify {
+    let max_k = 2;
+    let plan = build_dlx_spec(DlxConfig::small())
+        .expect("spec builds")
+        .plan()
+        .expect("plans");
+    let dlx = PipelineSynthesizer::new(dlx_synth_options())
+        .run(&plan)
+        .expect("synthesizes");
+    let t0 = Instant::now();
+    let reps = autopipe_verify::check_obligations_jobs(&dlx.netlist, &dlx.obligations, max_k, jobs)
+        .expect("lowers");
+    let mut out = Bench5Verify {
+        obligations: reps.len(),
+        max_k,
+        millis: t0.elapsed().as_millis(),
+        ..Bench5Verify::default()
+    };
+    for r in &reps {
+        match r.outcome {
+            BmcOutcome::Proved { .. } => out.proved += 1,
+            BmcOutcome::BoundedOk { .. } => {}
+            _ => out.failed += 1,
+        }
+        out.stats.merge(r.stats);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

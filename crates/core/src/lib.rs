@@ -41,4 +41,4 @@ pub use options::{
 };
 pub use pipeline::{ControlNets, PipelineSynthesizer, PipelinedMachine, SynthError};
 pub use proof::{Obligation, ObligationClass};
-pub use report::{ForwardPathInfo, SynthReport};
+pub use report::{ForwardPathInfo, StageCost, SynthReport};

@@ -23,7 +23,7 @@
 use crate::forward::{build_forward_net, HitSource};
 use crate::options::{ActualSource, FixupValue, ForwardMode, SynthOptions};
 use crate::proof::{self, Obligation};
-use crate::report::{ForwardKind, ForwardPathInfo, SpeculationInfo, SynthReport};
+use crate::report::{ForwardKind, ForwardPathInfo, SpeculationInfo, StageCost, SynthReport};
 use crate::speculate::{rollback_request, SpecPipes};
 use crate::stall::StallEngine;
 use autopipe_hdl::{HdlError, NetId, Netlist, Simulator};
@@ -191,6 +191,46 @@ impl PipelinedMachine {
     /// Number of pipeline stages.
     pub fn n_stages(&self) -> usize {
         self.plan.n_stages()
+    }
+
+    /// Per-stage cost attribution of the generated hazard hardware
+    /// (see [`StageCost`]): forwarding/interlock path counts from the
+    /// synthesis report joined with arrival times and control-cone
+    /// gate counts from one [`autopipe_hdl::NetAnalysis`] walk of the
+    /// netlist. Deterministic for a given machine, so the telemetry
+    /// layer can emit it on the byte-stable trace sink.
+    pub fn stage_costs(&self) -> Vec<StageCost> {
+        let analysis = autopipe_hdl::NetAnalysis::of(&self.netlist);
+        (0..self.n_stages())
+            .map(|k| {
+                let paths: Vec<&ForwardPathInfo> = self
+                    .report
+                    .forwards
+                    .iter()
+                    .filter(|p| p.stage == k)
+                    .collect();
+                let control: Vec<NetId> = [
+                    self.control.stall.get(k),
+                    self.control.dhaz.get(k),
+                    self.control.ue.get(k),
+                ]
+                .into_iter()
+                .flatten()
+                .copied()
+                .collect();
+                let arrival = |net: Option<&NetId>| net.map_or(0, |&n| analysis.arrival(n));
+                StageCost {
+                    stage: k,
+                    forward_paths: paths.iter().filter(|p| !p.interlock_only).count(),
+                    interlock_paths: paths.iter().filter(|p| p.interlock_only).count(),
+                    hit_signals: paths.iter().map(|p| p.hit_stages.len()).sum(),
+                    control_gates: autopipe_hdl::cone_gates(&self.netlist, &control),
+                    stall_levels: arrival(self.control.stall.get(k)),
+                    dhaz_levels: arrival(self.control.dhaz.get(k)),
+                    ue_levels: arrival(self.control.ue.get(k)),
+                }
+            })
+            .collect()
     }
 
     /// Returns an optimized copy of this machine: the netlist is run

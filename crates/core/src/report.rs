@@ -52,6 +52,40 @@ pub struct SpeculationInfo {
     pub fixups: usize,
 }
 
+/// Per-stage attribution of the hazard hardware the transformation
+/// added — forwarding paths, interlocks and the structural price of the
+/// stage's control cone.
+///
+/// Produced by
+/// [`PipelinedMachine::stage_costs`](crate::PipelinedMachine::stage_costs)
+/// from the synthesized netlist's [`autopipe_hdl::NetAnalysis`], this is
+/// the record the run-telemetry layer emits on the per-stage trace
+/// track. Gate figures come from [`autopipe_hdl::cone_gates`], so cones
+/// that share logic overlap rather than partition the total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageCost {
+    /// Stage index `k`.
+    pub stage: usize,
+    /// Forwarding paths whose read happens at this stage (bypass muxes
+    /// generated here).
+    pub forward_paths: usize,
+    /// Paths at this stage that only interlock (no bypass network).
+    pub interlock_paths: usize,
+    /// Hit comparators feeding this stage (one per writing stage of
+    /// each path).
+    pub hit_signals: usize,
+    /// Gate-equivalents in the combined combinational cone of this
+    /// stage's `stall_k`/`dhaz_k`/`ue_k` control nets.
+    pub control_gates: u64,
+    /// Arrival time (logic levels) of `stall_k`.
+    pub stall_levels: u32,
+    /// Arrival time of `dhaz_k`.
+    pub dhaz_levels: u32,
+    /// Arrival time of `ue_k` (the update-enable, usually the stage's
+    /// deepest control signal).
+    pub ue_levels: u32,
+}
+
 /// Summary of one transformation run.
 #[derive(Debug, Clone)]
 pub struct SynthReport {

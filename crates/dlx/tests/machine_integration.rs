@@ -481,6 +481,35 @@ fn dlx_retirement_equivalence_bmc() {
 }
 
 #[test]
+fn dlx_stage_costs_attribute_forwarding_hardware() {
+    let cfg = DlxConfig::default();
+    let pm = pipeline(cfg, dlx_synth_options());
+    let costs = pm.stage_costs();
+    assert_eq!(costs.len(), pm.n_stages());
+    for (k, c) in costs.iter().enumerate() {
+        assert_eq!(c.stage, k);
+    }
+    // The paper's DLX forwards GPR into decode (stage 1): the bypass
+    // muxes, hit comparators and a non-trivial control cone all land
+    // on that stage's row.
+    let decode = &costs[1];
+    assert!(decode.forward_paths >= 1, "{decode:?}");
+    assert!(decode.hit_signals >= decode.forward_paths, "{decode:?}");
+    assert!(decode.control_gates > 0, "{decode:?}");
+    assert!(decode.ue_levels >= decode.stall_levels, "{decode:?}");
+    // Interlock-only synthesis moves those paths to the interlock
+    // column and drops the bypass network.
+    let ipm = pipeline(cfg, dlx_interlock_options());
+    let icosts = ipm.stage_costs();
+    assert!(icosts[1].interlock_paths >= 1, "{:?}", icosts[1]);
+    assert_eq!(
+        icosts[1].forward_paths + icosts[1].interlock_paths,
+        decode.forward_paths + decode.interlock_paths,
+        "same reads, different protection"
+    );
+}
+
+#[test]
 fn optimized_dlx_is_consistent_and_smaller() {
     use autopipe_hdl::NetlistStats;
     let cfg = DlxConfig::default();

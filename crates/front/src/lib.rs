@@ -48,13 +48,54 @@ pub struct Compiled {
 ///
 /// Returns every diagnostic collected while parsing or lowering.
 pub fn compile(src: &str, file: &str) -> Result<Compiled, Diagnostics> {
+    compile_traced(src, file, &autopipe_trace::Trace::disabled())
+}
+
+/// [`compile`] that records `parse` and `lower` phase spans into
+/// `trace`, carrying source size and the lowered machine's shape. Error
+/// paths record an `errors` count on the failing phase so a recorded
+/// run shows where compilation stopped.
+///
+/// # Errors
+///
+/// Returns every diagnostic collected while parsing or lowering.
+pub fn compile_traced(
+    src: &str,
+    file: &str,
+    trace: &autopipe_trace::Trace,
+) -> Result<Compiled, Diagnostics> {
+    use autopipe_trace::Track;
     let fail = |errors| Diagnostics {
         file: file.to_string(),
         source: src.to_string(),
         errors,
     };
-    let design = parse::parse_design(src).map_err(|e| fail(vec![e]))?;
-    let (spec, options) = lower::lower(&design).map_err(fail)?;
+    let mut span = trace.span(Track::RUN, "phase", "parse");
+    span.arg("bytes", src.len());
+    let design = match parse::parse_design(src) {
+        Ok(d) => d,
+        Err(e) => {
+            span.arg("errors", 1u64);
+            return Err(fail(vec![e]));
+        }
+    };
+    span.arg("stages", design.n_stages);
+    span.end();
+
+    let mut span = trace.span(Track::RUN, "phase", "lower");
+    let (spec, options) = match lower::lower(&design) {
+        Ok(ok) => ok,
+        Err(errors) => {
+            span.arg("errors", errors.len());
+            return Err(fail(errors));
+        }
+    };
+    span.args(vec![
+        autopipe_trace::a("registers", spec.registers.len()),
+        autopipe_trace::a("files", spec.files.len()),
+        autopipe_trace::a("forwards", options.forwarding.len()),
+    ]);
+    span.end();
     Ok(Compiled {
         design,
         spec,
@@ -69,6 +110,18 @@ pub fn compile(src: &str, file: &str) -> Result<Compiled, Diagnostics> {
 ///
 /// Returns diagnostics for unreadable files as well as language errors.
 pub fn compile_file(path: &std::path::Path) -> Result<Compiled, Diagnostics> {
+    compile_file_traced(path, &autopipe_trace::Trace::disabled())
+}
+
+/// [`compile_file`] with telemetry (see [`compile_traced`]).
+///
+/// # Errors
+///
+/// Returns diagnostics for unreadable files as well as language errors.
+pub fn compile_file_traced(
+    path: &std::path::Path,
+    trace: &autopipe_trace::Trace,
+) -> Result<Compiled, Diagnostics> {
     let src = std::fs::read_to_string(path).map_err(|e| Diagnostics {
         file: path.display().to_string(),
         source: String::new(),
@@ -77,5 +130,5 @@ pub fn compile_file(path: &std::path::Path) -> Result<Compiled, Diagnostics> {
             path.display()
         ))],
     })?;
-    compile(&src, &path.display().to_string())
+    compile_traced(&src, &path.display().to_string(), trace)
 }

@@ -67,5 +67,7 @@ pub use mutate::{FaultKind, FaultTarget, Mutation};
 pub use opt::{optimize, NetMap, OptStats};
 pub use sim::Simulator;
 pub use sim64::{Sim64, LANES};
-pub use stats::{cone_to_dot, DelayModel, NetAnalysis, NetlistStats};
+pub use stats::{
+    cone_gates, cone_gates_with_model, cone_to_dot, DelayModel, NetAnalysis, NetlistStats,
+};
 pub use value::mask;

@@ -280,6 +280,38 @@ impl NetAnalysis {
     }
 }
 
+/// Total two-input gate equivalents in the transitive fan-in cone of
+/// `roots` under the default [`DelayModel`].
+///
+/// This is the cost-attribution primitive behind per-stage synthesis
+/// telemetry: handing it one stage's control nets (`stall_k`,
+/// `dhaz_k`, `ue_k`) prices the hazard hardware the transformation
+/// spent on that stage. Shared logic reachable from several roots is
+/// counted once per call, so per-stage figures overlap where cones do.
+pub fn cone_gates(nl: &Netlist, roots: &[NetId]) -> u64 {
+    cone_gates_with_model(nl, roots, DelayModel)
+}
+
+/// [`cone_gates`] under a caller-supplied model.
+pub fn cone_gates_with_model(nl: &Netlist, roots: &[NetId], model: DelayModel) -> u64 {
+    use std::collections::HashSet;
+    let mut seen: HashSet<NetId> = HashSet::new();
+    let mut stack: Vec<NetId> = roots.to_vec();
+    let mut gates = 0u64;
+    while let Some(net) = stack.pop() {
+        if !seen.insert(net) {
+            continue;
+        }
+        gates += model.gates(nl, net);
+        // Registers and memory reads end the combinational cone.
+        match nl.node(net) {
+            Node::RegOut(_) | Node::MemRead { .. } => {}
+            _ => stack.extend(nl.fanin(net)),
+        }
+    }
+    gates
+}
+
 /// Renders the backward cone of `roots` (up to `max_depth` levels of
 /// fan-in) as a Graphviz `dot` graph — used to visualise generated
 /// structures such as the paper's Figure 2 forwarding network.
@@ -444,6 +476,34 @@ mod tests {
         assert!(!shallow.contains("input x"), "{shallow}");
         let deep = cone_to_dot(&nl, &[n3], 5);
         assert!(deep.contains("input x"));
+    }
+
+    #[test]
+    fn cone_gates_prices_reachable_logic_once() {
+        let mut nl = Netlist::new("c");
+        let x = nl.input("x", 8);
+        let y = nl.input("y", 8);
+        let shared = nl.add(x, y); // 40 gates
+        let a = nl.and(shared, x); // 8 gates
+        let b = nl.xor(shared, y); // 8 gates
+        let _dead = nl.sub(x, y); // unreachable from the roots
+        assert_eq!(cone_gates(&nl, &[a]), 48);
+        assert_eq!(cone_gates(&nl, &[b]), 48);
+        // Shared sub-cone counted once even with both roots.
+        assert_eq!(cone_gates(&nl, &[a, b]), 56);
+        assert_eq!(cone_gates(&nl, &[]), 0);
+    }
+
+    #[test]
+    fn cone_gates_stops_at_state_elements() {
+        let mut nl = Netlist::new("s");
+        let x = nl.input("x", 8);
+        let one = nl.constant(1, 8);
+        let pre = nl.add(x, one); // behind the register: excluded
+        let (r, out) = nl.register("r", 8, 0);
+        nl.connect(r, pre);
+        let post = nl.add(out, one); // in the cone: 40 gates
+        assert_eq!(cone_gates(&nl, &[post]), 40);
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Chrome / Perfetto trace-event JSON sink.
+//!
+//! Emits the classic `chrome://tracing` array-of-events format (also
+//! accepted by <https://ui.perfetto.dev>): `"X"` complete events for
+//! spans with real microsecond timestamps, `"i"` instants, `"C"`
+//! counters, plus `"M"` metadata naming one lane per recording thread so
+//! pool workers render as parallel swimlanes. Unlike the NDJSON sink this
+//! keeps racy events — it is a human profiling view, not a golden
+//! artifact.
+
+use crate::ndjson::escape;
+use crate::{EventKind, TraceEvent, Value};
+
+fn render_args(args: &[(String, Value)], out: &mut String) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&escape(k));
+        out.push_str("\":");
+        match v {
+            Value::U64(n) => out.push_str(&n.to_string()),
+            Value::I64(n) => out.push_str(&n.to_string()),
+            Value::F64(f) if f.is_finite() => out.push_str(&format!("{f}")),
+            Value::F64(_) => out.push('0'),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+        }
+    }
+    out.push('}');
+}
+
+/// Render `events` as a Chrome trace-event JSON array.
+#[must_use]
+pub fn write(events: &[TraceEvent]) -> String {
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| (e.ts_us, e.track, e.seq));
+
+    let mut lanes: Vec<u32> = sorted.iter().map(|e| e.lane).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+
+    let mut out = String::from("[\n");
+    let mut first = true;
+    let push = |line: String, out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(&line);
+    };
+
+    for lane in &lanes {
+        let name = if *lane == 0 {
+            "main".to_string()
+        } else {
+            format!("worker {lane}")
+        };
+        push(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\"name\":\"thread_name\",\"args\":{{\"name\":\"{name}\"}}}}"
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
+
+    for ev in &sorted {
+        let mut args = String::new();
+        render_args(&ev.args, &mut args);
+        let line = match ev.kind {
+            EventKind::Span => format!(
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"cat\":\"{}\",\"name\":\"{}\",\"args\":{}}}",
+                ev.lane,
+                ev.ts_us,
+                ev.dur_us,
+                escape(&ev.cat),
+                escape(&ev.name),
+                args
+            ),
+            EventKind::Instant => format!(
+                "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{},\"cat\":\"{}\",\"name\":\"{}\",\"args\":{}}}",
+                ev.lane,
+                ev.ts_us,
+                escape(&ev.cat),
+                escape(&ev.name),
+                args
+            ),
+            EventKind::Counter => format!(
+                "{{\"ph\":\"C\",\"pid\":1,\"tid\":{},\"ts\":{},\"name\":\"{}\",\"args\":{}}}",
+                ev.lane,
+                ev.ts_us,
+                escape(&ev.name),
+                args
+            ),
+        };
+        push(line, &mut out, &mut first);
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{a, Trace, Track};
+
+    #[test]
+    fn chrome_sink_keeps_racy_events_and_names_lanes() {
+        let t = Trace::new();
+        t.span(Track::RUN, "phase", "parse").end();
+        t.wall_counter(Track::pool(0), "pool", "worker 0", vec![a("steals", 4u64)]);
+        let json = t.to_chrome_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"steals\":4"));
+    }
+}

@@ -1,0 +1,524 @@
+//! # autopipe-trace — structured tracing for synthesis + verification
+//!
+//! A zero-dependency telemetry layer in the same spirit as the vendored
+//! shims under `vendor/*`: small, offline, and owned by this workspace.
+//! Every long-running pass (front parse/lower, lint passes, synthesis,
+//! each verification obligation, mutation analysis) records *events* into
+//! a [`Trace`] handle, and the handle renders them through two sinks:
+//!
+//! * **Deterministic NDJSON** ([`ndjson`]): one JSON object per line,
+//!   ordered by a logical clock derived from stable `(track, seq)` keys.
+//!   No wall-clock fields, no thread ids — the bytes are identical for
+//!   any `-j`, so trace files can be golden-tested and diffed across
+//!   machines. Events whose payload is inherently racy (pool steal
+//!   counters, wall-clock-only samples) are excluded from this sink.
+//! * **Chrome / Perfetto trace-event JSON** ([`chrome`]): the classic
+//!   `chrome://tracing` array format with real microsecond timestamps
+//!   and one lane per OS thread, so pool workers show up as parallel
+//!   swimlanes. This sink keeps *all* events, racy or not.
+//!
+//! The [`summary`] module turns a recorded (or re-read) event stream into
+//! the human reports behind `autopipe trace`: a hot-obligation table
+//! ranked by SAT conflicts, a clause-cache hit summary, and folded-stack
+//! lines for flamegraph tools.
+//!
+//! ## Determinism contract
+//!
+//! Each event carries a [`Track`] — a stable `(group, index)` coordinate
+//! assigned from the *structure* of the run (obligation index, pipeline
+//! stage, pass name), never from scheduling. Within a track, events are
+//! numbered by a per-track sequence counter at record time; because every
+//! track is only ever written by the one task that owns it, `(track, seq)`
+//! is a total order independent of thread interleaving. The NDJSON sink
+//! sorts by that key and assigns the logical clock `lc` from the sorted
+//! position. Wall-clock (`ts`/`dur`) and lane assignment exist only in
+//! memory and in the Chrome sink.
+//!
+//! A disabled trace (the default for every API that takes one) records
+//! nothing and costs one branch per call site.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+pub mod chrome;
+pub mod ndjson;
+pub mod summary;
+
+/// Stable coordinate of an event stream, independent of scheduling.
+///
+/// `group` identifies the subsystem (see the associated constructors) and
+/// `index` the structural element within it — obligation number, pipeline
+/// stage, mutant id. Tracks with `group >= Track::RACY_GROUPS` are
+/// considered inherently non-deterministic and never reach the NDJSON
+/// sink even if their events claim determinism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Track {
+    /// Subsystem group (0 = run, 8 = obligations, ...).
+    pub group: u32,
+    /// Structural index within the group.
+    pub index: u32,
+}
+
+impl Track {
+    /// First group reserved for racy, profile-only tracks.
+    pub const RACY_GROUPS: u32 = 240;
+
+    /// The main run track: phases recorded sequentially by the driver.
+    pub const RUN: Track = Track { group: 0, index: 0 };
+
+    /// Per-pipeline-stage synthesis cost events.
+    #[must_use]
+    pub fn stage(k: usize) -> Track {
+        Track {
+            group: 4,
+            index: k as u32,
+        }
+    }
+
+    /// Per-obligation verification events, indexed by obligation order.
+    #[must_use]
+    pub fn obligation(i: usize) -> Track {
+        Track {
+            group: 8,
+            index: i as u32,
+        }
+    }
+
+    /// Per-equivalence-task events, indexed by task order.
+    #[must_use]
+    pub fn equivalence(i: usize) -> Track {
+        Track {
+            group: 9,
+            index: i as u32,
+        }
+    }
+
+    /// Per-mutant soundness events, indexed by catalog order.
+    #[must_use]
+    pub fn mutant(i: usize) -> Track {
+        Track {
+            group: 10,
+            index: i as u32,
+        }
+    }
+
+    /// Clause-cache counters (0 = base cache, 1 = step cache).
+    #[must_use]
+    pub fn cache(i: usize) -> Track {
+        Track {
+            group: 12,
+            index: i as u32,
+        }
+    }
+
+    /// Per-pool-worker counters. Racy by construction: profile-only.
+    #[must_use]
+    pub fn pool(worker: usize) -> Track {
+        Track {
+            group: Self::RACY_GROUPS,
+            index: worker as u32,
+        }
+    }
+
+    /// True if this track may appear in the deterministic NDJSON sink.
+    #[must_use]
+    pub fn deterministic_eligible(self) -> bool {
+        self.group < Self::RACY_GROUPS
+    }
+}
+
+/// What shape of event this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A duration: something with a beginning and an end.
+    Span,
+    /// A point event.
+    Instant,
+    /// A sampled or final set of numeric values.
+    Counter,
+}
+
+impl EventKind {
+    /// Stable wire name used by both sinks.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Span => "span",
+            EventKind::Instant => "instant",
+            EventKind::Counter => "counter",
+        }
+    }
+
+    /// Inverse of [`EventKind::as_str`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<EventKind> {
+        match s {
+            "span" => Some(EventKind::Span),
+            "instant" => Some(EventKind::Instant),
+            "counter" => Some(EventKind::Counter),
+            _ => None,
+        }
+    }
+}
+
+/// An argument value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned counter (the common case for solver statistics).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Ratio or rate. Always rendered with a decimal point so the type
+    /// survives a writer → reader round trip.
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Short string (outcome names, file names).
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// Convenience constructor for an argument pair.
+#[must_use]
+pub fn a(key: &str, value: impl Into<Value>) -> (String, Value) {
+    (key.to_string(), value.into())
+}
+
+/// One recorded event. The in-memory superset of both sink schemas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Stable stream coordinate.
+    pub track: Track,
+    /// Per-track sequence number assigned at record time.
+    pub seq: u64,
+    /// Span / instant / counter.
+    pub kind: EventKind,
+    /// Category (subsystem): "phase", "obligation", "cache", "pool", ...
+    pub cat: String,
+    /// Event name within the category.
+    pub name: String,
+    /// Ordered key/value payload.
+    pub args: Vec<(String, Value)>,
+    /// False for events whose payload is racy; such events are
+    /// profile-only and never written to the NDJSON sink.
+    pub deterministic: bool,
+    /// Microseconds since the trace epoch (Chrome sink only).
+    pub ts_us: u64,
+    /// Span duration in microseconds (Chrome sink only).
+    pub dur_us: u64,
+    /// Thread lane (Chrome sink only); 0 is the recording main thread.
+    pub lane: u32,
+}
+
+struct Inner {
+    epoch: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+    seqs: Mutex<HashMap<Track, u64>>,
+    lanes: Mutex<HashMap<ThreadId, u32>>,
+}
+
+/// Handle through which events are recorded.
+///
+/// Cloning is cheap (`Arc`); a handle created with [`Trace::disabled`]
+/// ignores every record call. All methods take `&self` and are safe to
+/// call from pool workers.
+#[derive(Clone, Default)]
+pub struct Trace {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Trace {
+    /// An enabled trace with its epoch set to "now".
+    #[must_use]
+    pub fn new() -> Trace {
+        Trace {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                events: Mutex::new(Vec::new()),
+                seqs: Mutex::new(HashMap::new()),
+                lanes: Mutex::new(HashMap::new()),
+            })),
+        }
+    }
+
+    /// A no-op trace: every record call returns immediately.
+    #[must_use]
+    pub fn disabled() -> Trace {
+        Trace { inner: None }
+    }
+
+    /// True if events are being recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Microseconds since the trace epoch (0 when disabled).
+    #[must_use]
+    pub fn now_us(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.epoch.elapsed().as_micros() as u64,
+            None => 0,
+        }
+    }
+
+    fn lane(&self, inner: &Inner) -> u32 {
+        let id = std::thread::current().id();
+        let mut lanes = inner.lanes.lock().unwrap();
+        let next = lanes.len() as u32;
+        *lanes.entry(id).or_insert(next)
+    }
+
+    fn push(&self, mut ev: TraceEvent) {
+        let Some(inner) = &self.inner else { return };
+        ev.lane = self.lane(inner);
+        {
+            let mut seqs = inner.seqs.lock().unwrap();
+            let seq = seqs.entry(ev.track).or_insert(0);
+            ev.seq = *seq;
+            *seq += 1;
+        }
+        inner.events.lock().unwrap().push(ev);
+    }
+
+    /// Start a span; it records itself when dropped (or via
+    /// [`SpanGuard::end`]).
+    #[must_use]
+    pub fn span(&self, track: Track, cat: &str, name: &str) -> SpanGuard<'_> {
+        SpanGuard {
+            trace: self,
+            track,
+            cat: cat.to_string(),
+            name: name.to_string(),
+            args: Vec::new(),
+            deterministic: true,
+            t0_us: self.now_us(),
+            done: !self.is_enabled(),
+        }
+    }
+
+    /// Record a point event.
+    pub fn instant(&self, track: Track, cat: &str, name: &str, args: Vec<(String, Value)>) {
+        let ts = self.now_us();
+        self.push(TraceEvent {
+            track,
+            seq: 0,
+            kind: EventKind::Instant,
+            cat: cat.to_string(),
+            name: name.to_string(),
+            args,
+            deterministic: true,
+            ts_us: ts,
+            dur_us: 0,
+            lane: 0,
+        });
+    }
+
+    /// Record a deterministic counter sample (final or aggregate values
+    /// that are identical for any `-j`).
+    pub fn counter(&self, track: Track, cat: &str, name: &str, args: Vec<(String, Value)>) {
+        self.counter_event(track, cat, name, args, true);
+    }
+
+    /// Record a racy counter sample (queue depths, steal counts): kept in
+    /// the Chrome sink, excluded from NDJSON.
+    pub fn wall_counter(&self, track: Track, cat: &str, name: &str, args: Vec<(String, Value)>) {
+        self.counter_event(track, cat, name, args, false);
+    }
+
+    fn counter_event(
+        &self,
+        track: Track,
+        cat: &str,
+        name: &str,
+        args: Vec<(String, Value)>,
+        deterministic: bool,
+    ) {
+        let ts = self.now_us();
+        self.push(TraceEvent {
+            track,
+            seq: 0,
+            kind: EventKind::Counter,
+            cat: cat.to_string(),
+            name: name.to_string(),
+            args,
+            deterministic,
+            ts_us: ts,
+            dur_us: 0,
+            lane: 0,
+        });
+    }
+
+    /// Snapshot of all recorded events, in record order.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            Some(inner) => inner.events.lock().unwrap().clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Render the deterministic NDJSON sink.
+    #[must_use]
+    pub fn to_ndjson(&self) -> String {
+        ndjson::write(&self.events())
+    }
+
+    /// Render the Chrome trace-event JSON sink.
+    #[must_use]
+    pub fn to_chrome_json(&self) -> String {
+        chrome::write(&self.events())
+    }
+}
+
+/// RAII handle for an in-progress span. Records a [`EventKind::Span`]
+/// event on drop with the wall-clock duration measured at the recording
+/// site (NDJSON strips it; the Chrome sink keeps it).
+pub struct SpanGuard<'a> {
+    trace: &'a Trace,
+    track: Track,
+    cat: String,
+    name: String,
+    args: Vec<(String, Value)>,
+    deterministic: bool,
+    t0_us: u64,
+    done: bool,
+}
+
+impl SpanGuard<'_> {
+    /// Attach an argument to the span.
+    pub fn arg(&mut self, key: &str, value: impl Into<Value>) {
+        self.args.push((key.to_string(), value.into()));
+    }
+
+    /// Attach several arguments at once.
+    pub fn args(&mut self, args: Vec<(String, Value)>) {
+        self.args.extend(args);
+    }
+
+    /// Mark the span's payload as racy: it will be profile-only.
+    pub fn non_deterministic(&mut self) {
+        self.deterministic = false;
+    }
+
+    /// End the span now instead of at scope exit.
+    pub fn end(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        let dur = self.trace.now_us().saturating_sub(self.t0_us);
+        self.trace.push(TraceEvent {
+            track: self.track,
+            seq: 0,
+            kind: EventKind::Span,
+            cat: std::mem::take(&mut self.cat),
+            name: std::mem::take(&mut self.name),
+            args: std::mem::take(&mut self.args),
+            deterministic: self.deterministic,
+            ts_us: self.t0_us,
+            dur_us: dur,
+            lane: 0,
+        });
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let t = Trace::disabled();
+        let mut s = t.span(Track::RUN, "phase", "noop");
+        s.arg("x", 1u64);
+        drop(s);
+        t.counter(Track::cache(0), "cache", "base", vec![a("requests", 3u64)]);
+        assert!(!t.is_enabled());
+        assert!(t.events().is_empty());
+        assert_eq!(t.to_ndjson(), "");
+    }
+
+    #[test]
+    fn seq_numbers_are_per_track() {
+        let t = Trace::new();
+        t.instant(Track::RUN, "phase", "a", vec![]);
+        t.instant(Track::obligation(0), "obligation", "b", vec![]);
+        t.instant(Track::RUN, "phase", "c", vec![]);
+        let evs = t.events();
+        assert_eq!(evs[0].seq, 0);
+        assert_eq!(evs[1].seq, 0);
+        assert_eq!(evs[2].seq, 1);
+    }
+
+    #[test]
+    fn span_guard_records_once() {
+        let t = Trace::new();
+        let mut s = t.span(Track::RUN, "phase", "p");
+        s.arg("n", 7u64);
+        s.end();
+        assert_eq!(t.events().len(), 1);
+        let ev = &t.events()[0];
+        assert_eq!(ev.kind, EventKind::Span);
+        assert_eq!(ev.args, vec![a("n", 7u64)]);
+    }
+
+    #[test]
+    fn racy_tracks_are_marked() {
+        assert!(Track::RUN.deterministic_eligible());
+        assert!(Track::obligation(3).deterministic_eligible());
+        assert!(!Track::pool(0).deterministic_eligible());
+    }
+}

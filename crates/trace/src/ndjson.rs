@@ -1,0 +1,514 @@
+//! Deterministic NDJSON sink: writer and reader.
+//!
+//! One event per line, fields in a fixed order:
+//!
+//! ```text
+//! {"v":1,"lc":12,"track":[8,3],"seq":0,"k":"span","cat":"obligation","name":"UE.2","args":{"conflicts":41}}
+//! ```
+//!
+//! The writer drops every event that is racy (`deterministic == false` or
+//! a track in a racy group), sorts the rest by `(track, seq)`, and assigns
+//! the logical clock `lc` from the sorted position. Wall-clock fields are
+//! never written, so the output is byte-identical for any `-j`.
+//!
+//! The reader parses exactly this schema back into [`TraceEvent`]s with
+//! `seq` restored from the file, which makes write → read → write the
+//! identity on bytes (the schema-stability property the golden tests pin).
+
+use crate::{EventKind, TraceEvent, Track, Value};
+
+/// Schema version stamped on every line.
+pub const VERSION: u64 = 1;
+
+/// RFC 8259 string escaping (same dialect as the analyzer's JSON output).
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_value(v: &Value, out: &mut String) {
+    match v {
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => {
+            // Always keep a decimal point so the reader restores F64
+            // rather than an integer type.
+            if !f.is_finite() {
+                out.push_str("0.0");
+            } else if f.fract() == 0.0 && f.abs() < 1e15 {
+                out.push_str(&format!("{f:.1}"));
+            } else {
+                out.push_str(&format!("{f}"));
+            }
+        }
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Str(s) => {
+            out.push('"');
+            out.push_str(&escape(s));
+            out.push('"');
+        }
+    }
+}
+
+fn render_line(lc: u64, ev: &TraceEvent, out: &mut String) {
+    out.push_str(&format!(
+        "{{\"v\":{VERSION},\"lc\":{lc},\"track\":[{},{}],\"seq\":{},\"k\":\"{}\",\"cat\":\"{}\",\"name\":\"{}\",\"args\":{{",
+        ev.track.group,
+        ev.track.index,
+        ev.seq,
+        ev.kind.as_str(),
+        escape(&ev.cat),
+        escape(&ev.name),
+    ));
+    for (i, (k, v)) in ev.args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&escape(k));
+        out.push_str("\":");
+        render_value(v, out);
+    }
+    out.push_str("}}\n");
+}
+
+/// Render the deterministic subset of `events` as NDJSON.
+#[must_use]
+pub fn write(events: &[TraceEvent]) -> String {
+    let mut det: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|e| e.deterministic && e.track.deterministic_eligible())
+        .collect();
+    det.sort_by_key(|e| (e.track, e.seq));
+    let mut out = String::new();
+    for (lc, ev) in det.iter().enumerate() {
+        render_line(lc as u64, ev, &mut out);
+    }
+    out
+}
+
+/// Error from [`read`], with the 1-based line it occurred on.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse NDJSON produced by [`write`] back into events.
+///
+/// Restored events carry `deterministic = true` and zeroed wall-clock
+/// fields; `seq` comes from the file, so re-writing reproduces the input
+/// byte for byte.
+pub fn read(text: &str) -> Result<Vec<TraceEvent>, ParseError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let json = parse_json(line).map_err(|message| ParseError {
+            line: i + 1,
+            message,
+        })?;
+        out.push(event_of_json(&json).map_err(|message| ParseError {
+            line: i + 1,
+            message,
+        })?);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON value model + recursive-descent parser (no dependencies).
+// ---------------------------------------------------------------------
+
+/// Parsed JSON value. Only what the trace schema needs.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Obj(Vec<(String, Json)>),
+    Arr(Vec<Json>),
+    Str(String),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Null,
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(v)
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected byte at offset {}", self.pos)),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad keyword at offset {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err("truncated \\u escape".to_string());
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            // Surrogates never appear in our own output;
+                            // map unpaired ones to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err("bad escape".to_string()),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8".to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid number".to_string())?;
+        if float {
+            text.parse::<f64>()
+                .map(Json::F64)
+                .map_err(|_| format!("bad float '{text}'"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Json::I64)
+                .map_err(|_| format!("bad integer '{text}'"))
+        } else {
+            text.parse::<u64>()
+                .map(Json::U64)
+                .map_err(|_| format!("bad integer '{text}'"))
+        }
+    }
+}
+
+fn event_of_json(json: &Json) -> Result<TraceEvent, String> {
+    let track = match json.get("track") {
+        Some(Json::Arr(items)) if items.len() == 2 => Track {
+            group: items[0].as_u64().ok_or("bad track group")? as u32,
+            index: items[1].as_u64().ok_or("bad track index")? as u32,
+        },
+        _ => return Err("missing track".to_string()),
+    };
+    let seq = json
+        .get("seq")
+        .and_then(Json::as_u64)
+        .ok_or("missing seq")?;
+    let kind = json
+        .get("k")
+        .and_then(Json::as_str)
+        .and_then(EventKind::parse)
+        .ok_or("missing or unknown event kind")?;
+    let cat = json
+        .get("cat")
+        .and_then(Json::as_str)
+        .ok_or("missing cat")?
+        .to_string();
+    let name = json
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("missing name")?
+        .to_string();
+    let mut args = Vec::new();
+    match json.get("args") {
+        Some(Json::Obj(fields)) => {
+            for (k, v) in fields {
+                let value = match v {
+                    Json::U64(n) => Value::U64(*n),
+                    Json::I64(n) => Value::I64(*n),
+                    Json::F64(f) => Value::F64(*f),
+                    Json::Bool(b) => Value::Bool(*b),
+                    Json::Str(s) => Value::Str(s.clone()),
+                    _ => return Err(format!("unsupported arg value for '{k}'")),
+                };
+                args.push((k.clone(), value));
+            }
+        }
+        _ => return Err("missing args".to_string()),
+    }
+    Ok(TraceEvent {
+        track,
+        seq,
+        kind,
+        cat,
+        name,
+        args,
+        deterministic: true,
+        ts_us: 0,
+        dur_us: 0,
+        lane: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::a;
+
+    #[test]
+    fn writer_sorts_by_track_and_filters_racy() {
+        let evs = vec![
+            TraceEvent {
+                track: Track::obligation(1),
+                seq: 0,
+                kind: EventKind::Span,
+                cat: "obligation".into(),
+                name: "b".into(),
+                args: vec![],
+                deterministic: true,
+                ts_us: 99,
+                dur_us: 5,
+                lane: 3,
+            },
+            TraceEvent {
+                track: Track::pool(0),
+                seq: 0,
+                kind: EventKind::Counter,
+                cat: "pool".into(),
+                name: "w0".into(),
+                args: vec![a("steals", 2u64)],
+                deterministic: false,
+                ts_us: 1,
+                dur_us: 0,
+                lane: 1,
+            },
+            TraceEvent {
+                track: Track::RUN,
+                seq: 0,
+                kind: EventKind::Instant,
+                cat: "phase".into(),
+                name: "a".into(),
+                args: vec![],
+                deterministic: true,
+                ts_us: 0,
+                dur_us: 0,
+                lane: 0,
+            },
+        ];
+        let text = write(&evs);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(
+            lines[0].contains("\"name\":\"a\""),
+            "run track sorts first: {}",
+            lines[0]
+        );
+        assert!(lines[1].contains("\"name\":\"b\""));
+        assert!(!text.contains("steals"), "racy events are excluded");
+        assert!(!text.contains("\"ts\""), "no wall-clock in NDJSON");
+    }
+
+    #[test]
+    fn reader_rejects_garbage() {
+        assert!(read("{\"not\":\"a trace\"}").is_err());
+        assert!(read("nonsense").is_err());
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        let s = "a\"b\\c\nd\te\u{1}f";
+        let line = format!("\"{}\"", escape(s));
+        let parsed = parse_json(&line).unwrap();
+        assert_eq!(parsed, Json::Str(s.to_string()));
+    }
+}

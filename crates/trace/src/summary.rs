@@ -1,0 +1,327 @@
+//! Human summaries of a recorded run: the engine behind `autopipe trace`.
+//!
+//! Works off the deterministic event stream (either a live [`crate::Trace`]
+//! snapshot or events re-read from an NDJSON file), so the rendered text is
+//! itself byte-deterministic for a given trace.
+
+use crate::{EventKind, TraceEvent, Value};
+
+/// Fetch an unsigned argument by key.
+#[must_use]
+pub fn arg_u64(ev: &TraceEvent, key: &str) -> Option<u64> {
+    ev.args
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) => u64::try_from(*n).ok(),
+            _ => None,
+        })
+}
+
+/// Fetch a string argument by key.
+#[must_use]
+pub fn arg_str<'a>(ev: &'a TraceEvent, key: &str) -> Option<&'a str> {
+    ev.args
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        })
+}
+
+fn sorted(events: &[TraceEvent]) -> Vec<&TraceEvent> {
+    let mut evs: Vec<&TraceEvent> = events.iter().collect();
+    evs.sort_by_key(|e| (e.track, e.seq));
+    evs
+}
+
+/// Render the full human summary: event counts, phase list, the
+/// hot-obligation table, clause-cache summary, and (when present)
+/// per-mutant and equivalence sections.
+#[must_use]
+pub fn summarize(events: &[TraceEvent]) -> String {
+    let evs = sorted(events);
+    let mut out = String::new();
+
+    let spans = evs.iter().filter(|e| e.kind == EventKind::Span).count();
+    let instants = evs.iter().filter(|e| e.kind == EventKind::Instant).count();
+    let counters = evs.iter().filter(|e| e.kind == EventKind::Counter).count();
+    out.push_str(&format!(
+        "trace summary: {} events ({} spans, {} instants, {} counters)\n",
+        evs.len(),
+        spans,
+        instants,
+        counters
+    ));
+
+    let phases: Vec<&str> = evs
+        .iter()
+        .filter(|e| e.kind == EventKind::Span && e.cat == "phase")
+        .map(|e| e.name.as_str())
+        .collect();
+    if !phases.is_empty() {
+        out.push_str(&format!("phases: {}\n", phases.join(" -> ")));
+    }
+
+    let obligations: Vec<&TraceEvent> = evs
+        .iter()
+        .copied()
+        .filter(|e| e.kind == EventKind::Span && e.cat == "obligation")
+        .collect();
+    if !obligations.is_empty() {
+        out.push('\n');
+        out.push_str(&hot_obligation_table(&obligations));
+    }
+
+    let stages: Vec<&TraceEvent> = evs
+        .iter()
+        .copied()
+        .filter(|e| e.kind == EventKind::Counter && e.cat == "stage")
+        .collect();
+    if !stages.is_empty() {
+        out.push('\n');
+        out.push_str(&stage_table(&stages));
+    }
+
+    let caches: Vec<&TraceEvent> = evs
+        .iter()
+        .copied()
+        .filter(|e| e.kind == EventKind::Counter && e.cat == "cache")
+        .collect();
+    if !caches.is_empty() {
+        out.push('\n');
+        out.push_str(&cache_table(&caches));
+    }
+
+    let mutants: Vec<&TraceEvent> = evs
+        .iter()
+        .copied()
+        .filter(|e| e.kind == EventKind::Span && e.cat == "mutant")
+        .collect();
+    if !mutants.is_empty() {
+        out.push('\n');
+        out.push_str(&mutant_table(&mutants));
+    }
+
+    let equiv: Vec<&TraceEvent> = evs
+        .iter()
+        .copied()
+        .filter(|e| e.kind == EventKind::Span && e.cat == "equivalence")
+        .collect();
+    if !equiv.is_empty() {
+        out.push('\n');
+        out.push_str(&format!("equivalence tasks: {}\n", equiv.len()));
+    }
+
+    out
+}
+
+fn hot_obligation_table(obligations: &[&TraceEvent]) -> String {
+    let mut rows: Vec<(&TraceEvent, u64, u64)> = obligations
+        .iter()
+        .map(|e| {
+            (
+                *e,
+                arg_u64(e, "conflicts").unwrap_or(0),
+                arg_u64(e, "decisions").unwrap_or(0),
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.1.cmp(&a.1)
+            .then(b.2.cmp(&a.2))
+            .then(a.0.name.cmp(&b.0.name))
+    });
+
+    let name_w = rows
+        .iter()
+        .map(|(e, _, _)| e.name.len())
+        .max()
+        .unwrap_or(10)
+        .max(10);
+    let mut out = String::new();
+    out.push_str("hot obligations (by SAT conflicts)\n");
+    out.push_str(&format!(
+        "  {:<name_w$} {:>10} {:>9} {:>9} {:>12} {:>8} {:>7} {:>8}\n",
+        "obligation",
+        "outcome",
+        "conflicts",
+        "decisions",
+        "propagations",
+        "restarts",
+        "learnt",
+        "attempts"
+    ));
+    for (ev, conflicts, decisions) in &rows {
+        out.push_str(&format!(
+            "  {:<name_w$} {:>10} {:>9} {:>9} {:>12} {:>8} {:>7} {:>8}\n",
+            ev.name,
+            arg_str(ev, "outcome").unwrap_or("?"),
+            conflicts,
+            decisions,
+            arg_u64(ev, "propagations").unwrap_or(0),
+            arg_u64(ev, "restarts").unwrap_or(0),
+            arg_u64(ev, "learnt").unwrap_or(0),
+            arg_u64(ev, "attempts").unwrap_or(1),
+        ));
+    }
+    out
+}
+
+fn stage_table(stages: &[&TraceEvent]) -> String {
+    let mut out = String::new();
+    out.push_str("per-stage hazard hardware\n");
+    out.push_str(&format!(
+        "  {:<10} {:>8} {:>10} {:>6} {:>13} {:>10} {:>8}\n",
+        "stage", "forwards", "interlocks", "hits", "control gates", "stall lvl", "ue lvl"
+    ));
+    for ev in stages {
+        out.push_str(&format!(
+            "  {:<10} {:>8} {:>10} {:>6} {:>13} {:>10} {:>8}\n",
+            ev.name,
+            arg_u64(ev, "forward_paths").unwrap_or(0),
+            arg_u64(ev, "interlock_paths").unwrap_or(0),
+            arg_u64(ev, "hit_signals").unwrap_or(0),
+            arg_u64(ev, "control_gates").unwrap_or(0),
+            arg_u64(ev, "stall_levels").unwrap_or(0),
+            arg_u64(ev, "ue_levels").unwrap_or(0),
+        ));
+    }
+    out
+}
+
+fn cache_table(caches: &[&TraceEvent]) -> String {
+    let mut out = String::new();
+    out.push_str("clause-cache summary\n");
+    out.push_str(&format!(
+        "  {:<8} {:>10} {:>10} {:>10} {:>9}\n",
+        "cache", "requests", "encoded", "hits", "hit rate"
+    ));
+    for ev in caches {
+        let requests = arg_u64(ev, "requests").unwrap_or(0);
+        let encoded = arg_u64(ev, "encoded").unwrap_or(0);
+        let hits = requests.saturating_sub(encoded);
+        let rate = if requests > 0 {
+            hits as f64 / requests as f64 * 100.0
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "  {:<8} {:>10} {:>10} {:>10} {:>8.1}%\n",
+            ev.name, requests, encoded, hits, rate
+        ));
+    }
+    out
+}
+
+fn mutant_table(mutants: &[&TraceEvent]) -> String {
+    let mut out = String::new();
+    out.push_str("mutants\n");
+    let name_w = mutants
+        .iter()
+        .map(|e| e.name.len())
+        .max()
+        .unwrap_or(6)
+        .max(6);
+    out.push_str(&format!(
+        "  {:<name_w$} {:>8}  {}\n",
+        "mutant", "result", "channel"
+    ));
+    for ev in mutants {
+        let killed = matches!(
+            ev.args.iter().find(|(k, _)| k == "killed"),
+            Some((_, Value::Bool(true)))
+        );
+        out.push_str(&format!(
+            "  {:<name_w$} {:>8}  {}\n",
+            ev.name,
+            if killed { "KILLED" } else { "SURVIVED" },
+            arg_str(ev, "channel").unwrap_or("-"),
+        ));
+    }
+    out
+}
+
+/// Render folded-stack lines (`inferno` / `flamegraph.pl` input).
+///
+/// The deterministic sink carries no wall-clock, so span weight is the
+/// solver's `propagations` counter when present (a faithful proxy for SAT
+/// work), falling back to the recorded duration for live traces and to 1
+/// for everything else.
+#[must_use]
+pub fn folded(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in sorted(events) {
+        if ev.kind != EventKind::Span {
+            continue;
+        }
+        let weight = arg_u64(ev, "propagations")
+            .or(if ev.dur_us > 0 { Some(ev.dur_us) } else { None })
+            .unwrap_or(1);
+        if ev.cat == "phase" {
+            out.push_str(&format!("autopipe;{} {}\n", ev.name, weight));
+        } else {
+            out.push_str(&format!("autopipe;{};{} {}\n", ev.cat, ev.name, weight));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{a, Trace, Track};
+
+    fn sample() -> Vec<TraceEvent> {
+        let t = Trace::new();
+        {
+            let mut s = t.span(Track::RUN, "phase", "obligations");
+            s.arg("count", 2u64);
+        }
+        {
+            let mut s = t.span(Track::obligation(0), "obligation", "UE.1");
+            s.args(vec![
+                a("outcome", "proved"),
+                a("conflicts", 5u64),
+                a("decisions", 9u64),
+                a("propagations", 120u64),
+            ]);
+        }
+        {
+            let mut s = t.span(Track::obligation(1), "obligation", "LIVE.2");
+            s.args(vec![
+                a("outcome", "proved"),
+                a("conflicts", 40u64),
+                a("decisions", 70u64),
+                a("propagations", 900u64),
+            ]);
+        }
+        t.counter(
+            Track::cache(0),
+            "cache",
+            "base",
+            vec![a("requests", 10u64), a("encoded", 4u64)],
+        );
+        t.events()
+    }
+
+    #[test]
+    fn summary_ranks_obligations_by_conflicts() {
+        let text = summarize(&sample());
+        assert!(text.contains("hot obligations (by SAT conflicts)"));
+        let live = text.find("LIVE.2").unwrap();
+        let ue = text.find("UE.1").unwrap();
+        assert!(live < ue, "higher-conflict obligation sorts first:\n{text}");
+        assert!(text.contains("clause-cache summary"));
+        assert!(text.contains("60.0%"), "hit rate 6/10:\n{text}");
+    }
+
+    #[test]
+    fn folded_uses_propagations_as_weight() {
+        let text = folded(&sample());
+        assert!(text.contains("autopipe;obligation;LIVE.2 900"));
+        assert!(text.contains("autopipe;obligations "));
+    }
+}

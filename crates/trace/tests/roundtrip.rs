@@ -1,0 +1,112 @@
+//! Schema-stability tests: every event kind and every value type must
+//! survive NDJSON write -> read -> write with byte-identical output.
+
+use autopipe_trace::{a, ndjson, EventKind, Trace, Track, Value};
+
+fn one_of_everything() -> Trace {
+    let t = Trace::new();
+    {
+        let mut s = t.span(Track::RUN, "phase", "parse");
+        s.arg("files", 1u64);
+        s.arg("offset", -3i64);
+        s.arg("ratio", 0.25f64);
+        s.arg("whole", 2.0f64);
+        s.arg("cached", true);
+        s.arg("file", "examples/programs/dlx.psm");
+    }
+    {
+        let mut s = t.span(Track::obligation(7), "obligation", "UE.3 \"quoted\"\n");
+        s.args(vec![a("outcome", "proved"), a("conflicts", u64::MAX)]);
+    }
+    t.instant(
+        Track::stage(2),
+        "synth.stage",
+        "stage 2",
+        vec![a("forward_paths", 4u64)],
+    );
+    t.counter(
+        Track::cache(1),
+        "cache",
+        "step",
+        vec![a("requests", 12u64), a("encoded", 5u64)],
+    );
+    // Racy events must vanish from the deterministic sink entirely.
+    t.wall_counter(Track::pool(3), "pool", "worker 3", vec![a("steals", 9u64)]);
+    {
+        let mut s = t.span(Track::RUN, "phase", "racy");
+        s.non_deterministic();
+    }
+    t
+}
+
+#[test]
+fn ndjson_round_trip_is_byte_identical() {
+    let t = one_of_everything();
+    let first = t.to_ndjson();
+    assert!(!first.is_empty());
+    let events = ndjson::read(&first).expect("own output parses");
+    let second = ndjson::write(&events);
+    assert_eq!(first, second, "write -> read -> write must be the identity");
+}
+
+#[test]
+fn round_trip_preserves_kinds_and_values() {
+    let t = one_of_everything();
+    let events = ndjson::read(&t.to_ndjson()).unwrap();
+
+    let span = events.iter().find(|e| e.name == "parse").unwrap();
+    assert_eq!(span.kind, EventKind::Span);
+    assert_eq!(span.track, Track::RUN);
+    let args: std::collections::HashMap<&str, &Value> =
+        span.args.iter().map(|(k, v)| (k.as_str(), v)).collect();
+    assert_eq!(args["files"], &Value::U64(1));
+    assert_eq!(args["offset"], &Value::I64(-3));
+    assert_eq!(args["ratio"], &Value::F64(0.25));
+    assert_eq!(
+        args["whole"],
+        &Value::F64(2.0),
+        "integral floats keep their type"
+    );
+    assert_eq!(args["cached"], &Value::Bool(true));
+    assert_eq!(
+        args["file"],
+        &Value::Str("examples/programs/dlx.psm".into())
+    );
+
+    let tricky = events
+        .iter()
+        .find(|e| e.track == Track::obligation(7))
+        .unwrap();
+    assert_eq!(tricky.name, "UE.3 \"quoted\"\n", "escaping round-trips");
+    assert_eq!(tricky.args[1].1, Value::U64(u64::MAX));
+
+    let inst = events
+        .iter()
+        .find(|e| e.kind == EventKind::Instant)
+        .unwrap();
+    assert_eq!(inst.cat, "synth.stage");
+    let ctr = events
+        .iter()
+        .find(|e| e.kind == EventKind::Counter)
+        .unwrap();
+    assert_eq!(ctr.name, "step");
+
+    assert!(
+        !events.iter().any(|e| e.cat == "pool" || e.name == "racy"),
+        "racy events never reach the deterministic sink"
+    );
+}
+
+#[test]
+fn logical_clock_is_dense_and_ordered() {
+    let t = one_of_everything();
+    let text = t.to_ndjson();
+    for (i, line) in text.lines().enumerate() {
+        assert!(
+            line.contains(&format!("\"lc\":{i},")),
+            "line {i} carries its logical clock: {line}"
+        );
+        assert!(!line.contains("\"ts\""), "no wall-clock in NDJSON: {line}");
+        assert!(!line.contains("\"dur\""), "no durations in NDJSON: {line}");
+    }
+}

@@ -13,14 +13,81 @@
 
 use crate::cnf::{apply_sign, tseitin_and};
 use crate::pool;
-use crate::sat::{Lit, SatResult, SolveBudget, Solver, Var};
+use crate::sat::{Lit, SatResult, SolveBudget, Solver, SolverStats, Var};
 use autopipe_hdl::aig::Aig;
 use autopipe_hdl::{AigLit, Netlist};
 use autopipe_synth::{Obligation, ObligationClass};
+use autopipe_trace::{a, Trace, Track};
 use std::collections::HashMap;
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Aggregated solver work for one obligation (or one bounded check),
+/// summed across retry attempts and over every solver the check used.
+///
+/// All counters except the wall-clock-adjacent `attempts` are
+/// deterministic for a given obligation under conflict-only budgets:
+/// every solver ingests identically numbered clauses from the shared
+/// [`ClauseCache`], so the CDCL trajectory is a pure function of the
+/// query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// SAT conflicts across all solve calls.
+    pub conflicts: u64,
+    /// Branching decisions.
+    pub decisions: u64,
+    /// Propagated literals.
+    pub propagations: u64,
+    /// Luby restarts.
+    pub restarts: u64,
+    /// Learnt clauses left in the solvers' databases.
+    pub learnt: u64,
+    /// Time frames ingested from the clause caches.
+    pub frames: u64,
+    /// Cached clauses ingested into private solvers.
+    pub clauses: u64,
+    /// Solve attempts (1 + conflict-budget escalation retries).
+    pub attempts: u64,
+}
+
+impl SolveStats {
+    /// Folds one solver's counters into the aggregate.
+    pub fn absorb(&mut self, s: SolverStats) {
+        self.conflicts += s.conflicts;
+        self.decisions += s.decisions;
+        self.propagations += s.propagations;
+        self.restarts += s.restarts;
+        self.learnt += s.learnt;
+    }
+
+    /// Folds another aggregate into this one (`attempts` included).
+    pub fn merge(&mut self, s: SolveStats) {
+        self.conflicts += s.conflicts;
+        self.decisions += s.decisions;
+        self.propagations += s.propagations;
+        self.restarts += s.restarts;
+        self.learnt += s.learnt;
+        self.frames += s.frames;
+        self.clauses += s.clauses;
+        self.attempts += s.attempts;
+    }
+
+    /// The stats as trace-event arguments, in a stable key order.
+    #[must_use]
+    pub fn trace_args(&self) -> Vec<(String, autopipe_trace::Value)> {
+        vec![
+            a("conflicts", self.conflicts),
+            a("decisions", self.decisions),
+            a("propagations", self.propagations),
+            a("restarts", self.restarts),
+            a("learnt", self.learnt),
+            a("frames", self.frames),
+            a("clauses", self.clauses),
+            a("attempts", self.attempts),
+        ]
+    }
+}
 
 /// Lazily encodes time frames of an AIG into a SAT solver.
 #[derive(Debug)]
@@ -161,6 +228,34 @@ pub struct ClauseCache<'a> {
     vars_per_frame: usize,
     latch_of_var: HashMap<u32, usize>,
     frames: Mutex<Vec<Arc<Vec<Vec<Lit>>>>>,
+    /// Frame lookups by unrollers (one per frame per unroller).
+    requests: AtomicU64,
+    /// Frames actually encoded (cache misses).
+    encoded: AtomicU64,
+}
+
+/// Hit/miss counters of a [`ClauseCache`].
+///
+/// `requests` counts frame ingests by unrollers, `encoded` the frames
+/// that had to be encoded (misses); hits are the difference. Both
+/// totals are deterministic for a fixed obligation batch even though
+/// *which* thread encodes a frame first is racy: every unroller
+/// requests exactly the frames its obligation needs, and the miss
+/// count equals the highest frame any obligation reached.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Frame ingest requests served.
+    pub requests: u64,
+    /// Frames encoded on a miss.
+    pub encoded: u64,
+}
+
+impl CacheStats {
+    /// Requests served without encoding.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.requests.saturating_sub(self.encoded)
+    }
 }
 
 impl<'a> ClauseCache<'a> {
@@ -179,12 +274,22 @@ impl<'a> ClauseCache<'a> {
                 .map(|(i, l)| (l.var, i))
                 .collect(),
             frames: Mutex::new(Vec::new()),
+            requests: AtomicU64::new(0),
+            encoded: AtomicU64::new(0),
         }
     }
 
     /// Whether frame-0 latches are free (step cache) or reset (base).
     pub fn free_init(&self) -> bool {
         self.free_init
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            encoded: self.encoded.load(Ordering::Relaxed),
+        }
     }
 
     /// SAT literal of AIG literal `l` at frame `t` under the cache's
@@ -206,10 +311,12 @@ impl<'a> ClauseCache<'a> {
     /// so a later retry (or another thread with time left) encodes the
     /// identical segment.
     fn frame(&self, t: usize, budget: &SolveBudget) -> Option<Arc<Vec<Vec<Lit>>>> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
         let mut frames = self.frames.lock().expect("cache poisoned");
         while frames.len() <= t {
             let ft = frames.len();
             frames.push(Arc::new(self.encode_frame(ft, budget)?));
+            self.encoded.fetch_add(1, Ordering::Relaxed);
         }
         Some(frames[t].clone())
     }
@@ -264,6 +371,7 @@ impl<'a> ClauseCache<'a> {
             solver: Solver::new(),
             loaded: 0,
             poisoned: false,
+            clauses_ingested: 0,
         }
     }
 }
@@ -279,6 +387,8 @@ pub struct CachedUnroller<'c, 'a> {
     /// Set when a bounded ingest was interrupted mid-frame: the solver
     /// is partially loaded and must not be queried or extended.
     poisoned: bool,
+    /// Cached clauses fed into the private solver.
+    clauses_ingested: u64,
 }
 
 impl CachedUnroller<'_, '_> {
@@ -311,6 +421,7 @@ impl CachedUnroller<'_, '_> {
                 }
                 self.solver.add_clause(c);
             }
+            self.clauses_ingested += seg.len() as u64;
             self.loaded += 1;
         }
         true
@@ -332,6 +443,19 @@ impl CachedUnroller<'_, '_> {
         } else {
             None
         }
+    }
+
+    /// The work this unroller performed: its solver's counters plus the
+    /// frames/clauses it ingested from the cache. `attempts` is 0 — the
+    /// retry loop, not the unroller, owns that count.
+    pub fn work(&self) -> SolveStats {
+        let mut stats = SolveStats {
+            frames: self.loaded as u64,
+            clauses: self.clauses_ingested,
+            ..SolveStats::default()
+        };
+        stats.absorb(self.solver.stats());
+        stats
     }
 }
 
@@ -468,16 +592,33 @@ pub fn bmc_invariant_bounded(
     depth: usize,
     budget: &SolveBudget,
 ) -> BmcOutcome {
+    bmc_invariant_bounded_stats(aig, prop, depth, budget, &mut SolveStats::default())
+}
+
+/// [`bmc_invariant_bounded`] that also accumulates the solver work
+/// into `stats` (used by the equivalence miters, which run on a lazy
+/// [`Unroller`] rather than a shared cache).
+pub fn bmc_invariant_bounded_stats(
+    aig: &Aig,
+    prop: AigLit,
+    depth: usize,
+    budget: &SolveBudget,
+    stats: &mut SolveStats,
+) -> BmcOutcome {
     let mut unroller = Unroller::new(aig, false);
-    for t in 0..=depth {
-        let p = unroller.lit(t, prop);
-        match unroller.solver.solve_bounded(&[p.not()], budget) {
-            SatResult::Sat => return BmcOutcome::Violated { frame: t },
-            SatResult::Interrupted => return BmcOutcome::TimedOut,
-            SatResult::Unsat => {}
+    let outcome = 'check: {
+        for t in 0..=depth {
+            let p = unroller.lit(t, prop);
+            match unroller.solver.solve_bounded(&[p.not()], budget) {
+                SatResult::Sat => break 'check BmcOutcome::Violated { frame: t },
+                SatResult::Interrupted => break 'check BmcOutcome::TimedOut,
+                SatResult::Unsat => {}
+            }
         }
-    }
-    BmcOutcome::BoundedOk { depth }
+        BmcOutcome::BoundedOk { depth }
+    };
+    stats.absorb(unroller.solver.stats());
+    outcome
 }
 
 /// [`bmc_invariant`] on a shared clause cache (must be a reset-state
@@ -493,19 +634,35 @@ pub fn bmc_invariant_cached_bounded(
     depth: usize,
     budget: &SolveBudget,
 ) -> BmcOutcome {
+    bmc_invariant_cached_bounded_stats(cache, prop, depth, budget, &mut SolveStats::default())
+}
+
+/// [`bmc_invariant_cached_bounded`] that also accumulates the solver
+/// work into `stats`.
+pub fn bmc_invariant_cached_bounded_stats(
+    cache: &ClauseCache<'_>,
+    prop: AigLit,
+    depth: usize,
+    budget: &SolveBudget,
+    stats: &mut SolveStats,
+) -> BmcOutcome {
     debug_assert!(!cache.free_init(), "BMC needs reset initial states");
     let mut u = cache.unroller();
-    for t in 0..=depth {
-        let Some(p) = u.try_lit(t, prop, budget) else {
-            return BmcOutcome::TimedOut;
-        };
-        match u.solver.solve_bounded(&[p.not()], budget) {
-            SatResult::Sat => return BmcOutcome::Violated { frame: t },
-            SatResult::Interrupted => return BmcOutcome::TimedOut,
-            SatResult::Unsat => {}
+    let outcome = 'check: {
+        for t in 0..=depth {
+            let Some(p) = u.try_lit(t, prop, budget) else {
+                break 'check BmcOutcome::TimedOut;
+            };
+            match u.solver.solve_bounded(&[p.not()], budget) {
+                SatResult::Sat => break 'check BmcOutcome::Violated { frame: t },
+                SatResult::Interrupted => break 'check BmcOutcome::TimedOut,
+                SatResult::Unsat => {}
+            }
         }
-    }
-    BmcOutcome::BoundedOk { depth }
+        BmcOutcome::BoundedOk { depth }
+    };
+    stats.merge(u.work());
+    outcome
 }
 
 /// [`kinduction`] on shared clause caches. Unlike the classic
@@ -532,28 +689,45 @@ pub fn kinduction_cached_bounded(
     max_k: usize,
     budget: &SolveBudget,
 ) -> BmcOutcome {
+    kinduction_cached_bounded_stats(base, step, prop, max_k, budget, &mut SolveStats::default())
+}
+
+/// [`kinduction_cached_bounded`] that also accumulates the solver work
+/// (base case + induction step) into `stats`.
+pub fn kinduction_cached_bounded_stats(
+    base: &ClauseCache<'_>,
+    step: &ClauseCache<'_>,
+    prop: AigLit,
+    max_k: usize,
+    budget: &SolveBudget,
+    stats: &mut SolveStats,
+) -> BmcOutcome {
     debug_assert!(step.free_init(), "induction steps need free states");
-    match bmc_invariant_cached_bounded(base, prop, max_k, budget) {
+    match bmc_invariant_cached_bounded_stats(base, prop, max_k, budget, stats) {
         BmcOutcome::Violated { frame } => return BmcOutcome::Violated { frame },
         BmcOutcome::TimedOut => return BmcOutcome::TimedOut,
         _ => {}
     }
     let mut u = step.unroller();
     let mut assumed: Vec<Lit> = Vec::new();
-    for k in 0..=max_k {
-        let Some(goal) = u.try_lit(k, prop, budget) else {
-            return BmcOutcome::TimedOut;
-        };
-        let mut q = assumed.clone();
-        q.push(goal.not());
-        match u.solver.solve_bounded(&q, budget) {
-            SatResult::Unsat => return BmcOutcome::Proved { k },
-            SatResult::Interrupted => return BmcOutcome::TimedOut,
-            SatResult::Sat => {}
+    let outcome = 'check: {
+        for k in 0..=max_k {
+            let Some(goal) = u.try_lit(k, prop, budget) else {
+                break 'check BmcOutcome::TimedOut;
+            };
+            let mut q = assumed.clone();
+            q.push(goal.not());
+            match u.solver.solve_bounded(&q, budget) {
+                SatResult::Unsat => break 'check BmcOutcome::Proved { k },
+                SatResult::Interrupted => break 'check BmcOutcome::TimedOut,
+                SatResult::Sat => {}
+            }
+            assumed.push(goal);
         }
-        assumed.push(goal);
-    }
-    BmcOutcome::BoundedOk { depth: max_k }
+        BmcOutcome::BoundedOk { depth: max_k }
+    };
+    stats.merge(u.work());
+    outcome
 }
 
 /// 0-induction over a shared free-state cache: `prop` holds in every
@@ -562,14 +736,21 @@ fn kinduction_comb_cached(
     step: &ClauseCache<'_>,
     prop: AigLit,
     budget: &SolveBudget,
+    stats: &mut SolveStats,
 ) -> Option<bool> {
     let mut u = step.unroller();
-    let p = u.try_lit(0, prop, budget)?;
-    match u.solver.solve_bounded(&[p.not()], budget) {
-        SatResult::Unsat => Some(true),
-        SatResult::Sat => Some(false),
-        SatResult::Interrupted => None,
-    }
+    let out = 'check: {
+        let Some(p) = u.try_lit(0, prop, budget) else {
+            break 'check None;
+        };
+        match u.solver.solve_bounded(&[p.not()], budget) {
+            SatResult::Unsat => Some(true),
+            SatResult::Sat => Some(false),
+            SatResult::Interrupted => None,
+        }
+    };
+    stats.merge(u.work());
+    out
 }
 
 /// Report for one discharged obligation.
@@ -585,6 +766,8 @@ pub struct ObligationReport {
     /// Timing is reported out-of-band (the deterministic report text
     /// never includes it).
     pub micros: u128,
+    /// Aggregated solver work behind the verdict (all attempts).
+    pub stats: SolveStats,
 }
 
 impl ObligationReport {
@@ -725,6 +908,48 @@ pub fn check_obligations_bounded(
     jobs: usize,
     budget: &ObligationBudget,
 ) -> Result<Vec<ObligationReport>, autopipe_hdl::HdlError> {
+    check_obligations_traced(
+        netlist,
+        obligations,
+        max_k,
+        jobs,
+        budget,
+        &Trace::disabled(),
+    )
+}
+
+/// How an outcome is named in trace events and tables.
+#[must_use]
+pub fn outcome_name(outcome: BmcOutcome) -> &'static str {
+    match outcome {
+        BmcOutcome::Proved { .. } => "proved",
+        BmcOutcome::BoundedOk { .. } => "bounded",
+        BmcOutcome::Violated { .. } => "violated",
+        BmcOutcome::TimedOut => "timed_out",
+    }
+}
+
+/// [`check_obligations_bounded`] that also records telemetry into
+/// `trace`: one span per obligation (on [`Track::obligation`], carrying
+/// the outcome and the [`SolveStats`] counters), a `phase` span for the
+/// whole batch, and one `cache` counter event per clause cache.
+///
+/// With a disabled trace this *is* `check_obligations_bounded`. All
+/// deterministic event payloads are identical for any `jobs`; only the
+/// wall-clock fields of the profile sink vary.
+///
+/// # Errors
+///
+/// Propagates AIG lowering errors.
+pub fn check_obligations_traced(
+    netlist: &Netlist,
+    obligations: &[Obligation],
+    max_k: usize,
+    jobs: usize,
+    budget: &ObligationBudget,
+    trace: &Trace,
+) -> Result<Vec<ObligationReport>, autopipe_hdl::HdlError> {
+    let mut phase = trace.span(Track::RUN, "phase", "obligations");
     let lowered = autopipe_hdl::aig::lower(netlist)?;
     let base = ClauseCache::new(&lowered.aig, false);
     let step = ClauseCache::new(&lowered.aig, true);
@@ -735,22 +960,26 @@ pub fn check_obligations_bounded(
         cancel: budget.cancel.clone(),
     };
     let names: Vec<&Obligation> = obligations.iter().collect();
-    Ok(pool::run_tasks_cancellable(
+    let reports = pool::run_tasks_traced(
         jobs,
         obligations
             .iter()
-            .map(|ob| {
+            .enumerate()
+            .map(|(idx, ob)| {
                 let walls = walls.clone();
                 let lowered = &lowered;
                 let base = &base;
                 let step = &step;
                 move || {
                     let t0 = Instant::now();
+                    let mut span = trace.span(Track::obligation(idx), "obligation", &ob.name);
                     let prop = lowered.net_lits(ob.net)[0];
                     // Retry with an escalating conflict budget until a
                     // verdict lands or the wall-clock bounds fire.
                     let mut conflicts = budget.initial_conflicts;
+                    let mut stats = SolveStats::default();
                     let outcome = loop {
+                        stats.attempts += 1;
                         let attempt = SolveBudget {
                             max_conflicts: conflicts,
                             ..walls.clone()
@@ -760,17 +989,17 @@ pub fn check_obligations_bounded(
                                 // Tautology over arbitrary (even
                                 // unreachable) states; fall back to
                                 // reachable-state induction otherwise.
-                                match kinduction_comb_cached(step, prop, &attempt) {
+                                match kinduction_comb_cached(step, prop, &attempt, &mut stats) {
                                     Some(true) => BmcOutcome::Proved { k: 0 },
-                                    Some(false) => {
-                                        kinduction_cached_bounded(base, step, prop, max_k, &attempt)
-                                    }
+                                    Some(false) => kinduction_cached_bounded_stats(
+                                        base, step, prop, max_k, &attempt, &mut stats,
+                                    ),
                                     None => BmcOutcome::TimedOut,
                                 }
                             }
-                            ObligationClass::Inductive => {
-                                kinduction_cached_bounded(base, step, prop, max_k, &attempt)
-                            }
+                            ObligationClass::Inductive => kinduction_cached_bounded_stats(
+                                base, step, prop, max_k, &attempt, &mut stats,
+                            ),
                         };
                         if outcome != BmcOutcome::TimedOut || walls.out_of_time() {
                             break outcome;
@@ -784,11 +1013,21 @@ pub fn check_obligations_bounded(
                             None => break BmcOutcome::TimedOut,
                         }
                     };
+                    span.arg("outcome", outcome_name(outcome));
+                    match outcome {
+                        BmcOutcome::Proved { k } => span.arg("k", k),
+                        BmcOutcome::BoundedOk { depth } => span.arg("depth", depth),
+                        BmcOutcome::Violated { frame } => span.arg("frame", frame),
+                        BmcOutcome::TimedOut => {}
+                    }
+                    span.args(stats.trace_args());
+                    span.end();
                     ObligationReport {
                         name: ob.name.clone(),
                         class: ob.class,
                         outcome,
                         micros: t0.elapsed().as_micros(),
+                        stats,
                     }
                 }
             })
@@ -799,8 +1038,34 @@ pub fn check_obligations_bounded(
             class: names[i].class,
             outcome: BmcOutcome::TimedOut,
             micros: 0,
+            stats: SolveStats::default(),
         },
-    ))
+        trace,
+        "obligations",
+    );
+    for (i, (name, cache)) in [("base", &base), ("step", &step)].iter().enumerate() {
+        let stats = cache.stats();
+        trace.counter(
+            Track::cache(i),
+            "cache",
+            name,
+            vec![
+                a("requests", stats.requests),
+                a("encoded", stats.encoded),
+                a("hits", stats.hits()),
+            ],
+        );
+    }
+    let proved = reports
+        .iter()
+        .filter(|r| matches!(r.outcome, BmcOutcome::Proved { .. }))
+        .count();
+    let timed_out = reports.iter().filter(|r| r.timed_out()).count();
+    phase.arg("count", reports.len());
+    phase.arg("proved", proved);
+    phase.arg("timed_out", timed_out);
+    phase.end();
+    Ok(reports)
 }
 
 #[cfg(test)]

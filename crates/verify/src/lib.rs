@@ -54,8 +54,9 @@ pub mod sat;
 pub mod soundness;
 
 pub use bmc::{
-    check_obligations, check_obligations_bounded, check_obligations_jobs, BmcOutcome, BmcResult,
-    ClauseCache, ObligationBudget, ObligationReport,
+    check_obligations, check_obligations_bounded, check_obligations_jobs, check_obligations_traced,
+    outcome_name, BmcOutcome, BmcResult, CacheStats, ClauseCache, ObligationBudget,
+    ObligationReport, SolveStats,
 };
 pub use cex::{minimize_trace, replay_trace, write_vcd_witness};
 pub use cosim::{ConsistencyError, Cosim, CosimStats};
@@ -63,6 +64,11 @@ pub use equiv::{
     fuzz_property, lockstep_miter, netlist_miter, retirement_miter, simulate_property, MiterError,
 };
 pub use error::VerifyError;
-pub use report::{verify_machine, VerificationReport, VerifySettings, VerifyTimings};
-pub use sat::{Lit, SatResult, SolveBudget, Solver, Var};
-pub use soundness::{run_soundness, KillChannel, MutantResult, SoundnessReport, SoundnessSettings};
+pub use report::{
+    verify_machine, verify_machine_traced, VerificationReport, VerifySettings, VerifyTimings,
+};
+pub use sat::{Lit, SatResult, SolveBudget, Solver, SolverStats, Var};
+pub use soundness::{
+    run_soundness, run_soundness_traced, KillChannel, MutantResult, SoundnessReport,
+    SoundnessSettings,
+};

@@ -18,6 +18,7 @@
 //! and result slots are `Mutex`-protected, which is noise next to the
 //! seconds-long SAT calls the tasks perform.
 
+use autopipe_trace::{a, Trace, Track};
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
@@ -77,6 +78,37 @@ where
     C: Fn() -> bool + Sync,
     G: Fn(usize) -> T + Sync,
 {
+    run_tasks_traced(
+        jobs,
+        tasks,
+        should_stop,
+        fallback,
+        &Trace::disabled(),
+        "pool",
+    )
+}
+
+/// [`run_tasks_cancellable`] that also records pool telemetry into
+/// `trace`: per-worker counter events on [`Track::pool`] with the
+/// number of tasks each worker ran, how many it stole, and the depth
+/// of its own queue when it first ran dry. These counters depend on
+/// the scheduler's interleaving, so they are recorded as racy events —
+/// the Chrome/Perfetto profile shows them, the deterministic NDJSON
+/// sink never does. `label` names the batch in the event payload.
+pub fn run_tasks_traced<T, F, C, G>(
+    jobs: usize,
+    tasks: Vec<F>,
+    should_stop: C,
+    fallback: G,
+    trace: &Trace,
+    label: &str,
+) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+    C: Fn() -> bool + Sync,
+    G: Fn(usize) -> T + Sync,
+{
     let n = tasks.len();
     let jobs = resolve_jobs(jobs).min(n.max(1));
     if jobs <= 1 || n <= 1 {
@@ -109,31 +141,51 @@ where
             let tasks = &tasks;
             let results = &results;
             let should_stop = &should_stop;
-            s.spawn(move || loop {
-                // Drain: leave remaining tasks to their fallbacks.
-                if should_stop() {
-                    break;
-                }
-                // Own work first (front), then steal (back). Tasks
-                // never enqueue new tasks, so "every deque empty" is a
-                // stable termination condition.
-                let mut next = queues[w].lock().expect("queue poisoned").pop_front();
-                if next.is_none() {
-                    for (v, victim) in queues.iter().enumerate() {
-                        if v == w {
-                            continue;
-                        }
-                        next = victim.lock().expect("queue poisoned").pop_back();
-                        if next.is_some() {
-                            break;
+            s.spawn(move || {
+                let mut ran = 0u64;
+                let mut stolen = 0u64;
+                let mut drained_at: Option<u64> = None;
+                loop {
+                    // Drain: leave remaining tasks to their fallbacks.
+                    if should_stop() {
+                        break;
+                    }
+                    // Own work first (front), then steal (back). Tasks
+                    // never enqueue new tasks, so "every deque empty" is
+                    // a stable termination condition.
+                    let mut next = queues[w].lock().expect("queue poisoned").pop_front();
+                    if next.is_none() {
+                        drained_at.get_or_insert(ran);
+                        for (v, victim) in queues.iter().enumerate() {
+                            if v == w {
+                                continue;
+                            }
+                            next = victim.lock().expect("queue poisoned").pop_back();
+                            if next.is_some() {
+                                stolen += 1;
+                                break;
+                            }
                         }
                     }
+                    let Some(i) = next else { break };
+                    let f = tasks[i].lock().expect("task slot poisoned").take();
+                    if let Some(f) = f {
+                        let r = f();
+                        ran += 1;
+                        *results[i].lock().expect("result slot poisoned") = Some(r);
+                    }
                 }
-                let Some(i) = next else { break };
-                let f = tasks[i].lock().expect("task slot poisoned").take();
-                if let Some(f) = f {
-                    let r = f();
-                    *results[i].lock().expect("result slot poisoned") = Some(r);
+                if trace.is_enabled() {
+                    trace.wall_counter(
+                        Track::pool(w),
+                        "pool",
+                        &format!("{label} worker {w}"),
+                        vec![
+                            a("tasks", ran),
+                            a("stolen", stolen),
+                            a("own_drained_after", drained_at.unwrap_or(ran)),
+                        ],
+                    );
                 }
             });
         }
@@ -158,14 +210,34 @@ where
     T: Send,
     F: Fn(usize, I) -> T + Sync,
 {
+    map_tasks_traced(jobs, items, f, &Trace::disabled(), "pool")
+}
+
+/// [`map_tasks`] with pool telemetry (see [`run_tasks_traced`]).
+pub fn map_tasks_traced<I, T, F>(
+    jobs: usize,
+    items: Vec<I>,
+    f: F,
+    trace: &Trace,
+    label: &str,
+) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
     let f = &f;
-    run_tasks(
+    run_tasks_traced(
         jobs,
         items
             .into_iter()
             .enumerate()
             .map(|(i, item)| move || f(i, item))
             .collect(),
+        || false,
+        |_| unreachable!("tasks are never skipped without cancellation"),
+        trace,
+        label,
     )
 }
 

@@ -24,14 +24,15 @@
 //! generated proof document.
 
 use crate::bmc::{
-    bmc_invariant_bounded, check_obligations_bounded, BmcOutcome, ObligationBudget,
-    ObligationReport,
+    bmc_invariant_bounded_stats, check_obligations_traced, outcome_name, BmcOutcome,
+    ObligationBudget, ObligationReport, SolveStats,
 };
 use crate::cosim::{Cosim, CosimStats};
 use crate::equiv::retirement_miter;
 use crate::pool;
 use crate::sat::SolveBudget;
 use autopipe_synth::PipelinedMachine;
+use autopipe_trace::{Trace, Track};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -50,6 +51,8 @@ pub struct EquivalenceReport {
     /// Reported only via [`VerificationReport::timing_table`], never
     /// in the deterministic report text.
     pub millis: u128,
+    /// Solver work behind the outcome.
+    pub stats: SolveStats,
 }
 
 /// Settings for [`verify_machine`].
@@ -168,29 +171,41 @@ impl VerificationReport {
     /// Renders the wall-clock table: one row per obligation and
     /// equivalence check plus the cosim and end-to-end totals. The sum
     /// of the per-task times divided by the elapsed wall clock is the
-    /// realized parallel speedup.
+    /// realized parallel speedup. SAT work counters ride along so a
+    /// `TimedOut` row shows *why* the obligation was hard (a huge
+    /// conflict count = genuinely hard query; a tiny one = the budget
+    /// fired before the solver got going).
     pub fn timing_table(&self) -> String {
         use fmt::Write;
         let mut s = String::new();
         let mut task_micros: u128 = 0;
         let _ = writeln!(s, "verify timing ({} jobs)", self.timings.jobs.max(1));
-        let _ = writeln!(s, "  {:<32} {:>12}", "task", "millis");
+        let _ = writeln!(
+            s,
+            "  {:<32} {:>12} {:>10} {:>10} {:>9}",
+            "task", "millis", "conflicts", "decisions", "attempts"
+        );
         for o in &self.obligations {
             task_micros += o.micros;
             let _ = writeln!(
                 s,
-                "  {:<32} {:>12.3}",
+                "  {:<32} {:>12.3} {:>10} {:>10} {:>9}",
                 format!("obligation {}", o.name),
-                o.micros as f64 / 1000.0
+                o.micros as f64 / 1000.0,
+                o.stats.conflicts,
+                o.stats.decisions,
+                o.stats.attempts
             );
         }
         for e in &self.equivalence {
             task_micros += e.millis * 1000;
             let _ = writeln!(
                 s,
-                "  {:<32} {:>12}",
+                "  {:<32} {:>12} {:>10} {:>10}",
                 format!("equivalence {}", e.file),
-                e.millis
+                e.millis,
+                e.stats.conflicts,
+                e.stats.decisions
             );
         }
         if self.cosim.is_some() || self.cosim_violation.is_some() {
@@ -268,6 +283,20 @@ impl fmt::Display for VerificationReport {
 /// Runs the full machine-checked verification suite on `pm`; see the
 /// [module docs](self).
 pub fn verify_machine(pm: &PipelinedMachine, settings: VerifySettings) -> VerificationReport {
+    verify_machine_traced(pm, settings, &Trace::disabled())
+}
+
+/// [`verify_machine`] that also records run telemetry into `trace`:
+/// the obligation batch (see
+/// [`crate::bmc::check_obligations_traced`]), one span per retirement
+/// equivalence task, and a `cosim` phase span. The deterministic event
+/// payloads carry no wall-clock values and no worker counts, so the
+/// NDJSON sink stays byte-identical for any [`VerifySettings::jobs`].
+pub fn verify_machine_traced(
+    pm: &PipelinedMachine,
+    settings: VerifySettings,
+    trace: &Trace,
+) -> VerificationReport {
     let t_start = Instant::now();
     let mut notes = Vec::new();
 
@@ -281,12 +310,13 @@ pub fn verify_machine(pm: &PipelinedMachine, settings: VerifySettings) -> Verifi
         cancel: None,
     };
 
-    let obligations = check_obligations_bounded(
+    let obligations = check_obligations_traced(
         &pm.netlist,
         &pm.obligations,
         settings.max_k,
         settings.jobs,
         &ob_budget,
+        trace,
     )
     .unwrap_or_else(|e| {
         notes.push(format!("obligation lowering failed: {e}"));
@@ -311,32 +341,50 @@ pub fn verify_machine(pm: &PipelinedMachine, settings: VerifySettings) -> Verifi
                 deadline,
                 cancel: None,
             };
-            let outcomes = pool::run_tasks_cancellable(
+            let outcomes = pool::run_tasks_traced(
                 settings.jobs,
                 files
                     .iter()
-                    .map(|&name| {
+                    .enumerate()
+                    .map(|(idx, &name)| {
                         let solve_budget = solve_budget.clone();
                         move || {
                             let t0 = Instant::now();
-                            let (nl, prop) = retirement_miter(pm, name, settings.equiv_writes)
-                                .map_err(|e| format!("miter for `{name}`: {e}"))?;
-                            let low = autopipe_hdl::aig::lower(&nl)
-                                .map_err(|e| format!("lowering `{name}` miter: {e}"))?;
-                            let p = low.net_lits(prop)[0];
-                            let outcome = bmc_invariant_bounded(
-                                &low.aig,
-                                p,
-                                settings.equiv_depth,
-                                &solve_budget,
-                            );
-                            Ok::<EquivalenceReport, String>(EquivalenceReport {
-                                file: name.to_string(),
-                                writes: settings.equiv_writes,
-                                depth: settings.equiv_depth,
-                                outcome,
-                                millis: t0.elapsed().as_millis(),
-                            })
+                            let mut span = trace.span(Track::equivalence(idx), "equivalence", name);
+                            let mut stats = SolveStats::default();
+                            let result = (|| {
+                                let (nl, prop) = retirement_miter(pm, name, settings.equiv_writes)
+                                    .map_err(|e| format!("miter for `{name}`: {e}"))?;
+                                let low = autopipe_hdl::aig::lower(&nl)
+                                    .map_err(|e| format!("lowering `{name}` miter: {e}"))?;
+                                let p = low.net_lits(prop)[0];
+                                let outcome = bmc_invariant_bounded_stats(
+                                    &low.aig,
+                                    p,
+                                    settings.equiv_depth,
+                                    &solve_budget,
+                                    &mut stats,
+                                );
+                                Ok::<EquivalenceReport, String>(EquivalenceReport {
+                                    file: name.to_string(),
+                                    writes: settings.equiv_writes,
+                                    depth: settings.equiv_depth,
+                                    outcome,
+                                    millis: t0.elapsed().as_millis(),
+                                    stats,
+                                })
+                            })();
+                            match &result {
+                                Ok(e) => {
+                                    span.arg("outcome", outcome_name(e.outcome));
+                                    span.arg("writes", e.writes);
+                                    span.arg("depth", e.depth);
+                                    span.args(stats.trace_args());
+                                }
+                                Err(msg) => span.arg("error", msg.as_str()),
+                            }
+                            span.end();
+                            result
                         }
                     })
                     .collect(),
@@ -348,8 +396,11 @@ pub fn verify_machine(pm: &PipelinedMachine, settings: VerifySettings) -> Verifi
                         depth: settings.equiv_depth,
                         outcome: BmcOutcome::TimedOut,
                         millis: 0,
+                        stats: SolveStats::default(),
                     })
                 },
+                trace,
+                "equivalence",
             );
             for r in outcomes {
                 match r {
@@ -367,6 +418,8 @@ pub fn verify_machine(pm: &PipelinedMachine, settings: VerifySettings) -> Verifi
     // stats (partial statistics would make the report text depend on
     // wall-clock noise) — just the note and the incomplete flag.
     let t_cosim = Instant::now();
+    let mut cosim_span =
+        (settings.cosim_cycles > 0).then(|| trace.span(Track::RUN, "phase", "cosim"));
     let (mut cosim_stats, mut violation) = (None, None);
     let mut cosim_timed_out = false;
     let out_of_time = || deadline.map(|d| Instant::now() >= d).unwrap_or(false);
@@ -410,6 +463,21 @@ omits rollback in the consistency argument)"
                 );
             }
         }
+    }
+
+    if let Some(mut span) = cosim_span.take() {
+        span.arg("cycles_requested", settings.cosim_cycles);
+        if let Some(s) = &cosim_stats {
+            span.arg("cycles", s.cycles);
+            span.arg("retired", s.retired);
+        }
+        if violation.is_some() {
+            span.arg("violation", true);
+        }
+        if cosim_timed_out {
+            span.arg("timed_out", true);
+        }
+        span.end();
     }
 
     VerificationReport {

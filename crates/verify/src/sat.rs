@@ -241,6 +241,24 @@ pub struct Solver {
     pub decisions: u64,
     /// Statistics: number of propagated literals.
     pub propagations: u64,
+    /// Statistics: number of Luby restarts performed.
+    pub restarts: u64,
+}
+
+/// Point-in-time snapshot of a solver's work counters, cheap to copy and
+/// aggregate across solve calls (see [`Solver::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Branching decisions made.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Luby restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses currently in the database.
+    pub learnt: u64,
 }
 
 impl Solver {
@@ -260,6 +278,19 @@ impl Solver {
     /// Number of learnt clauses currently in the database.
     pub fn num_learnt(&self) -> usize {
         self.clauses.iter().filter(|c| c.learnt).count()
+    }
+
+    /// Snapshot of the work counters (plus the learnt-clause census,
+    /// which walks the clause database — call once per solve, not per
+    /// conflict).
+    pub fn stats(&self) -> SolverStats {
+        SolverStats {
+            conflicts: self.conflicts,
+            decisions: self.decisions,
+            propagations: self.propagations,
+            restarts: self.restarts,
+            learnt: self.num_learnt() as u64,
+        }
     }
 
     /// Writes the problem (original clauses only, not learnt ones) in
@@ -669,6 +700,7 @@ impl Solver {
                     conflict_budget = conflict_budget.saturating_sub(1);
                     if conflict_budget == 0 {
                         restarts += 1;
+                        self.restarts += 1;
                         conflict_budget = luby(restarts) * 128;
                         self.backtrack(assumptions.len() as u32);
                     }

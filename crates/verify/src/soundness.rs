@@ -34,6 +34,7 @@ use crate::pool;
 use autopipe_hdl::mutate::{self, Mutation};
 use autopipe_hdl::Netlist;
 use autopipe_synth::PipelinedMachine;
+use autopipe_trace::{Trace, Track};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
@@ -176,6 +177,40 @@ impl SoundnessReport {
     /// count.
     pub fn ok(&self) -> bool {
         self.baseline.is_none() && self.results.iter().all(|r| r.killed() && r.replayed)
+    }
+
+    /// Renders the wall-clock side table: per-mutant elapsed time and
+    /// the channel that killed it, so slow mutants stand out instead of
+    /// folding into one silent run. Timing varies run to run, so this —
+    /// like [`VerificationReport::timing_table`](crate::VerificationReport::timing_table)
+    /// — is for stderr, never for the deterministic report text.
+    pub fn timing_table(&self) -> String {
+        use fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "mutation timing ({} mutants)", self.results.len());
+        let _ = writeln!(s, "  {:<28} {:>12}  killed by", "mutant", "millis");
+        let mut total: u128 = 0;
+        for r in &self.results {
+            total += r.micros;
+            let channel = match &r.channel {
+                Some(c) => c.to_string(),
+                None => "SURVIVED".to_string(),
+            };
+            let _ = writeln!(
+                s,
+                "  {:<28} {:>12.3}  {}",
+                r.id,
+                r.micros as f64 / 1000.0,
+                channel
+            );
+        }
+        let _ = writeln!(
+            s,
+            "  {:<28} {:>12.3}",
+            "total (task-sum)",
+            total as f64 / 1000.0
+        );
+        s
     }
 }
 
@@ -360,6 +395,23 @@ pub fn run_soundness(
     pm: &PipelinedMachine,
     settings: &SoundnessSettings,
 ) -> Result<SoundnessReport, VerifyError> {
+    run_soundness_traced(pm, settings, &Trace::disabled())
+}
+
+/// [`run_soundness`] that also records telemetry into `trace`: a
+/// `mutation` phase span and one span per mutant (on
+/// [`Track::mutant`], carrying the kill verdict and channel — all
+/// deterministic in the seed, so the NDJSON sink stays golden).
+///
+/// # Errors
+///
+/// Same contract as [`run_soundness`].
+pub fn run_soundness_traced(
+    pm: &PipelinedMachine,
+    settings: &SoundnessSettings,
+    trace: &Trace,
+) -> Result<SoundnessReport, VerifyError> {
+    let mut phase = trace.span(Track::RUN, "phase", "mutation");
     let catalog = mutate::catalog(&pm.netlist);
     let selected = mutate::select(&catalog, settings.seed, settings.count);
 
@@ -370,11 +422,12 @@ pub fn run_soundness(
     if let Some(dir) = &settings.out_dir {
         std::fs::create_dir_all(dir)?;
     }
-    let results: Vec<Result<MutantResult, VerifyError>> = pool::map_tasks(
+    let results: Vec<Result<MutantResult, VerifyError>> = pool::map_tasks_traced(
         settings.jobs,
         selected.iter().collect::<Vec<&Mutation>>(),
-        |_, m| {
+        |idx, m| {
             let t0 = Instant::now();
+            let mut span = trace.span(Track::mutant(idx), "mutant", &m.id);
             let mut mutant = pm.clone();
             mutant.netlist = mutate::apply(&pm.netlist, m);
             let kill = attack(&mutant, settings, settings.out_dir.is_some())?;
@@ -390,6 +443,12 @@ pub fn run_soundness(
                 }
                 _ => None,
             };
+            span.arg("killed", channel.is_some());
+            if let Some(c) = &channel {
+                span.arg("channel", c.to_string());
+            }
+            span.arg("replayed", replayed);
+            span.end();
             Ok(MutantResult {
                 id: m.id.clone(),
                 mechanism: m.mechanism.clone(),
@@ -399,12 +458,20 @@ pub fn run_soundness(
                 micros: t0.elapsed().as_micros(),
             })
         },
+        trace,
+        "mutation",
     );
     let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
-    Ok(SoundnessReport {
+    let report = SoundnessReport {
         catalog_size: catalog.len(),
         seed: settings.seed,
         results,
         baseline,
-    })
+    };
+    phase.arg("catalog", report.catalog_size);
+    phase.arg("mutants", report.results.len());
+    phase.arg("killed", report.killed());
+    phase.arg("baseline_clean", report.baseline.is_none());
+    phase.end();
+    Ok(report)
 }

@@ -16,6 +16,9 @@
 //!   emit     synthesize and print structural Verilog-2001
 //!   report   synthesize and print the cost/hazard report and
 //!            structural netlist statistics
+//!   trace    summarize a recorded `--trace` NDJSON file: hot-obligation
+//!            table, clause-cache hit rates, per-mutant results, and
+//!            optional folded stacks for flamegraph tools
 //!
 //! options:
 //!   --emit FILE     (synth) also write the pipelined Verilog to FILE
@@ -35,6 +38,11 @@
 //!   --seed S        (mutate) catalog selection seed [1]
 //!   --count N       (mutate) mutants to draw; 0 = whole catalog [0]
 //!   -j, --jobs N    (verify, mutate) worker threads; 0 = one per core
+//!   --trace FILE    record the run as deterministic NDJSON (byte-identical
+//!                   for every --jobs value; see docs/OBSERVABILITY.md)
+//!   --profile FILE  record the run as Chrome/Perfetto trace-event JSON
+//!                   with wall-clock timestamps and per-worker lanes
+//!   --folded FILE   (trace) also write folded-stack flamegraph lines
 //!   -h, --help      print this help
 //!   --version       print the version
 //! ```
@@ -54,19 +62,22 @@
 //! misuse *and* on deny-level `lint` findings, 3 when a `--timeout`
 //! expired and the (otherwise clean) report is partial.
 
-use autopipe::analyze::{attach_spans, lint_design, Level, LintConfig, LintReport};
-use autopipe::front::{compile_file, emit_verilog, Compiled};
+use autopipe::analyze::{attach_spans, lint_design_traced, Level, LintConfig, LintReport};
+use autopipe::front::{compile_file_traced, emit_verilog, Compiled};
 use autopipe::hdl::NetlistStats;
 use autopipe::synth::{
     ForwardMode, MuxTopology, PipelineSynthesizer, PipelinedMachine, SynthOptions,
 };
-use autopipe::verify::{run_soundness, verify_machine, Cosim, SoundnessSettings, VerifySettings};
+use autopipe::trace::{chrome, ndjson, summary, Trace, Track};
+use autopipe::verify::{
+    run_soundness_traced, verify_machine_traced, Cosim, SoundnessSettings, VerifySettings,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str =
-    "usage: autopipe <parse|lint|synth|verify|mutate|emit|report> <design.psm> [options]
+    "usage: autopipe <parse|lint|synth|verify|mutate|emit|report|trace> <design.psm> [options]
   --emit FILE   (synth) write pipelined Verilog to FILE
   --proof FILE  (synth) write the proof document to FILE
   -o FILE       (emit) write Verilog to FILE instead of stdout
@@ -84,6 +95,10 @@ const USAGE: &str =
   --seed S      (mutate) catalog selection seed [1]
   --count N     (mutate) mutants to draw; 0 = whole catalog [0]
   -j, --jobs N  (verify, mutate) worker threads; 0 = one per core [1]
+  --trace FILE  record the run as deterministic NDJSON (byte-identical
+                for every --jobs value)
+  --profile FILE  record a Chrome/Perfetto trace-event profile
+  --folded FILE (trace) write folded-stack flamegraph lines to FILE
   -h, --help    print this help
   --version     print the version";
 
@@ -103,6 +118,9 @@ struct Options {
     timeout: Option<u64>,
     seed: u64,
     count: usize,
+    trace: Option<PathBuf>,
+    profile: Option<PathBuf>,
+    folded: Option<PathBuf>,
 }
 
 /// Parses the numeric argument of a flag, reporting command-line
@@ -143,6 +161,9 @@ fn parse_args() -> Result<Options, Early> {
         timeout: None,
         seed: 1,
         count: 0,
+        trace: None,
+        profile: None,
+        folded: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -191,6 +212,9 @@ fn parse_args() -> Result<Options, Early> {
             // `--threads` kept as a hidden alias of the documented
             // spelling.
             "-j" | "--jobs" | "--threads" => o.jobs = num_arg("--jobs", &mut args)?,
+            "--trace" => o.trace = Some(file_arg(&mut args)?),
+            "--profile" => o.profile = Some(file_arg(&mut args)?),
+            "--folded" => o.folded = Some(file_arg(&mut args)?),
             other if other.starts_with('-') => {
                 return Err(Early::Usage(format!("unknown option `{other}`")))
             }
@@ -202,11 +226,17 @@ fn parse_args() -> Result<Options, Early> {
     o.command = command.ok_or_else(|| Early::Usage("missing command".into()))?;
     if !matches!(
         o.command.as_str(),
-        "parse" | "lint" | "synth" | "verify" | "mutate" | "emit" | "report"
+        "parse" | "lint" | "synth" | "verify" | "mutate" | "emit" | "report" | "trace"
     ) {
         return Err(Early::Usage(format!("unknown command `{}`", o.command)));
     }
-    o.path = path.ok_or_else(|| Early::Usage("missing <design.psm>".into()))?;
+    o.path = path.ok_or_else(|| {
+        if o.command == "trace" {
+            Early::Usage("missing <trace.ndjson>".into())
+        } else {
+            Early::Usage("missing <design.psm>".into())
+        }
+    })?;
     Ok(o)
 }
 
@@ -231,11 +261,16 @@ fn effective_options(c: &Compiled, o: &Options) -> SynthOptions {
     options
 }
 
-fn synthesize(c: &Compiled, o: &Options) -> Result<PipelinedMachine, String> {
+fn synthesize(c: &Compiled, o: &Options, trace: &Trace) -> Result<PipelinedMachine, String> {
     let plan = c.spec.plan().map_err(|e| format!("plan: {e}"))?;
-    PipelineSynthesizer::new(effective_options(c, o))
+    let mut span = trace.span(Track::RUN, "phase", "synth");
+    let pm = PipelineSynthesizer::new(effective_options(c, o))
         .run(&plan)
-        .map_err(|e| format!("synthesis: {e}"))
+        .map_err(|e| format!("synthesis: {e}"))?;
+    span.arg("obligations", pm.report.obligations);
+    span.arg("forwards", pm.report.forwards.len());
+    span.end();
+    Ok(pm)
 }
 
 /// Runs the full lint driver against the compiled design and attaches
@@ -243,11 +278,12 @@ fn synthesize(c: &Compiled, o: &Options) -> Result<PipelinedMachine, String> {
 fn lint_compiled(
     c: &Compiled,
     o: &Options,
+    trace: &Trace,
 ) -> Result<(LintReport, Option<PipelinedMachine>), String> {
     let plan = c.spec.plan().map_err(|e| format!("plan: {e}"))?;
     let options = effective_options(c, o);
-    let (mut report, pm) =
-        lint_design(&plan, &options, &o.lint).map_err(|e| format!("synthesis: {e}"))?;
+    let (mut report, pm) = lint_design_traced(&plan, &options, &o.lint, trace)
+        .map_err(|e| format!("synthesis: {e}"))?;
     attach_spans(&mut report, &c.design);
     Ok((report, pm))
 }
@@ -255,8 +291,12 @@ fn lint_compiled(
 /// Lint gate at the head of `synth`/`verify`/`mutate`: deny-level
 /// findings abort with rendered diagnostics (exit 1), warnings go to
 /// stderr, and the machine the linter already synthesized is reused.
-fn lint_and_synthesize(c: &Compiled, o: &Options) -> Result<PipelinedMachine, String> {
-    let (report, pm) = lint_compiled(c, o)?;
+fn lint_and_synthesize(
+    c: &Compiled,
+    o: &Options,
+    trace: &Trace,
+) -> Result<PipelinedMachine, String> {
+    let (report, pm) = lint_compiled(c, o, trace)?;
     let file = o.path.display().to_string();
     let source = std::fs::read_to_string(&o.path).unwrap_or_default();
     let rendered = report.to_diagnostics(&file, &source).render();
@@ -305,8 +345,61 @@ fn errln(text: impl std::fmt::Display) {
     err("\n");
 }
 
+/// `autopipe trace <file.ndjson>`: re-read a recorded run and print the
+/// human summary; `--folded` additionally writes flamegraph input.
+fn trace_summary(o: &Options) -> Result<ExitCode, String> {
+    let text = std::fs::read_to_string(&o.path)
+        .map_err(|e| format!("cannot read {}: {e}", o.path.display()))?;
+    let events = ndjson::read(&text).map_err(|e| format!("{}: {e}", o.path.display()))?;
+    out(summary::summarize(&events));
+    if let Some(path) = &o.folded {
+        write_out(path, &summary::folded(&events))?;
+        errln(format_args!("folded stacks written to {}", path.display()));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Writes the recorded telemetry to the `--trace`/`--profile` sinks.
+/// Status lines go to stderr so stdout stays the deterministic report.
+fn write_trace_files(o: &Options, trace: &Trace) -> Result<(), String> {
+    if !trace.is_enabled() {
+        return Ok(());
+    }
+    let events = trace.events();
+    if let Some(path) = &o.trace {
+        write_out(path, &ndjson::write(&events))?;
+        errln(format_args!("trace written to {}", path.display()));
+    }
+    if let Some(path) = &o.profile {
+        write_out(path, &chrome::write(&events))?;
+        errln(format_args!("profile written to {}", path.display()));
+    }
+    Ok(())
+}
+
 fn run(o: &Options) -> Result<ExitCode, String> {
-    let compiled = compile_file(&o.path).map_err(|d| d.render())?;
+    if o.command == "trace" {
+        return trace_summary(o);
+    }
+    let trace = if o.trace.is_some() || o.profile.is_some() {
+        Trace::new()
+    } else {
+        Trace::disabled()
+    };
+    let result = run_command(o, &trace);
+    // The telemetry of a failing run is exactly what one wants to look
+    // at, so the sinks are written regardless of the outcome.
+    match write_trace_files(o, &trace) {
+        Ok(()) => result,
+        Err(e) => match result {
+            Err(msg) => Err(format!("{msg}\n{e}")),
+            Ok(_) => Err(e),
+        },
+    }
+}
+
+fn run_command(o: &Options, trace: &Trace) -> Result<ExitCode, String> {
+    let compiled = compile_file_traced(&o.path, trace).map_err(|d| d.render())?;
     match o.command.as_str() {
         "parse" => {
             out(&compiled.design);
@@ -318,7 +411,7 @@ fn run(o: &Options) -> Result<ExitCode, String> {
             ));
         }
         "lint" => {
-            let (report, _) = lint_compiled(&compiled, o)?;
+            let (report, _) = lint_compiled(&compiled, o, trace)?;
             let file = o.path.display().to_string();
             let source = std::fs::read_to_string(&o.path).unwrap_or_default();
             match o.format.as_str() {
@@ -334,7 +427,7 @@ fn run(o: &Options) -> Result<ExitCode, String> {
             }
         }
         "synth" => {
-            let pm = lint_and_synthesize(&compiled, o)?;
+            let pm = lint_and_synthesize(&compiled, o, trace)?;
             outln(&pm.report);
             if let Some(path) = &o.emit {
                 write_out(path, &emit_verilog(&pm.netlist, &compiled.design.name))?;
@@ -346,7 +439,7 @@ fn run(o: &Options) -> Result<ExitCode, String> {
             }
         }
         "emit" => {
-            let pm = synthesize(&compiled, o)?;
+            let pm = synthesize(&compiled, o, trace)?;
             let v = emit_verilog(&pm.netlist, &compiled.design.name);
             match &o.out {
                 Some(path) => {
@@ -357,7 +450,7 @@ fn run(o: &Options) -> Result<ExitCode, String> {
             }
         }
         "report" => {
-            let pm = synthesize(&compiled, o)?;
+            let pm = synthesize(&compiled, o, trace)?;
             outln(&pm.report);
             let stats = NetlistStats::of(&pm.netlist);
             outln(format_args!(
@@ -371,8 +464,8 @@ fn run(o: &Options) -> Result<ExitCode, String> {
             ));
         }
         "verify" => {
-            let pm = lint_and_synthesize(&compiled, o)?;
-            let report = verify_machine(
+            let pm = lint_and_synthesize(&compiled, o, trace)?;
+            let report = verify_machine_traced(
                 &pm,
                 VerifySettings {
                     max_k: o.depth,
@@ -382,6 +475,7 @@ fn run(o: &Options) -> Result<ExitCode, String> {
                     jobs: o.jobs,
                     timeout: o.timeout.map(Duration::from_secs),
                 },
+                trace,
             );
             outln(format_args!("machine proof:\n{report}"));
             // Wall-clock profile goes to stderr: the stdout report is
@@ -396,10 +490,14 @@ fn run(o: &Options) -> Result<ExitCode, String> {
                 outln("verification incomplete: --timeout expired");
                 return Ok(ExitCode::from(3));
             }
+            let mut cosim_span = trace.span(Track::RUN, "phase", "cosim");
             let mut cosim = Cosim::new(&pm).map_err(|e| e.to_string())?;
             let stats = cosim
                 .run(o.cycles)
                 .map_err(|e| format!("consistency violation: {e}"))?;
+            cosim_span.arg("cycles", stats.cycles);
+            cosim_span.arg("retired", stats.retired);
+            cosim_span.end();
             outln(format_args!(
                 "cosim: {} instructions retired in {} cycles (CPI {:.2}), \
 checked against the sequential machine every cycle",
@@ -409,7 +507,7 @@ checked against the sequential machine every cycle",
             ));
         }
         "mutate" => {
-            let pm = lint_and_synthesize(&compiled, o)?;
+            let pm = lint_and_synthesize(&compiled, o, trace)?;
             let settings = SoundnessSettings {
                 seed: o.seed,
                 count: o.count,
@@ -422,8 +520,11 @@ checked against the sequential machine every cycle",
                 ),
                 ..SoundnessSettings::default()
             };
-            let report = run_soundness(&pm, &settings).map_err(|e| e.to_string())?;
+            let report = run_soundness_traced(&pm, &settings, trace).map_err(|e| e.to_string())?;
             out(&report);
+            // Per-mutant wall clock and kill channel on stderr: like
+            // `verify`, stdout stays deterministic.
+            err(report.timing_table());
             if !report.ok() {
                 return Err("fault injection: surviving mutants or dirty baseline".into());
             }

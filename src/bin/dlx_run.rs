@@ -18,6 +18,9 @@
 //!   --vcd FILE         dump a VCD trace of the pipelined run
 //!   --disasm           print the disassembled program and exit
 //!   --mem ADDR=VAL     preload a data-memory word (byte address)
+//!   --trace FILE       record run telemetry as deterministic NDJSON
+//!                      (summarize with `autopipe trace FILE`)
+//!   --profile FILE     record a Chrome/Perfetto trace-event profile
 //! ```
 //!
 //! Prints CPI, stall/hazard statistics, the register file and all
@@ -31,6 +34,7 @@ use autopipe::dlx::{build_dlx_spec, dlx_synth_options, DlxConfig, IsaSim};
 use autopipe::hdl::vcd::VcdWriter;
 use autopipe::psm::SequentialMachine;
 use autopipe::synth::{MuxTopology, PipelineSynthesizer};
+use autopipe::trace::{chrome, ndjson, Trace, Track};
 use autopipe::verify::Cosim;
 use std::process::ExitCode;
 
@@ -49,6 +53,8 @@ struct Options {
     vcd: Option<String>,
     disasm: bool,
     mem: Vec<(u32, u32)>,
+    trace: Option<String>,
+    profile: Option<String>,
 }
 
 const USAGE: &str = "usage: dlx-run <prog.s> [options]
@@ -65,6 +71,8 @@ const USAGE: &str = "usage: dlx-run <prog.s> [options]
   --vcd FILE         dump a VCD trace of the pipelined run
   --disasm           print the disassembled program and exit
   --mem ADDR=VAL     preload a data-memory word (byte address)
+  --trace FILE       record run telemetry as deterministic NDJSON
+  --profile FILE     record a Chrome/Perfetto trace-event profile
   -h, --help         print this help
   --version          print the version";
 
@@ -111,6 +119,8 @@ fn parse_args() -> Result<Options, ExitCode> {
         vcd: None,
         disasm: false,
         mem: Vec::new(),
+        trace: None,
+        profile: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -135,6 +145,8 @@ fn parse_args() -> Result<Options, ExitCode> {
                 o.jobs = v.parse().map_err(|_| usage())?;
             }
             "--vcd" => o.vcd = Some(args.next().ok_or_else(usage)?),
+            "--trace" => o.trace = Some(args.next().ok_or_else(usage)?),
+            "--profile" => o.profile = Some(args.next().ok_or_else(usage)?),
             "--mem" => {
                 let v = args.next().ok_or_else(usage)?;
                 let (a, val) = v.split_once('=').ok_or_else(usage)?;
@@ -185,6 +197,35 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(c) => return c,
     };
+    let trace = if o.trace.is_some() || o.profile.is_some() {
+        Trace::new()
+    } else {
+        Trace::disabled()
+    };
+    let code = run(&o, &trace);
+    // Telemetry is written even when the run failed — a failing run's
+    // trace is the interesting one.
+    if trace.is_enabled() {
+        let events = trace.events();
+        let sinks = [
+            (o.trace.as_deref(), ndjson::write(&events)),
+            (o.profile.as_deref(), chrome::write(&events)),
+        ];
+        for (path, text) in sinks {
+            let Some(path) = path else { continue };
+            match std::fs::write(path, text) {
+                Ok(()) => err(format_args!("dlx-run: telemetry written to {path}\n")),
+                Err(e) => {
+                    eprintln!("dlx-run: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    code
+}
+
+fn run(o: &Options, trace: &Trace) -> ExitCode {
     let src = match std::fs::read_to_string(&o.path) {
         Ok(s) => s,
         Err(e) => {
@@ -271,6 +312,7 @@ fn main() -> ExitCode {
     if o.tree {
         options = options.with_topology(MuxTopology::Tree);
     }
+    let mut synth_span = trace.span(Track::RUN, "phase", "synth");
     let pm = match PipelineSynthesizer::new(options.clone()).run(&plan) {
         Ok(pm) => pm,
         Err(e) => {
@@ -278,6 +320,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    synth_span.arg("obligations", pm.report.obligations);
+    synth_span.arg("forwards", pm.report.forwards.len());
+    synth_span.end();
     // Static lint gate (span-less: the DLX spec is programmatic). The
     // spec is known-clean, so any finding is a regression in the
     // generator itself.
@@ -294,7 +339,7 @@ fn main() -> ExitCode {
         // Machine-checked proof of the generated control logic
         // (bounded equivalence needs a closed system; see the
         // verify_pipeline example for the small-configuration run).
-        let report = autopipe::verify::verify_machine(
+        let report = autopipe::verify::verify_machine_traced(
             &pm,
             autopipe::verify::VerifySettings {
                 max_k: o.depth,
@@ -304,6 +349,7 @@ fn main() -> ExitCode {
                 jobs: o.jobs,
                 timeout: None,
             },
+            trace,
         );
         outln(format_args!("machine proof:\n{report}\n"));
         err(report.timing_table());
@@ -328,11 +374,15 @@ fn main() -> ExitCode {
         for &(addr, val) in &o.mem {
             poke_dmem(cosim.seq_sim_mut(), cfg, addr, val);
         }
+        let mut cosim_span = trace.span(Track::RUN, "phase", "cosim");
         if let Err(e) = cosim.run(o.cycles) {
             eprintln!("dlx-run: CONSISTENCY VIOLATION: {e}");
             return ExitCode::FAILURE;
         }
         let s = cosim.stats().clone();
+        cosim_span.arg("cycles", s.cycles);
+        cosim_span.arg("retired", s.retired);
+        cosim_span.end();
         outln(format_args!(
             "pipelined: {} instructions in {} cycles (CPI {:.2}), checked against the \
 sequential machine every cycle",

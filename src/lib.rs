@@ -30,6 +30,11 @@
 //!   lint`): stage-dataflow read classification, netlist lints, and a
 //!   cross-check of the synthesized hit logic, with stable `APxxxx`
 //!   codes rendered as human diagnostics, JSON, or SARIF.
+//! * [`trace`] — the run-telemetry layer: spans/instants/counters
+//!   recorded across the whole pass, written either as deterministic
+//!   NDJSON (byte-identical for every `--jobs` value) or as a
+//!   Chrome/Perfetto trace-event profile (`autopipe … --trace/--profile`,
+//!   summarized by `autopipe trace`).
 //!
 //! Every fallible step of that workflow returns a typed error that
 //! converts into the workspace-level [`Error`], so an end-to-end run
@@ -46,6 +51,7 @@ pub use autopipe_front as front;
 pub use autopipe_hdl as hdl;
 pub use autopipe_psm as psm;
 pub use autopipe_synth as synth;
+pub use autopipe_trace as trace;
 pub use autopipe_verify as verify;
 
 use std::fmt;
@@ -159,6 +165,7 @@ pub mod prelude {
         ForwardingSpec, MuxTopology, PipelineSynthesizer, PipelinedMachine, SynthOptions,
         SynthReport,
     };
+    pub use crate::trace::Trace;
     pub use crate::verify::{
         check_obligations, check_obligations_jobs, fuzz_property, verify_machine, Cosim,
         VerificationReport, VerifyError, VerifySettings,

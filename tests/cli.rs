@@ -283,6 +283,73 @@ fn autopipe_timeout_partial_report_is_identical_across_jobs() {
     assert!(text.contains("INCOMPLETE"), "{text}");
 }
 
+/// The tracing analogue of the report-determinism contract: the
+/// `--trace` NDJSON file is byte-identical no matter how many worker
+/// threads ran, and `autopipe trace` renders the hot-obligation table
+/// from it with the SAT counters populated.
+#[test]
+fn autopipe_trace_ndjson_is_identical_across_jobs() {
+    let dlx = example("dlx.psm");
+    let dir = std::env::temp_dir();
+    let t1 = dir.join("autopipe_trace_j1.ndjson");
+    let t4 = dir.join("autopipe_trace_j4.ndjson");
+    let t1_s = t1.to_string_lossy().into_owned();
+    let t4_s = t4.to_string_lossy().into_owned();
+    let (code1, out1) = autopipe(&[
+        "verify", &dlx, "--cycles", "60", "-j", "1", "--trace", &t1_s,
+    ]);
+    let (code4, out4) = autopipe(&[
+        "verify", &dlx, "--cycles", "60", "-j", "4", "--trace", &t4_s,
+    ]);
+    assert_eq!(code1, Some(0), "{out1}");
+    assert_eq!(code4, Some(0), "{out4}");
+    let b1 = std::fs::read(&t1).expect("trace written for -j 1");
+    let b4 = std::fs::read(&t4).expect("trace written for -j 4");
+    assert!(!b1.is_empty());
+    assert_eq!(
+        b1, b4,
+        "--trace NDJSON must be byte-identical for -j 1 and -j 4"
+    );
+    // Deterministic events never leak wall-clock or lane count.
+    let text = String::from_utf8_lossy(&b1);
+    assert!(!text.contains("\"jobs\""), "{text}");
+
+    let (code, out) = autopipe(&["trace", &t1_s]);
+    assert_eq!(code, Some(0), "{out}");
+    assert!(out.contains("hot obligations (by SAT conflicts)"), "{out}");
+    assert!(out.contains("conflicts"), "{out}");
+    assert!(out.contains("per-stage hazard hardware"), "{out}");
+    assert!(out.contains("clause-cache summary"), "{out}");
+    assert!(out.contains("proved"), "{out}");
+}
+
+/// `--profile` writes a Chrome trace-event file that loads in
+/// `chrome://tracing` / Perfetto: a JSON array carrying thread-name
+/// metadata plus complete events with wall-clock timestamps.
+#[test]
+fn autopipe_profile_emits_chrome_trace_events() {
+    let dir = std::env::temp_dir();
+    let prof = dir.join("autopipe_profile.json");
+    let prof_s = prof.to_string_lossy().into_owned();
+    let (code, out) = autopipe(&["synth", &example("toy.psm"), "--profile", &prof_s]);
+    assert_eq!(code, Some(0), "{out}");
+    assert!(out.contains("profile written to"), "{out}");
+    let text = std::fs::read_to_string(&prof).expect("profile written");
+    assert!(text.starts_with('['), "{text}");
+    assert!(text.contains("\"ph\":\"M\""), "{text}");
+    assert!(text.contains("\"ph\":\"X\""), "{text}");
+    assert!(text.contains("\"name\":\"parse\""), "{text}");
+}
+
+#[test]
+fn autopipe_trace_command_rejects_missing_file() {
+    let (code, out) = autopipe(&["trace"]);
+    assert_eq!(code, Some(2), "{out}");
+    let (code, out) = autopipe(&["trace", "/nonexistent/trace.ndjson"]);
+    assert_eq!(code, Some(1), "{out}");
+    assert!(out.contains("cannot"), "{out}");
+}
+
 #[test]
 fn autopipe_emit_prints_verilog_to_stdout() {
     let (code, out) = autopipe(&["emit", &example("toy.psm")]);
