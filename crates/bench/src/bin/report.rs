@@ -8,9 +8,11 @@
 //! the CPI sweeps (E4/E5); `--jobs`/`-j` renders the selected
 //! experiments on the verification work-stealing pool (`0` = one per
 //! core) — output order stays deterministic regardless. `--json FILE`
-//! additionally writes the machine-readable `BENCH_5.json` record:
-//! per-experiment wall-clock plus the small-DLX verification section
-//! (obligation outcomes and summed SAT counters); the schema is
+//! additionally writes the machine-readable `BENCH_6.json` record:
+//! per-experiment wall-clock, the small-DLX verification section
+//! (obligation outcomes and summed SAT counters), and the serve
+//! section (cold-vs-warm daemon latency, proof-cache hit rate, and
+//! the canonical netlist/obligation digests); the schema is
 //! documented in `docs/OBSERVABILITY.md`.
 
 use autopipe_bench::experiments as ex;
@@ -27,11 +29,17 @@ fn num_arg(flag: &str, v: Option<String>) -> u64 {
     }
 }
 
-/// Renders the `BENCH_5.json` record; hand-rolled like every other
-/// JSON writer in the workspace (names are `[a-z0-9_]`, so no string
-/// escaping is needed).
-fn bench5_json(seed: u64, jobs: usize, rows: &[(&str, u128)], verify: &ex::Bench5Verify) -> String {
-    let mut s = String::from("{\n  \"schema\": \"autopipe-bench-5\",\n");
+/// Renders the `BENCH_6.json` record; hand-rolled like every other
+/// JSON writer in the workspace (names and digests are
+/// `[a-zA-Z0-9_./-]`, so no string escaping is needed).
+fn bench6_json(
+    seed: u64,
+    jobs: usize,
+    rows: &[(&str, u128)],
+    verify: &ex::Bench5Verify,
+    serve: &ex::Bench6Serve,
+) -> String {
+    let mut s = String::from("{\n  \"schema\": \"autopipe-bench-6\",\n");
     s.push_str(&format!("  \"seed\": {seed},\n  \"jobs\": {jobs},\n"));
     s.push_str("  \"experiments\": [\n");
     for (i, (name, micros)) in rows.iter().enumerate() {
@@ -62,7 +70,42 @@ fn bench5_json(seed: u64, jobs: usize, rows: &[(&str, u128)], verify: &ex::Bench
         st.clauses,
         st.attempts
     ));
-    s.push_str("  }\n}\n");
+    s.push_str("  },\n  \"serve\": {\n");
+    s.push_str(&format!("    \"machine\": \"{}\",\n", serve.design));
+    s.push_str(&format!(
+        "    \"obligations\": {},\n",
+        serve.obligation_digests.len()
+    ));
+    s.push_str(&format!(
+        "    \"cold_ms\": {}.{:03}, \"warm_ms\": {}.{:03},\n",
+        serve.cold_micros / 1000,
+        serve.cold_micros % 1000,
+        serve.warm_micros / 1000,
+        serve.warm_micros % 1000
+    ));
+    s.push_str(&format!(
+        "    \"hits\": {}, \"misses\": {}, \"stores\": {}, \"hit_rate\": {:.3},\n",
+        serve.hits,
+        serve.misses,
+        serve.stores,
+        serve.hit_rate()
+    ));
+    s.push_str(&format!(
+        "    \"netlist_digest\": \"{}\",\n",
+        serve.netlist_digest
+    ));
+    s.push_str("    \"digests\": [\n");
+    for (i, (name, digest)) in serve.obligation_digests.iter().enumerate() {
+        let comma = if i + 1 < serve.obligation_digests.len() {
+            ","
+        } else {
+            ""
+        };
+        s.push_str(&format!(
+            "      {{\"name\": \"{name}\", \"digest\": \"{digest}\"}}{comma}\n"
+        ));
+    }
+    s.push_str("    ]\n  }\n}\n");
     s
 }
 
@@ -124,7 +167,8 @@ fn main() {
     if let Some(path) = json {
         let rows: Vec<(&str, u128)> = tables.iter().map(|(n, _, us)| (*n, *us)).collect();
         let verify = ex::bench5_verify(jobs);
-        let text = bench5_json(seed.unwrap_or(0), jobs, &rows, &verify);
+        let serve = ex::bench6_serve(jobs);
+        let text = bench6_json(seed.unwrap_or(0), jobs, &rows, &verify, &serve);
         if let Err(e) = std::fs::write(&path, text) {
             eprintln!("report: cannot write {path}: {e}");
             std::process::exit(1);

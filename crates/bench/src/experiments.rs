@@ -766,10 +766,10 @@ pub fn e9_render() -> String {
 }
 
 // ---------------------------------------------------------------------
-// BENCH_5.json — the machine-readable verification section.
+// BENCH_6.json — the machine-readable verification section.
 // ---------------------------------------------------------------------
 
-/// The verification section of `BENCH_5.json`: obligation outcomes and
+/// The verification section of `BENCH_6.json`: obligation outcomes and
 /// summed SAT counters for the small DLX (see `docs/OBSERVABILITY.md`
 /// for the schema).
 #[derive(Debug, Clone, Default)]
@@ -817,6 +817,92 @@ pub fn bench5_verify(jobs: usize) -> Bench5Verify {
         out.stats.merge(r.stats);
     }
     out
+}
+
+// ---------------------------------------------------------------------
+// Serve benchmark — cold vs warm daemon latency (BENCH_6 record).
+// ---------------------------------------------------------------------
+
+/// Cold-vs-warm latency of the `autopipe serve` daemon on the toy
+/// machine, plus the canonical digests its proof cache keys on.
+#[derive(Debug, Default)]
+pub struct Bench6Serve {
+    /// Design name from the `.psm` machine declaration.
+    pub design: String,
+    /// Canonical digest of the synthesized netlist (32 hex digits).
+    pub netlist_digest: String,
+    /// `(name, cone digest)` per obligation, in report order.
+    pub obligation_digests: Vec<(String, String)>,
+    /// First submission: compile + synthesize + solve everything.
+    pub cold_micros: u128,
+    /// Identical resubmission: memoized elaboration + cache hits only.
+    pub warm_micros: u128,
+    /// Proof-cache lookups that returned a verdict.
+    pub hits: u64,
+    /// Proof-cache lookups that found nothing usable.
+    pub misses: u64,
+    /// Verdicts persisted by the cold pass.
+    pub stores: u64,
+}
+
+impl Bench6Serve {
+    /// Fraction of cache lookups that hit (`0.0` when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// Submits the toy machine to an in-process [`autopipe_serve::Server`]
+/// twice and measures the cold solve against the warm all-cached
+/// resubmission.
+pub fn bench6_serve(jobs: usize) -> Bench6Serve {
+    use autopipe_serve::{elaborate, Op, Request, ServeConfig, Server};
+    let src = include_str!("../../../examples/programs/toy.psm");
+    let summary = elaborate(src, "toy.psm").expect("toy elaborates");
+    let server = Server::new(ServeConfig {
+        jobs,
+        ..ServeConfig::default()
+    })
+    .expect("in-memory server");
+    let submit = |id: u64| Request {
+        id: Some(id),
+        op: Op::Submit,
+        source: Some(src.to_string()),
+        path: None,
+        max_k: None,
+        timeout_ms: None,
+        fresh: false,
+    };
+    let t0 = Instant::now();
+    let cold = server.handle(&submit(1));
+    let cold_micros = t0.elapsed().as_micros();
+    let t1 = Instant::now();
+    let warm = server.handle(&submit(2));
+    let warm_micros = t1.elapsed().as_micros();
+    assert!(
+        cold.result.is_ok() && warm.result.is_ok(),
+        "toy submits succeed"
+    );
+    let stats = server.cache().stats();
+    Bench6Serve {
+        design: summary.design.clone(),
+        netlist_digest: autopipe_hdl::netlist_digest(&summary.netlist).to_string(),
+        obligation_digests: summary
+            .obligations
+            .iter()
+            .zip(&summary.cone_digests)
+            .map(|(ob, d)| (ob.name.clone(), d.to_string()))
+            .collect(),
+        cold_micros,
+        warm_micros,
+        hits: stats.hits,
+        misses: stats.misses,
+        stores: stats.stores,
+    }
 }
 
 #[cfg(test)]
@@ -890,5 +976,23 @@ mod tests {
         assert_eq!(never.rollbacks, 0);
         assert!(often.rollbacks > 10);
         assert!(often.cpi > never.cpi);
+    }
+
+    #[test]
+    fn bench6_warm_pass_is_fully_cached() {
+        let b = bench6_serve(1);
+        let n = b.obligation_digests.len() as u64;
+        assert!(n > 0);
+        // Cold pass: every obligation misses and is stored; warm pass:
+        // every obligation hits. The hit rate is therefore exactly 1/2.
+        assert_eq!(b.misses, n, "cold pass misses everything");
+        assert_eq!(b.stores, n, "cold verdicts all persist");
+        assert_eq!(b.hits, n, "warm pass is fully cached");
+        assert!((b.hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(b.netlist_digest.len(), 32);
+        for (name, d) in &b.obligation_digests {
+            assert!(!name.is_empty());
+            assert!(d.len() == 32 && d.bytes().all(|c| c.is_ascii_hexdigit()));
+        }
     }
 }

@@ -1,0 +1,521 @@
+//! Canonical structural hashing of netlists and logic cones.
+//!
+//! The serving layer (`autopipe serve`) keys proof results by *what a
+//! design means*, not by the bytes of its source file: two submissions
+//! whose elaborated netlists are structurally identical must map to
+//! the same cache entry even when net numbering, label names or source
+//! formatting differ. This module provides that key:
+//!
+//! * [`cone_digest`] hashes the transitive fan-in cone of a set of
+//!   root nets — through register next/enable functions and memory
+//!   write ports — under a *canonical numbering* assigned by a
+//!   deterministic pre-order walk from the roots. [`NetId`] values,
+//!   label strings, register/memory names and creation order of nets
+//!   outside the cone do not influence the digest; the shape of the
+//!   logic, operator identities, widths, constants, register initial
+//!   values and input *port names* (the semantic interface) do.
+//! * [`netlist_digest`] is the cone digest rooted at every state
+//!   element (register next/enable functions and memory write ports):
+//!   the sequential behaviour of the whole design.
+//! * [`cone_nets`] returns the membership of such a cone, so callers
+//!   can reason about which edits a digest is sensitive to.
+//! * [`Digest::combine`] folds several digests (plus salt strings)
+//!   into one, for composite keys such as "netlist + obligation".
+//!
+//! The hash is a hand-rolled 128-bit FNV-1a over a canonical byte
+//! stream — no cryptographic claims, but 128 bits keep accidental
+//! collisions out of reach for cache-sized populations, and the
+//! implementation stays dependency-free like the rest of the
+//! workspace.
+
+use crate::ir::{MemId, NetId, Netlist, Node, RegId};
+use std::fmt;
+
+/// A 128-bit canonical content digest, rendered as 32 lowercase hex
+/// digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub u128);
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl Digest {
+    /// Parses the 32-hex-digit rendering produced by [`fmt::Display`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Digest> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(Digest)
+    }
+
+    /// Folds several digests and salt strings into one composite
+    /// digest. Order matters; `(digests, salts)` are hashed as two
+    /// length-prefixed sequences.
+    #[must_use]
+    pub fn combine(digests: &[Digest], salts: &[&str]) -> Digest {
+        let mut h = Fnv128::new();
+        h.u64(digests.len() as u64);
+        for d in digests {
+            h.u128(d.0);
+        }
+        h.u64(salts.len() as u64);
+        for s in salts {
+            h.str(s);
+        }
+        Digest(h.finish())
+    }
+}
+
+/// 128-bit FNV-1a over a canonical byte stream.
+struct Fnv128 {
+    state: u128,
+}
+
+impl Fnv128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+    fn new() -> Fnv128 {
+        Fnv128 {
+            state: Self::OFFSET,
+        }
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.state ^= u128::from(b);
+        self.state = self.state.wrapping_mul(Self::PRIME);
+    }
+
+    fn u32(&mut self, v: u32) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn u128(&mut self, v: u128) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    /// Length-prefixed string, so `("ab", "c")` and `("a", "bc")`
+    /// hash differently.
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for b in s.as_bytes() {
+            self.byte(*b);
+        }
+    }
+
+    fn opt(&mut self, v: Option<u32>) {
+        match v {
+            None => self.byte(0),
+            Some(x) => {
+                self.byte(1);
+                self.u32(x);
+            }
+        }
+    }
+
+    fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+const UNSEEN: u32 = u32::MAX;
+
+/// The canonical numbering of a cone: nets, registers and memories in
+/// first-visit order of a deterministic pre-order walk from the roots.
+/// Dense vectors (indexed by the netlist's own ids) keep the walk
+/// allocation-light — the serving hot path digests every obligation
+/// cone of a design per submission.
+struct Canon {
+    net_id: Vec<u32>,
+    net_order: Vec<NetId>,
+    reg_id: Vec<u32>,
+    reg_order: Vec<RegId>,
+    mem_id: Vec<u32>,
+    mem_order: Vec<MemId>,
+}
+
+impl Canon {
+    /// Walks the transitive fan-in of `roots`, crossing registers into
+    /// their next/enable functions and memories into their write
+    /// ports, assigning canonical indices at first visit. Operands are
+    /// traversed in the fixed order of their [`Node`] fields, so the
+    /// numbering is a pure function of the reachable structure.
+    fn walk(nl: &Netlist, roots: &[NetId]) -> Canon {
+        let mut c = Canon {
+            net_id: vec![UNSEEN; nl.node_count()],
+            net_order: Vec::new(),
+            reg_id: vec![UNSEEN; nl.registers().len()],
+            reg_order: Vec::new(),
+            mem_id: vec![UNSEEN; nl.memories().len()],
+            mem_order: Vec::new(),
+        };
+        // The explicit stack holds nets still to visit; pushing
+        // children in reverse keeps the traversal order equal to the
+        // recursive pre-order.
+        let mut stack: Vec<NetId> = roots.iter().rev().copied().collect();
+        let mut children: Vec<NetId> = Vec::new();
+        while let Some(net) = stack.pop() {
+            if c.net_id[net.index()] != UNSEEN {
+                continue;
+            }
+            c.net_id[net.index()] = c.net_order.len() as u32;
+            c.net_order.push(net);
+            children.clear();
+            match nl.node(net) {
+                Node::Input { .. } | Node::Const { .. } => {}
+                Node::RegOut(r) => {
+                    if c.reg_id[r.index()] == UNSEEN {
+                        c.reg_id[r.index()] = c.reg_order.len() as u32;
+                        c.reg_order.push(*r);
+                        let reg = nl.register_info(*r);
+                        children.extend(reg.next);
+                        children.extend(reg.enable);
+                    }
+                }
+                Node::MemRead { mem, addr } => {
+                    children.push(*addr);
+                    if c.mem_id[mem.index()] == UNSEEN {
+                        c.mem_id[mem.index()] = c.mem_order.len() as u32;
+                        c.mem_order.push(*mem);
+                        for p in &nl.memory_info(*mem).write_ports {
+                            children.extend([p.enable, p.addr, p.data]);
+                        }
+                    }
+                }
+                Node::Unary { a, .. } => children.push(*a),
+                Node::Binary { a, b, .. } => children.extend([*a, *b]),
+                Node::Mux {
+                    sel,
+                    then_net,
+                    else_net,
+                } => children.extend([*sel, *then_net, *else_net]),
+                Node::Slice { a, .. } => children.push(*a),
+                Node::Concat { hi, lo } => children.extend([*hi, *lo]),
+            }
+            for child in children.drain(..).rev() {
+                stack.push(child);
+            }
+        }
+        c
+    }
+
+    fn net(&self, n: NetId) -> u32 {
+        self.net_id[n.index()]
+    }
+}
+
+/// Hashes the canonical description of the cone into `h`.
+fn hash_cone(nl: &Netlist, c: &Canon, roots: &[NetId], h: &mut Fnv128) {
+    // Roots first: which nets the digest is *about* (in canonical
+    // coordinates, so root order matters but identity does not).
+    h.u64(roots.len() as u64);
+    for r in roots {
+        h.u32(c.net(*r));
+    }
+    // Every net in canonical order: width, node kind, operands.
+    h.u64(c.net_order.len() as u64);
+    for &net in &c.net_order {
+        h.u32(nl.width(net));
+        match nl.node(net) {
+            Node::Input { name } => {
+                h.byte(0);
+                // Port names are the semantic interface of an open
+                // design — they participate, unlike labels.
+                h.str(name);
+            }
+            Node::Const { value } => {
+                h.byte(1);
+                h.u64(*value);
+            }
+            Node::RegOut(r) => {
+                h.byte(2);
+                h.u32(c.reg_id[r.index()]);
+            }
+            Node::MemRead { mem, addr } => {
+                h.byte(3);
+                h.u32(c.mem_id[mem.index()]);
+                h.u32(c.net(*addr));
+            }
+            Node::Unary { op, a } => {
+                h.byte(4);
+                h.byte(*op as u8);
+                h.u32(c.net(*a));
+            }
+            Node::Binary { op, a, b } => {
+                h.byte(5);
+                h.byte(*op as u8);
+                h.u32(c.net(*a));
+                h.u32(c.net(*b));
+            }
+            Node::Mux {
+                sel,
+                then_net,
+                else_net,
+            } => {
+                h.byte(6);
+                h.u32(c.net(*sel));
+                h.u32(c.net(*then_net));
+                h.u32(c.net(*else_net));
+            }
+            Node::Slice { a, hi, lo } => {
+                h.byte(7);
+                h.u32(c.net(*a));
+                h.u32(*hi);
+                h.u32(*lo);
+            }
+            Node::Concat { hi, lo } => {
+                h.byte(8);
+                h.u32(c.net(*hi));
+                h.u32(c.net(*lo));
+            }
+        }
+    }
+    // Registers in canonical order: width, init, next/enable nets.
+    h.u64(c.reg_order.len() as u64);
+    for &r in &c.reg_order {
+        let reg = nl.register_info(r);
+        h.u32(reg.width);
+        h.u64(reg.init);
+        h.opt(reg.next.map(|n| c.net(n)));
+        h.opt(reg.enable.map(|n| c.net(n)));
+    }
+    // Memories in canonical order: geometry, initial image, ports.
+    h.u64(c.mem_order.len() as u64);
+    for &m in &c.mem_order {
+        let mem = nl.memory_info(m);
+        h.u32(mem.addr_width);
+        h.u32(mem.data_width);
+        h.u64(mem.init.len() as u64);
+        for v in &mem.init {
+            h.u64(*v);
+        }
+        h.u64(mem.write_ports.len() as u64);
+        for p in &mem.write_ports {
+            h.u32(c.net(p.enable));
+            h.u32(c.net(p.addr));
+            h.u32(c.net(p.data));
+        }
+    }
+}
+
+/// Canonical digest of the transitive fan-in cone of `roots`.
+///
+/// Two cones hash equal exactly when their reachable structure is
+/// isomorphic under the canonical walk: same operators, widths,
+/// constants, register init values, memory images and input port
+/// names, wired the same way. Net numbering, label strings,
+/// register/memory names and any logic outside the cone are
+/// irrelevant.
+#[must_use]
+pub fn cone_digest(nl: &Netlist, roots: &[NetId]) -> Digest {
+    let c = Canon::walk(nl, roots);
+    let mut h = Fnv128::new();
+    hash_cone(nl, &c, roots, &mut h);
+    Digest(h.finish())
+}
+
+/// The nets of the transitive fan-in cone of `roots` (through
+/// register next/enable functions and memory write ports), sorted by
+/// [`NetId`]. An edit to any of these nets changes
+/// [`cone_digest`]`(nl, roots)`; an edit elsewhere cannot.
+#[must_use]
+pub fn cone_nets(nl: &Netlist, roots: &[NetId]) -> Vec<NetId> {
+    let c = Canon::walk(nl, roots);
+    let mut nets = c.net_order;
+    nets.sort_unstable_by_key(|n| n.index());
+    nets
+}
+
+/// Canonical digest of the whole sequential design: the cone rooted
+/// at every register's next/enable function and every memory write
+/// port, in declaration order.
+#[must_use]
+pub fn netlist_digest(nl: &Netlist) -> Digest {
+    cone_digest(nl, &state_roots(nl))
+}
+
+/// FNV-1a/128 of a raw byte string — *not* canonical over any
+/// structure, just a stable content fingerprint (e.g. for memoizing
+/// exact source texts). Unrelated to [`cone_digest`]'s domain.
+#[must_use]
+pub fn bytes_digest(bytes: &[u8]) -> Digest {
+    let mut h = Fnv128::new();
+    for b in bytes {
+        h.byte(*b);
+    }
+    Digest(h.finish())
+}
+
+/// The root nets of [`netlist_digest`]: each register's next and
+/// enable nets, then each memory write port's enable/addr/data nets,
+/// in declaration order.
+#[must_use]
+pub fn state_roots(nl: &Netlist) -> Vec<NetId> {
+    let mut roots = Vec::new();
+    for reg in nl.registers() {
+        roots.extend(reg.next);
+        roots.extend(reg.enable);
+    }
+    for mem in nl.memories() {
+        for p in &mem.write_ports {
+            roots.extend([p.enable, p.addr, p.data]);
+        }
+    }
+    roots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 3-stage toy: counter feeding an accumulator with an enable.
+    fn sample(reg_name: &str, extra_junk: bool) -> Netlist {
+        let mut nl = Netlist::new("sample");
+        if extra_junk {
+            // Dead logic outside every cone must not matter.
+            let j = nl.input("junk", 8);
+            let k = nl.not(j);
+            nl.label("junk.out", k);
+        }
+        let one = nl.constant(1, 8);
+        let (cnt, cnt_out) = nl.register(reg_name, 8, 0);
+        let next = nl.add(cnt_out, one);
+        nl.connect(cnt, next);
+        let en = nl.input("en", 1);
+        let (acc, acc_out) = nl.register("acc", 8, 0);
+        let sum = nl.add(acc_out, cnt_out);
+        nl.connect_en(acc, sum, en);
+        nl
+    }
+
+    #[test]
+    fn digest_is_stable_across_renames_and_dead_logic() {
+        let a = netlist_digest(&sample("cnt", false));
+        let b = netlist_digest(&sample("counter_renamed", true));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn digest_changes_on_a_semantic_edit() {
+        let base = netlist_digest(&sample("cnt", false));
+        // Different init value.
+        let mut nl = Netlist::new("sample");
+        let one = nl.constant(1, 8);
+        let (cnt, cnt_out) = nl.register("cnt", 8, 7);
+        let next = nl.add(cnt_out, one);
+        nl.connect(cnt, next);
+        let en = nl.input("en", 1);
+        let (acc, acc_out) = nl.register("acc", 8, 0);
+        let sum = nl.add(acc_out, cnt_out);
+        nl.connect_en(acc, sum, en);
+        assert_ne!(base, netlist_digest(&nl));
+        // Different operator (sub for add in the counter update).
+        let mut nl2 = Netlist::new("sample");
+        let one = nl2.constant(1, 8);
+        let (cnt, cnt_out) = nl2.register("cnt", 8, 0);
+        let next = nl2.sub(cnt_out, one);
+        nl2.connect(cnt, next);
+        let en = nl2.input("en", 1);
+        let (acc, acc_out) = nl2.register("acc", 8, 0);
+        let sum = nl2.add(acc_out, cnt_out);
+        nl2.connect_en(acc, sum, en);
+        assert_ne!(base, netlist_digest(&nl2));
+    }
+
+    #[test]
+    fn input_port_names_are_semantic() {
+        let mut a = Netlist::new("a");
+        let x = a.input("x", 4);
+        let (r, ro) = a.register("r", 4, 0);
+        let n = a.add(ro, x);
+        a.connect(r, n);
+        let mut b = Netlist::new("b");
+        let x = b.input("y", 4);
+        let (r, ro) = b.register("r", 4, 0);
+        let n = b.add(ro, x);
+        b.connect(r, n);
+        assert_ne!(netlist_digest(&a), netlist_digest(&b));
+    }
+
+    #[test]
+    fn cone_digest_is_local_to_the_cone() {
+        let mut nl = sample("cnt", false);
+        let cnt_out = nl.find("cnt").unwrap();
+        let acc_out = nl.find("acc").unwrap();
+        let cnt_cone_before = cone_digest(&nl, &[cnt_out]);
+        let acc_cone_before = cone_digest(&nl, &[acc_out]);
+        // Edit the accumulator's sum: the acc cone changes, the cnt
+        // cone (which does not reach the edit) does not.
+        let edited = nl
+            .nets()
+            .find(|n| {
+                matches!(
+                    nl.node(*n),
+                    Node::Binary {
+                        op: crate::ir::BinaryOp::Add,
+                        a,
+                        b
+                    } if *a == acc_out || *b == acc_out
+                )
+            })
+            .unwrap();
+        nl.force_const(edited, 3);
+        assert_eq!(cone_digest(&nl, &[cnt_out]), cnt_cone_before);
+        assert_ne!(cone_digest(&nl, &[acc_out]), acc_cone_before);
+    }
+
+    #[test]
+    fn cone_nets_predicts_digest_sensitivity() {
+        let nl = sample("cnt", false);
+        let cnt_out = nl.find("cnt").unwrap();
+        let members = cone_nets(&nl, &[cnt_out]);
+        let before = cone_digest(&nl, &[cnt_out]);
+        for net in nl.nets() {
+            if matches!(nl.node(net), Node::Const { value: 0 }) {
+                // Forcing an existing zero constant to zero is not an
+                // edit at all.
+                continue;
+            }
+            let mut edited = nl.clone();
+            edited.force_const(net, 0);
+            let changed = cone_digest(&edited, &[cnt_out]) != before;
+            assert_eq!(
+                changed,
+                members.contains(&net),
+                "net {net:?}: edit sensitivity must equal cone membership"
+            );
+        }
+    }
+
+    #[test]
+    fn combine_orders_and_salts() {
+        let a = Digest(1);
+        let b = Digest(2);
+        assert_ne!(Digest::combine(&[a, b], &[]), Digest::combine(&[b, a], &[]));
+        assert_ne!(Digest::combine(&[a], &["x"]), Digest::combine(&[a], &["y"]));
+        assert_eq!(Digest::combine(&[a], &["x"]), Digest::combine(&[a], &["x"]));
+    }
+
+    #[test]
+    fn digest_roundtrips_through_hex() {
+        let d = netlist_digest(&sample("cnt", false));
+        let s = d.to_string();
+        assert_eq!(s.len(), 32);
+        assert_eq!(Digest::parse(&s), Some(d));
+        assert_eq!(Digest::parse("xyz"), None);
+    }
+}

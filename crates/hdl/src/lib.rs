@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod aig;
+pub mod hash;
 pub mod ir;
 pub mod mutate;
 pub mod opt;
@@ -59,6 +60,7 @@ pub mod value;
 pub mod vcd;
 
 pub use aig::{Aig, AigLit, Lowered};
+pub use hash::{bytes_digest, cone_digest, cone_nets, netlist_digest, state_roots, Digest};
 pub use ir::{
     AbsorbedDesign, BinaryOp, HdlError, MemId, Memory, NetId, Netlist, Node, RegId, Register,
     UnaryOp,

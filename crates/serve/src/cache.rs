@@ -1,0 +1,540 @@
+//! The content-addressed proof cache: in-memory hot tier + versioned
+//! on-disk store.
+//!
+//! Every entry answers one question — "what did the solver conclude
+//! about *this* obligation cone at *this* induction depth?" — keyed by
+//! [`CacheKey`]: the canonical structural digest of the obligation's
+//! logic cone ([`autopipe_hdl::hash::cone_digest`]), its class, and
+//! the `max_k` the verdict was produced under. Because the digest is
+//! canonical, formatting/renaming-irrelevant edits of the source hit
+//! the same entries, and an edit invalidates exactly the obligations
+//! whose cones contain the change.
+//!
+//! Two soundness rules are enforced *by construction* here:
+//!
+//! * [`StoredVerdict`] has no `TimedOut` variant.
+//!   [`StoredVerdict::from_outcome`] maps a timed-out check to `None`
+//!   — a budget expiry is an absence of a verdict, and persisting it
+//!   would replay resource exhaustion as a result (the exit-code-3
+//!   poisoning mode the regression tests pin down).
+//! * A `Refuted` entry must carry its counterexample trace. The server
+//!   replays it through the independent simulator before serving the
+//!   entry ([`autopipe_verify::incremental::refutes`]); a refutation
+//!   that no longer replays is dropped and re-solved, so the cache can
+//!   never launder a stale `Refuted`.
+//!
+//! ## Disk layout
+//!
+//! ```text
+//! <dir>/v1/<aa>/<digest>-<class><max_k>.json
+//! ```
+//!
+//! `v1` is the format version ([`CACHE_FORMAT`]): incompatible future
+//! schemas move to `v2/` and simply stop seeing old entries — no
+//! migration, no misreads. `<aa>` is the first two hex digits of the
+//! digest (256-way sharding keeps directories small). Writes go
+//! through a temporary file plus rename, so a crashed writer never
+//! leaves a half-entry a reader could parse. Unparseable or
+//! wrong-format entries read as misses and are overwritten on the next
+//! store.
+//!
+//! ## Eviction
+//!
+//! The hot tier evicts in insertion order once it exceeds its cap (a
+//! scan-resistant-enough policy for a tier whose only job is to keep
+//! the warm-resubmit path off the filesystem). The disk store is
+//! unbounded by default; a cap evicts oldest-modified entries after
+//! each store.
+
+use crate::json::Json;
+use autopipe_hdl::hash::Digest;
+use autopipe_synth::ObligationClass;
+use autopipe_verify::bmc::CexTrace;
+use autopipe_verify::BmcOutcome;
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// On-disk format version; bumped on incompatible schema changes so
+/// old entries are invisible rather than misread.
+pub const CACHE_FORMAT: u32 = 1;
+
+/// The identity of one cached verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheKey {
+    /// Canonical digest of the obligation's logic cone.
+    pub digest: Digest,
+    /// Obligation class (part of the key: the two classes run
+    /// different proof strategies).
+    pub class: ObligationClass,
+    /// Induction depth the verdict was produced under.
+    pub max_k: usize,
+}
+
+impl CacheKey {
+    /// The file stem (and hot-tier key) of this entry:
+    /// `<digest>-<c|i><max_k>`.
+    #[must_use]
+    pub fn stem(&self) -> String {
+        let class = match self.class {
+            ObligationClass::Combinational => 'c',
+            ObligationClass::Inductive => 'i',
+        };
+        format!("{}-{}{}", self.digest, class, self.max_k)
+    }
+}
+
+/// A verdict the cache is allowed to hold. Deliberately *not* a
+/// [`BmcOutcome`]: there is no timed-out variant, and a refutation
+/// cannot exist without its replayable evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoredVerdict {
+    /// k-induction closed the proof at depth `k`.
+    Proved {
+        /// Closing induction depth.
+        k: usize,
+    },
+    /// Holds up to `depth` frames; no proof (still a cacheable answer
+    /// — `max_k` is part of the key).
+    Bounded {
+        /// Checked depth.
+        depth: usize,
+    },
+    /// Violated at `frame`, with the minimized input trace that
+    /// reproduces the violation on the simulator.
+    Refuted {
+        /// First failing frame.
+        frame: usize,
+        /// Minimized counterexample (replayed before every serve).
+        cex: CexTrace,
+    },
+}
+
+impl StoredVerdict {
+    /// Admits a solver outcome into the cache. `None` for
+    /// [`BmcOutcome::TimedOut`] (a timeout is not a verdict) and for
+    /// violations that did not yield a replayable trace (a refutation
+    /// without evidence cannot pass the replay guard later, so caching
+    /// it would only manufacture misses).
+    #[must_use]
+    pub fn from_outcome(outcome: BmcOutcome, cex: Option<CexTrace>) -> Option<StoredVerdict> {
+        match outcome {
+            BmcOutcome::Proved { k } => Some(StoredVerdict::Proved { k }),
+            BmcOutcome::BoundedOk { depth } => Some(StoredVerdict::Bounded { depth }),
+            BmcOutcome::Violated { frame } => cex.map(|cex| StoredVerdict::Refuted { frame, cex }),
+            BmcOutcome::TimedOut => None,
+        }
+    }
+
+    /// The verdict as a [`BmcOutcome`] (dropping the evidence).
+    #[must_use]
+    pub fn outcome(&self) -> BmcOutcome {
+        match self {
+            StoredVerdict::Proved { k } => BmcOutcome::Proved { k: *k },
+            StoredVerdict::Bounded { depth } => BmcOutcome::BoundedOk { depth: *depth },
+            StoredVerdict::Refuted { frame, .. } => BmcOutcome::Violated { frame: *frame },
+        }
+    }
+
+    /// Serializes the entry as one JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        match self {
+            StoredVerdict::Proved { k } => {
+                format!("{{\"format\":{CACHE_FORMAT},\"verdict\":\"proved\",\"k\":{k}}}")
+            }
+            StoredVerdict::Bounded { depth } => {
+                format!("{{\"format\":{CACHE_FORMAT},\"verdict\":\"bounded\",\"depth\":{depth}}}")
+            }
+            StoredVerdict::Refuted { frame, cex } => {
+                let mut s = format!(
+                    "{{\"format\":{CACHE_FORMAT},\"verdict\":\"refuted\",\"frame\":{frame},\"cex\":["
+                );
+                for (t, assign) in cex.iter().enumerate() {
+                    if t > 0 {
+                        s.push(',');
+                    }
+                    s.push('[');
+                    let mut vars: Vec<(u32, bool)> = assign.iter().map(|(v, b)| (*v, *b)).collect();
+                    vars.sort_unstable();
+                    for (i, (v, b)) in vars.iter().enumerate() {
+                        if i > 0 {
+                            s.push(',');
+                        }
+                        s.push_str(&format!("[{v},{b}]"));
+                    }
+                    s.push(']');
+                }
+                s.push_str("]}");
+                s
+            }
+        }
+    }
+
+    /// Parses [`StoredVerdict::to_json`] output. `None` on any
+    /// mismatch — malformed entries are treated as misses, never as
+    /// errors.
+    #[must_use]
+    pub fn parse(text: &str) -> Option<StoredVerdict> {
+        let v = Json::parse(text).ok()?;
+        if v.get("format")?.as_u64()? != u64::from(CACHE_FORMAT) {
+            return None;
+        }
+        match v.get("verdict")?.as_str()? {
+            "proved" => Some(StoredVerdict::Proved {
+                k: v.get("k")?.as_u64()? as usize,
+            }),
+            "bounded" => Some(StoredVerdict::Bounded {
+                depth: v.get("depth")?.as_u64()? as usize,
+            }),
+            "refuted" => {
+                let frame = v.get("frame")?.as_u64()? as usize;
+                let mut cex: CexTrace = Vec::new();
+                for frame_json in v.get("cex")?.as_arr()? {
+                    let mut assign = HashMap::new();
+                    for pair in frame_json.as_arr()? {
+                        let pair = pair.as_arr()?;
+                        if pair.len() != 2 {
+                            return None;
+                        }
+                        assign.insert(pair[0].as_u64()? as u32, pair[1].as_bool()?);
+                    }
+                    cex.push(assign);
+                }
+                Some(StoredVerdict::Refuted { frame, cex })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Monotonic operation counters of a [`ProofCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a verdict (hot or disk).
+    pub hits: u64,
+    /// Lookups that found nothing usable.
+    pub misses: u64,
+    /// Verdicts persisted.
+    pub stores: u64,
+    /// `Refuted` entries dropped because their counterexample no
+    /// longer replayed (invalidated by the server's replay guard).
+    pub replay_rejects: u64,
+}
+
+struct HotTier {
+    map: HashMap<String, StoredVerdict>,
+    order: VecDeque<String>,
+}
+
+/// The two-tier proof cache. All methods take `&self`; lookups and
+/// stores are safe from concurrent sessions.
+pub struct ProofCache {
+    /// `<dir>/v1`, when a disk store is configured.
+    version_dir: Option<PathBuf>,
+    hot_cap: usize,
+    disk_cap: Option<usize>,
+    hot: Mutex<HotTier>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    replay_rejects: AtomicU64,
+}
+
+impl ProofCache {
+    /// Opens (creating as needed) a cache rooted at `dir`, or a purely
+    /// in-memory cache when `dir` is `None`. `hot_cap` bounds the hot
+    /// tier's entry count; `disk_cap` (entries, `None` = unbounded)
+    /// bounds the disk store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory creation failures.
+    pub fn open(
+        dir: Option<&Path>,
+        hot_cap: usize,
+        disk_cap: Option<usize>,
+    ) -> io::Result<ProofCache> {
+        let version_dir = match dir {
+            Some(d) => {
+                let vd = d.join(format!("v{CACHE_FORMAT}"));
+                std::fs::create_dir_all(&vd)?;
+                Some(vd)
+            }
+            None => None,
+        };
+        Ok(ProofCache {
+            version_dir,
+            hot_cap: hot_cap.max(1),
+            disk_cap,
+            hot: Mutex::new(HotTier {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            replay_rejects: AtomicU64::new(0),
+        })
+    }
+
+    /// An in-memory cache with a default hot-tier cap (tests, and
+    /// serving without `--cache`).
+    #[must_use]
+    pub fn memory() -> ProofCache {
+        ProofCache::open(None, 4096, None).expect("memory cache cannot fail")
+    }
+
+    fn entry_path(&self, stem: &str) -> Option<PathBuf> {
+        self.version_dir
+            .as_ref()
+            .map(|vd| vd.join(&stem[..2]).join(format!("{stem}.json")))
+    }
+
+    /// Looks up a verdict, promoting disk hits into the hot tier.
+    #[must_use]
+    pub fn get(&self, key: &CacheKey) -> Option<StoredVerdict> {
+        let stem = key.stem();
+        if let Some(v) = self.hot.lock().expect("hot tier").map.get(&stem) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(v.clone());
+        }
+        if let Some(path) = self.entry_path(&stem) {
+            if let Some(v) = std::fs::read_to_string(path)
+                .ok()
+                .as_deref()
+                .and_then(StoredVerdict::parse)
+            {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.insert_hot(stem, v.clone());
+                return Some(v);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    fn insert_hot(&self, stem: String, v: StoredVerdict) {
+        let mut hot = self.hot.lock().expect("hot tier");
+        if hot.map.insert(stem.clone(), v).is_none() {
+            hot.order.push_back(stem);
+        }
+        while hot.map.len() > self.hot_cap {
+            let Some(old) = hot.order.pop_front() else {
+                break;
+            };
+            hot.map.remove(&old);
+        }
+    }
+
+    /// Persists a verdict in both tiers (atomic write-then-rename on
+    /// disk). Disk failures are swallowed: the cache is an
+    /// accelerator, and a read-only store must not fail requests.
+    pub fn put(&self, key: &CacheKey, v: &StoredVerdict) {
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        let stem = key.stem();
+        self.insert_hot(stem.clone(), v.clone());
+        if let Some(path) = self.entry_path(&stem) {
+            let write = || -> io::Result<()> {
+                let dir = path.parent().expect("entry paths have parents");
+                std::fs::create_dir_all(dir)?;
+                let tmp = dir.join(format!(".{stem}.tmp"));
+                std::fs::write(&tmp, v.to_json())?;
+                std::fs::rename(&tmp, &path)?;
+                Ok(())
+            };
+            let _ = write();
+            if let Some(cap) = self.disk_cap {
+                self.prune_disk(cap);
+            }
+        }
+    }
+
+    /// Drops an entry from both tiers and counts a replay rejection —
+    /// called when a cached refutation failed its simulator replay.
+    pub fn invalidate_stale(&self, key: &CacheKey) {
+        self.replay_rejects.fetch_add(1, Ordering::Relaxed);
+        let stem = key.stem();
+        {
+            let mut hot = self.hot.lock().expect("hot tier");
+            if hot.map.remove(&stem).is_some() {
+                hot.order.retain(|s| s != &stem);
+            }
+        }
+        if let Some(path) = self.entry_path(&stem) {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    fn disk_files(&self) -> Vec<PathBuf> {
+        let Some(vd) = &self.version_dir else {
+            return Vec::new();
+        };
+        let mut files = Vec::new();
+        let Ok(shards) = std::fs::read_dir(vd) else {
+            return files;
+        };
+        for shard in shards.flatten() {
+            if let Ok(entries) = std::fs::read_dir(shard.path()) {
+                for e in entries.flatten() {
+                    if e.path().extension().is_some_and(|x| x == "json") {
+                        files.push(e.path());
+                    }
+                }
+            }
+        }
+        files
+    }
+
+    fn prune_disk(&self, cap: usize) {
+        let mut files: Vec<(std::time::SystemTime, PathBuf)> = self
+            .disk_files()
+            .into_iter()
+            .filter_map(|p| {
+                let mtime = std::fs::metadata(&p).and_then(|m| m.modified()).ok()?;
+                Some((mtime, p))
+            })
+            .collect();
+        if files.len() <= cap {
+            return;
+        }
+        files.sort();
+        for (_, path) in files.iter().take(files.len() - cap) {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Number of entries currently on disk (0 for in-memory caches).
+    #[must_use]
+    pub fn disk_entries(&self) -> usize {
+        self.disk_files().len()
+    }
+
+    /// Number of entries in the hot tier.
+    #[must_use]
+    pub fn hot_entries(&self) -> usize {
+        self.hot.lock().expect("hot tier").map.len()
+    }
+
+    /// Snapshot of the operation counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            replay_rejects: self.replay_rejects.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u128) -> CacheKey {
+        CacheKey {
+            digest: Digest(n),
+            class: ObligationClass::Inductive,
+            max_k: 2,
+        }
+    }
+
+    #[test]
+    fn timed_out_is_never_admitted() {
+        assert_eq!(
+            StoredVerdict::from_outcome(BmcOutcome::TimedOut, None),
+            None
+        );
+        assert_eq!(
+            StoredVerdict::from_outcome(BmcOutcome::TimedOut, Some(vec![HashMap::new()])),
+            None
+        );
+        // And a refutation without evidence is not admitted either.
+        assert_eq!(
+            StoredVerdict::from_outcome(BmcOutcome::Violated { frame: 1 }, None),
+            None
+        );
+    }
+
+    #[test]
+    fn verdicts_roundtrip_through_json() {
+        let mut assign = HashMap::new();
+        assign.insert(3u32, true);
+        assign.insert(1u32, false);
+        for v in [
+            StoredVerdict::Proved { k: 2 },
+            StoredVerdict::Bounded { depth: 7 },
+            StoredVerdict::Refuted {
+                frame: 1,
+                cex: vec![HashMap::new(), assign],
+            },
+        ] {
+            assert_eq!(StoredVerdict::parse(&v.to_json()), Some(v));
+        }
+        assert_eq!(StoredVerdict::parse("{}"), None);
+        assert_eq!(
+            StoredVerdict::parse("{\"format\":999,\"verdict\":\"proved\",\"k\":1}"),
+            None,
+            "future formats must read as misses"
+        );
+    }
+
+    #[test]
+    fn memory_tier_hits_and_evicts_in_insertion_order() {
+        let cache = ProofCache::open(None, 2, None).unwrap();
+        assert_eq!(cache.get(&key(1)), None);
+        cache.put(&key(1), &StoredVerdict::Proved { k: 0 });
+        cache.put(&key(2), &StoredVerdict::Proved { k: 1 });
+        assert_eq!(cache.get(&key(1)), Some(StoredVerdict::Proved { k: 0 }));
+        cache.put(&key(3), &StoredVerdict::Proved { k: 2 });
+        // Cap 2: key 1 (oldest inserted) was evicted.
+        assert_eq!(cache.get(&key(1)), None);
+        assert_eq!(cache.get(&key(3)), Some(StoredVerdict::Proved { k: 2 }));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.stores), (2, 2, 3));
+    }
+
+    #[test]
+    fn disk_store_survives_reopen_and_prunes() {
+        let dir = std::env::temp_dir().join(format!("autopipe-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = ProofCache::open(Some(&dir), 4, None).unwrap();
+            cache.put(&key(0xabcd), &StoredVerdict::Bounded { depth: 3 });
+            assert_eq!(cache.disk_entries(), 1);
+        }
+        {
+            let cache = ProofCache::open(Some(&dir), 4, None).unwrap();
+            assert_eq!(
+                cache.get(&key(0xabcd)),
+                Some(StoredVerdict::Bounded { depth: 3 })
+            );
+            assert_eq!(cache.stats().hits, 1);
+            // Pruning to 0 entries clears the store.
+            cache.prune_disk(0);
+            assert_eq!(cache.disk_entries(), 0);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalidate_stale_removes_both_tiers() {
+        let dir = std::env::temp_dir().join(format!("autopipe-cache-inv-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ProofCache::open(Some(&dir), 4, None).unwrap();
+        let v = StoredVerdict::Refuted {
+            frame: 0,
+            cex: vec![HashMap::new()],
+        };
+        cache.put(&key(9), &v);
+        assert_eq!(cache.get(&key(9)), Some(v));
+        cache.invalidate_stale(&key(9));
+        assert_eq!(cache.get(&key(9)), None);
+        assert_eq!(cache.disk_entries(), 0);
+        assert_eq!(cache.stats().replay_rejects, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,45 @@
+//! # autopipe-serve — incremental verification as a service
+//!
+//! The batch `autopipe verify` flow re-parses, re-synthesizes and
+//! re-proves a design from scratch on every invocation. This crate
+//! turns the same verification stack into a long-running daemon
+//! (`autopipe serve`) for the "editors and CI farms hammering the same
+//! designs with small diffs" workload:
+//!
+//! * [`protocol`] — a line-delimited JSON request/response protocol
+//!   (one object per line) spoken over stdio or TCP; the deterministic
+//!   response bytes are a pure function of the request sequence, so
+//!   per-request reports can be golden-tested like every other
+//!   `autopipe` report.
+//! * [`cache`] — a versioned, content-addressed proof cache with an
+//!   in-memory hot tier and an on-disk store. Entries are keyed by the
+//!   canonical structural digest of each obligation's logic cone
+//!   ([`autopipe_hdl::hash`]), so formatting and renaming-irrelevant
+//!   edits hit, and an edit re-solves exactly the obligations whose
+//!   cones changed. `Refuted` entries carry their minimized
+//!   counterexample and are replayed through the simulator before
+//!   being served; timed-out checks are never persisted at all.
+//! * [`server`] — the thread-safe request handler plus the stdio and
+//!   TCP serving loops: fair-share worker allocation across concurrent
+//!   sessions via [`autopipe_verify::pool`], per-request
+//!   [`autopipe_verify::SolveBudget`] deadlines, and per-request
+//!   schema-v1 trace NDJSON emission.
+//! * [`json`] — the minimal dependency-free JSON reader the protocol
+//!   parser is built on.
+//!
+//! See `docs/SERVE.md` for the protocol schema, cache layout and
+//! operational notes.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheKey, CacheStats, ProofCache, StoredVerdict, CACHE_FORMAT};
+pub use json::Json;
+pub use protocol::{Op, Request, Response};
+pub use server::{
+    elaborate, serve_stdio, serve_tcp, DesignSummary, ServeConfig, ServeSummary, Server,
+};

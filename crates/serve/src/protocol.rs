@@ -1,0 +1,376 @@
+//! The line-delimited JSON request/response protocol.
+//!
+//! One request object per line in, one response object per line out —
+//! the same framing over stdio and TCP. Requests are parsed with the
+//! tolerant reader in [`crate::json`]; responses are rendered by hand
+//! so the field order (and therefore the bytes) is a deterministic
+//! function of the request: per-request reports can be golden-tested
+//! and compared across `-j` values, exactly like the batch CLI's
+//! stdout. Wall-clock timing never appears in a response; the serving
+//! loops report it on stderr.
+//!
+//! See `docs/SERVE.md` for the full schema.
+
+use autopipe_hdl::hash::Digest;
+use autopipe_synth::ObligationClass;
+use autopipe_trace::ndjson::escape;
+use autopipe_verify::{outcome_name, BmcOutcome};
+
+/// What a request asks the server to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Compile + synthesize the design, discharge every obligation
+    /// (through the cache), answer per-obligation verdicts.
+    Submit,
+    /// Compile + synthesize only; answer the canonical digests.
+    Hash,
+    /// Answer the daemon's request/cache counters.
+    Status,
+    /// Acknowledge, then stop accepting work.
+    Shutdown,
+}
+
+impl Op {
+    /// The wire name of the operation.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Op::Submit => "submit",
+            Op::Hash => "hash",
+            Op::Status => "status",
+            Op::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: Option<u64>,
+    /// The operation.
+    pub op: Op,
+    /// Inline `.psm` source (takes precedence over `path`).
+    pub source: Option<String>,
+    /// Path to a `.psm` file, resolved by the server process.
+    pub path: Option<String>,
+    /// Per-request induction depth override.
+    pub max_k: Option<usize>,
+    /// Per-request solve deadline in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Bypass the proof cache for this submission (results are still
+    /// stored).
+    pub fresh: bool,
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the malformation; the
+    /// server answers it in-band as an error response.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = crate::json::Json::parse(line)?;
+        let op = match v.get("op").and_then(|o| o.as_str()) {
+            Some("submit") => Op::Submit,
+            Some("hash") => Op::Hash,
+            Some("status") => Op::Status,
+            Some("shutdown") => Op::Shutdown,
+            Some(other) => return Err(format!("unknown op `{other}`")),
+            None => return Err("missing `op`".into()),
+        };
+        let str_field = |k: &str| v.get(k).and_then(|s| s.as_str()).map(str::to_string);
+        let req = Request {
+            id: v.get("id").and_then(|i| i.as_u64()),
+            op,
+            source: str_field("source"),
+            path: str_field("path"),
+            max_k: v.get("max_k").and_then(|k| k.as_u64()).map(|k| k as usize),
+            timeout_ms: v.get("timeout_ms").and_then(|t| t.as_u64()),
+            fresh: v.get("fresh").and_then(|f| f.as_bool()).unwrap_or(false),
+        };
+        if matches!(req.op, Op::Submit | Op::Hash) && req.source.is_none() && req.path.is_none() {
+            return Err(format!("op `{}` needs `source` or `path`", req.op.as_str()));
+        }
+        Ok(req)
+    }
+}
+
+/// One obligation's entry in a submit/hash response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObligationEntry {
+    /// Obligation name (stable across runs).
+    pub name: String,
+    /// Its class.
+    pub class: ObligationClass,
+    /// Canonical digest of its logic cone.
+    pub digest: Digest,
+    /// The verdict (`None` in hash responses).
+    pub outcome: Option<BmcOutcome>,
+    /// Served from the proof cache (always `false` in hash responses).
+    pub cached: bool,
+    /// SAT conflicts spent on this obligation in this request (0 for
+    /// cache hits — the acceptance criterion of the warm path).
+    pub conflicts: u64,
+}
+
+/// The class's wire name.
+#[must_use]
+pub fn class_name(class: ObligationClass) -> &'static str {
+    match class {
+        ObligationClass::Combinational => "combinational",
+        ObligationClass::Inductive => "inductive",
+    }
+}
+
+/// The payload of a successful response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Body {
+    /// `submit`: design identity + per-obligation verdicts.
+    Submit {
+        /// Design name.
+        design: String,
+        /// Canonical digest of the whole sequential design.
+        netlist: Digest,
+        /// Induction depth the verdicts hold under.
+        max_k: usize,
+        /// Per-obligation verdicts, in obligation order.
+        obligations: Vec<ObligationEntry>,
+    },
+    /// `hash`: design identity + per-obligation digests.
+    Hash {
+        /// Design name.
+        design: String,
+        /// Canonical digest of the whole sequential design.
+        netlist: Digest,
+        /// Per-obligation digests, in obligation order.
+        obligations: Vec<ObligationEntry>,
+    },
+    /// `status`: daemon counters.
+    Status {
+        /// Requests handled so far (this one included).
+        requests: u64,
+        /// Cache hits.
+        hits: u64,
+        /// Cache misses.
+        misses: u64,
+        /// Verdicts stored.
+        stores: u64,
+        /// Stale refutations rejected by the replay guard.
+        replay_rejects: u64,
+        /// Hot-tier entries.
+        hot: usize,
+        /// On-disk entries.
+        disk: usize,
+    },
+    /// `shutdown` acknowledgement.
+    Shutdown,
+}
+
+/// A response line: either a body or an in-band error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request's correlation id, echoed back.
+    pub id: Option<u64>,
+    /// The operation answered.
+    pub op: Op,
+    /// `Ok` payload or error text (compile diagnostics, I/O failures,
+    /// malformed requests).
+    pub result: Result<Body, String>,
+}
+
+impl Response {
+    /// Renders the response as its single JSON line (no trailing
+    /// newline). Field order is fixed; bytes are deterministic.
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        let mut s = String::from("{");
+        if let Some(id) = self.id {
+            s.push_str(&format!("\"id\":{id},"));
+        }
+        s.push_str(&format!(
+            "\"ok\":{},\"op\":\"{}\"",
+            self.result.is_ok(),
+            self.op.as_str()
+        ));
+        match &self.result {
+            Err(e) => s.push_str(&format!(",\"error\":\"{}\"", escape(e))),
+            Ok(Body::Shutdown) => {}
+            Ok(Body::Status {
+                requests,
+                hits,
+                misses,
+                stores,
+                replay_rejects,
+                hot,
+                disk,
+            }) => {
+                s.push_str(&format!(
+                    ",\"requests\":{requests},\"cache\":{{\"hits\":{hits},\
+\"misses\":{misses},\"stores\":{stores},\"replay_rejects\":{replay_rejects},\
+\"hot\":{hot},\"disk\":{disk}}}"
+                ));
+            }
+            Ok(Body::Hash {
+                design,
+                netlist,
+                obligations,
+            }) => {
+                s.push_str(&format!(
+                    ",\"design\":\"{}\",\"netlist\":\"{netlist}\",\"obligations\":[",
+                    escape(design)
+                ));
+                for (i, ob) in obligations.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&format!(
+                        "{{\"name\":\"{}\",\"class\":\"{}\",\"digest\":\"{}\"}}",
+                        escape(&ob.name),
+                        class_name(ob.class),
+                        ob.digest
+                    ));
+                }
+                s.push(']');
+            }
+            Ok(Body::Submit {
+                design,
+                netlist,
+                max_k,
+                obligations,
+            }) => {
+                s.push_str(&format!(
+                    ",\"design\":\"{}\",\"netlist\":\"{netlist}\",\"max_k\":{max_k},\
+\"obligations\":[",
+                    escape(design)
+                ));
+                let mut tally = [0usize; 4];
+                let mut cached = 0usize;
+                for (i, ob) in obligations.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let outcome = ob.outcome.expect("submit entries carry outcomes");
+                    s.push_str(&format!(
+                        "{{\"name\":\"{}\",\"class\":\"{}\",\"digest\":\"{}\",\
+\"outcome\":\"{}\"",
+                        escape(&ob.name),
+                        class_name(ob.class),
+                        ob.digest,
+                        outcome_name(outcome)
+                    ));
+                    match outcome {
+                        BmcOutcome::Proved { k } => {
+                            tally[0] += 1;
+                            s.push_str(&format!(",\"k\":{k}"));
+                        }
+                        BmcOutcome::BoundedOk { depth } => {
+                            tally[1] += 1;
+                            s.push_str(&format!(",\"depth\":{depth}"));
+                        }
+                        BmcOutcome::Violated { frame } => {
+                            tally[2] += 1;
+                            s.push_str(&format!(",\"frame\":{frame}"));
+                        }
+                        BmcOutcome::TimedOut => tally[3] += 1,
+                    }
+                    cached += usize::from(ob.cached);
+                    s.push_str(&format!(
+                        ",\"cached\":{},\"conflicts\":{}}}",
+                        ob.cached, ob.conflicts
+                    ));
+                }
+                s.push_str(&format!(
+                    "],\"proved\":{},\"bounded\":{},\"refuted\":{},\"timed_out\":{},\
+\"cached\":{cached}",
+                    tally[0], tally[1], tally[2], tally[3]
+                ));
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_and_full_requests() {
+        let r = Request::parse(r#"{"op":"status"}"#).unwrap();
+        assert_eq!(r.op, Op::Status);
+        assert_eq!(r.id, None);
+        let r = Request::parse(
+            r#"{"id":7,"op":"submit","path":"dlx.psm","max_k":3,"timeout_ms":500,"fresh":true}"#,
+        )
+        .unwrap();
+        assert_eq!(r.id, Some(7));
+        assert_eq!(r.op, Op::Submit);
+        assert_eq!(r.path.as_deref(), Some("dlx.psm"));
+        assert_eq!(r.max_k, Some(3));
+        assert_eq!(r.timeout_ms, Some(500));
+        assert!(r.fresh);
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse(r#"{"op":"fly"}"#).is_err());
+        assert!(Request::parse(r#"{"id":1}"#).is_err());
+        // submit/hash need a design.
+        assert!(Request::parse(r#"{"op":"submit"}"#).is_err());
+        assert!(Request::parse(r#"{"op":"hash"}"#).is_err());
+    }
+
+    #[test]
+    fn response_lines_are_deterministic_json() {
+        let resp = Response {
+            id: Some(2),
+            op: Op::Submit,
+            result: Ok(Body::Submit {
+                design: "toy".into(),
+                netlist: Digest(0xfeed),
+                max_k: 2,
+                obligations: vec![
+                    ObligationEntry {
+                        name: "a.0".into(),
+                        class: ObligationClass::Combinational,
+                        digest: Digest(1),
+                        outcome: Some(BmcOutcome::Proved { k: 0 }),
+                        cached: true,
+                        conflicts: 0,
+                    },
+                    ObligationEntry {
+                        name: "b.1".into(),
+                        class: ObligationClass::Inductive,
+                        digest: Digest(2),
+                        outcome: Some(BmcOutcome::Violated { frame: 3 }),
+                        cached: false,
+                        conflicts: 11,
+                    },
+                ],
+            }),
+        };
+        let line = resp.to_line();
+        // The line must parse as JSON and tally the outcomes.
+        let v = crate::json::Json::parse(&line).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("proved").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("refuted").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("cached").unwrap().as_u64(), Some(1));
+        let obs = v.get("obligations").unwrap().as_arr().unwrap();
+        assert_eq!(obs[0].get("conflicts").unwrap().as_u64(), Some(0));
+        assert_eq!(obs[1].get("frame").unwrap().as_u64(), Some(3));
+        // Errors render in-band.
+        let err = Response {
+            id: None,
+            op: Op::Hash,
+            result: Err("no \"such\" file".into()),
+        };
+        let v = crate::json::Json::parse(&err.to_line()).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("error").unwrap().as_str(), Some("no \"such\" file"));
+    }
+}

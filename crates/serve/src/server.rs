@@ -1,0 +1,650 @@
+//! The request handler and the stdio/TCP serving loops.
+//!
+//! [`Server`] is the protocol-agnostic core: a thread-safe
+//! `request line in → response line out` function plus the state it
+//! closes over — the proof cache, a design memo, and the fair-share
+//! admission counters. [`serve_stdio`] wraps it in a sequential
+//! line-at-a-time loop (the editor/CI integration surface);
+//! [`serve_tcp`] accepts concurrent sessions and runs the *same*
+//! handler per connection, so the two transports cannot drift.
+//!
+//! ## The warm path
+//!
+//! A resubmitted design must answer in microseconds, so the submit
+//! flow peels work off in layers:
+//!
+//! 1. **Source memo** — the exact source bytes are fingerprinted
+//!    ([`autopipe_hdl::hash::bytes_digest`]); a hit skips parse,
+//!    plan and synthesis entirely and reuses the elaborated
+//!    [`DesignSummary`] (netlist, obligations, canonical digests).
+//! 2. **Proof cache** — each obligation's verdict is looked up by its
+//!    canonical cone digest. A reformatted or renamed source misses
+//!    the memo but still hits here.
+//! 3. **Solver** — only the obligations with no usable cached verdict
+//!    are handed to [`autopipe_verify::check_selected_traced`]; when
+//!    that set is empty the AIG lowering is skipped too.
+//!
+//! Cached `Refuted` verdicts are replayed through the simulator
+//! ([`autopipe_verify::refutes`]) before being served; a stale trace
+//! invalidates the entry and the obligation re-solves.
+
+use crate::cache::{CacheKey, ProofCache, StoredVerdict};
+use crate::protocol::{Body, ObligationEntry, Op, Request, Response};
+use autopipe_hdl::hash::{bytes_digest, cone_digest, netlist_digest, Digest};
+use autopipe_hdl::Netlist;
+use autopipe_synth::{Obligation, PipelineSynthesizer};
+use autopipe_trace::{a, Trace, Track};
+use autopipe_verify::pool::resolve_jobs;
+use autopipe_verify::{check_selected_traced, outcome_name, refutes, ObligationBudget};
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Daemon configuration (CLI flags map onto this 1:1).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Proof-cache directory (`None` = in-memory only).
+    pub cache_dir: Option<PathBuf>,
+    /// Hot-tier entry cap.
+    pub hot_cap: usize,
+    /// On-disk entry cap (`None` = unbounded).
+    pub disk_cap: Option<usize>,
+    /// Default induction depth for submissions that do not override it.
+    pub max_k: usize,
+    /// Worker threads to share across concurrent sessions (0 = one per
+    /// core).
+    pub jobs: usize,
+    /// Default per-request solve deadline (`None` = unlimited).
+    pub timeout_ms: Option<u64>,
+    /// Directory for per-request trace NDJSON (`None` = tracing off).
+    pub trace_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            cache_dir: None,
+            hot_cap: 4096,
+            disk_cap: None,
+            max_k: 2,
+            jobs: 0,
+            timeout_ms: None,
+            trace_dir: None,
+        }
+    }
+}
+
+/// An elaborated design, ready to serve verdicts about: the synthesized
+/// netlist, its obligations, and their canonical digests.
+#[derive(Debug, Clone)]
+pub struct DesignSummary {
+    /// Design name (from the `.psm` machine declaration).
+    pub design: String,
+    /// The synthesized netlist.
+    pub netlist: Netlist,
+    /// The synthesizer's proof obligations.
+    pub obligations: Vec<Obligation>,
+    /// Canonical digest of the whole design: the sequential-state cone
+    /// combined with every obligation cone.
+    pub digest: Digest,
+    /// Per-obligation canonical cone digests, aligned with
+    /// `obligations`.
+    pub cone_digests: Vec<Digest>,
+}
+
+/// Compiles, plans and synthesizes `.psm` source, then digests the
+/// result — the elaboration step shared by `autopipe hash` and the
+/// server's submit/hash operations.
+///
+/// # Errors
+///
+/// Returns rendered diagnostics / plan / synthesis errors as one
+/// string.
+pub fn elaborate(src: &str, file: &str) -> Result<DesignSummary, String> {
+    let compiled = autopipe_front::compile(src, file).map_err(|d| d.render())?;
+    let plan = compiled.spec.plan().map_err(|e| format!("plan: {e}"))?;
+    let machine = PipelineSynthesizer::new(compiled.options)
+        .run(&plan)
+        .map_err(|e| format!("synth: {e}"))?;
+    let cone_digests: Vec<Digest> = machine
+        .obligations
+        .iter()
+        .map(|ob| cone_digest(&machine.netlist, &[ob.net]))
+        .collect();
+    let mut all = vec![netlist_digest(&machine.netlist)];
+    all.extend(cone_digests.iter().copied());
+    Ok(DesignSummary {
+        design: compiled.design.name.clone(),
+        digest: Digest::combine(&all, &["design"]),
+        netlist: machine.netlist,
+        obligations: machine.obligations,
+        cone_digests,
+    })
+}
+
+/// What a serving loop did, for the caller's exit report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Request lines answered (malformed ones included).
+    pub requests: u64,
+}
+
+/// The thread-safe request handler.
+pub struct Server {
+    config: ServeConfig,
+    cache: ProofCache,
+    requests: AtomicU64,
+    active: AtomicUsize,
+    stop: AtomicBool,
+    memo: Mutex<HashMap<u128, Arc<DesignSummary>>>,
+}
+
+impl Server {
+    /// Builds a server (opening the proof cache).
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache-directory creation failures.
+    pub fn new(config: ServeConfig) -> io::Result<Server> {
+        let cache = ProofCache::open(config.cache_dir.as_deref(), config.hot_cap, config.disk_cap)?;
+        Ok(Server {
+            config,
+            cache,
+            requests: AtomicU64::new(0),
+            active: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            memo: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The proof cache (tests and the bench harness read its stats).
+    #[must_use]
+    pub fn cache(&self) -> &ProofCache {
+        &self.cache
+    }
+
+    /// True once a shutdown request has been accepted.
+    #[must_use]
+    pub fn stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Answers one raw request line. Never panics on malformed input:
+    /// parse failures come back as in-band error responses with
+    /// `"op":"invalid"`.
+    pub fn handle_line(&self, line: &str) -> String {
+        self.requests.fetch_add(1, Ordering::SeqCst);
+        match Request::parse(line) {
+            Ok(req) => self.handle(&req).to_line(),
+            Err(e) => format!(
+                "{{\"ok\":false,\"op\":\"invalid\",\"error\":\"{}\"}}",
+                autopipe_trace::ndjson::escape(&e)
+            ),
+        }
+    }
+
+    /// Answers one parsed request.
+    pub fn handle(&self, req: &Request) -> Response {
+        let result = match req.op {
+            Op::Shutdown => {
+                self.stop.store(true, Ordering::SeqCst);
+                Ok(Body::Shutdown)
+            }
+            Op::Status => {
+                let s = self.cache.stats();
+                Ok(Body::Status {
+                    requests: self.requests.load(Ordering::SeqCst),
+                    hits: s.hits,
+                    misses: s.misses,
+                    stores: s.stores,
+                    replay_rejects: s.replay_rejects,
+                    hot: self.cache.hot_entries(),
+                    disk: self.cache.disk_entries(),
+                })
+            }
+            Op::Hash => self.summary_for(req).map(|s| Body::Hash {
+                design: s.design.clone(),
+                netlist: s.digest,
+                obligations: s
+                    .obligations
+                    .iter()
+                    .zip(&s.cone_digests)
+                    .map(|(ob, d)| ObligationEntry {
+                        name: ob.name.clone(),
+                        class: ob.class,
+                        digest: *d,
+                        outcome: None,
+                        cached: false,
+                        conflicts: 0,
+                    })
+                    .collect(),
+            }),
+            Op::Submit => self.submit(req),
+        };
+        Response {
+            id: req.id,
+            op: req.op,
+            result,
+        }
+    }
+
+    /// Resolves the request's design source and elaborates it, through
+    /// the source-bytes memo.
+    fn summary_for(&self, req: &Request) -> Result<Arc<DesignSummary>, String> {
+        let (src, file) = match (&req.source, &req.path) {
+            (Some(src), _) => (src.clone(), "<inline>".to_string()),
+            (None, Some(path)) => (
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?,
+                path.clone(),
+            ),
+            (None, None) => return Err("no design".into()),
+        };
+        let memo_key = bytes_digest(src.as_bytes()).0;
+        if let Some(s) = self.memo.lock().expect("memo").get(&memo_key) {
+            return Ok(Arc::clone(s));
+        }
+        let summary = Arc::new(elaborate(&src, &file)?);
+        self.memo
+            .lock()
+            .expect("memo")
+            .insert(memo_key, Arc::clone(&summary));
+        Ok(summary)
+    }
+
+    fn submit(&self, req: &Request) -> Result<Body, String> {
+        let summary = self.summary_for(req)?;
+        let max_k = req.max_k.unwrap_or(self.config.max_k);
+        let trace = if self.config.trace_dir.is_some() {
+            Trace::new()
+        } else {
+            Trace::disabled()
+        };
+
+        // Layer 2: per-obligation cache lookups, with the replay guard
+        // in front of every cached refutation.
+        let n = summary.obligations.len();
+        let mut entries: Vec<Option<ObligationEntry>> = vec![None; n];
+        let mut missing: Vec<usize> = Vec::new();
+        for (i, ob) in summary.obligations.iter().enumerate() {
+            let key = CacheKey {
+                digest: summary.cone_digests[i],
+                class: ob.class,
+                max_k,
+            };
+            let cached = if req.fresh {
+                None
+            } else {
+                self.cache.get(&key)
+            };
+            let cached = match cached {
+                Some(StoredVerdict::Refuted { frame, cex }) => {
+                    if refutes(&summary.netlist, ob.net, &cex).map_err(|e| e.to_string())? {
+                        Some(StoredVerdict::Refuted { frame, cex })
+                    } else {
+                        // The stored trace no longer refutes this
+                        // obligation: drop it and re-solve.
+                        self.cache.invalidate_stale(&key);
+                        None
+                    }
+                }
+                other => other,
+            };
+            match cached {
+                Some(v) => {
+                    let outcome = v.outcome();
+                    trace.instant(
+                        Track::request(i),
+                        "cached",
+                        &ob.name,
+                        vec![
+                            a("outcome", outcome_name(outcome)),
+                            a("conflicts", 0u64),
+                            a("digest", key.digest.to_string()),
+                        ],
+                    );
+                    entries[i] = Some(ObligationEntry {
+                        name: ob.name.clone(),
+                        class: ob.class,
+                        digest: key.digest,
+                        outcome: Some(outcome),
+                        cached: true,
+                        conflicts: 0,
+                    });
+                }
+                None => missing.push(i),
+            }
+        }
+
+        // Layer 3: solve only the missing obligations, with a
+        // fair-share slice of the worker pool and this request's
+        // deadline.
+        if !missing.is_empty() {
+            let active = self.active.fetch_add(1, Ordering::SeqCst) + 1;
+            let jobs = (resolve_jobs(self.config.jobs) / active).max(1);
+            let mut budget = ObligationBudget::unlimited();
+            if let Some(ms) = req.timeout_ms.or(self.config.timeout_ms) {
+                budget = budget.with_timeout(Duration::from_millis(ms));
+            }
+            let solved = check_selected_traced(
+                &summary.netlist,
+                &summary.obligations,
+                &missing,
+                max_k,
+                jobs,
+                &budget,
+                &trace,
+            );
+            self.active.fetch_sub(1, Ordering::SeqCst);
+            for sel in solved.map_err(|e| e.to_string())? {
+                let i = sel.index;
+                let key = CacheKey {
+                    digest: summary.cone_digests[i],
+                    class: summary.obligations[i].class,
+                    max_k,
+                };
+                // Admission: timeouts and evidence-free violations are
+                // rejected by construction, so the next submission
+                // re-solves them instead of replaying the failure.
+                if let Some(v) = StoredVerdict::from_outcome(sel.report.outcome, sel.cex) {
+                    self.cache.put(&key, &v);
+                }
+                entries[i] = Some(ObligationEntry {
+                    name: sel.report.name,
+                    class: sel.report.class,
+                    digest: key.digest,
+                    outcome: Some(sel.report.outcome),
+                    cached: false,
+                    conflicts: sel.report.stats.conflicts,
+                });
+            }
+        }
+
+        self.write_request_trace(&trace, req);
+        Ok(Body::Submit {
+            design: summary.design.clone(),
+            netlist: summary.digest,
+            max_k,
+            obligations: entries
+                .into_iter()
+                .map(|e| e.expect("every obligation answered"))
+                .collect(),
+        })
+    }
+
+    /// Writes the request's trace NDJSON as
+    /// `<trace_dir>/req-<seq>.ndjson` (`seq` = the request counter, or
+    /// the client id when one was given). Failures are swallowed:
+    /// telemetry must not fail requests.
+    fn write_request_trace(&self, trace: &Trace, req: &Request) {
+        let Some(dir) = &self.config.trace_dir else {
+            return;
+        };
+        let seq = match req.id {
+            Some(id) => id,
+            None => self.requests.load(Ordering::SeqCst),
+        };
+        let write = || -> io::Result<()> {
+            std::fs::create_dir_all(dir)?;
+            std::fs::write(dir.join(format!("req-{seq}.ndjson")), trace.to_ndjson())
+        };
+        let _ = write();
+    }
+}
+
+/// Serves line-delimited requests from `input`, answering on `out` and
+/// reporting per-request wall-clock timing on `log` (out-of-band:
+/// response bytes stay deterministic). Returns after end-of-input or an
+/// accepted shutdown.
+///
+/// # Errors
+///
+/// Propagates I/O errors on the transport streams.
+pub fn serve_stdio(
+    server: &Server,
+    input: impl BufRead,
+    mut out: impl Write,
+    mut log: impl Write,
+) -> io::Result<ServeSummary> {
+    let mut summary = ServeSummary::default();
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let start = Instant::now();
+        let resp = server.handle_line(&line);
+        out.write_all(resp.as_bytes())?;
+        out.write_all(b"\n")?;
+        out.flush()?;
+        summary.requests += 1;
+        let micros = start.elapsed().as_micros();
+        writeln!(
+            log,
+            "serve: request {} answered in {}.{:03} ms",
+            summary.requests,
+            micros / 1000,
+            micros % 1000
+        )?;
+        log.flush()?;
+        if server.stopped() {
+            break;
+        }
+    }
+    Ok(summary)
+}
+
+/// Accepts TCP sessions on `listener` and runs the stdio loop on each,
+/// one thread per connection (timing lines go to the process stderr).
+/// Returns once a shutdown request has been accepted and every session
+/// thread has drained.
+///
+/// # Errors
+///
+/// Propagates accept errors.
+pub fn serve_tcp(server: &Arc<Server>, listener: TcpListener) -> io::Result<ServeSummary> {
+    let mut sessions = Vec::new();
+    let mut summary = ServeSummary::default();
+    for stream in listener.incoming() {
+        if server.stopped() {
+            break;
+        }
+        let stream = stream?;
+        let server = Arc::clone(server);
+        sessions.push(std::thread::spawn(move || {
+            let reader = io::BufReader::new(stream.try_clone()?);
+            serve_stdio(&server, reader, stream, io::stderr())
+        }));
+        // Reap finished sessions so a long-lived daemon does not
+        // accumulate handles; the shutdown check above runs once per
+        // accepted connection.
+        let (done, live): (Vec<_>, Vec<_>) = sessions.into_iter().partition(|h| h.is_finished());
+        sessions = live;
+        for h in done {
+            if let Ok(Ok(s)) = h.join() {
+                summary.requests += s.requests;
+            }
+        }
+    }
+    for h in sessions {
+        if let Ok(Ok(s)) = h.join() {
+            summary.requests += s.requests;
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    const TOY: &str = include_str!("../../../examples/programs/toy.psm");
+
+    fn server() -> Server {
+        Server::new(ServeConfig::default()).expect("in-memory server")
+    }
+
+    fn submit_line(id: u64) -> String {
+        let src = autopipe_trace::ndjson::escape(TOY);
+        format!("{{\"id\":{id},\"op\":\"submit\",\"source\":\"{src}\"}}")
+    }
+
+    #[test]
+    fn submit_then_resubmit_hits_the_cache_with_identical_bytes() {
+        let s = server();
+        let cold = s.handle_line(&submit_line(1));
+        let v = Json::parse(&cold).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("cached").unwrap().as_u64(), Some(0));
+        let total = v.get("obligations").unwrap().as_arr().unwrap().len() as u64;
+        assert!(total > 0);
+        assert_eq!(v.get("refuted").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("timed_out").unwrap().as_u64(), Some(0));
+
+        let warm = s.handle_line(&submit_line(2));
+        let w = Json::parse(&warm).unwrap();
+        assert_eq!(w.get("cached").unwrap().as_u64(), Some(total));
+        for ob in w.get("obligations").unwrap().as_arr().unwrap() {
+            assert_eq!(ob.get("cached").unwrap().as_bool(), Some(true));
+            assert_eq!(ob.get("conflicts").unwrap().as_u64(), Some(0));
+        }
+        // Same digests and verdicts on both passes.
+        let cold_obs = v.get("obligations").unwrap().as_arr().unwrap();
+        let warm_obs = w.get("obligations").unwrap().as_arr().unwrap();
+        for (c, h) in cold_obs.iter().zip(warm_obs) {
+            assert_eq!(c.get("digest"), h.get("digest"));
+            assert_eq!(c.get("outcome"), h.get("outcome"));
+        }
+        assert_eq!(v.get("netlist"), w.get("netlist"));
+    }
+
+    #[test]
+    fn reformatted_source_misses_memo_but_hits_proof_cache() {
+        let s = server();
+        s.handle_line(&submit_line(1));
+        let stores = s.cache().stats().stores;
+        // Append a comment: different bytes, same elaborated design.
+        let src = autopipe_trace::ndjson::escape(&format!("{TOY}\n// trailing comment\n"));
+        let resp = s.handle_line(&format!("{{\"op\":\"submit\",\"source\":\"{src}\"}}"));
+        let v = Json::parse(&resp).unwrap();
+        let total = v.get("obligations").unwrap().as_arr().unwrap().len() as u64;
+        assert_eq!(v.get("cached").unwrap().as_u64(), Some(total));
+        assert_eq!(s.cache().stats().stores, stores, "nothing re-solved");
+    }
+
+    #[test]
+    fn timed_out_obligations_are_not_persisted_and_resolve_later() {
+        let s = server();
+        // A zero deadline expires before any obligation is attempted.
+        let src = autopipe_trace::ndjson::escape(TOY);
+        let dead = s.handle_line(&format!(
+            "{{\"op\":\"submit\",\"source\":\"{src}\",\"timeout_ms\":0}}"
+        ));
+        let v = Json::parse(&dead).unwrap();
+        let total = v.get("obligations").unwrap().as_arr().unwrap().len() as u64;
+        assert_eq!(v.get("timed_out").unwrap().as_u64(), Some(total));
+        assert_eq!(s.cache().stats().stores, 0, "timeouts must not be cached");
+
+        // The next submission re-solves instead of replaying the
+        // timeout...
+        let ok = s.handle_line(&submit_line(2));
+        let v = Json::parse(&ok).unwrap();
+        assert_eq!(v.get("timed_out").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("cached").unwrap().as_u64(), Some(0));
+        // ...and the one after that is served from cache.
+        let warm = s.handle_line(&submit_line(3));
+        let v = Json::parse(&warm).unwrap();
+        assert_eq!(v.get("cached").unwrap().as_u64(), Some(total));
+    }
+
+    #[test]
+    fn hash_status_shutdown_and_errors_answer_in_band() {
+        let s = server();
+        let src = autopipe_trace::ndjson::escape(TOY);
+        let h = s.handle_line(&format!(
+            "{{\"id\":9,\"op\":\"hash\",\"source\":\"{src}\"}}"
+        ));
+        let v = Json::parse(&h).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert!(!v.get("obligations").unwrap().as_arr().unwrap().is_empty());
+        let netlist = v.get("netlist").unwrap().as_str().unwrap().to_string();
+        assert_eq!(netlist.len(), 32);
+
+        let st = s.handle_line("{\"op\":\"status\"}");
+        let v = Json::parse(&st).unwrap();
+        assert_eq!(v.get("requests").unwrap().as_u64(), Some(2));
+
+        let bad = s.handle_line("{\"op\":\"submit\",\"source\":\"machine Broken\"}");
+        let v = Json::parse(&bad).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+
+        let nope = s.handle_line("not json at all");
+        let v = Json::parse(&nope).unwrap();
+        assert_eq!(v.get("op").unwrap().as_str(), Some("invalid"));
+
+        assert!(!s.stopped());
+        let down = s.handle_line("{\"op\":\"shutdown\"}");
+        let v = Json::parse(&down).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert!(s.stopped());
+    }
+
+    #[test]
+    fn stdio_loop_answers_each_line_and_logs_timing_out_of_band() {
+        let s = server();
+        let input = format!(
+            "{}\n\n{}\n{{\"op\":\"shutdown\"}}\n",
+            submit_line(1),
+            submit_line(2)
+        );
+        let mut out = Vec::new();
+        let mut log = Vec::new();
+        let summary = serve_stdio(&s, input.as_bytes(), &mut out, &mut log).unwrap();
+        assert_eq!(summary.requests, 3);
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 3);
+        for l in &lines {
+            assert!(Json::parse(l).is_ok(), "every response parses: {l}");
+        }
+        let log = String::from_utf8(log).unwrap();
+        assert_eq!(log.lines().count(), 3);
+        assert!(log.lines().all(|l| l.starts_with("serve: request ")));
+        // Timing never leaks into response bytes.
+        assert!(!lines.iter().any(|l| l.contains(" ms")));
+    }
+
+    #[test]
+    fn tcp_sessions_share_the_same_handler_and_cache() {
+        let s = Arc::new(server());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let acceptor = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || serve_tcp(&s, listener))
+        };
+        let request = |line: &str| -> String {
+            use std::io::{BufRead, BufReader, Write};
+            let mut conn = std::net::TcpStream::connect(addr).unwrap();
+            conn.write_all(line.as_bytes()).unwrap();
+            conn.write_all(b"\n").unwrap();
+            let mut resp = String::new();
+            BufReader::new(conn).read_line(&mut resp).unwrap();
+            resp
+        };
+        let cold = request(&submit_line(1));
+        let warm = request(&submit_line(2));
+        let v = Json::parse(warm.trim()).unwrap();
+        let total = v.get("obligations").unwrap().as_arr().unwrap().len() as u64;
+        assert_eq!(v.get("cached").unwrap().as_u64(), Some(total));
+        assert!(Json::parse(cold.trim()).is_ok());
+        request("{\"op\":\"shutdown\"}");
+        // Unblock the acceptor so it observes the stop flag.
+        let _ = std::net::TcpStream::connect(addr);
+        let summary = acceptor.join().unwrap().unwrap();
+        assert!(summary.requests >= 3);
+    }
+}

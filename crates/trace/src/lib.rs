@@ -113,6 +113,29 @@ impl Track {
         }
     }
 
+    /// Per-request events of a serving session (`autopipe serve`),
+    /// indexed by the request's position within its own trace.
+    /// Deterministic: each request owns a private [`Trace`], so the
+    /// stream is a pure function of that one submission.
+    #[must_use]
+    pub fn request(i: usize) -> Track {
+        Track {
+            group: 13,
+            index: i as u32,
+        }
+    }
+
+    /// Per-session counters of a serving daemon (admissions, active
+    /// sessions). Racy by construction — arrival order depends on
+    /// client scheduling — so profile-only, like [`Track::pool`].
+    #[must_use]
+    pub fn session(i: usize) -> Track {
+        Track {
+            group: Self::RACY_GROUPS + 1,
+            index: i as u32,
+        }
+    }
+
     /// Per-pool-worker counters. Racy by construction: profile-only.
     #[must_use]
     pub fn pool(worker: usize) -> Track {
@@ -519,6 +542,8 @@ mod tests {
     fn racy_tracks_are_marked() {
         assert!(Track::RUN.deterministic_eligible());
         assert!(Track::obligation(3).deterministic_eligible());
+        assert!(Track::request(2).deterministic_eligible());
         assert!(!Track::pool(0).deterministic_eligible());
+        assert!(!Track::session(1).deterministic_eligible());
     }
 }

@@ -1,0 +1,182 @@
+//! Obligation-granular incremental verification.
+//!
+//! The serving layer (`autopipe serve`) caches per-obligation verdicts
+//! keyed by canonical cone digests, so a resubmitted design only needs
+//! the obligations whose cones changed re-solved. This module is the
+//! verify-side half of that contract:
+//!
+//! * [`check_selected_traced`] discharges an arbitrary *subset* of a
+//!   machine's obligations — reusing the shared-[`crate::bmc::ClauseCache`]
+//!   engine of [`crate::check_obligations_traced`] — and additionally
+//!   captures a minimized, replayable counterexample trace for every
+//!   `Violated` verdict, so a cache can store refutations as evidence
+//!   rather than bare claims;
+//! * [`refutes`] replays a stored counterexample through the
+//!   independent [`Sim64`](autopipe_hdl::Sim64)-backed
+//!   [`crate::cex::replay_trace`] — the guard a cache must pass before
+//!   serving a stale `Refuted`.
+
+use crate::bmc::{
+    bmc_invariant_with_trace, check_obligations_traced, BmcOutcome, CexTrace, ObligationBudget,
+    ObligationReport,
+};
+use crate::cex::{minimize_trace, replay_trace};
+use autopipe_hdl::{HdlError, NetId, Netlist};
+use autopipe_synth::Obligation;
+use autopipe_trace::Trace;
+
+/// The report for one selected obligation, carrying its position in
+/// the *original* obligation list and, for refuted obligations, a
+/// minimized counterexample that replays on the simulator.
+#[derive(Debug, Clone)]
+pub struct SelectedReport {
+    /// Index into the caller's full obligation slice.
+    pub index: usize,
+    /// The verdict and solver statistics.
+    pub report: ObligationReport,
+    /// Minimized input trace for `Violated` outcomes (when one could
+    /// be reconstructed); `None` otherwise.
+    pub cex: Option<CexTrace>,
+}
+
+/// Discharges the obligations at `selected` positions of
+/// `obligations`, exactly as [`crate::check_obligations_traced`] would
+/// (same caches, same retry ladder, same determinism contract), and
+/// reconstructs a minimized counterexample for each `Violated`
+/// verdict by re-running base-case BMC with trace extraction.
+///
+/// Verdicts are byte-deterministic for any `jobs` under conflict-only
+/// budgets; the obligation spans in `trace` are indexed by position
+/// within `selected` (a pure function of the subset).
+///
+/// # Errors
+///
+/// Propagates AIG lowering errors.
+pub fn check_selected_traced(
+    netlist: &Netlist,
+    obligations: &[Obligation],
+    selected: &[usize],
+    max_k: usize,
+    jobs: usize,
+    budget: &ObligationBudget,
+    trace: &Trace,
+) -> Result<Vec<SelectedReport>, HdlError> {
+    let subset: Vec<Obligation> = selected.iter().map(|&i| obligations[i].clone()).collect();
+    let reports = check_obligations_traced(netlist, &subset, max_k, jobs, budget, trace)?;
+    // Counterexample reconstruction is off the hot path: refutations
+    // are rare in steady-state serving, and the base case that found
+    // one re-solves quickly (the violating frame bounds the unrolling).
+    let lowered = if reports
+        .iter()
+        .any(|r| matches!(r.outcome, BmcOutcome::Violated { .. }))
+    {
+        Some(autopipe_hdl::aig::lower(netlist)?)
+    } else {
+        None
+    };
+    Ok(selected
+        .iter()
+        .zip(reports)
+        .map(|(&index, report)| {
+            let cex = match (report.outcome, &lowered) {
+                (BmcOutcome::Violated { frame }, Some(low)) => {
+                    let net = obligations[index].net;
+                    let prop = low.net_lits(net)[0];
+                    let (_, raw) = bmc_invariant_with_trace(&low.aig, prop, frame);
+                    raw.map(|t| minimize_trace(netlist, low, net, &t))
+                        .transpose()
+                        .ok()
+                        .flatten()
+                }
+                _ => None,
+            };
+            SelectedReport { index, report, cex }
+        })
+        .collect())
+}
+
+/// True when `cex` still refutes the 1-bit property net `prop` under
+/// simulator replay — the admission check for serving a cached
+/// `Refuted` verdict.
+///
+/// # Errors
+///
+/// Propagates AIG lowering and simulator construction errors.
+pub fn refutes(nl: &Netlist, prop: NetId, cex: &CexTrace) -> Result<bool, HdlError> {
+    let lowered = autopipe_hdl::aig::lower(nl)?;
+    Ok(replay_trace(nl, &lowered, prop, cex)?.is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopipe_synth::ObligationClass;
+
+    /// A wrap-at-6 counter with one true and one false obligation.
+    fn machine() -> (Netlist, Vec<Obligation>) {
+        let mut nl = Netlist::new("c6");
+        let (r, out) = nl.register("cnt", 3, 0);
+        let five = nl.constant(5, 3);
+        let one = nl.constant(1, 3);
+        let zero = nl.constant(0, 3);
+        let wrap = nl.eq(out, five);
+        let inc = nl.add(out, one);
+        let next = nl.mux(wrap, zero, inc);
+        nl.connect(r, next);
+        let mut obs = Vec::new();
+        for v in [7u64, 4] {
+            let c = nl.constant(v, 3);
+            let bad = nl.eq(out, c);
+            let ok = nl.not(bad);
+            let ok = nl.label(format!("ob.never{v}"), ok);
+            obs.push(Obligation {
+                name: format!("never{v}"),
+                class: ObligationClass::Inductive,
+                net: ok,
+            });
+        }
+        (nl, obs)
+    }
+
+    #[test]
+    fn subset_matches_full_run_and_keeps_indices() {
+        let (nl, obs) = machine();
+        let full = crate::check_obligations(&nl, &obs, 8).unwrap();
+        let sel = check_selected_traced(
+            &nl,
+            &obs,
+            &[1],
+            8,
+            1,
+            &ObligationBudget::unlimited(),
+            &Trace::disabled(),
+        )
+        .unwrap();
+        assert_eq!(sel.len(), 1);
+        assert_eq!(sel[0].index, 1);
+        assert_eq!(sel[0].report.outcome, full[1].outcome);
+    }
+
+    #[test]
+    fn violated_obligations_carry_a_replayable_cex() {
+        let (nl, obs) = machine();
+        let sel = check_selected_traced(
+            &nl,
+            &obs,
+            &[0, 1],
+            8,
+            1,
+            &ObligationBudget::unlimited(),
+            &Trace::disabled(),
+        )
+        .unwrap();
+        // never7 holds; never4 is violated at frame 4.
+        assert!(sel[0].report.ok());
+        assert!(sel[0].cex.is_none());
+        assert_eq!(sel[1].report.outcome, BmcOutcome::Violated { frame: 4 });
+        let cex = sel[1].cex.as_ref().expect("refutation must carry a trace");
+        assert!(refutes(&nl, obs[1].net, cex).unwrap());
+        // The same trace does not refute the true obligation.
+        assert!(!refutes(&nl, obs[0].net, cex).unwrap());
+    }
+}

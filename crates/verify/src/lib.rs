@@ -30,6 +30,9 @@
 //!   counterexamples,
 //! * [`cex`] — counterexample ergonomics: greedy trace minimization
 //!   against simulator replay and VCD witness dumping,
+//! * [`incremental`] — obligation-granular subset solving with
+//!   replayable counterexample capture, the verify-side contract of
+//!   the `autopipe serve` proof cache,
 //! * [`error`] — the typed [`VerifyError`] every fallible public
 //!   surface returns.
 //!
@@ -48,6 +51,7 @@ pub mod cnf;
 pub mod cosim;
 pub mod equiv;
 pub mod error;
+pub mod incremental;
 pub mod pool;
 pub mod report;
 pub mod sat;
@@ -55,7 +59,7 @@ pub mod soundness;
 
 pub use bmc::{
     check_obligations, check_obligations_bounded, check_obligations_jobs, check_obligations_traced,
-    outcome_name, BmcOutcome, BmcResult, CacheStats, ClauseCache, ObligationBudget,
+    outcome_name, BmcOutcome, BmcResult, CacheStats, CexTrace, ClauseCache, ObligationBudget,
     ObligationReport, SolveStats,
 };
 pub use cex::{minimize_trace, replay_trace, write_vcd_witness};
@@ -64,6 +68,7 @@ pub use equiv::{
     fuzz_property, lockstep_miter, netlist_miter, retirement_miter, simulate_property, MiterError,
 };
 pub use error::VerifyError;
+pub use incremental::{check_selected_traced, refutes, SelectedReport};
 pub use report::{
     verify_machine, verify_machine_traced, VerificationReport, VerifySettings, VerifyTimings,
 };

@@ -19,6 +19,12 @@
 //!   trace    summarize a recorded `--trace` NDJSON file: hot-obligation
 //!            table, clause-cache hit rates, per-mutant results, and
 //!            optional folded stacks for flamegraph tools
+//!   hash     synthesize and print the canonical structural digests:
+//!            one for the whole netlist and one per proof obligation
+//!            cone (the proof-cache keys of `serve`)
+//!   serve    run the incremental verification daemon: line-delimited
+//!            JSON requests over stdio (or TCP with --tcp), answered
+//!            through a content-addressed proof cache
 //!
 //! options:
 //!   --emit FILE     (synth) also write the pipelined Verilog to FILE
@@ -43,6 +49,12 @@
 //!   --profile FILE  record the run as Chrome/Perfetto trace-event JSON
 //!                   with wall-clock timestamps and per-worker lanes
 //!   --folded FILE   (trace) also write folded-stack flamegraph lines
+//!   --cache DIR     (serve) persistent proof-cache directory
+//!   --tcp PORT      (serve) accept TCP sessions on 127.0.0.1:PORT
+//!                   instead of serving stdio
+//!   --trace-dir DIR (serve) write per-request trace NDJSON into DIR
+//!   --hot-cap N     (serve) in-memory cache entry cap [4096]
+//!   --cache-cap N   (serve) on-disk cache entry cap [unbounded]
 //!   -h, --help      print this help
 //!   --version       print the version
 //! ```
@@ -77,7 +89,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str =
-    "usage: autopipe <parse|lint|synth|verify|mutate|emit|report|trace> <design.psm> [options]
+    "usage: autopipe <parse|lint|synth|verify|mutate|emit|report|hash|trace|serve> <design.psm> [options]
   --emit FILE   (synth) write pipelined Verilog to FILE
   --proof FILE  (synth) write the proof document to FILE
   -o FILE       (emit) write Verilog to FILE instead of stdout
@@ -99,6 +111,11 @@ const USAGE: &str =
                 for every --jobs value)
   --profile FILE  record a Chrome/Perfetto trace-event profile
   --folded FILE (trace) write folded-stack flamegraph lines to FILE
+  --cache DIR   (serve) persistent proof-cache directory
+  --tcp PORT    (serve) accept TCP sessions on 127.0.0.1:PORT
+  --trace-dir DIR (serve) write per-request trace NDJSON into DIR
+  --hot-cap N   (serve) in-memory cache entry cap [4096]
+  --cache-cap N (serve) on-disk cache entry cap [unbounded]
   -h, --help    print this help
   --version     print the version";
 
@@ -121,6 +138,11 @@ struct Options {
     trace: Option<PathBuf>,
     profile: Option<PathBuf>,
     folded: Option<PathBuf>,
+    cache: Option<PathBuf>,
+    tcp: Option<u16>,
+    trace_dir: Option<PathBuf>,
+    hot_cap: usize,
+    cache_cap: Option<usize>,
 }
 
 /// Parses the numeric argument of a flag, reporting command-line
@@ -164,6 +186,11 @@ fn parse_args() -> Result<Options, Early> {
         trace: None,
         profile: None,
         folded: None,
+        cache: None,
+        tcp: None,
+        trace_dir: None,
+        hot_cap: 4096,
+        cache_cap: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -215,6 +242,11 @@ fn parse_args() -> Result<Options, Early> {
             "--trace" => o.trace = Some(file_arg(&mut args)?),
             "--profile" => o.profile = Some(file_arg(&mut args)?),
             "--folded" => o.folded = Some(file_arg(&mut args)?),
+            "--cache" => o.cache = Some(file_arg(&mut args)?),
+            "--tcp" => o.tcp = Some(num_arg("--tcp", &mut args)?),
+            "--trace-dir" => o.trace_dir = Some(file_arg(&mut args)?),
+            "--hot-cap" => o.hot_cap = num_arg("--hot-cap", &mut args)?,
+            "--cache-cap" => o.cache_cap = Some(num_arg("--cache-cap", &mut args)?),
             other if other.starts_with('-') => {
                 return Err(Early::Usage(format!("unknown option `{other}`")))
             }
@@ -226,9 +258,29 @@ fn parse_args() -> Result<Options, Early> {
     o.command = command.ok_or_else(|| Early::Usage("missing command".into()))?;
     if !matches!(
         o.command.as_str(),
-        "parse" | "lint" | "synth" | "verify" | "mutate" | "emit" | "report" | "trace"
+        "parse"
+            | "lint"
+            | "synth"
+            | "verify"
+            | "mutate"
+            | "emit"
+            | "report"
+            | "hash"
+            | "trace"
+            | "serve"
     ) {
         return Err(Early::Usage(format!("unknown command `{}`", o.command)));
+    }
+    if o.command == "serve" {
+        // The daemon reads designs from its requests, not the command
+        // line.
+        if let Some(p) = path {
+            return Err(Early::Usage(format!(
+                "serve takes no positional argument (got `{}`)",
+                p.display()
+            )));
+        }
+        return Ok(o);
     }
     o.path = path.ok_or_else(|| {
         if o.command == "trace" {
@@ -377,9 +429,61 @@ fn write_trace_files(o: &Options, trace: &Trace) -> Result<(), String> {
     Ok(())
 }
 
+/// `autopipe serve`: run the incremental verification daemon on stdio,
+/// or on a local TCP port with `--tcp`. Per-request timing goes to
+/// stderr; response bytes on the protocol stream stay deterministic.
+fn serve_daemon(o: &Options) -> Result<ExitCode, String> {
+    use autopipe::serve::{serve_stdio, serve_tcp, ServeConfig, Server};
+    let config = ServeConfig {
+        cache_dir: o.cache.clone(),
+        hot_cap: o.hot_cap,
+        disk_cap: o.cache_cap,
+        max_k: o.depth,
+        jobs: o.jobs,
+        timeout_ms: o.timeout.map(|s| s.saturating_mul(1000)),
+        trace_dir: o.trace_dir.clone(),
+    };
+    let summary = match o.tcp {
+        Some(port) => {
+            let server =
+                std::sync::Arc::new(Server::new(config).map_err(|e| format!("serve: {e}"))?);
+            let listener = std::net::TcpListener::bind(("127.0.0.1", port))
+                .map_err(|e| format!("serve: cannot bind 127.0.0.1:{port}: {e}"))?;
+            if let Ok(addr) = listener.local_addr() {
+                errln(format_args!("serve: listening on {addr}"));
+            }
+            serve_tcp(&server, listener)
+        }
+        None => {
+            let server = Server::new(config).map_err(|e| format!("serve: {e}"))?;
+            serve_stdio(
+                &server,
+                std::io::stdin().lock(),
+                std::io::stdout(),
+                std::io::stderr(),
+            )
+        }
+    };
+    // Like `out()`: a reader that goes away mid-stream ends the
+    // session cleanly instead of failing the daemon.
+    let summary = match summary {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Default::default(),
+        Err(e) => return Err(format!("serve: {e}")),
+    };
+    errln(format_args!(
+        "serve: done, {} request(s) answered",
+        summary.requests
+    ));
+    Ok(ExitCode::SUCCESS)
+}
+
 fn run(o: &Options) -> Result<ExitCode, String> {
     if o.command == "trace" {
         return trace_summary(o);
+    }
+    if o.command == "serve" {
+        return serve_daemon(o);
     }
     let trace = if o.trace.is_some() || o.profile.is_some() {
         Trace::new()
@@ -447,6 +551,54 @@ fn run_command(o: &Options, trace: &Trace) -> Result<ExitCode, String> {
                     outln(format_args!("verilog written to {}", path.display()));
                 }
                 None => out(&v),
+            }
+        }
+        "hash" => {
+            // The digests mirror the serve daemon's cache keys exactly,
+            // so `autopipe hash` answers "which obligations would a
+            // submit re-solve?" without starting a daemon. Annotation
+            // rewrites (--interlock/--tree) are deliberately ignored:
+            // the daemon elaborates from annotations alone.
+            let src = std::fs::read_to_string(&o.path)
+                .map_err(|e| format!("cannot read {}: {e}", o.path.display()))?;
+            let s = autopipe::serve::elaborate(&src, &o.path.display().to_string())?;
+            if o.format == "json" {
+                use autopipe::serve::protocol::{Body, ObligationEntry, Op, Response};
+                let obligations = s
+                    .obligations
+                    .iter()
+                    .zip(&s.cone_digests)
+                    .map(|(ob, d)| ObligationEntry {
+                        name: ob.name.clone(),
+                        class: ob.class,
+                        digest: *d,
+                        outcome: None,
+                        cached: false,
+                        conflicts: 0,
+                    })
+                    .collect();
+                outln(
+                    Response {
+                        id: None,
+                        op: Op::Hash,
+                        result: Ok(Body::Hash {
+                            design: s.design.clone(),
+                            netlist: s.digest,
+                            obligations,
+                        }),
+                    }
+                    .to_line(),
+                );
+            } else {
+                outln(format_args!("design {}", s.design));
+                outln(format_args!("netlist {}", s.digest));
+                for (ob, d) in s.obligations.iter().zip(&s.cone_digests) {
+                    outln(format_args!(
+                        "obligation {} {} {d}",
+                        ob.name,
+                        autopipe::serve::protocol::class_name(ob.class)
+                    ));
+                }
             }
         }
         "report" => {

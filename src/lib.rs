@@ -35,6 +35,12 @@
 //!   NDJSON (byte-identical for every `--jobs` value) or as a
 //!   Chrome/Perfetto trace-event profile (`autopipe … --trace/--profile`,
 //!   summarized by `autopipe trace`).
+//! * [`serve`] — incremental verification as a service (`autopipe
+//!   serve`): a line-delimited JSON protocol over stdio/TCP backed by
+//!   a content-addressed proof cache keyed on canonical obligation-cone
+//!   digests ([`hdl::hash`]), so a resubmitted design answers from
+//!   cache in microseconds and an edit re-solves only the obligations
+//!   whose cones changed.
 //!
 //! Every fallible step of that workflow returns a typed error that
 //! converts into the workspace-level [`Error`], so an end-to-end run
@@ -50,6 +56,7 @@ pub use autopipe_dlx as dlx;
 pub use autopipe_front as front;
 pub use autopipe_hdl as hdl;
 pub use autopipe_psm as psm;
+pub use autopipe_serve as serve;
 pub use autopipe_synth as synth;
 pub use autopipe_trace as trace;
 pub use autopipe_verify as verify;
@@ -161,6 +168,7 @@ pub mod prelude {
     pub use crate::front::{compile, compile_file, emit_verilog, Compiled, Diagnostics};
     pub use crate::hdl::{HdlError, Netlist, Sim64, Simulator};
     pub use crate::psm::{MachineSpec, Plan, SequentialMachine};
+    pub use crate::serve::{ProofCache, ServeConfig, Server};
     pub use crate::synth::{
         ForwardingSpec, MuxTopology, PipelineSynthesizer, PipelinedMachine, SynthOptions,
         SynthReport,

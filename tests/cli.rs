@@ -464,3 +464,86 @@ fn synth_gates_on_lint_errors() {
     assert_eq!(code, Some(0), "warnings do not gate: {out}");
     assert!(out.contains("warning[AP0306]"), "{out}");
 }
+
+/// `hash` prints one digest line per obligation plus the netlist
+/// digest, stable across runs, and the same digests in JSON form.
+#[test]
+fn hash_prints_stable_canonical_digests() {
+    let toy = example("toy.psm");
+    let (c1, o1, e1) = run_bin_stdout(env!("CARGO_BIN_EXE_autopipe"), &["hash", &toy]);
+    assert_eq!(c1, Some(0), "{e1}");
+    let text = String::from_utf8(o1.clone()).unwrap();
+    assert!(text.starts_with("design acc\nnetlist "), "{text}");
+    assert!(text.lines().count() > 3, "{text}");
+    for line in text.lines().skip(2) {
+        let digest = line.rsplit(' ').next().unwrap();
+        assert_eq!(digest.len(), 32, "32-hex digest expected: {line}");
+    }
+    // Byte-identical on a second run.
+    let (_, o2, _) = run_bin_stdout(env!("CARGO_BIN_EXE_autopipe"), &["hash", &toy]);
+    assert_eq!(o1, o2);
+    // JSON form carries the same netlist digest.
+    let (c3, o3, e3) = run_bin_stdout(
+        env!("CARGO_BIN_EXE_autopipe"),
+        &["hash", &toy, "--format", "json"],
+    );
+    assert_eq!(c3, Some(0), "{e3}");
+    let json = String::from_utf8(o3).unwrap();
+    let netlist = text.lines().nth(1).unwrap().rsplit(' ').next().unwrap();
+    assert!(
+        json.contains(&format!("\"netlist\":\"{netlist}\"")),
+        "{json}"
+    );
+}
+
+/// `serve` answers protocol lines on stdout (deterministic) and keeps
+/// wall-clock timing on stderr; a resubmitted design is fully cached.
+#[test]
+fn serve_stdio_roundtrip_with_cache_hits() {
+    use std::io::Write;
+    use std::process::{Command, Stdio};
+    let toy = example("toy.psm");
+    let requests = format!(
+        "{{\"id\":1,\"op\":\"submit\",\"path\":\"{toy}\"}}\n\
+{{\"id\":2,\"op\":\"submit\",\"path\":\"{toy}\"}}\n\
+{{\"op\":\"status\"}}\n{{\"op\":\"shutdown\"}}\n"
+    );
+    let mut child = Command::new(env!("CARGO_BIN_EXE_autopipe"))
+        .args(["serve"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon starts");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(requests.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 4, "{stdout}");
+    assert!(lines[0].contains("\"cached\":0"), "cold: {}", lines[0]);
+    assert!(!lines[1].contains("\"cached\":false"), "warm: {}", lines[1]);
+    assert!(lines[1].contains("\"cached\":true"), "warm: {}", lines[1]);
+    assert!(lines[2].contains("\"requests\":3"), "{}", lines[2]);
+    assert!(lines[3].contains("\"op\":\"shutdown\""), "{}", lines[3]);
+    // Timing is out-of-band.
+    assert!(stderr.contains("serve: request 2 answered in"), "{stderr}");
+    assert!(!stdout.contains(" ms"), "{stdout}");
+}
+
+/// `serve` rejects a positional argument; `hash` requires one.
+#[test]
+fn serve_and_hash_argument_validation() {
+    let (code, out) = autopipe(&["serve", &example("toy.psm")]);
+    assert_eq!(code, Some(2), "{out}");
+    assert!(out.contains("serve takes no positional argument"), "{out}");
+    let (code, out) = autopipe(&["hash"]);
+    assert_eq!(code, Some(2), "{out}");
+    assert!(out.contains("missing <design.psm>"), "{out}");
+}
