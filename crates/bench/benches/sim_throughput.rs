@@ -5,6 +5,7 @@ use autopipe_bench::experiments::dlx_pipeline;
 use autopipe_dlx::machine::load_program;
 use autopipe_dlx::workload::{random_program, HazardProfile};
 use autopipe_dlx::{dlx_synth_options, DlxConfig};
+use autopipe_hdl::CompiledSim64;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn bench_sim(c: &mut Criterion) {
@@ -24,6 +25,20 @@ fn bench_sim(c: &mut Criterion) {
     });
     group.finish();
 
+    // The compiled bytecode engine: netlist levelized and compiled
+    // once outside the timed loop, then pure straight-line execution.
+    let mut compiled = autopipe_hdl::CompiledSim::new(&pm.netlist).expect("compiles");
+    load_program(&mut compiled, cfg, &words);
+    let mut group = c.benchmark_group("sim_compiled");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("dlx_pipeline_1k_cycles", |b| {
+        b.iter(|| {
+            compiled.run(1000);
+            compiled.cycle()
+        });
+    });
+    group.finish();
+
     // The 64-lane bit-parallel simulator clocks 64 independent copies
     // of the pipeline per step; throughput is lanes x cycles.
     let mut group = c.benchmark_group("sim64");
@@ -33,6 +48,20 @@ fn bench_sim(c: &mut Criterion) {
             let mut sim = autopipe_hdl::Sim64::new(&pm.netlist).expect("simulates");
             sim.run(1000);
             sim.cycle()
+        });
+    });
+    group.finish();
+
+    // The word-packed 64-lane compiled engine — the bulk-throughput
+    // backend; like sim_compiled, compilation stays outside the loop.
+    let mut c64 = autopipe_hdl::CompiledSim64::new(&pm.netlist).expect("compiles");
+    load_program(&mut c64, cfg, &words);
+    let mut group = c.benchmark_group("sim_compiled64");
+    group.throughput(Throughput::Elements(64 * 1000));
+    group.bench_function("dlx_pipeline_64x1k_cycles", |b| {
+        b.iter(|| {
+            c64.run(1000);
+            CompiledSim64::cycle(&c64)
         });
     });
     group.finish();

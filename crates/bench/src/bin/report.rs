@@ -8,12 +8,13 @@
 //! the CPI sweeps (E4/E5); `--jobs`/`-j` renders the selected
 //! experiments on the verification work-stealing pool (`0` = one per
 //! core) — output order stays deterministic regardless. `--json FILE`
-//! additionally writes the machine-readable `BENCH_6.json` record:
+//! additionally writes the machine-readable `BENCH_7.json` record:
 //! per-experiment wall-clock, the small-DLX verification section
-//! (obligation outcomes and summed SAT counters), and the serve
-//! section (cold-vs-warm daemon latency, proof-cache hit rate, and
-//! the canonical netlist/obligation digests); the schema is
-//! documented in `docs/OBSERVABILITY.md`.
+//! (obligation outcomes and summed SAT counters), the serve section
+//! (cold-vs-warm daemon latency, proof-cache hit rate, and the
+//! canonical netlist/obligation digests), and the simulation section
+//! (per-backend DLX cosim throughput and the mutation-run
+//! wall-clock); the schema is documented in `docs/OBSERVABILITY.md`.
 
 use autopipe_bench::experiments as ex;
 use autopipe_verify::pool;
@@ -29,17 +30,18 @@ fn num_arg(flag: &str, v: Option<String>) -> u64 {
     }
 }
 
-/// Renders the `BENCH_6.json` record; hand-rolled like every other
+/// Renders the `BENCH_7.json` record; hand-rolled like every other
 /// JSON writer in the workspace (names and digests are
 /// `[a-zA-Z0-9_./-]`, so no string escaping is needed).
-fn bench6_json(
+fn bench7_json(
     seed: u64,
     jobs: usize,
     rows: &[(&str, u128)],
     verify: &ex::Bench5Verify,
     serve: &ex::Bench6Serve,
+    sim: &ex::Bench7Sim,
 ) -> String {
-    let mut s = String::from("{\n  \"schema\": \"autopipe-bench-6\",\n");
+    let mut s = String::from("{\n  \"schema\": \"autopipe-bench-7\",\n");
     s.push_str(&format!("  \"seed\": {seed},\n  \"jobs\": {jobs},\n"));
     s.push_str("  \"experiments\": [\n");
     for (i, (name, micros)) in rows.iter().enumerate() {
@@ -105,7 +107,44 @@ fn bench6_json(
             "      {{\"name\": \"{name}\", \"digest\": \"{digest}\"}}{comma}\n"
         ));
     }
-    s.push_str("    ]\n  }\n}\n");
+    s.push_str("    ]\n  },\n  \"sim\": {\n");
+    s.push_str("    \"machine\": \"dlx5\",\n");
+    s.push_str(&format!("    \"cycles\": {},\n", sim.cycles));
+    s.push_str("    \"backends\": [\n");
+    for (i, r) in sim.rows.iter().enumerate() {
+        let comma = if i + 1 < sim.rows.len() { "," } else { "" };
+        s.push_str(&format!(
+            "      {{\"backend\": \"{}\", \"lanes\": {}, \"sim_ms\": {}.{:03}, \
+\"sim_cycles_per_sec\": {:.0}, \"aggregate_cycles_per_sec\": {:.0}, \
+\"cosim_ms\": {}.{:03}, \"cosim_cycles_per_sec\": {:.0}}}{comma}\n",
+            r.backend,
+            r.lanes,
+            r.sim_micros / 1000,
+            r.sim_micros % 1000,
+            r.sim_cycles_per_sec(sim.cycles),
+            r.aggregate_cycles_per_sec(sim.cycles),
+            r.cosim_micros / 1000,
+            r.cosim_micros % 1000,
+            r.cosim_cycles_per_sec(sim.cycles)
+        ));
+    }
+    s.push_str("    ],\n");
+    s.push_str(&format!(
+        "    \"compiled_speedup_vs_interp\": {:.2},\n",
+        sim.compiled_speedup()
+    ));
+    s.push_str(&format!(
+        "    \"compiled64_throughput_speedup_vs_interp\": {:.2},\n",
+        sim.compiled64_speedup()
+    ));
+    s.push_str(&format!(
+        "    \"mutation\": {{\"wall_ms\": {}.{:03}, \"mutants\": {}, \"killed\": {}}}\n",
+        sim.mutation_micros / 1000,
+        sim.mutation_micros % 1000,
+        sim.mutation_mutants,
+        sim.mutation_killed
+    ));
+    s.push_str("  }\n}\n");
     s
 }
 
@@ -168,7 +207,8 @@ fn main() {
         let rows: Vec<(&str, u128)> = tables.iter().map(|(n, _, us)| (*n, *us)).collect();
         let verify = ex::bench5_verify(jobs);
         let serve = ex::bench6_serve(jobs);
-        let text = bench6_json(seed.unwrap_or(0), jobs, &rows, &verify, &serve);
+        let sim = ex::bench7_sim(10_000, jobs);
+        let text = bench7_json(seed.unwrap_or(0), jobs, &rows, &verify, &serve, &sim);
         if let Err(e) = std::fs::write(&path, text) {
             eprintln!("report: cannot write {path}: {e}");
             std::process::exit(1);

@@ -766,10 +766,10 @@ pub fn e9_render() -> String {
 }
 
 // ---------------------------------------------------------------------
-// BENCH_6.json — the machine-readable verification section.
+// BENCH_7.json — the machine-readable verification section.
 // ---------------------------------------------------------------------
 
-/// The verification section of `BENCH_6.json`: obligation outcomes and
+/// The verification section of `BENCH_7.json`: obligation outcomes and
 /// summed SAT counters for the small DLX (see `docs/OBSERVABILITY.md`
 /// for the schema).
 #[derive(Debug, Clone, Default)]
@@ -820,7 +820,7 @@ pub fn bench5_verify(jobs: usize) -> Bench5Verify {
 }
 
 // ---------------------------------------------------------------------
-// Serve benchmark — cold vs warm daemon latency (BENCH_6 record).
+// Serve benchmark — cold vs warm daemon latency (BENCH_7 record).
 // ---------------------------------------------------------------------
 
 /// Cold-vs-warm latency of the `autopipe serve` daemon on the toy
@@ -902,6 +902,195 @@ pub fn bench6_serve(jobs: usize) -> Bench6Serve {
         hits: stats.hits,
         misses: stats.misses,
         stores: stats.stores,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simulation-backend benchmark (BENCH_7 record).
+// ---------------------------------------------------------------------
+
+/// One backend's throughput on the 10k-cycle pipelined-DLX workload,
+/// measured twice: the bare simulator loop and the full co-simulation
+/// harness (pipeline + sequential machine + per-cycle checks).
+#[derive(Debug, Clone)]
+pub struct Bench7SimRow {
+    /// Backend name (`interp`, `bitparallel`, `compiled`, `compiled64`).
+    pub backend: String,
+    /// Independent machine copies each step advances (64 for the
+    /// word-packed engine, 1 otherwise).
+    pub lanes: u32,
+    /// Wall-clock microseconds for the bare simulator loop (best of
+    /// three timed runs, after a warm-up run).
+    pub sim_micros: u128,
+    /// Wall-clock microseconds for the cosim harness run.
+    pub cosim_micros: u128,
+}
+
+impl Bench7SimRow {
+    /// Bare-loop throughput in simulated cycles per second (one lane).
+    pub fn sim_cycles_per_sec(&self, cycles: u64) -> f64 {
+        cycles as f64 * 1.0e6 / self.sim_micros.max(1) as f64
+    }
+
+    /// Bare-loop throughput summed over all lanes: the number of
+    /// simulated machine-cycles the backend retires per wall-clock
+    /// second, which is the honest basis for comparing the 64-lane
+    /// engine against the scalar backends.
+    pub fn aggregate_cycles_per_sec(&self, cycles: u64) -> f64 {
+        self.lanes as f64 * self.sim_cycles_per_sec(cycles)
+    }
+
+    /// Cosim-harness throughput in simulated cycles per second.
+    pub fn cosim_cycles_per_sec(&self, cycles: u64) -> f64 {
+        cycles as f64 * 1.0e6 / self.cosim_micros.max(1) as f64
+    }
+}
+
+/// The simulation section of `BENCH_7.json`: per-backend DLX
+/// throughput plus the mutation kill-matrix wall-clock (the run the
+/// compiled backend is meant to turn from dominant cost into noise).
+#[derive(Debug, Clone)]
+pub struct Bench7Sim {
+    /// Cycle budget of each throughput run.
+    pub cycles: u64,
+    /// One row per [`Backend`](autopipe_hdl::Backend), report order
+    /// `interp`, `bitparallel`, `compiled`, `compiled64`.
+    pub rows: Vec<Bench7SimRow>,
+    /// Wall-clock microseconds of the toy-machine soundness run.
+    pub mutation_micros: u128,
+    /// Mutants attacked by that run.
+    pub mutation_mutants: usize,
+    /// Mutants killed (must equal `mutation_mutants`).
+    pub mutation_killed: usize,
+}
+
+impl Bench7Sim {
+    /// Compiled-vs-interpreter speedup on the bare 10k-cycle DLX loop
+    /// (scalar, one lane against one lane).
+    pub fn compiled_speedup(&self) -> f64 {
+        let micros = |name: &str| {
+            self.rows
+                .iter()
+                .find(|r| r.backend == name)
+                .map_or(1, |r| r.sim_micros.max(1))
+        };
+        micros("interp") as f64 / micros("compiled") as f64
+    }
+
+    /// Word-packed-engine speedup: simulated machine-cycles per second
+    /// across all 64 lanes of `compiled64`, relative to the
+    /// interpreter's single lane.
+    pub fn compiled64_speedup(&self) -> f64 {
+        let agg = |name: &str| {
+            self.rows
+                .iter()
+                .find(|r| r.backend == name)
+                .map_or(0.0, |r| r.aggregate_cycles_per_sec(self.cycles))
+        };
+        let interp = agg("interp");
+        if interp == 0.0 {
+            return 0.0;
+        }
+        agg("compiled64") / interp
+    }
+}
+
+/// A non-halting DLX store loop: every cycle retires work, so both the
+/// bare loop and the cosim harness run the full budget without
+/// tripping the liveness check.
+fn bench7_workload() -> Vec<u32> {
+    autopipe_dlx::asm::assemble(
+        "       addi r1, r0, 0
+         loop:  addi r2, r1, 100
+                sw   r2, 0(r1)
+                addi r1, r1, 4
+                j    loop
+                nop",
+    )
+    .expect("assembles")
+    .iter()
+    .map(|i| i.encode())
+    .collect()
+}
+
+/// Measures every simulation backend on the pipelined DLX for
+/// `cycles` cycles and times one toy-machine mutation run.
+pub fn bench7_sim(cycles: u64, jobs: usize) -> Bench7Sim {
+    use autopipe_hdl::Backend;
+    let cfg = DlxConfig::default();
+    let plan = build_dlx_spec(cfg)
+        .expect("spec builds")
+        .plan()
+        .expect("plans");
+    let pm = PipelineSynthesizer::new(dlx_synth_options())
+        .run(&plan)
+        .expect("synthesizes");
+    let words = bench7_workload();
+
+    let mut rows = Vec::new();
+    for backend in [
+        Backend::Interp,
+        Backend::Bitparallel,
+        Backend::Compiled,
+        Backend::Compiled64,
+    ] {
+        // Bare simulator loop: settle/clock only, no checker. One
+        // warm-up run primes caches and branch predictors; the
+        // reported figure is the best of three timed runs, the
+        // standard way to strip scheduler noise from a throughput
+        // measurement.
+        let mut sim = pm.sim(backend).expect("simulates");
+        load_program(sim.as_mut(), cfg, &words);
+        sim.run(cycles / 10);
+        let sim_micros = (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                sim.run(cycles);
+                t0.elapsed().as_micros()
+            })
+            .min()
+            .unwrap_or(u128::MAX);
+
+        // Full cosim harness on the same backend.
+        let mut cosim = autopipe_verify::Cosim::with_backend(&pm, backend).expect("cosim builds");
+        load_program(cosim.sim_mut(), cfg, &words);
+        load_program(cosim.seq_sim_mut(), cfg, &words);
+        let t1 = Instant::now();
+        cosim.run(cycles).expect("loop stays consistent");
+        let cosim_micros = t1.elapsed().as_micros();
+
+        rows.push(Bench7SimRow {
+            backend: backend.name().to_string(),
+            lanes: if backend == Backend::Compiled64 {
+                64
+            } else {
+                1
+            },
+            sim_micros,
+            cosim_micros,
+        });
+    }
+
+    // Mutation wall-clock: the toy kill matrix, all channels.
+    let toy = PipelineSynthesizer::new(
+        SynthOptions::new().with_forwarding(ForwardingSpec::forward_from_write_stage("RF")),
+    )
+    .run(&toy_plan(&hazard_program()))
+    .expect("synthesizes");
+    let settings = autopipe_verify::SoundnessSettings {
+        jobs,
+        ..autopipe_verify::SoundnessSettings::default()
+    };
+    let t0 = Instant::now();
+    let report = autopipe_verify::run_soundness(&toy, &settings).expect("soundness runs");
+    let mutation_micros = t0.elapsed().as_micros();
+
+    Bench7Sim {
+        cycles,
+        rows,
+        mutation_micros,
+        mutation_mutants: report.results.len(),
+        mutation_killed: report.killed(),
     }
 }
 

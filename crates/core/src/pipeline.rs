@@ -173,7 +173,13 @@ pub struct PipelinedMachine {
 }
 
 impl PipelinedMachine {
-    /// Builds a simulator for the generated netlist.
+    /// Builds the scalar reference interpreter for the generated
+    /// netlist.
+    ///
+    /// Migration note: new code should prefer [`PipelinedMachine::sim`]
+    /// and the [`Simulate`](autopipe_hdl::Simulate) trait, which let
+    /// callers pick (or auto-select) the compiled backend; this
+    /// concrete constructor remains for interpreter-specific harnesses.
     ///
     /// # Errors
     ///
@@ -181,6 +187,21 @@ impl PipelinedMachine {
     /// synthesizer validates before returning).
     pub fn simulator(&self) -> Result<Simulator, HdlError> {
         Simulator::new(&self.netlist)
+    }
+
+    /// Builds a simulator for the generated netlist behind the unified
+    /// [`Simulate`](autopipe_hdl::Simulate) trait — the preferred entry
+    /// point since the [`autopipe_hdl::Backend`] redesign.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist validation errors (none expected: the
+    /// synthesizer validates before returning).
+    pub fn sim(
+        &self,
+        backend: autopipe_hdl::Backend,
+    ) -> Result<Box<dyn autopipe_hdl::Simulate>, HdlError> {
+        self.netlist.simulator(backend)
     }
 
     /// The generated human-readable proof document (paper §6).

@@ -617,11 +617,11 @@ pub fn wait_state_memory(
         if stage != 3 {
             return false;
         }
-        if sim.reg_value(full3) != 1 {
+        if sim.peek_reg(full3) != 1 {
             last_ir = None;
             return false;
         }
-        let ir = sim.reg_value(ir3);
+        let ir = sim.peek_reg(ir3);
         if last_ir != Some(ir) {
             last_ir = Some(ir);
             let opc = ir >> 26;
@@ -654,7 +654,7 @@ pub fn wait_state_memory(
 ///
 /// Panics if the program exceeds the instruction memory or the
 /// netlist lacks an `IMEM` memory.
-pub fn load_program(sim: &mut autopipe_hdl::Simulator, cfg: DlxConfig, program: &[u32]) {
+pub fn load_program(sim: &mut dyn autopipe_hdl::Simulate, cfg: DlxConfig, program: &[u32]) {
     assert!(
         program.len() <= 1 << cfg.imem_aw,
         "program does not fit in IMEM"

@@ -238,7 +238,7 @@ fn pipelined_dlx_handles_external_stalls() {
         .unwrap();
     let prog = random_program(cfg, 60, HazardProfile::default(), 11);
     let mut state = 42u64;
-    let hook = move |_sim: &autopipe_hdl::Simulator, c: u64, s: usize| {
+    let hook = move |_sim: &dyn autopipe_hdl::Simulate, c: u64, s: usize| {
         state = state
             .wrapping_mul(2862933555777941757)
             .wrapping_add(c + s as u64);
@@ -328,7 +328,7 @@ fn strcpy_kernel_runs_on_the_pipeline() {
         .mem_ids()
         .find(|m| nl.memory_info(*m).name.ends_with("DMEM"))
         .unwrap();
-    assert_eq!(sim.mem_value(dmem, 16), text);
+    assert_eq!(sim.peek_mem(dmem, 16), text);
 }
 
 #[test]

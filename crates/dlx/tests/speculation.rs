@@ -148,7 +148,7 @@ fn interrupt_machine_is_consistent_without_interrupts() {
             .find(|m| nl.memory_info(*m).name.ends_with("DMEM"))
             .unwrap()
     };
-    assert_eq!(cosim.sim_mut().mem_value(dmem, 9), 16);
+    assert_eq!(cosim.sim_mut().peek_mem(dmem, 9), 16);
 }
 
 // ---------------------------------------------------------------------
@@ -162,7 +162,7 @@ fn branchy_pipeline(p: Predictor) -> PipelinedMachine {
         .unwrap()
 }
 
-fn load_branchy(sim: &mut autopipe_hdl::Simulator, prog: &[u16]) {
+fn load_branchy(sim: &mut dyn autopipe_hdl::Simulate, prog: &[u16]) {
     let nl = sim.netlist();
     let mem = nl
         .mem_ids()
@@ -187,7 +187,7 @@ fn check_branchy(pm: &PipelinedMachine, prog: &[u16], cycles: u64) -> (u64, u64)
     };
     for (i, w) in want.iter().enumerate() {
         assert_eq!(
-            cosim.sim_mut().mem_value(rf, i),
+            cosim.sim_mut().peek_mem(rf, i),
             u64::from(*w),
             "RF[{i}] after {} retirements",
             stats.retired

@@ -95,7 +95,7 @@ fn dlx_psm_runs_fib_against_reference() {
             .unwrap()
     };
     for (i, want) in isa.dmem.iter().enumerate() {
-        assert_eq!(cosim.sim_mut().mem_value(dmem, i), u64::from(*want));
+        assert_eq!(cosim.sim_mut().peek_mem(dmem, i), u64::from(*want));
     }
 }
 

@@ -1,0 +1,1940 @@
+//! Compiled simulation: levelize once, then run straight-line bytecode.
+//!
+//! [`CompiledSim`] is the third [`Simulate`](crate::Simulate) engine.
+//! Construction does all graph work up front:
+//!
+//! 1. **levelize** — [`levelize`] assigns every net its combinational
+//!    depth (registers and memories are sequential cut points, so
+//!    `RegOut`/`Input`/`Const` sit at level 0). Netlist creation order
+//!    is already topological (enforced by [`Netlist::topo_order`]), so
+//!    the walk is a single forward pass;
+//! 2. **fold** — nets whose operands are all constants are evaluated at
+//!    compile time and written into the value buffer once;
+//! 3. **emit** — every remaining combinational net becomes one fixed-width
+//!    [`Inst`] with pre-resolved operand slots, pre-computed result
+//!    masks/sign-bias immediates, and the destination slot equal to the
+//!    net index.
+//!
+//! Per cycle the engine only runs the dense instruction vector: no
+//! `ir::Node` matching, no width lookups, no hash-map input reads, and
+//! no allocation on the clock edge. Register outputs are written
+//! directly into their value slots at commit time, so `RegOut`, `Input`
+//! and `Const` nets cost nothing during settle. Three further
+//! compile-time decisions keep the per-instruction cost near one
+//! nanosecond:
+//!
+//! * **run batching** — instructions are list-scheduled (any
+//!   topological order is legal between cut points) to maximize
+//!   contiguous same-opcode *runs*; execution dispatches once per run
+//!   and then spins a branchless per-opcode inner loop, so the
+//!   indirect-branch mispredictions of classic per-instruction
+//!   dispatch disappear;
+//! * **state/observation split** — the program is partitioned into the
+//!   transitive fan-in of the sequential elements (register next/enable
+//!   nets and memory write ports) and the remaining observation-only
+//!   nets. [`CompiledSim::clock`] evaluates just the state segment, so
+//!   a long [`CompiledSim::run`] never pays for nets nobody reads;
+//!   [`CompiledSim::settle`] evaluates everything, which is what
+//!   [`CompiledSim::get`] requires;
+//! * **packed slot buffer** — the scalar state is word-packed: each
+//!   net's value is one `u64` slot in a single contiguous buffer (all
+//!   IR signals are at most 64 bits wide), indexed by the net id. For
+//!   netlists of at most 2^16 nets the buffer is padded to exactly
+//!   65536 slots and indexed through `u16` truncation, which lets the
+//!   optimizer drop every bounds check without any `unsafe`.
+
+use crate::ir::{HdlError, MemId, NetId, Netlist, Node, RegId, UnaryOp};
+use crate::simulate::{Backend, Simulate};
+use crate::value::{ashr, lshr, mask, shl};
+use crate::BinaryOp;
+
+/// Assigns every net its combinational level: 0 for sequential/leaf
+/// nets (`Input`, `Const`, `RegOut`), `1 + max(fanin levels)` otherwise.
+/// Registers act as cut points, so the levels are finite exactly when
+/// the netlist is free of combinational cycles.
+///
+/// # Errors
+///
+/// Returns the [`HdlError`] from [`Netlist::topo_order`] when a net
+/// references a later net (the IR's encoding of a potential cycle).
+pub fn levelize(nl: &Netlist) -> Result<Vec<u32>, HdlError> {
+    nl.topo_order()?;
+    let mut levels = vec![0u32; nl.node_count()];
+    for i in 0..nl.node_count() {
+        let id = NetId(i as u32);
+        levels[i] = nl
+            .fanin(id)
+            .iter()
+            .map(|f| levels[f.index()] + 1)
+            .max()
+            .unwrap_or(0);
+    }
+    Ok(levels)
+}
+
+/// One bytecode operation. Fieldless so the dispatch `match` lowers to
+/// a jump table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Copy,
+    Not,
+    Neg,
+    RedOr,
+    RedAnd,
+    RedXor,
+    And,
+    Or,
+    Xor,
+    Add,
+    Sub,
+    Mul,
+    Eq,
+    Ne,
+    Ult,
+    Ule,
+    Slt,
+    Sle,
+    Shl,
+    Lshr,
+    Ashr,
+    Mux,
+    Slice,
+    Concat,
+    MemRead,
+}
+
+/// One straight-line instruction: `values[dst] = op(values[a], …)`.
+///
+/// Field meaning varies by opcode: `imm` holds the pre-computed result
+/// mask (`Not`/`Neg`/`Add`/`Sub`/`Mul`), the operand mask (`RedAnd`),
+/// the sign-bias bit (`Slt`/`Sle`), the slice mask (`Slice`), the shift
+/// distance (`Concat`) or the else-operand slot (`Mux`); `b` holds the
+/// second operand slot, the slice `lo`, or the memory index
+/// (`MemRead`); `w` the operand width for the shift family.
+#[derive(Debug, Clone, Copy)]
+struct Inst {
+    op: Op,
+    w: u32,
+    a: u32,
+    b: u32,
+    dst: u32,
+    imm: u64,
+}
+
+/// Slot count of the padded value buffer used by the bounds-check-free
+/// execution specialization (any `u16` index is in range by type).
+const PACKED_SLOTS: usize = 1 << 16;
+
+/// One contiguous batch of same-opcode instructions: execution
+/// dispatches on the opcode once per run and then spins a dedicated
+/// inner loop over `insts[start..end]`.
+#[derive(Debug, Clone, Copy)]
+struct Run {
+    op: Op,
+    start: u32,
+    end: u32,
+}
+
+/// Value-slot access used by the generic exec loop. Monomorphized over
+/// plain (bounds-checked) slices and over the fixed 65536-slot buffer,
+/// where `u16` truncation makes every index in-range by construction
+/// and the optimizer drops the checks — no `unsafe` involved.
+trait Slots {
+    /// Reads slot `i`.
+    fn ld(&self, i: u32) -> u64;
+    /// Writes slot `i`.
+    fn st(&mut self, i: u32, v: u64);
+}
+
+impl Slots for [u64] {
+    #[inline(always)]
+    fn ld(&self, i: u32) -> u64 {
+        self[i as usize]
+    }
+
+    #[inline(always)]
+    fn st(&mut self, i: u32, v: u64) {
+        self[i as usize] = v;
+    }
+}
+
+impl Slots for [u64; PACKED_SLOTS] {
+    #[inline(always)]
+    fn ld(&self, i: u32) -> u64 {
+        self[usize::from(i as u16)]
+    }
+
+    #[inline(always)]
+    fn st(&mut self, i: u32, v: u64) {
+        self[usize::from(i as u16)] = v;
+    }
+}
+
+/// Evaluates one instruction against the packed value buffer; only used
+/// on the cold paths (compile-time constant folding). The hot path is
+/// [`exec_runs`].
+fn eval_inst(t: &Inst, values: &[u64], mems: &[Vec<u64>]) -> u64 {
+    let a = values[t.a as usize];
+    match t.op {
+        Op::Copy => a,
+        Op::Not => !a & t.imm,
+        Op::Neg => a.wrapping_neg() & t.imm,
+        Op::RedOr => u64::from(a != 0),
+        Op::RedAnd => u64::from(a == t.imm),
+        Op::RedXor => u64::from(a.count_ones() & 1),
+        Op::And => a & values[t.b as usize],
+        Op::Or => a | values[t.b as usize],
+        Op::Xor => a ^ values[t.b as usize],
+        Op::Add => a.wrapping_add(values[t.b as usize]) & t.imm,
+        Op::Sub => a.wrapping_sub(values[t.b as usize]) & t.imm,
+        Op::Mul => a.wrapping_mul(values[t.b as usize]) & t.imm,
+        Op::Eq => u64::from(a == values[t.b as usize]),
+        Op::Ne => u64::from(a != values[t.b as usize]),
+        Op::Ult => u64::from(a < values[t.b as usize]),
+        Op::Ule => u64::from(a <= values[t.b as usize]),
+        // Signed compares via the bias trick: XOR-ing the sign bit
+        // into both operands makes unsigned order match signed.
+        Op::Slt => u64::from((a ^ t.imm) < (values[t.b as usize] ^ t.imm)),
+        Op::Sle => u64::from((a ^ t.imm) <= (values[t.b as usize] ^ t.imm)),
+        Op::Shl => shl(a, values[t.b as usize], t.w),
+        Op::Lshr => lshr(a, values[t.b as usize], t.w),
+        Op::Ashr => ashr(a, values[t.b as usize], t.w),
+        Op::Mux => {
+            // Branchless select on the settled 1-bit condition.
+            let m = a.wrapping_neg();
+            (values[t.b as usize] & m) | (values[t.imm as usize] & !m)
+        }
+        Op::Slice => (a >> t.b) & t.imm,
+        Op::Concat => (a << t.imm) | values[t.b as usize],
+        Op::MemRead => mems[t.b as usize][a as usize],
+    }
+}
+
+/// Executes a sequence of [`Run`]s against the value buffer: one opcode
+/// dispatch per run, then a tight per-opcode loop. Instructions inside
+/// a run are in dependence order (the scheduler only batches ready
+/// instructions), so in-order execution within the batch is exact.
+fn exec_runs<S: Slots + ?Sized>(runs: &[Run], insts: &[Inst], values: &mut S, mems: &[Vec<u64>]) {
+    for r in runs {
+        let batch = &insts[r.start as usize..r.end as usize];
+        match r.op {
+            Op::Copy => {
+                for t in batch {
+                    let v = values.ld(t.a);
+                    values.st(t.dst, v);
+                }
+            }
+            Op::Not => {
+                for t in batch {
+                    let v = !values.ld(t.a) & t.imm;
+                    values.st(t.dst, v);
+                }
+            }
+            Op::Neg => {
+                for t in batch {
+                    let v = values.ld(t.a).wrapping_neg() & t.imm;
+                    values.st(t.dst, v);
+                }
+            }
+            Op::RedOr => {
+                for t in batch {
+                    let v = u64::from(values.ld(t.a) != 0);
+                    values.st(t.dst, v);
+                }
+            }
+            Op::RedAnd => {
+                for t in batch {
+                    let v = u64::from(values.ld(t.a) == t.imm);
+                    values.st(t.dst, v);
+                }
+            }
+            Op::RedXor => {
+                for t in batch {
+                    let v = u64::from(values.ld(t.a).count_ones() & 1);
+                    values.st(t.dst, v);
+                }
+            }
+            Op::And => {
+                for t in batch {
+                    let v = values.ld(t.a) & values.ld(t.b);
+                    values.st(t.dst, v);
+                }
+            }
+            Op::Or => {
+                for t in batch {
+                    let v = values.ld(t.a) | values.ld(t.b);
+                    values.st(t.dst, v);
+                }
+            }
+            Op::Xor => {
+                for t in batch {
+                    let v = values.ld(t.a) ^ values.ld(t.b);
+                    values.st(t.dst, v);
+                }
+            }
+            Op::Add => {
+                for t in batch {
+                    let v = values.ld(t.a).wrapping_add(values.ld(t.b)) & t.imm;
+                    values.st(t.dst, v);
+                }
+            }
+            Op::Sub => {
+                for t in batch {
+                    let v = values.ld(t.a).wrapping_sub(values.ld(t.b)) & t.imm;
+                    values.st(t.dst, v);
+                }
+            }
+            Op::Mul => {
+                for t in batch {
+                    let v = values.ld(t.a).wrapping_mul(values.ld(t.b)) & t.imm;
+                    values.st(t.dst, v);
+                }
+            }
+            Op::Eq => {
+                for t in batch {
+                    let v = u64::from(values.ld(t.a) == values.ld(t.b));
+                    values.st(t.dst, v);
+                }
+            }
+            Op::Ne => {
+                for t in batch {
+                    let v = u64::from(values.ld(t.a) != values.ld(t.b));
+                    values.st(t.dst, v);
+                }
+            }
+            Op::Ult => {
+                for t in batch {
+                    let v = u64::from(values.ld(t.a) < values.ld(t.b));
+                    values.st(t.dst, v);
+                }
+            }
+            Op::Ule => {
+                for t in batch {
+                    let v = u64::from(values.ld(t.a) <= values.ld(t.b));
+                    values.st(t.dst, v);
+                }
+            }
+            Op::Slt => {
+                for t in batch {
+                    let v = u64::from((values.ld(t.a) ^ t.imm) < (values.ld(t.b) ^ t.imm));
+                    values.st(t.dst, v);
+                }
+            }
+            Op::Sle => {
+                for t in batch {
+                    let v = u64::from((values.ld(t.a) ^ t.imm) <= (values.ld(t.b) ^ t.imm));
+                    values.st(t.dst, v);
+                }
+            }
+            Op::Shl => {
+                for t in batch {
+                    let v = shl(values.ld(t.a), values.ld(t.b), t.w);
+                    values.st(t.dst, v);
+                }
+            }
+            Op::Lshr => {
+                for t in batch {
+                    let v = lshr(values.ld(t.a), values.ld(t.b), t.w);
+                    values.st(t.dst, v);
+                }
+            }
+            Op::Ashr => {
+                for t in batch {
+                    let v = ashr(values.ld(t.a), values.ld(t.b), t.w);
+                    values.st(t.dst, v);
+                }
+            }
+            Op::Mux => {
+                for t in batch {
+                    let m = values.ld(t.a).wrapping_neg();
+                    let v = (values.ld(t.b) & m) | (values.ld(t.imm as u32) & !m);
+                    values.st(t.dst, v);
+                }
+            }
+            Op::Slice => {
+                for t in batch {
+                    let v = (values.ld(t.a) >> t.b) & t.imm;
+                    values.st(t.dst, v);
+                }
+            }
+            Op::Concat => {
+                for t in batch {
+                    let v = (values.ld(t.a) << t.imm) | values.ld(t.b);
+                    values.st(t.dst, v);
+                }
+            }
+            Op::MemRead => {
+                for t in batch {
+                    let v = mems[t.b as usize][values.ld(t.a) as usize];
+                    values.st(t.dst, v);
+                }
+            }
+        }
+    }
+}
+
+/// The value slots an instruction reads (as opposed to fields that are
+/// immediates, shift distances or memory indices). Mirrors
+/// [`exec_runs`]; the scheduler uses it to build the dependence graph.
+fn operand_slots(t: &Inst, out: &mut [u32; 3]) -> usize {
+    out[0] = t.a;
+    match t.op {
+        Op::Mux => {
+            out[1] = t.b;
+            out[2] = t.imm as u32;
+            3
+        }
+        Op::And
+        | Op::Or
+        | Op::Xor
+        | Op::Add
+        | Op::Sub
+        | Op::Mul
+        | Op::Eq
+        | Op::Ne
+        | Op::Ult
+        | Op::Ule
+        | Op::Slt
+        | Op::Sle
+        | Op::Shl
+        | Op::Lshr
+        | Op::Ashr
+        | Op::Concat => {
+            out[1] = t.b;
+            2
+        }
+        _ => 1,
+    }
+}
+
+/// List-schedules one dependence-closed instruction segment into
+/// maximal same-opcode [`Run`]s. Any topological order is legal between
+/// sequential cut points, so the scheduler greedily drains every ready
+/// instruction of the currently most-ready opcode — instructions that
+/// become ready *while* their opcode is draining join the active batch
+/// — and only then switches opcodes. Returns the reordered
+/// instructions and the run table (offsets relative to the segment).
+///
+/// `n` is the netlist's net count (slot-space bound for the dependence
+/// index). Dependences on slots produced outside the segment (leaves,
+/// folded constants, or an earlier segment) are satisfied by
+/// construction and ignored here.
+fn schedule(n: usize, seg: &[Inst]) -> (Vec<Inst>, Vec<Run>) {
+    const N_OPS: usize = Op::MemRead as usize + 1;
+    let mut pos_of = vec![u32::MAX; n];
+    for (p, t) in seg.iter().enumerate() {
+        pos_of[t.dst as usize] = p as u32;
+    }
+    let mut indeg = vec![0u32; seg.len()];
+    let mut succs: Vec<Vec<u32>> = vec![Vec::new(); seg.len()];
+    let mut ops = [0u32; 3];
+    for (p, t) in seg.iter().enumerate() {
+        let k = operand_slots(t, &mut ops);
+        for &s in &ops[..k] {
+            let q = pos_of[s as usize];
+            if q != u32::MAX {
+                succs[q as usize].push(p as u32);
+                indeg[p] += 1;
+            }
+        }
+    }
+    let mut ready: Vec<Vec<u32>> = vec![Vec::new(); N_OPS];
+    for (p, t) in seg.iter().enumerate() {
+        if indeg[p] == 0 {
+            ready[t.op as usize].push(p as u32);
+        }
+    }
+    let mut order: Vec<Inst> = Vec::with_capacity(seg.len());
+    let mut runs: Vec<Run> = Vec::new();
+    while order.len() < seg.len() {
+        let op = (0..N_OPS)
+            .max_by_key(|&i| ready[i].len())
+            .expect("N_OPS > 0");
+        debug_assert!(
+            !ready[op].is_empty(),
+            "acyclic segment always has ready work"
+        );
+        let start = order.len() as u32;
+        // Drain breadth-first: an instruction readied by the one just
+        // emitted lands at the queue's *back*, so dependent pairs end
+        // up separated by the whole ready frontier and the CPU can
+        // overlap their store-to-load latencies.
+        let mut queue = std::mem::take(&mut ready[op]);
+        let mut head = 0;
+        while head < queue.len() {
+            let p = queue[head];
+            head += 1;
+            order.push(seg[p as usize]);
+            for &s in &succs[p as usize] {
+                indeg[s as usize] -= 1;
+                if indeg[s as usize] == 0 {
+                    let so = seg[s as usize].op as usize;
+                    if so == op {
+                        queue.push(s);
+                    } else {
+                        ready[so].push(s);
+                    }
+                }
+            }
+        }
+        runs.push(Run {
+            op: order[start as usize].op,
+            start,
+            end: order.len() as u32,
+        });
+    }
+    (order, runs)
+}
+
+/// Marks the transitive combinational fan-in of all sequential state:
+/// register next/enable nets and memory write-port enable/addr/data
+/// nets. Instructions outside this cone are observation-only — they
+/// never influence a clock edge.
+fn state_cone(nl: &Netlist) -> Vec<bool> {
+    let mut marked = vec![false; nl.node_count()];
+    let mut stack: Vec<NetId> = Vec::new();
+    for r in nl.registers() {
+        stack.push(r.next.expect("validated netlist"));
+        if let Some(e) = r.enable {
+            stack.push(e);
+        }
+    }
+    for m in nl.memories() {
+        for p in &m.write_ports {
+            stack.extend([p.enable, p.addr, p.data]);
+        }
+    }
+    while let Some(id) = stack.pop() {
+        if marked[id.index()] {
+            continue;
+        }
+        marked[id.index()] = true;
+        stack.extend(nl.fanin(id));
+    }
+    marked
+}
+
+/// Register commit plan: sample `values[next]` (gated by `en`, with
+/// `u32::MAX` meaning always-enabled) and publish the new value into
+/// every `RegOut` slot.
+#[derive(Debug, Clone)]
+struct RegPlan {
+    next: u32,
+    en: u32,
+    init: u64,
+    width: u32,
+    outs: Vec<u32>,
+}
+
+/// One memory write port with pre-resolved slots, flattened in
+/// (memory, port) order so the interpreter's last-write-wins rule is
+/// preserved.
+#[derive(Debug, Clone, Copy)]
+struct MemCommit {
+    mem: u32,
+    en: u32,
+    addr: u32,
+    data: u32,
+}
+
+/// The compiled simulation engine; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct CompiledSim {
+    nl: Netlist,
+    insts: Vec<Inst>,
+    runs: Vec<Run>,
+    /// Prefix of `runs` that covers the state segment (the instructions
+    /// the clock edge depends on); the rest is observation-only.
+    state_runs: usize,
+    state_len: usize,
+    folded: usize,
+    depth: u32,
+    reg_plan: Vec<RegPlan>,
+    /// Flattened commit tables (same information as `reg_plan`, laid
+    /// out for the branchless per-cycle loops): next-value slot, enable
+    /// slot (always-enabled registers point at the constant-one slot),
+    /// and the (value slot, register index) pairs to publish.
+    reg_next: Vec<u32>,
+    reg_en: Vec<u32>,
+    reg_outs: Vec<(u32, u32)>,
+    mem_plan: Vec<MemCommit>,
+    values: Vec<u64>,
+    regs: Vec<u64>,
+    reg_new: Vec<u64>,
+    mems: Vec<Vec<u64>>,
+    settled: bool,
+    cycle: u64,
+}
+
+/// Builds the instruction for one combinational node.
+fn lower_node(nl: &Netlist, id: NetId) -> Inst {
+    let dst = id.index() as u32;
+    match *nl.node(id) {
+        Node::Input { .. } | Node::Const { .. } | Node::RegOut(_) => {
+            unreachable!("leaf nets are not lowered")
+        }
+        Node::MemRead { mem, addr } => Inst {
+            op: Op::MemRead,
+            w: 0,
+            a: addr.index() as u32,
+            b: mem.index() as u32,
+            dst,
+            imm: 0,
+        },
+        Node::Unary { op, a } => {
+            let aw = nl.width(a);
+            let (op, imm) = match op {
+                UnaryOp::Not => (Op::Not, mask(aw)),
+                UnaryOp::Neg => (Op::Neg, mask(aw)),
+                UnaryOp::RedOr => (Op::RedOr, 0),
+                UnaryOp::RedAnd => (Op::RedAnd, mask(aw)),
+                UnaryOp::RedXor => (Op::RedXor, 0),
+            };
+            Inst {
+                op,
+                w: aw,
+                a: a.index() as u32,
+                b: 0,
+                dst,
+                imm,
+            }
+        }
+        Node::Binary { op, a, b } => {
+            let aw = nl.width(a);
+            let (op, imm) = match op {
+                BinaryOp::And => (Op::And, 0),
+                BinaryOp::Or => (Op::Or, 0),
+                BinaryOp::Xor => (Op::Xor, 0),
+                BinaryOp::Add => (Op::Add, mask(aw)),
+                BinaryOp::Sub => (Op::Sub, mask(aw)),
+                BinaryOp::Mul => (Op::Mul, mask(aw)),
+                BinaryOp::Eq => (Op::Eq, 0),
+                BinaryOp::Ne => (Op::Ne, 0),
+                BinaryOp::Ult => (Op::Ult, 0),
+                BinaryOp::Ule => (Op::Ule, 0),
+                BinaryOp::Slt => (Op::Slt, 1u64 << (aw - 1)),
+                BinaryOp::Sle => (Op::Sle, 1u64 << (aw - 1)),
+                BinaryOp::Shl => (Op::Shl, 0),
+                BinaryOp::Lshr => (Op::Lshr, 0),
+                BinaryOp::Ashr => (Op::Ashr, 0),
+            };
+            Inst {
+                op,
+                w: aw,
+                a: a.index() as u32,
+                b: b.index() as u32,
+                dst,
+                imm,
+            }
+        }
+        Node::Mux {
+            sel,
+            then_net,
+            else_net,
+        } => Inst {
+            op: Op::Mux,
+            w: 0,
+            a: sel.index() as u32,
+            b: then_net.index() as u32,
+            dst,
+            imm: else_net.index() as u64,
+        },
+        Node::Slice { a, hi, lo } => Inst {
+            op: Op::Slice,
+            w: 0,
+            a: a.index() as u32,
+            b: lo,
+            dst,
+            imm: mask(hi - lo + 1),
+        },
+        Node::Concat { hi, lo } => Inst {
+            op: Op::Concat,
+            w: 0,
+            a: hi.index() as u32,
+            b: lo.index() as u32,
+            dst,
+            imm: u64::from(nl.width(lo)),
+        },
+    }
+}
+
+impl CompiledSim {
+    /// Levelizes and compiles `nl` into a bytecode program (the netlist
+    /// is cloned so the simulator is self-contained).
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`HdlError`] reported by [`Netlist::validate`].
+    pub fn new(nl: &Netlist) -> Result<Self, HdlError> {
+        nl.validate()?;
+        let levels = levelize(nl)?;
+        let depth = levels.iter().copied().max().unwrap_or(0);
+        let n = nl.node_count();
+        let mut values = vec![0u64; n];
+        let mut is_const = vec![false; n];
+        let mut insts: Vec<Inst> = Vec::new();
+        let mut folded = 0usize;
+        let mut reg_plan: Vec<RegPlan> = nl
+            .registers()
+            .iter()
+            .map(|r| RegPlan {
+                next: r.next.expect("validated netlist").index() as u32,
+                en: r.enable.map_or(u32::MAX, |e| e.index() as u32),
+                init: r.init,
+                width: r.width,
+                outs: Vec::new(),
+            })
+            .collect();
+        for i in 0..n {
+            let id = NetId(i as u32);
+            match *nl.node(id) {
+                Node::Input { .. } => {}
+                Node::Const { value } => {
+                    values[i] = value;
+                    is_const[i] = true;
+                }
+                Node::RegOut(r) => reg_plan[r.index()].outs.push(i as u32),
+                Node::MemRead { .. } => insts.push(lower_node(nl, id)),
+                ref node => {
+                    let mut inst = lower_node(nl, id);
+                    if nl.fanin(id).iter().all(|f| is_const[f.index()]) {
+                        // Constant cone: evaluate once at compile time.
+                        values[i] = eval_inst(&inst, &values, &[]);
+                        is_const[i] = true;
+                        folded += 1;
+                    } else if let Node::Mux { sel, .. } = node {
+                        // A constant select degenerates to a copy of the
+                        // chosen arm.
+                        if is_const[sel.index()] {
+                            let src = if values[sel.index()] == 1 {
+                                inst.b
+                            } else {
+                                inst.imm as u32
+                            };
+                            inst = Inst {
+                                op: Op::Copy,
+                                w: 0,
+                                a: src,
+                                b: 0,
+                                dst: inst.dst,
+                                imm: 0,
+                            };
+                            insts.push(inst);
+                        } else {
+                            insts.push(inst);
+                        }
+                    } else {
+                        insts.push(inst);
+                    }
+                }
+            }
+        }
+        let mut mem_plan = Vec::new();
+        for (mi, m) in nl.memories().iter().enumerate() {
+            for p in &m.write_ports {
+                mem_plan.push(MemCommit {
+                    mem: mi as u32,
+                    en: p.enable.index() as u32,
+                    addr: p.addr.index() as u32,
+                    data: p.data.index() as u32,
+                });
+            }
+        }
+        let regs: Vec<u64> = reg_plan.iter().map(|p| p.init).collect();
+        for p in &reg_plan {
+            for &s in &p.outs {
+                values[s as usize] = p.init;
+            }
+        }
+        let mems = nl
+            .memories()
+            .iter()
+            .map(|m| {
+                let mut v = m.init.clone();
+                v.resize(m.entries(), 0);
+                v
+            })
+            .collect();
+        let reg_new = vec![0u64; regs.len()];
+        // Partition into the state cone (everything a clock edge reads)
+        // and observation-only instructions, then schedule each segment
+        // into same-opcode runs. Observation instructions may read
+        // state-segment results but never the reverse (the cone is
+        // fan-in closed), so running the state segment first is a legal
+        // topological order.
+        let cone = state_cone(nl);
+        let (state_seg, obs_seg): (Vec<Inst>, Vec<Inst>) =
+            insts.iter().partition(|t| cone[t.dst as usize]);
+        let (mut insts, mut runs) = schedule(n, &state_seg);
+        let state_runs = runs.len();
+        let state_len = insts.len();
+        let (obs_insts, obs_runs) = schedule(n, &obs_seg);
+        insts.extend(obs_insts);
+        runs.extend(obs_runs.into_iter().map(|r| Run {
+            op: r.op,
+            start: r.start + state_len as u32,
+            end: r.end + state_len as u32,
+        }));
+        // One extra slot pinned to 1 backs the enable of always-enabled
+        // registers, making the commit loop branchless and uniform.
+        let one_slot = values.len() as u32;
+        values.push(1);
+        let reg_next: Vec<u32> = reg_plan.iter().map(|p| p.next).collect();
+        let reg_en: Vec<u32> = reg_plan
+            .iter()
+            .map(|p| if p.en == u32::MAX { one_slot } else { p.en })
+            .collect();
+        let mut reg_outs = Vec::new();
+        for (i, p) in reg_plan.iter().enumerate() {
+            for &s in &p.outs {
+                reg_outs.push((s, i as u32));
+            }
+        }
+        // Pad the slot buffer so the exec loop can take the
+        // bounds-check-free specialization (see [`Slots`]).
+        if n < PACKED_SLOTS {
+            values.resize(PACKED_SLOTS, 0);
+        }
+        Ok(CompiledSim {
+            nl: nl.clone(),
+            insts,
+            runs,
+            state_runs,
+            state_len,
+            folded,
+            depth,
+            reg_plan,
+            reg_next,
+            reg_en,
+            reg_outs,
+            mem_plan,
+            values,
+            regs,
+            reg_new,
+            mems,
+            settled: false,
+            cycle: 0,
+        })
+    }
+
+    /// Runs the given range of the run table against the slot buffer,
+    /// picking the bounds-check-free specialization when the buffer is
+    /// packed.
+    fn eval_runs(&mut self, runs: std::ops::Range<usize>) {
+        let runs = &self.runs[runs];
+        if self.values.len() == PACKED_SLOTS {
+            let buf: &mut [u64; PACKED_SLOTS] =
+                (&mut self.values[..]).try_into().expect("length checked");
+            exec_runs(runs, &self.insts, buf, &self.mems);
+        } else {
+            exec_runs(runs, &self.insts, self.values.as_mut_slice(), &self.mems);
+        }
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &Netlist {
+        &self.nl
+    }
+
+    /// Number of bytecode instructions executed per settle (leaf and
+    /// constant-folded nets cost nothing).
+    pub fn program_len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Number of nets constant-folded away at compile time.
+    pub fn folded_nets(&self) -> usize {
+        self.folded
+    }
+
+    /// Number of instructions in the state segment — the prefix of the
+    /// program a bare [`CompiledSim::clock`] executes. The remainder is
+    /// observation-only and evaluated by [`CompiledSim::settle`].
+    pub fn state_program_len(&self) -> usize {
+        self.state_len
+    }
+
+    /// Number of same-opcode runs the scheduler produced; dispatch
+    /// happens once per run, so `run_count() <= program_len()` measures
+    /// how well batching worked.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// The maximum combinational level (logic depth between cut
+    /// points).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Number of completed clock cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Evaluates all combinational nets against the current state.
+    /// Idempotent until the next `clock`/poke.
+    pub fn settle(&mut self) {
+        if self.settled {
+            return;
+        }
+        self.eval_runs(0..self.runs.len());
+        self.settled = true;
+    }
+
+    /// Commits the clock edge using the settled values. When the
+    /// netlist is not settled, only the state segment is evaluated
+    /// first — the edge never depends on observation-only nets, and
+    /// the next [`CompiledSim::settle`] recomputes everything anyway.
+    /// Allocation-free.
+    pub fn clock(&mut self) {
+        if !self.settled {
+            self.eval_runs(0..self.state_runs);
+        }
+        // Sample every register before publishing any (a register's
+        // next-value may be another register's output). Branchless:
+        // always-enabled registers read the pinned constant-one slot.
+        for i in 0..self.reg_new.len() {
+            let m = self.values[self.reg_en[i] as usize].wrapping_neg();
+            self.reg_new[i] = (self.values[self.reg_next[i] as usize] & m) | (self.regs[i] & !m);
+        }
+        // Memory write ports see the settled, pre-edge values; port
+        // order preserves last-write-wins.
+        for c in &self.mem_plan {
+            if self.values[c.en as usize] == 1 {
+                let a = self.values[c.addr as usize] as usize;
+                self.mems[c.mem as usize][a] = self.values[c.data as usize];
+            }
+        }
+        self.regs.copy_from_slice(&self.reg_new);
+        for &(s, r) in &self.reg_outs {
+            self.values[s as usize] = self.regs[r as usize];
+        }
+        self.settled = false;
+        self.cycle += 1;
+    }
+
+    /// One full cycle: settle then clock.
+    pub fn step(&mut self) {
+        self.clock();
+    }
+
+    /// Runs `n` cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Sets an input port value; persists until overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not an input or the value does not fit.
+    pub fn set_input(&mut self, net: NetId, value: u64) {
+        assert!(
+            matches!(self.nl.node(net), Node::Input { .. }),
+            "{net} is not an input port"
+        );
+        let w = self.nl.width(net);
+        assert!(
+            value <= mask(w),
+            "input value {value:#x} does not fit in {w} bits"
+        );
+        self.values[net.index()] = value;
+        self.settled = false;
+    }
+
+    /// Reads a settled net value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`CompiledSim::settle`] in the current
+    /// cycle.
+    pub fn get(&self, net: NetId) -> u64 {
+        assert!(self.settled, "call settle() before reading net values");
+        self.values[net.index()]
+    }
+
+    /// The current stored value of a register.
+    pub fn reg_value(&self, reg: RegId) -> u64 {
+        self.regs[reg.index()]
+    }
+
+    /// The current contents of one memory entry.
+    pub fn mem_value(&self, mem: MemId, addr: usize) -> u64 {
+        self.mems[mem.index()][addr]
+    }
+
+    /// Overwrites a register's stored value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit.
+    pub fn poke_reg(&mut self, reg: RegId, value: u64) {
+        let p = &self.reg_plan[reg.index()];
+        assert!(
+            value <= mask(p.width),
+            "poke value does not fit in {} bits",
+            p.width
+        );
+        self.regs[reg.index()] = value;
+        for &s in &self.reg_plan[reg.index()].outs {
+            self.values[s as usize] = value;
+        }
+        self.settled = false;
+    }
+
+    /// Overwrites one memory entry (for loading programs/data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range or the value does not fit.
+    pub fn poke_mem(&mut self, mem: MemId, addr: usize, value: u64) {
+        let m = self.nl.memory_info(mem);
+        assert!(addr < m.entries(), "address {addr} out of range");
+        assert!(
+            value <= mask(m.data_width),
+            "poke value does not fit in {} bits",
+            m.data_width
+        );
+        self.mems[mem.index()][addr] = value;
+        self.settled = false;
+    }
+
+    /// Resets registers and memories to their initial values.
+    pub fn reset(&mut self) {
+        for i in 0..self.reg_plan.len() {
+            let init = self.reg_plan[i].init;
+            self.regs[i] = init;
+            for &s in &self.reg_plan[i].outs {
+                self.values[s as usize] = init;
+            }
+        }
+        for (i, m) in self.nl.memories().iter().enumerate() {
+            let mut v = m.init.clone();
+            v.resize(m.entries(), 0);
+            self.mems[i] = v;
+        }
+        self.settled = false;
+        self.cycle = 0;
+    }
+}
+
+/// Lane count of the word-packed throughput engine.
+const LANES: usize = 64;
+
+/// Lanes are executed in blocks of this many: one block's full program
+/// pass touches `slots * 8 * 8` bytes — small enough to stay
+/// L1-resident — while the lane loops still vectorize.
+const BLOCK_LANES: usize = 16;
+
+/// Number of lane blocks (`LANES / BLOCK_LANES`).
+const BLOCKS: usize = LANES / BLOCK_LANES;
+
+/// One slot's lane values within a block. The alignment matches the
+/// row size, so every vector load the lane loops compile to stays
+/// within naturally-aligned cache lines instead of straddling them.
+#[derive(Debug, Clone, Copy)]
+#[repr(align(128))]
+struct Row([u64; BLOCK_LANES]);
+
+const _: () = assert!(std::mem::size_of::<Row>() == 8 * BLOCK_LANES);
+
+/// Lane-block slot access used by [`exec_runs_lanes`]. Monomorphized
+/// over plain (bounds-checked) slices and over fixed power-of-two
+/// buffers, where masking the index with `N - 1` makes it in-range by
+/// arithmetic (`x & (N - 1) <= N - 1`), so the optimizer drops every
+/// bounds check without any `unsafe` — the lane-width analogue of the
+/// scalar engine's [`Slots`] trick.
+trait LaneSlots {
+    /// Borrows the lane row of slot `i`.
+    fn at(&self, i: u32) -> &[u64; BLOCK_LANES];
+    /// Mutably borrows the lane row of slot `i`.
+    fn at_mut(&mut self, i: u32) -> &mut [u64; BLOCK_LANES];
+}
+
+impl LaneSlots for [Row] {
+    #[inline(always)]
+    fn at(&self, i: u32) -> &[u64; BLOCK_LANES] {
+        &self[i as usize].0
+    }
+
+    #[inline(always)]
+    fn at_mut(&mut self, i: u32) -> &mut [u64; BLOCK_LANES] {
+        &mut self[i as usize].0
+    }
+}
+
+impl<const N: usize> LaneSlots for [Row; N] {
+    #[inline(always)]
+    fn at(&self, i: u32) -> &[u64; BLOCK_LANES] {
+        &self[(i as usize) & (N - 1)].0
+    }
+
+    #[inline(always)]
+    fn at_mut(&mut self, i: u32) -> &mut [u64; BLOCK_LANES] {
+        &mut self[(i as usize) & (N - 1)].0
+    }
+}
+
+/// Per-block sequential and combinational state of the 64-lane engine.
+#[derive(Debug, Clone)]
+struct LaneBlock {
+    values: Vec<Row>,
+    regs: Vec<Row>,
+    reg_new: Vec<Row>,
+}
+
+/// The word-packed 64-lane compiled engine: the same bytecode program
+/// as [`CompiledSim`], executed over 64 independent simulation lanes at
+/// once. The lanes live in eight [`LaneBlock`]s of eight: within a
+/// block each slot holds its 8 lane values contiguously (one cache
+/// line), so the per-opcode inner loops vectorize and the dispatch,
+/// decode and bounds overhead is amortized, while one block's full
+/// program pass stays L1-resident. This is the throughput backend for
+/// fuzzing and mutation workloads; under the scalar [`Simulate`] trait
+/// it behaves like [`Sim64`](crate::Sim64): pokes broadcast to every
+/// lane and peeks read lane 0.
+#[derive(Debug, Clone)]
+pub struct CompiledSim64 {
+    nl: Netlist,
+    insts: Vec<Inst>,
+    runs: Vec<Run>,
+    state_runs: usize,
+    reg_plan: Vec<RegPlan>,
+    reg_next: Vec<u32>,
+    reg_en: Vec<u32>,
+    reg_outs: Vec<(u32, u32)>,
+    mem_plan: Vec<MemCommit>,
+    blocks: Vec<LaneBlock>,
+    /// Per memory: `entries * LANES` words, lane-contiguous per entry
+    /// (`mem[addr * LANES + lane]`). Shared across blocks; every block
+    /// only touches its own lane indices.
+    mems: Vec<Vec<u64>>,
+    settled: bool,
+    cycle: u64,
+}
+
+/// Executes [`Run`]s over one lane block's value buffer. Result lanes
+/// are computed into a local array (no aliasing with the sources, so
+/// the lane loops vectorize) and stored once. `lane_base` is the
+/// block's first global lane index, used for memory addressing.
+fn exec_runs_lanes<S: LaneSlots + ?Sized>(
+    runs: &[Run],
+    insts: &[Inst],
+    values: &mut S,
+    mems: &[Vec<u64>],
+    lane_base: usize,
+) {
+    for r in runs {
+        let batch = &insts[r.start as usize..r.end as usize];
+        match r.op {
+            Op::Copy => {
+                for t in batch {
+                    let v = *values.at(t.a);
+                    *values.at_mut(t.dst) = v;
+                }
+            }
+            Op::Not => {
+                for t in batch {
+                    let va = values.at(t.a);
+                    let mut d = [0u64; BLOCK_LANES];
+                    for l in 0..BLOCK_LANES {
+                        d[l] = !va[l] & t.imm;
+                    }
+                    *values.at_mut(t.dst) = d;
+                }
+            }
+            Op::Neg => {
+                for t in batch {
+                    let va = values.at(t.a);
+                    let mut d = [0u64; BLOCK_LANES];
+                    for l in 0..BLOCK_LANES {
+                        d[l] = va[l].wrapping_neg() & t.imm;
+                    }
+                    *values.at_mut(t.dst) = d;
+                }
+            }
+            Op::RedOr => {
+                for t in batch {
+                    let va = values.at(t.a);
+                    let mut d = [0u64; BLOCK_LANES];
+                    for l in 0..BLOCK_LANES {
+                        d[l] = u64::from(va[l] != 0);
+                    }
+                    *values.at_mut(t.dst) = d;
+                }
+            }
+            Op::RedAnd => {
+                for t in batch {
+                    let va = values.at(t.a);
+                    let mut d = [0u64; BLOCK_LANES];
+                    for l in 0..BLOCK_LANES {
+                        d[l] = u64::from(va[l] == t.imm);
+                    }
+                    *values.at_mut(t.dst) = d;
+                }
+            }
+            Op::RedXor => {
+                for t in batch {
+                    let va = values.at(t.a);
+                    let mut d = [0u64; BLOCK_LANES];
+                    for l in 0..BLOCK_LANES {
+                        d[l] = u64::from(va[l].count_ones() & 1);
+                    }
+                    *values.at_mut(t.dst) = d;
+                }
+            }
+            Op::And => {
+                for t in batch {
+                    let (va, vb) = (values.at(t.a), values.at(t.b));
+                    let mut d = [0u64; BLOCK_LANES];
+                    for l in 0..BLOCK_LANES {
+                        d[l] = va[l] & vb[l];
+                    }
+                    *values.at_mut(t.dst) = d;
+                }
+            }
+            Op::Or => {
+                for t in batch {
+                    let (va, vb) = (values.at(t.a), values.at(t.b));
+                    let mut d = [0u64; BLOCK_LANES];
+                    for l in 0..BLOCK_LANES {
+                        d[l] = va[l] | vb[l];
+                    }
+                    *values.at_mut(t.dst) = d;
+                }
+            }
+            Op::Xor => {
+                for t in batch {
+                    let (va, vb) = (values.at(t.a), values.at(t.b));
+                    let mut d = [0u64; BLOCK_LANES];
+                    for l in 0..BLOCK_LANES {
+                        d[l] = va[l] ^ vb[l];
+                    }
+                    *values.at_mut(t.dst) = d;
+                }
+            }
+            Op::Add => {
+                for t in batch {
+                    let (va, vb) = (values.at(t.a), values.at(t.b));
+                    let mut d = [0u64; BLOCK_LANES];
+                    for l in 0..BLOCK_LANES {
+                        d[l] = va[l].wrapping_add(vb[l]) & t.imm;
+                    }
+                    *values.at_mut(t.dst) = d;
+                }
+            }
+            Op::Sub => {
+                for t in batch {
+                    let (va, vb) = (values.at(t.a), values.at(t.b));
+                    let mut d = [0u64; BLOCK_LANES];
+                    for l in 0..BLOCK_LANES {
+                        d[l] = va[l].wrapping_sub(vb[l]) & t.imm;
+                    }
+                    *values.at_mut(t.dst) = d;
+                }
+            }
+            Op::Mul => {
+                for t in batch {
+                    let (va, vb) = (values.at(t.a), values.at(t.b));
+                    let mut d = [0u64; BLOCK_LANES];
+                    for l in 0..BLOCK_LANES {
+                        d[l] = va[l].wrapping_mul(vb[l]) & t.imm;
+                    }
+                    *values.at_mut(t.dst) = d;
+                }
+            }
+            Op::Eq => {
+                for t in batch {
+                    let (va, vb) = (values.at(t.a), values.at(t.b));
+                    let mut d = [0u64; BLOCK_LANES];
+                    for l in 0..BLOCK_LANES {
+                        d[l] = u64::from(va[l] == vb[l]);
+                    }
+                    *values.at_mut(t.dst) = d;
+                }
+            }
+            Op::Ne => {
+                for t in batch {
+                    let (va, vb) = (values.at(t.a), values.at(t.b));
+                    let mut d = [0u64; BLOCK_LANES];
+                    for l in 0..BLOCK_LANES {
+                        d[l] = u64::from(va[l] != vb[l]);
+                    }
+                    *values.at_mut(t.dst) = d;
+                }
+            }
+            Op::Ult => {
+                for t in batch {
+                    let (va, vb) = (values.at(t.a), values.at(t.b));
+                    let mut d = [0u64; BLOCK_LANES];
+                    for l in 0..BLOCK_LANES {
+                        d[l] = u64::from(va[l] < vb[l]);
+                    }
+                    *values.at_mut(t.dst) = d;
+                }
+            }
+            Op::Ule => {
+                for t in batch {
+                    let (va, vb) = (values.at(t.a), values.at(t.b));
+                    let mut d = [0u64; BLOCK_LANES];
+                    for l in 0..BLOCK_LANES {
+                        d[l] = u64::from(va[l] <= vb[l]);
+                    }
+                    *values.at_mut(t.dst) = d;
+                }
+            }
+            Op::Slt => {
+                for t in batch {
+                    let (va, vb) = (values.at(t.a), values.at(t.b));
+                    let mut d = [0u64; BLOCK_LANES];
+                    for l in 0..BLOCK_LANES {
+                        d[l] = u64::from((va[l] ^ t.imm) < (vb[l] ^ t.imm));
+                    }
+                    *values.at_mut(t.dst) = d;
+                }
+            }
+            Op::Sle => {
+                for t in batch {
+                    let (va, vb) = (values.at(t.a), values.at(t.b));
+                    let mut d = [0u64; BLOCK_LANES];
+                    for l in 0..BLOCK_LANES {
+                        d[l] = u64::from((va[l] ^ t.imm) <= (vb[l] ^ t.imm));
+                    }
+                    *values.at_mut(t.dst) = d;
+                }
+            }
+            // The shift family is branchless here (unlike the scalar
+            // helpers in `value`): amounts >= the operand width already
+            // shift every payload bit past the result mask, so only
+            // amounts >= 64 — where the hardware shifter would wrap —
+            // need an explicit all-zero (or all-sign) override.
+            Op::Shl => {
+                for t in batch {
+                    let (va, vb) = (values.at(t.a), values.at(t.b));
+                    let wm = mask(t.w);
+                    let mut d = [0u64; BLOCK_LANES];
+                    for l in 0..BLOCK_LANES {
+                        let sh = vb[l];
+                        let keep = 0u64.wrapping_sub(u64::from(sh < 64));
+                        d[l] = (va[l] << (sh & 63)) & wm & keep;
+                    }
+                    *values.at_mut(t.dst) = d;
+                }
+            }
+            Op::Lshr => {
+                for t in batch {
+                    let (va, vb) = (values.at(t.a), values.at(t.b));
+                    let mut d = [0u64; BLOCK_LANES];
+                    for l in 0..BLOCK_LANES {
+                        let sh = vb[l];
+                        let keep = 0u64.wrapping_sub(u64::from(sh < 64));
+                        d[l] = (va[l] >> (sh & 63)) & keep;
+                    }
+                    *values.at_mut(t.dst) = d;
+                }
+            }
+            Op::Ashr => {
+                for t in batch {
+                    let (va, vb) = (values.at(t.a), values.at(t.b));
+                    let ext = 64 - t.w;
+                    let wm = mask(t.w);
+                    let mut d = [0u64; BLOCK_LANES];
+                    for l in 0..BLOCK_LANES {
+                        let sx = ((va[l] << ext) as i64) >> ext;
+                        let sh = vb[l].min(63) as u32;
+                        d[l] = ((sx >> sh) as u64) & wm;
+                    }
+                    *values.at_mut(t.dst) = d;
+                }
+            }
+            Op::Mux => {
+                for t in batch {
+                    let (vs, va, vb) = (values.at(t.a), values.at(t.b), values.at(t.imm as u32));
+                    let mut d = [0u64; BLOCK_LANES];
+                    for l in 0..BLOCK_LANES {
+                        let m = vs[l].wrapping_neg();
+                        d[l] = (va[l] & m) | (vb[l] & !m);
+                    }
+                    *values.at_mut(t.dst) = d;
+                }
+            }
+            Op::Slice => {
+                for t in batch {
+                    let va = values.at(t.a);
+                    let mut d = [0u64; BLOCK_LANES];
+                    for l in 0..BLOCK_LANES {
+                        d[l] = (va[l] >> t.b) & t.imm;
+                    }
+                    *values.at_mut(t.dst) = d;
+                }
+            }
+            Op::Concat => {
+                for t in batch {
+                    let (va, vb) = (values.at(t.a), values.at(t.b));
+                    let mut d = [0u64; BLOCK_LANES];
+                    for l in 0..BLOCK_LANES {
+                        d[l] = (va[l] << t.imm) | vb[l];
+                    }
+                    *values.at_mut(t.dst) = d;
+                }
+            }
+            Op::MemRead => {
+                for t in batch {
+                    let va = values.at(t.a);
+                    let mem = &mems[t.b as usize];
+                    let mut d = [0u64; BLOCK_LANES];
+                    for l in 0..BLOCK_LANES {
+                        d[l] = mem[(va[l] as usize) * LANES + lane_base + l];
+                    }
+                    *values.at_mut(t.dst) = d;
+                }
+            }
+        }
+    }
+}
+
+/// Slot counts the block buffers are padded to; each gets a
+/// monomorphized bounds-check-free [`exec_runs_lanes`] specialization
+/// (all are powers of two, as the masking in [`LaneSlots`] requires).
+const LANE_PAD: [usize; 3] = [1 << 10, 1 << 13, PACKED_SLOTS];
+
+/// Runs one lane block, picking the check-free fixed-size
+/// specialization when the buffer was padded to a [`LANE_PAD`] length.
+fn exec_block(
+    runs: &[Run],
+    insts: &[Inst],
+    values: &mut [Row],
+    mems: &[Vec<u64>],
+    lane_base: usize,
+) {
+    match values.len() {
+        1024 => {
+            let v: &mut [Row; 1024] = values.try_into().expect("length checked");
+            exec_runs_lanes(runs, insts, v, mems, lane_base);
+        }
+        8192 => {
+            let v: &mut [Row; 8192] = values.try_into().expect("length checked");
+            exec_runs_lanes(runs, insts, v, mems, lane_base);
+        }
+        PACKED_SLOTS => {
+            let v: &mut [Row; PACKED_SLOTS] = values.try_into().expect("length checked");
+            exec_runs_lanes(runs, insts, v, mems, lane_base);
+        }
+        _ => exec_runs_lanes(runs, insts, values, mems, lane_base),
+    }
+}
+
+impl CompiledSim64 {
+    /// Compiles `nl` once (sharing [`CompiledSim`]'s levelization,
+    /// folding and run scheduling) and initializes all 64 lanes to the
+    /// reset state.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`HdlError`] reported by [`Netlist::validate`].
+    pub fn new(nl: &Netlist) -> Result<Self, HdlError> {
+        let scalar = CompiledSim::new(nl)?;
+        let slots = nl.node_count() + 1; // + the pinned constant-one slot
+        let padded = LANE_PAD
+            .iter()
+            .copied()
+            .find(|&n| n >= slots)
+            .unwrap_or(slots);
+        let mut values: Vec<Row> = scalar.values[..slots]
+            .iter()
+            .map(|&v| Row([v; BLOCK_LANES]))
+            .collect();
+        values.resize(padded, Row([0u64; BLOCK_LANES]));
+        let block = LaneBlock {
+            values,
+            regs: scalar.regs.iter().map(|&v| Row([v; BLOCK_LANES])).collect(),
+            reg_new: vec![Row([0u64; BLOCK_LANES]); scalar.regs.len()],
+        };
+        let blocks = vec![block; BLOCKS];
+        let mems = nl
+            .memories()
+            .iter()
+            .map(|m| {
+                let mut v = vec![0u64; m.entries() * LANES];
+                for (a, &init) in m.init.iter().enumerate() {
+                    v[a * LANES..(a + 1) * LANES].fill(init);
+                }
+                v
+            })
+            .collect();
+        Ok(CompiledSim64 {
+            nl: scalar.nl,
+            insts: scalar.insts,
+            runs: scalar.runs,
+            state_runs: scalar.state_runs,
+            reg_plan: scalar.reg_plan,
+            reg_next: scalar.reg_next,
+            reg_en: scalar.reg_en,
+            reg_outs: scalar.reg_outs,
+            mem_plan: scalar.mem_plan,
+            blocks,
+            mems,
+            settled: false,
+            cycle: 0,
+        })
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &Netlist {
+        &self.nl
+    }
+
+    /// Number of completed clock cycles (each advances all 64 lanes).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Evaluates all combinational nets on every lane.
+    pub fn settle(&mut self) {
+        if self.settled {
+            return;
+        }
+        for (bi, blk) in self.blocks.iter_mut().enumerate() {
+            exec_block(
+                &self.runs,
+                &self.insts,
+                &mut blk.values,
+                &self.mems,
+                bi * BLOCK_LANES,
+            );
+        }
+        self.settled = true;
+    }
+
+    /// Commits the clock edge on every lane; like
+    /// [`CompiledSim::clock`], an unsettled netlist only evaluates the
+    /// state segment. Each lane block runs its settle-and-commit to
+    /// completion before the next starts (blocks touch disjoint lane
+    /// indices of the shared memories, so the order is immaterial),
+    /// keeping the per-pass working set L1-resident.
+    pub fn clock(&mut self) {
+        let settled = self.settled;
+        for (bi, blk) in self.blocks.iter_mut().enumerate() {
+            if !settled {
+                exec_block(
+                    &self.runs[..self.state_runs],
+                    &self.insts,
+                    &mut blk.values,
+                    &self.mems,
+                    bi * BLOCK_LANES,
+                );
+            }
+            let LaneBlock {
+                values,
+                regs,
+                reg_new,
+            } = blk;
+            for i in 0..reg_new.len() {
+                let (en, nx) = (self.reg_en[i] as usize, self.reg_next[i] as usize);
+                let mut d = [0u64; BLOCK_LANES];
+                for (l, slot) in d.iter_mut().enumerate() {
+                    let m = values[en].0[l].wrapping_neg();
+                    *slot = (values[nx].0[l] & m) | (regs[i].0[l] & !m);
+                }
+                reg_new[i] = Row(d);
+            }
+            for c in &self.mem_plan {
+                let (en, ad, da) = (c.en as usize, c.addr as usize, c.data as usize);
+                let mem = &mut self.mems[c.mem as usize];
+                for l in 0..BLOCK_LANES {
+                    if values[en].0[l] == 1 {
+                        let lane = bi * BLOCK_LANES + l;
+                        mem[(values[ad].0[l] as usize) * LANES + lane] = values[da].0[l];
+                    }
+                }
+            }
+            regs.copy_from_slice(reg_new);
+            for &(s, r) in &self.reg_outs {
+                values[s as usize] = regs[r as usize];
+            }
+        }
+        self.settled = false;
+        self.cycle += 1;
+    }
+
+    /// One full cycle on every lane.
+    pub fn step(&mut self) {
+        self.clock();
+    }
+
+    /// Runs `n` cycles on every lane (`n * 64` simulated
+    /// machine-cycles).
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.clock();
+        }
+    }
+
+    /// Sets an input on one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not an input, `lane >= 64`, or the value does
+    /// not fit.
+    pub fn set_input_lane(&mut self, net: NetId, lane: usize, value: u64) {
+        assert!(
+            matches!(self.nl.node(net), Node::Input { .. }),
+            "{net} is not an input port"
+        );
+        let w = self.nl.width(net);
+        assert!(
+            value <= mask(w),
+            "input value {value:#x} does not fit in {w} bits"
+        );
+        assert!(lane < LANES, "lane {lane} out of range");
+        self.blocks[lane / BLOCK_LANES].values[net.index()].0[lane % BLOCK_LANES] = value;
+        self.settled = false;
+    }
+
+    /// Sets an input to the same value on every lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not an input or the value does not fit.
+    pub fn set_input_all(&mut self, net: NetId, value: u64) {
+        assert!(
+            matches!(self.nl.node(net), Node::Input { .. }),
+            "{net} is not an input port"
+        );
+        let w = self.nl.width(net);
+        assert!(
+            value <= mask(w),
+            "input value {value:#x} does not fit in {w} bits"
+        );
+        for blk in &mut self.blocks {
+            blk.values[net.index()] = Row([value; BLOCK_LANES]);
+        }
+        self.settled = false;
+    }
+
+    /// Reads a settled net value on one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`CompiledSim64::settle`] in the current
+    /// cycle or if `lane >= 64`.
+    pub fn get_lane(&self, net: NetId, lane: usize) -> u64 {
+        assert!(self.settled, "call settle() before reading net values");
+        self.blocks[lane / BLOCK_LANES].values[net.index()].0[lane % BLOCK_LANES]
+    }
+
+    /// The stored value of a register on one lane.
+    pub fn reg_lane(&self, reg: RegId, lane: usize) -> u64 {
+        self.blocks[lane / BLOCK_LANES].regs[reg.index()].0[lane % BLOCK_LANES]
+    }
+
+    /// The contents of one memory entry on one lane.
+    pub fn mem_lane(&self, mem: MemId, lane: usize, addr: usize) -> u64 {
+        self.mems[mem.index()][addr * LANES + lane]
+    }
+
+    /// Overwrites a register on every lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit.
+    pub fn poke_reg_all(&mut self, reg: RegId, value: u64) {
+        let p = &self.reg_plan[reg.index()];
+        assert!(
+            value <= mask(p.width),
+            "poke value does not fit in {} bits",
+            p.width
+        );
+        for blk in &mut self.blocks {
+            blk.regs[reg.index()] = Row([value; BLOCK_LANES]);
+            for &s in &p.outs {
+                blk.values[s as usize] = Row([value; BLOCK_LANES]);
+            }
+        }
+        self.settled = false;
+    }
+
+    /// Overwrites one memory entry on every lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range or the value does not fit.
+    pub fn poke_mem_all(&mut self, mem: MemId, addr: usize, value: u64) {
+        let m = self.nl.memory_info(mem);
+        assert!(addr < m.entries(), "address {addr} out of range");
+        assert!(
+            value <= mask(m.data_width),
+            "poke value does not fit in {} bits",
+            m.data_width
+        );
+        self.mems[mem.index()][addr * LANES..(addr + 1) * LANES].fill(value);
+        self.settled = false;
+    }
+
+    /// Resets registers and memories on every lane.
+    pub fn reset(&mut self) {
+        for blk in &mut self.blocks {
+            for i in 0..self.reg_plan.len() {
+                let init = self.reg_plan[i].init;
+                blk.regs[i] = Row([init; BLOCK_LANES]);
+                for &s in &self.reg_plan[i].outs {
+                    blk.values[s as usize] = Row([init; BLOCK_LANES]);
+                }
+            }
+        }
+        for (i, m) in self.nl.memories().iter().enumerate() {
+            let mem = &mut self.mems[i];
+            mem.fill(0);
+            for (a, &init) in m.init.iter().enumerate() {
+                mem[a * LANES..(a + 1) * LANES].fill(init);
+            }
+        }
+        self.settled = false;
+        self.cycle = 0;
+    }
+}
+
+/// [`CompiledSim64`] under the scalar trait, with
+/// [`Sim64`](crate::Sim64) semantics: pokes broadcast to all 64 lanes,
+/// peeks read lane 0.
+impl Simulate for CompiledSim64 {
+    fn netlist(&self) -> &Netlist {
+        CompiledSim64::netlist(self)
+    }
+
+    fn backend(&self) -> Backend {
+        Backend::Compiled64
+    }
+
+    fn cycle(&self) -> u64 {
+        CompiledSim64::cycle(self)
+    }
+
+    fn reset(&mut self) {
+        CompiledSim64::reset(self);
+    }
+
+    fn settle(&mut self) {
+        CompiledSim64::settle(self);
+    }
+
+    fn clock(&mut self) {
+        CompiledSim64::clock(self);
+    }
+
+    fn set_input(&mut self, net: NetId, value: u64) {
+        self.set_input_all(net, value);
+    }
+
+    fn peek(&self, net: NetId) -> u64 {
+        self.get_lane(net, 0)
+    }
+
+    fn peek_reg(&self, reg: RegId) -> u64 {
+        self.reg_lane(reg, 0)
+    }
+
+    fn peek_mem(&self, mem: MemId, addr: usize) -> u64 {
+        self.mem_lane(mem, 0, addr)
+    }
+
+    fn poke_reg(&mut self, reg: RegId, value: u64) {
+        self.poke_reg_all(reg, value);
+    }
+
+    fn poke_mem(&mut self, mem: MemId, addr: usize, value: u64) {
+        self.poke_mem_all(mem, addr, value);
+    }
+}
+
+impl Simulate for CompiledSim {
+    fn netlist(&self) -> &Netlist {
+        CompiledSim::netlist(self)
+    }
+
+    fn backend(&self) -> Backend {
+        Backend::Compiled
+    }
+
+    fn cycle(&self) -> u64 {
+        CompiledSim::cycle(self)
+    }
+
+    fn reset(&mut self) {
+        CompiledSim::reset(self);
+    }
+
+    fn settle(&mut self) {
+        CompiledSim::settle(self);
+    }
+
+    fn clock(&mut self) {
+        CompiledSim::clock(self);
+    }
+
+    fn set_input(&mut self, net: NetId, value: u64) {
+        CompiledSim::set_input(self, net, value);
+    }
+
+    fn peek(&self, net: NetId) -> u64 {
+        self.get(net)
+    }
+
+    fn peek_reg(&self, reg: RegId) -> u64 {
+        self.reg_value(reg)
+    }
+
+    fn peek_mem(&self, mem: MemId, addr: usize) -> u64 {
+        self.mem_value(mem, addr)
+    }
+
+    fn poke_reg(&mut self, reg: RegId, value: u64) {
+        CompiledSim::poke_reg(self, reg, value);
+    }
+
+    fn poke_mem(&mut self, mem: MemId, addr: usize, value: u64) {
+        CompiledSim::poke_mem(self, mem, addr, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+
+    /// A comb-cycle-free fixture with a known level structure:
+    /// `r -> add (1) -> slice (2) -> mux (3)`, with the register output
+    /// and constants at level 0.
+    #[test]
+    fn levelize_assigns_depths_with_registers_as_cut_points() {
+        let mut nl = Netlist::new("lv");
+        let one = nl.constant(1, 8);
+        let (r, out) = nl.register("r", 8, 0);
+        let sum = nl.add(out, one); // level 1
+        let s = nl.slice(sum, 3, 0); // level 2
+        let c = nl.constant(5, 4);
+        let sel = nl.input("sel", 1);
+        let m = nl.mux(sel, s, c); // level 3
+        nl.connect(r, sum);
+        let lv = levelize(&nl).unwrap();
+        assert_eq!(lv[out.index()], 0, "register output is a cut point");
+        assert_eq!(lv[one.index()], 0);
+        assert_eq!(lv[sel.index()], 0);
+        assert_eq!(lv[sum.index()], 1);
+        assert_eq!(lv[s.index()], 2);
+        assert_eq!(lv[m.index()], 3);
+        let sim = CompiledSim::new(&nl).unwrap();
+        assert_eq!(sim.depth(), 3);
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut nl = Netlist::new("c");
+        let one = nl.constant(1, 8);
+        let (r, out) = nl.register("cnt", 8, 0);
+        let next = nl.add(out, one);
+        nl.connect(r, next);
+        let mut sim = CompiledSim::new(&nl).unwrap();
+        sim.run(300);
+        assert_eq!(sim.reg_value(r), 300 % 256);
+    }
+
+    #[test]
+    fn constant_cones_fold_at_compile_time() {
+        let mut nl = Netlist::new("f");
+        let a = nl.constant(3, 8);
+        let b = nl.constant(4, 8);
+        let s = nl.add(a, b); // folded
+        let i = nl.input("i", 8);
+        let o = nl.add(s, i); // dynamic
+        nl.label("o", o);
+        let mut sim = CompiledSim::new(&nl).unwrap();
+        assert_eq!(sim.folded_nets(), 1);
+        assert_eq!(sim.program_len(), 1);
+        sim.set_input(i, 10);
+        sim.settle();
+        assert_eq!(sim.get(o), 17);
+        assert_eq!(sim.get(s), 7, "folded nets stay peekable");
+    }
+
+    #[test]
+    fn memory_and_enable_semantics_match_interpreter() {
+        let mut nl = Netlist::new("m");
+        let m = nl.memory("ram", 3, 16, vec![7, 8]);
+        let we = nl.input("we", 1);
+        let wa = nl.input("wa", 3);
+        let wd = nl.input("wd", 16);
+        let ra = nl.input("ra", 3);
+        nl.mem_write(m, we, wa, wd);
+        let dout = nl.mem_read(m, ra);
+        nl.label("dout", dout);
+        let en = nl.input("en", 1);
+        let (r, _out) = nl.register("acc", 16, 0);
+        nl.connect_en(r, dout, en);
+        let mut a = Simulator::new(&nl).unwrap();
+        let mut b = CompiledSim::new(&nl).unwrap();
+        let stim = [
+            (1u64, 5u64, 0xbeef_u64, 1u64, 1u64),
+            (0, 0, 0, 5, 1),
+            (1, 1, 0x1234, 1, 0),
+            (0, 0, 0, 1, 1),
+        ];
+        for (we_v, wa_v, wd_v, ra_v, en_v) in stim {
+            for (n, v) in [(we, we_v), (wa, wa_v), (wd, wd_v), (ra, ra_v), (en, en_v)] {
+                a.set_input(n, v);
+                b.set_input(n, v);
+            }
+            a.settle();
+            b.settle();
+            assert_eq!(a.get(dout), b.get(dout));
+            a.clock();
+            b.clock();
+            assert_eq!(a.reg_value(r), b.reg_value(r));
+        }
+        for addr in 0..8 {
+            assert_eq!(a.mem_value(m, addr), b.mem_value(m, addr));
+        }
+    }
+
+    #[test]
+    fn random_netlists_match_interpreter() {
+        for seed in 0..8 {
+            let (nl, _probes) = crate::testgen::random_netlist(seed, 40);
+            let mut rng = crate::testgen::TestRng::new(seed ^ 0x5eed);
+            let mut a = Simulator::new(&nl).unwrap();
+            let mut b = CompiledSim::new(&nl).unwrap();
+            for _ in 0..8 {
+                for (net, v) in crate::testgen::random_inputs(&mut rng, &nl) {
+                    a.set_input(net, v);
+                    b.set_input(net, v);
+                }
+                a.settle();
+                b.settle();
+                for i in 0..nl.node_count() {
+                    let id = NetId(i as u32);
+                    assert_eq!(a.get(id), b.get(id), "seed {seed} net {id}");
+                }
+                a.clock();
+                b.clock();
+            }
+        }
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut nl = Netlist::new("c");
+        let one = nl.constant(1, 4);
+        let (r, out) = nl.register("cnt", 4, 9);
+        let next = nl.add(out, one);
+        nl.connect(r, next);
+        let mut sim = CompiledSim::new(&nl).unwrap();
+        sim.run(3);
+        assert_eq!(sim.reg_value(r), 12);
+        sim.reset();
+        assert_eq!(sim.reg_value(r), 9);
+        assert_eq!(sim.cycle(), 0);
+    }
+}

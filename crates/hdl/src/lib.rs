@@ -48,18 +48,21 @@
 #![warn(missing_docs)]
 
 pub mod aig;
+pub mod compile;
 pub mod hash;
 pub mod ir;
 pub mod mutate;
 pub mod opt;
 pub mod sim;
 pub mod sim64;
+pub mod simulate;
 pub mod stats;
 pub mod testgen;
 pub mod value;
 pub mod vcd;
 
 pub use aig::{Aig, AigLit, Lowered};
+pub use compile::{levelize, CompiledSim, CompiledSim64};
 pub use hash::{bytes_digest, cone_digest, cone_nets, netlist_digest, state_roots, Digest};
 pub use ir::{
     AbsorbedDesign, BinaryOp, HdlError, MemId, Memory, NetId, Netlist, Node, RegId, Register,
@@ -69,6 +72,7 @@ pub use mutate::{FaultKind, FaultTarget, Mutation};
 pub use opt::{optimize, NetMap, OptStats};
 pub use sim::Simulator;
 pub use sim64::{Sim64, LANES};
+pub use simulate::{Backend, SimSnapshot, Simulate, AUTO_COMPILE_THRESHOLD};
 pub use stats::{
     cone_gates, cone_gates_with_model, cone_to_dot, DelayModel, NetAnalysis, NetlistStats,
 };

@@ -1,0 +1,426 @@
+//! The unified simulation API: the [`Simulate`] trait and the
+//! [`Backend`] selector.
+//!
+//! Three engines evaluate the same two-phase (settle/clock) semantics:
+//!
+//! | backend | struct | representation | best at |
+//! |---|---|---|---|
+//! | [`Backend::Interp`] | [`Simulator`] | per-net `u64`, walks the `ir` graph | debugging, tiny netlists |
+//! | [`Backend::Bitparallel`] | [`Sim64`] | 64 independent lanes as bit planes | fuzzing 64 stimuli per pass |
+//! | [`Backend::Compiled`] | [`CompiledSim`](crate::compile::CompiledSim) | levelized straight-line bytecode | long runs on big netlists |
+//! | [`Backend::Compiled64`] | [`CompiledSim64`](crate::compile::CompiledSim64) | same bytecode, word-packed 64-lane state | aggregate throughput: fuzzing, mutation runs |
+//!
+//! Callers that do not care pick [`Backend::Auto`] and construct through
+//! the [`Netlist::simulator`] factory; the concrete types remain
+//! available for backend-specific extras (lane access on [`Sim64`],
+//! program statistics on `CompiledSim`).
+//!
+//! The trait is **scalar-semantic**: one stimulus vector per cycle,
+//! `peek` reads one settled value. [`Sim64`] participates by
+//! broadcasting pokes to all 64 lanes and peeking lane 0, so a trace
+//! replayed through any backend produces the same verdict (this is the
+//! contract the verify crate's counterexample replay relies on).
+
+use crate::compile::{CompiledSim, CompiledSim64};
+use crate::ir::{HdlError, MemId, NetId, Netlist, RegId};
+use crate::sim::Simulator;
+use crate::sim64::Sim64;
+use std::fmt;
+use std::str::FromStr;
+
+/// Selects a simulation engine; see the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The scalar reference interpreter ([`Simulator`]).
+    Interp,
+    /// The 64-lane bit-parallel engine ([`Sim64`]).
+    Bitparallel,
+    /// The levelized bytecode engine
+    /// ([`CompiledSim`](crate::compile::CompiledSim)).
+    Compiled,
+    /// The word-packed 64-lane bytecode engine
+    /// ([`CompiledSim64`](crate::compile::CompiledSim64)): the same
+    /// compiled program over 64 independent lanes, for aggregate
+    /// throughput.
+    Compiled64,
+    /// Pick automatically: [`Backend::Compiled`] for netlists with at
+    /// least [`AUTO_COMPILE_THRESHOLD`] nets (compilation amortizes),
+    /// [`Backend::Interp`] below it.
+    #[default]
+    Auto,
+}
+
+/// Net-count threshold at which [`Backend::Auto`] switches from the
+/// interpreter to the compiled engine.
+pub const AUTO_COMPILE_THRESHOLD: usize = 256;
+
+impl Backend {
+    /// Resolves [`Backend::Auto`] against a concrete netlist; the other
+    /// variants map to themselves.
+    pub fn resolve(self, nl: &Netlist) -> Backend {
+        match self {
+            Backend::Auto => {
+                if nl.node_count() >= AUTO_COMPILE_THRESHOLD {
+                    Backend::Compiled
+                } else {
+                    Backend::Interp
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Every selectable backend, in CLI listing order.
+    pub const ALL: [Backend; 5] = [
+        Backend::Interp,
+        Backend::Bitparallel,
+        Backend::Compiled,
+        Backend::Compiled64,
+        Backend::Auto,
+    ];
+
+    /// The CLI spelling (`--sim-backend` value).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Interp => "interp",
+            Backend::Bitparallel => "bitparallel",
+            Backend::Compiled => "compiled",
+            Backend::Compiled64 => "compiled64",
+            Backend::Auto => "auto",
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "interp" => Ok(Backend::Interp),
+            "bitparallel" => Ok(Backend::Bitparallel),
+            "compiled" => Ok(Backend::Compiled),
+            "compiled64" => Ok(Backend::Compiled64),
+            "auto" => Ok(Backend::Auto),
+            other => Err(format!(
+                "unknown simulation backend `{other}` (expected interp, bitparallel, compiled, compiled64 or auto)"
+            )),
+        }
+    }
+}
+
+/// A copy of all sequential state (registers, memories, cycle counter)
+/// taken by [`Simulate::snapshot`] and reinstated by
+/// [`Simulate::restore`]. Snapshots are backend-independent: a snapshot
+/// taken on one backend restores onto any other.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimSnapshot {
+    /// Completed cycles at snapshot time.
+    pub cycle: u64,
+    /// Register values in [`Netlist::reg_ids`] order.
+    pub regs: Vec<u64>,
+    /// Memory contents in [`Netlist::mem_ids`] order.
+    pub mems: Vec<Vec<u64>>,
+}
+
+/// The backend-independent simulation surface; see the
+/// [module docs](self) for the semantics contract.
+///
+/// All engines implement two-phase evaluation: [`Simulate::settle`]
+/// computes every combinational net from the current state and inputs,
+/// [`Simulate::clock`] commits the edge. Reads via [`Simulate::peek`]
+/// require a settled netlist; input pokes persist across cycles until
+/// overwritten, exactly like [`Simulator::set_input`].
+pub trait Simulate: fmt::Debug {
+    /// The netlist being simulated.
+    fn netlist(&self) -> &Netlist;
+
+    /// The concrete engine behind this instance (never
+    /// [`Backend::Auto`]).
+    fn backend(&self) -> Backend;
+
+    /// Number of completed clock cycles.
+    fn cycle(&self) -> u64;
+
+    /// Resets registers, memories and the cycle counter to their
+    /// initial values. Input pokes are retained.
+    fn reset(&mut self);
+
+    /// Evaluates all combinational nets against the current state.
+    /// Idempotent until the next `clock`/poke.
+    fn settle(&mut self);
+
+    /// Commits the clock edge (settling first if necessary).
+    fn clock(&mut self);
+
+    /// One full cycle: settle then clock.
+    fn step(&mut self) {
+        self.clock();
+    }
+
+    /// Runs `n` cycles.
+    fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Sets an input port value; persists until overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not an input or the value does not fit.
+    fn set_input(&mut self, net: NetId, value: u64);
+
+    /// Reads a settled net value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Simulate::settle`] in the current
+    /// cycle.
+    fn peek(&self, net: NetId) -> u64;
+
+    /// The current stored value of a register.
+    fn peek_reg(&self, reg: RegId) -> u64;
+
+    /// The current contents of one memory entry.
+    fn peek_mem(&self, mem: MemId, addr: usize) -> u64;
+
+    /// Overwrites a register's stored value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit.
+    fn poke_reg(&mut self, reg: RegId, value: u64);
+
+    /// Overwrites one memory entry (program/data loading).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range or the value does not fit.
+    fn poke_mem(&mut self, mem: MemId, addr: usize, value: u64);
+
+    /// Copies out all sequential state.
+    fn snapshot(&self) -> SimSnapshot {
+        let nl = self.netlist();
+        SimSnapshot {
+            cycle: self.cycle(),
+            regs: nl.reg_ids().map(|r| self.peek_reg(r)).collect(),
+            mems: nl
+                .mem_ids()
+                .map(|m| {
+                    (0..nl.memory_info(m).entries())
+                        .map(|a| self.peek_mem(m, a))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Reinstates state captured by [`Simulate::snapshot`] (the cycle
+    /// counter is **not** restored; snapshots carry it for reporting
+    /// only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot shape does not match this netlist.
+    fn restore(&mut self, snap: &SimSnapshot) {
+        let nl = self.netlist();
+        assert_eq!(snap.regs.len(), nl.registers().len(), "snapshot shape");
+        assert_eq!(snap.mems.len(), nl.memories().len(), "snapshot shape");
+        let regs: Vec<RegId> = nl.reg_ids().collect();
+        let mems: Vec<MemId> = nl.mem_ids().collect();
+        for (r, &v) in regs.iter().zip(&snap.regs) {
+            self.poke_reg(*r, v);
+        }
+        for (m, vals) in mems.iter().zip(&snap.mems) {
+            for (a, &v) in vals.iter().enumerate() {
+                self.poke_mem(*m, a, v);
+            }
+        }
+    }
+}
+
+impl Netlist {
+    /// Constructs a simulator for this netlist behind the unified
+    /// [`Simulate`] trait. This is the preferred entry point; the
+    /// concrete constructors ([`Simulator::new`], [`Sim64::new`],
+    /// [`CompiledSim::new`](crate::compile::CompiledSim::new)) remain
+    /// for callers that need backend-specific extras.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`HdlError`] reported by [`Netlist::validate`].
+    pub fn simulator(&self, backend: Backend) -> Result<Box<dyn Simulate>, HdlError> {
+        Ok(match backend.resolve(self) {
+            Backend::Interp => Box::new(Simulator::new(self)?),
+            Backend::Bitparallel => Box::new(Sim64::new(self)?),
+            Backend::Compiled64 => Box::new(CompiledSim64::new(self)?),
+            Backend::Compiled | Backend::Auto => Box::new(CompiledSim::new(self)?),
+        })
+    }
+}
+
+impl Simulate for Simulator {
+    fn netlist(&self) -> &Netlist {
+        Simulator::netlist(self)
+    }
+
+    fn backend(&self) -> Backend {
+        Backend::Interp
+    }
+
+    fn cycle(&self) -> u64 {
+        Simulator::cycle(self)
+    }
+
+    fn reset(&mut self) {
+        Simulator::reset(self);
+    }
+
+    fn settle(&mut self) {
+        Simulator::settle(self);
+    }
+
+    fn clock(&mut self) {
+        Simulator::clock(self);
+    }
+
+    fn set_input(&mut self, net: NetId, value: u64) {
+        Simulator::set_input(self, net, value);
+    }
+
+    fn peek(&self, net: NetId) -> u64 {
+        self.get(net)
+    }
+
+    fn peek_reg(&self, reg: RegId) -> u64 {
+        self.reg_value(reg)
+    }
+
+    fn peek_mem(&self, mem: MemId, addr: usize) -> u64 {
+        self.mem_value(mem, addr)
+    }
+
+    fn poke_reg(&mut self, reg: RegId, value: u64) {
+        Simulator::poke_reg(self, reg, value);
+    }
+
+    fn poke_mem(&mut self, mem: MemId, addr: usize, value: u64) {
+        Simulator::poke_mem(self, mem, addr, value);
+    }
+}
+
+/// [`Sim64`] under the scalar trait: pokes broadcast to all 64 lanes,
+/// peeks read lane 0. A trace driven through this impl therefore keeps
+/// every lane on the identical trajectory.
+impl Simulate for Sim64 {
+    fn netlist(&self) -> &Netlist {
+        Sim64::netlist(self)
+    }
+
+    fn backend(&self) -> Backend {
+        Backend::Bitparallel
+    }
+
+    fn cycle(&self) -> u64 {
+        Sim64::cycle(self)
+    }
+
+    fn reset(&mut self) {
+        Sim64::reset(self);
+    }
+
+    fn settle(&mut self) {
+        Sim64::settle(self);
+    }
+
+    fn clock(&mut self) {
+        Sim64::clock(self);
+    }
+
+    fn set_input(&mut self, net: NetId, value: u64) {
+        self.set_input_all(net, value);
+    }
+
+    fn peek(&self, net: NetId) -> u64 {
+        self.get_lane(net, 0)
+    }
+
+    fn peek_reg(&self, reg: RegId) -> u64 {
+        self.reg_lane(reg, 0)
+    }
+
+    fn peek_mem(&self, mem: MemId, addr: usize) -> u64 {
+        self.mem_lane(mem, 0, addr)
+    }
+
+    fn poke_reg(&mut self, reg: RegId, value: u64) {
+        self.poke_reg_all(reg, value);
+    }
+
+    fn poke_mem(&mut self, mem: MemId, addr: usize, value: u64) {
+        self.poke_mem_all(mem, addr, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter() -> (Netlist, RegId) {
+        let mut nl = Netlist::new("c");
+        let one = nl.constant(1, 8);
+        let (r, out) = nl.register("cnt", 8, 0);
+        let next = nl.add(out, one);
+        nl.connect(r, next);
+        (nl, r)
+    }
+
+    #[test]
+    fn backend_parsing_round_trips() {
+        for b in Backend::ALL {
+            assert_eq!(b.name().parse::<Backend>().unwrap(), b);
+        }
+        assert!("jit".parse::<Backend>().is_err());
+    }
+
+    #[test]
+    fn auto_resolves_by_size() {
+        let (nl, _) = counter();
+        assert_eq!(Backend::Auto.resolve(&nl), Backend::Interp);
+        assert_eq!(Backend::Compiled.resolve(&nl), Backend::Compiled);
+    }
+
+    #[test]
+    fn factory_backends_agree_on_a_counter() {
+        let (nl, r) = counter();
+        for b in Backend::ALL {
+            let mut sim = nl.simulator(b).unwrap();
+            sim.run(300);
+            assert_eq!(sim.peek_reg(r), 300 % 256, "backend {b}");
+            assert_eq!(sim.cycle(), 300);
+            sim.reset();
+            assert_eq!(sim.peek_reg(r), 0);
+        }
+    }
+
+    #[test]
+    fn snapshot_restores_across_backends() {
+        let (nl, r) = counter();
+        let mut a = nl.simulator(Backend::Interp).unwrap();
+        a.run(7);
+        let snap = a.snapshot();
+        assert_eq!(snap.cycle, 7);
+        let mut b = nl.simulator(Backend::Compiled).unwrap();
+        b.restore(&snap);
+        assert_eq!(b.peek_reg(r), 7);
+        b.run(1);
+        assert_eq!(b.peek_reg(r), 8);
+    }
+}

@@ -6,7 +6,7 @@
 //! cycle with change filtering.
 
 use crate::ir::{NetId, Netlist};
-use crate::sim::Simulator;
+use crate::simulate::Simulate;
 use std::io::{self, Write};
 
 /// Streams the values of selected nets to VCD.
@@ -75,14 +75,14 @@ impl<W: Write> VcdWriter<W> {
     ///
     /// Panics if the simulator was built from a different netlist shape
     /// (net ids out of range).
-    pub fn sample(&mut self, sim: &Simulator) -> io::Result<()> {
+    pub fn sample(&mut self, sim: &dyn Simulate) -> io::Result<()> {
         if !self.header_done {
             let design = sim.netlist().name.clone();
             self.header(&design)?;
         }
         writeln!(self.out, "#{}", self.time)?;
         for (i, (_, net, w, id)) in self.nets.iter().enumerate() {
-            let v = sim.get(*net);
+            let v = sim.peek(*net);
             if self.last[i] == Some(v) {
                 continue;
             }
@@ -101,7 +101,7 @@ impl<W: Write> VcdWriter<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Netlist;
+    use crate::{Netlist, Simulator};
 
     #[test]
     fn produces_wellformed_vcd() {

@@ -9,7 +9,7 @@
 
 use crate::elab::{self, DirectInputs, FileCtrl, Skeleton, StageInstance};
 use crate::plan::{Plan, PlanError};
-use autopipe_hdl::{HdlError, NetId, Netlist, Simulator};
+use autopipe_hdl::{Backend, HdlError, NetId, Netlist, Simulate};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -58,7 +58,9 @@ pub enum VisibleValue {
 /// Snapshot of all visible registers/files, keyed by base name.
 pub type VisibleState = BTreeMap<String, VisibleValue>;
 
-/// The elaborated sequential machine with its simulator.
+/// The elaborated sequential machine with its simulator (constructed
+/// through the unified [`Simulate`] factory, so the reference runs on
+/// the compiled backend for large machines).
 #[derive(Debug)]
 pub struct SequentialMachine {
     plan: Plan,
@@ -66,7 +68,7 @@ pub struct SequentialMachine {
     skel: Skeleton,
     ue_nets: Vec<NetId>,
     file_ctrl: Vec<FileCtrl>,
-    sim: Simulator,
+    sim: Box<dyn Simulate>,
 }
 
 impl SequentialMachine {
@@ -77,8 +79,21 @@ impl SequentialMachine {
     /// Returns a [`SequentialError`] on port-resolution or netlist
     /// problems.
     pub fn new(plan: Plan) -> Result<SequentialMachine, SequentialError> {
+        Self::with_backend(plan, Backend::Auto)
+    }
+
+    /// Elaborates the machine with an explicit simulation backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SequentialError`] on port-resolution or netlist
+    /// problems.
+    pub fn with_backend(
+        plan: Plan,
+        backend: Backend,
+    ) -> Result<SequentialMachine, SequentialError> {
         let (netlist, skel, ue_nets, file_ctrl) = elaborate(&plan)?;
-        let sim = Simulator::new(&netlist)?;
+        let sim = netlist.simulator(backend)?;
         Ok(SequentialMachine {
             plan,
             netlist,
@@ -101,13 +116,13 @@ impl SequentialMachine {
 
     /// Mutable access to the simulator (set external inputs, poke
     /// memories to load programs, …).
-    pub fn sim_mut(&mut self) -> &mut Simulator {
-        &mut self.sim
+    pub fn sim_mut(&mut self) -> &mut dyn Simulate {
+        self.sim.as_mut()
     }
 
     /// Read access to the simulator.
-    pub fn sim(&self) -> &Simulator {
-        &self.sim
+    pub fn sim(&self) -> &dyn Simulate {
+        self.sim.as_ref()
     }
 
     /// The per-stage update-enable nets.
@@ -146,7 +161,7 @@ impl SequentialMachine {
                 let (reg, _) = self.skel.inst_regs[ii];
                 out.insert(
                     inst.base.clone(),
-                    VisibleValue::Word(self.sim.reg_value(reg)),
+                    VisibleValue::Word(self.sim.peek_reg(reg)),
                 );
             }
         }
@@ -154,7 +169,7 @@ impl SequentialMachine {
             if f.visible {
                 let mem = self.skel.file_mems[fi];
                 let vals = (0..1usize << f.addr_width)
-                    .map(|a| self.sim.mem_value(mem, a))
+                    .map(|a| self.sim.peek_mem(mem, a))
                     .collect();
                 out.insert(f.name.clone(), VisibleValue::File(vals));
             }
@@ -169,7 +184,12 @@ impl SequentialMachine {
         let mut rows = Vec::with_capacity(cycles);
         for _ in 0..cycles {
             self.sim.settle();
-            rows.push(self.ue_nets.iter().map(|&n| self.sim.get(n) == 1).collect());
+            rows.push(
+                self.ue_nets
+                    .iter()
+                    .map(|&n| self.sim.peek(n) == 1)
+                    .collect(),
+            );
             self.sim.clock();
         }
         rows
@@ -305,9 +325,9 @@ mod tests {
         let plan = m.plan().clone();
         let a2 = plan.instance_named("A", 2).unwrap();
         let (reg, _) = m.skeleton().inst_regs[a2];
-        assert_eq!(m.sim().reg_value(reg), 0); // instruction 0 had PC=0
+        assert_eq!(m.sim().peek_reg(reg), 0); // instruction 0 had PC=0
         m.step_instruction();
-        assert_eq!(m.sim().reg_value(reg), 1);
+        assert_eq!(m.sim().peek_reg(reg), 1);
     }
 
     #[test]

@@ -4,10 +4,13 @@
 //! frame, the primary-input assignment the SAT solver chose. This
 //! module turns that into something a human can act on:
 //!
-//! * [`replay_trace`] re-executes the trace on the independent
-//!   [`Sim64`] simulator and reports the first cycle the property
-//!   fails — a cross-check of the SAT-level refutation against a
-//!   completely separate evaluation engine;
+//! * [`replay_trace`] re-executes the trace on an independent
+//!   simulation engine behind the [`Simulate`] trait object and
+//!   reports the first cycle the property fails — a cross-check of the
+//!   SAT-level refutation against a completely separate evaluation
+//!   engine. [`replay_trace_on`] pins the engine; because every
+//!   backend implements identical trace semantics, a cached
+//!   counterexample replays to the same verdict on any of them;
 //! * [`minimize_trace`] greedily prunes the trace (truncating to the
 //!   first failing cycle, then dropping every input-bit assignment
 //!   whose default preserves the failure) so the witness pins only
@@ -24,7 +27,7 @@ use crate::bmc::CexTrace;
 use crate::error::VerifyError;
 use autopipe_hdl::aig::Lowered;
 use autopipe_hdl::vcd::VcdWriter;
-use autopipe_hdl::{HdlError, NetId, Netlist, Sim64, Simulator};
+use autopipe_hdl::{Backend, HdlError, NetId, Netlist, Simulate};
 use std::io::Write;
 
 /// Per-frame input values for a trace, resolved from AIG input
@@ -48,10 +51,11 @@ fn frame_inputs(lowered: &Lowered, trace: &CexTrace, t: usize) -> Vec<(NetId, u6
         .collect()
 }
 
-/// Replays `trace` on a fresh [`Sim64`] of `nl` and returns the first
-/// cycle (within the trace) at which the 1-bit net `prop` evaluates
-/// to 0, or `None` if the trace does not refute the property under
-/// simulation semantics.
+/// Replays `trace` on a fresh auto-selected simulator of `nl` and
+/// returns the first cycle (within the trace) at which the 1-bit net
+/// `prop` evaluates to 0, or `None` if the trace does not refute the
+/// property under simulation semantics. Equivalent to
+/// [`replay_trace_on`] with [`Backend::Auto`].
 ///
 /// # Errors
 ///
@@ -62,13 +66,41 @@ pub fn replay_trace(
     prop: NetId,
     trace: &CexTrace,
 ) -> Result<Option<u64>, HdlError> {
-    let mut sim = Sim64::new(nl)?;
+    replay_trace_on(nl, lowered, prop, trace, Backend::Auto)
+}
+
+/// [`replay_trace`] on an explicit backend. The replay runs entirely
+/// through the [`Simulate`] trait object, so the verdict is
+/// backend-independent by construction (asserted by the regression
+/// suite on killed mutants).
+///
+/// # Errors
+///
+/// Propagates simulator construction errors.
+pub fn replay_trace_on(
+    nl: &Netlist,
+    lowered: &Lowered,
+    prop: NetId,
+    trace: &CexTrace,
+    backend: Backend,
+) -> Result<Option<u64>, HdlError> {
+    let mut sim = nl.simulator(backend)?;
+    replay_on_sim(sim.as_mut(), lowered, prop, trace)
+}
+
+/// The backend-agnostic replay loop shared by every entry point.
+fn replay_on_sim(
+    sim: &mut dyn Simulate,
+    lowered: &Lowered,
+    prop: NetId,
+    trace: &CexTrace,
+) -> Result<Option<u64>, HdlError> {
     for t in 0..trace.len() {
         for (net, v) in frame_inputs(lowered, trace, t) {
-            sim.set_input_all(net, v);
+            sim.set_input(net, v);
         }
         sim.settle();
-        if sim.get_lane(prop, 0) != 1 {
+        if sim.peek(prop) != 1 {
             return Ok(Some(t as u64));
         }
         sim.clock();
@@ -117,8 +149,8 @@ pub fn minimize_trace(
     Ok(min)
 }
 
-/// Replays `trace` on a scalar [`Simulator`] of `nl`, streaming every
-/// named net to a VCD waveform on `out`. At least `cycles` cycles are
+/// Replays `trace` on an auto-selected simulator of `nl`, streaming
+/// every named net to a VCD waveform on `out`. At least `cycles` cycles are
 /// dumped (traces shorter than that continue with all-zero inputs),
 /// so short counterexamples still produce a readable waveform.
 ///
@@ -133,7 +165,7 @@ pub fn write_vcd_witness<W: Write>(
     trace: &CexTrace,
     cycles: u64,
 ) -> Result<(), VerifyError> {
-    let mut sim = Simulator::new(nl)?;
+    let mut sim = nl.simulator(Backend::Auto)?;
     let mut vcd = VcdWriter::new(out, nl);
     let total = cycles.max(trace.len() as u64);
     for t in 0..total {
@@ -141,7 +173,7 @@ pub fn write_vcd_witness<W: Write>(
             sim.set_input(net, v);
         }
         sim.settle();
-        vcd.sample(&sim)?;
+        vcd.sample(sim.as_ref())?;
         sim.clock();
     }
     Ok(())

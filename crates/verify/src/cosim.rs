@@ -28,7 +28,7 @@
 //! experiments validate end states against the golden ISA model
 //! instead.
 
-use autopipe_hdl::{NetId, Simulator};
+use autopipe_hdl::{Backend, NetId, Simulate};
 use autopipe_psm::{SequentialMachine, VisibleState, VisibleValue};
 use autopipe_synth::PipelinedMachine;
 use std::fmt;
@@ -191,13 +191,15 @@ impl CosimStats {
 /// Hook deciding the external stall inputs per (cycle, stage). The
 /// simulator reference allows state-dependent models (e.g. wait-state
 /// memories inspecting the instruction registers); only *register*
-/// state may be read (combinational nets are not settled yet).
-pub type ExtStallHook = Box<dyn FnMut(&Simulator, u64, usize) -> bool>;
+/// state may be read (combinational nets are not settled yet). The
+/// hook sees the backend-independent [`Simulate`] surface, so it works
+/// unchanged under `--sim-backend`.
+pub type ExtStallHook = Box<dyn FnMut(&dyn Simulate, u64, usize) -> bool>;
 
 /// The checker; see the [module docs](self).
 pub struct Cosim {
     pm: PipelinedMachine,
-    sim: Simulator,
+    sim: Box<dyn Simulate>,
     seq: SequentialMachine,
     sched: Vec<u64>,
     snapshots: Vec<VisibleState>,
@@ -230,8 +232,22 @@ impl Cosim {
     /// typed [`crate::VerifyError`] (they indicate internal
     /// inconsistencies, not user mistakes).
     pub fn new(pm: &PipelinedMachine) -> Result<Cosim, crate::VerifyError> {
-        let sim = pm.simulator()?;
-        let seq = SequentialMachine::new(pm.plan.clone())?;
+        Self::with_backend(pm, Backend::Auto)
+    }
+
+    /// Builds the checker on an explicit simulation backend (both the
+    /// pipelined machine and the sequential reference use it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration/simulation construction errors as a
+    /// typed [`crate::VerifyError`].
+    pub fn with_backend(
+        pm: &PipelinedMachine,
+        backend: Backend,
+    ) -> Result<Cosim, crate::VerifyError> {
+        let sim = pm.sim(backend)?;
+        let seq = SequentialMachine::with_backend(pm.plan.clone(), backend)?;
         let n = pm.n_stages();
         let mut visible_regs = Vec::new();
         for (ii, inst) in pm.plan.instances.iter().enumerate() {
@@ -298,8 +314,13 @@ impl Cosim {
     /// The pipelined machine's simulator (e.g. to load program memory
     /// before running — remember to mirror state into
     /// [`Cosim::seq_sim_mut`]).
-    pub fn sim_mut(&mut self) -> &mut Simulator {
-        &mut self.sim
+    pub fn sim_mut(&mut self) -> &mut dyn Simulate {
+        self.sim.as_mut()
+    }
+
+    /// The concrete engine driving the pipelined machine.
+    pub fn backend(&self) -> Backend {
+        self.sim.backend()
     }
 
     /// The sequential reference simulator (e.g. to mirror program
@@ -310,7 +331,7 @@ impl Cosim {
     ///
     /// Panics if checking already started (cycle > 0): mutating the
     /// reference mid-run would invalidate the snapshots.
-    pub fn seq_sim_mut(&mut self) -> &mut Simulator {
+    pub fn seq_sim_mut(&mut self) -> &mut dyn Simulate {
         assert_eq!(self.stats.cycles, 0, "mutate the reference before running");
         self.snapshots.clear();
         self.seq.sim_mut()
@@ -339,7 +360,7 @@ impl Cosim {
         let mut ext_active = false;
         if let Some(hook) = self.ext_hook.as_mut() {
             let exts: Vec<(NetId, bool)> = (0..n)
-                .map(|k| (self.pm.control.ext[k], hook(&self.sim, cycle, k)))
+                .map(|k| (self.pm.control.ext[k], hook(self.sim.as_ref(), cycle, k)))
                 .collect();
             for (net, v) in exts {
                 // ext nets are constants when disabled; only drive
@@ -357,27 +378,27 @@ impl Cosim {
 
         // Sample control signals.
         let ue: Vec<bool> = (0..n)
-            .map(|k| self.sim.get(self.pm.control.ue[k]) == 1)
+            .map(|k| self.sim.peek(self.pm.control.ue[k]) == 1)
             .collect();
         let full: Vec<bool> = (0..n)
-            .map(|k| self.sim.get(self.pm.control.full[k]) == 1)
+            .map(|k| self.sim.peek(self.pm.control.full[k]) == 1)
             .collect();
         #[allow(clippy::needless_range_loop)] // k indexes parallel per-stage arrays
         for k in 0..n {
             if ue[k] {
                 self.stats.ue_counts[k] += 1;
             }
-            if self.sim.get(self.pm.control.stall[k]) == 1 {
+            if self.sim.peek(self.pm.control.stall[k]) == 1 {
                 self.stats.stall_counts[k] += 1;
             }
-            if self.sim.get(self.pm.control.dhaz[k]) == 1 {
+            if self.sim.peek(self.pm.control.dhaz[k]) == 1 {
                 self.stats.dhaz_counts[k] += 1;
             }
             if full[k] {
                 self.stats.full_counts[k] += 1;
             }
         }
-        let rollback = (0..n).any(|k| self.sim.get(self.pm.control.rollback[k]) == 1);
+        let rollback = (0..n).any(|k| self.sim.peek(self.pm.control.rollback[k]) == 1);
         if rollback {
             self.stats.rollbacks += 1;
         }
@@ -408,7 +429,7 @@ impl Cosim {
             let regs = self.visible_regs.clone();
             for (base, reg, stage) in regs {
                 let i = self.sched[stage];
-                let got = self.sim.reg_value(reg);
+                let got = self.sim.peek_reg(reg);
                 let snap = self.snapshot(i);
                 let want = match &snap[&base] {
                     VisibleValue::Word(w) => *w,
@@ -433,7 +454,7 @@ impl Cosim {
                     VisibleValue::Word(_) => unreachable!("file"),
                 };
                 for (addr, want) in want.iter().enumerate().take(entries) {
-                    let got = self.sim.mem_value(mem, addr);
+                    let got = self.sim.peek_mem(mem, addr);
                     if got != *want {
                         return Err(ConsistencyError::File {
                             cycle,

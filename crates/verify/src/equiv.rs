@@ -307,10 +307,25 @@ pub fn simulate_property(
     prop: NetId,
     cycles: u64,
 ) -> Result<Option<u64>, autopipe_hdl::HdlError> {
-    let mut sim = autopipe_hdl::Simulator::new(nl)?;
+    simulate_property_on(nl, prop, cycles, autopipe_hdl::Backend::Auto)
+}
+
+/// [`simulate_property`] on an explicit simulation backend, driven
+/// entirely through the [`autopipe_hdl::Simulate`] trait object.
+///
+/// # Errors
+///
+/// Propagates simulator construction errors.
+pub fn simulate_property_on(
+    nl: &Netlist,
+    prop: NetId,
+    cycles: u64,
+    backend: autopipe_hdl::Backend,
+) -> Result<Option<u64>, autopipe_hdl::HdlError> {
+    let mut sim = nl.simulator(backend)?;
     for t in 0..cycles {
         sim.settle();
-        if sim.get(prop) != 1 {
+        if sim.peek(prop) != 1 {
             return Ok(Some(t));
         }
         sim.clock();
@@ -330,6 +345,63 @@ pub fn simulate_property(
 ///
 /// Propagates simulator construction errors.
 pub fn fuzz_property(
+    nl: &Netlist,
+    prop: NetId,
+    seed: u64,
+    cycles: u64,
+) -> Result<Option<(u64, usize)>, autopipe_hdl::HdlError> {
+    fuzz_property_on(nl, prop, seed, cycles, autopipe_hdl::Backend::Bitparallel)
+}
+
+/// [`fuzz_property`] on an explicit simulation backend. The stimulus
+/// stream and scan order are identical on every backend: scalar
+/// engines run 64 independent trait-object simulators (one per lane)
+/// over the same transposed draw, so the returned `(cycle, lane)` is
+/// backend-independent. [`autopipe_hdl::Backend::Bitparallel`] (the
+/// [`fuzz_property`] default) evaluates all 64 lanes in one
+/// [`autopipe_hdl::Sim64`] pass and stays the fast path.
+///
+/// # Errors
+///
+/// Propagates simulator construction errors.
+pub fn fuzz_property_on(
+    nl: &Netlist,
+    prop: NetId,
+    seed: u64,
+    cycles: u64,
+    backend: autopipe_hdl::Backend,
+) -> Result<Option<(u64, usize)>, autopipe_hdl::HdlError> {
+    use autopipe_hdl::testgen::{random_inputs, TestRng};
+    use autopipe_hdl::{Backend, LANES};
+    if backend.resolve(nl) != Backend::Bitparallel {
+        let mut sims: Vec<Box<dyn autopipe_hdl::Simulate>> = (0..LANES)
+            .map(|_| nl.simulator(backend))
+            .collect::<Result<_, _>>()?;
+        let mut rng = TestRng::new(seed);
+        for t in 0..cycles {
+            #[allow(clippy::needless_range_loop)] // lane-major draw order
+            for l in 0..LANES {
+                for (net, v) in random_inputs(&mut rng, nl) {
+                    sims[l].set_input(net, v);
+                }
+            }
+            for (l, sim) in sims.iter_mut().enumerate() {
+                sim.settle();
+                if sim.peek(prop) != 1 {
+                    return Ok(Some((t, l)));
+                }
+            }
+            for sim in &mut sims {
+                sim.clock();
+            }
+        }
+        return Ok(None);
+    }
+    fuzz_property_sim64(nl, prop, seed, cycles)
+}
+
+/// The bit-parallel fast path behind [`fuzz_property_on`].
+fn fuzz_property_sim64(
     nl: &Netlist,
     prop: NetId,
     seed: u64,

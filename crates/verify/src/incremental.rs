@@ -11,17 +11,20 @@
 //!   captures a minimized, replayable counterexample trace for every
 //!   `Violated` verdict, so a cache can store refutations as evidence
 //!   rather than bare claims;
-//! * [`refutes`] replays a stored counterexample through the
-//!   independent [`Sim64`](autopipe_hdl::Sim64)-backed
-//!   [`crate::cex::replay_trace`] — the guard a cache must pass before
-//!   serving a stale `Refuted`.
+//! * [`refutes`] replays a stored counterexample through an
+//!   independent simulation backend via [`crate::cex::replay_trace`] —
+//!   the guard a cache must pass before serving a stale `Refuted`.
+//!   [`refutes_on`] pins the [`Backend`](autopipe_hdl::Backend)
+//!   explicitly; the replay verdict is backend-independent by
+//!   construction (every backend implements the same
+//!   [`Simulate`](autopipe_hdl::Simulate) contract).
 
 use crate::bmc::{
     bmc_invariant_with_trace, check_obligations_traced, BmcOutcome, CexTrace, ObligationBudget,
     ObligationReport,
 };
-use crate::cex::{minimize_trace, replay_trace};
-use autopipe_hdl::{HdlError, NetId, Netlist};
+use crate::cex::{minimize_trace, replay_trace_on};
+use autopipe_hdl::{Backend, HdlError, NetId, Netlist};
 use autopipe_synth::Obligation;
 use autopipe_trace::Trace;
 
@@ -103,8 +106,25 @@ pub fn check_selected_traced(
 ///
 /// Propagates AIG lowering and simulator construction errors.
 pub fn refutes(nl: &Netlist, prop: NetId, cex: &CexTrace) -> Result<bool, HdlError> {
+    refutes_on(nl, prop, cex, Backend::Auto)
+}
+
+/// [`refutes`] with an explicit simulation [`Backend`]. The verdict is
+/// the same for every backend (see `interp_compiled_replay_agree` in
+/// the crate tests); pinning one is useful when a deployment wants the
+/// replay guard audited on a specific engine.
+///
+/// # Errors
+///
+/// Propagates AIG lowering and simulator construction errors.
+pub fn refutes_on(
+    nl: &Netlist,
+    prop: NetId,
+    cex: &CexTrace,
+    backend: Backend,
+) -> Result<bool, HdlError> {
     let lowered = autopipe_hdl::aig::lower(nl)?;
-    Ok(replay_trace(nl, &lowered, prop, cex)?.is_some())
+    Ok(replay_trace_on(nl, &lowered, prop, cex, backend)?.is_some())
 }
 
 #[cfg(test)]

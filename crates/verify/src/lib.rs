@@ -62,13 +62,14 @@ pub use bmc::{
     outcome_name, BmcOutcome, BmcResult, CacheStats, CexTrace, ClauseCache, ObligationBudget,
     ObligationReport, SolveStats,
 };
-pub use cex::{minimize_trace, replay_trace, write_vcd_witness};
+pub use cex::{minimize_trace, replay_trace, replay_trace_on, write_vcd_witness};
 pub use cosim::{ConsistencyError, Cosim, CosimStats};
 pub use equiv::{
-    fuzz_property, lockstep_miter, netlist_miter, retirement_miter, simulate_property, MiterError,
+    fuzz_property, fuzz_property_on, lockstep_miter, netlist_miter, retirement_miter,
+    simulate_property, simulate_property_on, MiterError,
 };
 pub use error::VerifyError;
-pub use incremental::{check_selected_traced, refutes, SelectedReport};
+pub use incremental::{check_selected_traced, refutes, refutes_on, SelectedReport};
 pub use report::{
     verify_machine, verify_machine_traced, VerificationReport, VerifySettings, VerifyTimings,
 };

@@ -20,19 +20,21 @@
 //!    pipeline never retires) even for speculative machines.
 //!
 //! Every kill is backed up: the counterexample trace is minimized
-//! ([`crate::cex::minimize_trace`]), replayed on the independent
-//! [`autopipe_hdl::Sim64`] engine, and optionally dumped as a VCD
-//! witness. The result is a *kill matrix* ([`SoundnessReport`]) whose
-//! text is byte-deterministic in the seed.
+//! ([`crate::cex::minimize_trace`]), replayed on an independent
+//! simulation backend ([`autopipe_hdl::Simulate`]), and optionally
+//! dumped as a VCD witness. The result is a *kill matrix*
+//! ([`SoundnessReport`]) whose text is byte-deterministic in the seed
+//! — and in the chosen [`Backend`], since every backend implements
+//! identical cycle semantics.
 
 use crate::bmc::{bmc_invariant_with_trace, check_obligations_jobs, BmcOutcome};
-use crate::cex::{minimize_trace, replay_trace, write_vcd_witness};
+use crate::cex::{minimize_trace, replay_trace_on, write_vcd_witness};
 use crate::cosim::Cosim;
-use crate::equiv::{retirement_miter, simulate_property, MiterError};
+use crate::equiv::{retirement_miter, simulate_property_on, MiterError};
 use crate::error::VerifyError;
 use crate::pool;
 use autopipe_hdl::mutate::{self, Mutation};
-use autopipe_hdl::Netlist;
+use autopipe_hdl::{Backend, Netlist};
 use autopipe_synth::PipelinedMachine;
 use autopipe_trace::{Trace, Track};
 use std::collections::HashMap;
@@ -61,6 +63,11 @@ pub struct SoundnessSettings {
     pub jobs: usize,
     /// Directory for VCD witnesses (`None` = do not write files).
     pub out_dir: Option<PathBuf>,
+    /// Simulation backend for the retirement-miter, co-simulation and
+    /// replay channels. The kill matrix is backend-independent; the
+    /// knob exists so the harness itself can be cross-checked (and so
+    /// large machines can opt into the compiled engine explicitly).
+    pub backend: Backend,
 }
 
 impl Default for SoundnessSettings {
@@ -74,6 +81,7 @@ impl Default for SoundnessSettings {
             writes: 8,
             jobs: 1,
             out_dir: None,
+            backend: Backend::Auto,
         }
     }
 }
@@ -171,10 +179,10 @@ impl SoundnessReport {
     }
 
     /// True when the baseline is clean and every mutant was killed with
-    /// *confirmed* evidence: the counterexample replayed on the
-    /// independent [`autopipe_hdl::Sim64`] engine. A kill that fails to
-    /// replay is suspect (a solver or encoding artifact) and does not
-    /// count.
+    /// *confirmed* evidence: the counterexample replayed on an
+    /// independent [`autopipe_hdl::Simulate`] backend. A kill that
+    /// fails to replay is suspect (a solver or encoding artifact) and
+    /// does not count.
     pub fn ok(&self) -> bool {
         self.baseline.is_none() && self.results.iter().all(|r| r.killed() && r.replayed)
     }
@@ -266,7 +274,7 @@ fn attack(
             let trace = trace.unwrap_or_default();
             let trace = minimize_trace(&machine.netlist, &lowered, ob.net, &trace)?;
             let replayed = matches!(
-                replay_trace(&machine.netlist, &lowered, ob.net, &trace)?,
+                replay_trace_on(&machine.netlist, &lowered, ob.net, &trace, settings.backend)?,
                 Some(c) if c <= frame as u64
             );
             let vcd = if want_vcd {
@@ -311,8 +319,11 @@ fn attack(
                 Err(MiterError::NotClosed { .. }) => break 'files,
                 Err(e) => return Err(e.into()),
             };
-            if let Some(cycle) = simulate_property(&miter, prop, settings.sim_cycles)? {
-                let (replayed, vcd) = closed_evidence(&miter, prop, cycle, want_vcd)?;
+            if let Some(cycle) =
+                simulate_property_on(&miter, prop, settings.sim_cycles, settings.backend)?
+            {
+                let (replayed, vcd) =
+                    closed_evidence(&miter, prop, cycle, want_vcd, settings.backend)?;
                 return Ok(Some(Kill {
                     channel: KillChannel::Retirement {
                         file: file.name.clone(),
@@ -328,7 +339,7 @@ fn attack(
 
     // Channel 3: co-simulation (liveness survives even for
     // speculative machines, where per-cycle data checks are off).
-    let mut cosim = Cosim::new(machine)?;
+    let mut cosim = Cosim::with_backend(machine, settings.backend)?;
     if let Err(e) = cosim.run(settings.cosim_cycles) {
         let cycle = match &e {
             crate::cosim::ConsistencyError::SchedulingAdjacency { cycle, .. }
@@ -367,10 +378,11 @@ fn closed_evidence(
     prop: autopipe_hdl::NetId,
     cycle: u64,
     want_vcd: bool,
+    backend: Backend,
 ) -> Result<(bool, Option<Vec<u8>>), VerifyError> {
     let lowered = autopipe_hdl::aig::lower(nl)?;
     let trace = vec![HashMap::new(); cycle as usize + 1];
-    let replayed = replay_trace(nl, &lowered, prop, &trace)? == Some(cycle);
+    let replayed = replay_trace_on(nl, &lowered, prop, &trace, backend)? == Some(cycle);
     let vcd = if want_vcd {
         let mut buf = Vec::new();
         write_vcd_witness(&mut buf, nl, &lowered, &trace, cycle + 2)?;

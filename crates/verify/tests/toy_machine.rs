@@ -147,7 +147,7 @@ fn cosim_holds_under_random_external_stalls() {
     .unwrap();
     // Deterministic pseudo-random stall pattern.
     let mut state = 0x12345678u64;
-    let hook = move |_sim: &autopipe_hdl::Simulator, cycle: u64, stage: usize| {
+    let hook = move |_sim: &dyn autopipe_hdl::Simulate, cycle: u64, stage: usize| {
         state = state
             .wrapping_mul(6364136223846793005)
             .wrapping_add(cycle ^ stage as u64);

@@ -167,7 +167,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .expect("ACC file")
     };
     for (tap, want) in want.iter().enumerate() {
-        let got = cosim.sim_mut().mem_value(acc_mem, tap);
+        let got = cosim.sim_mut().peek_mem(acc_mem, tap);
         assert_eq!(got, *want, "ACC[{tap}]");
         println!("  ACC[{tap}] = {got:>6} (matches the software reference)");
     }

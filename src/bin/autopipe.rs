@@ -76,7 +76,7 @@
 
 use autopipe::analyze::{attach_spans, lint_design_traced, Level, LintConfig, LintReport};
 use autopipe::front::{compile_file_traced, emit_verilog, Compiled};
-use autopipe::hdl::NetlistStats;
+use autopipe::hdl::{Backend, NetlistStats};
 use autopipe::synth::{
     ForwardMode, MuxTopology, PipelineSynthesizer, PipelinedMachine, SynthOptions,
 };
@@ -101,6 +101,8 @@ const USAGE: &str =
   --warn CODE   (lint) set a lint to warning
   --deny CODE   (lint) promote a lint to error
   --cycles N    (verify) consistency-checker cycle budget [10000]
+  --sim-backend B (verify, mutate) simulation engine:
+                interp, bitparallel, compiled, compiled64, auto [auto]
   --depth K     (verify, mutate) k-induction depth [2]
   --timeout N   (verify) wall-clock budget in seconds (partial report,
                 exit 3, instead of a hang)
@@ -143,6 +145,7 @@ struct Options {
     trace_dir: Option<PathBuf>,
     hot_cap: usize,
     cache_cap: Option<usize>,
+    backend: Backend,
 }
 
 /// Parses the numeric argument of a flag, reporting command-line
@@ -191,6 +194,7 @@ fn parse_args() -> Result<Options, Early> {
         trace_dir: None,
         hot_cap: 4096,
         cache_cap: None,
+        backend: Backend::Auto,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -232,6 +236,12 @@ fn parse_args() -> Result<Options, Early> {
             "--warn" => lint_arg(&mut args, &mut o.lint, Level::Warn)?,
             "--deny" => lint_arg(&mut args, &mut o.lint, Level::Deny)?,
             "--cycles" => o.cycles = num_arg("--cycles", &mut args)?,
+            "--sim-backend" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| Early::Usage("--sim-backend needs a value".into()))?;
+                o.backend = v.parse().map_err(Early::Usage)?;
+            }
             "--depth" | "--max-k" => o.depth = num_arg("--depth", &mut args)?,
             "--timeout" => o.timeout = Some(num_arg("--timeout", &mut args)?),
             "--seed" => o.seed = num_arg("--seed", &mut args)?,
@@ -643,7 +653,7 @@ fn run_command(o: &Options, trace: &Trace) -> Result<ExitCode, String> {
                 return Ok(ExitCode::from(3));
             }
             let mut cosim_span = trace.span(Track::RUN, "phase", "cosim");
-            let mut cosim = Cosim::new(&pm).map_err(|e| e.to_string())?;
+            let mut cosim = Cosim::with_backend(&pm, o.backend).map_err(|e| e.to_string())?;
             let stats = cosim
                 .run(o.cycles)
                 .map_err(|e| format!("consistency violation: {e}"))?;
@@ -665,6 +675,7 @@ checked against the sequential machine every cycle",
                 count: o.count,
                 max_k: o.depth,
                 jobs: o.jobs,
+                backend: o.backend,
                 out_dir: Some(
                     o.out
                         .clone()

@@ -12,6 +12,8 @@
 //!   --tree             use the find-first-one/tree select network
 //!   --optimize         run the verified netlist optimizer first
 //!   --no-check         skip the cycle-level data-consistency checker
+//!   --sim-backend B    simulation engine: interp|bitparallel|compiled|compiled64|auto
+//!                      (default auto)
 //!   --cycles N         cycle budget (default 10000)
 //!   --depth K          (--verify) k-induction depth [2]
 //!   -j, --jobs N       (--verify) worker threads; 0 = one per core [1]
@@ -32,6 +34,7 @@ use autopipe::dlx::machine::dlx_interlock_options;
 use autopipe::dlx::machine::load_program;
 use autopipe::dlx::{build_dlx_spec, dlx_synth_options, DlxConfig, IsaSim};
 use autopipe::hdl::vcd::VcdWriter;
+use autopipe::hdl::{Backend, Simulate};
 use autopipe::psm::SequentialMachine;
 use autopipe::synth::{MuxTopology, PipelineSynthesizer};
 use autopipe::trace::{chrome, ndjson, Trace, Track};
@@ -55,6 +58,7 @@ struct Options {
     mem: Vec<(u32, u32)>,
     trace: Option<String>,
     profile: Option<String>,
+    backend: Backend,
 }
 
 const USAGE: &str = "usage: dlx-run <prog.s> [options]
@@ -65,6 +69,7 @@ const USAGE: &str = "usage: dlx-run <prog.s> [options]
   --tree             use the find-first-one/tree select network
   --optimize         run the verified netlist optimizer first
   --no-check         skip the cycle-level data-consistency checker
+  --sim-backend B    simulation engine: interp|bitparallel|compiled|compiled64|auto [auto]
   --cycles N         cycle budget (default 10000)
   --depth K          (--verify) k-induction depth [2]
   -j, --jobs N       (--verify) worker threads; 0 = one per core [1]
@@ -121,6 +126,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         mem: Vec::new(),
         trace: None,
         profile: None,
+        backend: Backend::Auto,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -143,6 +149,13 @@ fn parse_args() -> Result<Options, ExitCode> {
             "-j" | "--jobs" | "--threads" => {
                 let v = args.next().ok_or_else(usage)?;
                 o.jobs = v.parse().map_err(|_| usage())?;
+            }
+            "--sim-backend" => {
+                let v = args.next().ok_or_else(usage)?;
+                o.backend = v.parse().map_err(|e| {
+                    eprintln!("dlx-run: {e}");
+                    usage()
+                })?;
             }
             "--vcd" => o.vcd = Some(args.next().ok_or_else(usage)?),
             "--trace" => o.trace = Some(args.next().ok_or_else(usage)?),
@@ -280,7 +293,7 @@ fn run(o: &Options, trace: &Trace) -> ExitCode {
     };
 
     if o.sequential {
-        let mut m = match SequentialMachine::new(plan) {
+        let mut m = match SequentialMachine::with_backend(plan, o.backend) {
             Ok(m) => m,
             Err(e) => {
                 eprintln!("dlx-run: internal: {e}");
@@ -359,7 +372,7 @@ fn run(o: &Options, trace: &Trace) -> ExitCode {
     }
 
     if o.check {
-        let mut cosim = match Cosim::new(&pm) {
+        let mut cosim = match Cosim::with_backend(&pm, o.backend) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("dlx-run: internal: {e}");
@@ -403,16 +416,16 @@ sequential machine every cycle",
     }
 
     // Unchecked pipelined run (optionally with VCD).
-    let mut sim = match pm.simulator() {
+    let mut sim = match pm.sim(o.backend) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("dlx-run: internal: {e}");
             return ExitCode::FAILURE;
         }
     };
-    load_program(&mut sim, cfg, &words);
+    load_program(sim.as_mut(), cfg, &words);
     for &(addr, val) in &o.mem {
-        poke_dmem(&mut sim, cfg, addr, val);
+        poke_dmem(sim.as_mut(), cfg, addr, val);
     }
     let mut vcd_out: Option<(VcdWriter<std::fs::File>, String)> = match &o.vcd {
         Some(path) => match std::fs::File::create(path) {
@@ -428,11 +441,11 @@ sequential machine every cycle",
     let mut retired = 0u64;
     for _ in 0..o.cycles {
         sim.settle();
-        if sim.get(retire) == 1 {
+        if sim.peek(retire) == 1 {
             retired += 1;
         }
         if let Some((vcd, _)) = vcd_out.as_mut() {
-            if let Err(e) = vcd.sample(&sim) {
+            if let Err(e) = vcd.sample(sim.as_ref()) {
                 eprintln!("dlx-run: vcd: {e}");
                 return ExitCode::FAILURE;
             }
@@ -448,33 +461,33 @@ sequential machine every cycle",
     if let Some((_, path)) = &vcd_out {
         outln(format_args!("VCD trace written to {path}"));
     }
-    let (regs, dmem) = snapshot(&sim);
+    let (regs, dmem) = snapshot(sim.as_ref());
     print_state(&regs, &dmem);
     ExitCode::SUCCESS
 }
 
-fn find_mem(sim: &autopipe::hdl::Simulator, suffix: &str) -> autopipe::hdl::MemId {
+fn find_mem(sim: &dyn Simulate, suffix: &str) -> autopipe::hdl::MemId {
     let nl = sim.netlist();
     nl.mem_ids()
         .find(|m| nl.memory_info(*m).name.ends_with(suffix))
         .expect("DLX netlists carry GPR/DMEM")
 }
 
-fn poke_dmem(sim: &mut autopipe::hdl::Simulator, cfg: DlxConfig, addr: u32, val: u32) {
+fn poke_dmem(sim: &mut dyn Simulate, cfg: DlxConfig, addr: u32, val: u32) {
     let mem = find_mem(sim, "DMEM");
     let idx = (addr >> 2) as usize & ((1 << cfg.dmem_aw) - 1);
     sim.poke_mem(mem, idx, u64::from(val));
 }
 
-fn snapshot(sim: &autopipe::hdl::Simulator) -> (Vec<u64>, Vec<u64>) {
+fn snapshot(sim: &dyn Simulate) -> (Vec<u64>, Vec<u64>) {
     let gpr = find_mem(sim, "GPR");
     let dmem = find_mem(sim, "DMEM");
     let nl = sim.netlist();
     let regs = (0..nl.memory_info(gpr).entries())
-        .map(|i| sim.mem_value(gpr, i))
+        .map(|i| sim.peek_mem(gpr, i))
         .collect();
     let mem = (0..nl.memory_info(dmem).entries())
-        .map(|i| sim.mem_value(dmem, i))
+        .map(|i| sim.peek_mem(dmem, i))
         .collect();
     (regs, mem)
 }

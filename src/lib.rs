@@ -166,7 +166,7 @@ impl From<front::Diagnostics> for Error {
 pub mod prelude {
     pub use crate::analyze::{lint_design, lint_spec, LintConfig, LintReport};
     pub use crate::front::{compile, compile_file, emit_verilog, Compiled, Diagnostics};
-    pub use crate::hdl::{HdlError, Netlist, Sim64, Simulator};
+    pub use crate::hdl::{Backend, CompiledSim, HdlError, Netlist, Sim64, Simulate, Simulator};
     pub use crate::psm::{MachineSpec, Plan, SequentialMachine};
     pub use crate::serve::{ProofCache, ServeConfig, Server};
     pub use crate::synth::{

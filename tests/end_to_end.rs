@@ -42,7 +42,7 @@ fn run_and_compare(prog: &[autopipe::dlx::Instr], max_cycles: u64) {
         };
         for (i, want) in isa.dmem.iter().enumerate() {
             assert_eq!(
-                cosim.sim_mut().mem_value(dmem, i),
+                cosim.sim_mut().peek_mem(dmem, i),
                 u64::from(*want),
                 "DMEM[{i}] ({topology:?})"
             );

@@ -1,0 +1,145 @@
+//! Cross-backend differentials on the real machines: the compiled
+//! bytecode engine, the scalar interpreter and the bit-parallel engine
+//! must be observationally identical on the full DLX — and the
+//! verify-side replay guard must reach the same verdict on every
+//! backend, so a cached refutation admitted by one engine is admitted
+//! by all.
+
+use autopipe::dlx::machine::load_program;
+use autopipe::dlx::workload::fib;
+use autopipe::dlx::{build_dlx_spec, dlx_synth_options, DlxConfig};
+use autopipe::hdl::{mutate, Backend, Simulate};
+use autopipe::synth::{PipelineSynthesizer, PipelinedMachine};
+use autopipe::trace::Trace;
+use autopipe::verify::{check_selected_traced, refutes_on, BmcOutcome, ObligationBudget};
+
+fn dlx() -> (DlxConfig, PipelinedMachine) {
+    let cfg = DlxConfig::default();
+    let plan = build_dlx_spec(cfg).unwrap().plan().unwrap();
+    let pm = PipelineSynthesizer::new(dlx_synth_options())
+        .run(&plan)
+        .unwrap();
+    (cfg, pm)
+}
+
+/// 10k cycles of the pipelined DLX running fib: every backend retires
+/// the same instruction stream cycle-for-cycle and ends in the same
+/// architectural state.
+#[test]
+fn dlx_10k_cycles_all_backends_agree() {
+    let (cfg, pm) = dlx();
+    let words: Vec<u32> = fib(15).iter().map(|i| i.encode()).collect();
+    let retire = *pm.control.ue.last().expect("stages");
+    let mut sims: Vec<Box<dyn Simulate>> =
+        Backend::ALL.iter().map(|b| pm.sim(*b).unwrap()).collect();
+    for sim in sims.iter_mut() {
+        load_program(sim.as_mut(), cfg, &words);
+    }
+    let nl = &pm.netlist;
+    let regs: Vec<_> = nl.reg_ids().collect();
+    for cycle in 0..10_000u64 {
+        let (reference, rest) = sims.split_first_mut().unwrap();
+        reference.settle();
+        let want_retire = reference.peek(retire);
+        for sim in rest.iter_mut() {
+            sim.settle();
+            assert_eq!(
+                sim.peek(retire),
+                want_retire,
+                "retire bit diverges at cycle {cycle} on {}",
+                sim.backend()
+            );
+        }
+        // Full register compare on a coarse grid keeps the test fast
+        // while still catching slow state drift.
+        if cycle % 500 == 0 {
+            for sim in rest.iter() {
+                for &r in &regs {
+                    assert_eq!(
+                        sim.peek_reg(r),
+                        reference.peek_reg(r),
+                        "register {:?} diverges at cycle {cycle} on {}",
+                        r,
+                        sim.backend()
+                    );
+                }
+            }
+        }
+        for sim in sims.iter_mut() {
+            sim.clock();
+        }
+    }
+    // Final architectural state: registers and every memory word.
+    let (reference, rest) = sims.split_first_mut().unwrap();
+    for sim in rest.iter() {
+        for &r in &regs {
+            assert_eq!(sim.peek_reg(r), reference.peek_reg(r));
+        }
+        for (mem, m) in nl.mem_ids().zip(nl.memories()) {
+            for a in 0..m.entries() {
+                assert_eq!(
+                    sim.peek_mem(mem, a),
+                    reference.peek_mem(mem, a),
+                    "memory {} word {a} on {}",
+                    m.name,
+                    sim.backend()
+                );
+            }
+        }
+    }
+}
+
+/// Satellite regression for the serve replay guard: a counterexample
+/// extracted from a killed mutant refutes its obligation under *every*
+/// simulation backend — interp and compiled must agree, or a cache
+/// could serve a verdict that depends on the engine it was checked on.
+#[test]
+fn killed_mutant_replay_verdict_is_backend_independent() {
+    let compiled = autopipe::front::compile_file(std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/programs/toy.psm"
+    )))
+    .unwrap_or_else(|d| panic!("{d}"));
+    let plan = compiled.spec.plan().unwrap();
+    let pm = PipelineSynthesizer::new(compiled.options)
+        .run(&plan)
+        .unwrap();
+    let catalog = mutate::catalog(&pm.netlist);
+    let mut checked = 0;
+    for m in &catalog {
+        let mutant = mutate::apply(&pm.netlist, m);
+        let selected: Vec<usize> = (0..pm.obligations.len()).collect();
+        let reports = check_selected_traced(
+            &mutant,
+            &pm.obligations,
+            &selected,
+            2,
+            1,
+            &ObligationBudget::unlimited(),
+            &Trace::disabled(),
+        )
+        .unwrap();
+        for rep in &reports {
+            let (BmcOutcome::Violated { .. }, Some(cex)) = (&rep.report.outcome, &rep.cex) else {
+                continue;
+            };
+            let net = pm.obligations[rep.index].net;
+            let interp = refutes_on(&mutant, net, cex, Backend::Interp).unwrap();
+            let compiled = refutes_on(&mutant, net, cex, Backend::Compiled).unwrap();
+            assert!(interp, "stored cex must replay on the interpreter");
+            assert_eq!(
+                interp, compiled,
+                "replay verdict differs between interp and compiled on mutant {}",
+                m.id
+            );
+            checked += 1;
+        }
+        if checked >= 3 {
+            return;
+        }
+    }
+    assert!(
+        checked > 0,
+        "no mutant produced a replayable refutation — harness lost its teeth"
+    );
+}
