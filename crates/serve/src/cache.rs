@@ -34,9 +34,14 @@
 //! migration, no misreads. `<aa>` is the first two hex digits of the
 //! digest (256-way sharding keeps directories small). Writes go
 //! through a temporary file plus rename, so a crashed writer never
-//! leaves a half-entry a reader could parse. Unparseable or
-//! wrong-format entries read as misses and are overwritten on the next
-//! store.
+//! leaves a half-entry a reader could parse, and every entry body
+//! carries an FNV-1a 64 checksum (`"crc"` field, see
+//! [`StoredVerdict::to_disk_json`]). An entry that fails its checksum
+//! or does not parse reads as a miss, is moved to
+//! `<dir>/v1/quarantine/` for post-mortem, and is re-proved — torn
+//! writes and bit flips are self-healing, and a corrupt verdict is
+//! never served. Failed writes retry with exponential backoff
+//! ([`autopipe_verify::chaos::backoff_delay`]) before being swallowed.
 //!
 //! ## Eviction
 //!
@@ -50,16 +55,36 @@ use crate::json::Json;
 use autopipe_hdl::hash::Digest;
 use autopipe_synth::ObligationClass;
 use autopipe_verify::bmc::CexTrace;
+use autopipe_verify::chaos::{backoff_delay, Fault, FaultPlan};
 use autopipe_verify::BmcOutcome;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// On-disk format version; bumped on incompatible schema changes so
 /// old entries are invisible rather than misread.
 pub const CACHE_FORMAT: u32 = 1;
+
+/// FNV-1a 64 over `bytes` — the per-entry checksum. A change to any
+/// single byte of a fixed-length body always changes the hash (the
+/// per-byte transform `h -> (h ^ b) * PRIME` is a bijection on `u64`),
+/// which is exactly the torn-write / bit-flip corruption class the
+/// disk store defends against.
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Number of times a failed cache write is retried (with exponential
+/// backoff) before the store is abandoned for this request.
+const WRITE_RETRIES: u64 = 2;
 
 /// The identity of one cached verdict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,17 +139,17 @@ pub enum StoredVerdict {
 
 impl StoredVerdict {
     /// Admits a solver outcome into the cache. `None` for
-    /// [`BmcOutcome::TimedOut`] (a timeout is not a verdict) and for
-    /// violations that did not yield a replayable trace (a refutation
-    /// without evidence cannot pass the replay guard later, so caching
-    /// it would only manufacture misses).
+    /// [`BmcOutcome::TimedOut`] and [`BmcOutcome::Crashed`] (neither is
+    /// a verdict) and for violations that did not yield a replayable
+    /// trace (a refutation without evidence cannot pass the replay
+    /// guard later, so caching it would only manufacture misses).
     #[must_use]
     pub fn from_outcome(outcome: BmcOutcome, cex: Option<CexTrace>) -> Option<StoredVerdict> {
         match outcome {
             BmcOutcome::Proved { k } => Some(StoredVerdict::Proved { k }),
             BmcOutcome::BoundedOk { depth } => Some(StoredVerdict::Bounded { depth }),
             BmcOutcome::Violated { frame } => cex.map(|cex| StoredVerdict::Refuted { frame, cex }),
-            BmcOutcome::TimedOut => None,
+            BmcOutcome::TimedOut | BmcOutcome::Crashed => None,
         }
     }
 
@@ -171,6 +196,41 @@ impl StoredVerdict {
                 s
             }
         }
+    }
+
+    /// The on-disk serialization: [`StoredVerdict::to_json`] with a
+    /// trailing `"crc"` field holding the FNV-1a 64 checksum of the
+    /// body (the JSON *without* the crc field). [`parse_disk`]
+    /// verifies the checksum before parsing, so torn writes and bit
+    /// flips read as misses and are quarantined, never served.
+    ///
+    /// [`parse_disk`]: StoredVerdict::parse_disk
+    #[must_use]
+    pub fn to_disk_json(&self) -> String {
+        let body = self.to_json();
+        let crc = fnv64(body.as_bytes());
+        let mut s = body;
+        s.pop(); // the closing '}'
+        s.push_str(&format!(",\"crc\":\"{crc:016x}\"}}"));
+        s
+    }
+
+    /// Parses [`StoredVerdict::to_disk_json`] output, verifying the
+    /// checksum. `None` on truncation, corruption, a checksum
+    /// mismatch, or a missing crc field — corrupt entries are misses
+    /// (and quarantine candidates), never errors.
+    #[must_use]
+    pub fn parse_disk(text: &str) -> Option<StoredVerdict> {
+        let at = text.rfind(",\"crc\":\"")?;
+        let tail = &text[at + 8..];
+        let hex = tail.strip_suffix("\"}")?;
+        let want = u64::from_str_radix(hex, 16).ok()?;
+        let mut body = text[..at].to_string();
+        body.push('}');
+        if fnv64(body.as_bytes()) != want {
+            return None;
+        }
+        StoredVerdict::parse(&body)
     }
 
     /// Parses [`StoredVerdict::to_json`] output. `None` on any
@@ -222,6 +282,12 @@ pub struct CacheStats {
     /// `Refuted` entries dropped because their counterexample no
     /// longer replayed (invalidated by the server's replay guard).
     pub replay_rejects: u64,
+    /// IO errors swallowed on the read/write paths (each read error
+    /// degraded to a miss; each write error was retried with backoff).
+    pub io_errors: u64,
+    /// Corrupt entries moved to `<dir>/v1/quarantine/` (checksum
+    /// mismatch, truncation, or unparseable content).
+    pub quarantined: u64,
 }
 
 struct HotTier {
@@ -237,10 +303,17 @@ pub struct ProofCache {
     hot_cap: usize,
     disk_cap: Option<usize>,
     hot: Mutex<HotTier>,
+    plan: Arc<FaultPlan>,
+    /// Stems the fault plan has already damaged once — injected disk
+    /// corruption hits each entry at most once, so the
+    /// quarantine-and-rebuild cycle converges to a healthy store.
+    damaged: Mutex<HashSet<String>>,
     hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
     replay_rejects: AtomicU64,
+    io_errors: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 impl ProofCache {
@@ -256,6 +329,23 @@ impl ProofCache {
         dir: Option<&Path>,
         hot_cap: usize,
         disk_cap: Option<usize>,
+    ) -> io::Result<ProofCache> {
+        ProofCache::open_with_chaos(dir, hot_cap, disk_cap, Arc::new(FaultPlan::none()))
+    }
+
+    /// [`ProofCache::open`] with an infrastructure-fault injection
+    /// plan ([`autopipe_verify::chaos`]): torn writes, bit flips and
+    /// IO errors fire on the cache's disk paths per the plan. The
+    /// inactive plan (the default) injects nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory creation failures.
+    pub fn open_with_chaos(
+        dir: Option<&Path>,
+        hot_cap: usize,
+        disk_cap: Option<usize>,
+        plan: Arc<FaultPlan>,
     ) -> io::Result<ProofCache> {
         let version_dir = match dir {
             Some(d) => {
@@ -273,10 +363,14 @@ impl ProofCache {
                 map: HashMap::new(),
                 order: VecDeque::new(),
             }),
+            plan,
+            damaged: Mutex::new(HashSet::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stores: AtomicU64::new(0),
             replay_rejects: AtomicU64::new(0),
+            io_errors: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
         })
     }
 
@@ -294,6 +388,12 @@ impl ProofCache {
     }
 
     /// Looks up a verdict, promoting disk hits into the hot tier.
+    ///
+    /// The disk path is fault-hardened: an IO error (real or injected)
+    /// degrades to a miss, and an entry that fails its checksum or
+    /// does not parse is moved to `<dir>/v1/quarantine/` and reported
+    /// as a miss — a corrupt verdict is *never* served; the caller
+    /// re-proves and the next store heals the entry.
     #[must_use]
     pub fn get(&self, key: &CacheKey) -> Option<StoredVerdict> {
         let stem = key.stem();
@@ -302,18 +402,48 @@ impl ProofCache {
             return Some(v.clone());
         }
         if let Some(path) = self.entry_path(&stem) {
-            if let Some(v) = std::fs::read_to_string(path)
-                .ok()
-                .as_deref()
-                .and_then(StoredVerdict::parse)
+            let read = if self
+                .plan
+                .fires(Fault::CacheReadError, fnv64(stem.as_bytes()))
             {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                self.insert_hot(stem, v.clone());
-                return Some(v);
+                Err(io::Error::other("chaos: injected cache read error"))
+            } else {
+                std::fs::read_to_string(&path)
+            };
+            match read {
+                Ok(text) => {
+                    if let Some(v) = StoredVerdict::parse_disk(&text) {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.insert_hot(stem, v.clone());
+                        return Some(v);
+                    }
+                    self.quarantine(&path, &stem);
+                }
+                Err(e) => {
+                    if e.kind() != io::ErrorKind::NotFound {
+                        self.io_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         None
+    }
+
+    /// Moves a corrupt entry into the quarantine directory (falling
+    /// back to deletion if the move fails) so it can never be read
+    /// again and the stem is free for a healthy re-store.
+    fn quarantine(&self, path: &Path, stem: &str) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        if let Some(vd) = &self.version_dir {
+            let qdir = vd.join("quarantine");
+            if std::fs::create_dir_all(&qdir).is_ok()
+                && std::fs::rename(path, qdir.join(format!("{stem}.json"))).is_ok()
+            {
+                return;
+            }
+        }
+        let _ = std::fs::remove_file(path);
     }
 
     fn insert_hot(&self, stem: String, v: StoredVerdict) {
@@ -330,25 +460,86 @@ impl ProofCache {
     }
 
     /// Persists a verdict in both tiers (atomic write-then-rename on
-    /// disk). Disk failures are swallowed: the cache is an
-    /// accelerator, and a read-only store must not fail requests.
+    /// disk, with a checksummed entry body). Disk failures are
+    /// retried with exponential backoff, then swallowed: the cache is
+    /// an accelerator, and a read-only store must not fail requests.
+    ///
+    /// Under an active fault plan this is also where torn writes and
+    /// bit flips land on disk (each stem is damaged at most once, and
+    /// the hot-tier insert is skipped so the next lookup exercises the
+    /// quarantine-and-rebuild path).
     pub fn put(&self, key: &CacheKey, v: &StoredVerdict) {
         self.stores.fetch_add(1, Ordering::Relaxed);
         let stem = key.stem();
+        let Some(path) = self.entry_path(&stem) else {
+            self.insert_hot(stem, v.clone());
+            return;
+        };
+        let site = fnv64(stem.as_bytes());
+        let json = v.to_disk_json();
+        let dir = path.parent().expect("entry paths have parents");
+        for fault in [Fault::TornCacheWrite, Fault::BitFlipEntry] {
+            if self.plan.would_fire(fault, site)
+                && self
+                    .damaged
+                    .lock()
+                    .expect("damage set")
+                    .insert(stem.clone())
+            {
+                self.plan.record(fault);
+                let corrupt = match fault {
+                    // A torn write: the first half of the entry, as a
+                    // crashed pre-rename writer would leave it.
+                    Fault::TornCacheWrite => json[..json.len() / 2].to_string(),
+                    // One bit flipped inside the body (before the crc
+                    // field, so the checksum must catch it).
+                    _ => {
+                        let crc_at = json.rfind(",\"crc\":\"").expect("disk json has crc");
+                        let pos = (site as usize) % crc_at.max(1);
+                        let mut bytes = json.clone().into_bytes();
+                        bytes[pos] ^= 1;
+                        String::from_utf8_lossy(&bytes).into_owned()
+                    }
+                };
+                if std::fs::create_dir_all(dir).is_ok() {
+                    let _ = std::fs::write(&path, corrupt);
+                }
+                if let Some(cap) = self.disk_cap {
+                    self.prune_disk(cap);
+                }
+                return;
+            }
+        }
         self.insert_hot(stem.clone(), v.clone());
-        if let Some(path) = self.entry_path(&stem) {
+        let mut attempt: u64 = 0;
+        loop {
             let write = || -> io::Result<()> {
-                let dir = path.parent().expect("entry paths have parents");
+                if self
+                    .plan
+                    .fires_attempt(Fault::CacheWriteError, site, attempt)
+                {
+                    return Err(io::Error::other("chaos: injected cache write error"));
+                }
                 std::fs::create_dir_all(dir)?;
                 let tmp = dir.join(format!(".{stem}.tmp"));
-                std::fs::write(&tmp, v.to_json())?;
+                std::fs::write(&tmp, &json)?;
                 std::fs::rename(&tmp, &path)?;
                 Ok(())
             };
-            let _ = write();
-            if let Some(cap) = self.disk_cap {
-                self.prune_disk(cap);
+            match write() {
+                Ok(()) => break,
+                Err(_) => {
+                    self.io_errors.fetch_add(1, Ordering::Relaxed);
+                    if attempt >= WRITE_RETRIES {
+                        break;
+                    }
+                    std::thread::sleep(backoff_delay(attempt));
+                    attempt += 1;
+                }
             }
+        }
+        if let Some(cap) = self.disk_cap {
+            self.prune_disk(cap);
         }
     }
 
@@ -377,6 +568,10 @@ impl ProofCache {
             return files;
         };
         for shard in shards.flatten() {
+            // Quarantined entries are dead, not part of the store.
+            if shard.file_name() == "quarantine" {
+                continue;
+            }
             if let Ok(entries) = std::fs::read_dir(shard.path()) {
                 for e in entries.flatten() {
                     if e.path().extension().is_some_and(|x| x == "json") {
@@ -412,6 +607,81 @@ impl ProofCache {
         self.disk_files().len()
     }
 
+    /// Number of entries in the quarantine directory.
+    #[must_use]
+    pub fn quarantine_entries(&self) -> usize {
+        let Some(vd) = &self.version_dir else {
+            return 0;
+        };
+        std::fs::read_dir(vd.join("quarantine"))
+            .map(|d| d.flatten().count())
+            .unwrap_or(0)
+    }
+
+    /// Closes the disk store cleanly: sweeps temporary files left by
+    /// interrupted writers. Idempotent; in-memory caches are a no-op.
+    pub fn close(&self) {
+        let Some(vd) = &self.version_dir else {
+            return;
+        };
+        let Ok(shards) = std::fs::read_dir(vd) else {
+            return;
+        };
+        for shard in shards.flatten() {
+            if let Ok(entries) = std::fs::read_dir(shard.path()) {
+                for e in entries.flatten() {
+                    let name = e.file_name();
+                    let name = name.to_string_lossy();
+                    if name.starts_with('.') && name.ends_with(".tmp") {
+                        let _ = std::fs::remove_file(e.path());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Integrity audit of the disk store: `(entries, corrupt, tmp)` —
+    /// total entry files, entries failing their checksum or parse, and
+    /// leftover temporary files. A cleanly closed, fully recovered
+    /// store reports `corrupt == 0 && tmp == 0`.
+    #[must_use]
+    pub fn fsck(&self) -> (usize, usize, usize) {
+        let mut entries = 0usize;
+        let mut corrupt = 0usize;
+        let mut tmp = 0usize;
+        let Some(vd) = &self.version_dir else {
+            return (0, 0, 0);
+        };
+        let Ok(shards) = std::fs::read_dir(vd) else {
+            return (0, 0, 0);
+        };
+        for shard in shards.flatten() {
+            if shard.file_name() == "quarantine" {
+                continue;
+            }
+            if let Ok(dir) = std::fs::read_dir(shard.path()) {
+                for e in dir.flatten() {
+                    let name = e.file_name();
+                    let name = name.to_string_lossy();
+                    if name.starts_with('.') && name.ends_with(".tmp") {
+                        tmp += 1;
+                    } else if name.ends_with(".json") {
+                        entries += 1;
+                        let ok = std::fs::read_to_string(e.path())
+                            .ok()
+                            .as_deref()
+                            .and_then(StoredVerdict::parse_disk)
+                            .is_some();
+                        if !ok {
+                            corrupt += 1;
+                        }
+                    }
+                }
+            }
+        }
+        (entries, corrupt, tmp)
+    }
+
     /// Number of entries in the hot tier.
     #[must_use]
     pub fn hot_entries(&self) -> usize {
@@ -426,6 +696,8 @@ impl ProofCache {
             misses: self.misses.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
             replay_rejects: self.replay_rejects.load(Ordering::Relaxed),
+            io_errors: self.io_errors.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
         }
     }
 }
@@ -517,6 +789,164 @@ mod tests {
             cache.prune_disk(0);
             assert_eq!(cache.disk_entries(), 0);
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_entries_carry_verified_checksums() {
+        let v = StoredVerdict::Proved { k: 3 };
+        let disk = v.to_disk_json();
+        assert!(disk.contains(",\"crc\":\""));
+        assert_eq!(StoredVerdict::parse_disk(&disk), Some(v));
+        // Truncations (torn writes) never parse.
+        for cut in 1..disk.len() {
+            assert_eq!(StoredVerdict::parse_disk(&disk[..cut]), None, "cut {cut}");
+        }
+        // Any single bit flip in the body is caught by the checksum.
+        let crc_at = disk.rfind(",\"crc\":\"").unwrap();
+        for pos in 0..crc_at {
+            let mut bytes = disk.clone().into_bytes();
+            bytes[pos] ^= 1;
+            let s = String::from_utf8_lossy(&bytes).into_owned();
+            assert_eq!(StoredVerdict::parse_disk(&s), None, "flip at {pos}");
+        }
+    }
+
+    #[test]
+    fn bit_flipped_entry_is_never_served_and_quarantined() {
+        // The satellite regression: corrupt a stored verdict on disk,
+        // assert the corrupt bytes are never served and the entry is
+        // quarantined and rebuilt.
+        let dir = std::env::temp_dir().join(format!("autopipe-cache-flip-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let good = StoredVerdict::Proved { k: 5 };
+        {
+            let cache = ProofCache::open(Some(&dir), 4, None).unwrap();
+            cache.put(&key(0x77), &good);
+        }
+        // Flip one bit of the stored body (a fresh cache: no hot tier).
+        let cache = ProofCache::open(Some(&dir), 4, None).unwrap();
+        let path = cache.entry_path(&key(0x77).stem()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let crc_at = String::from_utf8(bytes.clone())
+            .unwrap()
+            .rfind(",\"crc\":\"")
+            .unwrap();
+        bytes[crc_at / 2] ^= 1;
+        std::fs::write(&path, &bytes).unwrap();
+        // Never served: the lookup is a miss, the file is quarantined.
+        assert_eq!(cache.get(&key(0x77)), None);
+        assert!(!path.exists(), "corrupt entry must leave the store");
+        assert_eq!(cache.quarantine_entries(), 1);
+        assert_eq!(cache.stats().quarantined, 1);
+        assert_eq!(cache.disk_entries(), 0, "quarantine is not the store");
+        // Rebuild: a healthy re-store serves again.
+        cache.put(&key(0x77), &good);
+        assert_eq!(cache.get(&key(0x77)), Some(good));
+        assert_eq!(cache.fsck(), (1, 0, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_torn_write_self_heals() {
+        use autopipe_verify::chaos::{Fault, FaultPlan};
+        let dir = std::env::temp_dir().join(format!("autopipe-cache-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = Arc::new(FaultPlan::single(3, Fault::TornCacheWrite));
+        let cache = ProofCache::open_with_chaos(Some(&dir), 4, None, Arc::clone(&plan)).unwrap();
+        let v = StoredVerdict::Bounded { depth: 9 };
+        cache.put(&key(0xbeef), &v);
+        assert_eq!(plan.fired(Fault::TornCacheWrite), 1);
+        let (_, corrupt, _) = cache.fsck();
+        assert_eq!(corrupt, 1, "the torn entry is on disk");
+        // The torn entry is never served; it is quarantined as a miss.
+        assert_eq!(cache.get(&key(0xbeef)), None);
+        assert_eq!(cache.quarantine_entries(), 1);
+        // Each stem is damaged once: the re-store lands healthy.
+        cache.put(&key(0xbeef), &v);
+        assert_eq!(cache.get(&key(0xbeef)), Some(v));
+        assert_eq!(cache.fsck(), (1, 0, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_bit_flip_self_heals() {
+        use autopipe_verify::chaos::{Fault, FaultPlan};
+        let dir = std::env::temp_dir().join(format!("autopipe-cache-bf-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = Arc::new(FaultPlan::single(4, Fault::BitFlipEntry));
+        let cache = ProofCache::open_with_chaos(Some(&dir), 4, None, Arc::clone(&plan)).unwrap();
+        let v = StoredVerdict::Proved { k: 1 };
+        cache.put(&key(0xf00d), &v);
+        assert_eq!(cache.get(&key(0xf00d)), None, "flipped entry is a miss");
+        assert_eq!(cache.stats().quarantined, 1);
+        cache.put(&key(0xf00d), &v);
+        assert_eq!(cache.get(&key(0xf00d)), Some(v));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_write_errors_retry_and_land() {
+        use autopipe_verify::chaos::{Fault, FaultPlan};
+        let dir = std::env::temp_dir().join(format!("autopipe-cache-werr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            // Transient: first attempt errors, the retry lands.
+            let plan = Arc::new(FaultPlan::single(5, Fault::CacheWriteError));
+            let cache =
+                ProofCache::open_with_chaos(Some(&dir), 4, None, Arc::clone(&plan)).unwrap();
+            cache.put(&key(0x11), &StoredVerdict::Proved { k: 2 });
+            assert_eq!(cache.disk_entries(), 1);
+            assert_eq!(cache.stats().io_errors, 1);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            // Permanent: retries exhaust, the store is swallowed (the
+            // hot tier still answers) and nothing torn is left behind.
+            let plan = Arc::new(FaultPlan::single(5, Fault::CacheWriteError).make_permanent());
+            let cache = ProofCache::open_with_chaos(Some(&dir), 4, None, plan).unwrap();
+            cache.put(&key(0x12), &StoredVerdict::Proved { k: 2 });
+            assert_eq!(cache.disk_entries(), 0);
+            assert_eq!(cache.stats().io_errors, WRITE_RETRIES + 1);
+            assert_eq!(cache.get(&key(0x12)), Some(StoredVerdict::Proved { k: 2 }));
+            assert_eq!(cache.fsck(), (0, 0, 0));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_read_errors_degrade_to_misses() {
+        use autopipe_verify::chaos::{Fault, FaultPlan};
+        let dir = std::env::temp_dir().join(format!("autopipe-cache-rerr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let clean = ProofCache::open(Some(&dir), 4, None).unwrap();
+            clean.put(&key(0x21), &StoredVerdict::Bounded { depth: 2 });
+        }
+        let plan = Arc::new(FaultPlan::single(6, Fault::CacheReadError));
+        let cache = ProofCache::open_with_chaos(Some(&dir), 4, None, Arc::clone(&plan)).unwrap();
+        assert_eq!(cache.get(&key(0x21)), None, "read error degrades to miss");
+        assert!(cache.stats().io_errors >= 1);
+        // The entry itself is intact — no quarantine, no data loss.
+        assert_eq!(cache.quarantine_entries(), 0);
+        assert_eq!(cache.fsck(), (1, 0, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn close_sweeps_leftover_tmp_files() {
+        let dir = std::env::temp_dir().join(format!("autopipe-cache-tmp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ProofCache::open(Some(&dir), 4, None).unwrap();
+        cache.put(&key(0x31), &StoredVerdict::Proved { k: 0 });
+        // Simulate an interrupted writer.
+        let shard = cache.entry_path(&key(0x31).stem()).unwrap();
+        let tmp = shard.parent().unwrap().join(".dead-entry.tmp");
+        std::fs::write(&tmp, "half").unwrap();
+        assert_eq!(cache.fsck().2, 1);
+        cache.close();
+        assert!(!tmp.exists());
+        assert_eq!(cache.fsck(), (1, 0, 0));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,812 @@
+//! The chaos sweep: a kill-matrix over the infrastructure-fault
+//! catalog.
+//!
+//! [`run_chaos`] spins up a real [`Server`] per fault in
+//! [`Fault::CATALOG`], injects that fault at every site through a
+//! seeded [`FaultPlan`], and checks the three properties the
+//! robustness work guarantees:
+//!
+//! 1. **No aborts** — every scenario ends with the daemon alive and
+//!    answering.
+//! 2. **No torn state** — after recovery the disk cache passes
+//!    [`crate::cache::ProofCache::fsck`] (zero corrupt entries, zero
+//!    leftover temporaries).
+//! 3. **No unsound verdicts** — every served verdict matches a
+//!    fault-free baseline submission of the same design. A fault may
+//!    cost time (retries, re-proving, load shedding); it must never
+//!    change an answer.
+//!
+//! The sweep finishes with a synthetic overload storm: more concurrent
+//! fresh submissions than the admission queue holds, which must shed
+//! in-band `busy` responses and resume normal service afterwards.
+//!
+//! The rendered [`ChaosReport`] is deterministic for a given design,
+//! seed and catalog — injected-site counts are pure functions of the
+//! seed ([`FaultPlan::fires`]) and wall-clock latencies are kept out
+//! of the report body — so `autopipe chaos` output can be compared
+//! byte-for-byte across `-j` values. Recovery latencies and the
+//! (scheduling-dependent) storm shed rate go to the BENCH_8 JSON
+//! record ([`ChaosReport::to_bench_json`]) instead.
+
+use crate::json::Json;
+use crate::server::{serve_tcp, ServeConfig, Server};
+use autopipe_trace::{a, Trace, Track};
+use autopipe_verify::chaos::{Fault, FaultPlan};
+use std::fmt;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How a sweep runs: the seed, the solver parallelism, and where the
+/// per-fault scratch caches live.
+#[derive(Debug, Clone)]
+pub struct ChaosSettings {
+    /// Fault-plan seed; the whole sweep is a pure function of
+    /// `(design, seed)` up to wall-clock latencies.
+    pub seed: u64,
+    /// Worker threads per scenario server (0 = one per core).
+    pub jobs: usize,
+    /// Induction depth for every submission.
+    pub max_k: usize,
+    /// Concurrent clients thrown at the overload storm.
+    pub overload_clients: usize,
+    /// Scratch directory for the per-fault disk caches (created and
+    /// removed by the sweep).
+    pub scratch: PathBuf,
+}
+
+impl ChaosSettings {
+    /// Default settings over `scratch`.
+    #[must_use]
+    pub fn new(scratch: PathBuf) -> ChaosSettings {
+        ChaosSettings {
+            seed: 0,
+            jobs: 0,
+            max_k: 2,
+            overload_clients: 8,
+            scratch,
+        }
+    }
+}
+
+/// One fault's row in the kill matrix.
+#[derive(Debug, Clone)]
+pub struct FaultOutcome {
+    /// The injected fault.
+    pub fault: Fault,
+    /// Injection sites that actually fired.
+    pub injected: u64,
+    /// The scenario ended with the daemon alive, the store clean and
+    /// every verdict matching the baseline.
+    pub recovered: bool,
+    /// A served verdict *diverged* from the fault-free baseline — the
+    /// one failure mode that is never acceptable.
+    pub unsound: bool,
+    /// Wall-clock cost of the submission that exercised recovery.
+    pub recovery_micros: u128,
+    /// Deterministic one-line note (counts, not timings).
+    pub detail: String,
+}
+
+/// The overload storm's outcome. The served/shed split depends on
+/// thread scheduling, so only the boolean verdicts appear in the
+/// rendered report; the counts go to the bench record.
+#[derive(Debug, Clone)]
+pub struct OverloadOutcome {
+    /// Concurrent clients launched.
+    pub clients: u64,
+    /// Submissions answered with verdicts.
+    pub served: u64,
+    /// Submissions shed with a `busy` response.
+    pub shed: u64,
+    /// Storm verdict: at least one request served soundly, at least
+    /// one shed in-band, and normal service resumed afterwards.
+    pub ok: bool,
+    /// A served verdict diverged from the baseline.
+    pub unsound: bool,
+}
+
+impl OverloadOutcome {
+    /// Fraction of the storm shed with `busy` responses.
+    #[must_use]
+    pub fn shed_rate(&self) -> f64 {
+        if self.clients == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.clients as f64
+        }
+    }
+}
+
+/// What a full sweep found, renderable as the kill-matrix report and
+/// as the BENCH_8 JSON record.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Design name (from the baseline submission).
+    pub design: String,
+    /// The sweep's fault-plan seed.
+    pub seed: u64,
+    /// Solver parallelism the scenarios ran under.
+    pub jobs: usize,
+    /// One row per catalog fault, in catalog order.
+    pub faults: Vec<FaultOutcome>,
+    /// The synthetic overload storm.
+    pub overload: OverloadOutcome,
+}
+
+impl ChaosReport {
+    /// Faults that fully recovered.
+    #[must_use]
+    pub fn recovered_count(&self) -> usize {
+        self.faults.iter().filter(|f| f.recovered).count()
+    }
+
+    /// True when any scenario served a wrong verdict.
+    #[must_use]
+    pub fn any_unsound(&self) -> bool {
+        self.faults.iter().any(|f| f.unsound) || self.overload.unsound
+    }
+
+    /// The sweep's overall verdict: every fault recovered, the storm
+    /// shed and resumed, and nothing unsound anywhere.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.recovered_count() == self.faults.len() && self.overload.ok && !self.any_unsound()
+    }
+
+    /// The BENCH_8 record: recovery latency per fault and the storm's
+    /// shed rate. This is where the wall-clock numbers live.
+    #[must_use]
+    pub fn to_bench_json(&self) -> String {
+        let mut s = format!(
+            "{{\"schema\":\"autopipe-bench-8\",\"design\":\"{}\",\"seed\":{},\"jobs\":{},\
+\"recovered\":{},\"unsound\":{},\"faults\":[",
+            autopipe_trace::ndjson::escape(&self.design),
+            self.seed,
+            self.jobs,
+            self.recovered_count(),
+            self.any_unsound(),
+        );
+        for (i, f) in self.faults.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"fault\":\"{}\",\"injected\":{},\"recovered\":{},\"unsound\":{},\
+\"recovery_ms\":{:.3}}}",
+                f.fault.name(),
+                f.injected,
+                f.recovered,
+                f.unsound,
+                f.recovery_micros as f64 / 1000.0,
+            ));
+        }
+        s.push_str(&format!(
+            "],\"overload\":{{\"clients\":{},\"served\":{},\"shed\":{},\"shed_rate\":{:.4},\
+\"ok\":{}}}}}",
+            self.overload.clients,
+            self.overload.served,
+            self.overload.shed,
+            self.overload.shed_rate(),
+            self.overload.ok,
+        ));
+        s
+    }
+}
+
+impl fmt::Display for ChaosReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "chaos sweep: design `{}`, seed {}, {} faults",
+            self.design,
+            self.seed,
+            self.faults.len()
+        )?;
+        for row in &self.faults {
+            let status = if row.unsound {
+                "UNSOUND"
+            } else if row.recovered {
+                "recovered"
+            } else {
+                "FAILED"
+            };
+            writeln!(
+                f,
+                "  {:<18} injected {:>3}  {:<9}  {}",
+                row.fault.name(),
+                row.injected,
+                status,
+                row.detail
+            )?;
+        }
+        let storm = if self.overload.unsound {
+            "UNSOUND: a served verdict diverged under load"
+        } else if self.overload.ok {
+            "survived: load shed in-band, service resumed"
+        } else {
+            "FAILED"
+        };
+        writeln!(
+            f,
+            "  overload storm: {} clients vs 1 solver slot — {}",
+            self.overload.clients, storm
+        )?;
+        if self.passed() {
+            write!(
+                f,
+                "chaos verdict: RECOVERED {}/{}, zero unsound verdicts",
+                self.recovered_count(),
+                self.faults.len()
+            )
+        } else if self.any_unsound() {
+            write!(f, "chaos verdict: UNSOUND — a fault changed an answer")
+        } else {
+            write!(
+                f,
+                "chaos verdict: FAILED ({}/{} recovered)",
+                self.recovered_count(),
+                self.faults.len()
+            )
+        }
+    }
+}
+
+/// A submit request line for `src`.
+fn submit_req(src: &str, id: u64, fresh: bool) -> String {
+    let esc = autopipe_trace::ndjson::escape(src);
+    let fresh = if fresh { ",\"fresh\":true" } else { "" };
+    format!("{{\"id\":{id},\"op\":\"submit\",\"source\":\"{esc}\"{fresh}}}")
+}
+
+/// The soundness projection of a submit response: design, netlist
+/// digest and per-obligation `name=digest:outcome` — everything that
+/// constitutes an *answer*, nothing that reflects *how* it was
+/// obtained (cached flags, conflict counts). Partial responses (timed
+/// out or crashed obligations) are errors: a recovered run must end
+/// with every obligation conclusively answered.
+fn signature(line: &str) -> Result<String, String> {
+    let v = Json::parse(line).map_err(|e| format!("response does not parse ({e}): {line}"))?;
+    if v.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(format!("response not ok: {line}"));
+    }
+    for partial in ["timed_out", "crashed"] {
+        if v.get(partial).and_then(Json::as_u64).unwrap_or(0) != 0 {
+            return Err(format!("partial response ({partial} != 0): {line}"));
+        }
+    }
+    let field = |k: &str| {
+        v.get(k)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing `{k}`: {line}"))
+    };
+    let mut sig = format!("{}@{}", field("design")?, field("netlist")?);
+    let obs = v
+        .get("obligations")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing obligations: {line}"))?;
+    for ob in obs {
+        let s = |k: &str| ob.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
+        sig.push_str(&format!(";{}={}:{}", s("name"), s("digest"), s("outcome")));
+        for bound in ["k", "depth", "frame"] {
+            if let Some(n) = ob.get(bound).and_then(Json::as_u64) {
+                sig.push_str(&format!("/{bound}{n}"));
+            }
+        }
+    }
+    Ok(sig)
+}
+
+/// Checks a response against the fault-free baseline. A divergence is
+/// the unsound case and is tagged as such; a partial or failed
+/// response is "merely" unrecovered.
+fn check_sound(line: &str, baseline: &str) -> Result<(), String> {
+    let sig = signature(line)?;
+    if sig != baseline {
+        return Err("UNSOUND: verdicts diverged from the fault-free baseline".into());
+    }
+    Ok(())
+}
+
+/// The `cached` tally and obligation count of a submit response.
+fn cached_of(line: &str) -> (u64, u64) {
+    let Ok(v) = Json::parse(line) else {
+        return (0, 0);
+    };
+    let cached = v.get("cached").and_then(Json::as_u64).unwrap_or(0);
+    let total = v
+        .get("obligations")
+        .and_then(Json::as_arr)
+        .map_or(0, |o| o.len() as u64);
+    (cached, total)
+}
+
+fn scenario_config(
+    settings: &ChaosSettings,
+    cache_dir: Option<PathBuf>,
+    plan: Arc<FaultPlan>,
+) -> ServeConfig {
+    ServeConfig {
+        cache_dir,
+        max_k: settings.max_k,
+        jobs: settings.jobs,
+        chaos: plan,
+        ..ServeConfig::default()
+    }
+}
+
+/// Disk-cache write faults (torn writes, bit flips, write IO errors):
+/// a cold submission damages the store, the next one must heal it
+/// (quarantine + re-prove, or the put retry ladder), and the third
+/// must be served fully warm from a now-healthy store.
+fn cache_write_scenario(
+    src: &str,
+    settings: &ChaosSettings,
+    fault: Fault,
+    baseline: &str,
+) -> Result<FaultOutcome, String> {
+    let dir = settings.scratch.join(fault.name());
+    let _ = std::fs::remove_dir_all(&dir);
+    let plan = Arc::new(FaultPlan::single(settings.seed, fault));
+    let server = Server::new(scenario_config(
+        settings,
+        Some(dir.clone()),
+        Arc::clone(&plan),
+    ))
+    .map_err(|e| format!("cannot open scenario server: {e}"))?;
+
+    check_sound(&server.handle_line(&submit_req(src, 1, false)), baseline)?;
+    let start = Instant::now();
+    check_sound(&server.handle_line(&submit_req(src, 2, false)), baseline)?;
+    let recovery_micros = start.elapsed().as_micros();
+    let warm = server.handle_line(&submit_req(src, 3, false));
+    check_sound(&warm, baseline)?;
+    let (cached, total) = cached_of(&warm);
+    if cached != total {
+        return Err(format!(
+            "store did not heal: third submission cached {cached}/{total}"
+        ));
+    }
+    let (_, corrupt, tmp) = server.cache().fsck();
+    if corrupt != 0 || tmp != 0 {
+        return Err(format!(
+            "torn state left behind: fsck found {corrupt} corrupt, {tmp} tmp"
+        ));
+    }
+    let stats = server.cache().stats();
+    let detail = match fault {
+        Fault::CacheWriteError => format!(
+            "{} write errors retried, store healthy (fsck clean)",
+            stats.io_errors
+        ),
+        _ => format!(
+            "{} quarantined, re-proved, store healthy (fsck clean)",
+            stats.quarantined
+        ),
+    };
+    let injected = plan.total_fired();
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(FaultOutcome {
+        fault,
+        injected,
+        recovered: true,
+        unsound: false,
+        recovery_micros,
+        detail,
+    })
+}
+
+/// Read IO errors: a healthy store written by one daemon, then a
+/// second daemon (cold hot tier, same directory) whose every disk
+/// read fails — it must degrade to re-proving, and a third, fault-free
+/// daemon must find the store intact and fully warm.
+fn cache_read_scenario(
+    src: &str,
+    settings: &ChaosSettings,
+    baseline: &str,
+) -> Result<FaultOutcome, String> {
+    let fault = Fault::CacheReadError;
+    let dir = settings.scratch.join(fault.name());
+    let _ = std::fs::remove_dir_all(&dir);
+    let plan = Arc::new(FaultPlan::single(settings.seed, fault));
+
+    let writer = Server::new(scenario_config(
+        settings,
+        Some(dir.clone()),
+        Arc::clone(&plan),
+    ))
+    .map_err(|e| format!("cannot open scenario server: {e}"))?;
+    check_sound(&writer.handle_line(&submit_req(src, 1, false)), baseline)?;
+
+    let degraded = Server::new(scenario_config(
+        settings,
+        Some(dir.clone()),
+        Arc::clone(&plan),
+    ))
+    .map_err(|e| format!("cannot open scenario server: {e}"))?;
+    let start = Instant::now();
+    check_sound(&degraded.handle_line(&submit_req(src, 2, false)), baseline)?;
+    let recovery_micros = start.elapsed().as_micros();
+    let io_errors = degraded.cache().stats().io_errors;
+    if io_errors == 0 {
+        return Err("no read errors were injected".into());
+    }
+
+    let clean = Server::new(scenario_config(
+        settings,
+        Some(dir.clone()),
+        Arc::new(FaultPlan::none()),
+    ))
+    .map_err(|e| format!("cannot open scenario server: {e}"))?;
+    let warm = clean.handle_line(&submit_req(src, 3, false));
+    check_sound(&warm, baseline)?;
+    let (cached, total) = cached_of(&warm);
+    if cached != total {
+        return Err(format!(
+            "store damaged by read faults: clean daemon cached {cached}/{total}"
+        ));
+    }
+    let injected = plan.total_fired();
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(FaultOutcome {
+        fault,
+        injected,
+        recovered: true,
+        unsound: false,
+        recovery_micros,
+        detail: format!("{io_errors} read errors degraded to re-proves, store intact"),
+    })
+}
+
+/// Solver-side faults (worker panics, injected slowness, budget
+/// storms): one fresh submission under full-rate injection must still
+/// produce the baseline verdicts with nothing crashed or timed out.
+fn solver_scenario(
+    src: &str,
+    settings: &ChaosSettings,
+    fault: Fault,
+    baseline: &str,
+) -> Result<FaultOutcome, String> {
+    let plan = Arc::new(
+        FaultPlan::single(settings.seed, fault).with_slow_delay(Duration::from_millis(10)),
+    );
+    let server = Server::new(scenario_config(settings, None, Arc::clone(&plan)))
+        .map_err(|e| format!("cannot open scenario server: {e}"))?;
+    let start = Instant::now();
+    check_sound(&server.handle_line(&submit_req(src, 1, true)), baseline)?;
+    let recovery_micros = start.elapsed().as_micros();
+    let detail = match fault {
+        Fault::WorkerPanic => "every task panicked once, retried to clean verdicts",
+        Fault::SlowSolver => "every task delayed, verdicts unchanged",
+        _ => "first-attempt budgets collapsed, escalation ladder recovered",
+    };
+    Ok(FaultOutcome {
+        fault,
+        injected: plan.total_fired(),
+        recovered: true,
+        unsound: false,
+        recovery_micros,
+        detail: detail.into(),
+    })
+}
+
+/// Mid-request TCP disconnects: a client submits and vanishes without
+/// reading its response; the daemon must survive, answer the next
+/// session with baseline verdicts, and drain cleanly.
+fn disconnect_scenario(
+    src: &str,
+    settings: &ChaosSettings,
+    baseline: &str,
+) -> Result<FaultOutcome, String> {
+    use std::io::{BufRead, BufReader, Write};
+    let plan = Arc::new(FaultPlan::single(settings.seed, Fault::Disconnect));
+    let server = Arc::new(
+        Server::new(scenario_config(settings, None, Arc::clone(&plan)))
+            .map_err(|e| format!("cannot open scenario server: {e}"))?,
+    );
+    let listener =
+        TcpListener::bind("127.0.0.1:0").map_err(|e| format!("cannot bind scenario port: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("no local addr: {e}"))?;
+    let acceptor = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || serve_tcp(&server, listener))
+    };
+
+    if plan.fires(Fault::Disconnect, 0) {
+        let mut doomed = std::net::TcpStream::connect(addr)
+            .map_err(|e| format!("cannot connect doomed client: {e}"))?;
+        doomed
+            .write_all(submit_req(src, 1, true).as_bytes())
+            .and_then(|()| doomed.write_all(b"\n"))
+            .map_err(|e| format!("doomed client could not submit: {e}"))?;
+        // Vanish mid-request: the daemon is still solving when the
+        // socket dies under it.
+        drop(doomed);
+    }
+
+    let start = Instant::now();
+    let mut conn = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("daemon stopped accepting after a disconnect: {e}"))?;
+    conn.write_all(submit_req(src, 2, false).as_bytes())
+        .and_then(|()| conn.write_all(b"\n"))
+        .map_err(|e| format!("cannot submit after a disconnect: {e}"))?;
+    let mut line = String::new();
+    BufReader::new(conn)
+        .read_line(&mut line)
+        .map_err(|e| format!("no response after a disconnect: {e}"))?;
+    check_sound(line.trim(), baseline)?;
+    let recovery_micros = start.elapsed().as_micros();
+
+    server.request_drain();
+    match acceptor.join() {
+        Ok(Ok(_)) => {}
+        Ok(Err(e)) => return Err(format!("serving loop failed: {e}")),
+        Err(_) => return Err("serving loop panicked".into()),
+    }
+    Ok(FaultOutcome {
+        fault: Fault::Disconnect,
+        injected: plan.total_fired(),
+        recovered: true,
+        unsound: false,
+        recovery_micros,
+        detail: "daemon survived a vanished client, next session answered clean".into(),
+    })
+}
+
+/// The synthetic overload storm: one slow submission saturates a
+/// single solver slot, then a burst of concurrent fresh submissions
+/// arrives — the queue holds one, the rest must shed with `busy`, and
+/// everything actually served must match the baseline. Afterwards the
+/// daemon must serve normally again.
+fn overload_storm(
+    src: &str,
+    settings: &ChaosSettings,
+    baseline: &str,
+) -> Result<OverloadOutcome, String> {
+    let plan = Arc::new(
+        FaultPlan::single(settings.seed, Fault::SlowSolver)
+            .with_slow_delay(Duration::from_millis(60)),
+    );
+    let config = ServeConfig {
+        max_k: settings.max_k,
+        jobs: 1,
+        max_active: 1,
+        max_queue: 1,
+        chaos: plan,
+        ..ServeConfig::default()
+    };
+    let server =
+        Arc::new(Server::new(config).map_err(|e| format!("cannot open storm server: {e}"))?);
+    let clients = settings.overload_clients.max(2) as u64;
+
+    // The first client takes the only solver slot and holds it for the
+    // injected delay; the burst then finds the daemon saturated.
+    let first = {
+        let server = Arc::clone(&server);
+        let line = submit_req(src, 1, true);
+        std::thread::spawn(move || server.handle_line(&line))
+    };
+    std::thread::sleep(Duration::from_millis(15));
+    let burst: Vec<_> = (2..=clients)
+        .map(|id| {
+            let server = Arc::clone(&server);
+            let line = submit_req(src, id, true);
+            std::thread::spawn(move || server.handle_line(&line))
+        })
+        .collect();
+
+    let mut served = 0u64;
+    let mut shed = 0u64;
+    let mut unsound = false;
+    let mut responses = vec![first.join().map_err(|_| "storm client panicked")?];
+    for h in burst {
+        responses.push(h.join().map_err(|_| "storm client panicked")?);
+    }
+    for resp in &responses {
+        let v = Json::parse(resp).map_err(|e| format!("storm response does not parse: {e}"))?;
+        if v.get("busy").and_then(Json::as_bool) == Some(true) {
+            shed += 1;
+        } else {
+            served += 1;
+            if let Err(e) = check_sound(resp, baseline) {
+                if e.starts_with("UNSOUND") {
+                    unsound = true;
+                } else {
+                    return Err(format!("storm served a broken response: {e}"));
+                }
+            }
+        }
+    }
+
+    // Calm after the storm: the daemon serves normally again.
+    let calm = server.handle_line(&submit_req(src, 99, false));
+    let resumed = check_sound(&calm, baseline).is_ok();
+    Ok(OverloadOutcome {
+        clients,
+        served,
+        shed,
+        ok: served >= 1 && shed >= 1 && resumed && !unsound,
+        unsound,
+    })
+}
+
+/// Runs the full kill-matrix sweep over `src`. Each catalog fault gets
+/// its own scenario server; `trace` receives one deterministic event
+/// per fault on [`Track::chaos`].
+///
+/// # Errors
+///
+/// Returns an error only when the sweep cannot run at all (the
+/// baseline submission fails, scratch directories cannot be created).
+/// Fault scenarios that fail are *reported*, not propagated — the
+/// report's verdict line carries the result.
+pub fn run_chaos(
+    src: &str,
+    settings: &ChaosSettings,
+    trace: &Trace,
+) -> Result<ChaosReport, String> {
+    std::fs::create_dir_all(&settings.scratch)
+        .map_err(|e| format!("cannot create scratch dir: {e}"))?;
+    let baseline_server = Server::new(scenario_config(settings, None, Arc::new(FaultPlan::none())))
+        .map_err(|e| format!("cannot open baseline server: {e}"))?;
+    let base_line = baseline_server.handle_line(&submit_req(src, 1, false));
+    let baseline = signature(&base_line).map_err(|e| format!("baseline submission failed: {e}"))?;
+    let design = Json::parse(&base_line)
+        .ok()
+        .and_then(|v| v.get("design").and_then(Json::as_str).map(str::to_string))
+        .unwrap_or_default();
+
+    let mut faults = Vec::new();
+    for (i, &fault) in Fault::CATALOG.iter().enumerate() {
+        let result = match fault {
+            Fault::TornCacheWrite | Fault::BitFlipEntry | Fault::CacheWriteError => {
+                cache_write_scenario(src, settings, fault, &baseline)
+            }
+            Fault::CacheReadError => cache_read_scenario(src, settings, &baseline),
+            Fault::WorkerPanic | Fault::SlowSolver | Fault::BudgetStorm => {
+                solver_scenario(src, settings, fault, &baseline)
+            }
+            Fault::Disconnect => disconnect_scenario(src, settings, &baseline),
+        };
+        let outcome = result.unwrap_or_else(|e| FaultOutcome {
+            fault,
+            injected: 0,
+            recovered: false,
+            unsound: e.starts_with("UNSOUND"),
+            recovery_micros: 0,
+            detail: e,
+        });
+        trace.instant(
+            Track::chaos(i),
+            "chaos",
+            fault.name(),
+            vec![
+                a("injected", outcome.injected),
+                a(
+                    "recovered",
+                    if outcome.recovered { "true" } else { "false" },
+                ),
+            ],
+        );
+        faults.push(outcome);
+    }
+
+    let overload = overload_storm(src, settings, &baseline).unwrap_or(OverloadOutcome {
+        clients: settings.overload_clients as u64,
+        served: 0,
+        shed: 0,
+        ok: false,
+        unsound: false,
+    });
+    let _ = std::fs::remove_dir_all(&settings.scratch);
+    Ok(ChaosReport {
+        design,
+        seed: settings.seed,
+        jobs: settings.jobs,
+        faults,
+        overload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOY: &str = include_str!("../../../examples/programs/toy.psm");
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("autopipe-chaos-test-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn full_sweep_recovers_every_fault_on_the_toy_design() {
+        let settings = ChaosSettings {
+            jobs: 2,
+            ..ChaosSettings::new(scratch("sweep"))
+        };
+        let trace = Trace::new();
+        let report = run_chaos(TOY, &settings, &trace).expect("sweep runs");
+        assert!(report.passed(), "sweep must pass:\n{report}");
+        let rendered = report.to_string();
+        assert!(
+            rendered.contains("chaos verdict: RECOVERED 8/8"),
+            "verdict line: {rendered}"
+        );
+        assert!(!rendered.contains("UNSOUND"), "nothing unsound: {rendered}");
+        // Every fault actually fired somewhere.
+        for row in &report.faults {
+            assert!(row.injected > 0, "{} never fired", row.fault.name());
+        }
+        assert!(report.overload.shed >= 1, "the storm must shed");
+        // One deterministic trace event per catalog fault.
+        let ndjson = trace.to_ndjson();
+        for fault in Fault::CATALOG {
+            assert!(
+                ndjson.contains(&format!("\"{}\"", fault.name())),
+                "trace missing {}: {ndjson}",
+                fault.name()
+            );
+        }
+        // The bench record parses and carries the schema tag.
+        let bench = Json::parse(&report.to_bench_json()).expect("bench json parses");
+        assert_eq!(
+            bench.get("schema").and_then(Json::as_str),
+            Some("autopipe-bench-8")
+        );
+        assert_eq!(bench.get("recovered").and_then(Json::as_u64), Some(8));
+        assert!(!settings.scratch.exists(), "scratch cleaned up");
+    }
+
+    #[test]
+    fn report_rendering_flags_failures_and_unsoundness() {
+        let row = |fault: Fault, recovered: bool, unsound: bool| FaultOutcome {
+            fault,
+            injected: 3,
+            recovered,
+            unsound,
+            recovery_micros: 1500,
+            detail: "detail".into(),
+        };
+        let mut report = ChaosReport {
+            design: "toy".into(),
+            seed: 7,
+            jobs: 1,
+            faults: vec![
+                row(Fault::TornCacheWrite, true, false),
+                row(Fault::WorkerPanic, false, false),
+            ],
+            overload: OverloadOutcome {
+                clients: 8,
+                served: 2,
+                shed: 6,
+                ok: true,
+                unsound: false,
+            },
+        };
+        assert!(!report.passed());
+        assert!(report
+            .to_string()
+            .contains("chaos verdict: FAILED (1/2 recovered)"));
+        report.faults[1].unsound = true;
+        assert!(report.any_unsound());
+        let rendered = report.to_string();
+        assert!(rendered.contains("UNSOUND"));
+        assert!(rendered.contains("chaos verdict: UNSOUND"));
+        let bench = Json::parse(&report.to_bench_json()).expect("bench json parses");
+        assert_eq!(bench.get("unsound").and_then(Json::as_bool), Some(true));
+        let faults = bench.get("faults").and_then(Json::as_arr).unwrap();
+        assert_eq!(faults.len(), 2);
+        assert_eq!(
+            faults[0].get("fault").and_then(Json::as_str),
+            Some("torn_cache_write")
+        );
+        let overload = bench.get("overload").unwrap();
+        assert_eq!(overload.get("shed").and_then(Json::as_u64), Some(6));
+    }
+}

@@ -26,6 +26,10 @@
 //!   schema-v1 trace NDJSON emission.
 //! * [`json`] — the minimal dependency-free JSON reader the protocol
 //!   parser is built on.
+//! * [`chaos`] — the kill-matrix sweep behind `autopipe chaos`: every
+//!   infrastructure fault in [`autopipe_verify::chaos::Fault::CATALOG`]
+//!   injected against a live server, with the recovery and soundness
+//!   checks rendered as a deterministic report.
 //!
 //! See `docs/SERVE.md` for the protocol schema, cache layout and
 //! operational notes.
@@ -33,11 +37,13 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
 pub mod json;
 pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheKey, CacheStats, ProofCache, StoredVerdict, CACHE_FORMAT};
+pub use chaos::{run_chaos, ChaosReport, ChaosSettings, FaultOutcome, OverloadOutcome};
 pub use json::Json;
 pub use protocol::{Op, Request, Response};
 pub use server::{

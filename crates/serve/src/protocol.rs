@@ -159,10 +159,24 @@ pub enum Body {
         stores: u64,
         /// Stale refutations rejected by the replay guard.
         replay_rejects: u64,
+        /// Cache IO errors survived (degraded to misses / retried).
+        io_errors: u64,
+        /// Corrupt cache entries quarantined.
+        quarantined: u64,
+        /// Submissions shed with a `busy` response.
+        shed: u64,
         /// Hot-tier entries.
         hot: usize,
         /// On-disk entries.
         disk: usize,
+    },
+    /// `submit` rejected by overload protection: the admission queue
+    /// is full. Rendered with `"ok":false` and `"busy":true` — the
+    /// client should retry after the suggested delay. Nothing was
+    /// solved and nothing was cached.
+    Busy {
+        /// Suggested client retry delay, milliseconds.
+        retry_after_ms: u64,
     },
     /// `shutdown` acknowledgement.
     Shutdown,
@@ -189,26 +203,34 @@ impl Response {
         if let Some(id) = self.id {
             s.push_str(&format!("\"id\":{id},"));
         }
-        s.push_str(&format!(
-            "\"ok\":{},\"op\":\"{}\"",
-            self.result.is_ok(),
-            self.op.as_str()
-        ));
+        // A load-shed response is `ok:false`: the request was not
+        // answered, only politely declined.
+        let ok = matches!(&self.result, Ok(b) if !matches!(b, Body::Busy { .. }));
+        s.push_str(&format!("\"ok\":{ok},\"op\":\"{}\"", self.op.as_str()));
         match &self.result {
             Err(e) => s.push_str(&format!(",\"error\":\"{}\"", escape(e))),
             Ok(Body::Shutdown) => {}
+            Ok(Body::Busy { retry_after_ms }) => {
+                s.push_str(&format!(
+                    ",\"error\":\"busy\",\"busy\":true,\"retry_after_ms\":{retry_after_ms}"
+                ));
+            }
             Ok(Body::Status {
                 requests,
                 hits,
                 misses,
                 stores,
                 replay_rejects,
+                io_errors,
+                quarantined,
+                shed,
                 hot,
                 disk,
             }) => {
                 s.push_str(&format!(
-                    ",\"requests\":{requests},\"cache\":{{\"hits\":{hits},\
+                    ",\"requests\":{requests},\"shed\":{shed},\"cache\":{{\"hits\":{hits},\
 \"misses\":{misses},\"stores\":{stores},\"replay_rejects\":{replay_rejects},\
+\"io_errors\":{io_errors},\"quarantined\":{quarantined},\
 \"hot\":{hot},\"disk\":{disk}}}"
                 ));
             }
@@ -245,7 +267,7 @@ impl Response {
 \"obligations\":[",
                     escape(design)
                 ));
-                let mut tally = [0usize; 4];
+                let mut tally = [0usize; 5];
                 let mut cached = 0usize;
                 for (i, ob) in obligations.iter().enumerate() {
                     if i > 0 {
@@ -274,6 +296,7 @@ impl Response {
                             s.push_str(&format!(",\"frame\":{frame}"));
                         }
                         BmcOutcome::TimedOut => tally[3] += 1,
+                        BmcOutcome::Crashed => tally[4] += 1,
                     }
                     cached += usize::from(ob.cached);
                     s.push_str(&format!(
@@ -281,10 +304,12 @@ impl Response {
                         ob.cached, ob.conflicts
                     ));
                 }
+                // `crashed` renders before `cached` so the tally keeps
+                // ending in `"cached":N}` for line-oriented consumers.
                 s.push_str(&format!(
                     "],\"proved\":{},\"bounded\":{},\"refuted\":{},\"timed_out\":{},\
-\"cached\":{cached}",
-                    tally[0], tally[1], tally[2], tally[3]
+\"crashed\":{},\"cached\":{cached}",
+                    tally[0], tally[1], tally[2], tally[3], tally[4]
                 ));
             }
         }
@@ -372,5 +397,45 @@ mod tests {
         let v = crate::json::Json::parse(&err.to_line()).unwrap();
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
         assert_eq!(v.get("error").unwrap().as_str(), Some("no \"such\" file"));
+    }
+
+    #[test]
+    fn busy_and_crashed_render_in_band() {
+        let busy = Response {
+            id: Some(4),
+            op: Op::Submit,
+            result: Ok(Body::Busy {
+                retry_after_ms: 100,
+            }),
+        };
+        let line = busy.to_line();
+        let v = crate::json::Json::parse(&line).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("busy").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("error").unwrap().as_str(), Some("busy"));
+        assert_eq!(v.get("retry_after_ms").unwrap().as_u64(), Some(100));
+
+        let crashed = Response {
+            id: None,
+            op: Op::Submit,
+            result: Ok(Body::Submit {
+                design: "toy".into(),
+                netlist: Digest(0xfeed),
+                max_k: 2,
+                obligations: vec![ObligationEntry {
+                    name: "a.0".into(),
+                    class: ObligationClass::Inductive,
+                    digest: Digest(1),
+                    outcome: Some(BmcOutcome::Crashed),
+                    cached: false,
+                    conflicts: 0,
+                }],
+            }),
+        };
+        let line = crashed.to_line();
+        let v = crate::json::Json::parse(&line).unwrap();
+        assert_eq!(v.get("crashed").unwrap().as_u64(), Some(1));
+        // The tally keeps ending in `"cached":N}` (line-grep contract).
+        assert!(line.ends_with(",\"cached\":0}"), "line: {line}");
     }
 }

@@ -34,6 +34,7 @@ use autopipe_hdl::hash::{bytes_digest, cone_digest, netlist_digest, Digest};
 use autopipe_hdl::Netlist;
 use autopipe_synth::{Obligation, PipelineSynthesizer};
 use autopipe_trace::{a, Trace, Track};
+use autopipe_verify::chaos::FaultPlan;
 use autopipe_verify::pool::resolve_jobs;
 use autopipe_verify::{check_selected_traced, outcome_name, refutes, ObligationBudget};
 use std::collections::HashMap;
@@ -41,8 +42,11 @@ use std::io::{self, BufRead, Write};
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// The `retry_after_ms` hint on load-shed `busy` responses.
+pub const BUSY_RETRY_MS: u64 = 100;
 
 /// Daemon configuration (CLI flags map onto this 1:1).
 #[derive(Debug, Clone)]
@@ -62,6 +66,16 @@ pub struct ServeConfig {
     pub timeout_ms: Option<u64>,
     /// Directory for per-request trace NDJSON (`None` = tracing off).
     pub trace_dir: Option<PathBuf>,
+    /// Overload protection: submissions solving concurrently
+    /// (0 = unlimited, no admission control).
+    pub max_active: usize,
+    /// Overload protection: submissions allowed to queue for a solver
+    /// slot when all `max_active` slots are taken; one more is shed
+    /// with a `busy` response. Ignored when `max_active` is 0.
+    pub max_queue: usize,
+    /// Infrastructure-fault injection plan threaded into the cache and
+    /// the solver pool (the inactive default plan injects nothing).
+    pub chaos: Arc<FaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +88,9 @@ impl Default for ServeConfig {
             jobs: 0,
             timeout_ms: None,
             trace_dir: None,
+            max_active: 0,
+            max_queue: 0,
+            chaos: Arc::new(FaultPlan::none()),
         }
     }
 }
@@ -133,6 +150,13 @@ pub struct ServeSummary {
     pub requests: u64,
 }
 
+/// Admission-queue state behind the overload-protection condvar.
+#[derive(Default)]
+struct Admission {
+    active: usize,
+    queued: usize,
+}
+
 /// The thread-safe request handler.
 pub struct Server {
     config: ServeConfig,
@@ -140,7 +164,25 @@ pub struct Server {
     requests: AtomicU64,
     active: AtomicUsize,
     stop: AtomicBool,
+    drain: AtomicBool,
+    shed: AtomicU64,
+    disconnects: AtomicU64,
+    admission: Mutex<Admission>,
+    admit_cv: Condvar,
     memo: Mutex<HashMap<u128, Arc<DesignSummary>>>,
+}
+
+/// RAII solver-slot token; dropping it frees the slot and wakes one
+/// queued submission.
+struct AdmitGuard<'a>(&'a Server);
+
+impl Drop for AdmitGuard<'_> {
+    fn drop(&mut self) {
+        let mut adm = self.0.admission.lock().expect("admission");
+        adm.active = adm.active.saturating_sub(1);
+        drop(adm);
+        self.0.admit_cv.notify_one();
+    }
 }
 
 impl Server {
@@ -150,13 +192,23 @@ impl Server {
     ///
     /// Propagates cache-directory creation failures.
     pub fn new(config: ServeConfig) -> io::Result<Server> {
-        let cache = ProofCache::open(config.cache_dir.as_deref(), config.hot_cap, config.disk_cap)?;
+        let cache = ProofCache::open_with_chaos(
+            config.cache_dir.as_deref(),
+            config.hot_cap,
+            config.disk_cap,
+            Arc::clone(&config.chaos),
+        )?;
         Ok(Server {
             config,
             cache,
             requests: AtomicU64::new(0),
             active: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
+            drain: AtomicBool::new(false),
+            shed: AtomicU64::new(0),
+            disconnects: AtomicU64::new(0),
+            admission: Mutex::new(Admission::default()),
+            admit_cv: Condvar::new(),
             memo: Mutex::new(HashMap::new()),
         })
     }
@@ -171,6 +223,72 @@ impl Server {
     #[must_use]
     pub fn stopped(&self) -> bool {
         self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Asks the serving loops to stop accepting new sessions and finish
+    /// the in-flight ones — the SIGINT/SIGTERM path. Idempotent.
+    pub fn request_drain(&self) {
+        self.drain.store(true, Ordering::SeqCst);
+        self.admit_cv.notify_all();
+    }
+
+    /// True once a drain (signal) or shutdown (protocol) was requested.
+    #[must_use]
+    pub fn draining(&self) -> bool {
+        self.stopped() || self.drain.load(Ordering::SeqCst)
+    }
+
+    /// Submissions shed with a `busy` response so far.
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::SeqCst)
+    }
+
+    /// Sessions that ended in a mid-request disconnect.
+    #[must_use]
+    pub fn disconnects(&self) -> u64 {
+        self.disconnects.load(Ordering::SeqCst)
+    }
+
+    /// Notes a mid-request TCP disconnect (the session thread calls
+    /// this when its stream dies under it).
+    pub fn note_disconnect(&self) {
+        self.disconnects.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Closes the disk cache cleanly (sweeps temporary files). Called
+    /// by the serving loops at the end of a drain; safe to call
+    /// multiple times.
+    pub fn close(&self) {
+        self.cache.close();
+    }
+
+    /// Tries to take a solver slot. `None` = the queue is full and the
+    /// submission must be shed. With `max_active == 0` admission is a
+    /// no-op (always granted, nothing counted).
+    fn admit(&self) -> Option<AdmitGuard<'_>> {
+        if self.config.max_active == 0 {
+            let mut adm = self.admission.lock().expect("admission");
+            adm.active += 1;
+            return Some(AdmitGuard(self));
+        }
+        let mut adm = self.admission.lock().expect("admission");
+        if adm.active < self.config.max_active {
+            adm.active += 1;
+            return Some(AdmitGuard(self));
+        }
+        if adm.queued >= self.config.max_queue {
+            return None;
+        }
+        adm.queued += 1;
+        // Queued submissions are already in flight: they keep their
+        // place through a drain and finish before the daemon exits.
+        while adm.active >= self.config.max_active {
+            adm = self.admit_cv.wait(adm).expect("admission");
+        }
+        adm.queued -= 1;
+        adm.active += 1;
+        Some(AdmitGuard(self))
     }
 
     /// Answers one raw request line. Never panics on malformed input:
@@ -202,6 +320,9 @@ impl Server {
                     misses: s.misses,
                     stores: s.stores,
                     replay_rejects: s.replay_rejects,
+                    io_errors: s.io_errors,
+                    quarantined: s.quarantined,
+                    shed: self.shed(),
                     hot: self.cache.hot_entries(),
                     disk: self.cache.disk_entries(),
                 })
@@ -323,11 +444,23 @@ impl Server {
         // fair-share slice of the worker pool and this request's
         // deadline.
         if !missing.is_empty() {
+            // Overload protection: take a solver slot or shed with a
+            // `busy` response (nothing solved, nothing cached — the
+            // client retries the whole submission).
+            let Some(_slot) = self.admit() else {
+                self.shed.fetch_add(1, Ordering::SeqCst);
+                return Ok(Body::Busy {
+                    retry_after_ms: BUSY_RETRY_MS,
+                });
+            };
             let active = self.active.fetch_add(1, Ordering::SeqCst) + 1;
             let jobs = (resolve_jobs(self.config.jobs) / active).max(1);
             let mut budget = ObligationBudget::unlimited();
             if let Some(ms) = req.timeout_ms.or(self.config.timeout_ms) {
                 budget = budget.with_timeout(Duration::from_millis(ms));
+            }
+            if self.config.chaos.is_active() {
+                budget = budget.with_chaos(Arc::clone(&self.config.chaos));
             }
             let solved = check_selected_traced(
                 &summary.netlist,
@@ -430,7 +563,7 @@ pub fn serve_stdio(
             micros % 1000
         )?;
         log.flush()?;
-        if server.stopped() {
+        if server.draining() {
             break;
         }
     }
@@ -439,28 +572,58 @@ pub fn serve_stdio(
 
 /// Accepts TCP sessions on `listener` and runs the stdio loop on each,
 /// one thread per connection (timing lines go to the process stderr).
-/// Returns once a shutdown request has been accepted and every session
-/// thread has drained.
+/// Returns once a shutdown request has been accepted or a drain was
+/// requested ([`Server::request_drain`], the SIGINT/SIGTERM path) and
+/// every session thread has finished its in-flight work: the accept
+/// loop polls so it observes a drain promptly, idle sessions blocked
+/// in `read` are unblocked by shutting down their read half (responses
+/// in flight still write out), and the disk cache is closed cleanly
+/// before returning.
 ///
 /// # Errors
 ///
 /// Propagates accept errors.
 pub fn serve_tcp(server: &Arc<Server>, listener: TcpListener) -> io::Result<ServeSummary> {
+    listener.set_nonblocking(true)?;
     let mut sessions = Vec::new();
+    let mut streams: Vec<std::net::TcpStream> = Vec::new();
     let mut summary = ServeSummary::default();
-    for stream in listener.incoming() {
-        if server.stopped() {
-            break;
+    while !server.draining() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                if let Ok(clone) = stream.try_clone() {
+                    streams.push(clone);
+                }
+                let server = Arc::clone(server);
+                sessions.push(std::thread::spawn(move || {
+                    let reader = io::BufReader::new(stream.try_clone()?);
+                    let result = serve_stdio(&server, reader, stream, io::stderr());
+                    if let Err(e) = &result {
+                        // A client that vanished mid-request is an
+                        // expected infrastructure fault, not a server
+                        // failure: note it and end the session.
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::BrokenPipe
+                                | io::ErrorKind::ConnectionReset
+                                | io::ErrorKind::ConnectionAborted
+                                | io::ErrorKind::UnexpectedEof
+                        ) {
+                            server.note_disconnect();
+                            return Ok(ServeSummary::default());
+                        }
+                    }
+                    result
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => return Err(e),
         }
-        let stream = stream?;
-        let server = Arc::clone(server);
-        sessions.push(std::thread::spawn(move || {
-            let reader = io::BufReader::new(stream.try_clone()?);
-            serve_stdio(&server, reader, stream, io::stderr())
-        }));
         // Reap finished sessions so a long-lived daemon does not
-        // accumulate handles; the shutdown check above runs once per
-        // accepted connection.
+        // accumulate handles.
         let (done, live): (Vec<_>, Vec<_>) = sessions.into_iter().partition(|h| h.is_finished());
         sessions = live;
         for h in done {
@@ -469,11 +632,18 @@ pub fn serve_tcp(server: &Arc<Server>, listener: TcpListener) -> io::Result<Serv
             }
         }
     }
+    // Drain: unblock sessions idling in `read_line` — the read half
+    // closes (they see EOF and return), while a response being written
+    // still goes out on the intact write half.
+    for s in &streams {
+        let _ = s.shutdown(std::net::Shutdown::Read);
+    }
     for h in sessions {
         if let Ok(Ok(s)) = h.join() {
             summary.requests += s.requests;
         }
     }
+    server.close();
     Ok(summary)
 }
 
@@ -615,6 +785,112 @@ mod tests {
         assert!(log.lines().all(|l| l.starts_with("serve: request ")));
         // Timing never leaks into response bytes.
         assert!(!lines.iter().any(|l| l.contains(" ms")));
+    }
+
+    fn fresh_submit_line(id: u64) -> String {
+        let src = autopipe_trace::ndjson::escape(TOY);
+        format!("{{\"id\":{id},\"op\":\"submit\",\"source\":\"{src}\",\"fresh\":true}}")
+    }
+
+    #[test]
+    fn overload_sheds_with_busy_and_recovers() {
+        let cfg = ServeConfig {
+            max_active: 1,
+            max_queue: 0,
+            ..ServeConfig::default()
+        };
+        let s = Server::new(cfg).unwrap();
+        // Hold the only solver slot; the queue has no room.
+        let slot = s.admit().expect("first slot");
+        let resp = s.handle_line(&fresh_submit_line(1));
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("busy").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("error").unwrap().as_str(), Some("busy"));
+        assert!(v.get("retry_after_ms").unwrap().as_u64().unwrap() > 0);
+        assert_eq!(s.shed(), 1);
+        assert_eq!(s.cache().stats().stores, 0, "shed solves nothing");
+        // Slot freed: the retry is served normally.
+        drop(slot);
+        let resp = s.handle_line(&fresh_submit_line(2));
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        // The shed shows up in status.
+        let st = s.handle_line("{\"op\":\"status\"}");
+        let v = Json::parse(&st).unwrap();
+        assert_eq!(v.get("shed").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn queued_submission_waits_for_a_slot_instead_of_shedding() {
+        let cfg = ServeConfig {
+            max_active: 1,
+            max_queue: 1,
+            ..ServeConfig::default()
+        };
+        let s = Arc::new(Server::new(cfg).unwrap());
+        let slot = s.admit().expect("first slot");
+        let t = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || s.handle_line(&fresh_submit_line(1)))
+        };
+        // The submission needs the slot we hold: it queues, it cannot
+        // finish.
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(!t.is_finished(), "must wait in the admission queue");
+        assert_eq!(s.shed(), 0);
+        drop(slot);
+        let resp = t.join().unwrap();
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn cached_answers_bypass_admission_control() {
+        // A fully warm submission takes no solver slot, so it is
+        // served even while the daemon is saturated.
+        let cfg = ServeConfig {
+            max_active: 1,
+            max_queue: 0,
+            ..ServeConfig::default()
+        };
+        let s = Server::new(cfg).unwrap();
+        let warmup = s.handle_line(&submit_line(1));
+        assert!(Json::parse(&warmup).unwrap().get("ok").unwrap().as_bool() == Some(true));
+        let slot = s.admit().expect("saturate");
+        let resp = s.handle_line(&submit_line(2));
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        let total = v.get("obligations").unwrap().as_arr().unwrap().len() as u64;
+        assert_eq!(v.get("cached").unwrap().as_u64(), Some(total));
+        drop(slot);
+    }
+
+    #[test]
+    fn drain_finishes_sessions_and_closes_the_listener() {
+        use std::io::{BufRead, BufReader, Write};
+        let s = Arc::new(server());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let acceptor = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || serve_tcp(&s, listener))
+        };
+        // An established session that stays idle across the drain.
+        let mut conn = std::net::TcpStream::connect(addr).unwrap();
+        conn.write_all(submit_line(1).as_bytes()).unwrap();
+        conn.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(conn);
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        assert!(Json::parse(resp.trim()).is_ok());
+        // SIGINT/SIGTERM path: drain, don't kill.
+        s.request_drain();
+        let summary = acceptor.join().unwrap().unwrap();
+        assert_eq!(summary.requests, 1);
+        // The idle session was unblocked and closed: EOF, not a hang.
+        let mut rest = String::new();
+        assert_eq!(reader.read_line(&mut rest).unwrap(), 0);
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! A minimal SIGINT/SIGTERM latch.
+//!
+//! The serving daemon (`autopipe serve`) must drain on Ctrl-C or a
+//! `kill -TERM`: finish in-flight requests, flush telemetry and close
+//! the disk cache instead of dying mid-write. The standard library
+//! offers no signal handling, the workspace forbids `unsafe` and bakes
+//! in no external crates — so the two lines of FFI live here, in the
+//! one crate that opts out of `forbid(unsafe_code)`, behind an API too
+//! small to misuse:
+//!
+//! * [`install`] registers a handler for `SIGINT` and `SIGTERM`;
+//! * [`termination_requested`] reports (from any thread) whether one
+//!   arrived.
+//!
+//! The handler itself only stores to an [`AtomicBool`] — the only
+//! async-signal-safe action it could take — and everything else
+//! happens on ordinary threads that poll the latch. On non-Unix
+//! targets [`install`] is a no-op and the latch never trips.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATION: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    extern "C" {
+        /// `signal(2)`. Via glibc/musl this installs a BSD-semantics
+        /// handler (persistent, restarting syscalls), which is exactly
+        /// right for a latch that threads poll.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Async-signal-safe by construction: a single atomic store.
+    extern "C" fn on_signal(_signum: i32) {
+        super::TERMINATION.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub(super) fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub(super) fn install() {}
+}
+
+/// Latches `SIGINT`/`SIGTERM` into [`termination_requested`] instead
+/// of the default die-now disposition. Idempotent; call once near
+/// process start.
+pub fn install() {
+    imp::install();
+}
+
+/// True once a `SIGINT` or `SIGTERM` has arrived since [`install`].
+#[must_use]
+pub fn termination_requested() -> bool {
+    TERMINATION.load(Ordering::SeqCst)
+}
+
+/// Clears the latch (tests; a daemon that drains and restarts).
+pub fn reset() {
+    TERMINATION.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_starts_clear_and_resets() {
+        reset();
+        assert!(!termination_requested());
+        TERMINATION.store(true, Ordering::SeqCst);
+        assert!(termination_requested());
+        reset();
+        assert!(!termination_requested());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn installed_handler_latches_a_real_signal() {
+        install();
+        reset();
+        // `raise(3)` via the same minimal FFI surface the crate already
+        // carries; SIGTERM would kill the test process if the handler
+        // were not installed.
+        extern "C" {
+            fn raise(signum: i32) -> i32;
+        }
+        let rc = unsafe { raise(15) };
+        assert_eq!(rc, 0);
+        // Delivery is synchronous for raise() on the calling thread.
+        assert!(termination_requested());
+        reset();
+    }
+}

@@ -113,6 +113,17 @@ impl Track {
         }
     }
 
+    /// Per-fault events of a chaos sweep (`autopipe chaos`), indexed by
+    /// the fault's catalog position. Deterministic: the sweep injects
+    /// faults from a seeded plan and records one scenario at a time.
+    #[must_use]
+    pub fn chaos(i: usize) -> Track {
+        Track {
+            group: 14,
+            index: i as u32,
+        }
+    }
+
     /// Per-request events of a serving session (`autopipe serve`),
     /// indexed by the request's position within its own trace.
     /// Deterministic: each request owns a private [`Trace`], so the

@@ -11,6 +11,7 @@
 //!   initial state as the base case (and as a fallback bounded check
 //!   when induction is inconclusive).
 
+use crate::chaos::{backoff_delay, Fault, FaultPlan, CRASH_RETRIES};
 use crate::cnf::{apply_sign, tseitin_and};
 use crate::pool;
 use crate::sat::{Lit, SatResult, SolveBudget, Solver, SolverStats, Var};
@@ -483,6 +484,12 @@ pub enum BmcOutcome {
     /// cancellation) fired. Not a failure — but not a proof either;
     /// reports carrying this outcome are *partial*.
     TimedOut,
+    /// The worker task solving this obligation panicked and the panic
+    /// was retried past [`crate::chaos::CRASH_RETRIES`] (or the clock
+    /// ran out mid-retry). Like [`BmcOutcome::TimedOut`] this is a
+    /// *partial* outcome, never a verdict: crashed entries are neither
+    /// cached nor counted as proofs.
+    Crashed,
 }
 
 /// Result alias used by the public helpers.
@@ -783,6 +790,12 @@ impl ObligationReport {
     pub fn timed_out(&self) -> bool {
         matches!(self.outcome, BmcOutcome::TimedOut)
     }
+
+    /// True when the obligation's worker crashed past its retry
+    /// allowance ([`BmcOutcome::Crashed`]).
+    pub fn crashed(&self) -> bool {
+        matches!(self.outcome, BmcOutcome::Crashed)
+    }
 }
 
 /// Resource bounds for a batch obligation check
@@ -804,6 +817,11 @@ pub struct ObligationBudget {
     /// Cooperative cancellation token shared with the pool workers;
     /// raising it aborts the batch cleanly (`None` = none).
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Infrastructure-fault injection plan ([`crate::chaos`]); `None`
+    /// (and the inactive plan) means no faults. Not a resource bound:
+    /// an otherwise-unlimited budget with a chaos plan still counts as
+    /// unlimited.
+    pub chaos: Option<Arc<FaultPlan>>,
 }
 
 impl ObligationBudget {
@@ -831,6 +849,13 @@ impl ObligationBudget {
     #[must_use]
     pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> ObligationBudget {
         self.cancel = Some(cancel);
+        self
+    }
+
+    /// Attaches an infrastructure-fault injection plan.
+    #[must_use]
+    pub fn with_chaos(mut self, plan: Arc<FaultPlan>) -> ObligationBudget {
+        self.chaos = Some(plan);
         self
     }
 
@@ -926,6 +951,7 @@ pub fn outcome_name(outcome: BmcOutcome) -> &'static str {
         BmcOutcome::BoundedOk { .. } => "bounded",
         BmcOutcome::Violated { .. } => "violated",
         BmcOutcome::TimedOut => "timed_out",
+        BmcOutcome::Crashed => "crashed",
     }
 }
 
@@ -960,7 +986,7 @@ pub fn check_obligations_traced(
         cancel: budget.cancel.clone(),
     };
     let names: Vec<&Obligation> = obligations.iter().collect();
-    let reports = pool::run_tasks_traced(
+    let reports = pool::run_tasks_recover_traced(
         jobs,
         obligations
             .iter()
@@ -977,29 +1003,71 @@ pub fn check_obligations_traced(
                     // Retry with an escalating conflict budget until a
                     // verdict lands or the wall-clock bounds fire.
                     let mut conflicts = budget.initial_conflicts;
+                    // An injected budget storm collapses this
+                    // obligation's first-attempt conflict allowance to
+                    // 1; the escalation ladder below recovers it.
+                    if let Some(plan) = &budget.chaos {
+                        if plan.fires(Fault::BudgetStorm, idx as u64) {
+                            conflicts = Some(1);
+                        }
+                    }
                     let mut stats = SolveStats::default();
+                    let mut crashes: u64 = 0;
                     let outcome = loop {
                         stats.attempts += 1;
+                        let attempt_idx = stats.attempts - 1;
                         let attempt = SolveBudget {
                             max_conflicts: conflicts,
                             ..walls.clone()
                         };
-                        let outcome = match ob.class {
-                            ObligationClass::Combinational => {
-                                // Tautology over arbitrary (even
-                                // unreachable) states; fall back to
-                                // reachable-state induction otherwise.
-                                match kinduction_comb_cached(step, prop, &attempt, &mut stats) {
-                                    Some(true) => BmcOutcome::Proved { k: 0 },
-                                    Some(false) => kinduction_cached_bounded_stats(
+                        // Panic isolation: a crash inside the solve
+                        // (injected or real) is retried with backoff up
+                        // to CRASH_RETRIES, then reported as Crashed.
+                        let attempted =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                if let Some(plan) = &budget.chaos {
+                                    if plan.fires_attempt(
+                                        Fault::WorkerPanic,
+                                        idx as u64,
+                                        attempt_idx,
+                                    ) {
+                                        panic!("chaos: injected worker panic in `{}`", ob.name);
+                                    }
+                                    if plan.fires_attempt(
+                                        Fault::SlowSolver,
+                                        idx as u64,
+                                        attempt_idx,
+                                    ) {
+                                        std::thread::sleep(plan.slow_delay());
+                                    }
+                                }
+                                match ob.class {
+                                    ObligationClass::Combinational => {
+                                        // Tautology over arbitrary (even
+                                        // unreachable) states; fall back to
+                                        // reachable-state induction otherwise.
+                                        match kinduction_comb_cached(
+                                            step, prop, &attempt, &mut stats,
+                                        ) {
+                                            Some(true) => BmcOutcome::Proved { k: 0 },
+                                            Some(false) => kinduction_cached_bounded_stats(
+                                                base, step, prop, max_k, &attempt, &mut stats,
+                                            ),
+                                            None => BmcOutcome::TimedOut,
+                                        }
+                                    }
+                                    ObligationClass::Inductive => kinduction_cached_bounded_stats(
                                         base, step, prop, max_k, &attempt, &mut stats,
                                     ),
-                                    None => BmcOutcome::TimedOut,
                                 }
+                            }));
+                        let Ok(outcome) = attempted else {
+                            crashes += 1;
+                            if crashes > CRASH_RETRIES || walls.out_of_time() {
+                                break BmcOutcome::Crashed;
                             }
-                            ObligationClass::Inductive => kinduction_cached_bounded_stats(
-                                base, step, prop, max_k, &attempt, &mut stats,
-                            ),
+                            std::thread::sleep(backoff_delay(crashes - 1));
+                            continue;
                         };
                         if outcome != BmcOutcome::TimedOut || walls.out_of_time() {
                             break outcome;
@@ -1018,7 +1086,7 @@ pub fn check_obligations_traced(
                         BmcOutcome::Proved { k } => span.arg("k", k),
                         BmcOutcome::BoundedOk { depth } => span.arg("depth", depth),
                         BmcOutcome::Violated { frame } => span.arg("frame", frame),
-                        BmcOutcome::TimedOut => {}
+                        BmcOutcome::TimedOut | BmcOutcome::Crashed => {}
                     }
                     span.args(stats.trace_args());
                     span.end();
@@ -1037,6 +1105,16 @@ pub fn check_obligations_traced(
             name: names[i].name.clone(),
             class: names[i].class,
             outcome: BmcOutcome::TimedOut,
+            micros: 0,
+            stats: SolveStats::default(),
+        },
+        // Last line of defense: a panic that escapes the per-attempt
+        // retry ladder above (e.g. from the tracing shim itself) still
+        // lands as a Crashed slot instead of poisoning the pool.
+        |i, _payload| ObligationReport {
+            name: names[i].name.clone(),
+            class: names[i].class,
+            outcome: BmcOutcome::Crashed,
             micros: 0,
             stats: SolveStats::default(),
         },
@@ -1061,9 +1139,11 @@ pub fn check_obligations_traced(
         .filter(|r| matches!(r.outcome, BmcOutcome::Proved { .. }))
         .count();
     let timed_out = reports.iter().filter(|r| r.timed_out()).count();
+    let crashed = reports.iter().filter(|r| r.crashed()).count();
     phase.arg("count", reports.len());
     phase.arg("proved", proved);
     phase.arg("timed_out", timed_out);
+    phase.arg("crashed", crashed);
     phase.end();
     Ok(reports)
 }
@@ -1152,6 +1232,7 @@ mod tests {
             BmcOutcome::Proved { .. } => {}
             BmcOutcome::Violated { frame } => panic!("spurious cex at {frame}"),
             BmcOutcome::TimedOut => panic!("unbounded run cannot time out"),
+            BmcOutcome::Crashed => panic!("nothing to crash here"),
         }
     }
 
@@ -1252,6 +1333,63 @@ mod tests {
         assert!(!seq[1].ok());
         assert!(!seq[2].ok());
         assert!(seq[3].ok());
+    }
+
+    #[test]
+    fn transient_chaos_recovers_clean_verdicts() {
+        // Each transient fault fires on every obligation's first
+        // attempt (rate = ALWAYS); the retry ladder must still land
+        // the exact clean-run verdicts, for any jobs.
+        let (mut nl, ok) = counter_netlist();
+        let out = nl.find("cnt").unwrap();
+        let mut obs = vec![Obligation {
+            name: "never7".into(),
+            class: ObligationClass::Inductive,
+            net: ok,
+        }];
+        for v in [3u64, 6] {
+            let c = nl.constant(v, 3);
+            let bad = nl.eq(out, c);
+            let okn = nl.not(bad);
+            let okn = nl.label(format!("ok{v}"), okn);
+            obs.push(Obligation {
+                name: format!("never{v}"),
+                class: ObligationClass::Inductive,
+                net: okn,
+            });
+        }
+        let clean = check_obligations(&nl, &obs, 8).unwrap();
+        for fault in [Fault::WorkerPanic, Fault::SlowSolver, Fault::BudgetStorm] {
+            let plan =
+                Arc::new(FaultPlan::single(7, fault).with_slow_delay(Duration::from_millis(1)));
+            let budget = ObligationBudget::unlimited().with_chaos(Arc::clone(&plan));
+            for jobs in [1, 3] {
+                let got = check_obligations_bounded(&nl, &obs, 8, jobs, &budget).unwrap();
+                assert_eq!(got.len(), clean.len());
+                for (a, b) in got.iter().zip(&clean) {
+                    assert_eq!(a.outcome, b.outcome, "{fault:?} {} jobs={jobs}", a.name);
+                }
+            }
+            assert!(plan.fired(fault) > 0, "{fault:?} never injected");
+        }
+    }
+
+    #[test]
+    fn permanent_worker_panic_yields_crashed_not_abort() {
+        let (nl, ok) = counter_netlist();
+        let obs = [Obligation {
+            name: "never7".into(),
+            class: ObligationClass::Inductive,
+            net: ok,
+        }];
+        let plan = Arc::new(FaultPlan::single(0, Fault::WorkerPanic).make_permanent());
+        let budget = ObligationBudget::unlimited().with_chaos(plan);
+        let got = check_obligations_bounded(&nl, &obs, 8, 2, &budget).unwrap();
+        assert_eq!(got[0].outcome, BmcOutcome::Crashed);
+        // Crashed is partial, not a failure: ok() but not a verdict.
+        assert!(got[0].crashed() && got[0].ok());
+        // The crash was retried before giving up.
+        assert_eq!(got[0].stats.attempts, CRASH_RETRIES + 1);
     }
 
     #[test]

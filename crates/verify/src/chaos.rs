@@ -1,0 +1,373 @@
+//! Deterministic, seeded infrastructure-fault injection.
+//!
+//! PR 3's `hdl::mutate` injects faults into the *netlist* to prove the
+//! verification stack catches broken hardware. This module injects
+//! faults into the *infrastructure* — the proof cache, the worker
+//! pool, the serving loops — to prove the tool itself degrades
+//! gracefully: a torn cache write, a panicking solver task or an
+//! overload burst must never abort a run, leave torn state behind, or
+//! (worst of all) let an unsound verdict through.
+//!
+//! ## Determinism contract
+//!
+//! A [`FaultPlan`] is *stateless* about firing decisions: whether a
+//! fault fires at a given site is a pure hash of `(seed, fault, site)`
+//! ([`FaultPlan::fires`]), never a function of call order or thread
+//! interleaving. Sites are stable identities — an obligation's index,
+//! a cache entry's stem — so the same seed injects the same faults in
+//! the same places for any `-j`, and recovered reports stay
+//! byte-deterministic. The atomic counters only *observe* firings for
+//! reporting; they never influence them.
+//!
+//! ## Transience convention
+//!
+//! Injected faults model crashes and transient I/O trouble, not
+//! permanently broken hardware, so injection sites that retry pass an
+//! attempt index and the plan fires on attempt 0 only
+//! ([`FaultPlan::fires_attempt`]) — the recovery ladder (escalating
+//! retry with [`backoff_delay`], quarantine-and-re-prove, re-solve on
+//! miss) must then succeed. [`FaultPlan::permanent`] lifts the
+//! convention for tests that pin the give-up paths (e.g. the
+//! [`crate::BmcOutcome::Crashed`] verdict after every retry panics).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// One injectable infrastructure fault. The catalog covers every
+/// system surface a serving deployment exercises: the on-disk proof
+/// cache, the solver pool, the request transport and the admission
+/// budget machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// A proof-cache store is cut off mid-write: the entry file holds
+    /// a truncated prefix, as after a crash or a full disk.
+    TornCacheWrite,
+    /// One bit of a stored proof-cache entry is flipped on disk
+    /// (media corruption); the per-entry checksum must catch it.
+    BitFlipEntry,
+    /// Reading a proof-cache entry fails with an I/O error.
+    CacheReadError,
+    /// Writing a proof-cache entry fails with an I/O error.
+    CacheWriteError,
+    /// A solver worker task panics mid-obligation.
+    WorkerPanic,
+    /// A solver task is artificially slow (stuck I/O, cold page cache,
+    /// a noisy neighbour) — correctness must not depend on timing.
+    SlowSolver,
+    /// A client drops its TCP connection mid-request.
+    Disconnect,
+    /// A clock-budget exhaustion storm: the first solve attempt gets a
+    /// collapsed conflict budget, forcing the escalating-retry ladder
+    /// to climb back up.
+    BudgetStorm,
+}
+
+impl Fault {
+    /// Every fault, in catalog (and sweep) order.
+    pub const CATALOG: [Fault; 8] = [
+        Fault::TornCacheWrite,
+        Fault::BitFlipEntry,
+        Fault::CacheReadError,
+        Fault::CacheWriteError,
+        Fault::WorkerPanic,
+        Fault::SlowSolver,
+        Fault::Disconnect,
+        Fault::BudgetStorm,
+    ];
+
+    /// Stable wire/report name of the fault.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Fault::TornCacheWrite => "torn_cache_write",
+            Fault::BitFlipEntry => "bit_flip_entry",
+            Fault::CacheReadError => "cache_read_error",
+            Fault::CacheWriteError => "cache_write_error",
+            Fault::WorkerPanic => "worker_panic",
+            Fault::SlowSolver => "slow_solver",
+            Fault::Disconnect => "disconnect",
+            Fault::BudgetStorm => "budget_storm",
+        }
+    }
+
+    /// One-line description for reports and docs.
+    #[must_use]
+    pub fn describe(self) -> &'static str {
+        match self {
+            Fault::TornCacheWrite => "cache entry truncated mid-write",
+            Fault::BitFlipEntry => "stored cache entry bit-flipped on disk",
+            Fault::CacheReadError => "cache entry read fails with an I/O error",
+            Fault::CacheWriteError => "cache entry write fails with an I/O error",
+            Fault::WorkerPanic => "solver worker task panics",
+            Fault::SlowSolver => "solver task artificially delayed",
+            Fault::Disconnect => "client TCP session drops mid-request",
+            Fault::BudgetStorm => "first solve attempt gets a collapsed conflict budget",
+        }
+    }
+
+    fn tag(self) -> usize {
+        match self {
+            Fault::TornCacheWrite => 0,
+            Fault::BitFlipEntry => 1,
+            Fault::CacheReadError => 2,
+            Fault::CacheWriteError => 3,
+            Fault::WorkerPanic => 4,
+            Fault::SlowSolver => 5,
+            Fault::Disconnect => 6,
+            Fault::BudgetStorm => 7,
+        }
+    }
+}
+
+const N_FAULTS: usize = Fault::CATALOG.len();
+
+/// An injection rate meaning "fire at every site".
+pub const ALWAYS: u8 = u8::MAX;
+
+/// Attempts a crashed obligation is retried before it settles on
+/// [`crate::BmcOutcome::Crashed`] (so an obligation gets
+/// `1 + CRASH_RETRIES` chances to run).
+pub const CRASH_RETRIES: u64 = 2;
+
+/// Exponential backoff before retry `attempt` (0-based): 1 ms doubled
+/// per attempt, capped at 64 ms. Sleeping never influences verdicts —
+/// it only spaces out retries of transient faults.
+#[must_use]
+pub fn backoff_delay(attempt: u64) -> Duration {
+    Duration::from_millis(1u64 << attempt.min(6))
+}
+
+/// splitmix64 — the same small mixer the mutation catalog uses; good
+/// enough to decorrelate (seed, fault, site) triples.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A seeded plan of which infrastructure faults fire where. Cheap to
+/// share (`Arc`) and cheap to consult: an all-zero-rate plan (the
+/// default, [`FaultPlan::none`]) answers every query with one branch.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Per-fault injection rate out of 256 (0 = off, [`ALWAYS`] = every
+    /// site).
+    rates: [u8; N_FAULTS],
+    /// Faults fire on every retry attempt, not just the first (tests of
+    /// the give-up paths).
+    permanent: bool,
+    /// Injected-delay length for [`Fault::SlowSolver`].
+    slow_delay: Duration,
+    /// Observed firings, per fault (reporting only — see the module
+    /// docs' determinism contract).
+    fired: [AtomicU64; N_FAULTS],
+}
+
+impl FaultPlan {
+    /// A plan with every fault disabled — the zero-overhead default
+    /// every production code path carries.
+    #[must_use]
+    pub fn none() -> FaultPlan {
+        FaultPlan::new(0)
+    }
+
+    /// An empty plan under `seed`; enable faults with
+    /// [`FaultPlan::with`].
+    #[must_use]
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rates: [0; N_FAULTS],
+            permanent: false,
+            slow_delay: Duration::from_millis(25),
+            fired: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Enables `fault` at `rate`/256 of its sites ([`ALWAYS`] = all).
+    #[must_use]
+    pub fn with(mut self, fault: Fault, rate: u8) -> FaultPlan {
+        self.rates[fault.tag()] = rate;
+        self
+    }
+
+    /// A plan injecting exactly one fault at every site — the sweep's
+    /// per-fault configuration.
+    #[must_use]
+    pub fn single(seed: u64, fault: Fault) -> FaultPlan {
+        FaultPlan::new(seed).with(fault, ALWAYS)
+    }
+
+    /// Makes faults fire on every retry attempt instead of only the
+    /// first (see the module docs' transience convention).
+    #[must_use]
+    pub fn make_permanent(mut self) -> FaultPlan {
+        self.permanent = true;
+        self
+    }
+
+    /// Overrides the injected [`Fault::SlowSolver`] delay.
+    #[must_use]
+    pub fn with_slow_delay(mut self, delay: Duration) -> FaultPlan {
+        self.slow_delay = delay;
+        self
+    }
+
+    /// The injected [`Fault::SlowSolver`] delay.
+    #[must_use]
+    pub fn slow_delay(&self) -> Duration {
+        self.slow_delay
+    }
+
+    /// The plan's seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True when at least one fault has a non-zero rate.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.rates.iter().any(|&r| r > 0)
+    }
+
+    /// Pure firing decision for `fault` at `site`: a hash of
+    /// `(seed, fault, site)` under the fault's rate. Does not count.
+    #[must_use]
+    pub fn would_fire(&self, fault: Fault, site: u64) -> bool {
+        let rate = self.rates[fault.tag()];
+        if rate == 0 {
+            return false;
+        }
+        let hashed = (mix(self
+            .seed
+            .wrapping_mul(0x2545_f491_4f6c_dd1d)
+            .wrapping_add(fault.tag() as u64)
+            .rotate_left(17)
+            ^ site)
+            & 0xff) as u8;
+        rate == ALWAYS || hashed < rate
+    }
+
+    /// [`FaultPlan::would_fire`] that also counts the firing.
+    #[must_use]
+    pub fn fires(&self, fault: Fault, site: u64) -> bool {
+        let f = self.would_fire(fault, site);
+        if f {
+            self.record(fault);
+        }
+        f
+    }
+
+    /// [`FaultPlan::fires`] at a retrying site: injects on attempt 0
+    /// only (every attempt under [`FaultPlan::make_permanent`]).
+    #[must_use]
+    pub fn fires_attempt(&self, fault: Fault, site: u64, attempt: u64) -> bool {
+        (attempt == 0 || self.permanent) && self.fires(fault, site)
+    }
+
+    /// Counts a firing decided elsewhere (e.g. a damage-once site that
+    /// consulted [`FaultPlan::would_fire`] first).
+    pub fn record(&self, fault: Fault) {
+        self.fired[fault.tag()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// How often `fault` fired so far.
+    #[must_use]
+    pub fn fired(&self, fault: Fault) -> u64 {
+        self.fired[fault.tag()].load(Ordering::Relaxed)
+    }
+
+    /// Total firings across the catalog.
+    #[must_use]
+    pub fn total_fired(&self) -> u64 {
+        Fault::CATALOG.iter().map(|&f| self.fired(f)).sum()
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn firing_is_a_pure_function_of_seed_fault_site() {
+        let a = FaultPlan::new(7).with(Fault::WorkerPanic, 128);
+        let b = FaultPlan::new(7).with(Fault::WorkerPanic, 128);
+        for site in 0..512u64 {
+            assert_eq!(
+                a.would_fire(Fault::WorkerPanic, site),
+                b.would_fire(Fault::WorkerPanic, site),
+                "site {site}"
+            );
+        }
+        // And calling order does not matter: querying sites backwards
+        // gives the same answers.
+        let backwards: Vec<bool> = (0..512u64)
+            .rev()
+            .map(|s| a.would_fire(Fault::WorkerPanic, s))
+            .collect();
+        let forwards: Vec<bool> = (0..512u64)
+            .map(|s| b.would_fire(Fault::WorkerPanic, s))
+            .collect();
+        assert_eq!(backwards.into_iter().rev().collect::<Vec<_>>(), forwards);
+    }
+
+    #[test]
+    fn rates_zero_and_always_are_exact() {
+        let off = FaultPlan::none();
+        let on = FaultPlan::single(3, Fault::BitFlipEntry);
+        for site in 0..256u64 {
+            assert!(!off.would_fire(Fault::BitFlipEntry, site));
+            assert!(on.would_fire(Fault::BitFlipEntry, site));
+            // Other faults in a single-fault plan stay silent.
+            assert!(!on.would_fire(Fault::TornCacheWrite, site));
+        }
+        assert!(!off.is_active());
+        assert!(on.is_active());
+    }
+
+    #[test]
+    fn partial_rates_fire_roughly_proportionally_and_differ_by_seed() {
+        let plan = FaultPlan::new(11).with(Fault::CacheReadError, 64); // 25%
+        let hits = (0..4096u64)
+            .filter(|&s| plan.would_fire(Fault::CacheReadError, s))
+            .count();
+        assert!((600..1500).contains(&hits), "25% of 4096, got {hits}");
+        let other = FaultPlan::new(12).with(Fault::CacheReadError, 64);
+        let same = (0..4096u64)
+            .filter(|&s| {
+                plan.would_fire(Fault::CacheReadError, s)
+                    == other.would_fire(Fault::CacheReadError, s)
+            })
+            .count();
+        assert!(same < 4096, "different seeds must differ somewhere");
+    }
+
+    #[test]
+    fn attempt_convention_and_counters() {
+        let plan = FaultPlan::single(0, Fault::WorkerPanic);
+        assert!(plan.fires_attempt(Fault::WorkerPanic, 5, 0));
+        assert!(!plan.fires_attempt(Fault::WorkerPanic, 5, 1));
+        assert_eq!(plan.fired(Fault::WorkerPanic), 1);
+        let perm = FaultPlan::single(0, Fault::WorkerPanic).make_permanent();
+        assert!(perm.fires_attempt(Fault::WorkerPanic, 5, 3));
+        assert_eq!(perm.total_fired(), 1);
+    }
+
+    #[test]
+    fn backoff_escalates_and_caps() {
+        assert_eq!(backoff_delay(0), Duration::from_millis(1));
+        assert_eq!(backoff_delay(1), Duration::from_millis(2));
+        assert_eq!(backoff_delay(3), Duration::from_millis(8));
+        assert_eq!(backoff_delay(6), Duration::from_millis(64));
+        assert_eq!(backoff_delay(60), Duration::from_millis(64));
+    }
+}

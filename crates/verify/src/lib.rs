@@ -30,6 +30,12 @@
 //!   counterexamples,
 //! * [`cex`] — counterexample ergonomics: greedy trace minimization
 //!   against simulator replay and VCD witness dumping,
+//! * [`chaos`] — a deterministic, seeded infrastructure-fault catalog
+//!   ([`FaultPlan`]): torn cache writes, bit-flipped entries, injected
+//!   IO errors, worker panics, slow solvers, dropped sessions and
+//!   budget-exhaustion storms, used by the serve layer and the
+//!   `autopipe chaos` kill-matrix sweep to prove every fault is
+//!   survivable,
 //! * [`incremental`] — obligation-granular subset solving with
 //!   replayable counterexample capture, the verify-side contract of
 //!   the `autopipe serve` proof cache,
@@ -47,6 +53,7 @@
 
 pub mod bmc;
 pub mod cex;
+pub mod chaos;
 pub mod cnf;
 pub mod cosim;
 pub mod equiv;
@@ -63,6 +70,7 @@ pub use bmc::{
     ObligationReport, SolveStats,
 };
 pub use cex::{minimize_trace, replay_trace, replay_trace_on, write_vcd_witness};
+pub use chaos::{backoff_delay, Fault, FaultPlan, ALWAYS, CRASH_RETRIES};
 pub use cosim::{ConsistencyError, Cosim, CosimStats};
 pub use equiv::{
     fuzz_property, fuzz_property_on, lockstep_miter, netlist_miter, retirement_miter,

@@ -19,8 +19,26 @@
 //! seconds-long SAT calls the tasks perform.
 
 use autopipe_trace::{a, Trace, Track};
+use std::any::Any;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
+
+/// The payload a panicking task left behind.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// Best-effort rendering of a panic payload (`panic!` with a string or
+/// `String` message; anything else gets a placeholder).
+#[must_use]
+pub fn panic_message(payload: &PanicPayload) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
 
 /// The worker count meaning "one per available core".
 pub fn default_jobs() -> usize {
@@ -109,21 +127,69 @@ where
     C: Fn() -> bool + Sync,
     G: Fn(usize) -> T + Sync,
 {
+    run_tasks_recover_traced(
+        jobs,
+        tasks,
+        should_stop,
+        fallback,
+        // Default recovery policy: none — a panicking task re-raises on
+        // the calling thread during the merge, exactly as the bare
+        // scope join would have.
+        |_, payload| resume_unwind(payload),
+        trace,
+        label,
+    )
+}
+
+/// [`run_tasks_traced`] with panic isolation: every task runs under
+/// [`catch_unwind`], so one panicking closure cannot poison the pool or
+/// abort its siblings — the remaining tasks complete normally and the
+/// crashed slot is filled by `on_panic(task_index, payload)` during the
+/// in-order merge. This is the last line of defense behind the
+/// per-task retry ladders (see [`crate::chaos`]): a verification batch
+/// survives a crashing obligation with a `Crashed` entry in the report
+/// instead of taking the process down.
+pub fn run_tasks_recover_traced<T, F, C, G, P>(
+    jobs: usize,
+    tasks: Vec<F>,
+    should_stop: C,
+    fallback: G,
+    on_panic: P,
+    trace: &Trace,
+    label: &str,
+) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+    C: Fn() -> bool + Sync,
+    G: Fn(usize) -> T + Sync,
+    P: Fn(usize, PanicPayload) -> T + Sync,
+{
     let n = tasks.len();
     let jobs = resolve_jobs(jobs).min(n.max(1));
     if jobs <= 1 || n <= 1 {
         return tasks
             .into_iter()
             .enumerate()
-            .map(|(i, f)| if should_stop() { fallback(i) } else { f() })
+            .map(|(i, f)| {
+                if should_stop() {
+                    fallback(i)
+                } else {
+                    match catch_unwind(AssertUnwindSafe(f)) {
+                        Ok(r) => r,
+                        Err(payload) => on_panic(i, payload),
+                    }
+                }
+            })
             .collect();
     }
 
     // Task and result slots, indexed by task id. Workers `take` the
     // closure out of its slot (so it runs exactly once) and park the
-    // result in the matching slot.
+    // result — or the panic payload — in the matching slot.
     let tasks: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|f| Mutex::new(Some(f))).collect();
-    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<Result<T, PanicPayload>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
 
     // Per-worker deques seeded with contiguous chunks, so workers
     // start far apart and only collide once load imbalance develops.
@@ -170,7 +236,10 @@ where
                     let Some(i) = next else { break };
                     let f = tasks[i].lock().expect("task slot poisoned").take();
                     if let Some(f) = f {
-                        let r = f();
+                        // Panic isolation: a crashing task parks its
+                        // payload instead of unwinding through the
+                        // scope join (which would abort every sibling).
+                        let r = catch_unwind(AssertUnwindSafe(f));
                         ran += 1;
                         *results[i].lock().expect("result slot poisoned") = Some(r);
                     }
@@ -194,11 +263,13 @@ where
     results
         .into_iter()
         .enumerate()
-        .map(|(i, m)| {
-            m.into_inner()
-                .expect("result slot poisoned")
-                .unwrap_or_else(|| fallback(i))
-        })
+        .map(
+            |(i, m)| match m.into_inner().expect("result slot poisoned") {
+                Some(Ok(r)) => r,
+                Some(Err(payload)) => on_panic(i, payload),
+                None => fallback(i),
+            },
+        )
         .collect()
 }
 
@@ -341,6 +412,47 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn panicking_task_is_isolated_and_recovered() {
+        for jobs in [1, 2, 4] {
+            let tasks: Vec<Box<dyn FnOnce() -> i64 + Send>> = (0..16)
+                .map(|i| {
+                    Box::new(move || {
+                        if i == 5 {
+                            panic!("injected panic in task {i}");
+                        }
+                        i as i64
+                    }) as Box<dyn FnOnce() -> i64 + Send>
+                })
+                .collect();
+            let got = run_tasks_recover_traced(
+                jobs,
+                tasks,
+                || false,
+                |_| unreachable!("no cancellation"),
+                |i, payload| {
+                    assert_eq!(i, 5);
+                    assert!(panic_message(&payload).contains("injected panic"));
+                    -999
+                },
+                &Trace::disabled(),
+                "pool",
+            );
+            // Every sibling completed; only the crashed slot holds the
+            // recovery value.
+            let want: Vec<i64> = (0..16).map(|i| if i == 5 { -999 } else { i }).collect();
+            assert_eq!(got, want, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn default_policy_still_propagates_panics() {
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+            vec![Box::new(|| 1), Box::new(|| -> u32 { panic!("boom") })];
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| run_tasks(2, tasks)));
+        assert!(r.is_err(), "run_tasks keeps fail-fast semantics");
     }
 
     #[test]

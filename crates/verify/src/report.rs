@@ -161,11 +161,14 @@ impl VerificationReport {
     /// state to its own documented exit code.
     pub fn complete(&self) -> bool {
         !self.cosim_timed_out
-            && self.obligations.iter().all(|o| !o.timed_out())
+            && self
+                .obligations
+                .iter()
+                .all(|o| !o.timed_out() && !o.crashed())
             && self
                 .equivalence
                 .iter()
-                .all(|e| e.outcome != BmcOutcome::TimedOut)
+                .all(|e| e.outcome != BmcOutcome::TimedOut && e.outcome != BmcOutcome::Crashed)
     }
 
     /// Renders the wall-clock table: one row per obligation and
@@ -237,6 +240,7 @@ impl fmt::Display for VerificationReport {
             .filter(|o| matches!(o.outcome, BmcOutcome::Proved { .. }))
             .count();
         let timed_out = self.obligations.iter().filter(|o| o.timed_out()).count();
+        let crashed = self.obligations.iter().filter(|o| o.crashed()).count();
         write!(
             f,
             "obligations: {} total, {} proved, {} failed",
@@ -246,6 +250,9 @@ impl fmt::Display for VerificationReport {
         )?;
         if timed_out > 0 {
             write!(f, ", {timed_out} timed out")?;
+        }
+        if crashed > 0 {
+            write!(f, ", {crashed} crashed")?;
         }
         writeln!(f)?;
         for e in &self.equivalence {
@@ -308,6 +315,7 @@ pub fn verify_machine_traced(
         timeout: settings.timeout,
         initial_conflicts: settings.timeout.map(|_| 1 << 14),
         cancel: None,
+        chaos: None,
     };
 
     let obligations = check_obligations_traced(

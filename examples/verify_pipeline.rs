@@ -28,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             BmcOutcome::BoundedOk { depth } => format!("bounded ok (depth {depth})"),
             BmcOutcome::Violated { frame } => format!("VIOLATED at frame {frame}"),
             BmcOutcome::TimedOut => "timed out".into(),
+            BmcOutcome::Crashed => "crashed".into(),
         };
         println!("  [{:?}] {:<28} {}", r.class, r.name, verdict);
     }

@@ -24,7 +24,13 @@
 //!            cone (the proof-cache keys of `serve`)
 //!   serve    run the incremental verification daemon: line-delimited
 //!            JSON requests over stdio (or TCP with --tcp), answered
-//!            through a content-addressed proof cache
+//!            through a content-addressed proof cache; SIGINT/SIGTERM
+//!            drain in-flight requests and close the cache cleanly
+//!   chaos    run the infrastructure-fault kill matrix against a live
+//!            server: every fault in the catalog (torn cache writes,
+//!            bit flips, IO errors, worker panics, slow solvers,
+//!            disconnects, budget storms) plus an overload storm, each
+//!            of which must recover without an unsound verdict
 //!
 //! options:
 //!   --emit FILE     (synth) also write the pipelined Verilog to FILE
@@ -42,6 +48,7 @@
 //!   --timeout N     (verify) wall-clock budget in seconds; the report
 //!                   degrades to a partial one instead of hanging
 //!   --seed S        (mutate) catalog selection seed [1]
+//!                   (chaos) fault-plan seed [0]
 //!   --count N       (mutate) mutants to draw; 0 = whole catalog [0]
 //!   -j, --jobs N    (verify, mutate) worker threads; 0 = one per core
 //!   --trace FILE    record the run as deterministic NDJSON (byte-identical
@@ -55,6 +62,12 @@
 //!   --trace-dir DIR (serve) write per-request trace NDJSON into DIR
 //!   --hot-cap N     (serve) in-memory cache entry cap [4096]
 //!   --cache-cap N   (serve) on-disk cache entry cap [unbounded]
+//!   --max-active N  (serve) submissions solving concurrently before
+//!                   the admission queue engages; 0 = unlimited [0]
+//!   --max-queue N   (serve) submissions queueing for a solver slot;
+//!                   one more is shed with a `busy` response [0]
+//!   --json FILE     (chaos) write the BENCH_8 recovery-latency and
+//!                   shed-rate record to FILE
 //!   -h, --help      print this help
 //!   --version       print the version
 //! ```
@@ -70,9 +83,10 @@
 //! table on stderr.
 //!
 //! Exit status: 0 on success, 1 on diagnosed errors (parse, lowering,
-//! synthesis, verification, surviving mutants), 2 on command-line
-//! misuse *and* on deny-level `lint` findings, 3 when a `--timeout`
-//! expired and the (otherwise clean) report is partial.
+//! synthesis, verification, surviving mutants, unrecovered chaos
+//! faults), 2 on command-line misuse *and* on deny-level `lint`
+//! findings, 3 when a `--timeout` expired and the (otherwise clean)
+//! report is partial.
 
 use autopipe::analyze::{attach_spans, lint_design_traced, Level, LintConfig, LintReport};
 use autopipe::front::{compile_file_traced, emit_verilog, Compiled};
@@ -89,7 +103,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str =
-    "usage: autopipe <parse|lint|synth|verify|mutate|emit|report|hash|trace|serve> <design.psm> [options]
+    "usage: autopipe <parse|lint|synth|verify|mutate|emit|report|hash|trace|serve|chaos> <design.psm> [options]
   --emit FILE   (synth) write pipelined Verilog to FILE
   --proof FILE  (synth) write the proof document to FILE
   -o FILE       (emit) write Verilog to FILE instead of stdout
@@ -106,7 +120,7 @@ const USAGE: &str =
   --depth K     (verify, mutate) k-induction depth [2]
   --timeout N   (verify) wall-clock budget in seconds (partial report,
                 exit 3, instead of a hang)
-  --seed S      (mutate) catalog selection seed [1]
+  --seed S      (mutate) catalog selection seed [1]; (chaos) plan seed [0]
   --count N     (mutate) mutants to draw; 0 = whole catalog [0]
   -j, --jobs N  (verify, mutate) worker threads; 0 = one per core [1]
   --trace FILE  record the run as deterministic NDJSON (byte-identical
@@ -118,6 +132,9 @@ const USAGE: &str =
   --trace-dir DIR (serve) write per-request trace NDJSON into DIR
   --hot-cap N   (serve) in-memory cache entry cap [4096]
   --cache-cap N (serve) on-disk cache entry cap [unbounded]
+  --max-active N (serve) concurrent submissions before queueing; 0 = unlimited [0]
+  --max-queue N (serve) queued submissions before shedding `busy` [0]
+  --json FILE   (chaos) write the BENCH_8 record to FILE
   -h, --help    print this help
   --version     print the version";
 
@@ -145,6 +162,9 @@ struct Options {
     trace_dir: Option<PathBuf>,
     hot_cap: usize,
     cache_cap: Option<usize>,
+    max_active: usize,
+    max_queue: usize,
+    json: Option<PathBuf>,
     backend: Backend,
 }
 
@@ -194,9 +214,13 @@ fn parse_args() -> Result<Options, Early> {
         trace_dir: None,
         hot_cap: 4096,
         cache_cap: None,
+        max_active: 0,
+        max_queue: 0,
+        json: None,
         backend: Backend::Auto,
     };
     let mut args = std::env::args().skip(1);
+    let mut seed_given = false;
     while let Some(a) = args.next() {
         let file_arg = |args: &mut dyn Iterator<Item = String>| {
             args.next()
@@ -244,7 +268,10 @@ fn parse_args() -> Result<Options, Early> {
             }
             "--depth" | "--max-k" => o.depth = num_arg("--depth", &mut args)?,
             "--timeout" => o.timeout = Some(num_arg("--timeout", &mut args)?),
-            "--seed" => o.seed = num_arg("--seed", &mut args)?,
+            "--seed" => {
+                o.seed = num_arg("--seed", &mut args)?;
+                seed_given = true;
+            }
             "--count" => o.count = num_arg("--count", &mut args)?,
             // `--threads` kept as a hidden alias of the documented
             // spelling.
@@ -257,6 +284,9 @@ fn parse_args() -> Result<Options, Early> {
             "--trace-dir" => o.trace_dir = Some(file_arg(&mut args)?),
             "--hot-cap" => o.hot_cap = num_arg("--hot-cap", &mut args)?,
             "--cache-cap" => o.cache_cap = Some(num_arg("--cache-cap", &mut args)?),
+            "--max-active" => o.max_active = num_arg("--max-active", &mut args)?,
+            "--max-queue" => o.max_queue = num_arg("--max-queue", &mut args)?,
+            "--json" => o.json = Some(file_arg(&mut args)?),
             other if other.starts_with('-') => {
                 return Err(Early::Usage(format!("unknown option `{other}`")))
             }
@@ -266,6 +296,11 @@ fn parse_args() -> Result<Options, Early> {
         }
     }
     o.command = command.ok_or_else(|| Early::Usage("missing command".into()))?;
+    if o.command == "chaos" && !seed_given {
+        // The chaos plan's documented default seed is 0 (the mutate
+        // catalog's is 1).
+        o.seed = 0;
+    }
     if !matches!(
         o.command.as_str(),
         "parse"
@@ -278,6 +313,7 @@ fn parse_args() -> Result<Options, Early> {
             | "hash"
             | "trace"
             | "serve"
+            | "chaos"
     ) {
         return Err(Early::Usage(format!("unknown command `{}`", o.command)));
     }
@@ -442,8 +478,11 @@ fn write_trace_files(o: &Options, trace: &Trace) -> Result<(), String> {
 /// `autopipe serve`: run the incremental verification daemon on stdio,
 /// or on a local TCP port with `--tcp`. Per-request timing goes to
 /// stderr; response bytes on the protocol stream stay deterministic.
+/// SIGINT/SIGTERM drain instead of killing: in-flight requests finish,
+/// per-request traces are flushed, and the disk cache closes cleanly.
 fn serve_daemon(o: &Options) -> Result<ExitCode, String> {
     use autopipe::serve::{serve_stdio, serve_tcp, ServeConfig, Server};
+    use std::sync::Arc;
     let config = ServeConfig {
         cache_dir: o.cache.clone(),
         hot_cap: o.hot_cap,
@@ -452,11 +491,29 @@ fn serve_daemon(o: &Options) -> Result<ExitCode, String> {
         jobs: o.jobs,
         timeout_ms: o.timeout.map(|s| s.saturating_mul(1000)),
         trace_dir: o.trace_dir.clone(),
+        max_active: o.max_active,
+        max_queue: o.max_queue,
+        ..ServeConfig::default()
     };
+    let server = Arc::new(Server::new(config).map_err(|e| format!("serve: {e}"))?);
+    autopipe::sigshim::install();
+    {
+        // The signal watcher: a signal latches the shim, this thread
+        // turns it into a drain request the serving loops observe.
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            while !server.draining() {
+                if autopipe::sigshim::termination_requested() {
+                    errln("serve: signal received, draining");
+                    server.request_drain();
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        });
+    }
     let summary = match o.tcp {
         Some(port) => {
-            let server =
-                std::sync::Arc::new(Server::new(config).map_err(|e| format!("serve: {e}"))?);
             let listener = std::net::TcpListener::bind(("127.0.0.1", port))
                 .map_err(|e| format!("serve: cannot bind 127.0.0.1:{port}: {e}"))?;
             if let Ok(addr) = listener.local_addr() {
@@ -464,16 +521,16 @@ fn serve_daemon(o: &Options) -> Result<ExitCode, String> {
             }
             serve_tcp(&server, listener)
         }
-        None => {
-            let server = Server::new(config).map_err(|e| format!("serve: {e}"))?;
-            serve_stdio(
-                &server,
-                std::io::stdin().lock(),
-                std::io::stdout(),
-                std::io::stderr(),
-            )
-        }
+        None => serve_stdio(
+            &server,
+            std::io::stdin().lock(),
+            std::io::stdout(),
+            std::io::stderr(),
+        ),
     };
+    // Whatever ended the loops (EOF, shutdown request, drain), leave
+    // the disk store clean; `close` is idempotent.
+    server.close();
     // Like `out()`: a reader that goes away mid-stream ends the
     // session cleanly instead of failing the daemon.
     let summary = match summary {
@@ -488,6 +545,49 @@ fn serve_daemon(o: &Options) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `autopipe chaos`: the infrastructure-fault kill matrix of
+/// `docs/ROBUSTNESS.md` — every catalog fault injected against a live
+/// server plus a synthetic overload storm. The deterministic report
+/// goes to stdout; recovery latencies and the shed rate go to the
+/// `--json` BENCH_8 record.
+fn chaos_command(o: &Options, trace: &autopipe::trace::Trace) -> Result<ExitCode, String> {
+    use autopipe::serve::chaos::{run_chaos, ChaosSettings};
+    let src = std::fs::read_to_string(&o.path)
+        .map_err(|e| format!("cannot read {}: {e}", o.path.display()))?;
+    // Injected worker panics are part of the sweep; keep their
+    // default-hook noise off stderr and let everything else through.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.starts_with("chaos: injected"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+    let settings = ChaosSettings {
+        seed: o.seed,
+        jobs: o.jobs,
+        max_k: o.depth,
+        scratch: std::env::temp_dir().join(format!("autopipe-chaos-{}", std::process::id())),
+        ..ChaosSettings::new(PathBuf::new())
+    };
+    let result = run_chaos(&src, &settings, trace);
+    let _ = std::panic::take_hook();
+    let report = result?;
+    outln(&report);
+    if let Some(path) = &o.json {
+        write_out(path, &report.to_bench_json())?;
+        errln(format_args!("bench record written to {}", path.display()));
+    }
+    if report.passed() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Err("chaos: the sweep did not fully recover (see the report above)".into())
+    }
+}
+
 fn run(o: &Options) -> Result<ExitCode, String> {
     if o.command == "trace" {
         return trace_summary(o);
@@ -500,7 +600,11 @@ fn run(o: &Options) -> Result<ExitCode, String> {
     } else {
         Trace::disabled()
     };
-    let result = run_command(o, &trace);
+    let result = if o.command == "chaos" {
+        chaos_command(o, &trace)
+    } else {
+        run_command(o, &trace)
+    };
     // The telemetry of a failing run is exactly what one wants to look
     // at, so the sinks are written regardless of the outcome.
     match write_trace_files(o, &trace) {

@@ -210,6 +210,9 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(c) => return c,
     };
+    // Ctrl-C on a long run stops cleanly at a cycle boundary — state
+    // dump, VCD and telemetry still get written.
+    autopipe::sigshim::install();
     let trace = if o.trace.is_some() || o.profile.is_some() {
         Trace::new()
     } else {
@@ -440,6 +443,13 @@ sequential machine every cycle",
     let retire = *pm.control.ue.last().expect("stages");
     let mut retired = 0u64;
     for _ in 0..o.cycles {
+        if autopipe::sigshim::termination_requested() {
+            err(format_args!(
+                "dlx-run: interrupted, stopping cleanly after {} cycles\n",
+                sim.cycle()
+            ));
+            break;
+        }
         sim.settle();
         if sim.peek(retire) == 1 {
             retired += 1;

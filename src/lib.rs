@@ -40,7 +40,14 @@
 //!   a content-addressed proof cache keyed on canonical obligation-cone
 //!   digests ([`hdl::hash`]), so a resubmitted design answers from
 //!   cache in microseconds and an edit re-solves only the obligations
-//!   whose cones changed.
+//!   whose cones changed. Chaos-hardened: checksummed cache entries
+//!   with quarantine-and-rebuild, panic-isolated workers, bounded
+//!   admission with in-band load shedding, and a seeded fault-injection
+//!   sweep (`autopipe chaos`, [`serve::chaos`]) that proves every
+//!   infrastructure fault recovers without an unsound verdict (see
+//!   `docs/ROBUSTNESS.md`).
+//! * [`sigshim`] — the SIGINT/SIGTERM latch behind the daemon's
+//!   graceful drain (the one workspace crate with `unsafe` FFI).
 //!
 //! Every fallible step of that workflow returns a typed error that
 //! converts into the workspace-level [`Error`], so an end-to-end run
@@ -57,6 +64,7 @@ pub use autopipe_front as front;
 pub use autopipe_hdl as hdl;
 pub use autopipe_psm as psm;
 pub use autopipe_serve as serve;
+pub use autopipe_sigshim as sigshim;
 pub use autopipe_synth as synth;
 pub use autopipe_trace as trace;
 pub use autopipe_verify as verify;

@@ -1,0 +1,317 @@
+//! Chaos-hardening integration tests: the kill-matrix sweep stays
+//! byte-deterministic across worker counts, the `autopipe chaos` CLI
+//! reports a full recovery on the toy design, and — under randomized
+//! fault plans — recovered transcripts never diverge and a cached
+//! `Refuted` verdict that survives disk faults still passes the
+//! simulator replay guard.
+
+use autopipe::hdl::{cone_digest, mutate, Backend, NetId, Netlist};
+use autopipe::serve::{
+    run_chaos, CacheKey, ChaosReport, ChaosSettings, ProofCache, ServeConfig, Server, StoredVerdict,
+};
+use autopipe::synth::{ObligationClass, PipelineSynthesizer};
+use autopipe::trace::Trace;
+use autopipe::verify::bmc::CexTrace;
+use autopipe::verify::chaos::{Fault, FaultPlan, ALWAYS};
+use autopipe::verify::{check_selected_traced, refutes_on, BmcOutcome, ObligationBudget};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+const TOY: &str = include_str!("../examples/programs/toy.psm");
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("autopipe_chaos_it_{tag}_{}", std::process::id()))
+}
+
+// ------------------------------------------------------------- sweep
+
+fn sweep(jobs: usize, tag: &str) -> ChaosReport {
+    let settings = ChaosSettings {
+        jobs,
+        ..ChaosSettings::new(scratch_dir(tag))
+    };
+    run_chaos(TOY, &settings, &Trace::disabled()).expect("sweep runs")
+}
+
+/// The chaos analogue of the verify report's `--jobs` determinism
+/// contract: the rendered kill matrix is byte-identical no matter how
+/// many solver lanes the scenario servers ran — wall-clock recovery
+/// latencies and scheduling-dependent storm counts live only in the
+/// BENCH_8 record, never in the report.
+#[test]
+fn sweep_report_is_byte_identical_across_jobs() {
+    let r1 = sweep(1, "j1");
+    let r4 = sweep(4, "j4");
+    assert!(r1.passed(), "jobs=1 sweep must pass:\n{r1}");
+    assert!(r4.passed(), "jobs=4 sweep must pass:\n{r4}");
+    assert_eq!(
+        r1.to_string(),
+        r4.to_string(),
+        "kill-matrix report must be byte-identical for jobs=1 and jobs=4"
+    );
+    let text = r1.to_string();
+    assert!(
+        text.contains("chaos verdict: RECOVERED 8/8, zero unsound verdicts"),
+        "{text}"
+    );
+    for fault in Fault::CATALOG {
+        assert!(text.contains(fault.name()), "missing row: {}", fault.name());
+    }
+    // Per-fault injected counts are a pure function of the seed, so
+    // they too must agree — and every fault must actually have fired.
+    for (a, b) in r1.faults.iter().zip(&r4.faults) {
+        assert_eq!(a.injected, b.injected, "{}", a.fault.name());
+        assert!(a.injected > 0, "{} never fired", a.fault.name());
+    }
+}
+
+/// `autopipe chaos` end to end on the toy design: exit 0, the
+/// RECOVERED verdict on stdout, and a parseable BENCH_8 record.
+#[test]
+fn chaos_cli_runs_the_kill_matrix() {
+    let toy = format!("{}/examples/programs/toy.psm", env!("CARGO_MANIFEST_DIR"));
+    let bench =
+        std::env::temp_dir().join(format!("autopipe_chaos_bench_{}.json", std::process::id()));
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_autopipe"))
+        .args([
+            "chaos",
+            &toy,
+            "--seed",
+            "0",
+            "-j",
+            "2",
+            "--json",
+            &bench.to_string_lossy(),
+        ])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{stdout}\n{stderr}");
+    assert!(
+        stdout.contains("chaos verdict: RECOVERED 8/8, zero unsound verdicts"),
+        "{stdout}"
+    );
+    assert!(!stdout.contains("UNSOUND"), "{stdout}");
+    assert!(stderr.contains("bench record written to"), "{stderr}");
+    let record = std::fs::read_to_string(&bench).expect("bench record written");
+    let v = autopipe::serve::Json::parse(&record).expect("bench record parses");
+    assert_eq!(
+        v.get("schema").unwrap().as_str(),
+        Some("autopipe-bench-8"),
+        "{record}"
+    );
+    assert_eq!(v.get("recovered").unwrap().as_u64(), Some(8), "{record}");
+    assert_eq!(v.get("unsound").unwrap().as_bool(), Some(false), "{record}");
+    assert_eq!(
+        v.get("faults").unwrap().as_arr().unwrap().len(),
+        Fault::CATALOG.len(),
+        "{record}"
+    );
+    let _ = std::fs::remove_file(&bench);
+}
+
+// ---------------------------------------------- randomized fault plans
+
+/// Cold+warm submit transcript of the toy design on a server carrying
+/// `plan`, `jobs` solver lanes.
+fn faulty_transcript(jobs: usize, plan: FaultPlan) -> String {
+    let server = Server::new(ServeConfig {
+        jobs,
+        chaos: Arc::new(plan),
+        ..ServeConfig::default()
+    })
+    .expect("in-memory server");
+    let src = autopipe::trace::ndjson::escape(TOY);
+    let mut all = String::new();
+    for id in 0..2u64 {
+        all.push_str(&server.handle_line(&format!(
+            "{{\"id\":{id},\"op\":\"submit\",\"source\":\"{src}\"}}"
+        )));
+        all.push('\n');
+    }
+    all
+}
+
+/// The solver-side faults a transcript can recover from in-process
+/// (cache faults need a disk store; disconnects need a transport).
+fn solver_plan(seed: u64, rates: (u8, u8, u8)) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with(Fault::WorkerPanic, rates.0)
+        .with(Fault::SlowSolver, rates.1)
+        .with(Fault::BudgetStorm, rates.2)
+        .with_slow_delay(std::time::Duration::from_millis(1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4 })]
+
+    /// For *any* fault-plan seed and rate mix, recovery is invisible in
+    /// the response bytes: the transcript matches the fault-free one,
+    /// byte for byte, at every worker count — panicked obligations were
+    /// retried (never `Crashed`), collapsed budgets climbed back, and
+    /// injected delays never reordered anything observable.
+    #[test]
+    fn recovered_transcripts_are_byte_deterministic(
+        seed in any::<u64>(),
+        rates in (any::<u8>(), any::<u8>(), any::<u8>()),
+    ) {
+        let clean = faulty_transcript(1, FaultPlan::none());
+        prop_assert!(clean.contains("\"ok\":true"));
+        for jobs in [1usize, 4] {
+            let faulty = faulty_transcript(jobs, solver_plan(seed, rates));
+            prop_assert_eq!(
+                &clean, &faulty,
+                "seed {} rates {:?} jobs {} diverged from the fault-free transcript",
+                seed, rates, jobs
+            );
+        }
+    }
+}
+
+// ------------------------------------------------------ replay guard
+
+/// A real refutation to cache: the first killed mutant of the toy
+/// pipeline that yields a replayable counterexample. Computed once —
+/// synthesis plus mutant BMC is the expensive part of these tests.
+fn refutation() -> &'static (Netlist, NetId, usize, CexTrace) {
+    static FIXTURE: OnceLock<(Netlist, NetId, usize, CexTrace)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let compiled = autopipe::front::compile(TOY, "toy.psm").unwrap_or_else(|d| panic!("{d}"));
+        let plan = compiled.spec.plan().unwrap();
+        let pm = PipelineSynthesizer::new(compiled.options)
+            .run(&plan)
+            .unwrap();
+        let selected: Vec<usize> = (0..pm.obligations.len()).collect();
+        for m in &mutate::catalog(&pm.netlist) {
+            let mutant = mutate::apply(&pm.netlist, m);
+            let reports = check_selected_traced(
+                &mutant,
+                &pm.obligations,
+                &selected,
+                2,
+                1,
+                &ObligationBudget::unlimited(),
+                &Trace::disabled(),
+            )
+            .unwrap();
+            for rep in &reports {
+                if let (BmcOutcome::Violated { frame }, Some(cex)) = (&rep.report.outcome, &rep.cex)
+                {
+                    let net = pm.obligations[rep.index].net;
+                    return (mutant, net, *frame, cex.clone());
+                }
+            }
+        }
+        panic!("no mutant produced a replayable refutation");
+    })
+}
+
+fn refuted_key(mutant: &Netlist, net: NetId) -> CacheKey {
+    CacheKey {
+        digest: cone_digest(mutant, &[net]),
+        class: ObligationClass::Inductive,
+        max_k: 2,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12 })]
+
+    /// Satellite regression: a cached `Refuted` verdict stored under a
+    /// random disk-fault plan is either served *identically* — its
+    /// counterexample still replaying on the bit-parallel engine — or
+    /// not served at all (quarantined/retried), after which a healthy
+    /// re-store heals the stem. Corruption must never mutate evidence.
+    #[test]
+    fn cached_refutations_replay_after_fault_recovery(seed in any::<u64>()) {
+        let (mutant, net, frame, cex) = refutation();
+        let verdict = StoredVerdict::Refuted { frame: *frame, cex: cex.clone() };
+        let key = refuted_key(mutant, *net);
+        let disk_faults = [Fault::TornCacheWrite, Fault::BitFlipEntry, Fault::CacheWriteError];
+        let fault = disk_faults[(seed % 3) as usize];
+        let dir = scratch_dir(&format!("replay_{seed:x}"));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let writer = ProofCache::open_with_chaos(
+            Some(&dir), 64, None, Arc::new(FaultPlan::new(seed).with(fault, ALWAYS)),
+        ).unwrap();
+        writer.put(&key, &verdict);
+        writer.close();
+        drop(writer);
+
+        // A clean cache on the same store: whatever it serves must be
+        // the exact verdict, and its evidence must still replay.
+        let reader = ProofCache::open(Some(&dir), 64, None).unwrap();
+        match reader.get(&key) {
+            Some(StoredVerdict::Refuted { frame: f, cex: c }) => {
+                prop_assert_eq!(f, *frame);
+                prop_assert_eq!(&c, cex);
+                prop_assert!(
+                    refutes_on(mutant, *net, &c, Backend::Bitparallel).unwrap(),
+                    "served counterexample must replay on the Sim64 engine"
+                );
+            }
+            Some(other) => prop_assert!(false, "corruption changed the verdict: {other:?}"),
+            None => {
+                // Damaged on the way in; the store must have contained
+                // the damage (quarantine or nothing), and a healthy
+                // re-store heals the stem.
+                let (_, corrupt, _) = reader.fsck();
+                prop_assert_eq!(corrupt, 0, "corrupt entry left in the live store");
+                reader.put(&key, &verdict);
+                prop_assert_eq!(reader.get(&key), Some(verdict.clone()));
+            }
+        }
+        let (_, corrupt, tmp) = reader.fsck();
+        prop_assert_eq!((corrupt, tmp), (0, 0), "store must end clean");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Satellite regression (hand-made corruption, no injection): flip one
+/// bit of a stored entry on disk and the checksum guard must refuse to
+/// serve it — the entry quarantines, and a re-store heals the stem.
+#[test]
+fn hand_flipped_disk_entry_is_never_served() {
+    let (mutant, net, frame, cex) = refutation();
+    let verdict = StoredVerdict::Refuted {
+        frame: *frame,
+        cex: cex.clone(),
+    };
+    let key = refuted_key(mutant, *net);
+    let dir = scratch_dir("bitflip");
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let cache = ProofCache::open(Some(&dir), 64, None).unwrap();
+        cache.put(&key, &verdict);
+    }
+    // Flip one payload bit in the single stored entry file.
+    let stem = key.stem();
+    let path = dir.join("v1").join(&stem[..2]).join(format!("{stem}.json"));
+    let mut bytes = std::fs::read(&path).expect("entry on disk");
+    let mid = bytes.len() / 3;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let cache = ProofCache::open(Some(&dir), 64, None).unwrap();
+    assert_eq!(cache.get(&key), None, "flipped entry must read as a miss");
+    assert_eq!(
+        cache.quarantine_entries(),
+        1,
+        "flipped entry must quarantine"
+    );
+    assert_eq!(cache.stats().quarantined, 1);
+    // Re-prove-and-store heals; the healthy entry then replays.
+    cache.put(&key, &verdict);
+    match cache.get(&key) {
+        Some(StoredVerdict::Refuted { cex: c, .. }) => {
+            assert!(refutes_on(mutant, *net, &c, Backend::Bitparallel).unwrap());
+        }
+        other => panic!("healed entry must serve: {other:?}"),
+    }
+    let (entries, corrupt, tmp) = cache.fsck();
+    assert_eq!((entries, corrupt, tmp), (1, 0, 0));
+    let _ = std::fs::remove_dir_all(&dir);
+}

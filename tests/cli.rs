@@ -537,6 +537,108 @@ fn serve_stdio_roundtrip_with_cache_hits() {
     assert!(!stdout.contains(" ms"), "{stdout}");
 }
 
+/// Satellite regression for graceful shutdown: SIGTERM on a daemon
+/// busy with an in-flight submission drains instead of dying — the
+/// response still arrives complete, the exit is clean, and the disk
+/// cache holds no torn files, only entries that pass their checksum.
+#[cfg(unix)]
+#[test]
+fn serve_daemon_drains_on_sigterm_without_torn_cache() {
+    use autopipe::serve::StoredVerdict;
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::process::{Command, Stdio};
+
+    let cache = std::env::temp_dir().join(format!("autopipe_sigterm_cache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_autopipe"))
+        .args(["serve", "--tcp", "0", "--cache", &cache.to_string_lossy()])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon starts");
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let addr = {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if stderr.read_line(&mut line).unwrap() == 0 {
+                panic!("daemon exited before announcing its port");
+            }
+            if let Some(rest) = line.trim().strip_prefix("serve: listening on ") {
+                break rest.to_string();
+            }
+        }
+    };
+
+    let mut conn = std::net::TcpStream::connect(&addr).expect("daemon accepts");
+    writeln!(
+        conn,
+        "{{\"id\":1,\"op\":\"submit\",\"path\":\"{}\"}}",
+        example("toy.psm")
+    )
+    .unwrap();
+    conn.flush().unwrap();
+    // Give the session thread time to pick the request up, then kill
+    // the daemon while it is (very likely) still solving. Rust's
+    // `Child::kill` is SIGKILL, which would defeat the point — send a
+    // real SIGTERM.
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    let pid = child.id().to_string();
+    assert!(Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .unwrap()
+        .success());
+
+    // The drain contract: the in-flight response arrives complete.
+    let mut resp = String::new();
+    BufReader::new(conn)
+        .read_line(&mut resp)
+        .expect("response survives the drain");
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert!(resp.trim_end().ends_with('}'), "torn response: {resp}");
+
+    let mut rest = String::new();
+    stderr.read_to_string(&mut rest).unwrap();
+    let status = child.wait().unwrap();
+    assert_eq!(status.code(), Some(0), "{rest}");
+    assert!(rest.contains("serve: signal received, draining"), "{rest}");
+    assert!(rest.contains("serve: done"), "{rest}");
+
+    // No torn state: no leftover temporaries, and every stored entry
+    // passes its checksum.
+    let mut entries = 0;
+    let mut dirs = vec![cache.clone()];
+    while let Some(d) = dirs.pop() {
+        for e in std::fs::read_dir(&d).expect("cache dir exists").flatten() {
+            let path = e.path();
+            if path.is_dir() {
+                dirs.push(path);
+                continue;
+            }
+            let name = e.file_name().to_string_lossy().into_owned();
+            assert!(
+                !name.ends_with(".tmp"),
+                "torn temporary left behind: {name}"
+            );
+            if name.ends_with(".json") {
+                entries += 1;
+                let text = std::fs::read_to_string(&path).unwrap();
+                assert!(
+                    StoredVerdict::parse_disk(&text).is_some(),
+                    "corrupt entry after drain: {name}"
+                );
+            }
+        }
+    }
+    assert!(
+        entries > 0,
+        "the drained submission must have been persisted"
+    );
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
 /// `serve` rejects a positional argument; `hash` requires one.
 #[test]
 fn serve_and_hash_argument_validation() {
