@@ -89,6 +89,15 @@ pub const UNWRITTEN_REGISTER: &str = "AP0305";
 pub const DEAD_FORWARD_PATH: &str = "AP0306";
 /// Cross-check: an interlock whose hit signals are all constant false.
 pub const UNREACHABLE_INTERLOCK: &str = "AP0307";
+/// Timing: the critical path runs through a forwarding select cascade
+/// and exceeds the per-stage delay budget.
+pub const FORWARDING_CASCADE_CRITICAL_PATH: &str = "AP0401";
+/// Timing: a register whose fan-in cone has zero slack through a
+/// hazard cone.
+pub const ZERO_SLACK_REGISTER: &str = "AP0402";
+/// Timing: the structurally longest path is unsensitizable (a SAT
+/// proof shows no input ever exercises it).
+pub const FALSE_CRITICAL_PATH: &str = "AP0403";
 
 /// The full catalog, ordered by code.
 pub const CODES: &[CodeInfo] = &[
@@ -225,6 +234,34 @@ pub const CODES: &[CodeInfo] = &[
                   the interlock can never trigger",
         mechanism: "interlock generation (paper §4.1): cross-checked against the synthesized \
                     hit logic by constant propagation",
+    },
+    CodeInfo {
+        code: FORWARDING_CASCADE_CRITICAL_PATH,
+        name: "forwarding-cascade-critical-path",
+        default: Level::Warn,
+        summary: "the design's critical path runs through a forwarding select cascade and \
+                  exceeds the per-stage delay budget",
+        mechanism: "forwarding network cost (paper §7): stacked hit/bypass muxes are the \
+                    transformation's dominant delay contribution",
+    },
+    CodeInfo {
+        code: ZERO_SLACK_REGISTER,
+        name: "zero-slack-register",
+        default: Level::Warn,
+        summary: "a register's fan-in cone has zero timing slack through hazard-control \
+                  logic",
+        mechanism: "interlock generation (paper §4.1): stall/update-enable cones gate every \
+                    register and set the clock period",
+    },
+    CodeInfo {
+        code: FALSE_CRITICAL_PATH,
+        name: "false-critical-path",
+        default: Level::Warn,
+        summary: "the structurally longest path is unsensitizable: a SAT proof shows no \
+                  input valuation exercises it, so the structural report overstates the \
+                  critical delay",
+        mechanism: "hardware cost (paper §7): structural depth over-approximates true delay \
+                    when mux selects are correlated",
     },
 ];
 

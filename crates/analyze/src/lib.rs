@@ -32,6 +32,7 @@ pub mod crosscheck;
 pub mod dataflow;
 pub mod output;
 pub mod spans;
+pub mod sta;
 pub mod structural;
 
 pub use codes::{CodeInfo, Level, CODES};
@@ -308,8 +309,12 @@ pub fn lint_machine(
 ) -> LintReport {
     let mut report = LintReport::default();
     dataflow::run(plan, options, config, &mut report);
-    structural::run(&pm.netlist, config, &mut report);
+    // One shared graph walk for the structural and timing passes (and
+    // anything the caller reuses it for afterwards).
+    let analysis = autopipe_hdl::NetAnalysis::of(&pm.netlist);
+    structural::run_with(&pm.netlist, &analysis, config, &mut report);
     crosscheck::run(pm, options, config, &mut report);
+    sta::lint_timing(pm, &analysis, config, &mut report);
     exempt_visible_state(&mut report, plan);
     report.sort();
     report
@@ -384,8 +389,11 @@ pub fn lint_design_traced(
         ]);
         pm
     };
+    // One shared graph walk for the stage-cost counters and the
+    // structural and timing passes.
+    let analysis = autopipe_hdl::NetAnalysis::of(&pm.netlist);
     if trace.is_enabled() {
-        for cost in pm.stage_costs() {
+        for cost in pm.stage_costs_with(&analysis) {
             trace.counter(
                 Track::stage(cost.stage),
                 "stage",
@@ -405,13 +413,19 @@ pub fn lint_design_traced(
     {
         let before = report.findings.len();
         let mut span = trace.span(Track::RUN, "phase", "lint:structural");
-        structural::run(&pm.netlist, config, &mut report);
+        structural::run_with(&pm.netlist, &analysis, config, &mut report);
         span.arg("findings", report.findings.len() - before);
     }
     {
         let before = report.findings.len();
         let mut span = trace.span(Track::RUN, "phase", "lint:crosscheck");
         crosscheck::run(&pm, options, config, &mut report);
+        span.arg("findings", report.findings.len() - before);
+    }
+    {
+        let before = report.findings.len();
+        let mut span = trace.span(Track::RUN, "phase", "lint:timing");
+        sta::lint_timing(&pm, &analysis, config, &mut report);
         span.arg("findings", report.findings.len() - before);
     }
     exempt_visible_state(&mut report, plan);

@@ -10,7 +10,7 @@ use autopipe_front::diag::locate;
 use std::fmt::Write;
 
 /// JSON string escaping per RFC 8259.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {

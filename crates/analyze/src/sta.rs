@@ -1,0 +1,1334 @@
+//! Static timing analysis (`autopipe sta`) with SAT-backed false-path
+//! pruning and the `AP04xx` timing-lint family.
+//!
+//! The pass consumes the same shared [`NetAnalysis`] walk as the
+//! structural lints and the cost reports, so lint, `report` and `sta`
+//! agree on one cost model. On top of the load-aware arrival/required
+//! times computed there it adds:
+//!
+//! * **exact top-K critical-path extraction** register-to-register
+//!   (register/memory-write-port endpoints), via a best-first backward
+//!   search whose bound `fixed + load + sta_arrival(fanin)` is the
+//!   exact maximum — paths pop in true delay order;
+//! * **per-stage and per-hazard-cone attribution**: each path step is
+//!   tagged with the pipeline stages whose `stall/dhaz/ue` control
+//!   cones it crosses (a mux counts when its *select* is control, which
+//!   is how a forwarding bypass mux shows up on a data path);
+//! * **false-path pruning**: the side-input sensitization condition of
+//!   each path (mux selects on/off the taken arm, 1-bit and/or side
+//!   inputs at their non-controlling values, the endpoint register's
+//!   clock enable) is lowered onto the bit-blasted AIG and handed to
+//!   the SAT stack over a free-state [`ClauseCache`]. `UNSAT` means no
+//!   state whatsoever sensitizes the path — a sound over-approximation
+//!   of "no *reachable* state does" — and the path is reported as
+//!   pruned with that justification;
+//! * **timing lints**: `AP0401` (forwarding select cascade beyond the
+//!   budget), `AP0402` (zero-slack register dominated by hazard
+//!   control), `AP0403` (pruned false path dominating the structural
+//!   report), all flowing through the existing `--allow/--warn/--deny`
+//!   gate.
+//!
+//! Everything here is a pure function of the design plus the options:
+//! path order, verdicts (the solver is deterministic and each query
+//! runs in a private solver) and report bytes are identical for every
+//! `-j`.
+
+use crate::{codes, Finding, LintConfig, LintReport};
+use autopipe_hdl::aig::lower;
+use autopipe_hdl::{AigLit, Lowered, NetAnalysis, NetId, Netlist, Node};
+use autopipe_synth::{PipelinedMachine, StageCost};
+use autopipe_trace::{a, Trace, Track};
+use autopipe_verify::pool;
+use autopipe_verify::{ClauseCache, SatResult, SolveBudget};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt::Write;
+
+/// Ceiling on best-first heap pops per endpoint: a reconvergence bomb
+/// degrades to "fewer than K paths for this endpoint", never a hang.
+const MAX_POPS: usize = 100_000;
+
+/// `AP0401` budget: the longest run of consecutive control-selected
+/// muxes tolerated on the worst path before the forwarding cascade is
+/// flagged. A balanced-tree forwarding network stays well under this;
+/// a linear mux chain over a deep pipeline does not.
+const CASCADE_BUDGET: usize = 8;
+
+/// Conflict budget per sensitization query (deterministic, unlike a
+/// wall-clock deadline): an interrupted query yields [`PathVerdict::Unknown`].
+const DEFAULT_CONFLICTS: u64 = 200_000;
+
+/// Paths examined per control endpoint in the false-path audit.
+/// Priority reconvergence in the stall/enable logic lives a rank or
+/// two below each endpoint's structural worst, so a shallow sweep
+/// already surfaces the unsensitizable ones.
+const AUDIT_DEPTH: usize = 3;
+
+/// Options of one `sta` run.
+#[derive(Debug, Clone)]
+pub struct StaOptions {
+    /// Number of critical paths to report (`--top`).
+    pub top: usize,
+    /// Worker threads for the SAT pruning phase (0 = auto).
+    pub jobs: usize,
+    /// Conflict budget per sensitization query.
+    pub conflicts: u64,
+    /// Paths examined per control endpoint in the false-path audit
+    /// (0 disables the audit).
+    pub audit: usize,
+}
+
+impl Default for StaOptions {
+    fn default() -> StaOptions {
+        StaOptions {
+            top: 10,
+            jobs: 1,
+            conflicts: DEFAULT_CONFLICTS,
+            audit: AUDIT_DEPTH,
+        }
+    }
+}
+
+/// SAT verdict on one path's sensitization condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathVerdict {
+    /// Some input/state valuation exercises the path.
+    Sensitizable,
+    /// UNSAT: no valuation sensitizes the side inputs, so the path can
+    /// never propagate a transition — a false path.
+    FalsePruned,
+    /// The path imposes no side-input constraints (nothing to refute).
+    Unconstrained,
+    /// The conflict budget expired before a verdict.
+    Unknown,
+}
+
+impl PathVerdict {
+    /// Stable serialization name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PathVerdict::Sensitizable => "sensitizable",
+            PathVerdict::FalsePruned => "false-pruned",
+            PathVerdict::Unconstrained => "unconstrained",
+            PathVerdict::Unknown => "unknown",
+        }
+    }
+}
+
+/// One step of a critical path, in source-to-endpoint order.
+#[derive(Debug, Clone)]
+pub struct PathStep {
+    /// Net index in the netlist.
+    pub net: usize,
+    /// Human description of the node (kind plus label, if any).
+    pub desc: String,
+    /// Logic levels through the node itself.
+    pub levels: u32,
+    /// Buffer-tree load levels this net's driver pays toward the next
+    /// step (0 on the endpoint).
+    pub load: u32,
+    /// Pipeline stages whose hazard-control cones this step crosses.
+    pub stages: Vec<usize>,
+}
+
+/// One extracted register-to-register critical path.
+#[derive(Debug, Clone)]
+pub struct CriticalPath {
+    /// Endpoint name, e.g. `IR.2.next` (`(+n)` when nets are shared).
+    pub endpoint: String,
+    /// Endpoint net index.
+    pub endpoint_net: usize,
+    /// The register this endpoint is the `next` value of, if any.
+    pub endpoint_reg: Option<String>,
+    /// True when that register is itself hazard bookkeeping (its
+    /// output feeds a `stall/dhaz/ue` cone, like the `full_k` bits) —
+    /// `AP0402` skips those: their fan-in is control by construction.
+    pub endpoint_is_control: bool,
+    /// Total load-aware delay in levels (equals the endpoint's
+    /// [`NetAnalysis::sta_arrival`] for the rank-1 path).
+    pub delay: u32,
+    /// Endpoint slack against the design period.
+    pub slack: u32,
+    /// Steps from source to endpoint.
+    pub steps: Vec<PathStep>,
+    /// Union of the per-step stage attributions.
+    pub stages: Vec<usize>,
+    /// Longest run of consecutive control-selected muxes (the
+    /// forwarding-cascade length `AP0401` budgets).
+    pub cascade: usize,
+    /// Levels of [`CriticalPath::delay`] attributed to hazard-control
+    /// steps.
+    pub control_levels: u32,
+    /// Number of side-input constraints in the sensitization condition.
+    pub constraints: usize,
+    /// SAT verdict on the sensitization condition.
+    pub verdict: PathVerdict,
+}
+
+/// One pruned path from the control false-path audit: a
+/// structurally-plausible path into a control endpoint whose
+/// sensitization condition is UNSAT.
+#[derive(Debug, Clone)]
+pub struct AuditPath {
+    /// Endpoint name, e.g. `full.3.next`.
+    pub endpoint: String,
+    /// Endpoint net index.
+    pub endpoint_net: usize,
+    /// 1-based rank within the endpoint (1 = structural worst).
+    pub rank: usize,
+    /// Load-aware delay of the pruned path.
+    pub delay: u32,
+    /// Number of side-input constraints in the UNSAT condition.
+    pub constraints: usize,
+    /// The endpoint's worst *sensitizable* delay among audited paths —
+    /// its true arrival as far as the audit can see.
+    pub true_delay: Option<u32>,
+}
+
+/// The result of one `sta` run.
+#[derive(Debug, Clone)]
+pub struct StaReport {
+    /// Machine (netlist) name.
+    pub machine: String,
+    /// Load-aware clock period in levels.
+    pub period: u32,
+    /// Number of distinct timing endpoints.
+    pub endpoints: usize,
+    /// Ranked critical paths (rank 1 first).
+    pub paths: Vec<CriticalPath>,
+    /// Per-stage hazard-hardware attribution, shared with `report`.
+    pub stage_costs: Vec<StageCost>,
+    /// Paths examined per control endpoint (the audit depth).
+    pub audit_depth: usize,
+    /// Number of control endpoints swept by the audit.
+    pub audited_endpoints: usize,
+    /// Total paths the audit put to the solver.
+    pub audited_paths: usize,
+    /// Audited paths proven unsensitizable, in (endpoint, rank) order.
+    pub audit_pruned: Vec<AuditPath>,
+    /// Timing findings (`AP04xx`) under the lint gate.
+    pub findings: LintReport,
+    /// Total SAT conflicts across all sensitization queries. Not part
+    /// of the byte-deterministic report surface: solver sharing makes
+    /// it depend on `-j` (it feeds trace counters only).
+    pub sat_conflicts: u64,
+}
+
+impl StaReport {
+    /// Number of paths proven unsensitizable.
+    pub fn pruned(&self) -> usize {
+        self.paths
+            .iter()
+            .filter(|p| p.verdict == PathVerdict::FalsePruned)
+            .count()
+    }
+
+    /// Worst (smallest) endpoint slack over the reported paths.
+    pub fn worst_slack(&self) -> u32 {
+        self.paths.iter().map(|p| p.slack).min().unwrap_or(0)
+    }
+}
+
+/// A partial backward path ordered by its exact completion bound;
+/// ties break toward the lexicographically smallest net sequence so
+/// the enumeration order is a pure function of the netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Partial {
+    /// `fixed + load + sta_arrival` of the best completion.
+    bound: u32,
+    /// Delay of the fixed suffix (endpoint..head inclusive).
+    fixed: u32,
+    /// Nets from endpoint backward (head last).
+    nets: Vec<u32>,
+}
+
+impl Ord for Partial {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bound
+            .cmp(&other.bound)
+            .then_with(|| other.nets.cmp(&self.nets))
+    }
+}
+
+impl PartialOrd for Partial {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Up to `k` maximal-delay paths ending at `endpoint`, best first.
+/// Exact: the heap bound uses [`NetAnalysis::sta_arrival`], which *is*
+/// the true maximum over completions, so pops happen in delay order.
+fn k_best_paths(
+    nl: &Netlist,
+    analysis: &NetAnalysis,
+    ids: &[NetId],
+    endpoint: NetId,
+    k: usize,
+) -> Vec<(u32, Vec<NetId>)> {
+    let model = analysis.model();
+    let mut heap = BinaryHeap::new();
+    heap.push(Partial {
+        bound: analysis.sta_arrival(endpoint),
+        fixed: model.levels(nl, endpoint),
+        nets: vec![endpoint.index() as u32],
+    });
+    let mut out: Vec<(u32, Vec<NetId>)> = Vec::new();
+    let mut pops = 0usize;
+    while let Some(p) = heap.pop() {
+        pops += 1;
+        if pops > MAX_POPS {
+            break;
+        }
+        let head = ids[*p.nets.last().expect("partial paths are non-empty") as usize];
+        let fanin = nl.fanin(head);
+        if fanin.is_empty() {
+            let path: Vec<NetId> = p.nets.iter().rev().map(|&i| ids[i as usize]).collect();
+            if !out.iter().any(|(_, q)| *q == path) {
+                out.push((p.fixed, path));
+                if out.len() == k {
+                    break;
+                }
+            }
+            continue;
+        }
+        for f in fanin {
+            let load = analysis.load_levels(f);
+            let mut nets = p.nets.clone();
+            nets.push(f.index() as u32);
+            heap.push(Partial {
+                bound: p.fixed + load + analysis.sta_arrival(f),
+                fixed: p.fixed + load + model.levels(nl, f),
+                nets,
+            });
+        }
+    }
+    out
+}
+
+/// The global top-`k` paths over all endpoints, ranked by delay
+/// (descending), then endpoint name, then net sequence.
+fn top_paths(
+    nl: &Netlist,
+    analysis: &NetAnalysis,
+    ids: &[NetId],
+    names: &HashMap<usize, Vec<String>>,
+    k: usize,
+) -> Vec<(u32, NetId, Vec<NetId>)> {
+    let mut eps: Vec<NetId> = analysis.endpoints().to_vec();
+    eps.sort_by_key(|e| e.index());
+    eps.dedup();
+    eps.sort_by(|x, y| {
+        analysis
+            .sta_arrival(*y)
+            .cmp(&analysis.sta_arrival(*x))
+            .then_with(|| x.index().cmp(&y.index()))
+    });
+    let mut all: Vec<(u32, NetId, Vec<NetId>)> = Vec::new();
+    for e in eps {
+        // An endpoint whose best path is strictly worse than the
+        // current K-th best cannot contribute to the top K.
+        if all.len() >= k {
+            let mut delays: Vec<u32> = all.iter().map(|(d, _, _)| *d).collect();
+            delays.sort_unstable_by(|x, y| y.cmp(x));
+            if analysis.sta_arrival(e) < delays[k - 1] {
+                break;
+            }
+        }
+        for (delay, path) in k_best_paths(nl, analysis, ids, e, k) {
+            all.push((delay, e, path));
+        }
+    }
+    let name = |e: NetId| endpoint_name(names, e);
+    all.sort_by(|x, y| {
+        y.0.cmp(&x.0)
+            .then_with(|| name(x.1).cmp(&name(y.1)))
+            .then_with(|| x.2.cmp(&y.2))
+    });
+    all.truncate(k);
+    all
+}
+
+/// Endpoint display names: register `next`/`en` nets and memory
+/// write-port nets, in declaration order.
+fn endpoint_names(nl: &Netlist) -> HashMap<usize, Vec<String>> {
+    let mut names: HashMap<usize, Vec<String>> = HashMap::new();
+    for r in nl.registers() {
+        if let Some(n) = r.next {
+            names
+                .entry(n.index())
+                .or_default()
+                .push(format!("{}.next", r.name));
+        }
+        if let Some(e) = r.enable {
+            names
+                .entry(e.index())
+                .or_default()
+                .push(format!("{}.en", r.name));
+        }
+    }
+    for m in nl.memories() {
+        for (i, p) in m.write_ports.iter().enumerate() {
+            for (net, suffix) in [(p.enable, "we"), (p.addr, "wa"), (p.data, "wd")] {
+                names
+                    .entry(net.index())
+                    .or_default()
+                    .push(format!("{}.wp{i}.{suffix}", m.name));
+            }
+        }
+    }
+    names
+}
+
+fn endpoint_name(names: &HashMap<usize, Vec<String>>, e: NetId) -> String {
+    match names.get(&e.index()) {
+        Some(v) if v.len() > 1 => format!("{}(+{})", v[0], v.len() - 1),
+        Some(v) => v[0].clone(),
+        None => format!("net{}", e.index()),
+    }
+}
+
+/// Lexicographically-smallest label of each labeled net.
+fn net_labels(nl: &Netlist) -> HashMap<usize, String> {
+    let mut named = nl.named_nets();
+    named.sort_by(|a, b| a.0.cmp(b.0));
+    let mut labels: HashMap<usize, String> = HashMap::new();
+    for (name, net) in named {
+        if net.index() < nl.node_count() {
+            labels
+                .entry(net.index())
+                .or_insert_with(|| name.to_string());
+        }
+    }
+    labels
+}
+
+fn describe(nl: &Netlist, labels: &HashMap<usize, String>, net: NetId) -> String {
+    let base = match nl.node(net) {
+        Node::Input { name } => format!("input {name}"),
+        Node::Const { value } => format!("const {value}"),
+        Node::RegOut(r) => format!("reg {}", nl.register_info(*r).name),
+        Node::MemRead { mem, .. } => format!("read {}", nl.memory_info(*mem).name),
+        Node::Unary { op, .. } => format!("{op:?}").to_lowercase(),
+        Node::Binary { op, .. } => format!("{op:?}").to_lowercase(),
+        Node::Mux { .. } => "mux".to_string(),
+        Node::Slice { hi, lo, .. } => format!("slice[{hi}:{lo}]"),
+        Node::Concat { .. } => "concat".to_string(),
+    };
+    match labels.get(&net.index()) {
+        Some(l) => format!("{base} `{l}`"),
+        None => base,
+    }
+}
+
+/// Per-stage hazard-control cone membership: the transitive fan-in of
+/// `stall_k`/`dhaz_k`/`ue_k`, ending at registers and memory reads —
+/// the same cone [`autopipe_hdl::cone_gates`] prices for [`StageCost`].
+fn hazard_cones(pm: &PipelinedMachine) -> Vec<Vec<bool>> {
+    let nl = &pm.netlist;
+    let n = nl.node_count();
+    (0..pm.n_stages())
+        .map(|k| {
+            let mut cone = vec![false; n];
+            let mut stack: Vec<NetId> = [
+                pm.control.stall.get(k),
+                pm.control.dhaz.get(k),
+                pm.control.ue.get(k),
+            ]
+            .into_iter()
+            .flatten()
+            .copied()
+            .collect();
+            while let Some(net) = stack.pop() {
+                if cone[net.index()] {
+                    continue;
+                }
+                cone[net.index()] = true;
+                match nl.node(net) {
+                    Node::RegOut(_) | Node::MemRead { .. } => {}
+                    _ => stack.extend(nl.fanin(net)),
+                }
+            }
+            cone
+        })
+        .collect()
+}
+
+/// Timing endpoints whose logic is hazard control: register clock
+/// enables, memory write-port enables, nets inside a
+/// `stall`/`dhaz`/`ue` cone, and `next` nets of control-bookkeeping
+/// registers (ones whose output feeds a cone, like the `full_k`
+/// bits). These are where priority reconvergence creates false paths,
+/// so the audit sweeps exactly this set. Returned in net-index order.
+fn control_endpoints(nl: &Netlist, cones: &[Vec<bool>], endpoints: &[NetId]) -> Vec<NetId> {
+    let in_cone = |n: NetId| cones.iter().any(|c| c[n.index()]);
+    let mut reg_out: Vec<Option<NetId>> = vec![None; nl.registers().len()];
+    for net in nl.nets() {
+        if let Node::RegOut(r) = nl.node(net) {
+            reg_out[r.index()] = Some(net);
+        }
+    }
+    let mut out: Vec<NetId> = endpoints
+        .iter()
+        .copied()
+        .filter(|&e| {
+            in_cone(e)
+                || nl.registers().iter().enumerate().any(|(i, r)| {
+                    r.enable == Some(e) || (r.next == Some(e) && reg_out[i].is_some_and(in_cone))
+                })
+                || nl
+                    .memories()
+                    .iter()
+                    .any(|m| m.write_ports.iter().any(|p| p.enable == e))
+        })
+        .collect();
+    out.sort_unstable_by_key(|n| n.index());
+    out.dedup();
+    out
+}
+
+/// Stages whose control cone a step crosses. A mux qualifies through
+/// its select too: a bypass mux sits on the data path but is *steered*
+/// by hazard logic, which is exactly the attribution `sta` is after.
+fn step_stages(nl: &Netlist, cones: &[Vec<bool>], net: NetId) -> Vec<usize> {
+    let sel = match nl.node(net) {
+        Node::Mux { sel, .. } => Some(*sel),
+        _ => None,
+    };
+    (0..cones.len())
+        .filter(|&k| cones[k][net.index()] || sel.is_some_and(|s| cones[k][s.index()]))
+        .collect()
+}
+
+/// Assembles one [`CriticalPath`] (verdict filled in later).
+#[allow(clippy::too_many_arguments)]
+fn build_path(
+    nl: &Netlist,
+    cones: &[Vec<bool>],
+    labels: &HashMap<usize, String>,
+    names: &HashMap<usize, Vec<String>>,
+    analysis: &NetAnalysis,
+    delay: u32,
+    endpoint: NetId,
+    nets: &[NetId],
+) -> CriticalPath {
+    let model = analysis.model();
+    let last = nets.len() - 1;
+    let steps: Vec<PathStep> = nets
+        .iter()
+        .enumerate()
+        .map(|(i, &net)| PathStep {
+            net: net.index(),
+            desc: describe(nl, labels, net),
+            levels: model.levels(nl, net),
+            load: if i < last {
+                analysis.load_levels(net)
+            } else {
+                0
+            },
+            stages: step_stages(nl, cones, net),
+        })
+        .collect();
+    let mut stages: Vec<usize> = steps.iter().flat_map(|s| s.stages.clone()).collect();
+    stages.sort_unstable();
+    stages.dedup();
+    let mut cascade = 0usize;
+    let mut run = 0usize;
+    for (&net, step) in nets.iter().zip(&steps) {
+        let control_mux = matches!(nl.node(net), Node::Mux { .. }) && !step.stages.is_empty();
+        run = if control_mux { run + 1 } else { 0 };
+        cascade = cascade.max(run);
+    }
+    let control_levels = steps
+        .iter()
+        .filter(|s| !s.stages.is_empty())
+        .map(|s| s.levels + s.load)
+        .sum();
+    let reg_index = nl.registers().iter().position(|r| r.next == Some(endpoint));
+    let endpoint_reg = reg_index.map(|i| nl.registers()[i].name.clone());
+    let endpoint_is_control = reg_index.is_some_and(|i| {
+        nl.nets().any(|net| {
+            matches!(nl.node(net), Node::RegOut(r) if r.index() == i)
+                && cones.iter().any(|c| c[net.index()])
+        })
+    });
+    CriticalPath {
+        endpoint: endpoint_name(names, endpoint),
+        endpoint_net: endpoint.index(),
+        endpoint_reg,
+        endpoint_is_control,
+        delay,
+        slack: analysis.slack(endpoint),
+        steps,
+        stages,
+        cascade,
+        control_levels,
+        constraints: 0,
+        verdict: PathVerdict::Unconstrained,
+    }
+}
+
+/// Builds the sensitization condition of one path on the lowered AIG:
+/// the conjunction of every side-input constraint required for a
+/// transition to propagate along the taken arms, plus the endpoint
+/// register's clock enable (an unlatched path is unobservable). `None`
+/// when the path imposes no constraints; the second element counts
+/// them.
+fn sensitization(
+    low: &mut Lowered,
+    nl: &Netlist,
+    nets: &[NetId],
+    endpoint: NetId,
+) -> (Option<AigLit>, usize) {
+    let mut lits: Vec<AigLit> = Vec::new();
+    for w in nets.windows(2) {
+        let (prev, cur) = (w[0], w[1]);
+        match *nl.node(cur) {
+            Node::Mux {
+                sel,
+                then_net,
+                else_net,
+            } => {
+                if prev == sel {
+                    // Via-select: the arms must differ in some bit for
+                    // the select to matter.
+                    let t: Vec<AigLit> = low.net_lits(then_net).to_vec();
+                    let e: Vec<AigLit> = low.net_lits(else_net).to_vec();
+                    let diff: Vec<AigLit> = t
+                        .iter()
+                        .zip(&e)
+                        .map(|(&tb, &eb)| low.aig.mux(tb, eb.not(), eb))
+                        .collect();
+                    lits.push(low.aig.or_all(&diff));
+                } else if prev == then_net && prev != else_net {
+                    lits.push(low.net_lits(sel)[0]);
+                } else if prev == else_net && prev != then_net {
+                    lits.push(low.net_lits(sel)[0].not());
+                }
+            }
+            Node::Binary {
+                op: autopipe_hdl::BinaryOp::And,
+                a,
+                b,
+            } if nl.width(cur) == 1 => {
+                let side = if prev == a { b } else { a };
+                if side != prev {
+                    lits.push(low.net_lits(side)[0]);
+                }
+            }
+            Node::Binary {
+                op: autopipe_hdl::BinaryOp::Or,
+                a,
+                b,
+            } if nl.width(cur) == 1 => {
+                let side = if prev == a { b } else { a };
+                if side != prev {
+                    lits.push(low.net_lits(side)[0].not());
+                }
+            }
+            _ => {}
+        }
+    }
+    // The endpoint must actually latch: require some enabled register
+    // to observe it. A register without an enable always latches.
+    let enables: Vec<NetId> = nl
+        .registers()
+        .iter()
+        .filter(|r| r.next == Some(endpoint))
+        .map(|r| r.enable)
+        .collect::<Option<Vec<NetId>>>()
+        .unwrap_or_default();
+    if !enables.is_empty() {
+        let bits: Vec<AigLit> = enables.iter().map(|&e| low.net_lits(e)[0]).collect();
+        lits.push(low.aig.or_all(&bits));
+    }
+    if lits.is_empty() {
+        (None, 0)
+    } else {
+        let n = lits.len();
+        (Some(low.aig.and_all(&lits)), n)
+    }
+}
+
+/// Timing lints over the structurally-worst path — the SAT-free subset
+/// (`AP0401`, `AP0402`) that runs inside every `lint_machine` pass.
+pub fn lint_timing(
+    pm: &PipelinedMachine,
+    analysis: &NetAnalysis,
+    config: &LintConfig,
+    report: &mut LintReport,
+) {
+    let nl = &pm.netlist;
+    let ids: Vec<NetId> = nl.nets().collect();
+    let names = endpoint_names(nl);
+    let labels = net_labels(nl);
+    let cones = hazard_cones(pm);
+    let Some((delay, endpoint, nets)) = top_paths(nl, analysis, &ids, &names, 1).into_iter().next()
+    else {
+        return;
+    };
+    let worst = build_path(
+        nl, &cones, &labels, &names, analysis, delay, endpoint, &nets,
+    );
+    report.findings.extend(timing_findings(&worst, config));
+}
+
+/// `AP0401`/`AP0402` over an already-extracted worst path.
+fn timing_findings(worst: &CriticalPath, config: &LintConfig) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if worst.cascade >= CASCADE_BUDGET {
+        let mut f = config.finding(
+            codes::FORWARDING_CASCADE_CRITICAL_PATH,
+            format!(
+                "the critical path ({} level(s) into `{}`) runs through {} chained \
+                 control-selected muxes (budget {CASCADE_BUDGET})",
+                worst.delay, worst.endpoint, worst.cascade
+            ),
+        );
+        f.stage = worst.stages.first().copied();
+        f.help = Some("synthesize the forwarding network as a balanced tree".to_string());
+        out.push(f);
+    }
+    if let Some(reg) = &worst.endpoint_reg {
+        if !worst.endpoint_is_control
+            && worst.slack == 0
+            && u64::from(worst.control_levels) * 2 > u64::from(worst.delay)
+        {
+            let mut f = config.finding(
+                codes::ZERO_SLACK_REGISTER,
+                format!(
+                    "register `{reg}` has zero slack and {} of its {} critical levels \
+                     are hazard-control logic",
+                    worst.control_levels, worst.delay
+                ),
+            );
+            f.stage = worst.stages.first().copied();
+            f.target = Some(reg.clone());
+            f.help = Some("retime or simplify the stall/forwarding condition".to_string());
+            out.push(f);
+        }
+    }
+    out
+}
+
+/// Runs the full analysis: path extraction, SAT-backed false-path
+/// pruning of the ranked paths plus the control false-path audit over
+/// `opts.jobs` workers, and the `AP04xx` findings. The report is
+/// byte-deterministic for every `-j`: the pool returns results in
+/// task order and every verdict is a semantic Sat/Unsat answer, so
+/// worker sharding cannot change it (only the conflict *counts* vary,
+/// and those feed trace counters, not the report).
+pub fn analyze(
+    pm: &PipelinedMachine,
+    analysis: &NetAnalysis,
+    opts: &StaOptions,
+    config: &LintConfig,
+    trace: &Trace,
+) -> StaReport {
+    let nl = &pm.netlist;
+    let ids: Vec<NetId> = nl.nets().collect();
+    let names = endpoint_names(nl);
+    let labels = net_labels(nl);
+    let cones = hazard_cones(pm);
+    let ranked = {
+        let mut span = trace.span(Track::RUN, "phase", "sta:paths");
+        let ranked = top_paths(nl, analysis, &ids, &names, opts.top.max(1));
+        span.args(vec![
+            a("endpoints", analysis.endpoints().len()),
+            a("paths", ranked.len()),
+        ]);
+        ranked
+    };
+    let mut paths: Vec<CriticalPath> = ranked
+        .iter()
+        .map(|(delay, endpoint, nets)| {
+            build_path(
+                nl, &cones, &labels, &names, analysis, *delay, *endpoint, nets,
+            )
+        })
+        .collect();
+
+    // The control false-path audit: the worst few paths into every
+    // control endpoint, where priority reconvergence in the
+    // stall/enable logic hides unsensitizable paths a rank or two
+    // below the structural worst.
+    let audit_targets = if opts.audit > 0 {
+        control_endpoints(nl, &cones, analysis.endpoints())
+    } else {
+        Vec::new()
+    };
+    let mut audit_items: Vec<(NetId, usize, u32, Vec<NetId>)> = Vec::new();
+    for &e in &audit_targets {
+        for (rank, (delay, nets)) in k_best_paths(nl, analysis, &ids, e, opts.audit)
+            .into_iter()
+            .enumerate()
+        {
+            audit_items.push((e, rank + 1, delay, nets));
+        }
+    }
+
+    // Sensitization conditions for the ranked paths and the audit,
+    // then one shared free-state clause cache. Queries are sharded
+    // into one contiguous chunk per worker: each worker ingests the
+    // AIG once and solves its chunk on that solver incrementally.
+    // Verdicts stay `-j`-independent — Sat/Unsat are semantic — but
+    // conflict counts do not, so they feed trace counters only.
+    let sat_conflicts: u64;
+    let mut audit_constraints: Vec<usize> = Vec::new();
+    let verdicts: Vec<PathVerdict>;
+    {
+        let mut span = trace.span(Track::RUN, "phase", "sta:sat");
+        let mut low = lower(nl).expect("synthesized netlists lower to AIG");
+        let mut conds: Vec<Option<AigLit>> = ranked
+            .iter()
+            .zip(&mut paths)
+            .map(|((_, endpoint, nets), path)| {
+                let (cond, n) = sensitization(&mut low, nl, nets, *endpoint);
+                path.constraints = n;
+                cond
+            })
+            .collect();
+        for (e, _, _, nets) in &audit_items {
+            let (cond, n) = sensitization(&mut low, nl, nets, *e);
+            audit_constraints.push(n);
+            conds.push(cond);
+        }
+        let cache = ClauseCache::new(&low.aig, true);
+        let budget = SolveBudget::unlimited().with_conflicts(opts.conflicts);
+        let workers = pool::resolve_jobs(opts.jobs).max(1);
+        let chunk_len = conds.len().div_ceil(workers).max(1);
+        let chunks: Vec<Vec<Option<AigLit>>> = conds.chunks(chunk_len).map(<[_]>::to_vec).collect();
+        let results: Vec<(Vec<PathVerdict>, u64)> =
+            pool::map_tasks(opts.jobs, chunks, |_, chunk| {
+                let mut u = cache.unroller();
+                let vs: Vec<PathVerdict> = chunk
+                    .into_iter()
+                    .map(|cond| match cond {
+                        None => PathVerdict::Unconstrained,
+                        Some(c) => match u.try_lit(0, c, &budget) {
+                            None => PathVerdict::Unknown,
+                            Some(p) => match u.solver.solve_bounded(&[p], &budget) {
+                                SatResult::Sat => PathVerdict::Sensitizable,
+                                SatResult::Unsat => PathVerdict::FalsePruned,
+                                SatResult::Interrupted => PathVerdict::Unknown,
+                            },
+                        },
+                    })
+                    .collect();
+                (vs, u.work().conflicts)
+            });
+        verdicts = results
+            .iter()
+            .flat_map(|(vs, _)| vs.iter().copied())
+            .collect();
+        sat_conflicts = results.iter().map(|(_, c)| c).sum();
+        for (path, verdict) in paths.iter_mut().zip(&verdicts) {
+            path.verdict = *verdict;
+        }
+        span.args(vec![
+            a(
+                "pruned",
+                paths
+                    .iter()
+                    .filter(|p| p.verdict == PathVerdict::FalsePruned)
+                    .count(),
+            ),
+            a("audited", audit_items.len()),
+            a(
+                "audit_pruned",
+                verdicts[paths.len()..]
+                    .iter()
+                    .filter(|v| **v == PathVerdict::FalsePruned)
+                    .count(),
+            ),
+            a("conflicts", sat_conflicts),
+        ]);
+    }
+
+    // Fold the audit verdicts into pruned entries. `Unknown` counts
+    // toward an endpoint's true delay: an undecided path must not
+    // *shrink* the reported arrival.
+    let audit_verdicts = &verdicts[paths.len()..];
+    let mut true_delays: HashMap<usize, u32> = HashMap::new();
+    for ((e, _, delay, _), v) in audit_items.iter().zip(audit_verdicts) {
+        if *v != PathVerdict::FalsePruned {
+            let d = true_delays.entry(e.index()).or_insert(0);
+            *d = (*d).max(*delay);
+        }
+    }
+    let audit_pruned: Vec<AuditPath> = audit_items
+        .iter()
+        .zip(audit_verdicts)
+        .zip(&audit_constraints)
+        .filter(|((_, v), _)| **v == PathVerdict::FalsePruned)
+        .map(|(((e, rank, delay, _), _), &constraints)| AuditPath {
+            endpoint: endpoint_name(&names, *e),
+            endpoint_net: e.index(),
+            rank: *rank,
+            delay: *delay,
+            constraints,
+            true_delay: true_delays.get(&e.index()).copied(),
+        })
+        .collect();
+    if trace.is_enabled() {
+        for (rank, path) in paths.iter().enumerate() {
+            trace.counter(
+                Track::sta(rank),
+                "sta",
+                &format!("path {}", rank + 1),
+                vec![
+                    a("delay", path.delay),
+                    a("slack", path.slack),
+                    a("constraints", path.constraints),
+                    a(
+                        "pruned",
+                        u64::from(path.verdict == PathVerdict::FalsePruned),
+                    ),
+                ],
+            );
+        }
+    }
+
+    // Findings: the SAT-free pair over the worst path, plus AP0403 when
+    // the structural rank-1 path was just proven false.
+    let mut findings = LintReport::default();
+    if let Some(worst) = paths.first() {
+        findings.findings.extend(timing_findings(worst, config));
+        if worst.verdict == PathVerdict::FalsePruned {
+            let runner_up = paths
+                .iter()
+                .find(|p| p.verdict != PathVerdict::FalsePruned)
+                .map(|p| p.delay);
+            let mut f = config.finding(
+                codes::FALSE_CRITICAL_PATH,
+                match runner_up {
+                    Some(d) => format!(
+                        "the structural critical path ({} level(s) into `{}`) is \
+                         unsensitizable; the worst true path is {d} level(s)",
+                        worst.delay, worst.endpoint
+                    ),
+                    None => format!(
+                        "the structural critical path ({} level(s) into `{}`) is \
+                         unsensitizable",
+                        worst.delay, worst.endpoint
+                    ),
+                },
+            );
+            f.stage = worst.stages.first().copied();
+            f.help =
+                Some("the structural report overstates the delay; rank paths by `sta`".to_string());
+            findings.findings.push(f);
+        }
+    }
+    findings.sort();
+
+    StaReport {
+        machine: nl.name.clone(),
+        period: analysis.sta_period(),
+        endpoints: {
+            let mut e: Vec<usize> = analysis.endpoints().iter().map(|n| n.index()).collect();
+            e.sort_unstable();
+            e.dedup();
+            e.len()
+        },
+        paths,
+        stage_costs: pm.stage_costs_with(analysis),
+        audit_depth: opts.audit,
+        audited_endpoints: audit_targets.len(),
+        audited_paths: audit_items.len(),
+        audit_pruned,
+        findings,
+        sat_conflicts,
+    }
+}
+
+/// Renders the human table (`--format human`). Deterministic: no
+/// timestamps, no wall-clock, no absolute paths.
+pub fn to_human(report: &StaReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "static timing report for `{}`", report.machine);
+    let _ = writeln!(
+        out,
+        "  delay model: unit levels + ceil(log2 fanout) buffer-tree load"
+    );
+    let _ = writeln!(
+        out,
+        "  period: {} level(s) over {} endpoint(s); worst slack: {}",
+        report.period,
+        report.endpoints,
+        report.worst_slack()
+    );
+    if !report.stage_costs.is_empty() {
+        let _ = writeln!(out, "  per-stage hazard-control attribution:");
+        for c in &report.stage_costs {
+            let _ = writeln!(
+                out,
+                "    stage {}: {} forward, {} interlock, {} hit signal(s), {} control \
+                 gate(s), stall@{} dhaz@{} ue@{}",
+                c.stage,
+                c.forward_paths,
+                c.interlock_paths,
+                c.hit_signals,
+                c.control_gates,
+                c.stall_levels,
+                c.dhaz_levels,
+                c.ue_levels
+            );
+        }
+    }
+    let _ = writeln!(out, "  critical paths (top {}):", report.paths.len());
+    for (rank, p) in report.paths.iter().enumerate() {
+        let stages: Vec<String> = p.stages.iter().map(|s| s.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "  #{:<3} {} level(s)  slack {}  -> {}  stages {{{}}}  [{}]",
+            rank + 1,
+            p.delay,
+            p.slack,
+            p.endpoint,
+            stages.join(","),
+            p.verdict.as_str()
+        );
+        let chain: Vec<String> = p
+            .steps
+            .iter()
+            .map(|s| {
+                let mut piece = format!("{} +{}", s.desc, s.levels + s.load);
+                if !s.stages.is_empty() {
+                    piece.push('*');
+                }
+                piece
+            })
+            .collect();
+        let _ = writeln!(out, "       {}", chain.join(" -> "));
+    }
+    let _ = writeln!(
+        out,
+        "  false paths: {} of {} pruned (UNSAT: no state sensitizes the side inputs)",
+        report.pruned(),
+        report.paths.len()
+    );
+    if report.audited_paths > 0 {
+        let _ = writeln!(
+            out,
+            "  control false-path audit (top {} per endpoint): {} of {} path(s) over {} \
+             control endpoint(s) pruned",
+            report.audit_depth,
+            report.audit_pruned.len(),
+            report.audited_paths,
+            report.audited_endpoints
+        );
+        for p in &report.audit_pruned {
+            let true_delay = match p.true_delay {
+                Some(d) => format!("true arrival {d}"),
+                None => "no sensitizable path audited".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "    {} #{}: {} level(s), {} constraint(s) -> unsensitizable ({})",
+                p.endpoint, p.rank, p.delay, p.constraints, true_delay
+            );
+        }
+    }
+    for f in &report.findings.findings {
+        let _ = writeln!(out, "  {} ({}): {}", f.code.code, f.level, f.message);
+    }
+    let _ = writeln!(
+        out,
+        "sta: {} path(s), {} pruned ({} in audit), {} finding(s)",
+        report.paths.len(),
+        report.pruned(),
+        report.audit_pruned.len(),
+        report.findings.findings.len()
+    );
+    out
+}
+
+/// Renders the stable JSON report (`--format json`), schema
+/// `autopipe-sta-1`; see `docs/TIMING.md` for the field reference.
+pub fn to_json(report: &StaReport, file: &str) -> String {
+    let esc = crate::output::json_escape;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"tool\": \"autopipe-sta\",");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"file\": \"{}\",", esc(file));
+    let _ = writeln!(out, "  \"machine\": \"{}\",", esc(&report.machine));
+    let _ = writeln!(out, "  \"period\": {},", report.period);
+    let _ = writeln!(out, "  \"endpoints\": {},", report.endpoints);
+    let _ = writeln!(out, "  \"worst_slack\": {},", report.worst_slack());
+    let _ = writeln!(out, "  \"pruned\": {},", report.pruned());
+    out.push_str("  \"stages\": [");
+    for (i, c) in report.stage_costs.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            out,
+            "    {{\"stage\": {}, \"forward_paths\": {}, \"interlock_paths\": {}, \
+             \"hit_signals\": {}, \"control_gates\": {}, \"stall_levels\": {}, \
+             \"dhaz_levels\": {}, \"ue_levels\": {}}}",
+            c.stage,
+            c.forward_paths,
+            c.interlock_paths,
+            c.hit_signals,
+            c.control_gates,
+            c.stall_levels,
+            c.dhaz_levels,
+            c.ue_levels
+        );
+    }
+    out.push_str(if report.stage_costs.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    out.push_str("  \"paths\": [");
+    for (i, p) in report.paths.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let stages: Vec<String> = p.stages.iter().map(|s| s.to_string()).collect();
+        let _ = write!(
+            out,
+            "    {{\"rank\": {}, \"delay\": {}, \"slack\": {}, \"endpoint\": \"{}\", \
+             \"stages\": [{}], \"cascade\": {}, \"control_levels\": {}, \
+             \"constraints\": {}, \"verdict\": \"{}\", \"steps\": [",
+            i + 1,
+            p.delay,
+            p.slack,
+            esc(&p.endpoint),
+            stages.join(", "),
+            p.cascade,
+            p.control_levels,
+            p.constraints,
+            p.verdict.as_str()
+        );
+        for (j, s) in p.steps.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"net\": {}, \"desc\": \"{}\", \"levels\": {}, \"load\": {}}}",
+                s.net,
+                esc(&s.desc),
+                s.levels,
+                s.load
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push_str(if report.paths.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    let _ = write!(
+        out,
+        "  \"audit\": {{\"depth\": {}, \"endpoints\": {}, \"paths\": {}, \"pruned\": [",
+        report.audit_depth, report.audited_endpoints, report.audited_paths
+    );
+    for (i, p) in report.audit_pruned.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            out,
+            "    {{\"endpoint\": \"{}\", \"net\": {}, \"rank\": {}, \"delay\": {}, \
+             \"constraints\": {}",
+            esc(&p.endpoint),
+            p.endpoint_net,
+            p.rank,
+            p.delay,
+            p.constraints
+        );
+        if let Some(d) = p.true_delay {
+            let _ = write!(out, ", \"true_delay\": {d}");
+        }
+        out.push('}');
+    }
+    out.push_str(if report.audit_pruned.is_empty() {
+        "]},\n"
+    } else {
+        "\n  ]},\n"
+    });
+    out.push_str("  \"findings\": [");
+    for (i, f) in report.findings.findings.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            out,
+            "    {{\"code\": \"{}\", \"name\": \"{}\", \"level\": \"{}\", \
+             \"message\": \"{}\"}}",
+            f.code.code,
+            f.code.name,
+            f.level,
+            esc(&f.message)
+        );
+    }
+    out.push_str(if report.findings.findings.is_empty() {
+        "]\n"
+    } else {
+        "\n  ]\n"
+    });
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopipe_hdl::Netlist;
+
+    /// `next = (a & s) & (b & !s)`: the path through `a` needs both
+    /// side inputs high, which forces `s & !s` — UNSAT, a false path.
+    fn conflicted() -> Netlist {
+        let mut nl = Netlist::new("f");
+        let a_in = nl.input("a", 1);
+        let b_in = nl.input("b", 1);
+        let s = nl.input("s", 1);
+        let ns = nl.not(s);
+        let t1 = nl.and(a_in, s);
+        let t2 = nl.and(b_in, ns);
+        let t3 = nl.and(t1, t2);
+        let (r, _out) = nl.register("r", 1, 0);
+        nl.connect(r, t3);
+        nl
+    }
+
+    #[test]
+    fn k_best_paths_pop_in_delay_order() {
+        let mut nl = Netlist::new("d");
+        let x = nl.input("x", 8);
+        let y = nl.input("y", 8);
+        let slow = nl.add(x, y); // multi-level
+        let fast = nl.xor(x, y); // one level
+        let merged = nl.or(slow, fast);
+        let (r, _out) = nl.register("r", 8, 0);
+        nl.connect(r, merged);
+        let analysis = NetAnalysis::of(&nl);
+        let ids: Vec<NetId> = nl.nets().collect();
+        let e = nl.registers()[0].next.unwrap();
+        let paths = k_best_paths(&nl, &analysis, &ids, e, 4);
+        assert!(paths.len() >= 2, "{}", paths.len());
+        for w in paths.windows(2) {
+            assert!(w[0].0 >= w[1].0, "{} < {}", w[0].0, w[1].0);
+        }
+        assert_eq!(paths[0].0, analysis.sta_arrival(e));
+    }
+
+    #[test]
+    fn conflicting_side_inputs_are_pruned() {
+        let nl = conflicted();
+        let analysis = NetAnalysis::of(&nl);
+        let ids: Vec<NetId> = nl.nets().collect();
+        let names = endpoint_names(&nl);
+        let ranked = top_paths(&nl, &analysis, &ids, &names, 8);
+        // The path from `a` needs `s` high (side input at `a & s`) and
+        // `b & !s` high (side input at the final and) — contradictory.
+        let a_net = nl.find("a").unwrap();
+        let mut low = lower(&nl).expect("lowers");
+        let (_, endpoint, nets) = ranked
+            .iter()
+            .find(|(_, _, nets)| nets[0] == a_net)
+            .expect("the path from `a` ranks in the top 8");
+        let (cond, n) = sensitization(&mut low, &nl, nets, *endpoint);
+        assert!(n >= 2, "{n}");
+        let cache = ClauseCache::new(&low.aig, true);
+        let mut u = cache.unroller();
+        let budget = SolveBudget::unlimited();
+        let p = u.try_lit(0, cond.unwrap(), &budget).unwrap();
+        assert_eq!(u.solver.solve_bounded(&[p], &budget), SatResult::Unsat);
+    }
+
+    /// Reconvergent select: `x = mux(s, a, slow)`, `y = mux(s, x, c)`.
+    /// The long path `slow -> x -> y` needs `s = 0` at `x` (else arm)
+    /// and `s = 1` at `y` (then arm) — the classic mux false path.
+    #[test]
+    fn reconvergent_mux_selects_are_pruned() {
+        let mut nl = Netlist::new("m");
+        let s = nl.input("s", 1);
+        let a_in = nl.input("a", 8);
+        let b_in = nl.input("b", 8);
+        let c_in = nl.input("c", 8);
+        let slow = nl.add(a_in, b_in);
+        let slow = nl.add(slow, b_in);
+        let x = nl.mux(s, a_in, slow);
+        let y = nl.mux(s, x, c_in);
+        let (r, _out) = nl.register("r", 8, 0);
+        nl.connect(r, y);
+        let analysis = NetAnalysis::of(&nl);
+        let ids: Vec<NetId> = nl.nets().collect();
+        let names = endpoint_names(&nl);
+        let ranked = top_paths(&nl, &analysis, &ids, &names, 1);
+        let (_, endpoint, nets) = &ranked[0];
+        assert!(nets.contains(&x), "worst path goes through the inner mux");
+        let mut low = lower(&nl).expect("lowers");
+        let (cond, n) = sensitization(&mut low, &nl, nets, *endpoint);
+        assert!(n >= 2, "{n}");
+        let cache = ClauseCache::new(&low.aig, true);
+        let mut u = cache.unroller();
+        let budget = SolveBudget::unlimited();
+        let p = u.try_lit(0, cond.unwrap(), &budget).unwrap();
+        assert_eq!(u.solver.solve_bounded(&[p], &budget), SatResult::Unsat);
+    }
+
+    #[test]
+    fn unconstrained_paths_skip_the_solver() {
+        let mut nl = Netlist::new("u");
+        let x = nl.input("x", 8);
+        let y = nl.input("y", 8);
+        let sum = nl.add(x, y);
+        let (r, _out) = nl.register("r", 8, 0);
+        nl.connect(r, sum);
+        let analysis = NetAnalysis::of(&nl);
+        let ids: Vec<NetId> = nl.nets().collect();
+        let names = endpoint_names(&nl);
+        let ranked = top_paths(&nl, &analysis, &ids, &names, 1);
+        let mut low = lower(&nl).expect("lowers");
+        let (_, endpoint, nets) = &ranked[0];
+        let (cond, n) = sensitization(&mut low, &nl, nets, *endpoint);
+        assert!(cond.is_none());
+        assert_eq!(n, 0);
+    }
+
+    /// Pins the DLX acceptance property at the unit level: the
+    /// second-longest structural path into the stage-3 `full` bit is
+    /// provably unsensitizable — the interlock's priority
+    /// reconvergence makes it a false path, and the solver proves it.
+    #[test]
+    fn dlx_interlock_has_a_provably_false_path() {
+        let src = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/programs/dlx.psm"
+        ))
+        .expect("dlx example");
+        let compiled = autopipe_front::compile(&src, "dlx.psm").expect("compiles");
+        let plan = compiled.spec.plan().expect("plans");
+        let (_, pm) =
+            crate::lint_design(&plan, &compiled.options, &crate::LintConfig::new()).expect("synth");
+        let pm = pm.expect("machine");
+        let nl = &pm.netlist;
+        let analysis = NetAnalysis::of(nl);
+        let ids: Vec<NetId> = nl.nets().collect();
+        let full3 = nl
+            .registers()
+            .iter()
+            .find(|r| r.name == "full.3")
+            .and_then(|r| r.next)
+            .expect("full.3 exists");
+        let mut low = lower(nl).expect("lowers");
+        let paths = k_best_paths(nl, &analysis, &ids, full3, 2);
+        assert_eq!(paths.len(), 2);
+        assert!(paths[0].0 > paths[1].0, "distinct structural delays");
+        let (cond, n) = sensitization(&mut low, nl, &paths[1].1, full3);
+        assert!(n >= 2, "{n}");
+        let cache = ClauseCache::new(&low.aig, true);
+        let mut u = cache.unroller();
+        let budget = SolveBudget::unlimited();
+        let p = u.try_lit(0, cond.unwrap(), &budget).unwrap();
+        assert_eq!(u.solver.solve_bounded(&[p], &budget), SatResult::Unsat);
+    }
+
+    #[test]
+    fn endpoint_names_cover_registers_and_ports() {
+        let nl = conflicted();
+        let names = endpoint_names(&nl);
+        let next = nl.registers()[0].next.unwrap();
+        assert_eq!(names[&next.index()], vec!["r.next".to_string()]);
+    }
+}

@@ -20,9 +20,31 @@ pub fn run(nl: &Netlist, config: &LintConfig, report: &mut LintReport) {
     report.findings.extend(lint_netlist(nl, config));
 }
 
+/// Like [`run`], but reuses a prebuilt [`NetAnalysis`] so a driver that
+/// already walked the graph (the lint driver shares one walk with the
+/// cost report and `sta`) never walks it twice.
+pub fn run_with(
+    nl: &Netlist,
+    analysis: &NetAnalysis,
+    config: &LintConfig,
+    report: &mut LintReport,
+) {
+    report
+        .findings
+        .extend(lint_netlist_inner(nl, Some(analysis), config));
+}
+
 /// Structural lints as a standalone pass (also usable on netlists that
 /// did not come out of the synthesizer, e.g. read from Verilog).
 pub fn lint_netlist(nl: &Netlist, config: &LintConfig) -> Vec<Finding> {
+    lint_netlist_inner(nl, None, config)
+}
+
+fn lint_netlist_inner(
+    nl: &Netlist,
+    prebuilt: Option<&NetAnalysis>,
+    config: &LintConfig,
+) -> Vec<Finding> {
     let mut out = Vec::new();
 
     // AP0305 first: NetAnalysis insists on validated netlists, so a
@@ -70,8 +92,16 @@ pub fn lint_netlist(nl: &Netlist, config: &LintConfig) -> Vec<Finding> {
         return out;
     }
 
-    // One graph walk for everything below.
-    let analysis = NetAnalysis::of(nl);
+    // One graph walk for everything below. A prebuilt analysis implies
+    // the netlist already passed validation, so reuse is safe here.
+    let analysis_owned;
+    let analysis = match prebuilt {
+        Some(a) => a,
+        None => {
+            analysis_owned = NetAnalysis::of(nl);
+            &analysis_owned
+        }
+    };
 
     // AP0303: dead combinational logic. Inputs, constants and register
     // outputs are interface/state, not "logic"; everything else that

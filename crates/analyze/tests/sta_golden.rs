@@ -1,0 +1,127 @@
+//! Golden-file tests for the `autopipe sta` report surface: byte-exact
+//! human, JSON and SARIF fixtures for the shipped examples.
+//!
+//! The toy goldens (and the `-j` invariance check) run in every build.
+//! The DLX goldens are `#[ignore]`d: the 68-level sensitization
+//! queries take minutes under a debug-profile solver, so CI runs them
+//! release-only with `--ignored` in the sta-smoke job.
+//!
+//! Regenerate after an intentional output change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --release -p autopipe-analyze \
+//!     --test sta_golden -- --include-ignored
+//! ```
+
+use autopipe_analyze::sta::{self, StaOptions};
+use autopipe_analyze::{lint_design, output, LintConfig};
+use autopipe_front::compile;
+use autopipe_hdl::NetAnalysis;
+use autopipe_synth::PipelinedMachine;
+use autopipe_trace::Trace;
+use std::path::{Path, PathBuf};
+
+fn fixtures() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/sta")
+}
+
+/// Compiles and synthesizes a shipped example; `rel` is both the
+/// repo-relative path and the file name baked into the rendered
+/// output, so fixtures never contain absolute paths.
+fn machine(rel: &str) -> (PipelinedMachine, String) {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let src =
+        std::fs::read_to_string(root.join(rel)).unwrap_or_else(|e| panic!("{rel} readable: {e}"));
+    let compiled = compile(&src, rel).unwrap_or_else(|d| panic!("{rel} compiles: {d}"));
+    let plan = compiled
+        .spec
+        .plan()
+        .unwrap_or_else(|e| panic!("{rel} plans: {e}"));
+    let (_, pm) = lint_design(&plan, &compiled.options, &LintConfig::new())
+        .unwrap_or_else(|e| panic!("{rel} synthesizes: {e}"));
+    (pm.expect("no synthesis-blocking findings"), src)
+}
+
+fn sta_report(pm: &PipelinedMachine, opts: &StaOptions) -> sta::StaReport {
+    let analysis = NetAnalysis::of(&pm.netlist);
+    sta::analyze(pm, &analysis, opts, &LintConfig::new(), &Trace::disabled())
+}
+
+fn check_golden(path: &Path, actual: &str) {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir");
+        std::fs::write(path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e} (run with UPDATE_GOLDEN=1)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected,
+        actual,
+        "{} is stale (run with UPDATE_GOLDEN=1 to regenerate)",
+        path.display()
+    );
+}
+
+/// The toy pipeline in all three formats. Its structural worst path is
+/// itself a false path, so the fixture pins `AP0403`, pruned top
+/// paths, and the control audit section all at once.
+#[test]
+fn toy_sta_goldens() {
+    let (pm, src) = machine("examples/programs/toy.psm");
+    let report = sta_report(&pm, &StaOptions::default());
+    assert!(report.pruned() >= 1, "toy prunes a top path");
+    assert!(!report.audit_pruned.is_empty(), "toy prunes audit paths");
+    check_golden(&fixtures().join("toy.txt"), &sta::to_human(&report));
+    check_golden(
+        &fixtures().join("toy.json"),
+        &sta::to_json(&report, "examples/programs/toy.psm"),
+    );
+    check_golden(
+        &fixtures().join("toy.sarif"),
+        &output::to_sarif(&report.findings, "examples/programs/toy.psm", &src),
+    );
+}
+
+/// The report is a pure function of the design: worker sharding must
+/// not change a byte.
+#[test]
+fn toy_sta_is_jobs_invariant() {
+    let (pm, _) = machine("examples/programs/toy.psm");
+    let serial = sta_report(&pm, &StaOptions::default());
+    let sharded = sta_report(
+        &pm,
+        &StaOptions {
+            jobs: 4,
+            ..StaOptions::default()
+        },
+    );
+    assert_eq!(sta::to_human(&serial), sta::to_human(&sharded));
+    assert_eq!(
+        sta::to_json(&serial, "toy.psm"),
+        sta::to_json(&sharded, "toy.psm")
+    );
+}
+
+/// DLX in human and JSON form: the acceptance surface. All top-10
+/// datapath monsters are genuinely sensitizable; the control audit
+/// proves seven interlock paths false.
+#[test]
+#[ignore = "release-only: DLX sensitization queries are slow under a debug-profile solver"]
+fn dlx_sta_goldens() {
+    let (pm, _) = machine("examples/programs/dlx.psm");
+    let report = sta_report(&pm, &StaOptions::default());
+    assert!(
+        !report.audit_pruned.is_empty(),
+        "DLX has SAT-proven false paths"
+    );
+    check_golden(&fixtures().join("dlx.txt"), &sta::to_human(&report));
+    check_golden(
+        &fixtures().join("dlx.json"),
+        &sta::to_json(&report, "examples/programs/dlx.psm"),
+    );
+}

@@ -8,13 +8,15 @@
 //! the CPI sweeps (E4/E5); `--jobs`/`-j` renders the selected
 //! experiments on the verification work-stealing pool (`0` = one per
 //! core) — output order stays deterministic regardless. `--json FILE`
-//! additionally writes the machine-readable `BENCH_7.json` record:
+//! additionally writes the machine-readable `BENCH_9.json` record:
 //! per-experiment wall-clock, the small-DLX verification section
 //! (obligation outcomes and summed SAT counters), the serve section
 //! (cold-vs-warm daemon latency, proof-cache hit rate, and the
-//! canonical netlist/obligation digests), and the simulation section
+//! canonical netlist/obligation digests), the simulation section
 //! (per-backend DLX cosim throughput and the mutation-run
-//! wall-clock); the schema is documented in `docs/OBSERVABILITY.md`.
+//! wall-clock), and the timing section (small-DLX `sta` headline
+//! numbers with false-path audit counts); the schema is documented
+//! in `docs/OBSERVABILITY.md`.
 
 use autopipe_bench::experiments as ex;
 use autopipe_verify::pool;
@@ -30,18 +32,19 @@ fn num_arg(flag: &str, v: Option<String>) -> u64 {
     }
 }
 
-/// Renders the `BENCH_7.json` record; hand-rolled like every other
+/// Renders the `BENCH_9.json` record; hand-rolled like every other
 /// JSON writer in the workspace (names and digests are
 /// `[a-zA-Z0-9_./-]`, so no string escaping is needed).
-fn bench7_json(
+fn bench9_json(
     seed: u64,
     jobs: usize,
     rows: &[(&str, u128)],
     verify: &ex::Bench5Verify,
     serve: &ex::Bench6Serve,
     sim: &ex::Bench7Sim,
+    timing: &ex::Bench9Timing,
 ) -> String {
-    let mut s = String::from("{\n  \"schema\": \"autopipe-bench-7\",\n");
+    let mut s = String::from("{\n  \"schema\": \"autopipe-bench-9\",\n");
     s.push_str(&format!("  \"seed\": {seed},\n  \"jobs\": {jobs},\n"));
     s.push_str("  \"experiments\": [\n");
     for (i, (name, micros)) in rows.iter().enumerate() {
@@ -144,6 +147,24 @@ fn bench7_json(
         sim.mutation_mutants,
         sim.mutation_killed
     ));
+    s.push_str("  },\n  \"timing\": {\n");
+    s.push_str(&format!("    \"machine\": \"{}\",\n", timing.machine));
+    s.push_str(&format!(
+        "    \"period\": {}, \"endpoints\": {},\n",
+        timing.period, timing.endpoints
+    ));
+    s.push_str(&format!(
+        "    \"paths\": {}, \"pruned\": {},\n",
+        timing.paths, timing.pruned
+    ));
+    s.push_str(&format!(
+        "    \"audit\": {{\"endpoints\": {}, \"paths\": {}, \"pruned\": {}}},\n",
+        timing.audited_endpoints, timing.audited_paths, timing.audit_pruned
+    ));
+    s.push_str(&format!(
+        "    \"findings\": {}, \"wall_ms\": {}\n",
+        timing.findings, timing.millis
+    ));
     s.push_str("  }\n}\n");
     s
 }
@@ -208,7 +229,16 @@ fn main() {
         let verify = ex::bench5_verify(jobs);
         let serve = ex::bench6_serve(jobs);
         let sim = ex::bench7_sim(10_000, jobs);
-        let text = bench7_json(seed.unwrap_or(0), jobs, &rows, &verify, &serve, &sim);
+        let timing = ex::bench9_timing(jobs);
+        let text = bench9_json(
+            seed.unwrap_or(0),
+            jobs,
+            &rows,
+            &verify,
+            &serve,
+            &sim,
+            &timing,
+        );
         if let Err(e) = std::fs::write(&path, text) {
             eprintln!("report: cannot write {path}: {e}");
             std::process::exit(1);

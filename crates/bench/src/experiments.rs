@@ -766,10 +766,10 @@ pub fn e9_render() -> String {
 }
 
 // ---------------------------------------------------------------------
-// BENCH_7.json — the machine-readable verification section.
+// BENCH_9.json — the machine-readable verification section.
 // ---------------------------------------------------------------------
 
-/// The verification section of `BENCH_7.json`: obligation outcomes and
+/// The verification section of `BENCH_9.json`: obligation outcomes and
 /// summed SAT counters for the small DLX (see `docs/OBSERVABILITY.md`
 /// for the schema).
 #[derive(Debug, Clone, Default)]
@@ -820,7 +820,7 @@ pub fn bench5_verify(jobs: usize) -> Bench5Verify {
 }
 
 // ---------------------------------------------------------------------
-// Serve benchmark — cold vs warm daemon latency (BENCH_7 record).
+// Serve benchmark — cold vs warm daemon latency (BENCH_9 record).
 // ---------------------------------------------------------------------
 
 /// Cold-vs-warm latency of the `autopipe serve` daemon on the toy
@@ -906,7 +906,7 @@ pub fn bench6_serve(jobs: usize) -> Bench6Serve {
 }
 
 // ---------------------------------------------------------------------
-// Simulation-backend benchmark (BENCH_7 record).
+// Simulation-backend benchmark (BENCH_9 record).
 // ---------------------------------------------------------------------
 
 /// One backend's throughput on the 10k-cycle pipelined-DLX workload,
@@ -946,7 +946,7 @@ impl Bench7SimRow {
     }
 }
 
-/// The simulation section of `BENCH_7.json`: per-backend DLX
+/// The simulation section of `BENCH_9.json`: per-backend DLX
 /// throughput plus the mutation kill-matrix wall-clock (the run the
 /// compiled backend is meant to turn from dominant cost into noise).
 #[derive(Debug, Clone)]
@@ -1091,6 +1091,77 @@ pub fn bench7_sim(cycles: u64, jobs: usize) -> Bench7Sim {
         mutation_micros,
         mutation_mutants: report.results.len(),
         mutation_killed: report.killed(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Timing benchmark — static timing analysis (BENCH_9 record).
+// ---------------------------------------------------------------------
+
+/// The timing section of `BENCH_9.json`: the small DLX's `sta` report
+/// reduced to its deterministic headline numbers plus the SAT
+/// wall-clock. Everything here except `wall_ms` is a pure function of
+/// the design, so the record doubles as a cross-run regression check
+/// on the timing analysis itself.
+#[derive(Debug, Default)]
+pub struct Bench9Timing {
+    /// Design the report was taken on.
+    pub machine: String,
+    /// Load-aware clock period in levels.
+    pub period: u32,
+    /// Distinct timing endpoints.
+    pub endpoints: usize,
+    /// Ranked critical paths reported.
+    pub paths: usize,
+    /// Top paths proven unsensitizable.
+    pub pruned: usize,
+    /// Control endpoints swept by the false-path audit.
+    pub audited_endpoints: usize,
+    /// Audit paths put to the solver.
+    pub audited_paths: usize,
+    /// Audit paths proven unsensitizable.
+    pub audit_pruned: usize,
+    /// `AP04xx` findings raised.
+    pub findings: usize,
+    /// Wall-clock milliseconds for the whole analysis.
+    pub millis: u128,
+}
+
+/// Runs the full static timing analysis (top-10 paths plus the
+/// control false-path audit) on the small DLX across `jobs` workers.
+pub fn bench9_timing(jobs: usize) -> Bench9Timing {
+    use autopipe_analyze::sta;
+    let plan = build_dlx_spec(DlxConfig::small())
+        .expect("spec builds")
+        .plan()
+        .expect("plans");
+    let pm = PipelineSynthesizer::new(dlx_synth_options())
+        .run(&plan)
+        .expect("synthesizes");
+    let analysis = autopipe_hdl::NetAnalysis::of(&pm.netlist);
+    let opts = sta::StaOptions {
+        jobs,
+        ..sta::StaOptions::default()
+    };
+    let t0 = Instant::now();
+    let report = sta::analyze(
+        &pm,
+        &analysis,
+        &opts,
+        &autopipe_analyze::LintConfig::new(),
+        &autopipe_trace::Trace::disabled(),
+    );
+    Bench9Timing {
+        machine: report.machine.clone(),
+        period: report.period,
+        endpoints: report.endpoints,
+        paths: report.paths.len(),
+        pruned: report.pruned(),
+        audited_endpoints: report.audited_endpoints,
+        audited_paths: report.audited_paths,
+        audit_pruned: report.audit_pruned.len(),
+        findings: report.findings.findings.len(),
+        millis: t0.elapsed().as_millis(),
     }
 }
 

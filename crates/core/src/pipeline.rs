@@ -221,7 +221,14 @@ impl PipelinedMachine {
     /// netlist. Deterministic for a given machine, so the telemetry
     /// layer can emit it on the byte-stable trace sink.
     pub fn stage_costs(&self) -> Vec<StageCost> {
-        let analysis = autopipe_hdl::NetAnalysis::of(&self.netlist);
+        self.stage_costs_with(&autopipe_hdl::NetAnalysis::of(&self.netlist))
+    }
+
+    /// [`PipelinedMachine::stage_costs`] against a caller-supplied
+    /// [`autopipe_hdl::NetAnalysis`] of this machine's netlist, so a
+    /// driver that already walked the graph (lint, `report`, `sta`)
+    /// never walks it twice for the same answer.
+    pub fn stage_costs_with(&self, analysis: &autopipe_hdl::NetAnalysis) -> Vec<StageCost> {
         (0..self.n_stages())
             .map(|k| {
                 let paths: Vec<&ForwardPathInfo> = self

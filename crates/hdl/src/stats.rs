@@ -151,6 +151,20 @@ pub struct NetAnalysis {
     /// Per-net liveness: reachable (through fan-in) from a register
     /// input, a memory write port, or a named net.
     live: Vec<bool>,
+    /// Per-net load-aware arrival time: [`NetAnalysis::arrival`] plus a
+    /// `⌈log2 fanout⌉` buffer-tree penalty at every driver on the path
+    /// (the unit+fanout-load delay model of `autopipe sta`).
+    sta_arrival: Vec<u32>,
+    /// Per-net required time under the load-aware model, relative to
+    /// the clock period [`NetAnalysis::sta_period`]. `u32::MAX` for
+    /// nets that reach no timing endpoint.
+    sta_required: Vec<u32>,
+    /// The load-aware clock period: the worst [`NetAnalysis::sta_arrival`]
+    /// over all timing endpoints (register inputs and memory write
+    /// ports).
+    sta_period: u32,
+    /// The timing endpoints the required-time sweep started from.
+    endpoints: Vec<NetId>,
     gates: u64,
     critical_path: u32,
     register_bits: u64,
@@ -192,13 +206,17 @@ impl NetAnalysis {
             arrival[net.index()] = fanin_max + own;
         }
         // Roots: everything that affects state or the visible interface.
+        // The endpoint subset (register inputs + memory write ports) also
+        // seeds the load-aware required-time sweep below.
         let mut critical = 0u32;
         let mut roots: Vec<NetId> = Vec::new();
+        let mut endpoints: Vec<NetId> = Vec::new();
         for r in nl.registers() {
             for net in [r.next, r.enable].into_iter().flatten() {
                 critical = critical.max(arrival[net.index()]);
                 fanout[net.index()] += 1;
                 roots.push(net);
+                endpoints.push(net);
             }
         }
         for m in nl.memories() {
@@ -207,6 +225,7 @@ impl NetAnalysis {
                     critical = critical.max(arrival[net.index()]);
                     fanout[net.index()] += 1;
                     roots.push(net);
+                    endpoints.push(net);
                 }
             }
         }
@@ -228,6 +247,45 @@ impl NetAnalysis {
                 }
             }
         }
+        // Load-aware timing (the `autopipe sta` delay model): a second
+        // forward sweep now that fanout counts are final. Every driver
+        // pays a `⌈log2 fanout⌉` buffer-tree penalty before its
+        // consumers see the value; everything else matches `arrival`.
+        let mut sta_arrival = vec![0u32; n];
+        for net in nl.nets() {
+            let own = model.levels(nl, net);
+            let mut fanin_max = 0;
+            for f in nl.fanin(net) {
+                let load = clog2(fanout[f.index()].max(1));
+                fanin_max = fanin_max.max(sta_arrival[f.index()] + load);
+            }
+            sta_arrival[net.index()] = fanin_max + own;
+        }
+        let sta_period = endpoints
+            .iter()
+            .map(|e| sta_arrival[e.index()])
+            .max()
+            .unwrap_or(0);
+        // Backward required-time sweep from the endpoints: slack at an
+        // endpoint is `period - arrival`; upstream nets inherit the
+        // tightest requirement through their consumers.
+        let mut sta_required = vec![u32::MAX; n];
+        for &e in &endpoints {
+            sta_required[e.index()] = sta_period.min(sta_required[e.index()]);
+        }
+        for i in (0..n).rev() {
+            let req = sta_required[i];
+            if req == u32::MAX {
+                continue;
+            }
+            let net = NetId(i as u32);
+            let own = model.levels(nl, net);
+            for f in nl.fanin(net) {
+                let load = clog2(fanout[f.index()].max(1));
+                let through = req.saturating_sub(own + load);
+                sta_required[f.index()] = sta_required[f.index()].min(through);
+            }
+        }
         let register_bits = nl.registers().iter().map(|r| u64::from(r.width)).sum();
         let memory_bits = nl
             .memories()
@@ -239,6 +297,10 @@ impl NetAnalysis {
             arrival,
             fanout,
             live,
+            sta_arrival,
+            sta_required,
+            sta_period,
+            endpoints,
             gates,
             critical_path: critical,
             register_bits,
@@ -255,6 +317,48 @@ impl NetAnalysis {
     /// Fanout count of `net` (labels excluded).
     pub fn fanout(&self, net: NetId) -> u32 {
         self.fanout[net.index()]
+    }
+
+    /// Load-aware arrival time of `net`: logic levels plus the
+    /// `⌈log2 fanout⌉` buffer-tree penalty of every driver on the worst
+    /// path into it.
+    pub fn sta_arrival(&self, net: NetId) -> u32 {
+        self.sta_arrival[net.index()]
+    }
+
+    /// Load-aware required time of `net` relative to
+    /// [`NetAnalysis::sta_period`]; `u32::MAX` when the net reaches no
+    /// timing endpoint.
+    pub fn sta_required(&self, net: NetId) -> u32 {
+        self.sta_required[net.index()]
+    }
+
+    /// Load-aware slack of `net`: required minus arrival, saturating at
+    /// zero. Nets that reach no endpoint report `u32::MAX`.
+    pub fn slack(&self, net: NetId) -> u32 {
+        let req = self.sta_required[net.index()];
+        if req == u32::MAX {
+            return u32::MAX;
+        }
+        req.saturating_sub(self.sta_arrival[net.index()])
+    }
+
+    /// The load-aware clock period: the worst endpoint arrival.
+    pub fn sta_period(&self) -> u32 {
+        self.sta_period
+    }
+
+    /// The buffer-tree levels a consumer of `net` pays for its fanout
+    /// under the load-aware model.
+    pub fn load_levels(&self, net: NetId) -> u32 {
+        clog2(self.fanout[net.index()].max(1))
+    }
+
+    /// The timing endpoints (register `next`/`enable` nets and memory
+    /// write-port nets) in declaration order, possibly with duplicates
+    /// when one net drives several endpoints.
+    pub fn endpoints(&self) -> &[NetId] {
+        &self.endpoints
     }
 
     /// Whether `net` is reachable from a register input, memory write
@@ -444,6 +548,79 @@ mod tests {
         assert_eq!(a.arrival(s), 2 * 3 + 2); // 8-bit CLA adder
                                              // The aggregate view matches the one-shot computation.
         assert_eq!(a.stats(), NetlistStats::of(&nl));
+    }
+
+    #[test]
+    fn sta_arrival_adds_fanout_load() {
+        // One driver fanning out to four consumers pays a 2-level
+        // buffer tree under the load-aware model; the plain arrival
+        // stays untouched.
+        let mut nl = Netlist::new("fan");
+        let x = nl.input("x", 8);
+        let y = nl.input("y", 8);
+        let hot = nl.add(x, y); // fanout 4
+        let mut sinks = Vec::new();
+        for i in 0..4 {
+            let s = nl.xor(hot, y);
+            let (r, _) = nl.register(format!("r{i}"), 8, 0);
+            nl.connect(r, s);
+            sinks.push(s);
+        }
+        let a = NetAnalysis::of(&nl);
+        assert_eq!(a.fanout(hot), 4);
+        assert_eq!(a.load_levels(hot), 2);
+        assert_eq!(a.fanout(y), 5); // the adder + every xor
+        assert_eq!(a.load_levels(y), 3);
+        let add_levels = 2 * 3 + 2; // 8-bit CLA
+        assert_eq!(a.arrival(sinks[0]), add_levels + 1);
+        // Worst load-aware path: y (3 levels of load) → adder → hot's
+        // 2-level buffer tree → xor.
+        assert_eq!(a.sta_arrival(sinks[0]), 3 + add_levels + 2 + 1);
+        assert_eq!(a.sta_period(), a.sta_arrival(sinks[0]));
+    }
+
+    #[test]
+    fn slack_is_zero_on_the_critical_path() {
+        let mut nl = Netlist::new("s");
+        let x = nl.input("x", 8);
+        let y = nl.input("y", 8);
+        let slow = nl.add(x, y); // 8 levels
+        let fast = nl.and(x, y); // 1 level
+        let (r1, _) = nl.register("slow", 8, 0);
+        nl.connect(r1, slow);
+        let (r2, _) = nl.register("fast", 8, 0);
+        nl.connect(r2, fast);
+        let a = NetAnalysis::of(&nl);
+        assert_eq!(a.slack(slow), 0, "critical endpoint has zero slack");
+        assert_eq!(
+            a.slack(fast),
+            a.sta_period() - a.sta_arrival(fast),
+            "off-critical endpoint slack is the period margin"
+        );
+        assert!(a.slack(fast) > 0);
+        // A dead net reaches no endpoint.
+        let mut nl2 = Netlist::new("d");
+        let i = nl2.input("i", 4);
+        let dead = nl2.not(i);
+        let (r, o) = nl2.register("r", 4, 0);
+        nl2.connect(r, o);
+        let a2 = NetAnalysis::of(&nl2);
+        assert_eq!(a2.slack(dead), u32::MAX);
+    }
+
+    #[test]
+    fn endpoints_cover_registers_and_write_ports() {
+        let mut nl = Netlist::new("e");
+        let we = nl.input("we", 1);
+        let wa = nl.input("wa", 2);
+        let wd = nl.input("wd", 8);
+        let m = nl.memory("rf", 2, 8, vec![]);
+        nl.mem_write(m, we, wa, wd);
+        let (r, _) = nl.register("acc", 8, 0);
+        nl.connect_en(r, wd, we);
+        let a = NetAnalysis::of(&nl);
+        // acc.next, acc.en, plus the write port's we/wa/wd.
+        assert_eq!(a.endpoints().len(), 5);
     }
 
     #[test]

@@ -84,6 +84,7 @@ mod tests {
 
     #[cfg(unix)]
     #[test]
+    #[cfg_attr(miri, ignore = "foreign calls (signal/raise) are outside miri's model")]
     fn installed_handler_latches_a_real_signal() {
         install();
         reset();

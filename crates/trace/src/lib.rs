@@ -113,6 +113,17 @@ impl Track {
         }
     }
 
+    /// Per-path events of a static timing run (`autopipe sta`), indexed
+    /// by the path's rank in the report. Deterministic: paths are
+    /// enumerated and pruned in a fixed order regardless of `-j`.
+    #[must_use]
+    pub fn sta(i: usize) -> Track {
+        Track {
+            group: 15,
+            index: i as u32,
+        }
+    }
+
     /// Per-fault events of a chaos sweep (`autopipe chaos`), indexed by
     /// the fault's catalog position. Deterministic: the sweep injects
     /// faults from a seeded plan and records one scenario at a time.

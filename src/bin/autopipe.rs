@@ -8,6 +8,11 @@
 //!   lint     static hazard & structural analysis: classify every
 //!            register/file read, check forwarding coverage, and lint
 //!            the synthesized netlist — without running verification
+//!   sta      static timing analysis: levelize the netlist under the
+//!            unit+fanout-load delay model, rank the top-K critical
+//!            paths register-to-register with per-stage hazard-cone
+//!            attribution, and prune false paths with a SAT
+//!            unsensitizability proof (see docs/TIMING.md)
 //!   synth    run the pipeline transformation, print the report
 //!   verify   synthesize, then discharge the proof obligations and run
 //!            the cycle-level consistency checker
@@ -39,7 +44,10 @@
 //!                   (mutate) directory for VCD witnesses
 //!   --interlock     replace every `forward` annotation with an interlock
 //!   --tree          use the tree-shaped forwarding select network
-//!   --format F      (lint) output format: human, json, sarif [human]
+//!   --format F      (lint, sta) output format: human, json, sarif [human]
+//!   --top N         (sta) critical paths to report [10]
+//!   --audit N       (sta) paths per control endpoint in the false-path
+//!                   audit; 0 disables the audit [3]
 //!   --allow CODE    (lint) downgrade a lint to allowed (still recorded)
 //!   --warn CODE     (lint) set a lint to warning
 //!   --deny CODE     (lint) promote a lint to error
@@ -72,6 +80,10 @@
 //!   --version       print the version
 //! ```
 //!
+//! `sta` prints the deterministic timing report on stdout —
+//! byte-identical for every `--jobs` value — and exits 2 when a timing
+//! lint (`AP04xx`) lands at deny level, mirroring `lint`.
+//!
 //! `synth`, `verify` and `mutate` run the linter first: deny-level
 //! findings stop the pipeline transformation with rendered diagnostics
 //! (exit 1), warnings go to stderr and the run continues. The lint
@@ -103,14 +115,16 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str =
-    "usage: autopipe <parse|lint|synth|verify|mutate|emit|report|hash|trace|serve|chaos> <design.psm> [options]
+    "usage: autopipe <parse|lint|sta|synth|verify|mutate|emit|report|hash|trace|serve|chaos> <design.psm> [options]
   --emit FILE   (synth) write pipelined Verilog to FILE
   --proof FILE  (synth) write the proof document to FILE
   -o FILE       (emit) write Verilog to FILE instead of stdout
                 (mutate) directory for VCD witnesses
   --interlock   replace every `forward` annotation with an interlock
   --tree        use the tree-shaped forwarding select network
-  --format F    (lint) output format: human, json, sarif [human]
+  --format F    (lint, sta) output format: human, json, sarif [human]
+  --top N       (sta) critical paths to report [10]
+  --audit N     (sta) paths per control endpoint in the false-path audit [3]
   --allow CODE  (lint) downgrade a lint to allowed (still recorded)
   --warn CODE   (lint) set a lint to warning
   --deny CODE   (lint) promote a lint to error
@@ -147,6 +161,8 @@ struct Options {
     interlock: bool,
     tree: bool,
     format: String,
+    top: usize,
+    audit: usize,
     lint: LintConfig,
     cycles: u64,
     depth: usize,
@@ -199,6 +215,8 @@ fn parse_args() -> Result<Options, Early> {
         interlock: false,
         tree: false,
         format: "human".into(),
+        top: 10,
+        audit: 3,
         lint: LintConfig::new(),
         cycles: 10_000,
         depth: 2,
@@ -256,6 +274,8 @@ fn parse_args() -> Result<Options, Early> {
                 }
                 o.format = v;
             }
+            "--top" => o.top = num_arg("--top", &mut args)?,
+            "--audit" => o.audit = num_arg("--audit", &mut args)?,
             "--allow" => lint_arg(&mut args, &mut o.lint, Level::Allow)?,
             "--warn" => lint_arg(&mut args, &mut o.lint, Level::Warn)?,
             "--deny" => lint_arg(&mut args, &mut o.lint, Level::Deny)?,
@@ -305,6 +325,7 @@ fn parse_args() -> Result<Options, Early> {
         o.command.as_str(),
         "parse"
             | "lint"
+            | "sta"
             | "synth"
             | "verify"
             | "mutate"
@@ -641,6 +662,34 @@ fn run_command(o: &Options, trace: &Trace) -> Result<ExitCode, String> {
                 }
             }
             if report.has_errors() {
+                return Ok(ExitCode::from(2));
+            }
+        }
+        "sta" => {
+            use autopipe::analyze::sta;
+            let pm = lint_and_synthesize(&compiled, o, trace)?;
+            let analysis = autopipe::hdl::NetAnalysis::of(&pm.netlist);
+            let sta_opts = sta::StaOptions {
+                top: o.top,
+                jobs: o.jobs,
+                audit: o.audit,
+                ..sta::StaOptions::default()
+            };
+            let report = sta::analyze(&pm, &analysis, &sta_opts, &o.lint, trace);
+            let file = o.path.display().to_string();
+            match o.format.as_str() {
+                "json" => out(sta::to_json(&report, &file)),
+                "sarif" => {
+                    let source = std::fs::read_to_string(&o.path).unwrap_or_default();
+                    out(autopipe::analyze::output::to_sarif(
+                        &report.findings,
+                        &file,
+                        &source,
+                    ));
+                }
+                _ => out(sta::to_human(&report)),
+            }
+            if report.findings.has_errors() {
                 return Ok(ExitCode::from(2));
             }
         }

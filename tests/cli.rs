@@ -454,6 +454,75 @@ fn lint_output_is_deterministic_across_jobs() {
     }
 }
 
+// ---------------------------------------------------------------- sta
+
+/// The toy pipeline's structural worst path is a false path, so a
+/// plain `sta` run exercises top-path pruning, the control audit and
+/// the AP0403 warning in one invocation — still exit 0.
+#[test]
+fn sta_toy_reports_pruning_and_warns() {
+    let (code, out) = autopipe(&["sta", &example("toy.psm")]);
+    assert_eq!(code, Some(0), "{out}");
+    assert!(out.contains("static timing report for `acc_pipe`"), "{out}");
+    assert!(out.contains("control false-path audit"), "{out}");
+    assert!(out.contains("AP0403 (warn)"), "{out}");
+    assert!(out.contains("6 pruned (9 in audit)"), "{out}");
+}
+
+/// `--deny AP0403` promotes the unsensitizable-critical-path warning
+/// to an error exit, mirroring the lint gate.
+#[test]
+fn sta_deny_gates_timing_findings() {
+    let (code, out) = autopipe(&["sta", &example("toy.psm"), "--deny", "AP0403"]);
+    assert_eq!(code, Some(2), "{out}");
+    assert!(out.contains("AP0403"), "{out}");
+}
+
+/// Machine-readable sta output: JSON carries the audit section, SARIF
+/// carries the fired timing rule.
+#[test]
+fn sta_emits_json_and_sarif() {
+    let (code, out) = autopipe(&["sta", &example("toy.psm"), "--format", "json"]);
+    assert_eq!(code, Some(0), "{out}");
+    assert!(out.contains("\"tool\": \"autopipe-sta\""), "{out}");
+    assert!(out.contains("\"audit\""), "{out}");
+    assert!(out.contains("\"verdict\": \"false-pruned\""), "{out}");
+    let (code, out) = autopipe(&["sta", &example("toy.psm"), "--format", "sarif"]);
+    assert_eq!(code, Some(0), "{out}");
+    assert!(out.contains("\"ruleId\": \"AP0403\""), "{out}");
+}
+
+/// `--audit 0` disables the per-endpoint sweep; top-path pruning and
+/// AP0403 are unaffected.
+#[test]
+fn sta_audit_zero_disables_the_sweep() {
+    let (code, out) = autopipe(&["sta", &example("toy.psm"), "--audit", "0"]);
+    assert_eq!(code, Some(0), "{out}");
+    assert!(!out.contains("control false-path audit"), "{out}");
+    assert!(out.contains("AP0403 (warn)"), "{out}");
+}
+
+/// The rendered report is byte-identical for any worker count even
+/// though SAT queries are sharded across unrollers.
+#[test]
+fn sta_output_is_deterministic_across_jobs() {
+    for format in ["human", "json"] {
+        let path = example("toy.psm");
+        let (c1, o1, e1) = run_bin_stdout(
+            env!("CARGO_BIN_EXE_autopipe"),
+            &["sta", &path, "--format", format, "-j", "1"],
+        );
+        let (c4, o4, e4) = run_bin_stdout(
+            env!("CARGO_BIN_EXE_autopipe"),
+            &["sta", &path, "--format", format, "-j", "4"],
+        );
+        assert_eq!(c1, Some(0), "{e1}");
+        assert_eq!(c4, Some(0), "{e4}");
+        assert_eq!(o1, o4, "{format} must be byte-identical for -j 1 and -j 4");
+        assert!(!o1.is_empty());
+    }
+}
+
 /// `synth` refuses to run on a design with deny-level lint findings.
 #[test]
 fn synth_gates_on_lint_errors() {
